@@ -1,0 +1,54 @@
+// Ablation B: what does latch-awareness buy?  Minimum workable clock period
+// of a two-phase pipeline as stage imbalance grows, under three analyses:
+//   transfer - Hummingbird's Algorithm 1 (transparent latches, slack
+//              transfer / cycle stealing);
+//   rigid    - same netlist, latches frozen at the trailing edge
+//              (McWilliams-style baseline);
+//   dff      - the netlist rebuilt with edge-triggered latches.
+//
+// Expected shape: with balanced stages all three coincide; as imbalance
+// grows, transfer tracks the *average* stage delay while rigid/dff track
+// the *maximum* stage delay.
+#include <cstdio>
+
+#include "gen/pipeline.hpp"
+#include "netlist/stdcells.hpp"
+#include "sta/search.hpp"
+
+namespace {
+
+hb::TimePs min_period(const hb::Design& design, bool rigid) {
+  hb::MinPeriodOptions options;
+  options.lo = hb::ns(1);
+  options.hi = hb::ns(80);
+  options.rigid = rigid;
+  return hb::find_min_period(
+      design, [](hb::TimePs p) { return hb::make_two_phase_clocks(p); }, options);
+}
+
+}  // namespace
+
+int main() {
+  using namespace hb;
+  auto lib = make_standard_library();
+
+  const int total_depth = 120;
+  std::printf("%-12s %-18s %-18s %-18s\n", "imbalance", "transfer", "rigid", "dff");
+  for (int heavy = 60; heavy <= 110; heavy += 10) {
+    PipelineSpec spec;
+    spec.stage_depths = {heavy, total_depth - heavy};
+    spec.width = 1;
+    spec.seed = 13;
+
+    spec.latch_cell = "TLATCH";
+    const Design latch_design = make_pipeline(lib, spec);
+    spec.latch_cell = "DFFT";
+    const Design dff_design = make_pipeline(lib, spec);
+
+    std::printf("%3d:%-8d %-18s %-18s %-18s\n", heavy, total_depth - heavy,
+                format_time(min_period(latch_design, false)).c_str(),
+                format_time(min_period(latch_design, true)).c_str(),
+                format_time(min_period(dff_design, false)).c_str());
+  }
+  return 0;
+}

@@ -1,0 +1,53 @@
+// Figure 3 reproduction: the transparent-element offset geometry
+// O_zd = W + O_dz + D_dz.  The transferable slack across a latch is bounded
+// by the control pulse width, so the minimum workable period of an
+// unbalanced latch pipeline falls as the duty cycle grows — until the
+// pipeline's total delay, not the transfer headroom, binds.
+//
+// Series: duty cycle (pulse width / period) vs minimum workable period for
+// a 2-stage pipeline with a 3:1 stage imbalance, transparent vs rigid.
+#include <cstdio>
+
+#include "gen/pipeline.hpp"
+#include "netlist/stdcells.hpp"
+#include "sta/search.hpp"
+
+namespace {
+
+hb::TimePs min_period(const hb::Design& design, int duty_permille, bool rigid) {
+  hb::MinPeriodOptions options;
+  options.lo = hb::ns(1);
+  options.hi = hb::ns(60);
+  options.rigid = rigid;
+  return hb::find_min_period(
+      design,
+      [duty_permille](hb::TimePs p) {
+        return hb::make_two_phase_clocks(p, duty_permille);
+      },
+      options);
+}
+
+}  // namespace
+
+int main() {
+  using namespace hb;
+  auto lib = make_standard_library();
+
+  PipelineSpec spec;
+  spec.stage_depths = {90, 30};
+  spec.width = 1;
+  spec.latch_cell = "TLATCH";
+  const Design design = make_pipeline(lib, spec);
+
+  std::printf("duty%%   min period (transfer)   min period (rigid)\n");
+  for (int duty = 150; duty <= 450; duty += 50) {
+    const TimePs with_transfer = min_period(design, duty, /*rigid=*/false);
+    const TimePs rigid = min_period(design, duty, /*rigid=*/true);
+    std::printf("%4.1f    %-22s  %-22s\n", duty / 10.0,
+                format_time(with_transfer).c_str(), format_time(rigid).c_str());
+  }
+  std::printf("\nwider pulses give the transfer more headroom (O_zd <= W), so the\n"
+              "transparent analysis tolerates shorter periods; the rigid model\n"
+              "cannot exploit the pulse at all.\n");
+  return 0;
+}

@@ -1,0 +1,59 @@
+// Figure 4 reproduction: the directed graph of clock edges and the minimum
+// break-open set.  For growing numbers of clock phases and random
+// launch/capture pairings, this bench reports the minimum number of
+// analysis passes found by the exhaustive search.
+//
+// Expected shape (paper): "The graphs are usually small and very seldom is
+// it necessary to remove more than two arcs" — pass counts stay at 1-2 for
+// realistic phase counts, approaching larger values only with adversarial
+// all-to-all crosswise pairings.
+#include <cstdio>
+
+#include "clocks/edge_graph.hpp"
+#include "util/rng.hpp"
+
+int main() {
+  using namespace hb;
+  const TimePs T = ns(64);
+
+  std::printf("%-8s %-10s %-14s %-12s\n", "phases", "pairings", "avg passes",
+              "max passes");
+  for (int phases = 2; phases <= 8; ++phases) {
+    for (int pairings : {2, 4, 8, 16}) {
+      double sum = 0;
+      std::size_t worst = 0;
+      const int trials = 50;
+      for (int t = 0; t < trials; ++t) {
+        Rng rng(static_cast<std::uint64_t>(phases * 1000 + pairings * 10 + t));
+        // Edge times: two edges per phase, evenly spread with jitter.
+        std::vector<TimePs> times;
+        for (int p = 0; p < phases; ++p) {
+          const TimePs base = T * p / phases;
+          times.push_back(base);
+          times.push_back(base + T / (2 * phases) + rng.uniform(0, 500));
+        }
+        ClockEdgeGraph g(times, T);
+        for (int k = 0; k < pairings; ++k) {
+          const TimePs a = times[rng.pick(times.size())];
+          const TimePs c = times[rng.pick(times.size())];
+          g.add_requirement(a, c);
+        }
+        const std::size_t n = g.solve_min_breaks().size();
+        sum += static_cast<double>(n);
+        worst = std::max(worst, n);
+      }
+      std::printf("%-8d %-10d %-14.2f %-12zu\n", phases, pairings, sum / trials, worst);
+    }
+  }
+
+  // The paper's concrete Figure 4 example: requirement "E before C" over
+  // eight edges is satisfied by a single removal (break at C, D or E).
+  {
+    ClockEdgeGraph g({0, 1, 2, 3, 4, 5, 6, 7}, 8);
+    g.add_requirement(/*E=*/4, /*C=*/2);
+    std::printf("\npaper Fig.4 example: %zu pass(es); breaking at edge E gives order "
+                "E F G H A B C D\n",
+                g.solve_min_breaks().size());
+  }
+  return 0;
+}

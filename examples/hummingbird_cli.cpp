@@ -1,0 +1,176 @@
+// Command-line driver: the shape of the tool a downstream flow would call
+// in place of the original Hummingbird.  Reads a netlist file and a timing
+// specification (clocks + port arrivals/requireds), runs the analysis, and
+// prints the report; optionally Algorithm 2 constraints and hold checks.
+//
+//   hummingbird_cli <netlist> <timing-spec> [--paths N] [--constraints]
+//                   [--hold <margin>]
+//
+// Run without arguments to execute a built-in demo: the tool writes a small
+// two-phase latch design and its spec to ./hummingbird_demo.* and analyses
+// them.
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+
+#include "clocks/clock_io.hpp"
+#include "gen/pipeline.hpp"
+#include "netlist/library_io.hpp"
+#include "netlist/netlist_io.hpp"
+#include "netlist/stdcells.hpp"
+#include "sta/hummingbird.hpp"
+#include "sta/visualize.hpp"
+
+namespace {
+
+struct CliFlags {
+  std::size_t max_paths = 10;
+  bool want_constraints = false;
+  bool want_hold = false;
+  hb::TimePs hold_margin = 0;
+  bool want_histogram = false;
+  std::string dot_path;   // write a Graphviz view here when non-empty
+  std::string lib_path;   // cell library file; built-in hbcells when empty
+};
+
+int run(const std::string& netlist_path, const std::string& spec_path,
+        const CliFlags& flags) {
+  using namespace hb;
+  std::shared_ptr<const Library> lib;
+  if (flags.lib_path.empty()) {
+    lib = make_standard_library();
+  } else {
+    std::ifstream lf(flags.lib_path);
+    if (!lf) {
+      std::fprintf(stderr, "cannot open library '%s'\n", flags.lib_path.c_str());
+      return 2;
+    }
+    lib = load_library(lf);
+  }
+
+  std::ifstream nf(netlist_path);
+  if (!nf) {
+    std::fprintf(stderr, "cannot open netlist '%s'\n", netlist_path.c_str());
+    return 2;
+  }
+  Design design = load_netlist(nf, lib);
+
+  std::ifstream sf(spec_path);
+  if (!sf) {
+    std::fprintf(stderr, "cannot open timing spec '%s'\n", spec_path.c_str());
+    return 2;
+  }
+  const TimingSpec spec = load_timing_spec(sf);
+
+  HummingbirdOptions options;
+  options.sync.input_arrivals = spec.input_arrivals;
+  options.sync.output_requireds = spec.output_requireds;
+
+  Hummingbird analyser(design, spec.clocks, options);
+  const Algorithm1Result result = analyser.analyze();
+
+  std::printf("design %s: %zu cells, %zu nets, %zu clusters, %zu passes\n",
+              design.name().c_str(), analyser.stats().cells, analyser.stats().nets,
+              analyser.stats().clusters, analyser.stats().analysis_passes);
+  std::printf("pre-process %.4f s, analysis %.4f s\n",
+              analyser.stats().preprocess_seconds, analyser.stats().analysis_seconds);
+  std::printf("%s", analyser.report(flags.max_paths).c_str());
+
+  if (flags.want_histogram) {
+    std::printf("terminal slack histogram:\n%s",
+                slack_histogram(analyser.engine()).c_str());
+  }
+  if (!flags.dot_path.empty()) {
+    std::ofstream df(flags.dot_path);
+    df << to_dot(analyser.engine());
+    std::printf("wrote %s\n", flags.dot_path.c_str());
+  }
+
+  if (flags.want_constraints && !result.works_as_intended) {
+    const ConstraintSet cs = analyser.generate_constraints();
+    std::printf("re-synthesis constraints for violating endpoints:\n");
+    const TimingGraph& graph = analyser.graph();
+    for (std::uint32_t n = 0; n < graph.num_nodes(); ++n) {
+      const ConstraintTimes& ct = cs.at(TNodeId(n));
+      if (!ct.has_ready || !ct.has_required || ct.slack > 0) continue;
+      std::printf("  %-24s ready %-10s required %-10s slack %s\n",
+                  graph.node_name(TNodeId(n)).c_str(),
+                  format_time(std::max(ct.ready.rise, ct.ready.fall)).c_str(),
+                  format_time(std::min(ct.required.rise, ct.required.fall)).c_str(),
+                  format_time(ct.slack).c_str());
+    }
+  }
+
+  if (flags.want_hold) {
+    const auto holds = analyser.check_hold_times(flags.hold_margin);
+    std::printf("hold check (margin %s): %zu violation(s)\n",
+                format_time(flags.hold_margin).c_str(), holds.size());
+    for (const HoldViolation& v : holds) {
+      std::printf("  %s -> %s margin %s\n",
+                  analyser.sync_model().at(v.launch).label.c_str(),
+                  analyser.sync_model().at(v.capture).label.c_str(),
+                  format_time(v.margin).c_str());
+    }
+  }
+  return result.works_as_intended ? 0 : 1;
+}
+
+int demo() {
+  using namespace hb;
+  auto lib = make_standard_library();
+  PipelineSpec pspec;
+  pspec.stage_depths = {40, 12};
+  pspec.width = 1;
+  const Design design = make_pipeline(lib, pspec);
+  {
+    std::ofstream nf("hummingbird_demo.net");
+    save_netlist(design, nf);
+  }
+  {
+    std::ofstream sf("hummingbird_demo.spec");
+    sf << "# two-phase non-overlapping clocks, 6 ns period\n"
+          "clock phi1 period 6ns pulse 0 2.4ns\n"
+          "clock phi2 period 6ns pulse 3ns 5.4ns\n"
+          "input d0 arrival 0\n"
+          "output q0 required 0\n";
+  }
+  std::printf("demo: wrote hummingbird_demo.net / hummingbird_demo.spec\n");
+  CliFlags flags;
+  flags.max_paths = 5;
+  flags.want_constraints = true;
+  flags.want_hold = true;
+  flags.want_histogram = true;
+  return run("hummingbird_demo.net", "hummingbird_demo.spec", flags);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    if (argc < 3) return demo();
+    CliFlags flags;
+    for (int i = 3; i < argc; ++i) {
+      if (std::strcmp(argv[i], "--paths") == 0 && i + 1 < argc) {
+        flags.max_paths = static_cast<std::size_t>(std::atoi(argv[++i]));
+      } else if (std::strcmp(argv[i], "--constraints") == 0) {
+        flags.want_constraints = true;
+      } else if (std::strcmp(argv[i], "--hold") == 0 && i + 1 < argc) {
+        flags.want_hold = true;
+        flags.hold_margin = hb::parse_time(argv[++i]);
+      } else if (std::strcmp(argv[i], "--histogram") == 0) {
+        flags.want_histogram = true;
+      } else if (std::strcmp(argv[i], "--dot") == 0 && i + 1 < argc) {
+        flags.dot_path = argv[++i];
+      } else if (std::strcmp(argv[i], "--lib") == 0 && i + 1 < argc) {
+        flags.lib_path = argv[++i];
+      } else {
+        std::fprintf(stderr, "unknown option '%s'\n", argv[i]);
+        return 2;
+      }
+    }
+    return run(argv[1], argv[2], flags);
+  } catch (const hb::Error& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 2;
+  }
+}

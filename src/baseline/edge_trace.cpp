@@ -1,0 +1,71 @@
+#include "baseline/edge_trace.hpp"
+
+#include <algorithm>
+
+namespace hb {
+
+EdgeTraceResult per_edge_settling_counts(const SlackEngine& engine) {
+  const TimingGraph& graph = engine.graph();
+  const SyncModel& sync = engine.sync();
+  const ClusterSet& clusters = engine.clusters();
+
+  EdgeTraceResult out;
+  out.settling_counts.assign(graph.num_nodes(), 0);
+
+  for (std::uint32_t c = 0; c < clusters.num_clusters(); ++c) {
+    const Cluster& cl = clusters.cluster(ClusterId(c));
+    if (cl.source_nodes.empty()) continue;
+
+    // Distinct launch edges (ideal assertion times) in this cluster.
+    std::vector<TimePs> edges;
+    for (TNodeId src : cl.source_nodes) {
+      for (SyncId li : sync.launches_at(src)) {
+        edges.push_back(sync.at(li).ideal_assert);
+      }
+    }
+    std::sort(edges.begin(), edges.end());
+    edges.erase(std::unique(edges.begin(), edges.end()), edges.end());
+
+    // For each launch edge, mark every node reachable from a source
+    // launching on that edge: one settling evaluation per (node, edge).
+    std::vector<char> reached(cl.nodes.size());
+    for (TimePs edge : edges) {
+      std::fill(reached.begin(), reached.end(), 0);
+      std::vector<TNodeId> stack;
+      for (TNodeId src : cl.source_nodes) {
+        for (SyncId li : sync.launches_at(src)) {
+          if (sync.at(li).ideal_assert != edge) continue;
+          char& r = reached[engine.local_index(src)];
+          if (!r) {
+            r = 1;
+            stack.push_back(src);
+          }
+        }
+      }
+      while (!stack.empty()) {
+        const TNodeId n = stack.back();
+        stack.pop_back();
+        const NodeRole role = graph.node(n).role;
+        if (role == NodeRole::kSyncDataIn || role == NodeRole::kSyncControl) {
+          continue;
+        }
+        for (std::uint32_t ai : graph.fanout(n)) {
+          char& r = reached[engine.local_index(graph.arc(ai).to)];
+          if (!r) {
+            r = 1;
+            stack.push_back(graph.arc(ai).to);
+          }
+        }
+      }
+      for (std::uint32_t i = 0; i < cl.nodes.size(); ++i) {
+        if (reached[i]) {
+          ++out.settling_counts[cl.nodes[i].index()];
+          ++out.total;
+        }
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace hb

@@ -1,0 +1,32 @@
+// Baseline: per-edge settling-time attribution in the style of Wallace &
+// Sequin's ATV and Szymanski's Leadout (paper Section 2): every voltage
+// transition is attributed to a clock edge, so each node receives one
+// settling time per *distinct launch edge* whose transitions reach it.
+//
+// The paper's Section 7 pre-processing improves on this: "with a little
+// pre-processing, the number of settling times that must be calculated for
+// each node may be minimised.  Even when combinational logic inputs come
+// from latches controlled by two or three different clock phases, a single
+// settling time is often sufficient".
+//
+// This module computes the per-edge counts so tests and benches can verify
+// Hummingbird's pass counts are never larger (and usually smaller).
+#pragma once
+
+#include <vector>
+
+#include "sta/slack_engine.hpp"
+
+namespace hb {
+
+struct EdgeTraceResult {
+  /// Per timing-graph node: number of distinct launch edges reaching it —
+  /// the settling times a per-edge-attribution analyser evaluates.
+  std::vector<int> settling_counts;
+  /// Total settling evaluations over all nodes.
+  std::size_t total = 0;
+};
+
+EdgeTraceResult per_edge_settling_counts(const SlackEngine& engine);
+
+}  // namespace hb

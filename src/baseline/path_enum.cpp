@@ -1,0 +1,91 @@
+#include "baseline/path_enum.hpp"
+
+namespace hb {
+namespace {
+
+struct Enumerator {
+  const SlackEngine& engine;
+  const TimingGraph& graph;
+  const SyncModel& sync;
+  PathEnumResult& out;
+  std::size_t max_paths;
+
+  ClusterId cluster;
+  std::size_t pass = 0;
+  const std::vector<bool>* assigned = nullptr;  // capture mask for this pass
+
+  /// DFS from `node` carrying the accumulated (rise, fall) delay pair.
+  /// `launch_pos` is the linearised actual assertion of the launch instance
+  /// under consideration.
+  void dfs(TNodeId node, RiseFall delay, SyncId launch, TimePs launch_pos) {
+    const NodeRole role = graph.node(node).role;
+    const bool is_endpoint =
+        role == NodeRole::kSyncDataIn || role == NodeRole::kSyncControl ||
+        role == NodeRole::kPortOut;
+    if (is_endpoint || !sync.captures_at(node).empty()) {
+      finish(node, delay, launch, launch_pos);
+      if (is_endpoint) return;
+    }
+    for (std::uint32_t ai : graph.fanout(node)) {
+      if (out.paths_enumerated >= max_paths) {
+        out.truncated = true;
+        return;
+      }
+      const TArcRec& arc = graph.arc(ai);
+      dfs(arc.to, propagate_forward(delay, arc, arc.delay), launch, launch_pos);
+    }
+  }
+
+  void finish(TNodeId node, RiseFall delay, SyncId launch, TimePs launch_pos) {
+    ++out.paths_enumerated;
+    const ClockEdgeGraph& edges = engine.edge_graph(cluster);
+    const std::size_t brk = engine.breaks(cluster)[pass];
+    // Against every capture instance assigned to this pass at this node.
+    for (SyncId cj : sync.captures_at(node)) {
+      if (engine.assigned_pass(cj) != pass) continue;
+      const SyncInstance& cap = sync.at(cj);
+      if (cap.data_in != node) continue;
+      const TimePs close =
+          edges.linear_close(cap.ideal_close, brk) + cap.close_offset();
+      const TimePs slack = close - (launch_pos + delay.max());
+      out.capture_slack[cj.index()] = std::min(out.capture_slack[cj.index()], slack);
+      out.launch_slack[launch.index()] =
+          std::min(out.launch_slack[launch.index()], slack);
+    }
+  }
+};
+
+}  // namespace
+
+PathEnumResult enumerate_path_slacks(const SlackEngine& engine,
+                                     std::size_t max_paths) {
+  const SyncModel& sync = engine.sync();
+  const ClusterSet& clusters = engine.clusters();
+
+  PathEnumResult out;
+  out.launch_slack.assign(sync.num_instances(), kInfinitePs);
+  out.capture_slack.assign(sync.num_instances(), kInfinitePs);
+
+  for (std::uint32_t c = 0; c < clusters.num_clusters(); ++c) {
+    const Cluster& cl = clusters.cluster(ClusterId(c));
+    const std::size_t npasses = engine.num_passes(ClusterId(c));
+    if (cl.source_nodes.empty() || npasses == 0) continue;
+    for (std::size_t p = 0; p < npasses; ++p) {
+      Enumerator en{engine, engine.graph(), sync, out, max_paths,
+                    ClusterId(c),  p,           nullptr};
+      const ClockEdgeGraph& edges = engine.edge_graph(ClusterId(c));
+      const std::size_t brk = engine.breaks(ClusterId(c))[p];
+      for (TNodeId src : cl.source_nodes) {
+        for (SyncId li : sync.launches_at(src)) {
+          const SyncInstance& si = sync.at(li);
+          const TimePs a =
+              edges.linear_assert(si.ideal_assert, brk) + si.assert_offset();
+          en.dfs(src, RiseFall{0, 0}, li, a);
+        }
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace hb

@@ -1,0 +1,120 @@
+#include "baseline/relaxation.hpp"
+
+#include <algorithm>
+#include <map>
+
+namespace hb {
+namespace {
+
+// A transition class in the periodic steady state is characterised by the
+// *release phase* rho (the time within the overall period at which the
+// value was last released by a synchronising element or primary input) and
+// the *lag* L (how long after its release the transition settles; lags
+// accumulate through combinational logic and reset when a latch is passed).
+// Deadline rule: an event must settle before the first capture closure
+// strictly after its release — lag <= window(rho, closure) - setup — which
+// is exactly the cyclic pairing the analyser uses, but with the reference
+// advancing through open latches (the "run the clocks" behaviour).
+using EventMap = std::map<TimePs, TimePs>;  // release phase -> max lag
+
+}  // namespace
+
+RelaxationResult relaxation_analysis(const SlackEngine& engine,
+                                     RelaxationOptions options) {
+  const TimingGraph& graph = engine.graph();
+  const SyncModel& sync = engine.sync();
+  const TimePs T = sync.overall_period();
+
+  RelaxationResult out;
+  out.settling_counts.assign(graph.num_nodes(), 0);
+  std::vector<EventMap> events(graph.num_nodes());
+
+  auto merge = [&](TNodeId node, TimePs phase, TimePs lag) {
+    auto [it, fresh] = events[node.index()].emplace(phase, lag);
+    if (fresh || it->second < lag) {
+      it->second = lag;
+      return true;
+    }
+    return false;
+  };
+
+  // Seeds: every launch terminal releases a transition when its control
+  // opens (old data waiting in the element), settling D_cz later; primary
+  // inputs release at their arrival times.  Data that *waits* at a closed
+  // latch re-emerges exactly as this seeded class, so waiting needs no
+  // explicit handling below.
+  for (std::uint32_t i = 0; i < sync.num_instances(); ++i) {
+    const SyncInstance& si = sync.at(SyncId(i));
+    if (!si.data_out.valid()) continue;
+    if (si.is_virtual) {
+      merge(si.data_out, mod_period(si.ideal_assert, T), std::max<TimePs>(0, si.v_offset));
+    } else {
+      merge(si.data_out, mod_period(si.ideal_assert, T), si.oac + si.dcz);
+    }
+  }
+
+  bool changed = true;
+  while (changed && out.rounds < options.max_rounds) {
+    changed = false;
+    ++out.rounds;
+
+    // Combinational propagation: lags grow, phases are preserved.
+    for (TNodeId n : graph.topo_order()) {
+      const NodeRole role = graph.node(n).role;
+      if (role == NodeRole::kSyncDataIn || role == NodeRole::kSyncControl) {
+        continue;
+      }
+      for (std::uint32_t ai : graph.fanout(n)) {
+        const TArcRec& arc = graph.arc(ai);
+        for (const auto& [phase, lag] : events[n.index()]) {
+          changed |= merge(arc.to, phase, lag + arc.delay.max());
+        }
+      }
+    }
+
+    // Transparent flow-through: an event whose settle instant falls inside
+    // an instance's open window passes to the output, re-released at its
+    // arrival (+ D_dz), with lag zero.
+    for (std::uint32_t i = 0; i < sync.num_instances(); ++i) {
+      const SyncInstance& si = sync.at(SyncId(i));
+      if (si.is_virtual || !si.transparent) continue;
+      if (!si.data_in.valid() || !si.data_out.valid()) continue;
+      const TimePs open_phase = mod_period(si.ideal_assert + si.oac, T);
+      const TimePs open_width = si.width - si.oac;
+      if (open_width <= 0) continue;
+      for (const auto& [phase, lag] : events[si.data_in.index()]) {
+        const TimePs arrive_phase = mod_period(phase + lag, T);
+        const TimePs into_pulse = mod_period(arrive_phase - open_phase, T);
+        if (into_pulse < open_width) {
+          changed |= merge(si.data_out,
+                           mod_period(arrive_phase + si.ddz, T), 0);
+        }
+      }
+    }
+  }
+  out.converged = !changed;
+
+  // Setup checks at every capture terminal.
+  std::vector<char> reported(graph.num_nodes(), 0);
+  for (std::uint32_t i = 0; i < sync.num_instances(); ++i) {
+    const SyncInstance& si = sync.at(SyncId(i));
+    if (!si.data_in.valid()) continue;
+    const TimePs setup = si.is_virtual ? -si.v_offset : si.setup;
+    for (const auto& [phase, lag] : events[si.data_in.index()]) {
+      TimePs window = mod_period(si.ideal_close - phase, T);
+      if (window == 0) window = T;
+      if (lag > window - setup && !reported[si.data_in.index()]) {
+        reported[si.data_in.index()] = 1;
+        out.violations.push_back({si.data_in, lag, window - setup});
+      }
+    }
+  }
+
+  for (std::uint32_t n = 0; n < graph.num_nodes(); ++n) {
+    out.settling_counts[n] = static_cast<int>(events[n].size());
+  }
+  out.works = out.converged && out.violations.empty();
+  return out;
+}
+
+}  // namespace hb

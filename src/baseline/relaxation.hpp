@@ -1,0 +1,58 @@
+// Baseline: forward-tracing relaxation analysis in the style of Wallace &
+// Sequin's ATV [8] and Szymanski's Leadout [9] (paper Section 2): "all
+// voltage transitions ... result from transitions at primary inputs.  The
+// times of internal transitions are found by tracing forward.  Relaxation
+// results when a network contains directed cycles.  Transparent latches can
+// be correctly handled ... [8] attributes each transition to a clock edge.
+// A number of settling times are thus computed for each node."
+//
+// Transitions are *events* (origin clock edge, settle time).  Combinational
+// arcs delay events; a transparent latch passes an event through while
+// open, re-times an early event to its opening edge (re-attributing it to
+// that edge), and reports a setup violation when the event lands after the
+// input closure; an edge-triggered latch re-times every event to its
+// trigger edge.  Events wrap around the overall period until a fixpoint —
+// no event changes any node's settle time — or a bounded number of rounds,
+// whose exhaustion on still-growing times is itself a violation (a loop
+// slower than the period).
+//
+// This is a *different decision procedure* from Hummingbird's: it evaluates
+// the "run the clocks" behaviour rather than the paper's ideal-control
+// intended behaviour, so verdicts are only directly comparable where the
+// two semantics coincide (edge-triggered designs; see relaxation_test).
+// Its per-node event counts are the settling-time cost the paper's
+// Section 7 minimisation is measured against.
+#pragma once
+
+#include <vector>
+
+#include "sta/slack_engine.hpp"
+
+namespace hb {
+
+struct RelaxationViolation {
+  TNodeId node;      // latch data input whose setup was missed
+  TimePs arrival;    // offending settle time (within the overall period)
+  TimePs deadline;   // input closure minus setup
+};
+
+struct RelaxationResult {
+  bool works = false;
+  bool converged = false;  // false: still relaxing at the round limit
+  int rounds = 0;          // relaxation sweeps executed
+  std::vector<RelaxationViolation> violations;
+  /// Per timing-graph node: number of distinct transition classes (origin
+  /// edges) observed — the settling times this method evaluates.
+  std::vector<int> settling_counts;
+};
+
+struct RelaxationOptions {
+  int max_rounds = 64;
+};
+
+/// Analyse with the current engine structure (clocks, delays); independent
+/// of the synchronising-element offsets.
+RelaxationResult relaxation_analysis(const SlackEngine& engine,
+                                     RelaxationOptions options = {});
+
+}  // namespace hb

@@ -1,0 +1,14 @@
+#include "baseline/rigid_latch.hpp"
+
+namespace hb {
+
+RigidResult rigid_latch_analysis(SyncModel& sync, SlackEngine& engine) {
+  sync.reset_offsets();  // end-of-pulse == the rigid trailing-edge view
+  engine.compute();
+  RigidResult res;
+  res.worst_slack = engine.worst_terminal_slack();
+  res.works_as_intended = res.worst_slack > 0;
+  return res;
+}
+
+}  // namespace hb

@@ -1,0 +1,27 @@
+// Baseline: rigid-latch analysis in the style of McWilliams [5], which
+// "can handle complicated clocking schemes, but ... can not model the
+// behaviour of transparent latches".
+//
+// Every transparent latch is frozen at its end-of-pulse state: the input
+// closes at the trailing control edge and the output asserts there too, as
+// if the element were trailing-edge triggered.  No slack transfer is
+// performed.  Comparing the minimum workable clock period under this model
+// against Algorithm 1's quantifies what latch-awareness (cycle stealing)
+// buys — ablation bench B.
+#pragma once
+
+#include "sta/slack_engine.hpp"
+
+namespace hb {
+
+struct RigidResult {
+  bool works_as_intended = false;
+  TimePs worst_slack = 0;
+};
+
+/// One-shot analysis with frozen end-of-pulse offsets.  Mutates the offsets
+/// in `sync` (call sync.reset_offsets() to reuse afterwards — reset state
+/// and rigid state coincide, so this is only for clarity).
+RigidResult rigid_latch_analysis(SyncModel& sync, SlackEngine& engine);
+
+}  // namespace hb

@@ -1,0 +1,129 @@
+#include "clocks/clock_io.hpp"
+
+#include <cctype>
+#include <cmath>
+#include <sstream>
+
+#include "util/error.hpp"
+
+namespace hb {
+namespace {
+
+[[noreturn]] void spec_error(int lineno, const std::string& msg) {
+  raise("timing spec error at line " + std::to_string(lineno) + ": " + msg);
+}
+
+std::vector<std::string> tokenize(const std::string& line) {
+  std::vector<std::string> toks;
+  std::istringstream is(line);
+  std::string t;
+  while (is >> t) {
+    if (t[0] == '#') break;
+    toks.push_back(t);
+  }
+  return toks;
+}
+
+}  // namespace
+
+TimePs parse_time(const std::string& text) {
+  if (text.empty()) raise("empty time value");
+  std::size_t pos = 0;
+  double value = 0.0;
+  try {
+    value = std::stod(text, &pos);
+  } catch (const std::exception&) {
+    raise("bad time value '" + text + "'");
+  }
+  const std::string unit = text.substr(pos);
+  double scale = 1.0;
+  if (unit.empty() || unit == "ps") {
+    scale = 1.0;
+  } else if (unit == "ns") {
+    scale = 1e3;
+  } else if (unit == "us") {
+    scale = 1e6;
+  } else {
+    raise("bad time unit '" + unit + "' in '" + text + "'");
+  }
+  return static_cast<TimePs>(std::llround(value * scale));
+}
+
+TimingSpec load_timing_spec(std::istream& is) {
+  TimingSpec spec;
+  std::string line;
+  int lineno = 0;
+  while (std::getline(is, line)) {
+    ++lineno;
+    const auto toks = tokenize(line);
+    if (toks.empty()) continue;
+    if (toks[0] == "clock") {
+      // clock <name> period <t> pulse <r> <f> [pulse <r> <f>]...
+      if (toks.size() < 7 || toks[2] != "period") {
+        spec_error(lineno, "expected `clock <name> period <t> pulse <r> <f> ...`");
+      }
+      const TimePs period = parse_time(toks[3]);
+      std::vector<ClockPulse> pulses;
+      std::size_t i = 4;
+      while (i < toks.size()) {
+        if (toks[i] != "pulse" || i + 2 >= toks.size()) {
+          spec_error(lineno, "expected `pulse <rise> <fall>`");
+        }
+        pulses.push_back({parse_time(toks[i + 1]), parse_time(toks[i + 2])});
+        i += 3;
+      }
+      try {
+        spec.clocks.add_clock(toks[1], period, std::move(pulses));
+      } catch (const Error& e) {
+        spec_error(lineno, e.what());
+      }
+    } else if (toks[0] == "input" || toks[0] == "output") {
+      const bool is_input = toks[0] == "input";
+      const char* kw = is_input ? "arrival" : "required";
+      if (toks.size() < 4 || toks[2] != kw) {
+        spec_error(lineno, std::string("expected `") + toks[0] + " <port> " + kw +
+                               " <time> [offset <time>]`");
+      }
+      PortTimingSpec p;
+      p.port = toks[1];
+      p.time = parse_time(toks[3]);
+      if (toks.size() == 6 && toks[4] == "offset") {
+        p.offset = parse_time(toks[5]);
+      } else if (toks.size() != 4) {
+        spec_error(lineno, "expected `[offset <time>]`");
+      }
+      (is_input ? spec.input_arrivals : spec.output_requireds).push_back(std::move(p));
+    } else {
+      spec_error(lineno, "unknown keyword '" + toks[0] + "'");
+    }
+  }
+  return spec;
+}
+
+TimingSpec timing_spec_from_string(const std::string& text) {
+  std::istringstream is(text);
+  return load_timing_spec(is);
+}
+
+std::string timing_spec_to_string(const TimingSpec& spec) {
+  std::ostringstream os;
+  for (std::uint32_t c = 0; c < spec.clocks.num_clocks(); ++c) {
+    const Clock& clk = spec.clocks.clock(ClockId(c));
+    os << "clock " << clk.name << " period " << clk.period;
+    for (const ClockPulse& p : clk.pulses) {
+      os << " pulse " << p.rise << " " << p.fall;
+    }
+    os << "\n";
+  }
+  for (const PortTimingSpec& p : spec.input_arrivals) {
+    os << "input " << p.port << " arrival " << p.time << " offset " << p.offset
+       << "\n";
+  }
+  for (const PortTimingSpec& p : spec.output_requireds) {
+    os << "output " << p.port << " required " << p.time << " offset " << p.offset
+       << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace hb

@@ -1,0 +1,41 @@
+// Textual clock / port-timing specification — the command-file side of the
+// OCT-replacement interface.  Format (line oriented, '#' comments):
+//
+//   clock <name> period <time> pulse <rise> <fall> [pulse <rise> <fall> ...]
+//   input <port> arrival <time> [offset <time>]
+//   output <port> required <time> [offset <time>]
+//
+// Times accept ps/ns/us suffixes and decimal values ("2.5ns"); bare numbers
+// are picoseconds.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "clocks/waveform.hpp"
+
+namespace hb {
+
+/// Arrival / required specification for a top-level data port.
+struct PortTimingSpec {
+  std::string port;   // top-level port name
+  TimePs time = 0;    // ideal event time within the overall period, [0, T)
+  TimePs offset = 0;  // offset from the ideal event (e.g. -setup at outputs)
+};
+
+struct TimingSpec {
+  ClockSet clocks;
+  std::vector<PortTimingSpec> input_arrivals;
+  std::vector<PortTimingSpec> output_requireds;
+};
+
+/// Parse "250", "250ps", "3ns", "2.5ns", "1us"; throws hb::Error otherwise.
+TimePs parse_time(const std::string& text);
+
+TimingSpec load_timing_spec(std::istream& is);
+TimingSpec timing_spec_from_string(const std::string& text);
+
+/// Serialise (round-trips through load_timing_spec).
+std::string timing_spec_to_string(const TimingSpec& spec);
+
+}  // namespace hb

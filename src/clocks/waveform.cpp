@@ -1,0 +1,95 @@
+#include "clocks/waveform.hpp"
+
+#include <algorithm>
+
+namespace hb {
+
+ClockId ClockSet::add_clock(const std::string& name, TimePs period,
+                            std::vector<ClockPulse> pulses) {
+  if (find(name).valid()) raise("duplicate clock name '" + name + "'");
+  if (period <= 0) raise("clock '" + name + "': period must be positive");
+  if (pulses.empty()) raise("clock '" + name + "': needs at least one pulse");
+  TimePs prev_fall = -1;
+  for (const ClockPulse& p : pulses) {
+    if (p.rise < 0 || p.rise >= p.fall || p.fall > period) {
+      raise("clock '" + name + "': malformed pulse");
+    }
+    if (p.rise <= prev_fall) raise("clock '" + name + "': overlapping pulses");
+    prev_fall = p.fall;
+  }
+  // A pulse may not wrap into the next period's first pulse.
+  if (pulses.back().fall == period && pulses.front().rise == 0) {
+    raise("clock '" + name + "': waveform never low");
+  }
+  ClockId id(static_cast<std::uint32_t>(clocks_.size()));
+  clocks_.push_back(Clock{name, period, std::move(pulses)});
+  return id;
+}
+
+ClockId ClockSet::add_simple_clock(const std::string& name, TimePs period,
+                                   TimePs rise, TimePs fall) {
+  return add_clock(name, period, {ClockPulse{rise, fall}});
+}
+
+ClockId ClockSet::find(const std::string& name) const {
+  for (std::uint32_t i = 0; i < clocks_.size(); ++i) {
+    if (clocks_[i].name == name) return ClockId(i);
+  }
+  return ClockId::invalid();
+}
+
+TimePs ClockSet::overall_period() const {
+  if (clocks_.empty()) raise("clock set is empty");
+  TimePs t = clocks_.front().period;
+  for (const Clock& c : clocks_) t = lcm_ps(t, c.period);
+  return t;
+}
+
+std::vector<ClockEdge> ClockSet::edges_in_overall_period() const {
+  const TimePs T = overall_period();
+  std::vector<ClockEdge> edges;
+  for (std::uint32_t i = 0; i < clocks_.size(); ++i) {
+    const Clock& c = clocks_[i];
+    for (TimePs base = 0; base < T; base += c.period) {
+      for (const ClockPulse& p : c.pulses) {
+        edges.push_back({ClockId(i), EdgeKind::kRise, base + p.rise});
+        edges.push_back({ClockId(i), EdgeKind::kFall, base + p.fall});
+      }
+    }
+  }
+  std::sort(edges.begin(), edges.end(), [](const ClockEdge& a, const ClockEdge& b) {
+    return a.time < b.time;
+  });
+  return edges;
+}
+
+std::vector<Interval> ClockSet::high_intervals(ClockId id) const {
+  const TimePs T = overall_period();
+  const Clock& c = clock(id);
+  std::vector<Interval> out;
+  for (TimePs base = 0; base < T; base += c.period) {
+    for (const ClockPulse& p : c.pulses) {
+      out.push_back({base + p.rise, base + p.fall});
+    }
+  }
+  return out;
+}
+
+std::vector<Interval> ClockSet::low_intervals(ClockId id) const {
+  const TimePs T = overall_period();
+  auto highs = high_intervals(id);
+  std::vector<Interval> out;
+  // Lows are the gaps between consecutive highs; the gap between the last
+  // fall and the first rise of the next overall period wraps.
+  for (std::size_t i = 0; i < highs.size(); ++i) {
+    const TimePs lead = highs[i].trail;
+    const TimePs trail =
+        i + 1 < highs.size() ? highs[i + 1].lead : highs.front().lead + T;
+    if (trail > lead) {
+      out.push_back({mod_period(lead, T), mod_period(lead, T) + (trail - lead)});
+    }
+  }
+  return out;
+}
+
+}  // namespace hb

@@ -1,0 +1,83 @@
+// Clock waveform model.
+//
+// The paper allows "any set of clock signals, with any (harmonically
+// related) frequencies and phase relationships".  A ClockSet holds clocks
+// whose periods all divide a common overall period (their LCM); helpers
+// expand each clock's pulses and edges over one overall period, which is
+// the time base for generic synchronising-element instances (Section 4: an
+// element clocked at n x the overall frequency is represented by n generic
+// elements, one per control pulse).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "util/error.hpp"
+#include "util/ids.hpp"
+#include "util/time.hpp"
+
+namespace hb {
+
+/// One high pulse of a clock within its own period: rise at `rise`,
+/// fall at `fall`, 0 <= rise < fall <= period.
+struct ClockPulse {
+  TimePs rise = 0;
+  TimePs fall = 0;
+};
+
+struct Clock {
+  std::string name;
+  TimePs period = 0;
+  std::vector<ClockPulse> pulses;  // sorted, non-overlapping
+};
+
+enum class EdgeKind { kRise, kFall };
+
+/// A clock edge instant within the overall period.
+struct ClockEdge {
+  ClockId clock;
+  EdgeKind kind = EdgeKind::kRise;
+  TimePs time = 0;  // in [0, overall_period)
+};
+
+/// An interval during which a clock is high (or low), within the overall
+/// period.  `lead` is in [0, T); `trail` = lead + width and may exceed T
+/// when the interval wraps.
+struct Interval {
+  TimePs lead = 0;
+  TimePs trail = 0;
+  TimePs width() const { return trail - lead; }
+};
+
+class ClockSet {
+ public:
+  /// Add a clock; pulses must be sorted, non-overlapping and within the
+  /// period.  Throws hb::Error on malformed waveforms.
+  ClockId add_clock(const std::string& name, TimePs period,
+                    std::vector<ClockPulse> pulses);
+
+  /// Convenience: single pulse rising at `rise`, falling at `fall`.
+  ClockId add_simple_clock(const std::string& name, TimePs period, TimePs rise,
+                           TimePs fall);
+
+  const Clock& clock(ClockId id) const { return clocks_.at(id.index()); }
+  std::size_t num_clocks() const { return clocks_.size(); }
+  ClockId find(const std::string& name) const;
+
+  /// LCM of all clock periods — the paper's "overall period".  Throws if
+  /// the set is empty.
+  TimePs overall_period() const;
+
+  /// All edges of all clocks within one overall period, sorted by time.
+  std::vector<ClockEdge> edges_in_overall_period() const;
+
+  /// Intervals (within one overall period) during which `id` is high/low.
+  /// A low interval that spans the period start is reported once, wrapped.
+  std::vector<Interval> high_intervals(ClockId id) const;
+  std::vector<Interval> low_intervals(ClockId id) const;
+
+ private:
+  std::vector<Clock> clocks_;
+};
+
+}  // namespace hb

@@ -1,0 +1,74 @@
+#include "constraints/difference_system.hpp"
+
+#include "util/error.hpp"
+
+namespace hb {
+
+int DifferenceSystem::add_variable(std::string name) {
+  names_.push_back(std::move(name));
+  return static_cast<int>(names_.size()) - 1;
+}
+
+// Origin variable is index -1 conceptually; edges store it as num_variables
+// at solve time.  All constraints normalise to x_to - x_from <= w.
+void DifferenceSystem::add_upper(int var, TimePs c) {
+  edges_.push_back({/*from=*/-1, var, c});  // x - 0 <= c
+}
+
+void DifferenceSystem::add_lower(int var, TimePs c) {
+  edges_.push_back({var, /*to=*/-1, -c});  // 0 - x <= -c
+}
+
+void DifferenceSystem::add_diff_ge(int j, int i, TimePs c) {
+  edges_.push_back({j, i, -c});  // x_i - x_j <= -c
+}
+
+void DifferenceSystem::add_contradiction(std::string reason) {
+  if (!contradiction_) reason_ = std::move(reason);
+  contradiction_ = true;
+}
+
+DifferenceSystem::Result DifferenceSystem::solve() const {
+  Result res;
+  if (contradiction_) {
+    res.reason = reason_;
+    return res;
+  }
+  const int n = static_cast<int>(names_.size());
+  const int origin = n;
+  // dist[] over n+1 nodes; origin fixed at 0 and sourced from everywhere
+  // (standard feasibility construction: start all at 0).
+  std::vector<TimePs> dist(static_cast<std::size_t>(n) + 1, 0);
+
+  auto index = [&](int v) { return v < 0 ? origin : v; };
+
+  bool changed = true;
+  for (int iter = 0; iter <= n + 1 && changed; ++iter) {
+    changed = false;
+    for (const Edge& e : edges_) {
+      const TimePs cand = dist[static_cast<std::size_t>(index(e.from))] + e.weight;
+      TimePs& d = dist[static_cast<std::size_t>(index(e.to))];
+      if (cand < d) {
+        d = cand;
+        changed = true;
+      }
+    }
+    if (changed && iter == n + 1) {
+      // Still relaxing after |V| sweeps: negative cycle.
+      res.reason = "negative cycle in constraint graph";
+      return res;
+    }
+  }
+
+  res.feasible = true;
+  // Shift so the origin sits at zero; x_v = dist[v] - dist[origin].
+  const TimePs base = dist[static_cast<std::size_t>(origin)];
+  res.solution.resize(static_cast<std::size_t>(n));
+  for (int v = 0; v < n; ++v) {
+    res.solution[static_cast<std::size_t>(v)] =
+        dist[static_cast<std::size_t>(v)] - base;
+  }
+  return res;
+}
+
+}  // namespace hb

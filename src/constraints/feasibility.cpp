@@ -1,0 +1,116 @@
+#include "constraints/feasibility.hpp"
+
+#include <optional>
+
+namespace hb {
+namespace {
+
+/// Worst-case combinational delay from a source node to every node of its
+/// cluster (seeded with both transitions at 0).
+std::vector<std::optional<RiseFall>> max_delays_from(const SlackEngine& engine,
+                                                     const Cluster& cl,
+                                                     TNodeId src) {
+  const TimingGraph& graph = engine.graph();
+  std::vector<std::optional<RiseFall>> dmax(cl.nodes.size());
+  dmax[engine.local_index(src)] = RiseFall{0, 0};
+  for (TNodeId n : cl.nodes) {
+    const auto& dn = dmax[engine.local_index(n)];
+    if (!dn) continue;
+    const NodeRole role = graph.node(n).role;
+    if (role == NodeRole::kSyncDataIn || role == NodeRole::kSyncControl) continue;
+    for (std::uint32_t ai : graph.fanout(n)) {
+      const TArcRec& arc = graph.arc(ai);
+      const RiseFall cand = propagate_forward(*dn, arc, arc.delay);
+      auto& slot = dmax[engine.local_index(arc.to)];
+      slot = slot ? rf_max(*slot, cand) : cand;
+    }
+  }
+  return dmax;
+}
+
+}  // namespace
+
+FeasibilityResult check_intended_behaviour(const SlackEngine& engine) {
+  const SyncModel& sync = engine.sync();
+  const ClusterSet& clusters = engine.clusters();
+  const TimePs T = sync.overall_period();
+
+  DifferenceSystem sys;
+  // One variable per transparent (adjustable) instance; -1 otherwise.
+  std::vector<int> var(sync.num_instances(), -1);
+  for (std::uint32_t i = 0; i < sync.num_instances(); ++i) {
+    const SyncInstance& si = sync.at(SyncId(i));
+    if (!si.transparent || si.is_virtual) continue;
+    var[i] = sys.add_variable(si.label);
+    // Element constraints: O_zd in [0, W]  <=>  O_dz in [-W-Ddz, -Ddz].
+    sys.add_lower(var[i], -si.width - si.ddz);
+    sys.add_upper(var[i], -si.ddz);
+  }
+
+  FeasibilityResult out;
+  out.num_variables = sys.num_variables();
+
+  // Path constraints per connected (launch instance, capture instance) pair.
+  for (std::uint32_t c = 0; c < clusters.num_clusters(); ++c) {
+    const Cluster& cl = clusters.cluster(ClusterId(c));
+    if (cl.source_nodes.empty() || cl.sink_nodes.empty()) continue;
+    for (TNodeId src : cl.source_nodes) {
+      const auto dmax = max_delays_from(engine, cl, src);
+      for (TNodeId sink : cl.sink_nodes) {
+        const auto& d = dmax[engine.local_index(sink)];
+        if (!d) continue;
+        const TimePs delay = d->max();
+        for (SyncId li : sync.launches_at(src)) {
+          const SyncInstance& a = sync.at(li);
+          for (SyncId cj : sync.captures_at(sink)) {
+            const SyncInstance& b = sync.at(cj);
+            TimePs D = mod_period(b.ideal_close - a.ideal_assert, T);
+            if (D == 0) D = T;  // same-edge pairs get one full period
+            ++out.num_path_constraints;
+
+            // The launch assertion offset is max(A_c, A_v) with
+            //   A_c = O_zc (always), A_v = W_i + x_i + D_dz_i (transparent);
+            // the capture closure offset is min(C_c, C_v) with
+            //   C_c = -setup (always), C_v = x_j (transparent).
+            // "delay <= D - max(..) + min(..)" splits into a conjunct per
+            // (A, C) combination that exists.
+            const TimePs assert_const =
+                a.is_virtual ? a.v_offset : a.oac + a.dcz;  // A_c
+            const TimePs close_const = b.is_virtual ? b.v_offset : -b.setup;
+            const int vi = var[li.index()];
+            const int vj = var[cj.index()];
+
+            // (A_c, C_c): applies unconditionally.
+            if (delay > D - assert_const + close_const) {
+              sys.add_contradiction("path too slow even at best offsets: " +
+                                    a.label + " -> " + b.label);
+            }
+            // (A_c, C_v): x_j >= delay - D + A_c.
+            if (vj >= 0) sys.add_lower(vj, delay - D + assert_const);
+            if (vi >= 0) {
+              const TimePs k = a.width + a.ddz;  // A_v = k + x_i
+              // (A_v, C_c): x_i <= D - delay - k + C_c.
+              sys.add_upper(vi, D - delay - k + close_const);
+              // (A_v, C_v): x_j - x_i >= delay - D + k.
+              if (vj >= 0) sys.add_diff_ge(vj, vi, delay - D + k);
+            }
+          }
+        }
+      }
+    }
+  }
+
+  const DifferenceSystem::Result res = sys.solve();
+  out.feasible = res.feasible;
+  if (res.feasible) {
+    out.odz_solution.assign(sync.num_instances(), 0);
+    for (std::uint32_t i = 0; i < sync.num_instances(); ++i) {
+      if (var[i] >= 0) {
+        out.odz_solution[i] = res.solution[static_cast<std::size_t>(var[i])];
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace hb

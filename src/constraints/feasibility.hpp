@@ -1,0 +1,37 @@
+// Independent oracle for the paper's central proposition: the system
+// "behaves as intended" exactly when some assignment of offsets satisfies
+// every synchronising element constraint and every path constraint.
+//
+// With the simplified Figure 2(b) model the free offsets are the O_dz of the
+// transparent instances (O_zd is tied to O_dz; everything else is a
+// constant), and each path constraint
+//     dmax <= D - max(O_zc_i, W_i + O_dz_i + D_dz_i) + min(-setup_j, O_dz_j)
+// splits into at most four conjuncts, each a bound or difference constraint
+// over the O_dz variables.  Feasibility is therefore decidable exactly by
+// Bellman-Ford — no iteration heuristics — which makes this module the
+// ground truth the Algorithm 1 implementation is validated against in the
+// property tests:
+//     infeasible  ==>  Algorithm 1 must report "not as intended";
+//     Algorithm 1 "as intended"  ==>  feasible.
+// (Ties — paths that are exactly marginal — may be conservatively flagged
+// by Algorithm 1; the paper notes the same.)
+#pragma once
+
+#include "constraints/difference_system.hpp"
+#include "sta/slack_engine.hpp"
+
+namespace hb {
+
+struct FeasibilityResult {
+  bool feasible = false;
+  std::size_t num_variables = 0;
+  std::size_t num_path_constraints = 0;
+  /// Satisfying O_dz per transparent instance (by SyncId), when feasible.
+  std::vector<TimePs> odz_solution;
+};
+
+/// Build and solve the offset constraint system for the engine's design.
+/// Uses only structure and ideal times — current offsets are irrelevant.
+FeasibilityResult check_intended_behaviour(const SlackEngine& engine);
+
+}  // namespace hb

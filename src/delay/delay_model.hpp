@@ -1,0 +1,89 @@
+// Delay-model primitives shared by the delay calculator and the analyser.
+//
+// The paper calculates "separately rising and falling signal settling time"
+// (after Bening et al. [7]); RiseFall carries every timing quantity in both
+// polarities.  Component delays follow the empirical standard-cell form the
+// paper used: delay = intrinsic + slope * connected load.
+#pragma once
+
+#include <algorithm>
+
+#include "netlist/library.hpp"  // for Unate
+#include "util/time.hpp"
+
+namespace hb {
+
+struct RiseFall {
+  TimePs rise = 0;
+  TimePs fall = 0;
+
+  TimePs max() const { return std::max(rise, fall); }
+  TimePs min() const { return std::min(rise, fall); }
+
+  friend RiseFall operator+(RiseFall a, RiseFall b) {
+    return {a.rise + b.rise, a.fall + b.fall};
+  }
+  friend bool operator==(RiseFall a, RiseFall b) {
+    return a.rise == b.rise && a.fall == b.fall;
+  }
+};
+
+/// Both polarities set to the same value.
+constexpr RiseFall both(TimePs t) { return {t, t}; }
+
+/// Component-wise max/min (used when merging path arrivals).
+inline RiseFall rf_max(RiseFall a, RiseFall b) {
+  return {std::max(a.rise, b.rise), std::max(a.fall, b.fall)};
+}
+inline RiseFall rf_min(RiseFall a, RiseFall b) {
+  return {std::min(a.rise, b.rise), std::min(a.fall, b.fall)};
+}
+
+/// The two block-analysis propagation rules under arc unateness (rise/fall
+/// refer to the *output* transition of the arc):
+///   forward (paper eq. 1):  arrival_out = f(arrival_in) + delay
+///   backward (paper eq. 2): required_in = g(required_out) - delay
+template <class ArcLike>
+RiseFall propagate_forward(RiseFall in, const ArcLike& arc, RiseFall d) {
+  switch (arc.unate) {
+    case Unate::kPositive:
+      return {in.rise + d.rise, in.fall + d.fall};
+    case Unate::kNegative:
+      return {in.fall + d.rise, in.rise + d.fall};
+    case Unate::kNone: {
+      const TimePs worst = std::max(in.rise, in.fall);
+      return {worst + d.rise, worst + d.fall};
+    }
+  }
+  return {};
+}
+
+template <class ArcLike>
+RiseFall propagate_backward(RiseFall out, const ArcLike& arc, RiseFall d) {
+  switch (arc.unate) {
+    case Unate::kPositive:
+      return {out.rise - d.rise, out.fall - d.fall};
+    case Unate::kNegative:
+      // An input rise causes an output fall and vice versa.
+      return {out.fall - d.fall, out.rise - d.rise};
+    case Unate::kNone: {
+      const TimePs worst = std::min(out.rise - d.rise, out.fall - d.fall);
+      return {worst, worst};
+    }
+  }
+  return {};
+}
+
+/// Statistical wire load estimate: every net contributes a fixed stem cap
+/// plus a per-connected-pin cap, the usual pre-layout fanout model for
+/// standard-cell designs.
+struct WireLoadModel {
+  double base_ff = 1.2;
+  double per_pin_ff = 0.9;
+
+  double wire_cap_ff(std::size_t num_pins) const {
+    return base_ff + per_pin_ff * static_cast<double>(num_pins);
+  }
+};
+
+}  // namespace hb

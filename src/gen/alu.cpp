@@ -1,0 +1,80 @@
+#include "gen/alu.hpp"
+
+#include "netlist/builder.hpp"
+
+namespace hb {
+
+Design make_alu(std::shared_ptr<const Library> lib, const AluSpec& spec) {
+  TopBuilder b("alu", std::move(lib));
+  const int W = spec.bits;
+
+  const NetId clk = b.port_in("clk", /*is_clock=*/true);
+
+  // Registered operands and op code.
+  std::vector<NetId> a(W), bb(W), op(3);
+  for (int i = 0; i < W; ++i) {
+    a[i] = b.latch(spec.reg_cell, b.port_in("a" + std::to_string(i)), clk);
+    bb[i] = b.latch(spec.reg_cell, b.port_in("b" + std::to_string(i)), clk);
+  }
+  for (int i = 0; i < 3; ++i) {
+    op[i] = b.latch(spec.reg_cell, b.port_in("op" + std::to_string(i)), clk);
+  }
+
+  // Decoder buffers so the select nets have realistic fanout drivers.
+  const NetId sel_add = b.gate("BUFX2", {op[0]});
+  const NetId sel_log = b.gate("BUFX2", {op[1]});
+  const NetId sel_sh = b.gate("BUFX2", {op[2]});
+
+  // Ripple-carry adder.
+  std::vector<NetId> sum(W);
+  NetId carry = b.gate("AND2X1", {op[0], op[1]});  // carry-in from decode
+  for (int i = 0; i < W; ++i) {
+    const NetId p = b.gate("XOR2X1", {a[i], bb[i]});
+    const NetId g = b.gate("AND2X1", {a[i], bb[i]});
+    sum[i] = b.gate("XOR2X1", {p, carry});
+    const NetId t = b.gate("AND2X1", {p, carry});
+    carry = b.gate("OR2X1", {g, t});
+  }
+
+  // Logic unit: (a AND b) / (a OR b) picked by sel_log.
+  std::vector<NetId> logic(W);
+  for (int i = 0; i < W; ++i) {
+    const NetId land = b.gate("AND2X1", {a[i], bb[i]});
+    const NetId lor = b.gate("OR2X1", {a[i], bb[i]});
+    logic[i] = b.gate("MUX2X1", {land, lor, sel_log});
+  }
+
+  // One-position shifter on operand a.
+  std::vector<NetId> shifted(W);
+  for (int i = 0; i < W; ++i) {
+    const NetId lo = i > 0 ? a[i - 1] : op[2];
+    shifted[i] = b.gate("MUX2X1", {a[i], lo, sel_sh});
+  }
+
+  // Result selection and register.
+  std::vector<NetId> result(W);
+  for (int i = 0; i < W; ++i) {
+    const NetId add_or_log = b.gate("MUX2X1", {sum[i], logic[i], sel_add});
+    const NetId y = b.gate("MUX2X1", {add_or_log, shifted[i], sel_sh});
+    result[i] = b.latch(spec.reg_cell, y, clk);
+    b.port_out_net("y" + std::to_string(i), result[i]);
+  }
+
+  // Zero flag: NOR-reduce the result in pairs, AND-tree the rest.
+  std::vector<NetId> level;
+  for (int i = 0; i + 1 < W; i += 2) {
+    level.push_back(b.gate("NOR2X1", {result[i], result[i + 1]}));
+  }
+  while (level.size() > 1) {
+    std::vector<NetId> next;
+    for (std::size_t i = 0; i + 1 < level.size(); i += 2) {
+      next.push_back(b.gate("AND2X1", {level[i], level[i + 1]}));
+    }
+    if (level.size() % 2 == 1) next.push_back(level.back());
+    level = std::move(next);
+  }
+  b.port_out_net("zero", b.latch(spec.reg_cell, level.front(), clk));
+  return b.finish();
+}
+
+}  // namespace hb

@@ -1,0 +1,22 @@
+// Bit-sliced ALU generator — the stand-in for Table 1's "ALU" example ("a
+// portion of a CPU chip made up from 899 standard cells").  Registered
+// operands, a ripple-carry adder, a logic unit, a one-level shifter and a
+// result mux per slice, plus an op decoder and a zero-flag reduction tree.
+#pragma once
+
+#include <memory>
+
+#include "netlist/design.hpp"
+
+namespace hb {
+
+struct AluSpec {
+  int bits = 32;
+  /// Latch cell for operand/result registers ("DFFT" or "TLATCH").
+  std::string reg_cell = "DFFT";
+};
+
+/// Ports: a<i>, b<i>, op0..op2, outputs y<i>, zero; clock clk.
+Design make_alu(std::shared_ptr<const Library> lib, const AluSpec& spec = {});
+
+}  // namespace hb

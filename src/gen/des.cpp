@@ -1,0 +1,80 @@
+#include "gen/des.hpp"
+
+#include "netlist/builder.hpp"
+
+namespace hb {
+
+Design make_des(std::shared_ptr<const Library> lib, const DesSpec& spec) {
+  TopBuilder b("des", std::move(lib));
+  const int W = spec.half_width;
+
+  const NetId clk = b.port_in("clk", /*is_clock=*/true);
+
+  std::vector<NetId> left(W), right(W), key(W);
+  for (int i = 0; i < W; ++i) left[i] = b.port_in("in" + std::to_string(i));
+  for (int i = 0; i < W; ++i) {
+    right[i] = b.port_in("in" + std::to_string(W + i));
+    key[i] = b.port_in("key" + std::to_string(i));
+  }
+
+  for (int r = 0; r < spec.rounds; ++r) {
+    // Key schedule: rotate and lightly mix the key register.
+    std::vector<NetId> subkey(W);
+    for (int i = 0; i < W; ++i) {
+      const int rot = (i + r + 1) % W;
+      subkey[i] = (i % 5 == 0) ? b.gate("XOR2X1", {key[rot], key[(rot + 3) % W]})
+                               : key[rot];
+    }
+
+    // f(R, K): key mix, S-box-like cones, then permutation (re-wiring).
+    std::vector<NetId> mixed(W), sbox(W);
+    for (int i = 0; i < W; ++i) {
+      mixed[i] = b.gate("XOR2X1", {right[i], subkey[i]});
+    }
+    for (int i = 0; i < W; ++i) {
+      const NetId t1 = b.gate("NAND3X1", {mixed[i], mixed[(i + 1) % W],
+                                          mixed[(i + 5) % W]});
+      // Alternate deep/shallow cones; the mix lands the default parameters
+      // at roughly the paper's 3681-cell count.
+      const NetId t2 = (i % 2 == 0)
+                           ? b.gate("NAND3X1", {mixed[(i + 2) % W],
+                                                mixed[(i + 7) % W],
+                                                mixed[(i + 11) % W]})
+                           : mixed[(i + 2) % W];
+      sbox[i] = b.gate("NAND2X1", {t1, t2});
+    }
+
+    // New halves: L' = R, R' = L xor P(f(R)).
+    std::vector<NetId> new_right(W);
+    for (int i = 0; i < W; ++i) {
+      const int perm = static_cast<int>((static_cast<std::int64_t>(i) * 7 + 3) % W);
+      new_right[i] = b.gate("XOR2X1", {left[i], sbox[perm]});
+    }
+
+    // Registered rounds: latch both halves every round, the key register
+    // every other round (it has no long logic in front of it).
+    const std::string rn = "_r" + std::to_string(r);
+    for (int i = 0; i < W; ++i) {
+      const std::string bit = "_" + std::to_string(i);
+      NetId new_left = right[i];
+      left[i] = b.latch("DFFT", new_left, clk, "regL" + rn + bit);
+      right[i] = b.latch("DFFT", new_right[i], clk, "regR" + rn + bit);
+      key[i] = (r % 2 == 0) ? b.latch("DFFT", subkey[i], clk, "regK" + rn + bit)
+                            : subkey[i];
+    }
+  }
+
+  for (int i = 0; i < W; ++i) {
+    b.port_out_net("out" + std::to_string(i), left[i]);
+    b.port_out_net("out" + std::to_string(W + i), right[i]);
+  }
+  return b.finish();
+}
+
+ClockSet make_single_clock(TimePs period, TimePs pulse_width) {
+  ClockSet clocks;
+  clocks.add_simple_clock("clk", period, 0, pulse_width);
+  return clocks;
+}
+
+}  // namespace hb

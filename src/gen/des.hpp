@@ -1,0 +1,27 @@
+// DES-like datapath generator — the stand-in for the paper's Table 1 "DES"
+// example ("a complete data encryption chip, made up from 3681 standard
+// cells").  A 16-round Feistel network over a 64-bit block with registered
+// rounds and a rotating key schedule; the default parameters land within a
+// few cells of the paper's count (the bench prints the actual number).
+#pragma once
+
+#include <memory>
+
+#include "clocks/waveform.hpp"
+#include "netlist/design.hpp"
+
+namespace hb {
+
+struct DesSpec {
+  int rounds = 16;
+  int half_width = 32;  // bits per Feistel half
+  std::uint64_t seed = 7;
+};
+
+/// Ports: data inputs in<i>, key bits key<i>, outputs out<i>, clock clk.
+Design make_des(std::shared_ptr<const Library> lib, const DesSpec& spec = {});
+
+/// Single-phase clock suitable for the DES datapath.
+ClockSet make_single_clock(TimePs period, TimePs pulse_width);
+
+}  // namespace hb

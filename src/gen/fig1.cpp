@@ -1,0 +1,47 @@
+#include "gen/fig1.hpp"
+
+#include "netlist/builder.hpp"
+
+namespace hb {
+
+Design make_fig1_design(std::shared_ptr<const Library> lib, const Fig1Config& cfg) {
+  TopBuilder b("fig1", std::move(lib));
+  const NetId phi1 = b.port_in("phi1", true);
+  const NetId phi2 = b.port_in("phi2", true);
+  const NetId phi3 = b.port_in("phi3", true);
+  const NetId phi4 = b.port_in("phi4", true);
+
+  auto chain = [&](NetId n, int depth) {
+    for (int i = 0; i < depth; ++i) n = b.gate("INVX1", {n});
+    return n;
+  };
+
+  const NetId a_in = b.port_in("a");
+  const NetId b_in = b.port_in("b");
+  const NetId qa = b.latch("TLATCH", a_in, phi1, "lat_a");
+  const NetId qb = b.latch("TLATCH", b_in, phi3, "lat_b");
+
+  // The shared, time-multiplexed gate.
+  const NetId shared =
+      b.gate("NAND2X1", {chain(qa, cfg.depth_in), chain(qb, cfg.depth_in)}, "shared");
+
+  const NetId ya = chain(shared, cfg.depth_out);
+  const NetId yb = chain(shared, cfg.depth_out);
+  const NetId ca = b.latch("TLATCH", ya, phi2, "cap_a");
+  const NetId cb = b.latch("TLATCH", yb, phi4, "cap_b");
+  b.port_out_net("qa", ca);
+  b.port_out_net("qb", cb);
+  return b.finish();
+}
+
+ClockSet make_fig1_clocks(const Fig1Config& cfg) {
+  ClockSet clocks;
+  for (int i = 0; i < 4; ++i) {
+    const std::string name = "phi" + std::to_string(i + 1);
+    clocks.add_simple_clock(name, cfg.period, cfg.phase_start[i],
+                            cfg.phase_start[i] + cfg.pulse_width);
+  }
+  return clocks;
+}
+
+}  // namespace hb

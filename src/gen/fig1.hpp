@@ -1,0 +1,37 @@
+// The paper's Figure 1: "Logic with latches controlled by four different
+// clock phases" — a logic gate whose inputs are updated at different times
+// during the clock period, so its output must settle to two different valid
+// states per cycle ("time multiplexed within each overall clock period").
+// This is the configuration for which "two cluster analysis passes are
+// required" (Section 7) and the basis of the settling-time benchmarks.
+#pragma once
+
+#include <memory>
+
+#include "clocks/waveform.hpp"
+#include "netlist/design.hpp"
+
+namespace hb {
+
+struct Fig1Config {
+  TimePs period = ns(40);
+  /// Pulse width of each phase.
+  TimePs pulse_width = ns(6);
+  /// Start times of the four phases phi1..phi4 within the period.
+  TimePs phase_start[4] = {0, ns(10), ns(20), ns(30)};
+  /// Depth of the inverter chains feeding/leaving the shared gate.
+  int depth_in = 3;
+  int depth_out = 3;
+};
+
+/// The shared-gate network: two input latches (phi1, phi3) feed a NAND2
+/// through short chains; its output feeds two capture latches (phi2, phi4).
+/// Data launched on phi1 must settle before phi2 closes, and data launched
+/// on phi3 before phi4 closes — two settling times per node of the shared
+/// cone.
+Design make_fig1_design(std::shared_ptr<const Library> lib, const Fig1Config& cfg);
+
+/// The four-phase clock set of Figure 4(a)-style waveforms.
+ClockSet make_fig1_clocks(const Fig1Config& cfg);
+
+}  // namespace hb

@@ -1,0 +1,83 @@
+#include "gen/filter.hpp"
+
+#include "netlist/builder.hpp"
+
+namespace hb {
+
+Design make_multirate_filter(std::shared_ptr<const Library> lib,
+                             const FilterSpec& spec) {
+  TopBuilder b("multirate_filter", std::move(lib));
+  const NetId fck = b.port_in("fck", /*is_clock=*/true);
+  const NetId sck = b.port_in("sck", /*is_clock=*/true);
+
+  // Fast-domain tap delay line: taps x width registers.
+  std::vector<NetId> stage(spec.width);
+  for (int i = 0; i < spec.width; ++i) stage[i] = b.port_in("in" + std::to_string(i));
+  std::vector<std::vector<NetId>> taps;
+  for (int t = 0; t < spec.taps; ++t) {
+    std::vector<NetId> next(spec.width);
+    for (int i = 0; i < spec.width; ++i) {
+      next[i] = b.latch(spec.reg_cell, stage[i], fck,
+                        "tap" + std::to_string(t) + "_" + std::to_string(i));
+    }
+    taps.push_back(next);
+    stage = std::move(next);
+  }
+
+  // "Coefficient" stage: XOR-fold each tap (stands in for multipliers).
+  std::vector<std::vector<NetId>> weighted;
+  for (int t = 0; t < spec.taps; ++t) {
+    std::vector<NetId> w(spec.width);
+    for (int i = 0; i < spec.width; ++i) {
+      const int j = (i + t + 1) % spec.width;
+      w[i] = b.gate("XNOR2X1", {taps[t][i], taps[t][j]});
+    }
+    weighted.push_back(std::move(w));
+  }
+
+  // Adder tree: pairwise ripple additions down to one vector.
+  auto add_vectors = [&](const std::vector<NetId>& x, const std::vector<NetId>& y) {
+    std::vector<NetId> sum(spec.width);
+    NetId carry;
+    for (int i = 0; i < spec.width; ++i) {
+      const NetId p = b.gate("XOR2X1", {x[i], y[i]});
+      const NetId g = b.gate("AND2X1", {x[i], y[i]});
+      if (carry.valid()) {
+        sum[i] = b.gate("XOR2X1", {p, carry});
+        const NetId t = b.gate("AND2X1", {p, carry});
+        carry = b.gate("OR2X1", {g, t});
+      } else {
+        sum[i] = p;
+        carry = g;
+      }
+    }
+    return sum;
+  };
+  std::vector<std::vector<NetId>> level = std::move(weighted);
+  while (level.size() > 1) {
+    std::vector<std::vector<NetId>> next;
+    for (std::size_t i = 0; i + 1 < level.size(); i += 2) {
+      next.push_back(add_vectors(level[i], level[i + 1]));
+    }
+    if (level.size() % 2 == 1) next.push_back(level.back());
+    level = std::move(next);
+  }
+
+  // Slow-domain (decimated) output register.
+  for (int i = 0; i < spec.width; ++i) {
+    const NetId q = b.latch(spec.reg_cell, level.front()[i], sck,
+                            "outreg_" + std::to_string(i));
+    b.port_out_net("out" + std::to_string(i), q);
+  }
+  return b.finish();
+}
+
+ClockSet make_multirate_clocks(TimePs fast_period) {
+  ClockSet clocks;
+  const TimePs duty = fast_period * 2 / 5;
+  clocks.add_simple_clock("fck", fast_period, 0, duty);
+  clocks.add_simple_clock("sck", fast_period * 2, 0, duty * 2);
+  return clocks;
+}
+
+}  // namespace hb

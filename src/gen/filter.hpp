@@ -1,0 +1,32 @@
+// Multirate DSP datapath generator: a decimating FIR-like filter with a
+// fast input domain and a slow (half-rate) output domain — the kind of
+// "digital signal processing chip" workload the paper's abstract cites, and
+// a natural exercise of multi-frequency analysis (the fast-domain registers
+// expand into two generic instances per overall period).
+#pragma once
+
+#include <memory>
+
+#include "clocks/waveform.hpp"
+#include "netlist/design.hpp"
+
+namespace hb {
+
+struct FilterSpec {
+  int width = 8;      // data path bits
+  int taps = 4;       // delay-line taps in the fast domain
+  /// Register cell for both domains.
+  std::string reg_cell = "DFFT";
+};
+
+/// Ports: in<i>, outputs out<i>, clocks fck (fast) and sck (slow, half
+/// rate).  Structure: fast-domain tap delay line -> adder tree (carry-save
+/// style, built from full-adder gates) -> slow-domain output register.
+Design make_multirate_filter(std::shared_ptr<const Library> lib,
+                             const FilterSpec& spec = {});
+
+/// Clock set: fast clock of `fast_period`, slow clock at twice the period,
+/// phase-aligned pulses of 40% duty.
+ClockSet make_multirate_clocks(TimePs fast_period);
+
+}  // namespace hb

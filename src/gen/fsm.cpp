@@ -1,0 +1,171 @@
+#include "gen/fsm.hpp"
+
+#include "netlist/builder.hpp"
+#include "util/rng.hpp"
+
+namespace hb {
+namespace {
+
+/// Emit the two-level next-state / output network into `mod`.  `state` and
+/// `in` are the nets carrying current state and inputs inside `mod`;
+/// `next` / `out` receive the produced nets.  Deterministic in `seed`.
+struct LogicEmitter {
+  const Library& lib;
+  Module& mod;
+  const FsmSpec& spec;
+  Rng rng;
+  std::uint64_t counter = 0;
+
+  NetId fresh_net() { return mod.add_net("w" + std::to_string(counter++)); }
+
+  NetId gate(const std::string& cell_name, const std::vector<NetId>& ins) {
+    const CellId cell = lib.require(cell_name);
+    const Cell& c = lib.cell(cell);
+    const InstId inst = mod.add_cell_inst("g" + std::to_string(counter++), cell,
+                                          c.ports().size());
+    std::size_t k = 0;
+    NetId out;
+    for (std::uint32_t p = 0; p < c.ports().size(); ++p) {
+      if (c.port(p).direction == PortDirection::kInput) {
+        mod.connect(inst, p, ins.at(k++));
+      } else {
+        out = fresh_net();
+        mod.connect(inst, p, out);
+      }
+    }
+    return out;
+  }
+
+  NetId pick_literal(const std::vector<NetId>& state, const std::vector<NetId>& in) {
+    const std::size_t total = state.size() + in.size();
+    const std::size_t idx = rng.pick(total);
+    const NetId n = idx < state.size() ? state[idx] : in[idx - state.size()];
+    // Random polarity through an inverter.
+    return rng.chance(0.4) ? gate("INVX1", {n}) : n;
+  }
+
+  NetId sum_of_products(const std::vector<NetId>& state,
+                        const std::vector<NetId>& in) {
+    std::vector<NetId> terms;
+    for (int t = 0; t < spec.terms; ++t) {
+      terms.push_back(gate("NAND3X1", {pick_literal(state, in),
+                                       pick_literal(state, in),
+                                       pick_literal(state, in)}));
+    }
+    // NAND-NAND two-level form: combine terms pairwise.
+    while (terms.size() > 2) {
+      const NetId a = terms.back();
+      terms.pop_back();
+      const NetId b = terms.back();
+      terms.pop_back();
+      terms.push_back(gate("AND2X1", {a, b}));
+    }
+    return terms.size() == 2 ? gate("NAND2X1", {terms[0], terms[1]})
+                             : gate("INVX1", {terms[0]});
+  }
+
+  void emit(const std::vector<NetId>& state, const std::vector<NetId>& in,
+            std::vector<NetId>& next, std::vector<NetId>& out) {
+    next.clear();
+    out.clear();
+    for (int i = 0; i < spec.state_bits; ++i) {
+      next.push_back(sum_of_products(state, in));
+    }
+    for (int i = 0; i < spec.outputs; ++i) {
+      out.push_back(sum_of_products(state, in));
+    }
+  }
+};
+
+}  // namespace
+
+Design make_fsm_flat(std::shared_ptr<const Library> lib, const FsmSpec& spec) {
+  TopBuilder b("sm1f", lib);
+  const NetId clk = b.port_in("clk", /*is_clock=*/true);
+  std::vector<NetId> in(spec.inputs);
+  for (int i = 0; i < spec.inputs; ++i) in[i] = b.port_in("x" + std::to_string(i));
+
+  // State register nets first (logic reads them, latches close the loop).
+  std::vector<NetId> state(spec.state_bits);
+  for (int i = 0; i < spec.state_bits; ++i) {
+    state[i] = b.net("state" + std::to_string(i));
+  }
+
+  LogicEmitter em{*lib, b.module(), spec, Rng(spec.seed)};
+  std::vector<NetId> next, out;
+  em.emit(state, in, next, out);
+
+  const CellId dff = lib->require("DFFT");
+  const SyncSpec& sync = lib->cell(dff).sync();
+  for (int i = 0; i < spec.state_bits; ++i) {
+    const InstId inst = b.module().add_cell_inst("sreg" + std::to_string(i), dff,
+                                                 lib->cell(dff).ports().size());
+    b.module().connect(inst, sync.data_in, next[i]);
+    b.module().connect(inst, sync.control, clk);
+    b.module().connect(inst, sync.data_out, state[i]);
+  }
+  for (int i = 0; i < spec.outputs; ++i) {
+    b.port_out_net("z" + std::to_string(i), out[i]);
+  }
+  return b.finish();
+}
+
+Design make_fsm_hier(std::shared_ptr<const Library> lib, const FsmSpec& spec) {
+  TopBuilder b("sm1h", lib);
+
+  // The combinational submodule: ports state<i>, x<i> in; next<i>, z<i> out.
+  const ModuleId sub_id = b.design().add_module("nextstate");
+  {
+    Module& sub = b.design().module_mut(sub_id);
+    std::vector<NetId> state(spec.state_bits), in(spec.inputs);
+    for (int i = 0; i < spec.state_bits; ++i) {
+      state[i] = sub.add_net("s" + std::to_string(i));
+      sub.bind_port(sub.add_port("state" + std::to_string(i), PortDirection::kInput),
+                    state[i]);
+    }
+    for (int i = 0; i < spec.inputs; ++i) {
+      in[i] = sub.add_net("x" + std::to_string(i));
+      sub.bind_port(sub.add_port("x" + std::to_string(i), PortDirection::kInput),
+                    in[i]);
+    }
+    LogicEmitter em{*lib, sub, spec, Rng(spec.seed)};
+    std::vector<NetId> next, out;
+    em.emit(state, in, next, out);
+    for (int i = 0; i < spec.state_bits; ++i) {
+      sub.bind_port(sub.add_port("next" + std::to_string(i), PortDirection::kOutput),
+                    next[i]);
+    }
+    for (int i = 0; i < spec.outputs; ++i) {
+      sub.bind_port(sub.add_port("z" + std::to_string(i), PortDirection::kOutput),
+                    out[i]);
+    }
+  }
+
+  const NetId clk = b.port_in("clk", /*is_clock=*/true);
+  std::vector<NetId> conns;
+  std::vector<NetId> state(spec.state_bits), next(spec.state_bits);
+  for (int i = 0; i < spec.state_bits; ++i) {
+    state[i] = b.net("state" + std::to_string(i));
+    conns.push_back(state[i]);
+  }
+  for (int i = 0; i < spec.inputs; ++i) conns.push_back(b.port_in("x" + std::to_string(i)));
+  for (int i = 0; i < spec.state_bits; ++i) {
+    next[i] = b.net("next" + std::to_string(i));
+    conns.push_back(next[i]);
+  }
+  for (int i = 0; i < spec.outputs; ++i) conns.push_back(b.port_out("z" + std::to_string(i)));
+  b.submodule(sub_id, conns, "logic");
+
+  const CellId dff = b.lib().require("DFFT");
+  const SyncSpec& sync = b.lib().cell(dff).sync();
+  for (int i = 0; i < spec.state_bits; ++i) {
+    const InstId inst = b.module().add_cell_inst("sreg" + std::to_string(i), dff,
+                                                 b.lib().cell(dff).ports().size());
+    b.module().connect(inst, sync.data_in, next[i]);
+    b.module().connect(inst, sync.control, clk);
+    b.module().connect(inst, sync.data_out, state[i]);
+  }
+  return b.finish();
+}
+
+}  // namespace hb

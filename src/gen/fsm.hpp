@@ -1,0 +1,31 @@
+// 12-bit finite-state-machine generator — Table 1's "SM1F" (flattened) and
+// "SM1H" ("a hierarchical description of the same machine in which the
+// combinational logic is contained in a single module").  Both variants
+// describe the same machine; the hierarchical one lets the analyser treat
+// the next-state logic as one component with combined delays, which is what
+// makes its analysis faster in the paper.
+#pragma once
+
+#include <memory>
+
+#include "netlist/design.hpp"
+
+namespace hb {
+
+struct FsmSpec {
+  int state_bits = 12;
+  int inputs = 4;
+  int outputs = 8;
+  /// Product terms per next-state bit.
+  int terms = 4;
+  std::uint64_t seed = 11;
+};
+
+/// Flattened: all gates at the top level next to the state register.
+Design make_fsm_flat(std::shared_ptr<const Library> lib, const FsmSpec& spec = {});
+
+/// Hierarchical: identical logic inside a single combinational submodule
+/// "nextstate"; only the state register and ports live at the top.
+Design make_fsm_hier(std::shared_ptr<const Library> lib, const FsmSpec& spec = {});
+
+}  // namespace hb

@@ -1,0 +1,56 @@
+#include "gen/pipeline.hpp"
+
+#include "netlist/builder.hpp"
+#include "util/rng.hpp"
+
+namespace hb {
+
+Design make_pipeline(std::shared_ptr<const Library> lib, const PipelineSpec& spec) {
+  TopBuilder b("pipeline", std::move(lib));
+  Rng rng(spec.seed);
+
+  const NetId phi1 = b.port_in("phi1", /*is_clock=*/true);
+  const NetId phi2 = spec.two_phase ? b.port_in("phi2", true) : phi1;
+
+  for (int lane = 0; lane < spec.width; ++lane) {
+    NetId data = b.port_in("d" + std::to_string(lane));
+    // Each stage is a latch bank followed by its combinational logic, and a
+    // final bank captures the last stage — so primary inputs feed a latch
+    // directly and stage delays are constrained latch-to-latch, where slack
+    // transfer can act.
+    for (std::size_t s = 0; s < spec.stage_depths.size(); ++s) {
+      const NetId ck = (s % 2 == 0) ? phi1 : phi2;
+      data = b.latch(spec.latch_cell, data, ck,
+                     "lat_" + std::to_string(lane) + "_" + std::to_string(s));
+      // Stage combinational logic: an inverter chain with occasional NAND2
+      // reconvergence to keep the netlist realistic.
+      NetId prev;
+      for (int g = 0; g < spec.stage_depths[s]; ++g) {
+        if (prev.valid() && rng.chance(0.25)) {
+          data = b.gate("NAND2X1", {data, prev});
+        } else {
+          prev = data;
+          data = b.gate("INVX1", {data});
+        }
+      }
+    }
+    const std::size_t s = spec.stage_depths.size();
+    const NetId ck = (s % 2 == 0) ? phi1 : phi2;
+    data = b.latch(spec.latch_cell, data, ck,
+                   "lat_" + std::to_string(lane) + "_" + std::to_string(s));
+    b.port_out_net("q" + std::to_string(lane), data);
+  }
+  return b.finish();
+}
+
+ClockSet make_two_phase_clocks(TimePs period, int duty_permille) {
+  ClockSet clocks;
+  const TimePs width = period * duty_permille / 1000;
+  // phi1 pulses at the start of the period, phi2 in the second half, with
+  // non-overlap gaps on both sides.
+  clocks.add_simple_clock("phi1", period, 0, width);
+  clocks.add_simple_clock("phi2", period, period / 2, period / 2 + width);
+  return clocks;
+}
+
+}  // namespace hb

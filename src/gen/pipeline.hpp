@@ -1,0 +1,35 @@
+// Multi-phase latch pipeline generator: the canonical workload for
+// demonstrating slack transfer ("cycle stealing") through transparent
+// latches and for the transparent-vs-rigid ablation.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "clocks/waveform.hpp"
+#include "netlist/design.hpp"
+
+namespace hb {
+
+struct PipelineSpec {
+  /// Logic depth (INV-chain length) of each stage; stages.size() stages.
+  std::vector<int> stage_depths{6, 6, 6};
+  /// Parallel bit lanes.
+  int width = 1;
+  /// Latch cell between stages: "TLATCH" (transparent) or "DFFT"/"DFFL".
+  std::string latch_cell = "TLATCH";
+  /// Alternate latch banks between the clocks named phi1/phi2 (two-phase
+  /// non-overlapping scheme) when true; single clock phi1 otherwise.
+  bool two_phase = true;
+  std::uint64_t seed = 1;
+};
+
+/// Builds the pipeline: PI -> [stage comb -> latch bank] x N -> PO.
+/// Ports: data inputs d<i>, outputs q<i>, clocks phi1 (and phi2).
+Design make_pipeline(std::shared_ptr<const Library> lib, const PipelineSpec& spec);
+
+/// Matching two-phase non-overlapping clock set.  `duty_permille` is the
+/// pulse width as a fraction of the period (default 40%).
+ClockSet make_two_phase_clocks(TimePs period, int duty_permille = 400);
+
+}  // namespace hb

@@ -1,0 +1,98 @@
+#include "gen/random_network.hpp"
+
+#include "netlist/builder.hpp"
+#include "util/rng.hpp"
+
+namespace hb {
+
+RandomNetwork make_random_network(std::shared_ptr<const Library> lib,
+                                  const RandomNetworkSpec& spec) {
+  Rng rng(spec.seed);
+
+  // Clocks: harmonically related — full-rate clocks at base_period and one
+  // possible double-rate clock (half period), random pulse placement.  The
+  // base is rounded to an even picosecond count so halving keeps the set
+  // harmonic (a truncated odd half would blow the overall period up to the
+  // LCM of two near-coprime numbers).
+  ClockSet clocks;
+  const TimePs base = spec.base_period - (spec.base_period % 2);
+  const int nclk = std::max(1, std::min(spec.num_clocks, 4));
+  for (int c = 0; c < nclk; ++c) {
+    const bool double_rate = c > 0 && rng.chance(0.3);
+    const TimePs period = double_rate ? base / 2 : base;
+    // Pulse occupies 20%..45% of the period, starting anywhere that fits.
+    const TimePs width = period * rng.uniform(20, 45) / 100;
+    const TimePs rise = rng.uniform(0, period - width - 1);
+    clocks.add_simple_clock("phi" + std::to_string(c + 1), period, rise,
+                            rise + width);
+  }
+
+  TopBuilder b("random", std::move(lib));
+  std::vector<NetId> clk_nets(static_cast<std::size_t>(nclk));
+  for (int c = 0; c < nclk; ++c) {
+    clk_nets[static_cast<std::size_t>(c)] =
+        b.port_in("phi" + std::to_string(c + 1), /*is_clock=*/true);
+  }
+  // Pre-built inverted controls (shared inverter per clock, created lazily).
+  std::vector<NetId> inv_clk(static_cast<std::size_t>(nclk));
+
+  auto control_net = [&](int c) {
+    if (!rng.chance(spec.invert_clock_prob)) return clk_nets[static_cast<std::size_t>(c)];
+    NetId& inv = inv_clk[static_cast<std::size_t>(c)];
+    if (!inv.valid()) inv = b.gate("INVX1", {clk_nets[static_cast<std::size_t>(c)]});
+    return inv;
+  };
+
+  static const char* kGateMenu[] = {"INVX1",  "NAND2X1", "NOR2X1", "AND2X1",
+                                    "OR2X1",  "XOR2X1",  "AOI21X1"};
+
+  // Current frontier of data nets feeding the next stage.
+  std::vector<NetId> frontier;
+  const int npi = std::max(2, spec.bank_width);
+  for (int i = 0; i < npi; ++i) frontier.push_back(b.port_in("d" + std::to_string(i)));
+
+  for (int bank = 0; bank < spec.banks; ++bank) {
+    // Random combinational stage over the frontier.
+    std::vector<NetId> pool = frontier;
+    for (int g = 0; g < spec.gates_per_stage; ++g) {
+      const char* cell = kGateMenu[rng.pick(std::size(kGateMenu))];
+      const std::size_t nin = b.lib().require(cell) .valid()
+                                  ? b.lib().cell(b.lib().require(cell)).ports().size() - 1
+                                  : 1;
+      std::vector<NetId> ins;
+      for (std::size_t k = 0; k < nin; ++k) ins.push_back(pool[rng.pick(pool.size())]);
+      pool.push_back(b.gate(cell, ins));
+    }
+
+    // Latch bank sampling from the most recent nets.
+    std::vector<NetId> next;
+    for (int l = 0; l < spec.bank_width; ++l) {
+      const int c = static_cast<int>(rng.pick(static_cast<std::size_t>(nclk)));
+      const bool transparent = rng.chance(spec.transparent_prob);
+      const char* cell = transparent ? (rng.chance(0.5) ? "TLATCH" : "TLATCHN")
+                                     : "DFFT";
+      const NetId d = pool[pool.size() - 1 - rng.pick(std::min<std::size_t>(pool.size(), 4))];
+      next.push_back(b.latch(cell, d, control_net(c),
+                             "bank" + std::to_string(bank) + "_" + std::to_string(l)));
+    }
+    frontier = std::move(next);
+  }
+
+  // Tail combinational cone into primary outputs.
+  std::vector<NetId> pool = frontier;
+  for (int g = 0; g < spec.gates_per_stage / 2; ++g) {
+    const char* cell = kGateMenu[rng.pick(std::size(kGateMenu))];
+    const std::size_t nin =
+        b.lib().cell(b.lib().require(cell)).ports().size() - 1;
+    std::vector<NetId> ins;
+    for (std::size_t k = 0; k < nin; ++k) ins.push_back(pool[rng.pick(pool.size())]);
+    pool.push_back(b.gate(cell, ins));
+  }
+  for (int i = 0; i < spec.bank_width; ++i) {
+    b.port_out_net("q" + std::to_string(i), pool[pool.size() - 1 - static_cast<std::size_t>(i)]);
+  }
+
+  return RandomNetwork{b.finish(), std::move(clocks)};
+}
+
+}  // namespace hb

@@ -1,0 +1,34 @@
+// Random clustered multi-phase networks for property-based testing: random
+// harmonically-related clocks (including double-frequency ones, which give
+// synchronising elements several generic instances per overall period),
+// random latch banks of mixed element kinds, and random combinational DAGs
+// between them.  Generation is fully deterministic in the seed.
+#pragma once
+
+#include <memory>
+
+#include "clocks/waveform.hpp"
+#include "netlist/design.hpp"
+
+namespace hb {
+
+struct RandomNetworkSpec {
+  int num_clocks = 2;        // 1..4
+  TimePs base_period = ns(20);
+  int banks = 3;             // latch banks (stages)
+  int bank_width = 3;        // latches per bank
+  int gates_per_stage = 10;  // random gates between adjacent banks
+  double transparent_prob = 0.7;  // else edge-triggered
+  double invert_clock_prob = 0.25;  // control through an inverter
+  std::uint64_t seed = 1;
+};
+
+struct RandomNetwork {
+  Design design;
+  ClockSet clocks;
+};
+
+RandomNetwork make_random_network(std::shared_ptr<const Library> lib,
+                                  const RandomNetworkSpec& spec);
+
+}  // namespace hb

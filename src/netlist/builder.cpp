@@ -1,0 +1,99 @@
+#include "netlist/builder.hpp"
+
+namespace hb {
+
+TopBuilder::TopBuilder(std::string design_name, std::shared_ptr<const Library> lib,
+                       std::string module_name)
+    : design_(std::move(design_name), std::move(lib)) {
+  top_ = design_.add_module(std::move(module_name));
+  design_.set_top(top_);
+}
+
+std::string TopBuilder::fresh_name(const std::string& prefix) {
+  return prefix + std::to_string(counter_++);
+}
+
+NetId TopBuilder::net(const std::string& name) {
+  return module().add_net(name.empty() ? fresh_name("_n") : name);
+}
+
+NetId TopBuilder::port_in(const std::string& name, bool is_clock) {
+  NetId n = net("net_" + name);
+  const std::uint32_t p = module().add_port(name, PortDirection::kInput, is_clock);
+  module().bind_port(p, n);
+  return n;
+}
+
+NetId TopBuilder::port_out(const std::string& name) {
+  NetId n = net("net_" + name);
+  port_out_net(name, n);
+  return n;
+}
+
+void TopBuilder::port_out_net(const std::string& name, NetId net) {
+  const std::uint32_t p = module().add_port(name, PortDirection::kOutput, false);
+  module().bind_port(p, net);
+}
+
+NetId TopBuilder::gate(const std::string& cell_name,
+                       const std::vector<NetId>& inputs,
+                       const std::string& inst_name) {
+  const CellId cell = lib().require(cell_name);
+  const Cell& c = lib().cell(cell);
+  const InstId inst = module().add_cell_inst(
+      inst_name.empty() ? fresh_name("_g") : inst_name, cell, c.ports().size());
+
+  std::size_t next_input = 0;
+  NetId out_net;
+  for (std::uint32_t p = 0; p < c.ports().size(); ++p) {
+    if (c.port(p).direction == PortDirection::kInput) {
+      if (next_input >= inputs.size()) {
+        raise("gate(" + cell_name + "): expected " + std::to_string(next_input + 1) +
+              "+ inputs, got " + std::to_string(inputs.size()));
+      }
+      module().connect(inst, p, inputs[next_input++]);
+    } else {
+      if (out_net.valid()) raise("gate(): cell '" + cell_name + "' has several outputs");
+      out_net = net();
+      module().connect(inst, p, out_net);
+    }
+  }
+  if (next_input != inputs.size()) {
+    raise("gate(" + cell_name + "): too many inputs supplied");
+  }
+  HB_ASSERT(out_net.valid());
+  return out_net;
+}
+
+NetId TopBuilder::latch(const std::string& cell_name, NetId d, NetId ck,
+                        const std::string& inst_name) {
+  const CellId cell = lib().require(cell_name);
+  const Cell& c = lib().cell(cell);
+  if (!c.is_sequential()) raise("latch(): '" + cell_name + "' is combinational");
+  const SyncSpec& sync = c.sync();
+  const InstId inst = module().add_cell_inst(
+      inst_name.empty() ? fresh_name("_l") : inst_name, cell, c.ports().size());
+  module().connect(inst, sync.data_in, d);
+  module().connect(inst, sync.control, ck);
+  NetId q = net();
+  module().connect(inst, sync.data_out, q);
+  return q;
+}
+
+InstId TopBuilder::submodule(ModuleId sub, const std::vector<NetId>& conns,
+                             const std::string& inst_name) {
+  const std::size_t nports = design_.module(sub).ports().size();
+  if (conns.size() != nports) {
+    raise("submodule(): expected " + std::to_string(nports) + " connections");
+  }
+  const InstId inst = module().add_module_inst(
+      inst_name.empty() ? fresh_name("_m") : inst_name, sub, nports);
+  for (std::uint32_t p = 0; p < nports; ++p) {
+    if (conns[p].valid()) module().connect(inst, p, conns[p]);
+  }
+  return inst;
+}
+
+Design TopBuilder::finish() { return std::move(design_); }
+
+}  // namespace hb

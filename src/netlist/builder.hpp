@@ -1,0 +1,62 @@
+// Convenience builder for constructing designs programmatically: used by
+// the circuit generators, the examples and the tests.  Wraps the raw
+// Design/Module mutation API with positional-input gate creation and
+// automatic naming.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "netlist/design.hpp"
+
+namespace hb {
+
+class TopBuilder {
+ public:
+  TopBuilder(std::string design_name, std::shared_ptr<const Library> lib,
+             std::string module_name = "top");
+
+  Module& module() { return design_.module_mut(top_); }
+  const Library& lib() const { return design_.lib(); }
+  ModuleId top_id() const { return top_; }
+
+  /// Fresh internal net (auto-named when name is empty).
+  NetId net(const std::string& name = "");
+
+  /// Input/output port with its bound net; returns the net.
+  NetId port_in(const std::string& name, bool is_clock = false);
+  NetId port_out(const std::string& name);
+  /// Bind an existing net to a new output port.
+  void port_out_net(const std::string& name, NetId net);
+
+  /// Instantiate a library cell; `inputs` bind to the cell's input ports in
+  /// declaration order; the (single) output port gets a fresh net, returned.
+  /// Cells with several outputs need the raw API.
+  NetId gate(const std::string& cell_name, const std::vector<NetId>& inputs,
+             const std::string& inst_name = "");
+
+  /// Sequential element: data, control; returns the Q net.
+  NetId latch(const std::string& cell_name, NetId d, NetId ck,
+              const std::string& inst_name = "");
+
+  /// Instantiate a submodule; `conns` bind to its ports in order (inputs and
+  /// outputs); invalid NetId entries are left unconnected.
+  InstId submodule(ModuleId sub, const std::vector<NetId>& conns,
+                   const std::string& inst_name = "");
+
+  /// Access to the design for adding extra modules before finish().
+  Design& design() { return design_; }
+
+  /// Finalise and move the design out.  The builder must not be used after.
+  Design finish();
+
+ private:
+  std::string fresh_name(const std::string& prefix);
+
+  Design design_;
+  ModuleId top_;
+  std::uint64_t counter_ = 0;
+};
+
+}  // namespace hb

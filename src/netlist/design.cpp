@@ -1,0 +1,156 @@
+#include "netlist/design.hpp"
+
+namespace hb {
+
+std::uint32_t Module::add_port(const std::string& name, PortDirection dir,
+                               bool is_clock) {
+  if (find_port(name)) raise("module '" + name_ + "': duplicate port '" + name + "'");
+  ModulePort p;
+  p.name = name;
+  p.direction = dir;
+  p.is_clock = is_clock;
+  ports_.push_back(std::move(p));
+  return static_cast<std::uint32_t>(ports_.size() - 1);
+}
+
+NetId Module::add_net(const std::string& name) {
+  if (net_by_name_.count(name) != 0) {
+    raise("module '" + name_ + "': duplicate net '" + name + "'");
+  }
+  NetId id(static_cast<std::uint32_t>(nets_.size()));
+  Net n;
+  n.name = name;
+  nets_.push_back(std::move(n));
+  net_by_name_.emplace(name, id);
+  return id;
+}
+
+InstId Module::add_cell_inst(const std::string& name, CellId cell,
+                             std::size_t num_ports) {
+  if (inst_by_name_.count(name) != 0) {
+    raise("module '" + name_ + "': duplicate instance '" + name + "'");
+  }
+  InstId id(static_cast<std::uint32_t>(insts_.size()));
+  Instance inst;
+  inst.name = name;
+  inst.cell = cell;
+  inst.conn.assign(num_ports, NetId::invalid());
+  insts_.push_back(std::move(inst));
+  inst_by_name_.emplace(name, id);
+  return id;
+}
+
+InstId Module::add_module_inst(const std::string& name, ModuleId module,
+                               std::size_t num_ports) {
+  if (inst_by_name_.count(name) != 0) {
+    raise("module '" + name_ + "': duplicate instance '" + name + "'");
+  }
+  InstId id(static_cast<std::uint32_t>(insts_.size()));
+  Instance inst;
+  inst.name = name;
+  inst.module = module;
+  inst.conn.assign(num_ports, NetId::invalid());
+  insts_.push_back(std::move(inst));
+  inst_by_name_.emplace(name, id);
+  return id;
+}
+
+void Module::connect(InstId inst, std::uint32_t port, NetId net) {
+  Instance& i = insts_.at(inst.index());
+  HB_ASSERT(port < i.conn.size());
+  if (i.conn[port].valid()) {
+    raise("module '" + name_ + "': port " + std::to_string(port) +
+          " of instance '" + i.name + "' connected twice");
+  }
+  i.conn[port] = net;
+  nets_.at(net.index()).pins.push_back(PinRef{inst, port});
+}
+
+void Module::bind_port(std::uint32_t port, NetId net) {
+  ModulePort& p = ports_.at(port);
+  if (p.net.valid()) {
+    raise("module '" + name_ + "': port '" + p.name + "' bound twice");
+  }
+  p.net = net;
+  nets_.at(net.index()).module_ports.push_back(port);
+}
+
+InstId Module::find_inst(const std::string& name) const {
+  auto it = inst_by_name_.find(name);
+  return it == inst_by_name_.end() ? InstId::invalid() : it->second;
+}
+
+NetId Module::find_net(const std::string& name) const {
+  auto it = net_by_name_.find(name);
+  return it == net_by_name_.end() ? NetId::invalid() : it->second;
+}
+
+std::optional<std::uint32_t> Module::find_port(const std::string& name) const {
+  for (std::uint32_t i = 0; i < ports_.size(); ++i) {
+    if (ports_[i].name == name) return i;
+  }
+  return std::nullopt;
+}
+
+ModuleId Design::add_module(std::string name) {
+  if (module_by_name_.count(name) != 0) {
+    raise("design '" + name_ + "': duplicate module '" + name + "'");
+  }
+  ModuleId id(static_cast<std::uint32_t>(modules_.size()));
+  module_by_name_.emplace(name, id);
+  modules_.emplace_back(std::move(name));
+  return id;
+}
+
+ModuleId Design::find_module(const std::string& name) const {
+  auto it = module_by_name_.find(name);
+  return it == module_by_name_.end() ? ModuleId::invalid() : it->second;
+}
+
+const Module& Design::top() const {
+  if (!top_.valid()) raise("design '" + name_ + "' has no top module set");
+  return modules_.at(top_.index());
+}
+
+std::size_t Design::target_num_ports(const Instance& inst) const {
+  if (inst.is_cell()) return lib_->cell(inst.cell).ports().size();
+  return module(inst.module).ports().size();
+}
+
+PortDirection Design::target_port_dir(const Instance& inst,
+                                      std::uint32_t port) const {
+  if (inst.is_cell()) return lib_->cell(inst.cell).port(port).direction;
+  return module(inst.module).port(port).direction;
+}
+
+const std::string& Design::target_port_name(const Instance& inst,
+                                            std::uint32_t port) const {
+  if (inst.is_cell()) return lib_->cell(inst.cell).port(port).name;
+  return module(inst.module).port(port).name;
+}
+
+std::string Design::target_name(const Instance& inst) const {
+  if (inst.is_cell()) return lib_->cell(inst.cell).name();
+  return module(inst.module).name();
+}
+
+std::size_t Design::module_cell_count(ModuleId id) const {
+  std::size_t n = 0;
+  for (const Instance& inst : module(id).insts()) {
+    n += inst.is_cell() ? 1 : module_cell_count(inst.module);
+  }
+  return n;
+}
+
+std::size_t Design::module_net_count(ModuleId id) const {
+  std::size_t n = module(id).num_nets();
+  for (const Instance& inst : module(id).insts()) {
+    if (!inst.is_cell()) n += module_net_count(inst.module);
+  }
+  return n;
+}
+
+std::size_t Design::total_cell_count() const { return module_cell_count(top_); }
+std::size_t Design::total_net_count() const { return module_net_count(top_); }
+
+}  // namespace hb

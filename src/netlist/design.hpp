@@ -1,0 +1,165 @@
+// Hierarchical design database.
+//
+// This is the stand-in for the OCT data base the paper's Hummingbird
+// interfaces with: modules of instances and nets, loadable and storable as
+// text (netlist_io), with annotation hooks (slow-path flags) that play the
+// role of OCT properties viewed in VEM.
+//
+// Hierarchy rules (checked by validate()):
+//   * the top module may instantiate library cells (combinational or
+//     synchronising) and combinational submodules;
+//   * submodules may nest but must be purely combinational — the paper's
+//     clusters are combinational networks between synchronising elements,
+//     and its hierarchical example SM1H keeps "the combinational logic ...
+//     in a single module" with latches at the top level.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "netlist/library.hpp"
+#include "util/ids.hpp"
+
+namespace hb {
+
+/// A terminal of an instance: (instance, port index of its cell/module).
+struct PinRef {
+  InstId inst;
+  std::uint32_t port = 0;
+
+  friend bool operator==(const PinRef& a, const PinRef& b) {
+    return a.inst == b.inst && a.port == b.port;
+  }
+};
+
+struct Net {
+  std::string name;
+  std::vector<PinRef> pins;               // connected instance terminals
+  std::vector<std::uint32_t> module_ports;  // indices of bound module ports
+};
+
+/// An instance of either a library cell or a submodule (exactly one valid).
+struct Instance {
+  std::string name;
+  CellId cell;       // valid iff library-cell instance
+  ModuleId module;   // valid iff submodule instance
+  /// Net bound to each port of the cell/module, by port index; may contain
+  /// invalid NetId for unconnected ports until validate().
+  std::vector<NetId> conn;
+
+  bool is_cell() const { return cell.valid(); }
+};
+
+struct ModulePort {
+  std::string name;
+  PortDirection direction = PortDirection::kInput;
+  /// True for top-level ports that carry a clock signal; the port name must
+  /// match a clock name in the ClockSet supplied to analysis.
+  bool is_clock = false;
+  NetId net;  // internal net bound to this port
+};
+
+class Design;
+
+class Module {
+ public:
+  explicit Module(std::string name) : name_(std::move(name)) {}
+
+  const std::string& name() const { return name_; }
+
+  std::uint32_t add_port(const std::string& name, PortDirection dir,
+                         bool is_clock = false);
+  NetId add_net(const std::string& name);
+  InstId add_cell_inst(const std::string& name, CellId cell,
+                       std::size_t num_ports);
+  InstId add_module_inst(const std::string& name, ModuleId module,
+                         std::size_t num_ports);
+
+  /// Bind instance terminal (inst, port) to net.
+  void connect(InstId inst, std::uint32_t port, NetId net);
+  /// Bind module port to an internal net.
+  void bind_port(std::uint32_t port, NetId net);
+
+  const std::vector<Instance>& insts() const { return insts_; }
+  const std::vector<Net>& nets() const { return nets_; }
+  const std::vector<ModulePort>& ports() const { return ports_; }
+  const Instance& inst(InstId id) const { return insts_.at(id.index()); }
+  Instance& inst_mut(InstId id) { return insts_.at(id.index()); }
+  const Net& net(NetId id) const { return nets_.at(id.index()); }
+  const ModulePort& port(std::uint32_t i) const { return ports_.at(i); }
+
+  InstId find_inst(const std::string& name) const;
+  NetId find_net(const std::string& name) const;
+  std::optional<std::uint32_t> find_port(const std::string& name) const;
+
+  std::size_t num_insts() const { return insts_.size(); }
+  std::size_t num_nets() const { return nets_.size(); }
+
+ private:
+  friend class Design;
+  std::string name_;
+  std::vector<Instance> insts_;
+  std::vector<Net> nets_;
+  std::vector<ModulePort> ports_;
+  std::unordered_map<std::string, InstId> inst_by_name_;
+  std::unordered_map<std::string, NetId> net_by_name_;
+};
+
+class Design {
+ public:
+  Design(std::string name, std::shared_ptr<const Library> lib)
+      : name_(std::move(name)), lib_(std::move(lib)) {
+    HB_ASSERT(lib_ != nullptr);
+  }
+
+  const std::string& name() const { return name_; }
+  const Library& lib() const { return *lib_; }
+  std::shared_ptr<const Library> lib_ptr() const { return lib_; }
+
+  ModuleId add_module(std::string name);
+  Module& module_mut(ModuleId id) { return modules_.at(id.index()); }
+  const Module& module(ModuleId id) const { return modules_.at(id.index()); }
+  ModuleId find_module(const std::string& name) const;
+  std::size_t num_modules() const { return modules_.size(); }
+
+  void set_top(ModuleId id) { top_ = id; }
+  ModuleId top_id() const { return top_; }
+  const Module& top() const;
+
+  /// Number of ports on whatever an instance instantiates.
+  std::size_t target_num_ports(const Instance& inst) const;
+  /// Port metadata of an instance's target, normalised across cell/module.
+  PortDirection target_port_dir(const Instance& inst, std::uint32_t port) const;
+  const std::string& target_port_name(const Instance& inst,
+                                      std::uint32_t port) const;
+  std::string target_name(const Instance& inst) const;
+
+  /// Total library-cell instances under the top module (recursing into
+  /// submodules); the "standard cell" counts quoted in the paper's Table 1.
+  std::size_t total_cell_count() const;
+  /// Total nets under the top module, recursing.
+  std::size_t total_net_count() const;
+
+  /// Annotation hook (the OCT "flag slow paths" facility): mark a net of the
+  /// top module as lying on a too-slow path.
+  void flag_slow_net(NetId net) { slow_nets_.insert(net); }
+  void clear_slow_flags() { slow_nets_.clear(); }
+  bool is_slow_net(NetId net) const { return slow_nets_.count(net) != 0; }
+  std::size_t num_slow_nets() const { return slow_nets_.size(); }
+
+ private:
+  std::size_t module_cell_count(ModuleId id) const;
+  std::size_t module_net_count(ModuleId id) const;
+
+  std::string name_;
+  std::shared_ptr<const Library> lib_;
+  std::vector<Module> modules_;
+  std::unordered_map<std::string, ModuleId> module_by_name_;
+  ModuleId top_;
+  std::unordered_set<NetId> slow_nets_;
+};
+
+}  // namespace hb

@@ -1,0 +1,92 @@
+#include "netlist/flatten.hpp"
+
+#include <unordered_map>
+
+namespace hb {
+namespace {
+
+// Recursively inline `mod_id` of `src` into `out`.  `prefix` is the instance
+// path ('' for top), `port_nets[p]` the out-module net bound to port p.
+void inline_module(const Design& src, ModuleId mod_id, const std::string& prefix,
+                   const std::vector<NetId>& port_nets, Design& out_design,
+                   Module& out) {
+  const Module& mod = src.module(mod_id);
+
+  // Map each internal net to a net of `out`.  Port-bound nets alias the
+  // caller-provided nets; others are created fresh with a prefixed name.
+  std::vector<NetId> net_map(mod.num_nets(), NetId::invalid());
+  for (std::uint32_t n = 0; n < mod.num_nets(); ++n) {
+    const Net& net = mod.net(NetId(n));
+    if (net.module_ports.size() > 1) {
+      raise("flatten: net '" + prefix + net.name +
+            "' is bound to multiple module ports (feedthrough not supported)");
+    }
+    if (net.module_ports.size() == 1) {
+      NetId outer = port_nets.at(net.module_ports[0]);
+      HB_ASSERT(outer.valid());
+      net_map[n] = outer;
+    } else {
+      net_map[n] = out.add_net(prefix + net.name);
+    }
+  }
+
+  for (std::uint32_t i = 0; i < mod.insts().size(); ++i) {
+    const Instance& inst = mod.inst(InstId(i));
+    if (inst.is_cell()) {
+      InstId flat = out.add_cell_inst(prefix + inst.name, inst.cell,
+                                      inst.conn.size());
+      for (std::uint32_t p = 0; p < inst.conn.size(); ++p) {
+        if (inst.conn[p].valid()) {
+          out.connect(flat, p, net_map[inst.conn[p].index()]);
+        }
+      }
+    } else {
+      std::vector<NetId> sub_ports(inst.conn.size(), NetId::invalid());
+      for (std::uint32_t p = 0; p < inst.conn.size(); ++p) {
+        if (inst.conn[p].valid()) sub_ports[p] = net_map[inst.conn[p].index()];
+      }
+      inline_module(src, inst.module, prefix + inst.name + "/", sub_ports,
+                    out_design, out);
+    }
+  }
+}
+
+}  // namespace
+
+Design flatten(const Design& design) {
+  const Module& top = design.top();
+  Design out(design.name(), design.lib_ptr());
+  ModuleId flat_id = out.add_module(top.name());
+  Module& flat = out.module_mut(flat_id);
+  out.set_top(flat_id);
+
+  // Recreate the top-level nets and ports first so port bindings are stable.
+  std::vector<NetId> net_map(top.num_nets(), NetId::invalid());
+  for (std::uint32_t n = 0; n < top.num_nets(); ++n) {
+    net_map[n] = flat.add_net(top.net(NetId(n)).name);
+  }
+  for (std::uint32_t p = 0; p < top.ports().size(); ++p) {
+    const ModulePort& port = top.port(p);
+    flat.add_port(port.name, port.direction, port.is_clock);
+    if (port.net.valid()) flat.bind_port(p, net_map[port.net.index()]);
+  }
+
+  for (std::uint32_t i = 0; i < top.insts().size(); ++i) {
+    const Instance& inst = top.inst(InstId(i));
+    if (inst.is_cell()) {
+      InstId fi = flat.add_cell_inst(inst.name, inst.cell, inst.conn.size());
+      for (std::uint32_t p = 0; p < inst.conn.size(); ++p) {
+        if (inst.conn[p].valid()) flat.connect(fi, p, net_map[inst.conn[p].index()]);
+      }
+    } else {
+      std::vector<NetId> sub_ports(inst.conn.size(), NetId::invalid());
+      for (std::uint32_t p = 0; p < inst.conn.size(); ++p) {
+        if (inst.conn[p].valid()) sub_ports[p] = net_map[inst.conn[p].index()];
+      }
+      inline_module(design, inst.module, inst.name + "/", sub_ports, out, flat);
+    }
+  }
+  return out;
+}
+
+}  // namespace hb

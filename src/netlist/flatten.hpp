@@ -1,0 +1,18 @@
+// Hierarchy flattening: inline every submodule instance of the top module
+// (recursively) into a single flat module.  Instance and net names are
+// prefixed with the instance path joined by '/', as Berkeley-style tools do.
+//
+// Limitation (checked): a submodule-internal net may be bound to at most one
+// module port — feedthroughs would require net merging, which the textual
+// database does not model.
+#pragma once
+
+#include "netlist/design.hpp"
+
+namespace hb {
+
+/// Returns a structurally equivalent single-module design.  The result's
+/// top module keeps the original top's ports and clock flags.
+Design flatten(const Design& design);
+
+}  // namespace hb

@@ -1,0 +1,88 @@
+#include "netlist/library.hpp"
+
+#include <algorithm>
+
+namespace hb {
+
+std::uint32_t Cell::add_port(Port p) {
+  ports_.push_back(std::move(p));
+  return static_cast<std::uint32_t>(ports_.size() - 1);
+}
+
+std::uint32_t Cell::port_index(const std::string& name) const {
+  auto found = find_port(name);
+  if (!found) raise("cell '" + name_ + "' has no port named '" + name + "'");
+  return *found;
+}
+
+std::optional<std::uint32_t> Cell::find_port(const std::string& name) const {
+  for (std::uint32_t i = 0; i < ports_.size(); ++i) {
+    if (ports_[i].name == name) return i;
+  }
+  return std::nullopt;
+}
+
+void Cell::add_arc(TimingArc arc) {
+  HB_ASSERT(arc.from_port < ports_.size() && arc.to_port < ports_.size());
+  HB_ASSERT(ports_[arc.from_port].direction == PortDirection::kInput);
+  HB_ASSERT(ports_[arc.to_port].direction == PortDirection::kOutput);
+  arcs_.push_back(arc);
+}
+
+const SyncSpec& Cell::sync() const {
+  if (!sync_) raise("cell '" + name_ + "' is not a synchronising element");
+  return *sync_;
+}
+
+CellId Library::add_cell(Cell cell) {
+  if (by_name_.count(cell.name()) != 0) {
+    raise("duplicate cell name '" + cell.name() + "' in library '" + name_ + "'");
+  }
+  CellId id(static_cast<std::uint32_t>(cells_.size()));
+  by_name_.emplace(cell.name(), id);
+  cells_.push_back(std::move(cell));
+  return id;
+}
+
+CellId Library::find(const std::string& name) const {
+  auto it = by_name_.find(name);
+  return it == by_name_.end() ? CellId::invalid() : it->second;
+}
+
+CellId Library::require(const std::string& name) const {
+  CellId id = find(name);
+  if (!id.valid()) raise("library '" + name_ + "' has no cell named '" + name + "'");
+  return id;
+}
+
+std::vector<CellId> Library::family_members(const std::string& family) const {
+  std::vector<CellId> out;
+  if (family.empty()) return out;
+  for (std::uint32_t i = 0; i < cells_.size(); ++i) {
+    if (cells_[i].family() == family) out.push_back(CellId(i));
+  }
+  std::sort(out.begin(), out.end(), [this](CellId a, CellId b) {
+    return cell(a).drive() < cell(b).drive();
+  });
+  return out;
+}
+
+CellId Library::stronger_variant(CellId id) const {
+  const Cell& c = cell(id);
+  auto members = family_members(c.family());
+  for (std::size_t i = 0; i < members.size(); ++i) {
+    if (members[i] == id && i + 1 < members.size()) return members[i + 1];
+  }
+  return CellId::invalid();
+}
+
+CellId Library::weaker_variant(CellId id) const {
+  const Cell& c = cell(id);
+  auto members = family_members(c.family());
+  for (std::size_t i = 0; i < members.size(); ++i) {
+    if (members[i] == id && i > 0) return members[i - 1];
+  }
+  return CellId::invalid();
+}
+
+}  // namespace hb

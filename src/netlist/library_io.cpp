@@ -1,0 +1,282 @@
+#include "netlist/library_io.hpp"
+
+#include <optional>
+#include <ostream>
+#include <sstream>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace hb {
+namespace {
+
+const char* kind_name(CellKind k) {
+  switch (k) {
+    case CellKind::kCombinational: return "comb";
+    case CellKind::kEdgeTriggeredLatch: return "edge";
+    case CellKind::kTransparentLatch: return "transparent";
+    case CellKind::kTristateDriver: return "tristate";
+  }
+  return "comb";
+}
+
+const char* unate_name(Unate u) {
+  switch (u) {
+    case Unate::kPositive: return "pos";
+    case Unate::kNegative: return "neg";
+    case Unate::kNone: return "none";
+  }
+  return "pos";
+}
+
+[[noreturn]] void lib_error(int lineno, const std::string& msg) {
+  raise("library parse error at line " + std::to_string(lineno) + ": " + msg);
+}
+
+std::vector<std::string> tokenize(const std::string& line) {
+  std::vector<std::string> toks;
+  std::istringstream is(line);
+  std::string t;
+  while (is >> t) {
+    if (t[0] == '#') break;
+    toks.push_back(t);
+  }
+  return toks;
+}
+
+double parse_double(const std::string& s, int lineno) {
+  try {
+    std::size_t pos = 0;
+    const double v = std::stod(s, &pos);
+    if (pos != s.size()) lib_error(lineno, "bad number '" + s + "'");
+    return v;
+  } catch (const std::exception&) {
+    lib_error(lineno, "bad number '" + s + "'");
+  }
+}
+
+TimePs parse_ps(const std::string& s, int lineno) {
+  try {
+    std::size_t pos = 0;
+    const long long v = std::stoll(s, &pos);
+    if (pos != s.size()) lib_error(lineno, "bad integer '" + s + "'");
+    return v;
+  } catch (const std::exception&) {
+    lib_error(lineno, "bad integer '" + s + "'");
+  }
+}
+
+}  // namespace
+
+void save_library(const Library& lib, std::ostream& os) {
+  os << "library " << lib.name() << "\n";
+  for (std::uint32_t c = 0; c < lib.num_cells(); ++c) {
+    const Cell& cell = lib.cell(CellId(c));
+    os << "cell " << cell.name() << ' ' << kind_name(cell.kind()) << "\n";
+    if (!cell.family().empty()) {
+      os << "  family " << cell.family() << ' ' << cell.drive() << "\n";
+    }
+    os << "  area " << cell.area_um2() << "\n";
+    for (const Port& p : cell.ports()) {
+      if (p.direction == PortDirection::kOutput) {
+        os << "  out " << p.name << "\n";
+      } else if (p.role == PortRole::kControl) {
+        os << "  ctrl " << p.name << ' ' << p.cap_ff << "\n";
+      } else {
+        os << "  in " << p.name << ' ' << p.cap_ff << "\n";
+      }
+    }
+    for (const TimingArc& a : cell.arcs()) {
+      os << "  arc " << cell.port(a.from_port).name << ' '
+         << cell.port(a.to_port).name << ' ' << unate_name(a.unate) << ' '
+         << a.intrinsic_rise << ' ' << a.intrinsic_fall << ' ' << a.slope_rise
+         << ' ' << a.slope_fall << "\n";
+    }
+    if (cell.is_sequential()) {
+      const SyncSpec& s = cell.sync();
+      if (cell.kind() == CellKind::kEdgeTriggeredLatch) {
+        os << "  trigger "
+           << (s.trigger == TriggerEdge::kLeading ? "leading" : "trailing")
+           << "\n";
+      } else {
+        os << "  active " << (s.active_high ? "high" : "low") << "\n";
+      }
+      os << "  setup " << s.setup << "\n";
+    }
+    os << "endcell\n";
+  }
+}
+
+std::string library_to_string(const Library& lib) {
+  std::ostringstream os;
+  save_library(lib, os);
+  return os.str();
+}
+
+std::shared_ptr<const Library> load_library(std::istream& is) {
+  std::string line;
+  int lineno = 0;
+  std::string lib_name;
+  while (std::getline(is, line)) {
+    ++lineno;
+    const auto toks = tokenize(line);
+    if (toks.empty()) continue;
+    if (toks[0] != "library" || toks.size() != 2) {
+      lib_error(lineno, "expected `library <name>`");
+    }
+    lib_name = toks[1];
+    break;
+  }
+  if (lib_name.empty()) raise("library parse error: empty input");
+  auto lib = std::make_shared<Library>(lib_name);
+
+  std::optional<Cell> cell;
+  CellKind kind = CellKind::kCombinational;
+  SyncSpec sync;
+  bool saw_in = false, saw_ctrl = false, saw_out = false;
+  std::string family;
+  int drive = 1;
+  // Arcs are recorded by name and resolved at endcell (ports must exist by
+  // then, whatever the declaration order).
+  struct PendingArc {
+    std::string from, to, unate;
+    TimePs ir, if_;
+    double sr, sf;
+    int lineno;
+  };
+  std::vector<PendingArc> arcs;
+
+  while (std::getline(is, line)) {
+    ++lineno;
+    const auto toks = tokenize(line);
+    if (toks.empty()) continue;
+    const std::string& kw = toks[0];
+
+    if (kw == "cell") {
+      if (cell) lib_error(lineno, "nested cell");
+      if (toks.size() != 3) lib_error(lineno, "expected `cell <name> <kind>`");
+      if (toks[2] == "comb") {
+        kind = CellKind::kCombinational;
+      } else if (toks[2] == "edge") {
+        kind = CellKind::kEdgeTriggeredLatch;
+      } else if (toks[2] == "transparent") {
+        kind = CellKind::kTransparentLatch;
+      } else if (toks[2] == "tristate") {
+        kind = CellKind::kTristateDriver;
+      } else {
+        lib_error(lineno, "bad cell kind '" + toks[2] + "'");
+      }
+      cell.emplace(toks[1], kind);
+      sync = SyncSpec{};
+      saw_in = saw_ctrl = saw_out = false;
+      family.clear();
+      drive = 1;
+      arcs.clear();
+      continue;
+    }
+    if (!cell) lib_error(lineno, "statement outside cell: " + kw);
+
+    if (kw == "endcell") {
+      for (const PendingArc& a : arcs) {
+        TimingArc arc;
+        const auto from = cell->find_port(a.from);
+        const auto to = cell->find_port(a.to);
+        if (!from || !to) lib_error(a.lineno, "arc references unknown port");
+        arc.from_port = *from;
+        arc.to_port = *to;
+        if (a.unate == "pos") {
+          arc.unate = Unate::kPositive;
+        } else if (a.unate == "neg") {
+          arc.unate = Unate::kNegative;
+        } else if (a.unate == "none") {
+          arc.unate = Unate::kNone;
+        } else {
+          lib_error(a.lineno, "bad unateness '" + a.unate + "'");
+        }
+        arc.intrinsic_rise = a.ir;
+        arc.intrinsic_fall = a.if_;
+        arc.slope_rise = a.sr;
+        arc.slope_fall = a.sf;
+        cell->add_arc(arc);
+      }
+      if (!family.empty()) cell->set_family(family, drive);
+      if (cell->kind() != CellKind::kCombinational) {
+        if (!saw_in || !saw_ctrl || !saw_out) {
+          lib_error(lineno, "sequential cell needs in, ctrl and out ports");
+        }
+        cell->set_sync(sync);
+      }
+      lib->add_cell(std::move(*cell));
+      cell.reset();
+    } else if (kw == "family") {
+      if (toks.size() != 3) lib_error(lineno, "expected `family <name> <drive>`");
+      family = toks[1];
+      drive = static_cast<int>(parse_ps(toks[2], lineno));
+    } else if (kw == "area") {
+      if (toks.size() != 2) lib_error(lineno, "expected `area <um2>`");
+      cell->set_area(parse_double(toks[1], lineno));
+    } else if (kw == "in" || kw == "ctrl") {
+      if (toks.size() != 3) lib_error(lineno, "expected `" + kw + " <port> <cap>`");
+      Port p;
+      p.name = toks[1];
+      p.direction = PortDirection::kInput;
+      p.role = kw == "ctrl" ? PortRole::kControl : PortRole::kData;
+      p.cap_ff = parse_double(toks[2], lineno);
+      const std::uint32_t idx = cell->add_port(p);
+      if (kw == "ctrl") {
+        sync.control = idx;
+        saw_ctrl = true;
+      } else if (!saw_in) {
+        sync.data_in = idx;
+        saw_in = true;
+      }
+    } else if (kw == "out") {
+      if (toks.size() != 2) lib_error(lineno, "expected `out <port>`");
+      Port p;
+      p.name = toks[1];
+      p.direction = PortDirection::kOutput;
+      const std::uint32_t idx = cell->add_port(p);
+      if (!saw_out) {
+        sync.data_out = idx;
+        saw_out = true;
+      }
+    } else if (kw == "arc") {
+      if (toks.size() != 8) {
+        lib_error(lineno,
+                  "expected `arc <from> <to> <unate> <ir> <if> <sr> <sf>`");
+      }
+      arcs.push_back({toks[1], toks[2], toks[3], parse_ps(toks[4], lineno),
+                      parse_ps(toks[5], lineno), parse_double(toks[6], lineno),
+                      parse_double(toks[7], lineno), lineno});
+    } else if (kw == "trigger") {
+      if (toks.size() != 2) lib_error(lineno, "expected `trigger <edge>`");
+      if (toks[1] == "leading") {
+        sync.trigger = TriggerEdge::kLeading;
+      } else if (toks[1] == "trailing") {
+        sync.trigger = TriggerEdge::kTrailing;
+      } else {
+        lib_error(lineno, "bad trigger '" + toks[1] + "'");
+      }
+    } else if (kw == "active") {
+      if (toks.size() != 2) lib_error(lineno, "expected `active <high|low>`");
+      sync.active_high = toks[1] == "high";
+      if (toks[1] != "high" && toks[1] != "low") {
+        lib_error(lineno, "bad active level '" + toks[1] + "'");
+      }
+    } else if (kw == "setup") {
+      if (toks.size() != 2) lib_error(lineno, "expected `setup <ps>`");
+      sync.setup = parse_ps(toks[1], lineno);
+    } else {
+      lib_error(lineno, "unknown keyword '" + kw + "'");
+    }
+  }
+  if (cell) raise("library parse error: unterminated cell");
+  return lib;
+}
+
+std::shared_ptr<const Library> library_from_string(const std::string& text) {
+  std::istringstream is(text);
+  return load_library(is);
+}
+
+}  // namespace hb

@@ -1,0 +1,36 @@
+// Textual cell-library load/store, completing the file-driven interface:
+// netlist (netlist_io) + clocks (clock_io) + library (this).  Format:
+//
+//   library <name>
+//   cell <name> <comb|edge|transparent|tristate>
+//     family <name> <drive>          # optional
+//     area <um2>
+//     in <port> <cap_ff>             # data input
+//     ctrl <port> <cap_ff>           # control input (sequential cells)
+//     out <port>
+//     arc <from> <to> <pos|neg|none> <intr_rise> <intr_fall> <slope_rise> <slope_fall>
+//     trigger <leading|trailing>     # edge cells
+//     active <high|low>              # transparent/tristate cells
+//     setup <ps>                     # sequential cells
+//   endcell
+//
+// Numbers: intrinsics in integer picoseconds, slopes in ps/fF (decimal),
+// caps in fF (decimal).  Sequential cells must declare exactly one in, one
+// ctrl and one out.  The writer emits this format; load(save(L)) == L.
+#pragma once
+
+#include <iosfwd>
+#include <memory>
+#include <string>
+
+#include "netlist/library.hpp"
+
+namespace hb {
+
+void save_library(const Library& lib, std::ostream& os);
+std::string library_to_string(const Library& lib);
+
+std::shared_ptr<const Library> load_library(std::istream& is);
+std::shared_ptr<const Library> library_from_string(const std::string& text);
+
+}  // namespace hb

@@ -1,0 +1,208 @@
+#include "netlist/netlist_io.hpp"
+
+#include <functional>
+#include <ostream>
+#include <sstream>
+#include <vector>
+
+namespace hb {
+namespace {
+
+std::vector<std::string> tokenize(const std::string& line) {
+  std::vector<std::string> toks;
+  std::istringstream is(line);
+  std::string t;
+  while (is >> t) {
+    if (t[0] == '#') break;
+    toks.push_back(t);
+  }
+  return toks;
+}
+
+[[noreturn]] void parse_error(int lineno, const std::string& msg) {
+  raise("netlist parse error at line " + std::to_string(lineno) + ": " + msg);
+}
+
+}  // namespace
+
+void save_netlist(const Design& design, std::ostream& os) {
+  os << "design " << design.name() << "\n";
+  // Children before parents: the parser requires modules to be declared
+  // before they are instantiated.
+  std::vector<std::uint32_t> order;
+  std::vector<char> state(design.num_modules(), 0);  // 0 new, 1 open, 2 done
+  // Post-order DFS (iterative) over the instantiation relation.
+  std::function<void(std::uint32_t)> visit = [&](std::uint32_t m) {
+    if (state[m] != 0) return;
+    state[m] = 1;
+    for (const Instance& inst : design.module(ModuleId(m)).insts()) {
+      if (!inst.is_cell()) visit(inst.module.value());
+    }
+    state[m] = 2;
+    order.push_back(m);
+  };
+  for (std::uint32_t m = 0; m < design.num_modules(); ++m) visit(m);
+
+  for (std::uint32_t m : order) {
+    const Module& mod = design.module(ModuleId(m));
+    os << "module " << mod.name() << "\n";
+    for (const ModulePort& p : mod.ports()) {
+      os << "  port " << p.name << ' '
+         << (p.direction == PortDirection::kInput ? "input" : "output");
+      if (p.is_clock) os << " clock";
+      os << "\n";
+    }
+    for (const Instance& inst : mod.insts()) {
+      if (inst.is_cell()) {
+        os << "  inst " << inst.name << ' ' << design.lib().cell(inst.cell).name()
+           << "\n";
+      } else {
+        os << "  minst " << inst.name << ' ' << design.module(inst.module).name()
+           << "\n";
+      }
+    }
+    for (std::uint32_t n = 0; n < mod.num_nets(); ++n) {
+      os << "  net " << mod.net(NetId(n)).name << "\n";
+    }
+    for (std::uint32_t n = 0; n < mod.num_nets(); ++n) {
+      const Net& net = mod.net(NetId(n));
+      for (const PinRef& pin : net.pins) {
+        const Instance& inst = mod.inst(pin.inst);
+        os << "  conn " << net.name << ' ' << inst.name << '.'
+           << design.target_port_name(inst, pin.port) << "\n";
+      }
+      for (std::uint32_t p : net.module_ports) {
+        os << "  bind " << net.name << ' ' << mod.port(p).name << "\n";
+      }
+    }
+    os << "endmodule\n";
+  }
+  if (design.top_id().valid()) {
+    os << "top " << design.top().name() << "\n";
+  }
+}
+
+std::string netlist_to_string(const Design& design) {
+  std::ostringstream os;
+  save_netlist(design, os);
+  return os.str();
+}
+
+Design load_netlist(std::istream& is, std::shared_ptr<const Library> lib) {
+  std::string line;
+  int lineno = 0;
+
+  // First line must be `design <name>`.
+  std::string design_name;
+  while (std::getline(is, line)) {
+    ++lineno;
+    auto toks = tokenize(line);
+    if (toks.empty()) continue;
+    if (toks[0] != "design" || toks.size() != 2) {
+      parse_error(lineno, "expected `design <name>`");
+    }
+    design_name = toks[1];
+    break;
+  }
+  if (design_name.empty()) raise("netlist parse error: empty input");
+
+  Design design(design_name, std::move(lib));
+  Module* cur = nullptr;
+  ModuleId cur_id;
+
+  while (std::getline(is, line)) {
+    ++lineno;
+    auto toks = tokenize(line);
+    if (toks.empty()) continue;
+    const std::string& kw = toks[0];
+
+    if (kw == "module") {
+      if (cur != nullptr) parse_error(lineno, "nested module");
+      if (toks.size() != 2) parse_error(lineno, "expected `module <name>`");
+      cur_id = design.add_module(toks[1]);
+      cur = &design.module_mut(cur_id);
+    } else if (kw == "endmodule") {
+      if (cur == nullptr) parse_error(lineno, "endmodule outside module");
+      cur = nullptr;
+    } else if (kw == "top") {
+      if (cur != nullptr) parse_error(lineno, "top inside module");
+      if (toks.size() != 2) parse_error(lineno, "expected `top <module>`");
+      ModuleId top = design.find_module(toks[1]);
+      if (!top.valid()) parse_error(lineno, "unknown top module '" + toks[1] + "'");
+      design.set_top(top);
+    } else if (cur == nullptr) {
+      parse_error(lineno, "statement outside module: " + kw);
+    } else if (kw == "port") {
+      if (toks.size() < 3 || toks.size() > 4) {
+        parse_error(lineno, "expected `port <name> <input|output> [clock]`");
+      }
+      PortDirection dir;
+      if (toks[2] == "input") {
+        dir = PortDirection::kInput;
+      } else if (toks[2] == "output") {
+        dir = PortDirection::kOutput;
+      } else {
+        parse_error(lineno, "bad port direction '" + toks[2] + "'");
+      }
+      bool is_clock = false;
+      if (toks.size() == 4) {
+        if (toks[3] != "clock") parse_error(lineno, "expected `clock`");
+        is_clock = true;
+      }
+      cur->add_port(toks[1], dir, is_clock);
+    } else if (kw == "inst") {
+      if (toks.size() != 3) parse_error(lineno, "expected `inst <name> <cell>`");
+      CellId cell = design.lib().find(toks[2]);
+      if (!cell.valid()) parse_error(lineno, "unknown cell '" + toks[2] + "'");
+      cur->add_cell_inst(toks[1], cell, design.lib().cell(cell).ports().size());
+    } else if (kw == "minst") {
+      if (toks.size() != 3) parse_error(lineno, "expected `minst <name> <module>`");
+      ModuleId sub = design.find_module(toks[2]);
+      if (!sub.valid()) parse_error(lineno, "unknown module '" + toks[2] + "'");
+      if (sub == cur_id) parse_error(lineno, "module instantiates itself");
+      cur->add_module_inst(toks[1], sub, design.module(sub).ports().size());
+    } else if (kw == "net") {
+      if (toks.size() != 2) parse_error(lineno, "expected `net <name>`");
+      cur->add_net(toks[1]);
+    } else if (kw == "conn") {
+      if (toks.size() != 3) parse_error(lineno, "expected `conn <net> <inst>.<port>`");
+      NetId net = cur->find_net(toks[1]);
+      if (!net.valid()) parse_error(lineno, "unknown net '" + toks[1] + "'");
+      auto dot = toks[2].find('.');
+      if (dot == std::string::npos) parse_error(lineno, "expected <inst>.<port>");
+      InstId inst = cur->find_inst(toks[2].substr(0, dot));
+      if (!inst.valid()) {
+        parse_error(lineno, "unknown instance '" + toks[2].substr(0, dot) + "'");
+      }
+      const std::string port_name = toks[2].substr(dot + 1);
+      const Instance& i = cur->inst(inst);
+      std::optional<std::uint32_t> port;
+      if (i.is_cell()) {
+        port = design.lib().cell(i.cell).find_port(port_name);
+      } else {
+        port = design.module(i.module).find_port(port_name);
+      }
+      if (!port) parse_error(lineno, "unknown port '" + port_name + "'");
+      cur->connect(inst, *port, net);
+    } else if (kw == "bind") {
+      if (toks.size() != 3) parse_error(lineno, "expected `bind <net> <port>`");
+      NetId net = cur->find_net(toks[1]);
+      if (!net.valid()) parse_error(lineno, "unknown net '" + toks[1] + "'");
+      auto port = cur->find_port(toks[2]);
+      if (!port) parse_error(lineno, "unknown port '" + toks[2] + "'");
+      cur->bind_port(*port, net);
+    } else {
+      parse_error(lineno, "unknown keyword '" + kw + "'");
+    }
+  }
+  if (cur != nullptr) raise("netlist parse error: unterminated module");
+  return design;
+}
+
+Design netlist_from_string(const std::string& text,
+                           std::shared_ptr<const Library> lib) {
+  std::istringstream is(text);
+  return load_netlist(is, std::move(lib));
+}
+
+}  // namespace hb

@@ -1,0 +1,39 @@
+// Textual netlist load/store — the stand-in for the OCT data base interface.
+//
+// Format (line oriented, '#' comments):
+//
+//   design <name>
+//   module <name>
+//     port <name> <input|output> [clock]
+//     inst <name> <cellname>
+//     minst <name> <modulename>       # submodule instance
+//     net <name>
+//     conn <net> <inst>.<port>        # bind instance terminal to net
+//     bind <net> <portname>           # bind module port to net
+//   endmodule
+//   top <modulename>
+//
+// Modules must be declared before they are instantiated; `top` must come
+// after all modules.  The writer emits exactly this format, and
+// load(save(d)) == d structurally (tested by round-trip tests).
+#pragma once
+
+#include <iosfwd>
+#include <memory>
+#include <string>
+
+#include "netlist/design.hpp"
+
+namespace hb {
+
+/// Serialise the design to the text format above.
+void save_netlist(const Design& design, std::ostream& os);
+std::string netlist_to_string(const Design& design);
+
+/// Parse a design from the text format; throws hb::Error with a line number
+/// on malformed input.
+Design load_netlist(std::istream& is, std::shared_ptr<const Library> lib);
+Design netlist_from_string(const std::string& text,
+                           std::shared_ptr<const Library> lib);
+
+}  // namespace hb

@@ -1,0 +1,179 @@
+#include "netlist/stdcells.hpp"
+
+#include <array>
+
+namespace hb {
+namespace {
+
+struct CombSpec {
+  const char* family;
+  int num_inputs;
+  Unate unate;        // unateness of every input->output arc
+  TimePs intr_rise;   // X1 intrinsic delays
+  TimePs intr_fall;
+  double slope_rise;  // X1 ps/fF
+  double slope_fall;
+  double in_cap;      // X1 input cap, fF
+  double area;        // X1 area, um^2
+};
+
+// Representative generic-process values.  NAND/NOR/AOI/OAI are inverting;
+// AND/OR/BUF are buffered (positive unate); XOR/XNOR/MUX are non-unate.
+constexpr std::array<CombSpec, 13> kCombSpecs = {{
+    {"INV", 1, Unate::kNegative, 28, 22, 4.6, 3.8, 1.8, 2.0},
+    {"BUF", 1, Unate::kPositive, 52, 48, 3.2, 2.9, 1.6, 3.1},
+    {"NAND2", 2, Unate::kNegative, 34, 28, 5.4, 4.3, 2.2, 2.9},
+    {"NAND3", 3, Unate::kNegative, 46, 38, 6.3, 5.1, 2.5, 3.8},
+    {"NOR2", 2, Unate::kNegative, 42, 30, 6.8, 4.6, 2.3, 2.9},
+    {"NOR3", 3, Unate::kNegative, 58, 36, 8.4, 5.2, 2.6, 3.8},
+    {"AND2", 2, Unate::kPositive, 62, 55, 3.4, 3.0, 2.0, 3.6},
+    {"OR2", 2, Unate::kPositive, 68, 58, 3.6, 3.1, 2.0, 3.6},
+    {"XOR2", 2, Unate::kNone, 88, 80, 5.8, 5.2, 3.4, 5.5},
+    {"XNOR2", 2, Unate::kNone, 90, 82, 5.8, 5.2, 3.4, 5.5},
+    {"AOI21", 3, Unate::kNegative, 48, 40, 6.6, 5.0, 2.4, 3.6},
+    {"OAI21", 3, Unate::kNegative, 50, 41, 6.4, 5.1, 2.4, 3.6},
+    {"MUX2", 3, Unate::kNone, 84, 78, 4.9, 4.4, 2.8, 5.8},
+}};
+
+// Per-drive scaling: stronger cells halve the load slope, grow input cap and
+// area, and shave a little intrinsic delay.
+struct DriveScale {
+  const char* suffix;
+  int drive;
+  double slope;     // multiplies slope
+  double cap;       // multiplies input cap
+  double intr;      // multiplies intrinsic
+  double area;      // multiplies area
+};
+constexpr std::array<DriveScale, 3> kDrives = {{
+    {"X1", 1, 1.00, 1.00, 1.00, 1.0},
+    {"X2", 2, 0.52, 1.70, 0.94, 1.6},
+    {"X4", 4, 0.27, 3.10, 0.90, 2.7},
+}};
+
+void add_comb_family(Library& lib, const CombSpec& s) {
+  static const char* kInNames[] = {"A", "B", "C", "D"};
+  for (const DriveScale& d : kDrives) {
+    Cell cell(std::string(s.family) + d.suffix, CellKind::kCombinational);
+    for (int i = 0; i < s.num_inputs; ++i) {
+      cell.add_port({kInNames[i], PortDirection::kInput, PortRole::kData,
+                     s.in_cap * d.cap});
+    }
+    std::uint32_t out =
+        cell.add_port({"Y", PortDirection::kOutput, PortRole::kData, 0.0});
+    for (int i = 0; i < s.num_inputs; ++i) {
+      TimingArc arc;
+      arc.from_port = static_cast<std::uint32_t>(i);
+      arc.to_port = out;
+      arc.unate = s.unate;
+      // Later inputs of a stack are slightly slower, as in real libraries.
+      const TimePs stagger = 4 * i;
+      arc.intrinsic_rise =
+          static_cast<TimePs>(static_cast<double>(s.intr_rise + stagger) * d.intr);
+      arc.intrinsic_fall =
+          static_cast<TimePs>(static_cast<double>(s.intr_fall + stagger) * d.intr);
+      arc.slope_rise = s.slope_rise * d.slope;
+      arc.slope_fall = s.slope_fall * d.slope;
+      cell.add_arc(arc);
+    }
+    cell.set_family(s.family, d.drive);
+    cell.set_area(s.area * d.area);
+    lib.add_cell(std::move(cell));
+  }
+}
+
+// Sequential elements.  Arc CK->Q carries D_cz; arc D->Q (transparent kinds
+// only) carries D_dz.  Setup lives in the SyncSpec.
+void add_sync_cell(Library& lib, const std::string& name, CellKind kind,
+                   TriggerEdge trigger, bool active_high, TimePs setup,
+                   TimePs dcz, TimePs ddz, double slope, double dcap,
+                   double ckcap, double area) {
+  Cell cell(name, kind);
+  std::uint32_t d =
+      cell.add_port({"D", PortDirection::kInput, PortRole::kData, dcap});
+  std::uint32_t ck =
+      cell.add_port({"CK", PortDirection::kInput, PortRole::kControl, ckcap});
+  std::uint32_t q =
+      cell.add_port({"Q", PortDirection::kOutput, PortRole::kData, 0.0});
+
+  TimingArc ckq;
+  ckq.from_port = ck;
+  ckq.to_port = q;
+  ckq.unate = Unate::kNone;  // data may go either way when the element opens
+  ckq.intrinsic_rise = dcz;
+  ckq.intrinsic_fall = dcz;
+  ckq.slope_rise = slope;
+  ckq.slope_fall = slope;
+  cell.add_arc(ckq);
+
+  if (kind == CellKind::kTransparentLatch || kind == CellKind::kTristateDriver) {
+    TimingArc dq;
+    dq.from_port = d;
+    dq.to_port = q;
+    dq.unate = Unate::kPositive;
+    dq.intrinsic_rise = ddz;
+    dq.intrinsic_fall = ddz;
+    dq.slope_rise = slope;
+    dq.slope_fall = slope;
+    cell.add_arc(dq);
+  }
+
+  SyncSpec sync;
+  sync.data_in = d;
+  sync.control = ck;
+  sync.data_out = q;
+  sync.setup = setup;
+  sync.trigger = trigger;
+  sync.active_high = active_high;
+  cell.set_sync(sync);
+  cell.set_area(area);
+  lib.add_cell(std::move(cell));
+}
+
+}  // namespace
+
+std::shared_ptr<const Library> make_standard_library() {
+  auto lib = std::make_shared<Library>("hbcells");
+  for (const CombSpec& s : kCombSpecs) add_comb_family(*lib, s);
+
+  // Clock buffer: positive unate, strong drive, its own family so control
+  // paths are recognisable.
+  {
+    Cell cb("CLKBUF", CellKind::kCombinational);
+    cb.add_port({"A", PortDirection::kInput, PortRole::kData, 3.0});
+    std::uint32_t y = cb.add_port({"Y", PortDirection::kOutput, PortRole::kData, 0.0});
+    TimingArc arc;
+    arc.from_port = 0;
+    arc.to_port = y;
+    arc.unate = Unate::kPositive;
+    arc.intrinsic_rise = 60;
+    arc.intrinsic_fall = 60;
+    arc.slope_rise = 1.1;
+    arc.slope_fall = 1.1;
+    cb.add_arc(arc);
+    cb.set_family("CLKBUF", 1);
+    cb.set_area(4.5);
+    lib->add_cell(std::move(cb));
+  }
+
+  // Synchronising elements (paper Section 5):
+  //   DFFT - trailing edge triggered latch (the paper's worked case);
+  //   DFFL - leading edge triggered;
+  //   TLATCH/TLATCHN - level-sensitive transparent latches;
+  //   TRIBUF - clocked tristate driver, "modeled in the same way as
+  //            transparent latches".
+  add_sync_cell(*lib, "DFFT", CellKind::kEdgeTriggeredLatch,
+                TriggerEdge::kTrailing, true, /*setup=*/65, /*dcz=*/95,
+                /*ddz=*/0, 3.6, 2.4, 1.9, 12.0);
+  add_sync_cell(*lib, "DFFL", CellKind::kEdgeTriggeredLatch,
+                TriggerEdge::kLeading, true, 65, 95, 0, 3.6, 2.4, 1.9, 12.0);
+  add_sync_cell(*lib, "TLATCH", CellKind::kTransparentLatch,
+                TriggerEdge::kTrailing, true, 55, 80, 70, 3.4, 2.2, 1.7, 7.5);
+  add_sync_cell(*lib, "TLATCHN", CellKind::kTransparentLatch,
+                TriggerEdge::kTrailing, false, 55, 80, 70, 3.4, 2.2, 1.7, 7.5);
+  add_sync_cell(*lib, "TRIBUF", CellKind::kTristateDriver,
+                TriggerEdge::kTrailing, true, 40, 70, 60, 3.0, 2.0, 1.6, 5.0);
+  return lib;
+}
+
+}  // namespace hb

@@ -1,0 +1,22 @@
+// A self-contained static-CMOS standard-cell library in the spirit of the
+// MSU/Berkeley standard cells the paper's experiments used.  Delay numbers
+// are representative of a generic sub-micron process: what matters for the
+// reproduction is the *form* of the model (empirical linear delay versus
+// connected load, distinct rise/fall) rather than absolute values.
+#pragma once
+
+#include <memory>
+
+#include "netlist/library.hpp"
+
+namespace hb {
+
+/// Build the default library.  Families (each in X1/X2/X4 drive variants):
+/// INV, BUF, NAND2, NAND3, NOR2, NOR3, AND2, OR2, XOR2, XNOR2, AOI21,
+/// OAI21, MUX2; clock buffer CLKBUF; synchronising elements DFFT (trailing-
+/// edge triggered), DFFL (leading-edge triggered), TLATCH (transparent,
+/// active high), TLATCHN (transparent, active low), TRIBUF (clocked
+/// tristate driver, modelled as a transparent element per the paper).
+std::shared_ptr<const Library> make_standard_library();
+
+}  // namespace hb

@@ -1,0 +1,259 @@
+#include "netlist/validate.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "netlist/flatten.hpp"
+
+namespace hb {
+namespace {
+
+// Does any module reachable from `id` contain a sequential cell?
+bool module_has_sequential(const Design& d, ModuleId id) {
+  for (const Instance& inst : d.module(id).insts()) {
+    if (inst.is_cell()) {
+      if (d.lib().cell(inst.cell).is_sequential()) return true;
+    } else if (module_has_sequential(d, inst.module)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+class FlatChecker {
+ public:
+  FlatChecker(const Design& d, ValidationReport& report)
+      : d_(d), top_(d.top()), report_(report) {}
+
+  void run() {
+    check_connections();
+    check_drivers();
+    check_comb_cycles();
+    check_control_cones();
+  }
+
+ private:
+  void error(std::string msg) { report_.errors.push_back(std::move(msg)); }
+
+  void check_connections() {
+    for (const Instance& inst : top_.insts()) {
+      for (std::uint32_t p = 0; p < inst.conn.size(); ++p) {
+        if (!inst.conn[p].valid()) {
+          error("instance '" + inst.name + "' port '" +
+                d_.target_port_name(inst, p) + "' is unconnected");
+        }
+      }
+    }
+  }
+
+  void check_drivers() {
+    for (std::uint32_t n = 0; n < top_.num_nets(); ++n) {
+      const Net& net = top_.net(NetId(n));
+      int drivers = 0;
+      int tristate_drivers = 0;
+      for (const PinRef& pin : net.pins) {
+        const Instance& inst = top_.inst(pin.inst);
+        if (d_.target_port_dir(inst, pin.port) == PortDirection::kOutput) {
+          ++drivers;
+          if (inst.is_cell() &&
+              d_.lib().cell(inst.cell).kind() == CellKind::kTristateDriver) {
+            ++tristate_drivers;
+          }
+        }
+      }
+      for (std::uint32_t p : net.module_ports) {
+        if (top_.port(p).direction == PortDirection::kInput) ++drivers;
+      }
+      if (drivers == 0 && !net.pins.empty()) {
+        error("net '" + net.name + "' has no driver");
+      }
+      // Multiple drivers are legal only when all of them are clocked
+      // tristate drivers (a shared bus).
+      if (drivers > 1 && tristate_drivers != drivers) {
+        error("net '" + net.name + "' has " + std::to_string(drivers) +
+              " drivers (only tristate buses may have several)");
+      }
+    }
+  }
+
+  // Kahn's algorithm over combinational cells only; sequential cells break
+  // the paths (their D->Q dependence is not a combinational arc).
+  void check_comb_cycles() {
+    const auto& insts = top_.insts();
+    std::vector<int> indeg(insts.size(), 0);
+    // adjacency: comb inst -> comb insts reading its output net
+    std::vector<std::vector<std::uint32_t>> succ(insts.size());
+    for (std::uint32_t i = 0; i < insts.size(); ++i) {
+      const Instance& inst = insts[i];
+      if (inst.is_cell() && d_.lib().cell(inst.cell).is_sequential()) continue;
+      for (std::uint32_t p = 0; p < inst.conn.size(); ++p) {
+        if (d_.target_port_dir(inst, p) != PortDirection::kOutput) continue;
+        if (!inst.conn[p].valid()) continue;
+        const Net& net = top_.net(inst.conn[p]);
+        for (const PinRef& pin : net.pins) {
+          const Instance& sink = top_.inst(pin.inst);
+          if (d_.target_port_dir(sink, pin.port) != PortDirection::kInput) continue;
+          if (sink.is_cell() && d_.lib().cell(sink.cell).is_sequential()) continue;
+          succ[i].push_back(pin.inst.value());
+          ++indeg[pin.inst.value()];
+        }
+      }
+    }
+    std::vector<std::uint32_t> queue;
+    for (std::uint32_t i = 0; i < insts.size(); ++i) {
+      if (indeg[i] == 0) queue.push_back(i);
+    }
+    std::size_t seen = 0;
+    while (!queue.empty()) {
+      std::uint32_t i = queue.back();
+      queue.pop_back();
+      ++seen;
+      for (std::uint32_t s : succ[i]) {
+        if (--indeg[s] == 0) queue.push_back(s);
+      }
+    }
+    if (seen != insts.size()) {
+      // Name one instance on a cycle to help debugging.
+      for (std::uint32_t i = 0; i < insts.size(); ++i) {
+        if (indeg[i] > 0) {
+          error("combinational cycle through instance '" + insts[i].name + "'");
+          break;
+        }
+      }
+    }
+  }
+
+  // For every synchronising-element control pin, walk the input cone.
+  // Sources must include exactly one clock port; every cell on a
+  // clock-to-control path must have determinate unateness and the composed
+  // polarity must be unique (the paper's "monotonic combinational logic
+  // function of exactly one clock signal").  Cones may also include
+  // synchronising element outputs (enable paths) — those do not carry clock
+  // polarity.
+  void check_control_cones() {
+    for (const Instance& inst : top_.insts()) {
+      if (!inst.is_cell()) continue;
+      const Cell& cell = d_.lib().cell(inst.cell);
+      if (!cell.is_sequential()) continue;
+      const std::uint32_t ctrl = cell.sync().control;
+      if (!inst.conn[ctrl].valid()) continue;  // reported elsewhere
+      trace_control(inst.name, inst.conn[ctrl]);
+    }
+  }
+
+  struct ConeResult {
+    int num_clocks = 0;
+    std::string clock_name;
+    bool monotonic = true;
+  };
+
+  void trace_control(const std::string& elem_name, NetId net) {
+    // Polarity of each net w.r.t. the clock: 0 unvisited, +1 positive,
+    // -1 negative, 2 conflict/non-unate.
+    std::unordered_map<std::uint32_t, int> polarity;
+    ConeResult res;
+    walk_cone(net, +1, polarity, res);
+    if (!res.monotonic) {
+      error("control input of '" + elem_name +
+            "' is not a monotonic function of one clock signal");
+    } else if (res.num_clocks == 0) {
+      error("control input of '" + elem_name + "' is not reachable from any clock port");
+    } else if (res.num_clocks > 1) {
+      error("control input of '" + elem_name + "' depends on more than one clock");
+    }
+  }
+
+  void walk_cone(NetId net_id, int pol,
+                 std::unordered_map<std::uint32_t, int>& polarity,
+                 ConeResult& res) {
+    auto [it, inserted] = polarity.emplace(net_id.value(), pol);
+    if (!inserted) {
+      if (it->second != pol) res.monotonic = false;
+      return;
+    }
+    const Net& net = top_.net(net_id);
+    // Clock port driving this net?
+    for (std::uint32_t p : net.module_ports) {
+      const ModulePort& port = top_.port(p);
+      if (port.direction == PortDirection::kInput && port.is_clock) {
+        if (res.num_clocks == 0) {
+          res.clock_name = port.name;
+          ++res.num_clocks;
+        } else if (res.clock_name != port.name) {
+          ++res.num_clocks;
+        }
+      }
+    }
+    // Walk through combinational drivers.
+    for (const PinRef& pin : net.pins) {
+      const Instance& inst = top_.inst(pin.inst);
+      if (d_.target_port_dir(inst, pin.port) != PortDirection::kOutput) continue;
+      if (inst.is_cell() && d_.lib().cell(inst.cell).is_sequential()) {
+        continue;  // enable path source; carries no clock polarity
+      }
+      if (!inst.is_cell()) {
+        // Flat designs only reach here if validate() was handed hierarchy;
+        // treat module as opaque non-unate.
+        res.monotonic = false;
+        continue;
+      }
+      const Cell& cell = d_.lib().cell(inst.cell);
+      for (const TimingArc& arc : cell.arcs()) {
+        if (arc.to_port != pin.port) continue;
+        if (!inst.conn[arc.from_port].valid()) continue;
+        // Non-unate gates break monotonicity, but the cone walk continues so
+        // clock reachability is still discovered and reported sensibly.
+        if (arc.unate == Unate::kNone) res.monotonic = false;
+        const int next = arc.unate == Unate::kNegative ? -pol : pol;
+        walk_cone(inst.conn[arc.from_port], next, polarity, res);
+      }
+    }
+  }
+
+  const Design& d_;
+  const Module& top_;
+  ValidationReport& report_;
+};
+
+}  // namespace
+
+std::string ValidationReport::to_string() const {
+  std::string out;
+  for (const std::string& e : errors) {
+    out += e;
+    out += '\n';
+  }
+  return out;
+}
+
+ValidationReport validate(const Design& design) {
+  ValidationReport report;
+
+  // Hierarchy rule: instantiated submodules must be purely combinational.
+  bool hierarchical = false;
+  for (const Instance& inst : design.top().insts()) {
+    if (!inst.is_cell()) {
+      hierarchical = true;
+      if (module_has_sequential(design, inst.module)) {
+        report.errors.push_back("submodule '" + design.module(inst.module).name() +
+                                "' contains synchronising elements");
+      }
+    }
+  }
+  if (!report.ok()) return report;
+
+  if (hierarchical) {
+    Design flat = flatten(design);
+    FlatChecker(flat, report).run();
+  } else {
+    FlatChecker(design, report).run();
+  }
+  return report;
+}
+
+void validate_or_throw(const Design& design) {
+  ValidationReport report = validate(design);
+  if (!report.ok()) raise("design '" + design.name() + "' invalid:\n" + report.to_string());
+}
+
+}  // namespace hb

@@ -1,0 +1,35 @@
+// Structural validation of designs against the paper's Section 3
+// assumptions:
+//   * data flows from input terminals to output terminals (single driver
+//     per net, all terminals bound);
+//   * no directed cycles within any portion of combinational logic;
+//   * every synchronising-element control input is a *monotonic*
+//     combinational function of exactly one clock signal (arbitrary enable
+//     paths from synchronising element outputs are allowed, but the
+//     clock-to-control polarity must be unambiguous);
+//   * submodules are purely combinational (this library's hierarchy rule).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "netlist/design.hpp"
+
+namespace hb {
+
+struct ValidationReport {
+  std::vector<std::string> errors;
+  bool ok() const { return errors.empty(); }
+  /// All errors joined with newlines (empty when ok()).
+  std::string to_string() const;
+};
+
+/// Validate a design (hierarchical designs are flattened internally for the
+/// connectivity and cycle checks).  Never throws on *design* problems; all
+/// findings are returned in the report.
+ValidationReport validate(const Design& design);
+
+/// Convenience: validate and throw hb::Error on the first problem.
+void validate_or_throw(const Design& design);
+
+}  // namespace hb

@@ -1,0 +1,102 @@
+#include "sta/algorithm1.hpp"
+
+namespace hb {
+namespace {
+
+enum class Direction { kForward, kBackward };
+
+/// One transfer sweep across all synchronising elements.  Complete transfer
+/// moves min(slack, headroom); partial transfer moves min(slack/divisor,
+/// headroom).  Returns true if any offsets moved.
+bool transfer_sweep(SyncModel& sync, const SlackEngine& engine, Direction dir,
+                    TimePs divisor) {
+  bool moved = false;
+  for (std::uint32_t i = 0; i < sync.num_instances(); ++i) {
+    SyncInstance& si = sync.at_mut(SyncId(i));
+    if (!si.transparent || si.is_virtual) continue;
+    if (dir == Direction::kForward) {
+      // Donate spare time from paths converging on the data input to paths
+      // emanating from the output: close the input (and assert the output)
+      // earlier.
+      const TimePs n_in = engine.capture_slack(SyncId(i));
+      if (n_in == kInfinitePs) continue;
+      const TimePs amount = std::min(n_in / divisor, si.max_decrease());
+      if (amount > 0) {
+        si.shift(-amount);
+        moved = true;
+      }
+    } else {
+      const TimePs n_out = engine.launch_slack(SyncId(i));
+      if (n_out == kInfinitePs) continue;
+      const TimePs amount = std::min(n_out / divisor, si.max_increase());
+      if (amount > 0) {
+        si.shift(amount);
+        moved = true;
+      }
+    }
+  }
+  return moved;
+}
+
+}  // namespace
+
+Algorithm1Result run_algorithm1(SyncModel& sync, SlackEngine& engine,
+                                Algorithm1Options options) {
+  HB_ASSERT(options.partial_divisor > 1);
+  Algorithm1Result res;
+
+  auto evaluate = [&]() {
+    engine.compute();
+    ++res.slack_evaluations;
+    return engine.worst_terminal_slack();
+  };
+
+  auto finish = [&](TimePs worst) {
+    res.worst_slack = worst;
+    res.works_as_intended = worst > 0;
+    return res;
+  };
+
+  // Iteration 1: complete forward transfer to fixpoint.
+  for (;;) {
+    const TimePs worst = evaluate();
+    if (worst > 0) return finish(worst);
+    if (res.forward_cycles >= options.max_cycles) {
+      raise("Algorithm 1 exceeded the forward-transfer cycle limit");
+    }
+    if (!transfer_sweep(sync, engine, Direction::kForward, 1)) break;
+    ++res.forward_cycles;
+  }
+
+  // Iteration 2: complete backward transfer to fixpoint.
+  for (;;) {
+    const TimePs worst = evaluate();
+    if (worst > 0) return finish(worst);
+    if (res.backward_cycles >= options.max_cycles) {
+      raise("Algorithm 1 exceeded the backward-transfer cycle limit");
+    }
+    if (!transfer_sweep(sync, engine, Direction::kBackward, 1)) break;
+    ++res.backward_cycles;
+  }
+
+  // Iteration 3: partial forward, once per complete backward cycle made.
+  for (int k = 0; k < res.backward_cycles; ++k) {
+    evaluate();
+    if (transfer_sweep(sync, engine, Direction::kForward, options.partial_divisor)) {
+      ++res.partial_forward_cycles;
+    }
+  }
+
+  // Iteration 4: partial backward, once per complete forward cycle made.
+  for (int k = 0; k < res.forward_cycles; ++k) {
+    evaluate();
+    if (transfer_sweep(sync, engine, Direction::kBackward, options.partial_divisor)) {
+      ++res.partial_backward_cycles;
+    }
+  }
+
+  // Final step: find all node slacks.
+  return finish(evaluate());
+}
+
+}  // namespace hb

@@ -1,0 +1,47 @@
+// Algorithm 1 of the paper: identification of slow paths by iterated slack
+// transfer across synchronising elements.
+//
+//   Iteration 1: complete *forward* slack transfer (donate all spare input
+//     slack downstream, bounded by the element constraints) repeated until
+//     no element moves.
+//   Iteration 2: the same *backward*.
+//   Iteration 3: partial forward transfer (half the slack), repeated once
+//     per complete-backward cycle performed, returning some time to paths
+//     that are fast enough so they finish with strictly positive slacks.
+//   Iteration 4: partial backward transfer, once per complete-forward cycle.
+//
+// Terminates early when every terminal slack is positive ("system behaves
+// as intended").  Afterwards, every terminal on a too-slow path has a
+// non-positive slack; because of the simplified element model, marginally
+// fast paths may conservatively be flagged too (paper Section 6).
+#pragma once
+
+#include "sta/slack_engine.hpp"
+
+namespace hb {
+
+struct Algorithm1Options {
+  /// Divisor n > 1 used by partial transfers (paper: "any real number > 1").
+  TimePs partial_divisor = 2;
+  /// Safety cap on transfer cycles; the paper observes each iteration needs
+  /// at most one cycle more than the synchronising-element depth.
+  int max_cycles = 10000;
+};
+
+struct Algorithm1Result {
+  bool works_as_intended = false;
+  /// Worst terminal slack after the final recomputation.
+  TimePs worst_slack = 0;
+  int forward_cycles = 0;    // complete forward transfer cycles executed
+  int backward_cycles = 0;
+  int partial_forward_cycles = 0;
+  int partial_backward_cycles = 0;
+  int slack_evaluations = 0;  // number of full slack recomputations
+};
+
+/// Runs Algorithm 1, mutating the adjustable offsets in `sync` and leaving
+/// `engine` holding the final slack state.
+Algorithm1Result run_algorithm1(SyncModel& sync, SlackEngine& engine,
+                                Algorithm1Options options = {});
+
+}  // namespace hb

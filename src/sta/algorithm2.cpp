@@ -1,0 +1,73 @@
+#include "sta/algorithm2.hpp"
+
+namespace hb {
+namespace {
+
+/// One snatching sweep; returns true if anything moved.  Backward snatching
+/// gives time to the input side (offsets increase); forward snatching to the
+/// output side (offsets decrease).
+bool snatch_sweep(SyncModel& sync, const SlackEngine& engine, bool backward) {
+  bool moved = false;
+  for (std::uint32_t i = 0; i < sync.num_instances(); ++i) {
+    SyncInstance& si = sync.at_mut(SyncId(i));
+    if (!si.transparent || si.is_virtual) continue;
+    if (backward) {
+      const TimePs n_in = engine.capture_slack(SyncId(i));
+      if (n_in >= 0 || n_in == kInfinitePs) continue;
+      const TimePs amount = std::min(-n_in, si.max_increase());
+      if (amount > 0) {
+        si.shift(amount);
+        moved = true;
+      }
+    } else {
+      const TimePs n_out = engine.launch_slack(SyncId(i));
+      if (n_out >= 0 || n_out == kInfinitePs) continue;
+      const TimePs amount = std::min(-n_out, si.max_decrease());
+      if (amount > 0) {
+        si.shift(-amount);
+        moved = true;
+      }
+    }
+  }
+  return moved;
+}
+
+}  // namespace
+
+ConstraintSet run_algorithm2(SyncModel& sync, SlackEngine& engine,
+                             Algorithm2Options options) {
+  ConstraintSet out;
+  out.nodes.resize(engine.graph().num_nodes());
+
+  // Iteration 1: backward snatching to fixpoint, then record ready times.
+  for (;;) {
+    engine.compute();
+    if (!snatch_sweep(sync, engine, /*backward=*/true)) break;
+    if (++out.backward_snatch_cycles > options.max_cycles) {
+      raise("Algorithm 2 exceeded the backward-snatch cycle limit");
+    }
+  }
+  for (std::uint32_t n = 0; n < engine.graph().num_nodes(); ++n) {
+    const NodeTiming& nt = engine.node_timing(TNodeId(n));
+    out.nodes[n].has_ready = nt.has_ready;
+    out.nodes[n].ready = nt.ready;
+  }
+
+  // Iteration 2: forward snatching to fixpoint, then record required times.
+  for (;;) {
+    engine.compute();
+    if (!snatch_sweep(sync, engine, /*backward=*/false)) break;
+    if (++out.forward_snatch_cycles > options.max_cycles) {
+      raise("Algorithm 2 exceeded the forward-snatch cycle limit");
+    }
+  }
+  for (std::uint32_t n = 0; n < engine.graph().num_nodes(); ++n) {
+    const NodeTiming& nt = engine.node_timing(TNodeId(n));
+    out.nodes[n].has_required = nt.has_constraint;
+    out.nodes[n].required = nt.required;
+    out.nodes[n].slack = nt.slack;
+  }
+  return out;
+}
+
+}  // namespace hb

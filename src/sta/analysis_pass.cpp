@@ -1,0 +1,72 @@
+#include "sta/analysis_pass.hpp"
+
+namespace hb {
+
+PassResult run_analysis_pass(const TimingGraph& graph, const SyncModel& sync,
+                             const Cluster& cluster,
+                             const std::vector<std::uint32_t>& local_index,
+                             const ClockEdgeGraph& edges, std::size_t break_node,
+                             const std::vector<SyncId>& capture_insts,
+                             const std::vector<bool>& assigned) {
+  PassResult res;
+  res.ready.resize(cluster.nodes.size());
+  res.required.resize(cluster.nodes.size());
+
+  // Seed launch terminals: the latest actual assertion over the node's
+  // launch instances, in linear coordinates.
+  for (TNodeId n : cluster.source_nodes) {
+    TimePs latest = -kInfinitePs;
+    for (SyncId id : sync.launches_at(n)) {
+      const SyncInstance& si = sync.at(id);
+      const TimePs a = edges.linear_assert(si.ideal_assert, break_node) +
+                       si.assert_offset();
+      latest = std::max(latest, a);
+    }
+    res.ready[local_index[n.index()]] = RiseFall{latest, latest};
+  }
+
+  // Forward trace, eq. (1): R_z = max_i (R_i + P_iz).
+  for (TNodeId n : cluster.nodes) {
+    const auto& in = res.ready[local_index[n.index()]];
+    if (!in) continue;
+    // Data does not propagate combinationally through synchronising
+    // elements or out of capture terminals.
+    const NodeRole role = graph.node(n).role;
+    if (role == NodeRole::kSyncDataIn || role == NodeRole::kSyncControl) continue;
+    for (std::uint32_t ai : graph.fanout(n)) {
+      const TArcRec& arc = graph.arc(ai);
+      const RiseFall cand = propagate_forward(*in, arc, arc.delay);
+      auto& slot = res.ready[local_index[arc.to.index()]];
+      slot = slot ? rf_max(*slot, cand) : cand;
+    }
+  }
+
+  // Seed capture terminals assigned to this pass with their closure times.
+  for (std::size_t k = 0; k < capture_insts.size(); ++k) {
+    if (!assigned[k]) continue;
+    const SyncInstance& si = sync.at(capture_insts[k]);
+    const TimePs c = edges.linear_close(si.ideal_close, break_node) +
+                     si.close_offset();
+    auto& slot = res.required[local_index[si.data_in.index()]];
+    slot = slot ? rf_min(*slot, RiseFall{c, c}) : RiseFall{c, c};
+  }
+
+  // Backward trace, eq. (2) in required-time form: Q_i = min_z (Q_z - P_iz).
+  for (auto it = cluster.nodes.rbegin(); it != cluster.nodes.rend(); ++it) {
+    const TNodeId n = *it;
+    const NodeRole role = graph.node(n).role;
+    if (role == NodeRole::kSyncDataIn || role == NodeRole::kSyncControl) continue;
+    for (std::uint32_t ai : graph.fanout(n)) {
+      const TArcRec& arc = graph.arc(ai);
+      const auto& out = res.required[local_index[arc.to.index()]];
+      if (!out) continue;
+      const RiseFall cand = propagate_backward(*out, arc, arc.delay);
+      auto& slot = res.required[local_index[n.index()]];
+      slot = slot ? rf_min(*slot, cand) : cand;
+    }
+  }
+
+  return res;
+}
+
+}  // namespace hb

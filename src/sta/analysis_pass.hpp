@@ -1,0 +1,42 @@
+// One block-oriented cluster analysis pass (paper Section 7, equations (1)
+// and (2)) in the linearised coordinates of a chosen break of the clock
+// period.
+//
+// Ready times are traced forward from the cluster's launch terminals
+// (synchronising element outputs and primary inputs); required times are
+// traced backward from the capture terminals *assigned to this pass*.
+// Unassigned captures contribute no constraint ("we set the node slack to a
+// large number"), so each output's slack is meaningful only in its assigned
+// pass — the one where its ideal closure time falls closest to the end of
+// the broken-open period.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "clocks/edge_graph.hpp"
+#include "sta/cluster.hpp"
+
+namespace hb {
+
+struct PassResult {
+  /// Indexed like Cluster::nodes.  Disengaged = the node is not reached by
+  /// any launch (ready) / does not feed any assigned capture (required).
+  std::vector<std::optional<RiseFall>> ready;
+  std::vector<std::optional<RiseFall>> required;
+};
+
+/// Runs eq. (1) forward and eq. (2) backward over `cluster`.
+///
+/// `local_index[node]` maps global node ids to positions in Cluster::nodes.
+/// `assigned[k]` is true when capture instance `capture_insts[k]` reads its
+/// slack from this pass; `capture_insts` lists all capture instances on the
+/// cluster's sink nodes in a fixed order chosen by the caller.
+PassResult run_analysis_pass(const TimingGraph& graph, const SyncModel& sync,
+                             const Cluster& cluster,
+                             const std::vector<std::uint32_t>& local_index,
+                             const ClockEdgeGraph& edges, std::size_t break_node,
+                             const std::vector<SyncId>& capture_insts,
+                             const std::vector<bool>& assigned);
+
+}  // namespace hb

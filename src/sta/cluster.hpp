@@ -1,0 +1,44 @@
+// Combinational clusters (paper Section 7): "a maximal connected network of
+// combinational logic elements.  All inputs to a cluster are synchronising
+// element outputs and all outputs from a cluster are synchronising element
+// inputs."
+//
+// Since the timing graph contains no arcs through synchronising elements,
+// clusters are exactly the connected components of the timing graph's arc
+// set.  Boundary pins (latch D/Q pins, ports, enable-path control pins)
+// belong to the cluster their arcs touch.
+#pragma once
+
+#include <vector>
+
+#include "sta/sync_model.hpp"
+#include "sta/timing_graph.hpp"
+
+namespace hb {
+
+struct Cluster {
+  /// Member nodes in global topological order.
+  std::vector<TNodeId> nodes;
+  /// Arc indices internal to the cluster.
+  std::vector<std::uint32_t> arcs;
+  /// Member nodes carrying launch instances (cluster inputs) and capture
+  /// instances (cluster outputs).
+  std::vector<TNodeId> source_nodes;
+  std::vector<TNodeId> sink_nodes;
+};
+
+class ClusterSet {
+ public:
+  ClusterSet(const TimingGraph& graph, const SyncModel& sync);
+
+  std::size_t num_clusters() const { return clusters_.size(); }
+  const Cluster& cluster(ClusterId id) const { return clusters_.at(id.index()); }
+  /// Cluster containing a node; invalid for isolated nodes.
+  ClusterId cluster_of(TNodeId node) const { return of_node_.at(node.index()); }
+
+ private:
+  std::vector<Cluster> clusters_;
+  std::vector<ClusterId> of_node_;
+};
+
+}  // namespace hb

@@ -1,0 +1,91 @@
+#include "sta/hold_check.hpp"
+
+#include <algorithm>
+#include <optional>
+
+namespace hb {
+
+std::vector<HoldViolation> check_hold(const SlackEngine& engine,
+                                      TimePs hold_margin) {
+  const TimingGraph& graph = engine.graph();
+  const SyncModel& sync = engine.sync();
+  const ClusterSet& clusters = engine.clusters();
+  const TimePs T = sync.overall_period();
+  std::vector<HoldViolation> out;
+
+  for (std::uint32_t c = 0; c < clusters.num_clusters(); ++c) {
+    const Cluster& cl = clusters.cluster(ClusterId(c));
+    if (cl.source_nodes.empty() || cl.sink_nodes.empty()) continue;
+
+    // Minimum propagation delay from each source node to every node of the
+    // cluster (scalar: min over transitions).
+    for (TNodeId src : cl.source_nodes) {
+      std::vector<std::optional<TimePs>> dmin(cl.nodes.size());
+      dmin[engine.local_index(src)] = 0;
+      for (TNodeId n : cl.nodes) {
+        const auto& dn = dmin[engine.local_index(n)];
+        if (!dn) continue;
+        const NodeRole role = graph.node(n).role;
+        if (role == NodeRole::kSyncDataIn || role == NodeRole::kSyncControl) {
+          continue;
+        }
+        for (std::uint32_t ai : graph.fanout(n)) {
+          const TArcRec& arc = graph.arc(ai);
+          const TimePs cand = *dn + arc.delay.min();
+          auto& slot = dmin[engine.local_index(arc.to)];
+          slot = slot ? std::min(*slot, cand) : cand;
+        }
+      }
+
+      for (TNodeId sink : cl.sink_nodes) {
+        const auto& d = dmin[engine.local_index(sink)];
+        if (!d) continue;
+        for (SyncId li : sync.launches_at(src)) {
+          const SyncInstance& launch = sync.at(li);
+          for (SyncId cj : sync.captures_at(sink)) {
+            const SyncInstance& cap = sync.at(cj);
+            if (!cap.inst.valid() && cap.is_virtual) continue;  // PO: no race
+            // Previous closure of the capture element relative to the
+            // launch's assertion: the closure instance (of the same
+            // physical element) at the smallest cyclic distance at-or-
+            // before the launch edge.
+            TimePs gap = kInfinitePs;
+            TimePs prev_offset = 0;
+            for (SyncId ck : sync.captures_at(sink)) {
+              const SyncInstance& other = sync.at(ck);
+              if (other.inst != cap.inst || other.is_virtual != cap.is_virtual) {
+                continue;
+              }
+              const TimePs g = mod_period(launch.ideal_assert - other.ideal_close, T);
+              if (g < gap) {
+                gap = g;
+                prev_offset = other.close_offset();
+              }
+            }
+            if (gap == kInfinitePs) continue;
+            // Earliest arrival vs. previous closure, both in actual time.
+            const TimePs margin = launch.assert_offset() + *d + gap - prev_offset;
+            if (margin < hold_margin) {
+              out.push_back({li, cj, margin});
+            }
+          }
+        }
+      }
+    }
+  }
+
+  // Deduplicate identical (launch, capture) pairs keeping the worst margin.
+  std::sort(out.begin(), out.end(), [](const HoldViolation& a, const HoldViolation& b) {
+    if (a.launch != b.launch) return a.launch < b.launch;
+    if (a.capture != b.capture) return a.capture < b.capture;
+    return a.margin < b.margin;
+  });
+  out.erase(std::unique(out.begin(), out.end(),
+                        [](const HoldViolation& a, const HoldViolation& b) {
+                          return a.launch == b.launch && a.capture == b.capture;
+                        }),
+            out.end());
+  return out;
+}
+
+}  // namespace hb

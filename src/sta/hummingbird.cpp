@@ -1,0 +1,74 @@
+#include "sta/hummingbird.hpp"
+
+#include <chrono>
+
+#include "netlist/validate.hpp"
+
+namespace hb {
+namespace {
+
+double seconds_since(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+}  // namespace
+
+Hummingbird::Hummingbird(const Design& design, const ClockSet& clocks,
+                         HummingbirdOptions options)
+    : design_(&design), options_(std::move(options)) {
+  if (options_.validate) validate_or_throw(design);
+
+  const auto start = std::chrono::steady_clock::now();
+  calc_ = std::make_unique<DelayCalculator>(design, options_.wire);
+  if (options_.delay_derate != 1.0) calc_->set_derate(options_.delay_derate);
+  graph_ = std::make_unique<TimingGraph>(design, *calc_);
+  sync_ = std::make_unique<SyncModel>(*graph_, clocks, *calc_, options_.sync);
+  clusters_ = std::make_unique<ClusterSet>(*graph_, *sync_);
+  engine_ = std::make_unique<SlackEngine>(*graph_, *clusters_, *sync_);
+  stats_.preprocess_seconds = seconds_since(start);
+
+  stats_.cells = design.total_cell_count();
+  stats_.nets = design.total_net_count();
+  stats_.graph_nodes = graph_->num_nodes();
+  stats_.graph_arcs = graph_->num_arcs();
+  stats_.sync_instances = sync_->num_instances();
+  stats_.clusters = clusters_->num_clusters();
+  stats_.analysis_passes = engine_->num_passes_total();
+}
+
+Hummingbird::~Hummingbird() = default;
+
+Algorithm1Result Hummingbird::analyze() {
+  sync_->reset_offsets();
+  const auto start = std::chrono::steady_clock::now();
+  Algorithm1Result res = run_algorithm1(*sync_, *engine_, options_.alg1);
+  stats_.analysis_seconds = seconds_since(start);
+  analyzed_ = true;
+  return res;
+}
+
+ConstraintSet Hummingbird::generate_constraints() {
+  if (!analyzed_) analyze();
+  return run_algorithm2(*sync_, *engine_, options_.alg2);
+}
+
+std::vector<HoldViolation> Hummingbird::check_hold_times(TimePs hold_margin) const {
+  return check_hold(*engine_, hold_margin);
+}
+
+std::vector<SlowPath> Hummingbird::slow_paths(std::size_t max_paths) const {
+  return enumerate_slow_paths(*engine_, max_paths);
+}
+
+std::string Hummingbird::report(std::size_t max_paths) const {
+  std::string out = timing_summary(*engine_);
+  out += format_paths(*engine_, slow_paths(max_paths));
+  return out;
+}
+
+void Hummingbird::flag_slow_paths_in(Design& design, std::size_t max_paths) const {
+  flag_slow_paths(design, *graph_, slow_paths(max_paths));
+}
+
+}  // namespace hb

@@ -1,0 +1,109 @@
+// Hummingbird — the public API of the timing analyser.
+//
+// Usage:
+//   auto lib = make_standard_library();
+//   Design design = ...;                 // or load_netlist()
+//   ClockSet clocks; clocks.add_simple_clock("phi1", ns(20), 0, ns(8));
+//   Hummingbird hb(design, clocks);      // pre-processing happens here
+//   auto result = hb.analyze();          // Algorithm 1
+//   if (!result.works_as_intended) {
+//     std::cout << hb.report();
+//     auto constraints = hb.generate_constraints();  // Algorithm 2
+//   }
+//
+// The constructor performs the paper's *pre-processing* (cluster
+// generation, the Section 7 break-open computation) and analyze() runs
+// Algorithm 1; both are timed separately so Table 1 can be regenerated.
+// Hummingbird also supports the paper's interactive mode: mutate the clock
+// set or the design, construct a fresh Hummingbird, and compare — see
+// examples/clock_explorer.cpp.
+#pragma once
+
+#include <memory>
+
+#include "netlist/design.hpp"
+#include "sta/algorithm1.hpp"
+#include "sta/algorithm2.hpp"
+#include "sta/hold_check.hpp"
+#include "sta/report.hpp"
+
+namespace hb {
+
+struct HummingbirdOptions {
+  WireLoadModel wire;
+  SyncModelOptions sync;
+  Algorithm1Options alg1;
+  Algorithm2Options alg2;
+  /// Global component-delay derating factor (interactive what-if analysis:
+  /// "what if everything were 20% slower?" -> 1.2).
+  double delay_derate = 1.0;
+  /// Validate the design structurally before analysis (recommended; turn
+  /// off only in tight analyse-redesign loops that re-check elsewhere).
+  bool validate = true;
+};
+
+struct AnalysisStats {
+  std::size_t cells = 0;            // library cell instances (recursive)
+  std::size_t nets = 0;             // nets (recursive)
+  std::size_t graph_nodes = 0;
+  std::size_t graph_arcs = 0;
+  std::size_t sync_instances = 0;   // generic element instances
+  std::size_t clusters = 0;
+  std::size_t analysis_passes = 0;  // total break count over clusters
+  double preprocess_seconds = 0.0;  // graph + clusters + Section 7
+  double analysis_seconds = 0.0;    // Algorithm 1
+};
+
+class Hummingbird {
+ public:
+  /// Builds the timing graph, synchronising-element instances, clusters and
+  /// break-open passes.  `design` and `clocks` must outlive the analyser.
+  Hummingbird(const Design& design, const ClockSet& clocks,
+              HummingbirdOptions options = {});
+  ~Hummingbird();
+
+  Hummingbird(const Hummingbird&) = delete;
+  Hummingbird& operator=(const Hummingbird&) = delete;
+
+  /// Run Algorithm 1 from freshly initialised offsets.
+  Algorithm1Result analyze();
+
+  /// Run Algorithm 2 (requires a preceding analyze(); enforced).
+  ConstraintSet generate_constraints();
+
+  /// Supplementary-path (hold) checking — extension, see hold_check.hpp.
+  std::vector<HoldViolation> check_hold_times(TimePs hold_margin = 0) const;
+
+  /// Worst-first slow paths with full step traces.
+  std::vector<SlowPath> slow_paths(std::size_t max_paths = 10) const;
+
+  /// Text report: summary plus the worst slow paths.
+  std::string report(std::size_t max_paths = 10) const;
+
+  /// Flag the nets of all slow paths in a design database (usually the one
+  /// analysed, passed mutably by the caller).
+  void flag_slow_paths_in(Design& design, std::size_t max_paths = 1000) const;
+
+  const AnalysisStats& stats() const { return stats_; }
+  const TimingGraph& graph() const { return *graph_; }
+  const SlackEngine& engine() const { return *engine_; }
+  /// Mutable access for baseline comparisons that drive the engine directly
+  /// (e.g. rigid_latch_analysis).
+  SlackEngine& engine_mut() { return *engine_; }
+  const SyncModel& sync_model() const { return *sync_; }
+  SyncModel& sync_model_mut() { return *sync_; }
+  const DelayCalculator& calculator() const { return *calc_; }
+
+ private:
+  const Design* design_;
+  HummingbirdOptions options_;
+  std::unique_ptr<DelayCalculator> calc_;
+  std::unique_ptr<TimingGraph> graph_;
+  std::unique_ptr<SyncModel> sync_;
+  std::unique_ptr<ClusterSet> clusters_;
+  std::unique_ptr<SlackEngine> engine_;
+  AnalysisStats stats_;
+  bool analyzed_ = false;
+};
+
+}  // namespace hb

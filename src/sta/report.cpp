@@ -1,0 +1,157 @@
+#include "sta/report.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+namespace hb {
+namespace {
+
+/// Backtrace the critical chain from `end` (with ready value `arr`, rising
+/// iff `rising`) through the pass's ready annotations.
+std::vector<PathStep> backtrace(const SlackEngine& engine, ClusterId c,
+                                const PassResult& res, TNodeId end) {
+  const TimingGraph& graph = engine.graph();
+  std::vector<PathStep> rev;
+
+  const auto& end_ready = res.ready[engine.local_index(end)];
+  HB_ASSERT(end_ready.has_value());
+  bool rising = end_ready->rise >= end_ready->fall;
+  TNodeId node = end;
+  TimePs arrival = rising ? end_ready->rise : end_ready->fall;
+
+  for (;;) {
+    rev.push_back({node, arrival, rising});
+    if (!engine.sync().launches_at(node).empty()) break;  // reached a launch
+
+    bool found = false;
+    for (std::uint32_t ai : graph.fanin(node)) {
+      const TArcRec& arc = graph.arc(ai);
+      if (!engine.clusters().cluster_of(arc.from).valid() ||
+          engine.clusters().cluster_of(arc.from) != c) {
+        continue;
+      }
+      const auto& from_ready = res.ready[engine.local_index(arc.from)];
+      if (!from_ready) continue;
+      const TimePs d = rising ? arc.delay.rise : arc.delay.fall;
+      // Which input transition explains this output transition?
+      bool prev_rising = rising;
+      TimePs prev_arrival = 0;
+      switch (arc.unate) {
+        case Unate::kPositive:
+          prev_rising = rising;
+          break;
+        case Unate::kNegative:
+          prev_rising = !rising;
+          break;
+        case Unate::kNone:
+          prev_rising = from_ready->rise >= from_ready->fall;
+          break;
+      }
+      prev_arrival = prev_rising ? from_ready->rise : from_ready->fall;
+      if (prev_arrival + d == arrival) {
+        node = arc.from;
+        arrival = prev_arrival;
+        rising = prev_rising;
+        found = true;
+        break;
+      }
+    }
+    if (!found) break;  // should not happen; stop defensively
+  }
+  std::reverse(rev.begin(), rev.end());
+  return rev;
+}
+
+}  // namespace
+
+std::vector<SlowPath> enumerate_slow_paths(const SlackEngine& engine,
+                                           std::size_t max_paths,
+                                           TimePs slack_limit) {
+  const SyncModel& sync = engine.sync();
+
+  // Violating captures, worst first.
+  std::vector<SyncId> violators;
+  for (std::uint32_t i = 0; i < sync.num_instances(); ++i) {
+    const SyncInstance& si = sync.at(SyncId(i));
+    if (!si.data_in.valid()) continue;
+    const TimePs s = engine.capture_slack(SyncId(i));
+    if (s != kInfinitePs && s < slack_limit) violators.push_back(SyncId(i));
+  }
+  std::sort(violators.begin(), violators.end(), [&](SyncId a, SyncId b) {
+    return engine.capture_slack(a) < engine.capture_slack(b);
+  });
+  if (violators.size() > max_paths) violators.resize(max_paths);
+
+  std::vector<SlowPath> out;
+  for (SyncId cap : violators) {
+    const SyncInstance& si = sync.at(cap);
+    const ClusterId c = engine.clusters().cluster_of(si.data_in);
+    if (!c.valid()) continue;
+    const PassResult res = engine.run_pass(c, engine.assigned_pass(cap));
+
+    SlowPath path;
+    path.slack = engine.capture_slack(cap);
+    path.capture = cap;
+    path.steps = backtrace(engine, c, res, si.data_in);
+    // Identify the launch terminal the chain starts at: the instance at the
+    // first step whose assertion matches the start arrival.
+    if (!path.steps.empty()) {
+      const PathStep& first = path.steps.front();
+      const auto& launches = sync.launches_at(first.node);
+      for (SyncId l : launches) {
+        path.launch = l;  // all launch instances share the node; keep last
+      }
+    }
+    out.push_back(std::move(path));
+  }
+  return out;
+}
+
+std::string format_paths(const SlackEngine& engine,
+                         const std::vector<SlowPath>& paths) {
+  std::ostringstream os;
+  const SyncModel& sync = engine.sync();
+  for (const SlowPath& p : paths) {
+    os << "slow path: slack " << format_time(p.slack) << ", capture "
+       << sync.at(p.capture).label;
+    if (p.launch.valid()) os << ", launch " << sync.at(p.launch).label;
+    os << "\n";
+    for (const PathStep& s : p.steps) {
+      os << "    " << engine.graph().node_name(s.node) << " "
+         << (s.rising ? "^" : "v") << " @ " << format_time(s.arrival) << "\n";
+    }
+  }
+  return os.str();
+}
+
+void flag_slow_paths(Design& design, const TimingGraph& graph,
+                     const std::vector<SlowPath>& paths) {
+  for (const SlowPath& p : paths) {
+    for (const PathStep& s : p.steps) {
+      const NetId net = graph.node(s.node).net;
+      if (net.valid()) design.flag_slow_net(net);
+    }
+  }
+}
+
+std::string timing_summary(const SlackEngine& engine) {
+  const SyncModel& sync = engine.sync();
+  std::size_t terminals = 0, violations = 0;
+  TimePs worst = kInfinitePs;
+  for (std::uint32_t i = 0; i < sync.num_instances(); ++i) {
+    for (TimePs s : {engine.launch_slack(SyncId(i)), engine.capture_slack(SyncId(i))}) {
+      if (s == kInfinitePs) continue;
+      ++terminals;
+      if (s <= 0) ++violations;
+      worst = std::min(worst, s);
+    }
+  }
+  std::ostringstream os;
+  os << "terminals: " << terminals << ", violations: " << violations
+     << ", worst slack: " << (worst == kInfinitePs ? "+inf" : format_time(worst))
+     << ", clusters: " << engine.clusters().num_clusters()
+     << ", analysis passes: " << engine.num_passes_total() << "\n";
+  return os.str();
+}
+
+}  // namespace hb

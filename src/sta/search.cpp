@@ -1,0 +1,41 @@
+#include "sta/search.hpp"
+
+namespace hb {
+
+bool works_at_period(const Design& design, const ClockFactory& make_clocks,
+                     TimePs period, const MinPeriodOptions& options) {
+  const ClockSet clocks = make_clocks(period);
+  Hummingbird analyser(design, clocks, options.analysis);
+  if (options.rigid) {
+    // End-of-pulse offsets with no transfers — the rigid-latch view (same
+    // semantics as baseline/rigid_latch, restated here to keep the layering
+    // acyclic).
+    analyser.sync_model_mut().reset_offsets();
+    analyser.engine_mut().compute();
+    return analyser.engine().worst_terminal_slack() > 0;
+  }
+  return analyser.analyze().works_as_intended;
+}
+
+TimePs find_min_period(const Design& design, const ClockFactory& make_clocks,
+                       MinPeriodOptions options) {
+  HB_ASSERT(options.grid > 0 && options.lo > 0 && options.lo <= options.hi);
+  // Snap bounds onto the grid.
+  TimePs lo = (options.lo + options.grid - 1) / options.grid;
+  TimePs hi = options.hi / options.grid;
+  if (hi < lo) hi = lo;
+  if (!works_at_period(design, make_clocks, hi * options.grid, options)) {
+    return (hi + 1) * options.grid;
+  }
+  while (lo < hi) {
+    const TimePs mid = lo + (hi - lo) / 2;
+    if (works_at_period(design, make_clocks, mid * options.grid, options)) {
+      hi = mid;
+    } else {
+      lo = mid + 1;
+    }
+  }
+  return lo * options.grid;
+}
+
+}  // namespace hb

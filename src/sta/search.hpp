@@ -1,0 +1,37 @@
+// Clock-schedule exploration helpers — the programmatic face of the paper's
+// interactive mode ("changes may be made to the shapes of the clock
+// waveforms to determine the effect on system timing").
+#pragma once
+
+#include <functional>
+
+#include "netlist/design.hpp"
+#include "sta/hummingbird.hpp"
+
+namespace hb {
+
+struct MinPeriodOptions {
+  TimePs lo = ns(1);
+  TimePs hi = ns(100);
+  /// Search grid: the result is the smallest multiple-of-grid period in
+  /// [lo, hi] that works (binary search, monotone by assumption).
+  TimePs grid = ps(100);
+  /// Analyse with frozen end-of-pulse offsets instead of Algorithm 1
+  /// (the rigid baseline).
+  bool rigid = false;
+  HummingbirdOptions analysis;
+};
+
+/// Builds the clock set for a candidate period.
+using ClockFactory = std::function<ClockSet(TimePs period)>;
+
+/// Does the design meet timing at this period?
+bool works_at_period(const Design& design, const ClockFactory& make_clocks,
+                     TimePs period, const MinPeriodOptions& options = {});
+
+/// Smallest workable period on the option grid; returns options.hi + grid
+/// when even the upper bound fails.
+TimePs find_min_period(const Design& design, const ClockFactory& make_clocks,
+                       MinPeriodOptions options = {});
+
+}  // namespace hb

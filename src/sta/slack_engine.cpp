@@ -1,0 +1,215 @@
+#include "sta/slack_engine.hpp"
+
+#include <algorithm>
+
+namespace hb {
+
+SlackEngine::SlackEngine(const TimingGraph& graph, const ClusterSet& clusters,
+                         const SyncModel& sync)
+    : graph_(&graph), clusters_(&clusters), sync_(&sync) {
+  local_of_node_.assign(graph.num_nodes(), 0);
+  for (std::uint32_t c = 0; c < clusters.num_clusters(); ++c) {
+    const Cluster& cl = clusters.cluster(ClusterId(c));
+    for (std::uint32_t i = 0; i < cl.nodes.size(); ++i) {
+      local_of_node_[cl.nodes[i].index()] = i;
+    }
+  }
+  analyses_.resize(clusters.num_clusters());
+  assigned_pass_of_capture_.assign(sync.num_instances(), 0);
+  for (std::uint32_t c = 0; c < clusters.num_clusters(); ++c) {
+    prepare_cluster(ClusterId(c));
+  }
+  launch_slack_.assign(sync.num_instances(), kInfinitePs);
+  capture_slack_.assign(sync.num_instances(), kInfinitePs);
+  node_.assign(graph.num_nodes(), NodeTiming{});
+}
+
+void SlackEngine::prepare_cluster(ClusterId c) {
+  const Cluster& cl = clusters_->cluster(c);
+  ClusterAnalysis& ca = analyses_[c.index()];
+
+  // Capture instances in a fixed order.
+  for (TNodeId n : cl.sink_nodes) {
+    for (SyncId id : sync_->captures_at(n)) ca.capture_insts.push_back(id);
+  }
+
+  if (cl.source_nodes.empty() || ca.capture_insts.empty()) {
+    // Pure control cones or unconstrained logic: nothing to analyse.
+    ca.breaks.clear();
+    return;
+  }
+
+  // Edge-graph nodes: every ideal assertion/closure time in this cluster.
+  std::vector<TimePs> times;
+  for (TNodeId n : cl.source_nodes) {
+    for (SyncId id : sync_->launches_at(n)) {
+      times.push_back(sync_->at(id).ideal_assert);
+    }
+  }
+  for (SyncId id : ca.capture_insts) times.push_back(sync_->at(id).ideal_close);
+  ca.edges = std::make_unique<ClockEdgeGraph>(std::move(times),
+                                              sync_->overall_period());
+
+  // Reachability from each source node to the cluster's sink nodes, then one
+  // requirement per connected (launch instance, capture instance) pair.
+  std::vector<std::uint32_t> sink_pos(graph_->num_nodes(), UINT32_MAX);
+  for (std::uint32_t k = 0; k < cl.sink_nodes.size(); ++k) {
+    sink_pos[cl.sink_nodes[k].index()] = k;
+  }
+  std::vector<char> visited(cl.nodes.size(), 0);
+  std::vector<TNodeId> stack;
+  for (TNodeId src : cl.source_nodes) {
+    std::fill(visited.begin(), visited.end(), 0);
+    stack.clear();
+    stack.push_back(src);
+    visited[local_of_node_[src.index()]] = 1;
+    std::vector<TNodeId> reached_sinks;
+    while (!stack.empty()) {
+      const TNodeId n = stack.back();
+      stack.pop_back();
+      if (sink_pos[n.index()] != UINT32_MAX) reached_sinks.push_back(n);
+      const NodeRole role = graph_->node(n).role;
+      if (role == NodeRole::kSyncDataIn || role == NodeRole::kSyncControl) continue;
+      for (std::uint32_t ai : graph_->fanout(n)) {
+        const TNodeId to = graph_->arc(ai).to;
+        char& v = visited[local_of_node_[to.index()]];
+        if (!v) {
+          v = 1;
+          stack.push_back(to);
+        }
+      }
+    }
+    for (SyncId li : sync_->launches_at(src)) {
+      for (TNodeId sink : reached_sinks) {
+        for (SyncId cj : sync_->captures_at(sink)) {
+          ca.edges->add_requirement(sync_->at(li).ideal_assert,
+                                    sync_->at(cj).ideal_close);
+        }
+      }
+    }
+  }
+
+  ca.breaks = ca.edges->solve_min_breaks();
+
+  // Assign each capture instance to the pass where its ideal closure time
+  // appears closest to the end of the broken-open period.
+  ca.assigned.resize(ca.capture_insts.size());
+  ca.assigned_mask.assign(ca.breaks.size(),
+                          std::vector<bool>(ca.capture_insts.size(), false));
+  for (std::uint32_t k = 0; k < ca.capture_insts.size(); ++k) {
+    const SyncInstance& si = sync_->at(ca.capture_insts[k]);
+    std::size_t best = 0;
+    TimePs best_pos = -1;
+    for (std::size_t p = 0; p < ca.breaks.size(); ++p) {
+      const TimePs pos = ca.edges->linear_close(si.ideal_close, ca.breaks[p]);
+      if (pos > best_pos) {
+        best_pos = pos;
+        best = p;
+      }
+    }
+    ca.assigned[k] = static_cast<std::uint32_t>(best);
+    ca.assigned_mask[best][k] = true;
+    assigned_pass_of_capture_[ca.capture_insts[k].index()] =
+        static_cast<std::uint32_t>(best);
+  }
+}
+
+void SlackEngine::compute() {
+  std::fill(launch_slack_.begin(), launch_slack_.end(), kInfinitePs);
+  std::fill(capture_slack_.begin(), capture_slack_.end(), kInfinitePs);
+  node_.assign(graph_->num_nodes(), NodeTiming{});
+
+  for (std::uint32_t c = 0; c < clusters_->num_clusters(); ++c) {
+    const ClusterAnalysis& ca = analyses_[c];
+    for (std::size_t p = 0; p < ca.breaks.size(); ++p) {
+      const PassResult res = run_pass(ClusterId(c), p);
+      accumulate(ClusterId(c), p, res);
+    }
+  }
+}
+
+PassResult SlackEngine::run_pass(ClusterId c, std::size_t pass) const {
+  const ClusterAnalysis& ca = analyses_.at(c.index());
+  return run_analysis_pass(*graph_, *sync_, clusters_->cluster(c), local_of_node_,
+                           *ca.edges, ca.breaks.at(pass), ca.capture_insts,
+                           ca.assigned_mask.at(pass));
+}
+
+void SlackEngine::accumulate(ClusterId c, std::size_t pass, const PassResult& res) {
+  const Cluster& cl = clusters_->cluster(c);
+  const ClusterAnalysis& ca = analyses_[c.index()];
+
+  // Capture terminal slacks (only in the assigned pass).
+  for (std::uint32_t k = 0; k < ca.capture_insts.size(); ++k) {
+    if (ca.assigned[k] != pass) continue;
+    const SyncId id = ca.capture_insts[k];
+    const SyncInstance& si = sync_->at(id);
+    const auto& rdy = res.ready[local_of_node_[si.data_in.index()]];
+    if (!rdy) continue;  // no data cone reaches this input
+    const TimePs close = ca.edges->linear_close(si.ideal_close, ca.breaks[pass]) +
+                         si.close_offset();
+    capture_slack_[id.index()] =
+        std::min(capture_slack_[id.index()], close - rdy->max());
+  }
+
+  // Launch terminal slacks: min over passes of required - assertion.
+  for (TNodeId n : cl.source_nodes) {
+    const auto& req = res.required[local_of_node_[n.index()]];
+    if (!req) continue;
+    for (SyncId id : sync_->launches_at(n)) {
+      const SyncInstance& si = sync_->at(id);
+      const TimePs a = ca.edges->linear_assert(si.ideal_assert, ca.breaks[pass]) +
+                       si.assert_offset();
+      launch_slack_[id.index()] =
+          std::min(launch_slack_[id.index()], req->min() - a);
+    }
+  }
+
+  // Node timings.
+  for (std::uint32_t i = 0; i < cl.nodes.size(); ++i) {
+    const auto& rdy = res.ready[i];
+    if (!rdy) continue;
+    NodeTiming& nt = node_[cl.nodes[i].index()];
+    ++nt.settling_count;
+    if (!nt.has_ready) {
+      nt.has_ready = true;
+      if (!nt.has_constraint) nt.ready = *rdy;
+    } else if (!nt.has_constraint) {
+      nt.ready = rf_max(nt.ready, *rdy);
+    }
+    const auto& req = res.required[i];
+    if (!req) continue;
+    const TimePs pass_slack =
+        std::min(req->rise - rdy->rise, req->fall - rdy->fall);
+    if (pass_slack < nt.slack) {
+      nt.slack = pass_slack;
+      nt.ready = *rdy;
+      nt.required = *req;
+      nt.has_constraint = true;
+    }
+  }
+}
+
+TimePs SlackEngine::worst_terminal_slack() const {
+  TimePs worst = kInfinitePs;
+  for (TimePs s : launch_slack_) worst = std::min(worst, s);
+  for (TimePs s : capture_slack_) worst = std::min(worst, s);
+  return worst;
+}
+
+std::size_t SlackEngine::num_passes_total() const {
+  std::size_t n = 0;
+  for (const ClusterAnalysis& ca : analyses_) n += ca.breaks.size();
+  return n;
+}
+
+std::size_t SlackEngine::num_requirements(ClusterId c) const {
+  const ClusterAnalysis& ca = analyses_.at(c.index());
+  return ca.edges ? ca.edges->num_requirements() : 0;
+}
+
+std::size_t SlackEngine::assigned_pass(SyncId capture) const {
+  return assigned_pass_of_capture_.at(capture.index());
+}
+
+}  // namespace hb

@@ -1,0 +1,105 @@
+// Multi-pass slack computation (paper Section 7).
+//
+// Pre-processing, done once per design+clock configuration:
+//   * per cluster, build the clock-edge graph over the ideal assertion and
+//     closure times of its launch/capture instances;
+//   * add one ordering requirement per (launch instance, capture instance)
+//     pair connected by a combinational path;
+//   * solve for the minimum set of break nodes (analysis passes);
+//   * assign every capture instance to the pass in which its ideal closure
+//     time appears closest to the end of the broken-open period.
+//
+// compute() then evaluates every pass with the *current* synchronising
+// element offsets and produces:
+//   * per-instance terminal slacks (inputs of Algorithms 1 and 2);
+//   * per-node slack / ready / required times (from the node's critical
+//     pass) and settling-time counts — the paper's headline "minimum number
+//     of settling times ... evaluated for the nodes".
+#pragma once
+
+#include <memory>
+#include <optional>
+
+#include "sta/analysis_pass.hpp"
+
+namespace hb {
+
+struct NodeTiming {
+  /// Worst slack over all passes; +inf when unconstrained.
+  TimePs slack = kInfinitePs;
+  /// Ready/required pair from the critical pass (the coherent window for
+  /// re-synthesis constraints).  `ready` falls back to the latest arrival
+  /// over all passes when no pass constrains the node.
+  RiseFall ready{-kInfinitePs, -kInfinitePs};
+  RiseFall required{kInfinitePs, kInfinitePs};
+  bool has_ready = false;
+  bool has_constraint = false;
+  /// Number of analysis passes that evaluated a settling time for the node.
+  int settling_count = 0;
+};
+
+class SlackEngine {
+ public:
+  SlackEngine(const TimingGraph& graph, const ClusterSet& clusters,
+              const SyncModel& sync);
+
+  /// Re-evaluate every pass with the current offsets.
+  void compute();
+
+  /// Terminal slacks (min over passes); +inf when unconstrained.  Valid
+  /// after compute().
+  TimePs launch_slack(SyncId id) const { return launch_slack_.at(id.index()); }
+  TimePs capture_slack(SyncId id) const { return capture_slack_.at(id.index()); }
+  /// Worst slack over every synchronising-element terminal.
+  TimePs worst_terminal_slack() const;
+
+  const NodeTiming& node_timing(TNodeId id) const { return node_.at(id.index()); }
+
+  /// Pre-processing facts.
+  std::size_t num_passes_total() const;
+  std::size_t num_passes(ClusterId c) const { return analyses_.at(c.index()).breaks.size(); }
+  std::size_t num_requirements(ClusterId c) const;
+  const std::vector<std::size_t>& breaks(ClusterId c) const {
+    return analyses_.at(c.index()).breaks;
+  }
+  const ClockEdgeGraph& edge_graph(ClusterId c) const {
+    return *analyses_.at(c.index()).edges;
+  }
+  /// Pass index (into breaks(cluster)) a capture instance is assigned to.
+  std::size_t assigned_pass(SyncId capture) const;
+
+  /// Re-run a single pass (for path tracing / debugging).
+  PassResult run_pass(ClusterId c, std::size_t pass) const;
+
+  const TimingGraph& graph() const { return *graph_; }
+  const ClusterSet& clusters() const { return *clusters_; }
+  const SyncModel& sync() const { return *sync_; }
+  /// Position of a node inside its cluster's node list.
+  std::uint32_t local_index(TNodeId n) const { return local_of_node_.at(n.index()); }
+
+ private:
+  struct ClusterAnalysis {
+    std::unique_ptr<ClockEdgeGraph> edges;
+    std::vector<std::size_t> breaks;
+    std::vector<SyncId> capture_insts;            // all captures in cluster
+    std::vector<std::uint32_t> assigned;          // pass index per capture
+    std::vector<std::vector<bool>> assigned_mask; // [pass][capture]
+  };
+
+  void prepare_cluster(ClusterId c);
+  void accumulate(ClusterId c, std::size_t pass, const PassResult& res);
+
+  const TimingGraph* graph_;
+  const ClusterSet* clusters_;
+  const SyncModel* sync_;
+
+  std::vector<std::uint32_t> local_of_node_;
+  std::vector<ClusterAnalysis> analyses_;
+  std::vector<std::uint32_t> assigned_pass_of_capture_;  // by SyncId
+
+  std::vector<TimePs> launch_slack_;
+  std::vector<TimePs> capture_slack_;
+  std::vector<NodeTiming> node_;
+};
+
+}  // namespace hb

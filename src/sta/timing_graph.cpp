@@ -1,0 +1,144 @@
+#include "sta/timing_graph.hpp"
+
+namespace hb {
+
+TimingGraph::TimingGraph(const Design& design, const DelayCalculator& calc)
+    : design_(&design) {
+  const Module& top = design.top();
+  const ModuleId top_id = design.top_id();
+
+  // Create instance pin nodes.
+  inst_pin_node_.resize(top.insts().size());
+  for (std::uint32_t i = 0; i < top.insts().size(); ++i) {
+    const Instance& inst = top.inst(InstId(i));
+    inst_pin_node_[i].resize(inst.conn.size());
+    const Cell* cell = inst.is_cell() ? &design.lib().cell(inst.cell) : nullptr;
+    for (std::uint32_t p = 0; p < inst.conn.size(); ++p) {
+      TNode node;
+      node.inst = InstId(i);
+      node.port = p;
+      node.net = inst.conn[p];
+      node.role = NodeRole::kCombPin;
+      if (cell != nullptr && cell->is_sequential()) {
+        const SyncSpec& sync = cell->sync();
+        if (p == sync.data_in) {
+          node.role = NodeRole::kSyncDataIn;
+        } else if (p == sync.control) {
+          node.role = NodeRole::kSyncControl;
+        } else if (p == sync.data_out) {
+          node.role = NodeRole::kSyncDataOut;
+        }
+      }
+      inst_pin_node_[i][p] = TNodeId(static_cast<std::uint32_t>(nodes_.size()));
+      nodes_.push_back(node);
+    }
+  }
+
+  // Top-level port nodes.
+  top_port_node_.resize(top.ports().size());
+  for (std::uint32_t p = 0; p < top.ports().size(); ++p) {
+    const ModulePort& port = top.port(p);
+    TNode node;
+    node.is_top_port = true;
+    node.port = p;
+    node.net = port.net;
+    if (port.direction == PortDirection::kInput) {
+      node.role = port.is_clock ? NodeRole::kClockPort : NodeRole::kPortIn;
+    } else {
+      node.role = NodeRole::kPortOut;
+    }
+    top_port_node_[p] = TNodeId(static_cast<std::uint32_t>(nodes_.size()));
+    nodes_.push_back(node);
+  }
+
+  fanout_.resize(nodes_.size());
+  fanin_.resize(nodes_.size());
+
+  // Component arcs of combinational instances (cells and submodules).
+  for (std::uint32_t i = 0; i < top.insts().size(); ++i) {
+    const Instance& inst = top.inst(InstId(i));
+    if (inst.is_cell() && design.lib().cell(inst.cell).is_sequential()) continue;
+    for (const TimingArc& arc : calc.arcs_of(inst)) {
+      if (!inst.conn[arc.from_port].valid() || !inst.conn[arc.to_port].valid()) {
+        continue;
+      }
+      add_arc(inst_pin_node_[i][arc.from_port], inst_pin_node_[i][arc.to_port],
+              calc.arc_delay(top_id, InstId(i), arc), arc.unate, false);
+    }
+  }
+
+  // Net arcs: every driver pin to every sink pin of the net.  Top input
+  // ports drive, top output ports sink.
+  for (std::uint32_t n = 0; n < top.num_nets(); ++n) {
+    const Net& net = top.net(NetId(n));
+    std::vector<TNodeId> drivers, sinks;
+    for (const PinRef& pin : net.pins) {
+      const Instance& inst = top.inst(pin.inst);
+      if (design.target_port_dir(inst, pin.port) == PortDirection::kOutput) {
+        drivers.push_back(inst_pin_node_[pin.inst.value()][pin.port]);
+      } else {
+        sinks.push_back(inst_pin_node_[pin.inst.value()][pin.port]);
+      }
+    }
+    for (std::uint32_t p : net.module_ports) {
+      if (top.port(p).direction == PortDirection::kInput) {
+        drivers.push_back(top_port_node_[p]);
+      } else {
+        sinks.push_back(top_port_node_[p]);
+      }
+    }
+    for (TNodeId d : drivers) {
+      for (TNodeId s : sinks) {
+        add_arc(d, s, RiseFall{0, 0}, Unate::kPositive, true);
+      }
+    }
+  }
+
+  compute_topo();
+}
+
+void TimingGraph::add_arc(TNodeId from, TNodeId to, RiseFall delay, Unate unate,
+                          bool is_net) {
+  const std::uint32_t idx = static_cast<std::uint32_t>(arcs_.size());
+  arcs_.push_back(TArcRec{from, to, delay, unate, is_net});
+  fanout_[from.index()].push_back(idx);
+  fanin_[to.index()].push_back(idx);
+}
+
+TNodeId TimingGraph::pin_node(InstId inst, std::uint32_t port) const {
+  return inst_pin_node_.at(inst.index()).at(port);
+}
+
+TNodeId TimingGraph::top_port_node(std::uint32_t port) const {
+  return top_port_node_.at(port);
+}
+
+std::string TimingGraph::node_name(TNodeId id) const {
+  const TNode& n = node(id);
+  if (n.is_top_port) return "port:" + design_->top().port(n.port).name;
+  const Instance& inst = design_->top().inst(n.inst);
+  return inst.name + "." + design_->target_port_name(inst, n.port);
+}
+
+void TimingGraph::compute_topo() {
+  std::vector<std::uint32_t> indeg(nodes_.size(), 0);
+  for (const TArcRec& a : arcs_) ++indeg[a.to.index()];
+  std::vector<TNodeId> stack;
+  for (std::uint32_t i = 0; i < nodes_.size(); ++i) {
+    if (indeg[i] == 0) stack.push_back(TNodeId(i));
+  }
+  topo_.clear();
+  while (!stack.empty()) {
+    TNodeId n = stack.back();
+    stack.pop_back();
+    topo_.push_back(n);
+    for (std::uint32_t ai : fanout_[n.index()]) {
+      if (--indeg[arcs_[ai].to.index()] == 0) stack.push_back(arcs_[ai].to);
+    }
+  }
+  if (topo_.size() != nodes_.size()) {
+    raise("timing graph contains a combinational cycle (run validate() first)");
+  }
+}
+
+}  // namespace hb

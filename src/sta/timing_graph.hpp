@@ -1,0 +1,95 @@
+// Timing graph over the top module of a design.
+//
+// Nodes are pins: instance terminals plus top-level module ports.  Arcs are
+//   * component arcs: the timing arcs of combinational library cells and the
+//     combined arcs of combinational submodule instances (delay from the
+//     DelayCalculator, unateness from the library);
+//   * net arcs: driver pin -> sink pin, zero delay, positive unate (wire
+//     delay is folded into the driver's load-dependent delay, as in the
+//     paper's standard-cell experiments).
+//
+// Synchronising elements contribute NO arcs: their D->Q / CK->Q behaviour is
+// modelled by terminal offsets (sta/sync_model), not by combinational
+// propagation.  Consequently the graph restricted to arcs is exactly the
+// union of the paper's combinational *clusters*.
+#pragma once
+
+#include <vector>
+
+#include "delay/calculator.hpp"
+#include "netlist/design.hpp"
+
+namespace hb {
+
+enum class NodeRole {
+  kCombPin,      // terminal of combinational logic
+  kSyncDataIn,   // D of a synchronising element
+  kSyncControl,  // CK of a synchronising element
+  kSyncDataOut,  // Q of a synchronising element
+  kPortIn,       // top-level data input port
+  kPortOut,      // top-level output port
+  kClockPort,    // top-level clock source port
+};
+
+struct TNode {
+  NodeRole role = NodeRole::kCombPin;
+  bool is_top_port = false;
+  InstId inst;              // valid unless is_top_port
+  std::uint32_t port = 0;   // cell/module port index, or top port index
+  NetId net;                // net this pin connects to (may be invalid)
+};
+
+struct TArcRec {
+  TNodeId from;
+  TNodeId to;
+  RiseFall delay;
+  Unate unate = Unate::kPositive;
+  bool is_net = false;
+};
+
+class TimingGraph {
+ public:
+  /// Build over design.top(); delays are evaluated once at build time.
+  TimingGraph(const Design& design, const DelayCalculator& calc);
+
+  const Design& design() const { return *design_; }
+
+  std::size_t num_nodes() const { return nodes_.size(); }
+  std::size_t num_arcs() const { return arcs_.size(); }
+  const TNode& node(TNodeId id) const { return nodes_.at(id.index()); }
+  const TArcRec& arc(std::size_t i) const { return arcs_.at(i); }
+
+  /// Arc indices leaving / entering a node.
+  const std::vector<std::uint32_t>& fanout(TNodeId id) const {
+    return fanout_.at(id.index());
+  }
+  const std::vector<std::uint32_t>& fanin(TNodeId id) const {
+    return fanin_.at(id.index());
+  }
+
+  TNodeId pin_node(InstId inst, std::uint32_t port) const;
+  TNodeId top_port_node(std::uint32_t port) const;
+
+  /// Human-readable pin name, e.g. "u42.Y" or "port:clk".
+  std::string node_name(TNodeId id) const;
+
+  /// Topological order of all nodes w.r.t. arcs (sources first).  Sync pins
+  /// have no through-arcs, so this always exists for valid designs.
+  const std::vector<TNodeId>& topo_order() const { return topo_; }
+
+ private:
+  void add_arc(TNodeId from, TNodeId to, RiseFall delay, Unate unate, bool is_net);
+  void compute_topo();
+
+  const Design* design_;
+  std::vector<TNode> nodes_;
+  std::vector<TArcRec> arcs_;
+  std::vector<std::vector<std::uint32_t>> fanout_;
+  std::vector<std::vector<std::uint32_t>> fanin_;
+  // pin -> node maps
+  std::vector<std::vector<TNodeId>> inst_pin_node_;  // [inst][port]
+  std::vector<TNodeId> top_port_node_;
+  std::vector<TNodeId> topo_;
+};
+
+}  // namespace hb

@@ -1,0 +1,114 @@
+#include "sta/visualize.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <unordered_set>
+
+namespace hb {
+namespace {
+
+/// Dot-safe identifier from a pin name.
+std::string dot_id(const std::string& name) {
+  std::string out = "n_";
+  for (char c : name) {
+    out += (std::isalnum(static_cast<unsigned char>(c)) != 0) ? c : '_';
+  }
+  return out;
+}
+
+const char* slack_colour(TimePs slack) {
+  if (slack == kInfinitePs) return "gray80";
+  if (slack < 0) return "red";
+  if (slack < ns(1)) return "orange";
+  return "palegreen3";
+}
+
+}  // namespace
+
+std::string to_dot(const SlackEngine& engine, VisualizeOptions options) {
+  const TimingGraph& graph = engine.graph();
+  const ClusterSet& clusters = engine.clusters();
+
+  // Restrict to clusters touched by the worst paths, if requested.
+  std::unordered_set<std::uint32_t> keep_clusters;
+  std::unordered_set<std::uint32_t> path_nodes;
+  if (options.max_paths > 0) {
+    for (const SlowPath& p : enumerate_slow_paths(engine, options.max_paths)) {
+      for (const PathStep& s : p.steps) {
+        path_nodes.insert(s.node.value());
+        const ClusterId c = clusters.cluster_of(s.node);
+        if (c.valid()) keep_clusters.insert(c.value());
+      }
+    }
+  }
+  const bool draw_all = keep_clusters.empty();
+
+  std::ostringstream os;
+  os << "digraph timing {\n  rankdir=LR;\n  node [shape=box, style=filled];\n";
+  for (std::uint32_t c = 0; c < clusters.num_clusters(); ++c) {
+    if (!draw_all && keep_clusters.count(c) == 0) continue;
+    const Cluster& cl = clusters.cluster(ClusterId(c));
+    os << "  subgraph cluster_" << c << " {\n    label=\"cluster " << c
+       << " (" << engine.num_passes(ClusterId(c)) << " pass(es))\";\n";
+    for (TNodeId n : cl.nodes) {
+      const NodeTiming& nt = engine.node_timing(n);
+      if (nt.slack > options.slack_cutoff) continue;
+      os << "    " << dot_id(graph.node_name(n)) << " [label=\""
+         << graph.node_name(n);
+      if (nt.has_constraint) os << "\\n" << format_time(nt.slack);
+      os << "\", fillcolor=" << slack_colour(nt.slack);
+      if (path_nodes.count(n.value()) != 0) os << ", penwidth=3";
+      os << "];\n";
+    }
+    for (std::uint32_t ai : cl.arcs) {
+      const TArcRec& arc = graph.arc(ai);
+      if (engine.node_timing(arc.from).slack > options.slack_cutoff ||
+          engine.node_timing(arc.to).slack > options.slack_cutoff) {
+        continue;
+      }
+      os << "    " << dot_id(graph.node_name(arc.from)) << " -> "
+         << dot_id(graph.node_name(arc.to));
+      if (!arc.is_net) os << " [label=\"" << format_time(arc.delay.max()) << "\"]";
+      os << ";\n";
+    }
+    os << "  }\n";
+  }
+  os << "}\n";
+  return os.str();
+}
+
+std::string slack_histogram(const SlackEngine& engine, int buckets) {
+  const SyncModel& sync = engine.sync();
+  std::vector<TimePs> slacks;
+  for (std::uint32_t i = 0; i < sync.num_instances(); ++i) {
+    for (TimePs s : {engine.launch_slack(SyncId(i)), engine.capture_slack(SyncId(i))}) {
+      if (s != kInfinitePs) slacks.push_back(s);
+    }
+  }
+  std::ostringstream os;
+  if (slacks.empty()) {
+    os << "no constrained terminals\n";
+    return os.str();
+  }
+  const auto [lo_it, hi_it] = std::minmax_element(slacks.begin(), slacks.end());
+  const TimePs lo = *lo_it, hi = *hi_it;
+  const TimePs span = std::max<TimePs>(hi - lo, 1);
+  const TimePs step = (span + buckets - 1) / buckets;
+  std::vector<int> counts(static_cast<std::size_t>(buckets), 0);
+  for (TimePs s : slacks) {
+    const std::size_t b = std::min<std::size_t>(
+        static_cast<std::size_t>((s - lo) / step), counts.size() - 1);
+    ++counts[b];
+  }
+  const int peak = *std::max_element(counts.begin(), counts.end());
+  for (int b = 0; b < buckets; ++b) {
+    const TimePs from = lo + b * step;
+    os << "[" << format_time(from) << " .. " << format_time(from + step) << ") ";
+    const int bar = peak > 0 ? counts[static_cast<std::size_t>(b)] * 40 / peak : 0;
+    os << std::string(static_cast<std::size_t>(bar), '*') << "  "
+       << counts[static_cast<std::size_t>(b)] << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace hb

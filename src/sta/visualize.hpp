@@ -1,0 +1,29 @@
+// Graphical inspection — the stand-in for viewing flagged slow paths in a
+// VEM editing session over the OCT database (paper Section 8).  Emits
+// Graphviz dot: clusters as subgraphs, nodes coloured by slack, slow-path
+// arcs highlighted.  Also provides a text slack histogram for one-screen
+// health checks.
+#pragma once
+
+#include <string>
+
+#include "sta/report.hpp"
+
+namespace hb {
+
+struct VisualizeOptions {
+  /// Only clusters touched by these many worst paths are drawn (keeps the
+  /// graph readable on large designs); 0 draws everything.
+  std::size_t max_paths = 8;
+  /// Omit nodes with slack above this bound (kInfinitePs draws all).
+  TimePs slack_cutoff = kInfinitePs;
+};
+
+/// Render the timing graph (or the slow neighbourhood of it) as dot.
+std::string to_dot(const SlackEngine& engine, VisualizeOptions options = {});
+
+/// Text histogram of terminal slacks, e.g. for CLI output:
+///     [ -2 ns .. -1 ns)  ****        4
+std::string slack_histogram(const SlackEngine& engine, int buckets = 10);
+
+}  // namespace hb

@@ -1,0 +1,67 @@
+#include "synth/redesign_loop.hpp"
+
+#include <unordered_set>
+
+#include "synth/resize.hpp"
+
+namespace hb {
+namespace {
+
+/// Pick up to `budget` distinct on-path cell instances to upsize, preferring
+/// the slowest steps of the worst paths.
+int resize_along_paths(Design& design, const TimingGraph& graph,
+                       const std::vector<SlowPath>& paths, int budget) {
+  int resized = 0;
+  std::unordered_set<std::uint32_t> tried;
+  for (const SlowPath& p : paths) {
+    if (resized >= budget) break;
+    // Score each on-path instance by the step delay it contributes.
+    std::vector<std::pair<TimePs, InstId>> candidates;
+    for (std::size_t s = 1; s < p.steps.size(); ++s) {
+      const TNode& node = graph.node(p.steps[s].node);
+      if (node.is_top_port || !node.inst.valid()) continue;
+      const TimePs step = p.steps[s].arrival - p.steps[s - 1].arrival;
+      if (graph.node(p.steps[s - 1].node).inst == node.inst) {
+        candidates.emplace_back(step, node.inst);
+      }
+    }
+    std::sort(candidates.begin(), candidates.end(),
+              [](const auto& a, const auto& b) { return a.first > b.first; });
+    for (const auto& [step, inst] : candidates) {
+      if (resized >= budget) break;
+      if (!tried.insert(inst.value()).second) continue;
+      if (upsize_instance(design, inst)) ++resized;
+    }
+  }
+  return resized;
+}
+
+}  // namespace
+
+RedesignResult run_redesign_loop(Design& design, const ClockSet& clocks,
+                                 RedesignOptions options) {
+  RedesignResult res;
+  res.initial_area_um2 = total_area_um2(design);
+
+  for (res.iterations = 0; res.iterations < options.max_iterations;
+       ++res.iterations) {
+    Hummingbird hb(design, clocks, options.analysis);
+    const Algorithm1Result a1 = hb.analyze();
+    if (res.iterations == 0) res.initial_worst_slack = a1.worst_slack;
+    res.final_worst_slack = a1.worst_slack;
+    if (a1.works_as_intended) {
+      res.met_timing = true;
+      break;
+    }
+    const auto paths = hb.slow_paths(8);
+    const int resized = resize_along_paths(design, hb.graph(), paths,
+                                           options.resizes_per_iteration);
+    if (resized == 0) break;  // nothing left to upsize: timing unreachable
+    res.cells_resized += resized;
+  }
+
+  res.final_area_um2 = total_area_um2(design);
+  return res;
+}
+
+}  // namespace hb

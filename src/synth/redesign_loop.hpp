@@ -1,0 +1,44 @@
+// Algorithm 3 of the paper — the analysis-redesign loop:
+//
+//   Synthesise initial area-optimised combinational logic modules.
+//   Until all paths are fast enough:
+//     Perform timing analysis to identify all paths that are too slow;
+//     Provide input data ready times and output required times for all
+//       combinational logic modules traversed by paths that are too slow;
+//     Select one such module and speed up slow paths.
+//
+// The "speed up" step stands in for Singh et al. [1]: on each iteration the
+// worst slow path is retraced and the on-path cell whose load-dependent
+// delay shrinks the most is swapped to its next stronger drive variant.
+#pragma once
+
+#include "clocks/waveform.hpp"
+#include "netlist/design.hpp"
+#include "sta/hummingbird.hpp"
+
+namespace hb {
+
+struct RedesignOptions {
+  HummingbirdOptions analysis;
+  /// Upper bound on analyse-resize iterations.
+  int max_iterations = 200;
+  /// Cells upsized per iteration (along the worst paths).
+  int resizes_per_iteration = 4;
+};
+
+struct RedesignResult {
+  bool met_timing = false;
+  int iterations = 0;
+  int cells_resized = 0;
+  TimePs initial_worst_slack = 0;
+  TimePs final_worst_slack = 0;
+  double initial_area_um2 = 0.0;
+  double final_area_um2 = 0.0;
+};
+
+/// Runs the loop, mutating `design` (cell selections only; topology is
+/// untouched).
+RedesignResult run_redesign_loop(Design& design, const ClockSet& clocks,
+                                 RedesignOptions options = {});
+
+}  // namespace hb

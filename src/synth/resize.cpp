@@ -1,0 +1,37 @@
+#include "synth/resize.hpp"
+
+namespace hb {
+namespace {
+
+double module_area(const Design& design, ModuleId id) {
+  double area = 0.0;
+  for (const Instance& inst : design.module(id).insts()) {
+    if (inst.is_cell()) {
+      area += design.lib().cell(inst.cell).area_um2();
+    } else {
+      area += module_area(design, inst.module);
+    }
+  }
+  return area;
+}
+
+}  // namespace
+
+bool upsize_instance(Design& design, InstId inst) {
+  Module& top = design.module_mut(design.top_id());
+  Instance& i = top.inst_mut(inst);
+  if (!i.is_cell()) return false;
+  const CellId stronger = design.lib().stronger_variant(i.cell);
+  if (!stronger.valid()) return false;
+  // Family variants share the port layout, so connections stay valid.
+  HB_ASSERT(design.lib().cell(stronger).ports().size() ==
+            design.lib().cell(i.cell).ports().size());
+  i.cell = stronger;
+  return true;
+}
+
+double total_area_um2(const Design& design) {
+  return module_area(design, design.top_id());
+}
+
+}  // namespace hb

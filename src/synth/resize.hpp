@@ -1,0 +1,19 @@
+// Cell resizing primitives for the analysis-redesign loop (Algorithm 3).
+// The paper delegates "how to achieve the speed up" to Singh et al. [1];
+// this stand-in speeds a combinational module up the standard-cell way: by
+// swapping instances to stronger drive variants of the same family.
+#pragma once
+
+#include "netlist/design.hpp"
+
+namespace hb {
+
+/// Swap an instance of the top module to the next stronger family variant.
+/// Returns false if the instance is already at maximum drive, is a
+/// submodule instance, or its cell has no family.
+bool upsize_instance(Design& design, InstId inst);
+
+/// Total standard-cell area of the design (recursing into submodules).
+double total_area_um2(const Design& design);
+
+}  // namespace hb

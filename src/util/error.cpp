@@ -1,0 +1,19 @@
+#include "util/error.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace hb {
+
+void raise(const std::string& msg) { throw Error(msg); }
+
+namespace detail {
+
+void assert_fail(const char* expr, const char* file, int line) {
+  std::fprintf(stderr, "hummingbird internal error: assertion `%s` failed at %s:%d\n",
+               expr, file, line);
+  std::abort();
+}
+
+}  // namespace detail
+}  // namespace hb

@@ -1,0 +1,30 @@
+// Error reporting for Hummingbird.
+//
+// Structural problems in user input (bad netlist, non-harmonic clocks,
+// combinational cycles) raise hb::Error with a formatted message; internal
+// invariant violations use HB_ASSERT which aborts with location info.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace hb {
+
+/// Exception thrown for malformed designs, files or clock specifications.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+[[noreturn]] void raise(const std::string& msg);
+
+namespace detail {
+[[noreturn]] void assert_fail(const char* expr, const char* file, int line);
+}  // namespace detail
+
+}  // namespace hb
+
+#define HB_ASSERT(expr)                                       \
+  do {                                                        \
+    if (!(expr)) ::hb::detail::assert_fail(#expr, __FILE__, __LINE__); \
+  } while (false)

@@ -1,0 +1,67 @@
+// Strongly typed index handles for the design database and timing graph.
+//
+// A handle is a 32-bit index tagged with the table it indexes, so that a
+// NetId can never be passed where an InstId is expected.  Invalid handles
+// compare equal to Id::invalid() and are the default-constructed state.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+namespace hb {
+
+template <class Tag>
+class Id {
+ public:
+  constexpr Id() = default;
+  constexpr explicit Id(std::uint32_t v) : value_(v) {}
+
+  static constexpr Id invalid() { return Id(); }
+  constexpr bool valid() const { return value_ != kInvalid; }
+  constexpr std::uint32_t value() const { return value_; }
+  /// Index into the owning table; only meaningful when valid().
+  constexpr std::size_t index() const { return value_; }
+
+  friend constexpr bool operator==(Id a, Id b) { return a.value_ == b.value_; }
+  friend constexpr bool operator!=(Id a, Id b) { return a.value_ != b.value_; }
+  friend constexpr bool operator<(Id a, Id b) { return a.value_ < b.value_; }
+
+ private:
+  static constexpr std::uint32_t kInvalid = 0xFFFFFFFFu;
+  std::uint32_t value_ = kInvalid;
+};
+
+struct CellTag;      // library cell
+struct PortTag;      // library cell port
+struct ModuleTag;    // hierarchical design module
+struct InstTag;      // instance within a module
+struct NetTag;       // net within a module
+struct PinTag;       // pin (instance terminal or module port) within a module
+struct ClockTag;     // clock signal
+struct EdgeTag;      // clock edge within the overall period
+struct TNodeTag;     // timing graph node
+struct ClusterTag;   // combinational cluster
+struct SyncTag;      // generic synchronising element instance
+
+using CellId = Id<CellTag>;
+using PortId = Id<PortTag>;
+using ModuleId = Id<ModuleTag>;
+using InstId = Id<InstTag>;
+using NetId = Id<NetTag>;
+using PinId = Id<PinTag>;
+using ClockId = Id<ClockTag>;
+using ClockEdgeId = Id<EdgeTag>;
+using TNodeId = Id<TNodeTag>;
+using ClusterId = Id<ClusterTag>;
+using SyncId = Id<SyncTag>;
+
+}  // namespace hb
+
+namespace std {
+template <class Tag>
+struct hash<hb::Id<Tag>> {
+  size_t operator()(hb::Id<Tag> id) const noexcept {
+    return std::hash<std::uint32_t>()(id.value());
+  }
+};
+}  // namespace std

@@ -1,0 +1,33 @@
+#include "util/rng.hpp"
+
+#include "util/error.hpp"
+
+namespace hb {
+
+std::uint64_t Rng::next() {
+  // SplitMix64 (Steele, Lea, Flood 2014). Public domain reference constants.
+  std::uint64_t z = (state_ += 0x9E3779B97F4A7C15ull);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  return z ^ (z >> 31);
+}
+
+std::int64_t Rng::uniform(std::int64_t lo, std::int64_t hi) {
+  HB_ASSERT(lo <= hi);
+  const std::uint64_t span = static_cast<std::uint64_t>(hi - lo) + 1;
+  if (span == 0) return static_cast<std::int64_t>(next());  // full range
+  return lo + static_cast<std::int64_t>(next() % span);
+}
+
+double Rng::uniform01() {
+  return static_cast<double>(next() >> 11) * (1.0 / 9007199254740992.0);
+}
+
+bool Rng::chance(double p) { return uniform01() < p; }
+
+std::size_t Rng::pick(std::size_t size) {
+  HB_ASSERT(size > 0);
+  return static_cast<std::size_t>(next() % size);
+}
+
+}  // namespace hb

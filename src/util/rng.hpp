@@ -1,0 +1,44 @@
+// Deterministic pseudo-random generator for circuit generators and
+// property-based tests.  SplitMix64: tiny, fast, and identical on every
+// platform (unlike std::mt19937 distributions, whose output is
+// implementation-defined for some distribution types).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace hb {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) : state_(seed) {}
+
+  /// Next raw 64-bit value.
+  std::uint64_t next();
+
+  /// Uniform integer in [lo, hi] inclusive; requires lo <= hi.
+  std::int64_t uniform(std::int64_t lo, std::int64_t hi);
+
+  /// Uniform double in [0, 1).
+  double uniform01();
+
+  /// Bernoulli draw with probability p of true.
+  bool chance(double p);
+
+  /// Pick a uniformly random element index of a container of given size.
+  std::size_t pick(std::size_t size);
+
+  /// Fisher-Yates shuffle.
+  template <class T>
+  void shuffle(std::vector<T>& v) {
+    for (std::size_t i = v.size(); i > 1; --i) {
+      std::size_t j = pick(i);
+      std::swap(v[i - 1], v[j]);
+    }
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+}  // namespace hb

@@ -1,0 +1,34 @@
+#include "util/time.hpp"
+
+#include <cstdlib>
+#include <numeric>
+
+namespace hb {
+
+TimePs gcd_ps(TimePs a, TimePs b) { return std::gcd(a, b); }
+
+TimePs lcm_ps(TimePs a, TimePs b) {
+  if (a == 0 || b == 0) return 0;
+  return std::lcm(a, b);
+}
+
+std::string format_time(TimePs t) {
+  if (t == kInfinitePs) return "+inf";
+  if (t == -kInfinitePs) return "-inf";
+  const bool neg = t < 0;
+  const TimePs a = neg ? -t : t;
+  std::string out = neg ? "-" : "";
+  if (a % 1000 == 0) {
+    out += std::to_string(a / 1000) + " ns";
+  } else if (a < 1000) {
+    out += std::to_string(a) + " ps";
+  } else {
+    // Mixed: ns with fractional ps part.
+    out += std::to_string(a / 1000) + "." ;
+    std::string frac = std::to_string(a % 1000);
+    out += std::string(3 - frac.size(), '0') + frac + " ns";
+  }
+  return out;
+}
+
+}  // namespace hb

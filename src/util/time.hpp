@@ -1,0 +1,40 @@
+// Integer-picosecond time arithmetic used throughout Hummingbird.
+//
+// All timing quantities (clock edges, delays, offsets, slacks) are held as
+// 64-bit picosecond counts.  Integer time makes the fixpoint loops of
+// Algorithms 1 and 2 exact and the tests bit-reproducible; 2^63 ps is about
+// 106 days, far beyond any clock schedule of interest.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace hb {
+
+/// Time, delay or offset in picoseconds.
+using TimePs = std::int64_t;
+
+/// Sentinel for "no constraint yet" during backward slack propagation.
+/// Large but far from overflow when added to real delays.
+inline constexpr TimePs kInfinitePs = INT64_C(1) << 50;
+
+/// Convenience literal helpers: hb::ns(2) == 2000 ps.
+constexpr TimePs ps(std::int64_t v) { return v; }
+constexpr TimePs ns(std::int64_t v) { return v * 1000; }
+constexpr TimePs us(std::int64_t v) { return v * 1'000'000; }
+
+/// True Euclidean modulus: result is always in [0, m) for m > 0.
+/// C++ `%` truncates toward zero, which is wrong for negative clock phases.
+constexpr TimePs mod_period(TimePs t, TimePs m) {
+  TimePs r = t % m;
+  return r < 0 ? r + m : r;
+}
+
+/// Greatest common divisor / least common multiple of periods.
+TimePs gcd_ps(TimePs a, TimePs b);
+TimePs lcm_ps(TimePs a, TimePs b);
+
+/// Render as a human-readable string, e.g. "12.345 ns" or "-3 ps".
+std::string format_time(TimePs t);
+
+}  // namespace hb

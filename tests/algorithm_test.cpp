@@ -1,0 +1,216 @@
+// Deeper Algorithm 1 / Algorithm 2 behaviour: offset trajectories, latch
+// loops (directed cycles through transparent latches), tristate buses,
+// enable-path endpoints, and the min-period search utility.
+#include <gtest/gtest.h>
+
+#include "constraints/feasibility.hpp"
+#include "gen/pipeline.hpp"
+#include "netlist/builder.hpp"
+#include "netlist/stdcells.hpp"
+#include "sta/hummingbird.hpp"
+#include "sta/search.hpp"
+
+namespace hb {
+namespace {
+
+class AlgorithmTest : public ::testing::Test {
+ protected:
+  std::shared_ptr<const Library> lib_ = make_standard_library();
+
+  static SyncId find_instance(const SyncModel& sync, const std::string& label) {
+    for (std::uint32_t i = 0; i < sync.num_instances(); ++i) {
+      if (sync.at(SyncId(i)).label == label) return SyncId(i);
+    }
+    return SyncId::invalid();
+  }
+};
+
+// Forward slack transfer must move a transparent latch's adjustable pair
+// toward the beginning of the pulse when the downstream stage needs time.
+TEST_F(AlgorithmTest, TransferMovesOffsetsForward) {
+  // L1 (phi1) -> heavy logic -> L2 (phi2) -> PO, with the heavy stage
+  // needing more than the rigid phi1-trail-to-phi2-trail window.
+  TopBuilder b("fwd", lib_);
+  const NetId phi1 = b.port_in("phi1", true);
+  const NetId phi2 = b.port_in("phi2", true);
+  NetId n = b.latch("TLATCH", b.port_in("d"), phi1, "l1");
+  for (int i = 0; i < 110; ++i) n = b.gate("INVX1", {n});
+  const NetId q = b.latch("TLATCH", n, phi2, "l2");
+  b.port_out_net("q", q);
+  const Design design = b.finish();
+  const ClockSet clocks = make_two_phase_clocks(ns(10));
+
+  Hummingbird analyser(design, clocks);
+  const Algorithm1Result res = analyser.analyze();
+  EXPECT_TRUE(res.works_as_intended);
+  EXPECT_GT(res.forward_cycles, 0);
+
+  const SyncModel& sync = analyser.sync_model();
+  const SyncInstance& l1 = sync.at(find_instance(sync, "l1#0"));
+  // l1's assertion moved off the trailing edge toward the pulse start:
+  // O_zd dropped below its initial value W.
+  EXPECT_LT(l1.ozd, l1.width);
+  // Element constraints still hold after all transfers.
+  EXPECT_GE(l1.ozd, 0);
+  EXPECT_LE(l1.odz, -l1.ddz);
+  EXPECT_EQ(l1.ozd, l1.width + l1.odz + l1.ddz);
+}
+
+// The paper: "too slow" may apply to a set of paths forming a directed
+// cycle traversing two or more transparent latches.  A two-latch ring whose
+// total delay exceeds the period must be rejected; one that fits must pass
+// regardless of how the logic splits across the two arcs.
+TEST_F(AlgorithmTest, LatchRingConstrainedByLoopDelay) {
+  for (const bool should_work : {true, false}) {
+    const int total = should_work ? 120 : 260;  // ~50 ps per inverter
+    TopBuilder b(std::string("ring") + (should_work ? "_ok" : "_slow"), lib_);
+    const NetId phi1 = b.port_in("phi1", true);
+    const NetId phi2 = b.port_in("phi2", true);
+    // Ring: l1 -> chainA -> l2 -> chainB -> (back into l1) with a MUX to
+    // inject the primary input.
+    const NetId back = b.net("back");
+    const NetId inject =
+        b.gate("MUX2X1", {b.port_in("d"), back, b.port_in("sel")});
+    NetId n = b.latch("TLATCH", inject, phi1, "l1");
+    for (int i = 0; i < total * 2 / 3; ++i) n = b.gate("INVX1", {n});
+    n = b.latch("TLATCH", n, phi2, "l2");
+    for (int i = 0; i < total / 3 - 1; ++i) n = b.gate("INVX1", {n});
+    // Close the loop through a final named inverter driving `back`.
+    {
+      Module& m = b.module();
+      const CellId inv = lib_->require("INVX1");
+      const InstId g = m.add_cell_inst("loop_inv", inv, 2);
+      m.connect(g, 0, n);
+      m.connect(g, 1, back);
+    }
+    b.port_out_net("q", n);
+    const Design design = b.finish();
+    const ClockSet clocks = make_two_phase_clocks(ns(10));
+
+    Hummingbird analyser(design, clocks);
+    const Algorithm1Result res = analyser.analyze();
+    EXPECT_EQ(res.works_as_intended, should_work) << "total depth " << total;
+    const FeasibilityResult feas = check_intended_behaviour(analyser.engine());
+    EXPECT_EQ(feas.feasible || res.works_as_intended, feas.feasible)
+        << "verdicts disagree";
+    if (should_work) {
+      EXPECT_TRUE(feas.feasible);
+    }
+  }
+}
+
+// A tristate bus: two TRIBUF drivers on one net, captured by a flip-flop.
+// Both drivers' launches constrain the capture; the slack reflects the
+// later-asserting driver.
+TEST_F(AlgorithmTest, TristateBusTakesWorstDriver) {
+  TopBuilder b("bus", lib_);
+  const NetId phi1 = b.port_in("phi1", true);
+  const NetId phi2 = b.port_in("phi2", true);
+  const NetId bus = b.net("bus");
+  Module& m = b.module();
+  const CellId tb = lib_->require("TRIBUF");
+  const SyncSpec& tb_sync = lib_->cell(tb).sync();
+  // Driver A enabled by phi1, driver B by phi2.
+  const NetId da = b.port_in("da");
+  const NetId db = b.port_in("db");
+  for (int i = 0; i < 2; ++i) {
+    const InstId inst = m.add_cell_inst(i == 0 ? "bufA" : "bufB", tb, 3);
+    m.connect(inst, tb_sync.data_in, i == 0 ? da : db);
+    m.connect(inst, tb_sync.control, i == 0 ? phi1 : phi2);
+    m.connect(inst, tb_sync.data_out, bus);
+  }
+  b.port_out_net("q", b.latch("DFFT", bus, phi1, "cap"));
+  const Design design = b.finish();
+  const ClockSet clocks = make_two_phase_clocks(ns(10));
+
+  Hummingbird analyser(design, clocks);
+  EXPECT_TRUE(analyser.analyze().works_as_intended);
+  const SyncModel& sync = analyser.sync_model();
+  // All three element instances see the bus cluster; the capture's slack is
+  // finite and bounded by the later (phi2) driver.
+  const TimePs cap_slack =
+      analyser.engine().capture_slack(find_instance(sync, "cap#0"));
+  ASSERT_NE(cap_slack, kInfinitePs);
+  const TimePs a_slack =
+      analyser.engine().launch_slack(find_instance(sync, "bufA#0"));
+  const TimePs b_slack =
+      analyser.engine().launch_slack(find_instance(sync, "bufB#0"));
+  EXPECT_EQ(cap_slack, std::min(a_slack, b_slack));
+}
+
+// Enable-path endpoints: a gated control whose enable logic is too slow for
+// the leading control edge must be flagged (negative slack at the enable
+// sink), while fast enable logic passes.
+TEST_F(AlgorithmTest, EnablePathConstrainedByLeadingEdge) {
+  for (const int depth : {2, 130}) {
+    TopBuilder b("en" + std::to_string(depth), lib_);
+    const NetId clk = b.port_in("clk", true);
+    NetId en = b.latch("DFFT", b.port_in("e"), clk, "en_ff");
+    for (int i = 0; i < depth; ++i) en = b.gate("BUFX1", {en});
+    const NetId gated = b.gate("AND2X1", {clk, en});
+    b.port_out_net("q", b.latch("TLATCH", b.port_in("d"), gated, "lat"));
+    const Design design = b.finish();
+    ClockSet clocks;
+    // Pulse [6, 9] ns: the enable is launched at the 9 ns trailing edge and
+    // must settle before the next leading edge at 16 ns — a 7 ns window.
+    // Depth 2 (~0.5 ns) passes easily; depth 130 (~8.5 ns of buffers) fails.
+    clocks.add_simple_clock("clk", ns(10), ns(6), ns(9));
+    Hummingbird analyser(design, clocks);
+    const Algorithm1Result res = analyser.analyze();
+    const SyncModel& sync = analyser.sync_model();
+    const SyncId en_sink = find_instance(sync, "enable:lat#0");
+    ASSERT_TRUE(en_sink.valid());
+    const TimePs slack = analyser.engine().capture_slack(en_sink);
+    ASSERT_NE(slack, kInfinitePs);
+    if (depth == 2) {
+      EXPECT_GT(slack, 0);
+    } else {
+      EXPECT_LT(slack, 0);
+      EXPECT_FALSE(res.works_as_intended);
+    }
+  }
+}
+
+// Algorithm 2's snatching must engage on designs where Algorithm 1 leaves
+// negative input-side slacks with headroom to snatch.
+TEST_F(AlgorithmTest, SnatchingEngagesOnSlowLatchPipelines) {
+  PipelineSpec spec;
+  spec.stage_depths = {130, 130};
+  spec.width = 1;
+  spec.latch_cell = "TLATCH";
+  const Design design = make_pipeline(lib_, spec);
+  const ClockSet clocks = make_two_phase_clocks(ns(6));
+  Hummingbird analyser(design, clocks);
+  EXPECT_FALSE(analyser.analyze().works_as_intended);
+  const ConstraintSet cs = analyser.generate_constraints();
+  EXPECT_GT(cs.backward_snatch_cycles + cs.forward_snatch_cycles, 0);
+  // Every node on the critical chain carries a coherent (ready, required)
+  // pair with ready recorded.
+  std::size_t constrained = 0;
+  for (const ConstraintTimes& ct : cs.nodes) {
+    if (ct.has_ready && ct.has_required && ct.slack < 0) ++constrained;
+  }
+  EXPECT_GT(constrained, 100u);  // the long chains are all critical
+}
+
+TEST_F(AlgorithmTest, MinPeriodSearchMatchesDirectProbes) {
+  PipelineSpec spec;
+  spec.stage_depths = {50, 20};
+  spec.width = 1;
+  const Design design = make_pipeline(lib_, spec);
+  const auto factory = [](TimePs p) { return make_two_phase_clocks(p); };
+
+  MinPeriodOptions options;
+  options.lo = ns(1);
+  options.hi = ns(40);
+  const TimePs p = find_min_period(design, factory, options);
+  EXPECT_TRUE(works_at_period(design, factory, p, options));
+  EXPECT_FALSE(works_at_period(design, factory, p - options.grid, options));
+
+  // Rigid search needs a longer period than transfer-aware search.
+  options.rigid = true;
+  EXPECT_GT(find_min_period(design, factory, options), p);
+}
+
+}  // namespace
+}  // namespace hb

@@ -1,0 +1,138 @@
+// Baseline cross-checks:
+//   * block-method terminal slacks (the paper's choice) equal exact
+//     path-enumeration slacks on networks without false paths;
+//   * the rigid-latch (McWilliams-style) baseline is never more permissive
+//     than slack-transfer analysis, and coincides with it on designs with
+//     only edge-triggered elements.
+#include <gtest/gtest.h>
+
+#include "baseline/path_enum.hpp"
+#include "baseline/rigid_latch.hpp"
+#include "gen/pipeline.hpp"
+#include "netlist/builder.hpp"
+#include "gen/random_network.hpp"
+#include "netlist/stdcells.hpp"
+#include "sta/hummingbird.hpp"
+
+namespace hb {
+namespace {
+
+class BlockVsPathTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(BlockVsPathTest, TerminalSlacksAgree) {
+  auto lib = make_standard_library();
+  RandomNetworkSpec spec;
+  spec.seed = GetParam();
+  spec.num_clocks = 1 + static_cast<int>(GetParam() % 3);
+  spec.banks = 2 + static_cast<int>(GetParam() % 2);
+  spec.bank_width = 3;
+  spec.gates_per_stage = 10;
+  spec.base_period = ns(6) + static_cast<TimePs>((GetParam() * 531) % 8000);
+  const RandomNetwork net = make_random_network(lib, spec);
+
+  Hummingbird analyser(net.design, net.clocks);
+  analyser.analyze();  // leaves offsets wherever the transfers settled
+  const SlackEngine& engine = analyser.engine();
+
+  const PathEnumResult exact = enumerate_path_slacks(engine);
+  ASSERT_FALSE(exact.truncated);
+
+  const SyncModel& sync = analyser.sync_model();
+  for (std::uint32_t i = 0; i < sync.num_instances(); ++i) {
+    EXPECT_EQ(engine.capture_slack(SyncId(i)), exact.capture_slack[i])
+        << "capture " << sync.at(SyncId(i)).label << " seed " << GetParam();
+    EXPECT_EQ(engine.launch_slack(SyncId(i)), exact.launch_slack[i])
+        << "launch " << sync.at(SyncId(i)).label << " seed " << GetParam();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BlockVsPathTest,
+                         ::testing::Range<std::uint64_t>(1, 41));
+
+TEST(PathEnumTest, CountsPathsOnDiamond) {
+  // Two reconvergent diamonds in series: 4 distinct paths, enumerated per
+  // launch/pass.
+  auto lib = make_standard_library();
+  TopBuilder b("diamond", lib);
+  const NetId clk = b.port_in("clk", true);
+  NetId n = b.latch("DFFT", b.port_in("d"), clk, "src");
+  for (int stage = 0; stage < 2; ++stage) {
+    const NetId u = b.gate("INVX1", {n});
+    const NetId v = b.gate("INVX1", {n});
+    n = b.gate("NAND2X1", {u, v});
+  }
+  b.port_out_net("q", b.latch("DFFT", n, clk, "dst"));
+  const Design design = b.finish();
+
+  ClockSet clocks;
+  clocks.add_simple_clock("clk", ns(10), 0, ns(4));
+  Hummingbird analyser(design, clocks);
+  analyser.analyze();
+  const PathEnumResult exact = enumerate_path_slacks(analyser.engine());
+  // From the launch there are 4 paths to dst.D (plus the PI->src.D wire
+  // path and dst->PO one): at least 6 endpoint hits in total.
+  EXPECT_GE(exact.paths_enumerated, 6u);
+  EXPECT_FALSE(exact.truncated);
+}
+
+TEST(PathEnumTest, TruncationReported) {
+  // 16 diamonds => 2^16 paths; a small cap must truncate.
+  auto lib = make_standard_library();
+  TopBuilder b("explode", lib);
+  const NetId clk = b.port_in("clk", true);
+  NetId n = b.latch("DFFT", b.port_in("d"), clk, "src");
+  for (int stage = 0; stage < 16; ++stage) {
+    const NetId u = b.gate("INVX1", {n});
+    const NetId v = b.gate("INVX1", {n});
+    n = b.gate("NAND2X1", {u, v});
+  }
+  b.port_out_net("q", b.latch("DFFT", n, clk, "dst"));
+  const Design design = b.finish();
+  ClockSet clocks;
+  clocks.add_simple_clock("clk", ns(50), 0, ns(20));
+  Hummingbird analyser(design, clocks);
+  analyser.analyze();
+  const PathEnumResult exact = enumerate_path_slacks(analyser.engine(), 1000);
+  EXPECT_TRUE(exact.truncated);
+}
+
+TEST(RigidLatchTest, NeverMorePermissiveThanTransfer) {
+  auto lib = make_standard_library();
+  for (std::uint64_t seed = 1; seed <= 20; ++seed) {
+    RandomNetworkSpec spec;
+    spec.seed = seed;
+    spec.transparent_prob = 0.8;
+    spec.base_period = ns(5) + static_cast<TimePs>((seed * 713) % 6000);
+    const RandomNetwork net = make_random_network(lib, spec);
+
+    Hummingbird analyser(net.design, net.clocks);
+    const RigidResult rigid =
+        rigid_latch_analysis(analyser.sync_model_mut(), analyser.engine_mut());
+    const Algorithm1Result transfer = analyser.analyze();
+
+    if (rigid.works_as_intended) {
+      EXPECT_TRUE(transfer.works_as_intended) << "seed " << seed;
+    }
+    EXPECT_GE(transfer.worst_slack, rigid.worst_slack) << "seed " << seed;
+  }
+}
+
+TEST(RigidLatchTest, CoincidesOnEdgeTriggeredDesigns) {
+  auto lib = make_standard_library();
+  PipelineSpec spec;
+  spec.stage_depths = {30, 30};
+  spec.width = 2;
+  spec.latch_cell = "DFFT";
+  const Design design = make_pipeline(lib, spec);
+  const ClockSet clocks = make_two_phase_clocks(ns(8));
+
+  Hummingbird analyser(design, clocks);
+  const RigidResult rigid =
+      rigid_latch_analysis(analyser.sync_model_mut(), analyser.engine_mut());
+  const Algorithm1Result transfer = analyser.analyze();
+  EXPECT_EQ(rigid.works_as_intended, transfer.works_as_intended);
+  EXPECT_EQ(rigid.worst_slack, transfer.worst_slack);
+}
+
+}  // namespace
+}  // namespace hb

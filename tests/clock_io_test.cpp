@@ -1,0 +1,87 @@
+// Timing-spec file parsing and round-tripping.
+#include <gtest/gtest.h>
+
+#include "clocks/clock_io.hpp"
+
+namespace hb {
+namespace {
+
+TEST(ParseTimeTest, UnitsAndDecimals) {
+  EXPECT_EQ(parse_time("250"), 250);
+  EXPECT_EQ(parse_time("250ps"), 250);
+  EXPECT_EQ(parse_time("3ns"), 3000);
+  EXPECT_EQ(parse_time("2.5ns"), 2500);
+  EXPECT_EQ(parse_time("0.001us"), 1000);
+  EXPECT_EQ(parse_time("-1.5ns"), -1500);
+}
+
+TEST(ParseTimeTest, RejectsGarbage) {
+  EXPECT_THROW(parse_time(""), Error);
+  EXPECT_THROW(parse_time("ns"), Error);
+  EXPECT_THROW(parse_time("3ms"), Error);
+  EXPECT_THROW(parse_time("fast"), Error);
+}
+
+TEST(TimingSpecTest, ParsesClocksAndPorts) {
+  const TimingSpec spec = timing_spec_from_string(
+      "# demo spec\n"
+      "clock phi1 period 20ns pulse 0 8ns\n"
+      "clock phi2 period 10ns pulse 2ns 6ns\n"
+      "\n"
+      "input d arrival 3ns offset 100ps\n"
+      "output q required 18ns offset -250ps\n");
+  EXPECT_EQ(spec.clocks.num_clocks(), 2u);
+  EXPECT_EQ(spec.clocks.overall_period(), ns(20));
+  const Clock& phi1 = spec.clocks.clock(spec.clocks.find("phi1"));
+  ASSERT_EQ(phi1.pulses.size(), 1u);
+  EXPECT_EQ(phi1.pulses[0].fall, ns(8));
+  ASSERT_EQ(spec.input_arrivals.size(), 1u);
+  EXPECT_EQ(spec.input_arrivals[0].port, "d");
+  EXPECT_EQ(spec.input_arrivals[0].time, ns(3));
+  EXPECT_EQ(spec.input_arrivals[0].offset, ps(100));
+  ASSERT_EQ(spec.output_requireds.size(), 1u);
+  EXPECT_EQ(spec.output_requireds[0].offset, ps(-250));
+}
+
+TEST(TimingSpecTest, MultiPulseClock) {
+  const TimingSpec spec = timing_spec_from_string(
+      "clock c period 20ns pulse 0 4ns pulse 10ns 16ns\n");
+  const Clock& c = spec.clocks.clock(ClockId(0));
+  ASSERT_EQ(c.pulses.size(), 2u);
+  EXPECT_EQ(c.pulses[1].rise, ns(10));
+}
+
+TEST(TimingSpecTest, ErrorsCarryLineNumbers) {
+  try {
+    timing_spec_from_string("clock a period 10ns pulse 0 4ns\nbogus line\n");
+    FAIL() << "expected Error";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("line 2"), std::string::npos);
+  }
+}
+
+TEST(TimingSpecTest, RejectsMalformedStatements) {
+  EXPECT_THROW(timing_spec_from_string("clock a period 10ns\n"), Error);
+  EXPECT_THROW(timing_spec_from_string("clock a period 10ns pulse 0\n"), Error);
+  EXPECT_THROW(timing_spec_from_string("input d required 3ns\n"), Error);
+  EXPECT_THROW(timing_spec_from_string("output q arrival 3ns\n"), Error);
+  EXPECT_THROW(timing_spec_from_string("clock a period 10ns pulse 8ns 4ns\n"),
+               Error);  // fall before rise, caught by ClockSet
+}
+
+TEST(TimingSpecTest, RoundTrip) {
+  const char* text =
+      "clock phi1 period 20ns pulse 0 8ns\n"
+      "clock phi2 period 10ns pulse 2ns 6ns\n"
+      "input d arrival 3ns offset 100ps\n"
+      "output q required 18ns offset -250ps\n";
+  const TimingSpec spec = timing_spec_from_string(text);
+  const std::string emitted = timing_spec_to_string(spec);
+  const TimingSpec again = timing_spec_from_string(emitted);
+  EXPECT_EQ(timing_spec_to_string(again), emitted);
+  EXPECT_EQ(again.clocks.overall_period(), ns(20));
+  EXPECT_EQ(again.input_arrivals[0].offset, ps(100));
+}
+
+}  // namespace
+}  // namespace hb

@@ -1,0 +1,197 @@
+#include <gtest/gtest.h>
+
+#include "clocks/edge_graph.hpp"
+#include "clocks/waveform.hpp"
+
+namespace hb {
+namespace {
+
+TEST(WaveformTest, OverallPeriodIsLcm) {
+  ClockSet clocks;
+  clocks.add_simple_clock("a", ns(20), 0, ns(5));
+  clocks.add_simple_clock("b", ns(30), 0, ns(10));
+  EXPECT_EQ(clocks.overall_period(), ns(60));
+}
+
+TEST(WaveformTest, RejectsMalformedWaveforms) {
+  ClockSet clocks;
+  EXPECT_THROW(clocks.add_simple_clock("a", ns(10), ns(5), ns(5)), Error);  // zero width
+  EXPECT_THROW(clocks.add_simple_clock("b", ns(10), ns(8), ns(12)), Error); // beyond period
+  EXPECT_THROW(clocks.add_simple_clock("c", 0, 0, 0), Error);
+  clocks.add_simple_clock("d", ns(10), 0, ns(4));
+  EXPECT_THROW(clocks.add_simple_clock("d", ns(10), 0, ns(4)), Error);  // duplicate
+  EXPECT_THROW(clocks.add_clock("e", ns(10),
+                                {ClockPulse{0, ns(4)}, ClockPulse{ns(3), ns(6)}}),
+               Error);  // overlap
+  EXPECT_THROW(clocks.add_clock("f", ns(10), {ClockPulse{0, ns(10)}}), Error);
+}
+
+TEST(WaveformTest, EdgesOfDoubleRateClockInOverallPeriod) {
+  ClockSet clocks;
+  clocks.add_simple_clock("slow", ns(40), 0, ns(10));
+  clocks.add_simple_clock("fast", ns(20), ns(2), ns(8));
+  const auto edges = clocks.edges_in_overall_period();
+  // slow: 2 edges; fast: 2 pulses x 2 edges = 4.
+  ASSERT_EQ(edges.size(), 6u);
+  EXPECT_TRUE(std::is_sorted(edges.begin(), edges.end(),
+                             [](const ClockEdge& a, const ClockEdge& b) {
+                               return a.time < b.time;
+                             }));
+  int fast_edges = 0;
+  for (const ClockEdge& e : edges) {
+    if (clocks.clock(e.clock).name == "fast") ++fast_edges;
+  }
+  EXPECT_EQ(fast_edges, 4);
+}
+
+TEST(WaveformTest, HighAndLowIntervals) {
+  ClockSet clocks;
+  const ClockId id = clocks.add_simple_clock("c", ns(20), ns(4), ns(12));
+  const auto highs = clocks.high_intervals(id);
+  ASSERT_EQ(highs.size(), 1u);
+  EXPECT_EQ(highs[0].lead, ns(4));
+  EXPECT_EQ(highs[0].trail, ns(12));
+  const auto lows = clocks.low_intervals(id);
+  ASSERT_EQ(lows.size(), 1u);
+  // The low interval wraps: from the fall at 12ns to the next rise at 24ns.
+  EXPECT_EQ(lows[0].lead, ns(12));
+  EXPECT_EQ(lows[0].trail, ns(24));
+  EXPECT_EQ(lows[0].width(), ns(12));
+}
+
+TEST(WaveformTest, LowIntervalsOfMultiPulseClock) {
+  ClockSet clocks;
+  const ClockId id =
+      clocks.add_clock("c", ns(20), {ClockPulse{ns(2), ns(6)}, ClockPulse{ns(10), ns(14)}});
+  const auto lows = clocks.low_intervals(id);
+  ASSERT_EQ(lows.size(), 2u);
+  EXPECT_EQ(lows[0].lead, ns(6));
+  EXPECT_EQ(lows[0].trail, ns(10));
+  EXPECT_EQ(lows[1].lead, ns(14));
+  EXPECT_EQ(lows[1].trail, ns(22));  // wraps to the rise at 2ns next period
+}
+
+TEST(WaveformTest, FindByName) {
+  ClockSet clocks;
+  clocks.add_simple_clock("phi1", ns(10), 0, ns(3));
+  EXPECT_TRUE(clocks.find("phi1").valid());
+  EXPECT_FALSE(clocks.find("phi9").valid());
+  EXPECT_THROW(ClockSet{}.overall_period(), Error);
+}
+
+// ---------------------------------------------------------------------------
+// ClockEdgeGraph
+
+TEST(EdgeGraphTest, NodesSortedAndDeduplicated) {
+  ClockEdgeGraph g({ns(5), ns(1), ns(5), ns(9)}, ns(10));
+  EXPECT_EQ(g.num_nodes(), 3u);
+  EXPECT_EQ(g.node_time(0), ns(1));
+  EXPECT_EQ(g.node_at(ns(9)), 2u);
+  EXPECT_THROW(g.node_at(ns(2)), Error);
+}
+
+TEST(EdgeGraphTest, LinearizationMapsAssertAndClose) {
+  ClockEdgeGraph g({0, ns(4)}, ns(10));
+  const std::size_t b = g.node_at(ns(4));
+  EXPECT_EQ(g.linear_assert(ns(4), b), 0);
+  EXPECT_EQ(g.linear_assert(ns(6), b), ns(2));
+  EXPECT_EQ(g.linear_assert(0, b), ns(6));
+  // Closure at the break itself maps to a full period.
+  EXPECT_EQ(g.linear_close(ns(4), b), ns(10));
+  EXPECT_EQ(g.linear_close(ns(6), b), ns(2));
+}
+
+TEST(EdgeGraphTest, SameEdgeRequirementForcesBreakAtThatEdge) {
+  ClockEdgeGraph g({0, ns(4), ns(7)}, ns(10));
+  g.add_requirement(ns(4), ns(4));
+  const auto allowed = g.allowed_breaks(ns(4), ns(4));
+  ASSERT_EQ(allowed.size(), 1u);
+  EXPECT_EQ(allowed[0], g.node_at(ns(4)));
+  const auto breaks = g.solve_min_breaks();
+  ASSERT_EQ(breaks.size(), 1u);
+  EXPECT_EQ(breaks[0], g.node_at(ns(4)));
+}
+
+// The paper's Figure 4 example: edges A..H; the requirement "E before C" is
+// satisfied by removing the arc D->E (break at E), after which the order is
+// E F G H A B C D.
+TEST(EdgeGraphTest, PaperFigure4Example) {
+  // Eight edges at arbitrary increasing times; call them A..H at 0..7.
+  std::vector<TimePs> times{0, 1, 2, 3, 4, 5, 6, 7};
+  ClockEdgeGraph g(times, 8);
+  const TimePs E = 4, C = 2;
+  g.add_requirement(E, C);  // "edge E occur before edge C"
+
+  const auto allowed = g.allowed_breaks(E, C);
+  // Allowed breaks are the cyclic segment [C .. E] = {C, D, E}.
+  EXPECT_EQ(allowed, (std::vector<std::size_t>{2, 3, 4}));
+
+  // Breaking at E: assertion E maps to 0, closure C maps to 6 — E before C.
+  const std::size_t at_e = g.node_at(E);
+  EXPECT_LT(g.linear_assert(E, at_e), g.linear_close(C, at_e));
+  // Breaking at F (=5) must violate the requirement.
+  const std::size_t at_f = g.node_at(5);
+  EXPECT_GE(g.linear_assert(E, at_f), g.linear_close(C, at_f));
+}
+
+TEST(EdgeGraphTest, NoRequirementsNeedOnePass) {
+  ClockEdgeGraph g({0, ns(5)}, ns(10));
+  EXPECT_EQ(g.solve_min_breaks().size(), 1u);
+}
+
+TEST(EdgeGraphTest, TwoDisjointRequirementsNeedTwoPasses) {
+  // Figure 1-style: launches at 0 and 20 paired with closures at 16 and 36
+  // crosswise, forcing two passes.
+  ClockEdgeGraph g({0, ns(16), ns(20), ns(36)}, ns(40));
+  g.add_requirement(0, ns(36));
+  g.add_requirement(ns(20), ns(16));
+  const auto breaks = g.solve_min_breaks();
+  EXPECT_EQ(breaks.size(), 2u);
+}
+
+TEST(EdgeGraphTest, SolveIsMinimalOnSatisfiableSingleBreak) {
+  ClockEdgeGraph g({0, ns(2), ns(5), ns(8)}, ns(10));
+  g.add_requirement(0, ns(5));     // break in [5 .. 0] = {5, 8, 0}
+  g.add_requirement(ns(2), ns(5)); // break in [5 .. 2] = {5, 8, 0, 2}
+  // A single break from the intersection {5, 8, 0} suffices.
+  const auto breaks = g.solve_min_breaks();
+  ASSERT_EQ(breaks.size(), 1u);
+  const TimePs t = g.node_time(breaks[0]);
+  EXPECT_TRUE(t == 0 || t == ns(5) || t == ns(8)) << t;
+}
+
+TEST(EdgeGraphTest, DuplicateRequirementsIgnored) {
+  ClockEdgeGraph g({0, ns(5)}, ns(10));
+  g.add_requirement(0, ns(5));
+  g.add_requirement(0, ns(5));
+  EXPECT_EQ(g.num_requirements(), 1u);
+}
+
+// Property: for every requirement, allowed breaks place the closure at
+// position >= T - dist(close, assert) and disallowed breaks strictly lower —
+// the invariant behind per-output pass assignment.
+TEST(EdgeGraphTest, PassAssignmentInvariant) {
+  const TimePs T = ns(24);
+  std::vector<TimePs> times{0, ns(3), ns(7), ns(10), ns(14), ns(19)};
+  ClockEdgeGraph g(times, T);
+  for (TimePs a : times) {
+    for (TimePs c : times) {
+      const TimePs threshold = T - mod_period(a - c, T);
+      const auto allowed = g.allowed_breaks(a, c);
+      for (std::size_t v = 0; v < g.num_nodes(); ++v) {
+        const bool is_allowed =
+            std::find(allowed.begin(), allowed.end(), v) != allowed.end();
+        const TimePs pos = g.linear_close(c, v);
+        if (is_allowed) {
+          EXPECT_GE(pos, threshold) << "a=" << a << " c=" << c << " v=" << v;
+          EXPECT_LT(g.linear_assert(a, v), pos);
+        } else {
+          EXPECT_LT(pos, threshold) << "a=" << a << " c=" << c << " v=" << v;
+        }
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace hb

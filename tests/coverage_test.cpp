@@ -1,0 +1,178 @@
+// Coverage for corner paths not exercised elsewhere: the hitting-set greedy
+// fallback, deep hierarchy flattening, custom wire-load models, the enable
+// margin option, and large-design netlist round trips.
+#include <gtest/gtest.h>
+
+#include "clocks/edge_graph.hpp"
+#include "gen/des.hpp"
+#include "netlist/builder.hpp"
+#include "netlist/flatten.hpp"
+#include "netlist/netlist_io.hpp"
+#include "netlist/stdcells.hpp"
+#include "netlist/validate.hpp"
+#include "sta/hummingbird.hpp"
+
+namespace hb {
+namespace {
+
+TEST(EdgeGraphFallbackTest, GreedyCoversWhenMinimumExceedsFour) {
+  // Five disjoint two-node segments force a hitting set of size 5, beyond
+  // the exhaustive limit: the greedy fallback must still cover everything.
+  std::vector<TimePs> times;
+  for (int i = 0; i < 10; ++i) times.push_back(ns(i + 1));
+  ClockEdgeGraph g(times, ns(20));
+  for (int k = 0; k < 5; ++k) {
+    g.add_requirement(ns(2 * k + 2), ns(2 * k + 1));  // allowed = {2k+1, 2k+2}
+  }
+  const auto breaks = g.solve_min_breaks();
+  EXPECT_EQ(breaks.size(), 5u);
+  // Verify coverage directly.
+  for (int k = 0; k < 5; ++k) {
+    const auto allowed = g.allowed_breaks(ns(2 * k + 2), ns(2 * k + 1));
+    bool hit = false;
+    for (std::size_t v : breaks) {
+      if (std::find(allowed.begin(), allowed.end(), v) != allowed.end()) hit = true;
+    }
+    EXPECT_TRUE(hit) << "requirement " << k;
+  }
+}
+
+TEST(FlattenTest, ThreeLevelsOfHierarchy) {
+  auto lib = make_standard_library();
+  TopBuilder b("deep", lib);
+
+  // leaf: one inverter.
+  const ModuleId leaf = b.design().add_module("leaf");
+  {
+    Module& m = b.design().module_mut(leaf);
+    const NetId a = m.add_net("a");
+    const NetId y = m.add_net("y");
+    m.bind_port(m.add_port("A", PortDirection::kInput), a);
+    m.bind_port(m.add_port("Y", PortDirection::kOutput), y);
+    const InstId g = m.add_cell_inst("g", lib->require("INVX1"), 2);
+    m.connect(g, 0, a);
+    m.connect(g, 1, y);
+  }
+  // mid: two leaves in series.
+  const ModuleId mid = b.design().add_module("mid");
+  {
+    Module& m = b.design().module_mut(mid);
+    const NetId a = m.add_net("a");
+    const NetId x = m.add_net("x");
+    const NetId y = m.add_net("y");
+    m.bind_port(m.add_port("A", PortDirection::kInput), a);
+    m.bind_port(m.add_port("Y", PortDirection::kOutput), y);
+    const InstId m0 = m.add_module_inst("u0", leaf, 2);
+    m.connect(m0, 0, a);
+    m.connect(m0, 1, x);
+    const InstId m1 = m.add_module_inst("u1", leaf, 2);
+    m.connect(m1, 0, x);
+    m.connect(m1, 1, y);
+  }
+  const NetId in = b.port_in("in");
+  const NetId out = b.net("out");
+  b.submodule(mid, {in, out}, "top0");
+  b.port_out_net("q", out);
+  const Design design = b.finish();
+
+  const Design flat = flatten(design);
+  EXPECT_EQ(flat.total_cell_count(), 2u);
+  EXPECT_TRUE(flat.top().find_inst("top0/u0/g").valid());
+  EXPECT_TRUE(flat.top().find_inst("top0/u1/g").valid());
+  EXPECT_TRUE(validate(flat).ok());
+}
+
+TEST(WireLoadTest, HeavierWireModelSlowsTheDesign) {
+  auto lib = make_standard_library();
+  TopBuilder b("wl", lib);
+  const NetId clk = b.port_in("clk", true);
+  NetId n = b.latch("DFFT", b.port_in("d"), clk, "ff1");
+  for (int i = 0; i < 16; ++i) n = b.gate("INVX1", {n});
+  b.port_out_net("q", b.latch("DFFT", n, clk, "ff2"));
+  const Design design = b.finish();
+  ClockSet clocks;
+  clocks.add_simple_clock("clk", ns(10), 0, ns(4));
+
+  auto slack_with = [&](double per_pin) {
+    HummingbirdOptions options;
+    options.wire.per_pin_ff = per_pin;
+    Hummingbird analyser(design, clocks, options);
+    analyser.analyze();
+    const SyncModel& sync = analyser.sync_model();
+    for (std::uint32_t i = 0; i < sync.num_instances(); ++i) {
+      if (sync.at(SyncId(i)).label == "ff2#0") {
+        return analyser.engine().capture_slack(SyncId(i));
+      }
+    }
+    return kInfinitePs;
+  };
+  EXPECT_LT(slack_with(6.0), slack_with(0.5));
+}
+
+TEST(EnableMarginTest, MarginTightensEnableSinks) {
+  auto lib = make_standard_library();
+  auto build = [&]() {
+    TopBuilder b("en", lib);
+    const NetId clk = b.port_in("clk", true);
+    NetId en = b.latch("DFFT", b.port_in("e"), clk, "en_ff");
+    const NetId gated = b.gate("AND2X1", {clk, en});
+    b.port_out_net("q", b.latch("TLATCH", b.port_in("d"), gated, "lat"));
+    return b.finish();
+  };
+  const Design design = build();
+  ClockSet clocks;
+  clocks.add_simple_clock("clk", ns(10), ns(6), ns(9));
+
+  auto enable_slack = [&](TimePs margin) {
+    HummingbirdOptions options;
+    options.sync.enable_margin = margin;
+    Hummingbird analyser(design, clocks, options);
+    analyser.analyze();
+    const SyncModel& sync = analyser.sync_model();
+    for (std::uint32_t i = 0; i < sync.num_instances(); ++i) {
+      if (sync.at(SyncId(i)).label == "enable:lat#0") {
+        return analyser.engine().capture_slack(SyncId(i));
+      }
+    }
+    return kInfinitePs;
+  };
+  const TimePs base = enable_slack(0);
+  ASSERT_NE(base, kInfinitePs);
+  EXPECT_EQ(enable_slack(ns(2)), base - ns(2));
+}
+
+TEST(NetlistScaleTest, DesRoundTripsThroughText) {
+  auto lib = make_standard_library();
+  DesSpec spec;
+  spec.rounds = 8;
+  const Design des = make_des(lib, spec);
+  const std::string text = netlist_to_string(des);
+  const Design re = netlist_from_string(text, lib);
+  EXPECT_EQ(re.total_cell_count(), des.total_cell_count());
+  EXPECT_EQ(re.total_net_count(), des.total_net_count());
+  EXPECT_EQ(netlist_to_string(re), text);
+  EXPECT_TRUE(validate(re).ok());
+}
+
+TEST(ValidateScaleTest, GeneratedDesignsStayValidUnderResizing) {
+  auto lib = make_standard_library();
+  DesSpec spec;
+  spec.rounds = 2;
+  Design des = make_des(lib, spec);
+  // Resize a sample of instances and re-validate.
+  int resized = 0;
+  for (std::uint32_t i = 0; i < des.top().insts().size() && resized < 50; i += 7) {
+    const Instance& inst = des.top().inst(InstId(i));
+    if (!inst.is_cell()) continue;
+    const CellId stronger = des.lib().stronger_variant(inst.cell);
+    if (stronger.valid()) {
+      des.module_mut(des.top_id()).inst_mut(InstId(i)).cell = stronger;
+      ++resized;
+    }
+  }
+  EXPECT_GT(resized, 10);
+  EXPECT_TRUE(validate(des).ok());
+}
+
+}  // namespace
+}  // namespace hb

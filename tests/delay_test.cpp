@@ -1,0 +1,182 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "delay/calculator.hpp"
+#include "netlist/builder.hpp"
+#include "netlist/stdcells.hpp"
+
+namespace hb {
+namespace {
+
+class DelayTest : public ::testing::Test {
+ protected:
+  std::shared_ptr<const Library> lib_ = make_standard_library();
+};
+
+TEST_F(DelayTest, NetLoadSumsPinCapsAndWire) {
+  TopBuilder b("d", lib_);
+  const NetId a = b.port_in("a");
+  const NetId y = b.gate("INVX1", {a}, "u1");
+  // Fan the output to two NAND inputs.
+  const NetId z1 = b.gate("NAND2X1", {y, a});
+  const NetId z2 = b.gate("NAND2X1", {y, a});
+  b.port_out_net("q1", z1);
+  b.port_out_net("q2", z2);
+  const Design d = b.finish();
+
+  const WireLoadModel wire{};
+  DelayCalculator calc(d, wire);
+  const Module& top = d.top();
+  const NetId ynet = top.inst(top.find_inst("u1")).conn[1];
+  // 3 pins on the net (driver + 2 sinks); sinks are NAND2X1 A inputs.
+  const double expected = wire.wire_cap_ff(3) + 2 * 2.2;
+  EXPECT_NEAR(calc.net_load_ff(d.top_id(), ynet), expected, 1e-9);
+}
+
+TEST_F(DelayTest, ArcDelayIsIntrinsicPlusSlopeTimesLoad) {
+  TopBuilder b("d", lib_);
+  const NetId a = b.port_in("a");
+  const NetId y = b.gate("INVX1", {a}, "u1");
+  b.port_out_net("q", y);
+  const Design d = b.finish();
+
+  DelayCalculator calc(d);
+  const Module& top = d.top();
+  const InstId u1 = top.find_inst("u1");
+  const Cell& inv = lib_->cell(top.inst(u1).cell);
+  const TimingArc& arc = inv.arcs()[0];
+  const double load = calc.net_load_ff(d.top_id(), top.inst(u1).conn[arc.to_port]);
+  const RiseFall delay = calc.arc_delay(d.top_id(), u1, arc);
+  EXPECT_EQ(delay.rise, arc.intrinsic_rise +
+                            static_cast<TimePs>(std::llround(arc.slope_rise * load)));
+  EXPECT_EQ(delay.fall, arc.intrinsic_fall +
+                            static_cast<TimePs>(std::llround(arc.slope_fall * load)));
+}
+
+TEST_F(DelayTest, StrongerDriveIsFasterUnderLoad) {
+  for (const char* family : {"INV", "NAND2"}) {
+    TopBuilder b(family, lib_);
+    const NetId a = b.port_in("a");
+    std::vector<NetId> ins{a};
+    if (std::string(family) == "NAND2") ins.push_back(b.port_in("b"));
+    const NetId y1 = b.gate(std::string(family) + "X1", ins, "weak");
+    const NetId y4 = b.gate(std::string(family) + "X4", ins, "strong");
+    // Load both outputs with 4 receivers.
+    for (int i = 0; i < 4; ++i) {
+      b.port_out_net("w" + std::to_string(i), b.gate("INVX1", {y1}));
+      b.port_out_net("s" + std::to_string(i), b.gate("INVX1", {y4}));
+    }
+    const Design d = b.finish();
+    DelayCalculator calc(d);
+    const Module& top = d.top();
+    auto worst = [&](const char* inst_name) {
+      const InstId id = top.find_inst(inst_name);
+      const Cell& cell = lib_->cell(top.inst(id).cell);
+      TimePs w = 0;
+      for (const TimingArc& arc : cell.arcs()) {
+        w = std::max(w, calc.arc_delay(d.top_id(), id, arc).max());
+      }
+      return w;
+    };
+    EXPECT_LT(worst("strong"), worst("weak")) << family;
+  }
+}
+
+TEST_F(DelayTest, ModuleArcsCombineInternalPaths) {
+  TopBuilder b("h", lib_);
+  const ModuleId sub_id = b.design().add_module("chain3");
+  {
+    Module& sub = b.design().module_mut(sub_id);
+    NetId n = sub.add_net("a");
+    sub.bind_port(sub.add_port("A", PortDirection::kInput), n);
+    const CellId inv = lib_->require("INVX1");
+    for (int i = 0; i < 3; ++i) {
+      const InstId g = sub.add_cell_inst("g" + std::to_string(i), inv, 2);
+      sub.connect(g, 0, n);
+      n = sub.add_net("n" + std::to_string(i));
+      sub.connect(g, 1, n);
+    }
+    sub.bind_port(sub.add_port("Y", PortDirection::kOutput), n);
+  }
+  const NetId a = b.port_in("a");
+  const NetId y = b.net("y");
+  b.submodule(sub_id, {a, y}, "m0");
+  b.port_out_net("q", y);
+  const Design d = b.finish();
+
+  DelayCalculator calc(d);
+  const Module& top = d.top();
+  const Instance& minst = top.inst(top.find_inst("m0"));
+  const auto& arcs = calc.arcs_of(minst);
+  ASSERT_EQ(arcs.size(), 1u);
+  EXPECT_EQ(arcs[0].unate, Unate::kNone);  // conservative for abstracted blocks
+  // Three INVX1 stages: the combined intrinsic must exceed 3x the raw
+  // intrinsic (loads included) and the slope must be the last inverter's.
+  EXPECT_GT(arcs[0].intrinsic_rise, 3 * 28);
+  EXPECT_NEAR(arcs[0].slope_rise, 4.6, 1e-9);
+  // Input cap of the module port equals the first inverter's input cap.
+  EXPECT_NEAR(calc.input_cap_ff(d.top_id(), minst, 0), 1.8, 1e-9);
+}
+
+TEST_F(DelayTest, ModuleArcOnlyForConnectedPairs) {
+  // Two independent paths through one module: A->X and B->Y only.
+  TopBuilder b("h2", lib_);
+  const ModuleId sub_id = b.design().add_module("dual");
+  {
+    Module& sub = b.design().module_mut(sub_id);
+    const CellId inv = lib_->require("INVX1");
+    for (int k = 0; k < 2; ++k) {
+      const std::string in_name = k == 0 ? "A" : "B";
+      const std::string out_name = k == 0 ? "X" : "Y";
+      const NetId in = sub.add_net("i" + std::to_string(k));
+      const NetId out = sub.add_net("o" + std::to_string(k));
+      sub.bind_port(sub.add_port(in_name, PortDirection::kInput), in);
+      const InstId g = sub.add_cell_inst("g" + std::to_string(k), inv, 2);
+      sub.connect(g, 0, in);
+      sub.connect(g, 1, out);
+      sub.bind_port(sub.add_port(out_name, PortDirection::kOutput), out);
+    }
+  }
+  const NetId a = b.port_in("a");
+  const NetId c = b.port_in("c");
+  const NetId x = b.net("x");
+  const NetId y = b.net("y");
+  // Submodule port order is A, X, B, Y (interleaved by construction).
+  b.submodule(sub_id, {a, x, c, y}, "m0");
+  b.port_out_net("qx", x);
+  b.port_out_net("qy", y);
+  const Design d = b.finish();
+
+  DelayCalculator calc(d);
+  const auto& arcs = calc.arcs_of(d.top().inst(d.top().find_inst("m0")));
+  ASSERT_EQ(arcs.size(), 2u);
+  // A(0)->X(1) and B(2)->Y(3); no cross arcs A->Y or B->X.
+  EXPECT_EQ(arcs[0].from_port, 0u);
+  EXPECT_EQ(arcs[0].to_port, 1u);
+  EXPECT_EQ(arcs[1].from_port, 2u);
+  EXPECT_EQ(arcs[1].to_port, 3u);
+}
+
+TEST_F(DelayTest, PropagationRulesRespectUnateness) {
+  const RiseFall in{100, 50};
+  const RiseFall d{10, 20};
+  TimingArc pos;
+  pos.unate = Unate::kPositive;
+  TimingArc neg;
+  neg.unate = Unate::kNegative;
+  TimingArc none;
+  none.unate = Unate::kNone;
+
+  EXPECT_EQ(propagate_forward(in, pos, d), (RiseFall{110, 70}));
+  EXPECT_EQ(propagate_forward(in, neg, d), (RiseFall{60, 120}));
+  EXPECT_EQ(propagate_forward(in, none, d), (RiseFall{110, 120}));
+
+  const RiseFall req{200, 300};
+  EXPECT_EQ(propagate_backward(req, pos, d), (RiseFall{190, 280}));
+  EXPECT_EQ(propagate_backward(req, neg, d), (RiseFall{280, 190}));
+  EXPECT_EQ(propagate_backward(req, none, d), (RiseFall{190, 190}));
+}
+
+}  // namespace
+}  // namespace hb

@@ -1,0 +1,218 @@
+#include <gtest/gtest.h>
+
+#include "baseline/rigid_latch.hpp"
+#include "constraints/feasibility.hpp"
+#include "gen/pipeline.hpp"
+#include "netlist/builder.hpp"
+#include "netlist/stdcells.hpp"
+#include "sta/hummingbird.hpp"
+
+namespace hb {
+namespace {
+
+class EngineTest : public ::testing::Test {
+ protected:
+  std::shared_ptr<const Library> lib_ = make_standard_library();
+
+  static SyncId find_instance(const SyncModel& sync, const std::string& label) {
+    for (std::uint32_t i = 0; i < sync.num_instances(); ++i) {
+      if (sync.at(SyncId(i)).label == label) return SyncId(i);
+    }
+    return SyncId::invalid();
+  }
+};
+
+// Hand-computed single-phase flip-flop pipeline:
+//   d -> dff1 -> INVX1 -> dff2 -> q, clock 10 ns period, pulse [0, 4 ns].
+//
+// Loads:  dff1.Q net = wire(2 pins) + INV cap = 3.0 + 1.8 = 4.8 fF
+//         INV.Y net  = wire(2 pins) + D cap   = 3.0 + 2.4 = 5.4 fF
+// Delays: D_cz(dff1) = 95 + round(3.6*4.8)  = 112 ps
+//         INV rise    = 28 + round(4.6*5.4) = 53 ps  (fall 22+21 = 43)
+// Path dff1->dff2: one full period (same-edge), closure 10000 - 65 (setup),
+// ready = 112 + 53 (fall-at-D rise... worst is rise at 165), so
+// slack = 9935 - 165 = 9770 ps.  PI->dff1: 4000 - 65 - 0 = 3935 ps.
+TEST_F(EngineTest, HandComputedFlipFlopPipeline) {
+  TopBuilder b("pipe", lib_);
+  const NetId clk = b.port_in("clk", true);
+  const NetId d = b.port_in("d");
+  const NetId q1 = b.latch("DFFT", d, clk, "dff1");
+  const NetId inv = b.gate("INVX1", {q1}, "u1");
+  const NetId q2 = b.latch("DFFT", inv, clk, "dff2");
+  b.port_out_net("q", q2);
+  const Design design = b.finish();
+
+  ClockSet clocks;
+  clocks.add_simple_clock("clk", ns(10), 0, ns(4));
+
+  Hummingbird hb(design, clocks);
+  const Algorithm1Result res = hb.analyze();
+  EXPECT_TRUE(res.works_as_intended);
+  EXPECT_EQ(res.worst_slack, 3935);
+
+  const SlackEngine& engine = hb.engine();
+  const SyncModel& sync = hb.sync_model();
+  EXPECT_EQ(engine.capture_slack(find_instance(sync, "dff2#0")), 9770);
+  EXPECT_EQ(engine.capture_slack(find_instance(sync, "dff1#0")), 3935);
+  EXPECT_EQ(engine.launch_slack(find_instance(sync, "dff1#0")), 9770);
+  EXPECT_EQ(engine.launch_slack(find_instance(sync, "in:d")), 3935);
+  // dff2 -> PO: the Q net has one instance pin (ports carry no cap), load
+  // 1.2 + 0.9 = 2.1 fF: D_cz = 95 + round(3.6*2.1) = 103;
+  // slack = 10000 - (4000 + 103) = 5897.
+  EXPECT_EQ(engine.capture_slack(find_instance(sync, "out:q")), 5897);
+
+  // One pass per cluster; every node settles once.
+  EXPECT_EQ(engine.num_passes_total(), 3u);  // PI, middle, PO clusters
+  const TNodeId d_pin = sync.at(find_instance(sync, "dff2#0")).data_in;
+  EXPECT_EQ(engine.node_timing(d_pin).settling_count, 1);
+  EXPECT_EQ(engine.node_timing(d_pin).slack, 9770);
+
+  // The oracle agrees the system works.
+  EXPECT_TRUE(check_intended_behaviour(engine).feasible);
+}
+
+TEST_F(EngineTest, ViolationDetectedWhenClockTooFast) {
+  // 64 inverters between flip-flops cannot fit a 2 ns period.
+  TopBuilder b("fast", lib_);
+  const NetId clk = b.port_in("clk", true);
+  const NetId d = b.port_in("d");
+  NetId n = b.latch("DFFT", d, clk, "dff1");
+  for (int i = 0; i < 64; ++i) n = b.gate("INVX1", {n});
+  const NetId q = b.latch("DFFT", n, clk, "dff2");
+  b.port_out_net("q", q);
+  const Design design = b.finish();
+
+  ClockSet clocks;
+  clocks.add_simple_clock("clk", ns(2), 0, ns(1));
+
+  Hummingbird hb(design, clocks);
+  const Algorithm1Result res = hb.analyze();
+  EXPECT_FALSE(res.works_as_intended);
+  EXPECT_LT(res.worst_slack, 0);
+  EXPECT_FALSE(check_intended_behaviour(hb.engine()).feasible);
+
+  // The slow path is reported and runs from dff1 to dff2 through the chain.
+  const auto paths = hb.slow_paths(5);
+  ASSERT_FALSE(paths.empty());
+  EXPECT_LT(paths[0].slack, 0);
+  const SyncModel& sync = hb.sync_model();
+  EXPECT_EQ(sync.at(paths[0].capture).label, "dff2#0");
+  EXPECT_EQ(sync.at(paths[0].launch).label, "dff1#0");
+  // Path steps: dff1.Q, 64 inverter A/Y pairs... at least 60 steps, ending
+  // at dff2.D, with non-decreasing arrivals.
+  ASSERT_GE(paths[0].steps.size(), 60u);
+  for (std::size_t i = 1; i < paths[0].steps.size(); ++i) {
+    EXPECT_GE(paths[0].steps[i].arrival, paths[0].steps[i - 1].arrival);
+  }
+}
+
+// Two-phase transparent-latch pipeline with unbalanced stages: rigid
+// analysis (latches frozen at the trailing edge) fails, Algorithm 1's slack
+// transfer (cycle stealing) succeeds — the paper's headline latch-awareness.
+TEST_F(EngineTest, CycleStealingThroughTransparentLatches) {
+  PipelineSpec spec;
+  spec.stage_depths = {120, 20};
+  spec.width = 1;
+  spec.latch_cell = "TLATCH";
+  spec.two_phase = true;
+  spec.seed = 3;
+  const Design design = make_pipeline(lib_, spec);
+  const ClockSet clocks = make_two_phase_clocks(ns(10));
+
+  Hummingbird hb(design, clocks);
+
+  // Rigid baseline fails: stage 1 alone exceeds the phase window.
+  const RigidResult rigid = rigid_latch_analysis(hb.sync_model_mut(), hb.engine_mut());
+  EXPECT_FALSE(rigid.works_as_intended);
+
+  const Algorithm1Result res = hb.analyze();
+  EXPECT_TRUE(res.works_as_intended) << "worst slack " << res.worst_slack;
+  EXPECT_GT(res.forward_cycles + res.backward_cycles, 0);
+  EXPECT_TRUE(check_intended_behaviour(hb.engine()).feasible);
+}
+
+TEST_F(EngineTest, CycleStealingImpossibleWithEdgeTriggeredLatches) {
+  PipelineSpec spec;
+  spec.stage_depths = {120, 20};
+  spec.width = 1;
+  spec.latch_cell = "DFFT";
+  spec.two_phase = true;
+  spec.seed = 3;
+  const Design design = make_pipeline(lib_, spec);
+  const ClockSet clocks = make_two_phase_clocks(ns(10));
+
+  Hummingbird hb(design, clocks);
+  const Algorithm1Result res = hb.analyze();
+  EXPECT_FALSE(res.works_as_intended);
+  EXPECT_FALSE(check_intended_behaviour(hb.engine()).feasible);
+}
+
+TEST_F(EngineTest, BalancedPipelineWorksEitherWay) {
+  for (const char* latch : {"TLATCH", "DFFT"}) {
+    PipelineSpec spec;
+    spec.stage_depths = {20, 20};
+    spec.width = 1;
+    spec.latch_cell = latch;
+    spec.seed = 5;
+    const Design design = make_pipeline(lib_, spec);
+    const ClockSet clocks = make_two_phase_clocks(ns(10));
+    Hummingbird hb(design, clocks);
+    EXPECT_TRUE(hb.analyze().works_as_intended) << latch;
+    EXPECT_TRUE(check_intended_behaviour(hb.engine()).feasible) << latch;
+  }
+}
+
+// Algorithm 2 produces coherent constraints: for every node pair (x, y) on
+// one critical chain, required(y) - ready(x) bounds the path delay, and for
+// slow paths the deficit matches the reported slack.
+TEST_F(EngineTest, ConstraintGenerationCoversSlowPaths) {
+  TopBuilder b("slow", lib_);
+  const NetId clk = b.port_in("clk", true);
+  const NetId d = b.port_in("d");
+  NetId n = b.latch("DFFT", d, clk, "dff1");
+  for (int i = 0; i < 30; ++i) n = b.gate("INVX1", {n});
+  const NetId q = b.latch("DFFT", n, clk, "dff2");
+  b.port_out_net("q", q);
+  const Design design = b.finish();
+
+  ClockSet clocks;
+  clocks.add_simple_clock("clk", ns(1), 0, ps(500));
+
+  Hummingbird hb(design, clocks);
+  EXPECT_FALSE(hb.analyze().works_as_intended);
+  const ConstraintSet cs = hb.generate_constraints();
+  const SyncModel& sync = hb.sync_model();
+
+  const TNodeId capture_pin = sync.at(find_instance(sync, "dff2#0")).data_in;
+  const ConstraintTimes& ct = cs.at(capture_pin);
+  EXPECT_TRUE(ct.has_ready);
+  EXPECT_TRUE(ct.has_required);
+  EXPECT_LT(ct.slack, 0);
+  // Ready exceeds required by exactly the (negative) slack at the endpoint.
+  EXPECT_EQ(ct.slack, std::min(ct.required.rise - ct.ready.rise,
+                               ct.required.fall - ct.ready.fall));
+}
+
+TEST_F(EngineTest, SettlingCountsMatchPassesOnFlipFlopDesigns) {
+  PipelineSpec spec;
+  spec.stage_depths = {10, 10, 10};
+  spec.width = 2;
+  spec.latch_cell = "DFFT";
+  spec.seed = 9;
+  const Design design = make_pipeline(lib_, spec);
+  const ClockSet clocks = make_two_phase_clocks(ns(40));
+  Hummingbird hb(design, clocks);
+  hb.analyze();
+  // Every combinational node settles exactly once: two-phase flip-flop
+  // clusters need a single pass each.
+  const TimingGraph& graph = hb.graph();
+  for (std::uint32_t n = 0; n < graph.num_nodes(); ++n) {
+    const NodeTiming& nt = hb.engine().node_timing(TNodeId(n));
+    if (nt.has_ready) {
+      EXPECT_LE(nt.settling_count, 1) << graph.node_name(TNodeId(n));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace hb

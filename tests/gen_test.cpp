@@ -1,0 +1,140 @@
+// The circuit generators must produce structurally valid designs of the
+// sizes Table 1 quotes, deterministically in their seeds.
+#include <gtest/gtest.h>
+
+#include "gen/alu.hpp"
+#include "gen/des.hpp"
+#include "gen/fig1.hpp"
+#include "gen/fsm.hpp"
+#include "gen/pipeline.hpp"
+#include "gen/random_network.hpp"
+#include "netlist/flatten.hpp"
+#include "netlist/netlist_io.hpp"
+#include "netlist/stdcells.hpp"
+#include "netlist/validate.hpp"
+
+namespace hb {
+namespace {
+
+class GenTest : public ::testing::Test {
+ protected:
+  std::shared_ptr<const Library> lib_ = make_standard_library();
+};
+
+TEST_F(GenTest, DesMatchesPaperScale) {
+  const Design des = make_des(lib_);
+  // Paper: "a complete data encryption chip, made up from 3681 standard
+  // cells"; the generator lands within 2%.
+  EXPECT_NEAR(static_cast<double>(des.total_cell_count()), 3681.0, 75.0);
+  EXPECT_TRUE(validate(des).ok()) << validate(des).to_string();
+}
+
+TEST_F(GenTest, DesIsDeterministic) {
+  const Design a = make_des(lib_);
+  const Design b = make_des(lib_);
+  EXPECT_EQ(netlist_to_string(a), netlist_to_string(b));
+}
+
+TEST_F(GenTest, DesScalesWithRounds) {
+  DesSpec small;
+  small.rounds = 4;
+  DesSpec big;
+  big.rounds = 16;
+  EXPECT_LT(make_des(lib_, small).total_cell_count(),
+            make_des(lib_, big).total_cell_count() / 2);
+}
+
+TEST_F(GenTest, AluMatchesPaperScaleAt56Bits) {
+  AluSpec spec;
+  spec.bits = 56;
+  const Design alu = make_alu(lib_, spec);
+  // Paper: "a portion of a CPU chip made up from 899 standard cells".
+  EXPECT_NEAR(static_cast<double>(alu.total_cell_count()), 899.0, 75.0);
+  EXPECT_TRUE(validate(alu).ok()) << validate(alu).to_string();
+}
+
+TEST_F(GenTest, AluWithTransparentRegisters) {
+  AluSpec spec;
+  spec.bits = 8;
+  spec.reg_cell = "TLATCH";
+  const Design alu = make_alu(lib_, spec);
+  EXPECT_TRUE(validate(alu).ok());
+}
+
+TEST_F(GenTest, FsmFlatAndHierDescribeTheSameMachine) {
+  const Design flat = make_fsm_flat(lib_);
+  const Design hier = make_fsm_hier(lib_);
+  EXPECT_TRUE(validate(flat).ok()) << validate(flat).to_string();
+  EXPECT_TRUE(validate(hier).ok()) << validate(hier).to_string();
+  // Identical standard-cell content; the hierarchical one adds a module.
+  EXPECT_EQ(flat.total_cell_count(), hier.total_cell_count());
+  EXPECT_EQ(flat.num_modules(), 1u);
+  EXPECT_EQ(hier.num_modules(), 2u);
+  // Flattening the hierarchical design reproduces the flat cell count.
+  EXPECT_EQ(flatten(hier).total_cell_count(), flat.total_cell_count());
+}
+
+TEST_F(GenTest, FsmHasStateRegister) {
+  const FsmSpec spec;
+  const Design fsm = make_fsm_flat(lib_, spec);
+  for (int i = 0; i < spec.state_bits; ++i) {
+    EXPECT_TRUE(fsm.top().find_inst("sreg" + std::to_string(i)).valid()) << i;
+  }
+}
+
+TEST_F(GenTest, Fig1DesignValid) {
+  const Fig1Config cfg;
+  const Design d = make_fig1_design(lib_, cfg);
+  EXPECT_TRUE(validate(d).ok()) << validate(d).to_string();
+  const ClockSet clocks = make_fig1_clocks(cfg);
+  EXPECT_EQ(clocks.num_clocks(), 4u);
+  EXPECT_EQ(clocks.overall_period(), cfg.period);
+  EXPECT_TRUE(d.top().find_inst("shared").valid());
+}
+
+TEST_F(GenTest, PipelineStageAndLaneCounts) {
+  PipelineSpec spec;
+  spec.stage_depths = {5, 5, 5};
+  spec.width = 3;
+  const Design d = make_pipeline(lib_, spec);
+  EXPECT_TRUE(validate(d).ok());
+  // Latch banks: stages + final capture bank, per lane.
+  std::size_t latches = 0;
+  for (const Instance& inst : d.top().insts()) {
+    if (inst.is_cell() && d.lib().cell(inst.cell).is_sequential()) ++latches;
+  }
+  EXPECT_EQ(latches, 3u * 4u);
+}
+
+TEST_F(GenTest, PipelineSinglePhaseUsesOneClock) {
+  PipelineSpec spec;
+  spec.two_phase = false;
+  const Design d = make_pipeline(lib_, spec);
+  EXPECT_TRUE(validate(d).ok());
+  EXPECT_EQ(d.top().ports().size(), 1u /*clk*/ + 1u /*d0*/ + 1u /*q0*/);
+}
+
+class RandomNetworkTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RandomNetworkTest, AlwaysValidAndDeterministic) {
+  auto lib = make_standard_library();
+  RandomNetworkSpec spec;
+  spec.seed = GetParam();
+  spec.num_clocks = 1 + static_cast<int>(GetParam() % 4);
+  spec.transparent_prob = (GetParam() % 10) / 10.0;
+  const RandomNetwork a = make_random_network(lib, spec);
+  const RandomNetwork b = make_random_network(lib, spec);
+  EXPECT_TRUE(validate(a.design).ok()) << validate(a.design).to_string();
+  EXPECT_EQ(netlist_to_string(a.design), netlist_to_string(b.design));
+  EXPECT_EQ(a.clocks.overall_period(), b.clocks.overall_period());
+  // Harmonic check: every clock period divides the overall period.
+  for (std::uint32_t c = 0; c < a.clocks.num_clocks(); ++c) {
+    EXPECT_EQ(a.clocks.overall_period() % a.clocks.clock(ClockId(c)).period, 0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomNetworkTest,
+                         ::testing::Range<std::uint64_t>(1, 31));
+
+}  // namespace
+}  // namespace hb

@@ -1,0 +1,192 @@
+// Facade-level behaviour: options, stats, hierarchy handling, the
+// flattened-vs-hierarchical equivalence the paper's SM1F/SM1H pair
+// demonstrates, and input/output timing specifications.
+#include <gtest/gtest.h>
+
+#include "gen/des.hpp"  // make_single_clock
+#include "gen/fsm.hpp"
+#include "netlist/builder.hpp"
+#include "netlist/flatten.hpp"
+#include "netlist/stdcells.hpp"
+#include "sta/hummingbird.hpp"
+
+namespace hb {
+namespace {
+
+class HummingbirdTest : public ::testing::Test {
+ protected:
+  std::shared_ptr<const Library> lib_ = make_standard_library();
+};
+
+TEST_F(HummingbirdTest, StatsReflectTheDesign) {
+  const Design fsm = make_fsm_flat(lib_);
+  const ClockSet clocks = make_single_clock(ns(20), ns(8));
+  Hummingbird analyser(fsm, clocks);
+  analyser.analyze();
+  const AnalysisStats& s = analyser.stats();
+  EXPECT_EQ(s.cells, fsm.total_cell_count());
+  EXPECT_EQ(s.nets, fsm.total_net_count());
+  EXPECT_GT(s.graph_nodes, s.cells);
+  EXPECT_GT(s.graph_arcs, 0u);
+  EXPECT_GT(s.sync_instances, 12u);  // 12 state bits + port terminals
+  EXPECT_GT(s.clusters, 0u);
+  EXPECT_GE(s.analysis_passes, s.clusters - 1);  // clock cone cluster: 0
+  EXPECT_GE(s.preprocess_seconds, 0.0);
+  EXPECT_GE(s.analysis_seconds, 0.0);
+}
+
+TEST_F(HummingbirdTest, ValidationOnByDefault) {
+  TopBuilder b("bad", lib_);
+  Module& m = b.module();
+  m.add_cell_inst("i", lib_->require("INVX1"), 2);  // unconnected
+  const Design d = b.finish();
+  ClockSet clocks;
+  clocks.add_simple_clock("clk", ns(10), 0, ns(4));
+  EXPECT_THROW(Hummingbird(d, clocks), Error);
+}
+
+TEST_F(HummingbirdTest, NonHarmonicClocksRejected) {
+  TopBuilder b("t", lib_);
+  const NetId c1 = b.port_in("c1", true);
+  const NetId c2 = b.port_in("c2", true);
+  const NetId d = b.port_in("d");
+  const NetId q1 = b.latch("DFFT", d, c1, "f1");
+  b.port_out_net("q", b.latch("DFFT", q1, c2, "f2"));
+  const Design design = b.finish();
+  ClockSet clocks;
+  clocks.add_simple_clock("c1", 10007, 0, 5000);  // prime periods:
+  clocks.add_simple_clock("c2", 9973, 0, 5000);   // LCM explodes
+  EXPECT_THROW(Hummingbird(design, clocks), Error);
+}
+
+TEST_F(HummingbirdTest, HierarchicalAndFlatAgree) {
+  // SM1F and SM1H describe the same machine; with the module-level delay
+  // combination being conservative (worst internal path per port pair),
+  // the hierarchical verdict may only be *more* pessimistic, never less.
+  const Design flat = make_fsm_flat(lib_);
+  const Design hier = make_fsm_hier(lib_);
+  for (TimePs period : {ps(400), ps(700), ns(1), ns(2), ns(4), ns(16)}) {
+    const ClockSet clocks = make_single_clock(period, period * 2 / 5);
+    Hummingbird a_flat(flat, clocks);
+    Hummingbird a_hier(hier, clocks);
+    const bool flat_ok = a_flat.analyze().works_as_intended;
+    const bool hier_ok = a_hier.analyze().works_as_intended;
+    if (hier_ok) {
+      EXPECT_TRUE(flat_ok) << format_time(period);
+    }
+    // At generous periods both must pass; at hopeless ones both must fail.
+    if (period >= ns(16)) {
+      EXPECT_TRUE(hier_ok);
+    }
+    if (period <= ps(400)) {
+      EXPECT_FALSE(flat_ok);
+    }
+  }
+}
+
+TEST_F(HummingbirdTest, FlattenedHierarchyAnalysesIdentically) {
+  // flatten(hier) is cell-for-cell the flat design; the analysis of both
+  // must agree exactly (same worst slack), unlike the abstracted module.
+  const Design hier = make_fsm_hier(lib_);
+  const Design flat = flatten(hier);
+  const ClockSet clocks = make_single_clock(ns(8), ns(3));
+  Hummingbird a(hier, clocks), b(flat, clocks);
+  // Worst slacks may differ (module abstraction vs full netlist)...
+  const TimePs hier_slack = a.analyze().worst_slack;
+  const TimePs flat_slack = b.analyze().worst_slack;
+  EXPECT_LE(hier_slack, flat_slack);  // abstraction is conservative
+}
+
+TEST_F(HummingbirdTest, InputArrivalTightensTiming) {
+  TopBuilder b("t", lib_);
+  const NetId clk = b.port_in("clk", true);
+  NetId n = b.port_in("d");
+  for (int i = 0; i < 8; ++i) n = b.gate("INVX1", {n});
+  b.port_out_net("q", b.latch("DFFT", n, clk, "ff"));
+  const Design design = b.finish();
+  ClockSet clocks;
+  clocks.add_simple_clock("clk", ns(10), 0, ns(4));
+
+  HummingbirdOptions early;
+  Hummingbird a(design, clocks, early);
+  const TimePs slack_early = a.analyze().worst_slack;
+
+  HummingbirdOptions late;
+  late.sync.input_arrivals.push_back({"d", ns(3), ps(200)});
+  Hummingbird c(design, clocks, late);
+  const TimePs slack_late = c.analyze().worst_slack;
+  EXPECT_EQ(slack_early - slack_late, ns(3) + ps(200));
+}
+
+TEST_F(HummingbirdTest, OutputRequiredTightensTiming) {
+  TopBuilder b("t", lib_);
+  const NetId clk = b.port_in("clk", true);
+  NetId n = b.latch("DFFT", b.port_in("d"), clk, "ff");
+  for (int i = 0; i < 8; ++i) n = b.gate("INVX1", {n});
+  b.port_out_net("q", n);
+  const Design design = b.finish();
+  ClockSet clocks;
+  clocks.add_simple_clock("clk", ns(10), 0, ns(4));
+
+  auto out_slack = [](Hummingbird& analyser) {
+    analyser.analyze();
+    const SyncModel& sync = analyser.sync_model();
+    for (std::uint32_t i = 0; i < sync.num_instances(); ++i) {
+      if (sync.at(SyncId(i)).label == "out:q") {
+        return analyser.engine().capture_slack(SyncId(i));
+      }
+    }
+    return kInfinitePs;
+  };
+  Hummingbird a(design, clocks);
+  const TimePs base = out_slack(a);
+  ASSERT_NE(base, kInfinitePs);
+
+  HummingbirdOptions opts;
+  opts.sync.output_requireds.push_back({"q", ns(8), 0});  // 2 ns earlier
+  Hummingbird c(design, clocks, opts);
+  EXPECT_EQ(out_slack(c), base - ns(2));
+}
+
+TEST_F(HummingbirdTest, UnconstrainedPortsWhenDisabled) {
+  TopBuilder b("t", lib_);
+  const NetId clk = b.port_in("clk", true);
+  NetId n = b.port_in("d");
+  for (int i = 0; i < 200; ++i) n = b.gate("INVX1", {n});
+  b.port_out_net("q", b.latch("DFFT", n, clk, "ff"));
+  const Design design = b.finish();
+  ClockSet clocks;
+  clocks.add_simple_clock("clk", ns(4), 0, ns(2));
+
+  Hummingbird constrained(design, clocks);
+  EXPECT_FALSE(constrained.analyze().works_as_intended);
+
+  HummingbirdOptions opts;
+  opts.sync.constrain_ports = false;
+  Hummingbird open(design, clocks, opts);
+  // Without port constraints there is no launch into the chain at all, so
+  // nothing violates.
+  EXPECT_TRUE(open.analyze().works_as_intended);
+}
+
+TEST_F(HummingbirdTest, GenerateConstraintsRunsAnalyzeIfNeeded) {
+  const Design fsm = make_fsm_flat(lib_);
+  const ClockSet clocks = make_single_clock(ns(20), ns(8));
+  Hummingbird analyser(fsm, clocks);
+  const ConstraintSet cs = analyser.generate_constraints();  // implicit analyze
+  EXPECT_EQ(cs.nodes.size(), analyser.graph().num_nodes());
+}
+
+TEST_F(HummingbirdTest, ReanalysisIsDeterministic) {
+  const Design fsm = make_fsm_flat(lib_);
+  const ClockSet clocks = make_single_clock(ns(6), ns(2));
+  Hummingbird analyser(fsm, clocks);
+  const Algorithm1Result r1 = analyser.analyze();
+  const Algorithm1Result r2 = analyser.analyze();  // resets offsets first
+  EXPECT_EQ(r1.works_as_intended, r2.works_as_intended);
+  EXPECT_EQ(r1.worst_slack, r2.worst_slack);
+  EXPECT_EQ(r1.forward_cycles, r2.forward_cycles);
+}
+
+}  // namespace
+}  // namespace hb

@@ -1,0 +1,93 @@
+// Library file load/store round trips, including the full built-in library.
+#include <gtest/gtest.h>
+
+#include "netlist/library_io.hpp"
+#include "netlist/stdcells.hpp"
+
+namespace hb {
+namespace {
+
+TEST(LibraryIoTest, RoundTripsTheStandardLibrary) {
+  auto lib = make_standard_library();
+  const std::string text = library_to_string(*lib);
+  auto re = library_from_string(text);
+  EXPECT_EQ(library_to_string(*re), text);
+  EXPECT_EQ(re->num_cells(), lib->num_cells());
+
+  // Spot-check structural fidelity.
+  const Cell& inv = re->cell(re->require("INVX1"));
+  EXPECT_EQ(inv.kind(), CellKind::kCombinational);
+  EXPECT_EQ(inv.family(), "INV");
+  ASSERT_EQ(inv.arcs().size(), 1u);
+  EXPECT_EQ(inv.arcs()[0].unate, Unate::kNegative);
+  EXPECT_EQ(inv.arcs()[0].intrinsic_rise, 28);
+  EXPECT_NEAR(inv.port(0).cap_ff, 1.8, 1e-9);
+
+  const Cell& tl = re->cell(re->require("TLATCH"));
+  EXPECT_EQ(tl.kind(), CellKind::kTransparentLatch);
+  EXPECT_TRUE(tl.sync().active_high);
+  EXPECT_EQ(tl.sync().setup, 55);
+  EXPECT_EQ(tl.port(tl.sync().control).role, PortRole::kControl);
+
+  const Cell& dff = re->cell(re->require("DFFT"));
+  EXPECT_EQ(dff.sync().trigger, TriggerEdge::kTrailing);
+
+  // Drive families survive (the redesign loop depends on them).
+  EXPECT_TRUE(re->stronger_variant(re->require("NAND2X1")).valid());
+}
+
+TEST(LibraryIoTest, ParsesHandWrittenLibrary) {
+  auto lib = library_from_string(
+      "# tiny library\n"
+      "library tiny\n"
+      "cell BUF comb\n"
+      "  area 3.5\n"
+      "  in A 2.0\n"
+      "  out Y\n"
+      "  arc A Y pos 50 45 3.0 2.8\n"
+      "endcell\n"
+      "cell LAT transparent\n"
+      "  active low\n"
+      "  setup 40\n"
+      "  in D 2.1\n"
+      "  ctrl G 1.5\n"
+      "  out Q\n"
+      "  arc G Q none 70 70 3.0 3.0\n"
+      "  arc D Q pos 60 60 3.0 3.0\n"
+      "endcell\n");
+  EXPECT_EQ(lib->name(), "tiny");
+  EXPECT_EQ(lib->num_cells(), 2u);
+  const Cell& lat = lib->cell(lib->require("LAT"));
+  EXPECT_FALSE(lat.sync().active_high);
+  EXPECT_EQ(lat.sync().data_in, lat.port_index("D"));
+  EXPECT_EQ(lat.sync().control, lat.port_index("G"));
+  EXPECT_EQ(lat.sync().data_out, lat.port_index("Q"));
+}
+
+TEST(LibraryIoTest, RejectsMalformedInput) {
+  EXPECT_THROW(library_from_string(""), Error);
+  EXPECT_THROW(library_from_string("library l\ncell A comb\n"), Error);  // unterminated
+  EXPECT_THROW(library_from_string("library l\narea 2\n"), Error);  // outside cell
+  EXPECT_THROW(library_from_string("library l\ncell A bogus\nendcell\n"), Error);
+  EXPECT_THROW(
+      library_from_string("library l\ncell A comb\n  arc X Y pos 1 1 1 1\nendcell\n"),
+      Error);  // unknown ports
+  EXPECT_THROW(
+      library_from_string("library l\ncell A edge\n  in D 1\n  out Q\nendcell\n"),
+      Error);  // sequential without ctrl
+  EXPECT_THROW(
+      library_from_string("library l\ncell A comb\n  in D x\nendcell\n"),
+      Error);  // bad number
+}
+
+TEST(LibraryIoTest, ErrorsCarryLineNumbers) {
+  try {
+    library_from_string("library l\ncell A comb\n  bogus\nendcell\n");
+    FAIL() << "expected Error";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("line 3"), std::string::npos);
+  }
+}
+
+}  // namespace
+}  // namespace hb

@@ -1,0 +1,140 @@
+#include <gtest/gtest.h>
+
+#include "netlist/stdcells.hpp"
+
+namespace hb {
+namespace {
+
+class StdCellsTest : public ::testing::Test {
+ protected:
+  std::shared_ptr<const Library> lib_ = make_standard_library();
+};
+
+TEST_F(StdCellsTest, HasExpectedFamilies) {
+  for (const char* name :
+       {"INVX1", "INVX2", "INVX4", "NAND2X1", "NOR3X4", "XOR2X2", "MUX2X1",
+        "CLKBUF", "DFFT", "DFFL", "TLATCH", "TLATCHN", "TRIBUF"}) {
+    EXPECT_TRUE(lib_->find(name).valid()) << name;
+  }
+  EXPECT_FALSE(lib_->find("NAND4X1").valid());
+}
+
+TEST_F(StdCellsTest, RequireThrowsOnUnknown) {
+  EXPECT_THROW(lib_->require("NOPE"), Error);
+  EXPECT_NO_THROW(lib_->require("INVX1"));
+}
+
+TEST_F(StdCellsTest, FamilyOrderedByDrive) {
+  const auto members = lib_->family_members("NAND2");
+  ASSERT_EQ(members.size(), 3u);
+  EXPECT_EQ(lib_->cell(members[0]).name(), "NAND2X1");
+  EXPECT_EQ(lib_->cell(members[2]).name(), "NAND2X4");
+  EXPECT_LT(lib_->cell(members[0]).drive(), lib_->cell(members[2]).drive());
+}
+
+TEST_F(StdCellsTest, StrongerAndWeakerVariants) {
+  const CellId x1 = lib_->require("INVX1");
+  const CellId x2 = lib_->stronger_variant(x1);
+  ASSERT_TRUE(x2.valid());
+  EXPECT_EQ(lib_->cell(x2).name(), "INVX2");
+  EXPECT_EQ(lib_->weaker_variant(x2), x1);
+  const CellId x4 = lib_->stronger_variant(x2);
+  ASSERT_TRUE(x4.valid());
+  EXPECT_FALSE(lib_->stronger_variant(x4).valid());
+  EXPECT_FALSE(lib_->weaker_variant(x1).valid());
+}
+
+TEST_F(StdCellsTest, StrongerVariantHasLowerSlopeHigherCap) {
+  const Cell& x1 = lib_->cell(lib_->require("NAND2X1"));
+  const Cell& x4 = lib_->cell(lib_->require("NAND2X4"));
+  EXPECT_LT(x4.arcs()[0].slope_rise, x1.arcs()[0].slope_rise);
+  EXPECT_GT(x4.port(0).cap_ff, x1.port(0).cap_ff);
+  EXPECT_GT(x4.area_um2(), x1.area_um2());
+}
+
+TEST_F(StdCellsTest, VariantsSharePortLayout) {
+  for (const char* family : {"INV", "NAND2", "XOR2", "MUX2", "AOI21"}) {
+    const auto members = lib_->family_members(family);
+    ASSERT_GE(members.size(), 2u) << family;
+    const Cell& base = lib_->cell(members[0]);
+    for (std::size_t i = 1; i < members.size(); ++i) {
+      const Cell& other = lib_->cell(members[i]);
+      ASSERT_EQ(base.ports().size(), other.ports().size());
+      for (std::uint32_t p = 0; p < base.ports().size(); ++p) {
+        EXPECT_EQ(base.port(p).name, other.port(p).name);
+        EXPECT_EQ(base.port(p).direction, other.port(p).direction);
+      }
+    }
+  }
+}
+
+TEST_F(StdCellsTest, InverterIsNegativeUnate) {
+  const Cell& inv = lib_->cell(lib_->require("INVX1"));
+  ASSERT_EQ(inv.arcs().size(), 1u);
+  EXPECT_EQ(inv.arcs()[0].unate, Unate::kNegative);
+}
+
+TEST_F(StdCellsTest, XorIsNonUnate) {
+  const Cell& x = lib_->cell(lib_->require("XOR2X1"));
+  for (const TimingArc& arc : x.arcs()) EXPECT_EQ(arc.unate, Unate::kNone);
+}
+
+TEST_F(StdCellsTest, SequentialCellsHaveSyncSpecs) {
+  const Cell& dff = lib_->cell(lib_->require("DFFT"));
+  EXPECT_TRUE(dff.is_sequential());
+  EXPECT_EQ(dff.kind(), CellKind::kEdgeTriggeredLatch);
+  EXPECT_EQ(dff.sync().trigger, TriggerEdge::kTrailing);
+  EXPECT_GT(dff.sync().setup, 0);
+  EXPECT_EQ(dff.port(dff.sync().control).role, PortRole::kControl);
+
+  const Cell& tl = lib_->cell(lib_->require("TLATCH"));
+  EXPECT_EQ(tl.kind(), CellKind::kTransparentLatch);
+  EXPECT_TRUE(tl.sync().active_high);
+  const Cell& tln = lib_->cell(lib_->require("TLATCHN"));
+  EXPECT_FALSE(tln.sync().active_high);
+
+  const Cell& tb = lib_->cell(lib_->require("TRIBUF"));
+  EXPECT_EQ(tb.kind(), CellKind::kTristateDriver);
+}
+
+TEST_F(StdCellsTest, CombCellHasNoSync) {
+  const Cell& inv = lib_->cell(lib_->require("INVX1"));
+  EXPECT_FALSE(inv.has_sync());
+  EXPECT_THROW(inv.sync(), Error);
+}
+
+TEST_F(StdCellsTest, TransparentLatchHasDataArc) {
+  const Cell& tl = lib_->cell(lib_->require("TLATCH"));
+  bool has_dq = false, has_cq = false;
+  for (const TimingArc& arc : tl.arcs()) {
+    if (arc.from_port == tl.sync().data_in) has_dq = true;
+    if (arc.from_port == tl.sync().control) has_cq = true;
+  }
+  EXPECT_TRUE(has_dq);
+  EXPECT_TRUE(has_cq);
+
+  const Cell& dff = lib_->cell(lib_->require("DFFT"));
+  for (const TimingArc& arc : dff.arcs()) {
+    EXPECT_NE(arc.from_port, dff.sync().data_in)
+        << "edge-triggered latch must not have a combinational D->Q arc";
+  }
+}
+
+TEST(LibraryTest, DuplicateCellNameRejected) {
+  Library lib("l");
+  lib.add_cell(Cell("A", CellKind::kCombinational));
+  EXPECT_THROW(lib.add_cell(Cell("A", CellKind::kCombinational)), Error);
+}
+
+TEST(LibraryTest, PortLookup) {
+  Cell c("G", CellKind::kCombinational);
+  c.add_port({"A", PortDirection::kInput, PortRole::kData, 1.0});
+  c.add_port({"Y", PortDirection::kOutput, PortRole::kData, 0.0});
+  EXPECT_EQ(c.port_index("A"), 0u);
+  EXPECT_EQ(c.port_index("Y"), 1u);
+  EXPECT_THROW(c.port_index("Z"), Error);
+  EXPECT_FALSE(c.find_port("Z").has_value());
+}
+
+}  // namespace
+}  // namespace hb

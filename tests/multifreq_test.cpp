@@ -1,0 +1,194 @@
+// Multi-frequency behaviour: elements clocked at a multiple of the overall
+// frequency expand into several generic instances, each pairing with the
+// "very next" closure — the engine must constrain every launch/capture
+// instance pair with its exact cyclic separation.
+#include <gtest/gtest.h>
+
+#include "constraints/feasibility.hpp"
+#include "netlist/builder.hpp"
+#include "netlist/stdcells.hpp"
+#include "sta/hummingbird.hpp"
+
+namespace hb {
+namespace {
+
+class MultiFreqTest : public ::testing::Test {
+ protected:
+  std::shared_ptr<const Library> lib_ = make_standard_library();
+
+  static SyncId find_instance(const SyncModel& sync, const std::string& label) {
+    for (std::uint32_t i = 0; i < sync.num_instances(); ++i) {
+      if (sync.at(SyncId(i)).label == label) return SyncId(i);
+    }
+    return SyncId::invalid();
+  }
+};
+
+// Fast-clock flip-flop feeding a slow-clock flip-flop: the binding launch
+// is the *last* fast pulse before the slow capture edge.
+TEST_F(MultiFreqTest, FastToSlowUsesLastLaunch) {
+  TopBuilder b("f2s", lib_);
+  const NetId fast = b.port_in("fast", true);
+  const NetId slow = b.port_in("slow", true);
+  const NetId q1 = b.latch("DFFT", b.port_in("d"), fast, "src");
+  b.port_out_net("q", b.latch("DFFT", q1, slow, "dst"));
+  const Design design = b.finish();
+
+  ClockSet clocks;
+  // fast: trailing edges at 4 and 14 ns; slow: trailing edge at 8 ns.
+  clocks.add_simple_clock("fast", ns(10), 0, ns(4));
+  clocks.add_simple_clock("slow", ns(20), 0, ns(8));
+  Hummingbird analyser(design, clocks);
+  analyser.analyze();
+
+  const SyncModel& sync = analyser.sync_model();
+  const SlackEngine& engine = analyser.engine();
+  // dst closes at 8 - setup(65); launches assert at 4 and 14 (+ D_cz).
+  // Launch@4 -> capture@8: window 4000; launch@14 -> capture@8 next period:
+  // window 14000.  D_cz = 95 + round(3.6 * 3.3fF load) = 107.
+  const TimePs dcz = 114;  // 95 + round(3.6 * 5.4 fF)
+  const TimePs slack_tight = (ns(8) - 65) - (ns(4) + dcz);
+  const SyncId dst = find_instance(sync, "dst#0");
+  EXPECT_EQ(engine.capture_slack(dst), slack_tight);
+  // Both launch instances have well-defined slacks; the later one is looser
+  // by the extra 10 ns of separation.
+  const TimePs s0 = engine.launch_slack(find_instance(sync, "src#0"));
+  const TimePs s1 = engine.launch_slack(find_instance(sync, "src#1"));
+  EXPECT_EQ(s0, slack_tight);
+  EXPECT_EQ(s1, slack_tight + ns(10));
+}
+
+// Slow launch into a fast capture: each capture instance pairs with the
+// single slow launch, at different separations.
+TEST_F(MultiFreqTest, SlowToFastCapturesBothPulses) {
+  TopBuilder b("s2f", lib_);
+  const NetId fast = b.port_in("fast", true);
+  const NetId slow = b.port_in("slow", true);
+  const NetId q1 = b.latch("DFFT", b.port_in("d"), slow, "src");
+  b.port_out_net("q", b.latch("DFFT", q1, fast, "dst"));
+  const Design design = b.finish();
+
+  ClockSet clocks;
+  clocks.add_simple_clock("fast", ns(10), 0, ns(4));
+  clocks.add_simple_clock("slow", ns(20), 0, ns(8));
+  Hummingbird analyser(design, clocks);
+  analyser.analyze();
+
+  const SyncModel& sync = analyser.sync_model();
+  const SlackEngine& engine = analyser.engine();
+  const TimePs dcz = 114;  // 95 + round(3.6 * 5.4 fF)
+  // Launch asserts at 8 ns + dcz; captures close at 4 ns (next period:
+  // 24 ns => window 16 ns) and at 14 ns (window 6 ns).
+  const SyncId cap0 = find_instance(sync, "dst#0");
+  const SyncId cap1 = find_instance(sync, "dst#1");
+  EXPECT_EQ(engine.capture_slack(cap0), (ns(24) - 65) - (ns(8) + dcz));
+  EXPECT_EQ(engine.capture_slack(cap1), (ns(14) - 65) - (ns(8) + dcz));
+  // The launch's slack is bound by the tighter pairing.
+  EXPECT_EQ(engine.launch_slack(find_instance(sync, "src#0")),
+            (ns(14) - 65) - (ns(8) + dcz));
+}
+
+// A multi-pulse clock (two pulses per period) on a transparent latch gives
+// two independent generic instances whose offsets move independently.
+TEST_F(MultiFreqTest, MultiPulseTransparentInstancesIndependent) {
+  TopBuilder b("mp", lib_);
+  const NetId clk = b.port_in("clk", true);
+  const NetId d = b.port_in("d");
+  b.port_out_net("q", b.latch("TLATCH", d, clk, "lat"));
+  const Design design = b.finish();
+
+  ClockSet clocks;
+  clocks.add_clock("clk", ns(20), {ClockPulse{0, ns(4)}, ClockPulse{ns(10), ns(16)}});
+  Hummingbird analyser(design, clocks);
+  analyser.analyze();
+
+  const SyncModel& sync = analyser.sync_model();
+  const SyncId i0 = find_instance(sync, "lat#0");
+  const SyncId i1 = find_instance(sync, "lat#1");
+  ASSERT_TRUE(i0.valid());
+  ASSERT_TRUE(i1.valid());
+  EXPECT_EQ(sync.at(i0).width, ns(4));
+  EXPECT_EQ(sync.at(i1).width, ns(6));
+  EXPECT_EQ(sync.at(i0).ideal_assert, 0);
+  EXPECT_EQ(sync.at(i1).ideal_assert, ns(10));
+}
+
+// The engine and the oracle must agree across mixed-rate configurations
+// (regression for the pass-assignment correctness with shared pins).
+TEST_F(MultiFreqTest, OracleAgreementOnMixedRates) {
+  for (int depth : {4, 16, 40, 80}) {
+    TopBuilder b("mix" + std::to_string(depth), lib_);
+    const NetId fast = b.port_in("fast", true);
+    const NetId slow = b.port_in("slow", true);
+    NetId n = b.latch("DFFT", b.port_in("d"), fast, "src");
+    for (int i = 0; i < depth; ++i) n = b.gate("INVX1", {n});
+    const NetId q1 = b.latch("TLATCH", n, slow, "mid");
+    NetId m = q1;
+    for (int i = 0; i < depth / 2; ++i) m = b.gate("INVX1", {m});
+    b.port_out_net("q", b.latch("DFFT", m, fast, "dst"));
+    const Design design = b.finish();
+
+    ClockSet clocks;
+    clocks.add_simple_clock("fast", ns(5), 0, ns(2));
+    clocks.add_simple_clock("slow", ns(10), ns(4), ns(8));
+    Hummingbird analyser(design, clocks);
+    const Algorithm1Result res = analyser.analyze();
+    const FeasibilityResult feas = check_intended_behaviour(analyser.engine());
+    if (res.works_as_intended) {
+      EXPECT_TRUE(feas.feasible) << depth;
+    }
+    if (!feas.feasible) {
+      EXPECT_FALSE(res.works_as_intended) << depth;
+    }
+  }
+}
+
+// Every capture instance's assigned pass must place each connected launch
+// instance strictly before the capture's closure (the invariant the
+// Section 7 correctness argument rests on), checked on a dense mixed-rate
+// cluster.
+TEST_F(MultiFreqTest, AssignedPassOrdersLaunchesBeforeCaptures) {
+  TopBuilder b("dense", lib_);
+  const NetId fast = b.port_in("fast", true);
+  const NetId slow = b.port_in("slow", true);
+  std::vector<NetId> sources;
+  sources.push_back(b.latch("DFFT", b.port_in("d0"), fast, "sf"));
+  sources.push_back(b.latch("DFFT", b.port_in("d1"), slow, "ss"));
+  sources.push_back(b.latch("TLATCH", b.port_in("d2"), slow, "ts"));
+  const NetId mix1 = b.gate("NAND2X1", {sources[0], sources[1]});
+  const NetId mix2 = b.gate("NAND2X1", {mix1, sources[2]});
+  b.port_out_net("q0", b.latch("DFFT", mix2, fast, "cf"));
+  b.port_out_net("q1", b.latch("TLATCH", mix2, slow, "cs"));
+  const Design design = b.finish();
+
+  ClockSet clocks;
+  clocks.add_simple_clock("fast", ns(8), 0, ns(3));
+  clocks.add_simple_clock("slow", ns(16), ns(6), ns(12));
+  Hummingbird analyser(design, clocks);
+  analyser.analyze();
+
+  const SlackEngine& engine = analyser.engine();
+  const SyncModel& sync = analyser.sync_model();
+  const ClusterSet& clusters = engine.clusters();
+  for (std::uint32_t i = 0; i < sync.num_instances(); ++i) {
+    const SyncInstance& cap = sync.at(SyncId(i));
+    if (!cap.data_in.valid()) continue;
+    const ClusterId c = clusters.cluster_of(cap.data_in);
+    if (!c.valid() || engine.num_passes(c) == 0) continue;
+    const std::size_t pass = engine.assigned_pass(SyncId(i));
+    const ClockEdgeGraph& edges = engine.edge_graph(c);
+    const std::size_t brk = engine.breaks(c)[pass];
+    const TimePs close_pos = edges.linear_close(cap.ideal_close, brk);
+    for (TNodeId src : clusters.cluster(c).source_nodes) {
+      for (SyncId li : sync.launches_at(src)) {
+        const TimePs assert_pos =
+            edges.linear_assert(sync.at(li).ideal_assert, brk);
+        EXPECT_LT(assert_pos, close_pos)
+            << sync.at(li).label << " vs " << cap.label;
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace hb

@@ -1,0 +1,181 @@
+// Property tests validating Algorithm 1 against the independent
+// difference-constraint feasibility oracle (the paper's central
+// proposition, decided exactly by Bellman-Ford):
+//
+//   * oracle infeasible  ==> Algorithm 1 reports "not as intended";
+//   * Algorithm 1 "as intended" ==> oracle feasible;
+//   * when the oracle is feasible, installing its O_dz solution into the
+//     engine must yield all-nonnegative terminal slacks (the solution is a
+//     witness, checked independently of the transfer heuristics).
+//
+// Run over randomized multi-clock latch networks and over period sweeps of
+// structured pipelines (clock speed moves designs across the
+// feasible/infeasible boundary).
+#include <gtest/gtest.h>
+
+#include "constraints/difference_system.hpp"
+#include "constraints/feasibility.hpp"
+#include "gen/pipeline.hpp"
+#include "gen/random_network.hpp"
+#include "netlist/stdcells.hpp"
+#include "netlist/validate.hpp"
+#include "sta/hummingbird.hpp"
+
+namespace hb {
+namespace {
+
+// ---------------------------------------------------------------------------
+// DifferenceSystem unit tests.
+
+TEST(DifferenceSystemTest, FeasibleChainProducesWitness) {
+  DifferenceSystem sys;
+  const int x = sys.add_variable("x");
+  const int y = sys.add_variable("y");
+  sys.add_lower(x, 3);        // x >= 3
+  sys.add_upper(y, 10);       // y <= 10
+  sys.add_diff_ge(y, x, 2);   // y - x >= 2
+  const auto res = sys.solve();
+  ASSERT_TRUE(res.feasible);
+  EXPECT_GE(res.solution[0], 3);
+  EXPECT_LE(res.solution[1], 10);
+  EXPECT_GE(res.solution[1] - res.solution[0], 2);
+}
+
+TEST(DifferenceSystemTest, InfeasibleBoundsDetected) {
+  DifferenceSystem sys;
+  const int x = sys.add_variable("x");
+  sys.add_lower(x, 5);
+  sys.add_upper(x, 4);
+  EXPECT_FALSE(sys.solve().feasible);
+}
+
+TEST(DifferenceSystemTest, NegativeCycleDetected) {
+  DifferenceSystem sys;
+  const int x = sys.add_variable("x");
+  const int y = sys.add_variable("y");
+  sys.add_diff_ge(y, x, 1);  // y >= x + 1
+  sys.add_diff_ge(x, y, 0);  // x >= y
+  EXPECT_FALSE(sys.solve().feasible);
+}
+
+TEST(DifferenceSystemTest, ContradictionShortCircuits) {
+  DifferenceSystem sys;
+  sys.add_contradiction("rigid path too slow");
+  const auto res = sys.solve();
+  EXPECT_FALSE(res.feasible);
+  EXPECT_EQ(res.reason, "rigid path too slow");
+}
+
+TEST(DifferenceSystemTest, EmptySystemFeasible) {
+  DifferenceSystem sys;
+  EXPECT_TRUE(sys.solve().feasible);
+}
+
+TEST(DifferenceSystemTest, LargeChainSolves) {
+  DifferenceSystem sys;
+  std::vector<int> vars;
+  for (int i = 0; i < 200; ++i) vars.push_back(sys.add_variable("v"));
+  for (int i = 1; i < 200; ++i) sys.add_diff_ge(vars[i], vars[i - 1], 1);
+  sys.add_lower(vars[0], 0);
+  sys.add_upper(vars[199], 199);
+  const auto res = sys.solve();
+  ASSERT_TRUE(res.feasible);
+  EXPECT_GE(res.solution[199] - res.solution[0], 199);
+}
+
+// ---------------------------------------------------------------------------
+// Agreement between Algorithm 1 and the oracle.
+
+/// Install a satisfying O_dz assignment and verify every terminal slack is
+/// nonnegative — the witness check.
+void check_witness(Hummingbird& analyser, const FeasibilityResult& feas) {
+  SyncModel& sync = analyser.sync_model_mut();
+  for (std::uint32_t i = 0; i < sync.num_instances(); ++i) {
+    SyncInstance& si = sync.at_mut(SyncId(i));
+    if (!si.transparent || si.is_virtual) continue;
+    si.odz = feas.odz_solution[i];
+    si.ozd = si.width + si.odz + si.ddz;
+  }
+  analyser.engine_mut().compute();
+  EXPECT_GE(analyser.engine().worst_terminal_slack(), 0)
+      << "oracle witness violates some path constraint";
+}
+
+void check_agreement(const Design& design, const ClockSet& clocks) {
+  Hummingbird analyser(design, clocks);
+  const Algorithm1Result res = analyser.analyze();
+  const FeasibilityResult feas = check_intended_behaviour(analyser.engine());
+
+  if (!feas.feasible) {
+    EXPECT_FALSE(res.works_as_intended)
+        << "Algorithm 1 accepted an infeasible system";
+  }
+  if (res.works_as_intended) {
+    EXPECT_TRUE(feas.feasible) << "Algorithm 1 accepted, oracle refuses";
+  }
+  if (feas.feasible) {
+    check_witness(analyser, feas);
+    // Conservative misclassification is allowed only at exact margins:
+    // a feasible system rejected by Algorithm 1 must show worst slack 0,
+    // never strictly negative... the transfer heuristic is exact otherwise.
+    if (!res.works_as_intended) {
+      EXPECT_GE(res.worst_slack, 0)
+          << "Algorithm 1 reports a strict violation on a feasible system";
+    }
+  }
+}
+
+class OracleRandomTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(OracleRandomTest, AgreesOnRandomNetworks) {
+  auto lib = make_standard_library();
+  RandomNetworkSpec spec;
+  spec.seed = GetParam();
+  spec.num_clocks = 1 + static_cast<int>(GetParam() % 3);
+  spec.banks = 2 + static_cast<int>(GetParam() % 3);
+  spec.bank_width = 3;
+  spec.gates_per_stage = 12;
+  // Vary the base period across seeds so some designs fail and some pass.
+  spec.base_period = ns(4) + static_cast<TimePs>((GetParam() * 977) % 9000);
+  const RandomNetwork net = make_random_network(lib, spec);
+  ASSERT_TRUE(validate(net.design).ok()) << validate(net.design).to_string();
+  check_agreement(net.design, net.clocks);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, OracleRandomTest,
+                         ::testing::Range<std::uint64_t>(1, 61));
+
+class OraclePipelineTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(OraclePipelineTest, AgreesAcrossPeriodSweep) {
+  auto lib = make_standard_library();
+  PipelineSpec spec;
+  spec.stage_depths = {70, 25, 45};
+  spec.width = 2;
+  spec.latch_cell = "TLATCH";
+  spec.seed = 17;
+  const Design design = make_pipeline(lib, spec);
+  const TimePs period = ns(GetParam());
+  check_agreement(design, make_two_phase_clocks(period));
+}
+
+INSTANTIATE_TEST_SUITE_P(Periods, OraclePipelineTest, ::testing::Range(3, 16));
+
+TEST(OracleTest, CountsConstraintsAndVariables) {
+  auto lib = make_standard_library();
+  PipelineSpec spec;
+  spec.stage_depths = {10, 10};
+  spec.width = 1;
+  spec.latch_cell = "TLATCH";
+  const Design design = make_pipeline(lib, spec);
+  Hummingbird analyser(design, make_two_phase_clocks(ns(10)));
+  analyser.analyze();
+  const FeasibilityResult feas = check_intended_behaviour(analyser.engine());
+  // Three transparent latch banks of width 1 (two stages + final bank).
+  EXPECT_EQ(feas.num_variables, 3u);
+  // PI->L0, L0->L1, L1->L2, L2->PO.
+  EXPECT_EQ(feas.num_path_constraints, 4u);
+}
+
+}  // namespace
+}  // namespace hb

@@ -1,0 +1,140 @@
+// The forward-relaxation baseline (Wallace/Sequin, Szymanski style) against
+// Hummingbird.  On edge-triggered designs the two semantics coincide, so
+// verdicts must match exactly; on transparent-latch designs relaxation
+// evaluates the "run the clocks" behaviour and must agree on clear passes
+// and clear failures.
+#include <gtest/gtest.h>
+
+#include "baseline/relaxation.hpp"
+#include "gen/pipeline.hpp"
+#include "netlist/builder.hpp"
+#include "netlist/stdcells.hpp"
+#include "sta/hummingbird.hpp"
+
+namespace hb {
+namespace {
+
+class RelaxationTest : public ::testing::Test {
+ protected:
+  std::shared_ptr<const Library> lib_ = make_standard_library();
+};
+
+TEST_F(RelaxationTest, MatchesHummingbirdOnFlipFlopDesigns) {
+  for (int depth : {4, 20, 36, 44, 60}) {
+    TopBuilder b("ff" + std::to_string(depth), lib_);
+    const NetId clk = b.port_in("clk", true);
+    NetId n = b.latch("DFFT", b.port_in("d"), clk, "ff1");
+    for (int i = 0; i < depth; ++i) n = b.gate("INVX1", {n});
+    b.port_out_net("q", b.latch("DFFT", n, clk, "ff2"));
+    const Design design = b.finish();
+    ClockSet clocks;
+    clocks.add_simple_clock("clk", ns(2), 0, ns(1));
+
+    Hummingbird analyser(design, clocks);
+    const bool hb_ok = analyser.analyze().works_as_intended;
+    const RelaxationResult relax = relaxation_analysis(analyser.engine());
+    EXPECT_TRUE(relax.converged);
+    EXPECT_EQ(relax.works, hb_ok) << "depth " << depth;
+  }
+}
+
+TEST_F(RelaxationTest, FlowsThroughTransparentLatches) {
+  // Unbalanced two-phase latch pipeline that only works with cycle
+  // stealing: relaxation must also accept it (data genuinely flows through
+  // the open latch), and must reject the hopeless version.
+  for (const bool should_work : {true, false}) {
+    PipelineSpec spec;
+    spec.stage_depths = should_work ? std::vector<int>{120, 20}
+                                    : std::vector<int>{220, 160};
+    spec.width = 1;
+    spec.latch_cell = "TLATCH";
+    spec.seed = 3;
+    const Design design = make_pipeline(lib_, spec);
+    const ClockSet clocks = make_two_phase_clocks(ns(10));
+
+    Hummingbird analyser(design, clocks);
+    const bool hb_ok = analyser.analyze().works_as_intended;
+    const RelaxationResult relax = relaxation_analysis(analyser.engine());
+    EXPECT_EQ(hb_ok, should_work);
+    EXPECT_EQ(relax.works, should_work) << "stage depths case";
+  }
+}
+
+TEST_F(RelaxationTest, ViolationsNameTheOffendingInput) {
+  TopBuilder b("v", lib_);
+  const NetId clk = b.port_in("clk", true);
+  NetId n = b.latch("DFFT", b.port_in("d"), clk, "ff1");
+  for (int i = 0; i < 64; ++i) n = b.gate("INVX1", {n});
+  b.port_out_net("q", b.latch("DFFT", n, clk, "ff2"));
+  const Design design = b.finish();
+  ClockSet clocks;
+  clocks.add_simple_clock("clk", ns(2), 0, ns(1));
+  Hummingbird analyser(design, clocks);
+  analyser.analyze();
+
+  const RelaxationResult relax = relaxation_analysis(analyser.engine());
+  ASSERT_FALSE(relax.violations.empty());
+  const Module& top = design.top();
+  const Instance& ff2 = top.inst(top.find_inst("ff2"));
+  const Cell& cell = lib_->cell(ff2.cell);
+  EXPECT_EQ(relax.violations[0].node,
+            analyser.graph().pin_node(top.find_inst("ff2"), cell.sync().data_in));
+  EXPECT_GT(relax.violations[0].arrival, relax.violations[0].deadline);
+}
+
+TEST_F(RelaxationTest, SettlingCountsMatchPerEdgeAttribution) {
+  // A node fed by launches on two different edges carries two transition
+  // classes; single-phase cones carry one.
+  TopBuilder b("mix", lib_);
+  const NetId phi1 = b.port_in("phi1", true);
+  const NetId phi2 = b.port_in("phi2", true);
+  const NetId qa = b.latch("DFFT", b.port_in("da"), phi1, "ffa");
+  const NetId qb = b.latch("DFFT", b.port_in("db"), phi2, "ffb");
+  const NetId mixed = b.gate("NAND2X1", {qa, qb}, "mix");
+  const NetId lone = b.gate("INVX1", {qa}, "lone");
+  b.port_out_net("q0", b.latch("DFFT", mixed, phi1, "cap0"));
+  b.port_out_net("q1", b.latch("DFFT", lone, phi1, "cap1"));
+  const Design design = b.finish();
+  const ClockSet clocks = make_two_phase_clocks(ns(10));
+  Hummingbird analyser(design, clocks);
+  analyser.analyze();
+
+  const RelaxationResult relax = relaxation_analysis(analyser.engine());
+  EXPECT_TRUE(relax.works);
+  const TimingGraph& graph = analyser.graph();
+  const Module& top = design.top();
+  EXPECT_EQ(relax.settling_counts[graph.pin_node(top.find_inst("mix"), 2).index()], 2);
+  EXPECT_EQ(relax.settling_counts[graph.pin_node(top.find_inst("lone"), 1).index()], 1);
+}
+
+TEST_F(RelaxationTest, TooSlowLatchLoopFailsToConverge) {
+  // A two-latch transparent ring slower than the period keeps gaining time
+  // every round: relaxation must report non-convergence (and thus failure),
+  // matching Hummingbird's verdict.
+  TopBuilder b("ring", lib_);
+  const NetId phi1 = b.port_in("phi1", true);
+  const NetId phi2 = b.port_in("phi2", true);
+  const NetId back = b.net("back");
+  const NetId inject = b.gate("MUX2X1", {b.port_in("d"), back, b.port_in("sel")});
+  NetId n = b.latch("TLATCH", inject, phi1, "l1");
+  for (int i = 0; i < 120; ++i) n = b.gate("INVX1", {n});
+  n = b.latch("TLATCH", n, phi2, "l2");
+  for (int i = 0; i < 119; ++i) n = b.gate("INVX1", {n});
+  {
+    Module& m = b.module();
+    const InstId g = m.add_cell_inst("loop_inv", lib_->require("INVX1"), 2);
+    m.connect(g, 0, n);
+    m.connect(g, 1, back);
+  }
+  b.port_out_net("q", n);
+  const Design design = b.finish();
+  const ClockSet clocks = make_two_phase_clocks(ns(10));
+
+  Hummingbird analyser(design, clocks);
+  EXPECT_FALSE(analyser.analyze().works_as_intended);
+  const RelaxationResult relax = relaxation_analysis(analyser.engine());
+  EXPECT_FALSE(relax.works);
+}
+
+}  // namespace
+}  // namespace hb

@@ -1,0 +1,135 @@
+// Slow-path enumeration, formatting and database flagging.
+#include <gtest/gtest.h>
+
+#include "gen/pipeline.hpp"
+#include "netlist/builder.hpp"
+#include "netlist/stdcells.hpp"
+#include "sta/hummingbird.hpp"
+
+namespace hb {
+namespace {
+
+class ReportTest : public ::testing::Test {
+ protected:
+  std::shared_ptr<const Library> lib_ = make_standard_library();
+
+  /// Two parallel flip-flop paths, one long (violating), one short.
+  Design make_two_path_design(int long_depth, int short_depth) {
+    TopBuilder b("two", lib_);
+    const NetId clk = b.port_in("clk", true);
+    for (int lane = 0; lane < 2; ++lane) {
+      const int depth = lane == 0 ? long_depth : short_depth;
+      NetId n = b.latch("DFFT", b.port_in("d" + std::to_string(lane)), clk,
+                        "src" + std::to_string(lane));
+      for (int i = 0; i < depth; ++i) n = b.gate("INVX1", {n});
+      b.port_out_net("q" + std::to_string(lane),
+                     b.latch("DFFT", n, clk, "dst" + std::to_string(lane)));
+    }
+    return b.finish();
+  }
+};
+
+TEST_F(ReportTest, OnlyViolatingPathsReported) {
+  const Design design = make_two_path_design(64, 4);
+  ClockSet clocks;
+  clocks.add_simple_clock("clk", ns(2), 0, ns(1));
+  Hummingbird analyser(design, clocks);
+  EXPECT_FALSE(analyser.analyze().works_as_intended);
+
+  const auto paths = analyser.slow_paths(10);
+  ASSERT_EQ(paths.size(), 1u);
+  EXPECT_EQ(analyser.sync_model().at(paths[0].capture).label, "dst0#0");
+  EXPECT_EQ(analyser.sync_model().at(paths[0].launch).label, "src0#0");
+}
+
+TEST_F(ReportTest, PathsSortedWorstFirstAndLimited) {
+  TopBuilder b("multi", lib_);
+  const NetId clk = b.port_in("clk", true);
+  for (int lane = 0; lane < 4; ++lane) {
+    NetId n = b.latch("DFFT", b.port_in("d" + std::to_string(lane)), clk,
+                      "src" + std::to_string(lane));
+    for (int i = 0; i < 45 + 15 * lane; ++i) n = b.gate("INVX1", {n});
+    b.port_out_net("q" + std::to_string(lane),
+                   b.latch("DFFT", n, clk, "dst" + std::to_string(lane)));
+  }
+  const Design design = b.finish();
+  ClockSet clocks;
+  clocks.add_simple_clock("clk", ns(2), 0, ns(1));
+  Hummingbird analyser(design, clocks);
+  analyser.analyze();
+
+  const auto all = analyser.slow_paths(10);
+  ASSERT_EQ(all.size(), 4u);
+  for (std::size_t i = 1; i < all.size(); ++i) {
+    EXPECT_LE(all[i - 1].slack, all[i].slack);
+  }
+  // The deepest lane (3) is worst.
+  EXPECT_EQ(analyser.sync_model().at(all[0].capture).label, "dst3#0");
+
+  const auto limited = analyser.slow_paths(2);
+  ASSERT_EQ(limited.size(), 2u);
+  EXPECT_EQ(limited[0].slack, all[0].slack);
+}
+
+TEST_F(ReportTest, StepArrivalsAreMonotoneAndEndAtCapture) {
+  const Design design = make_two_path_design(48, 4);
+  ClockSet clocks;
+  clocks.add_simple_clock("clk", ns(2), 0, ns(1));
+  Hummingbird analyser(design, clocks);
+  analyser.analyze();
+  const auto paths = analyser.slow_paths(1);
+  ASSERT_EQ(paths.size(), 1u);
+  const SlowPath& p = paths[0];
+  ASSERT_GE(p.steps.size(), 2u);
+  for (std::size_t i = 1; i < p.steps.size(); ++i) {
+    EXPECT_GE(p.steps[i].arrival, p.steps[i - 1].arrival);
+  }
+  EXPECT_EQ(p.steps.back().node, analyser.sync_model().at(p.capture).data_in);
+  // Alternating inverters flip the transition direction along the chain.
+  bool saw_rise = false, saw_fall = false;
+  for (const PathStep& s : p.steps) (s.rising ? saw_rise : saw_fall) = true;
+  EXPECT_TRUE(saw_rise);
+  EXPECT_TRUE(saw_fall);
+}
+
+TEST_F(ReportTest, FormatContainsLabelsAndSlacks) {
+  const Design design = make_two_path_design(64, 4);
+  ClockSet clocks;
+  clocks.add_simple_clock("clk", ns(2), 0, ns(1));
+  Hummingbird analyser(design, clocks);
+  analyser.analyze();
+  const std::string text = analyser.report(5);
+  EXPECT_NE(text.find("violations: "), std::string::npos);
+  EXPECT_NE(text.find("slow path: slack -"), std::string::npos);
+  EXPECT_NE(text.find("dst0#0"), std::string::npos);
+  EXPECT_NE(text.find("src0.Q"), std::string::npos);
+}
+
+TEST_F(ReportTest, FlagSlowPathsMarksOnlyCriticalNets) {
+  Design design = make_two_path_design(64, 4);
+  ClockSet clocks;
+  clocks.add_simple_clock("clk", ns(2), 0, ns(1));
+  Hummingbird analyser(design, clocks);
+  analyser.analyze();
+  analyser.flag_slow_paths_in(design);
+  // The long lane has 64 inverter nets plus endpoints; the short lane none.
+  EXPECT_GT(design.num_slow_nets(), 60u);
+  const Module& top = design.top();
+  // Short-lane capture net must be unflagged.
+  const Instance& dst1 = top.inst(top.find_inst("dst1"));
+  const Cell& cell = lib_->cell(dst1.cell);
+  EXPECT_FALSE(design.is_slow_net(dst1.conn[cell.sync().data_in]));
+}
+
+TEST_F(ReportTest, CleanDesignReportsNoViolations) {
+  const Design design = make_two_path_design(4, 2);
+  ClockSet clocks;
+  clocks.add_simple_clock("clk", ns(10), 0, ns(4));
+  Hummingbird analyser(design, clocks);
+  EXPECT_TRUE(analyser.analyze().works_as_intended);
+  EXPECT_TRUE(analyser.slow_paths(10).empty());
+  EXPECT_NE(analyser.report().find("violations: 0"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace hb

@@ -1,0 +1,151 @@
+// Robustness and scale: the parser must never crash on mutated input
+// (either parse or raise hb::Error), analyses must be deterministic across
+// runs, and run time must scale sanely with design size.
+#include <gtest/gtest.h>
+
+#include "gen/des.hpp"
+#include "gen/filter.hpp"
+#include "netlist/netlist_io.hpp"
+#include "netlist/stdcells.hpp"
+#include "netlist/validate.hpp"
+#include "sta/hummingbird.hpp"
+#include "util/rng.hpp"
+
+namespace hb {
+namespace {
+
+class ParserFuzzTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+// Mutate a valid netlist (byte flips, line drops, truncation) and feed it
+// back: the parser must either produce a design or throw hb::Error — never
+// crash or hang.
+TEST_P(ParserFuzzTest, MutatedNetlistNeverCrashes) {
+  auto lib = make_standard_library();
+  DesSpec spec;
+  spec.rounds = 1;
+  spec.half_width = 4;
+  const std::string base = netlist_to_string(make_des(lib, spec));
+
+  Rng rng(GetParam());
+  std::string text = base;
+  const int mutations = 1 + static_cast<int>(rng.pick(8));
+  for (int m = 0; m < mutations; ++m) {
+    switch (rng.pick(4)) {
+      case 0: {  // flip a byte
+        if (!text.empty()) {
+          text[rng.pick(text.size())] =
+              static_cast<char>('!' + rng.pick(90));
+        }
+        break;
+      }
+      case 1: {  // truncate
+        text = text.substr(0, rng.pick(text.size() + 1));
+        break;
+      }
+      case 2: {  // drop a line
+        const std::size_t start = rng.pick(text.size() + 1);
+        const std::size_t nl = text.find('\n', start);
+        if (nl != std::string::npos) {
+          const std::size_t prev = text.rfind('\n', start);
+          const std::size_t from = prev == std::string::npos ? 0 : prev + 1;
+          text.erase(from, nl - from + 1);
+        }
+        break;
+      }
+      case 3: {  // duplicate a random chunk
+        if (!text.empty()) {
+          const std::size_t at = rng.pick(text.size());
+          text.insert(at, text.substr(at, rng.pick(40) + 1));
+        }
+        break;
+      }
+    }
+  }
+
+  try {
+    const Design d = netlist_from_string(text, lib);
+    validate(d);  // may report errors; must not crash
+  } catch (const Error&) {
+    // expected for most mutations
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ParserFuzzTest,
+                         ::testing::Range<std::uint64_t>(1, 41));
+
+TEST(DeterminismTest, RepeatedAnalysesIdentical) {
+  auto lib = make_standard_library();
+  DesSpec spec;
+  spec.rounds = 4;
+  const Design des = make_des(lib, spec);
+  const ClockSet clocks = make_single_clock(ns(6), ps(2400));
+
+  TimePs first_slack = 0;
+  int first_cycles = -1;
+  for (int run = 0; run < 3; ++run) {
+    Hummingbird analyser(des, clocks);
+    const Algorithm1Result res = analyser.analyze();
+    if (run == 0) {
+      first_slack = res.worst_slack;
+      first_cycles = res.forward_cycles + res.backward_cycles;
+    } else {
+      EXPECT_EQ(res.worst_slack, first_slack);
+      EXPECT_EQ(res.forward_cycles + res.backward_cycles, first_cycles);
+    }
+  }
+}
+
+TEST(ScaleTest, AnalysisScalesWithRounds) {
+  auto lib = make_standard_library();
+  const ClockSet clocks = make_single_clock(ns(40), ns(16));
+  std::size_t prev_cells = 0;
+  double prev_time = 0.0;
+  for (int rounds : {2, 8}) {
+    DesSpec spec;
+    spec.rounds = rounds;
+    const Design des = make_des(lib, spec);
+    Hummingbird analyser(des, clocks);
+    analyser.analyze();
+    const double total = analyser.stats().preprocess_seconds +
+                         analyser.stats().analysis_seconds;
+    if (prev_cells != 0) {
+      EXPECT_GT(des.total_cell_count(), prev_cells * 3);
+      // 4x the cells must not cost more than ~40x the time (loose bound:
+      // the point is to catch accidental quadratic blowups).
+      EXPECT_LT(total, std::max(prev_time * 40, 2.0));
+    }
+    prev_cells = des.total_cell_count();
+    prev_time = total;
+  }
+}
+
+TEST(ScaleTest, MultirateFilterAnalysesCleanly) {
+  auto lib = make_standard_library();
+  FilterSpec spec;
+  spec.width = 12;
+  spec.taps = 6;
+  const Design filt = make_multirate_filter(lib, spec);
+  ASSERT_TRUE(validate(filt).ok()) << validate(filt).to_string();
+  Hummingbird analyser(filt, make_multirate_clocks(ns(20)));
+  EXPECT_TRUE(analyser.analyze().works_as_intended);
+  // Fast-domain registers contribute two instances each.
+  std::size_t fast_regs = 0;
+  for (const Instance& inst : filt.top().insts()) {
+    if (inst.is_cell() && filt.lib().cell(inst.cell).is_sequential() &&
+        inst.name.rfind("tap", 0) == 0) {
+      ++fast_regs;
+    }
+  }
+  std::size_t tap_instances = 0;
+  const SyncModel& sync = analyser.sync_model();
+  for (std::uint32_t i = 0; i < sync.num_instances(); ++i) {
+    if (!sync.at(SyncId(i)).is_virtual &&
+        sync.at(SyncId(i)).label.rfind("tap", 0) == 0) {
+      ++tap_instances;
+    }
+  }
+  EXPECT_EQ(tap_instances, 2 * fast_regs);
+}
+
+}  // namespace
+}  // namespace hb

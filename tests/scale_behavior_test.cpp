@@ -1,0 +1,130 @@
+// Behaviour of the full analyser on Table 1-scale designs: cluster
+// structure of the DES datapath, two-phase transparent variants, and the
+// interaction of the whole stack at realistic sizes.
+#include <gtest/gtest.h>
+
+#include "constraints/feasibility.hpp"
+#include "gen/alu.hpp"
+#include "gen/des.hpp"
+#include "gen/fsm.hpp"
+#include "netlist/stdcells.hpp"
+#include "sta/hummingbird.hpp"
+#include "sta/search.hpp"
+
+namespace hb {
+namespace {
+
+class ScaleBehaviorTest : public ::testing::Test {
+ protected:
+  std::shared_ptr<const Library> lib_ = make_standard_library();
+};
+
+TEST_F(ScaleBehaviorTest, DesClusterStructure) {
+  DesSpec spec;
+  spec.rounds = 4;
+  const Design des = make_des(lib_, spec);
+  Hummingbird analyser(des, make_single_clock(ns(40), ns(16)));
+  analyser.analyze();
+
+  // Single-phase flip-flop design: one pass per data cluster, one settling
+  // time per node — and the register-to-register round logic forms per-
+  // round clusters, so cluster count scales with rounds.
+  EXPECT_GT(analyser.stats().clusters, 4u);
+  const TimingGraph& graph = analyser.graph();
+  for (std::uint32_t n = 0; n < graph.num_nodes(); ++n) {
+    EXPECT_LE(analyser.engine().node_timing(TNodeId(n)).settling_count, 1);
+  }
+  // Every pass belongs to a cluster with sources and sinks.
+  EXPECT_LE(analyser.stats().analysis_passes, analyser.stats().clusters);
+}
+
+TEST_F(ScaleBehaviorTest, DesMinimumPeriodIsConsistent) {
+  DesSpec spec;
+  spec.rounds = 2;
+  const Design des = make_des(lib_, spec);
+  const auto factory = [](TimePs p) { return make_single_clock(p, p * 2 / 5); };
+  MinPeriodOptions options;
+  options.lo = ns(1);
+  options.hi = ns(30);
+  const TimePs p = find_min_period(des, factory, options);
+  ASSERT_LT(p, ns(30));
+  // Boundary behaviour and oracle agreement on both sides.
+  for (const TimePs probe : {p, p - options.grid}) {
+    const ClockSet clocks = factory(probe);
+    Hummingbird analyser(des, clocks);
+    const bool ok = analyser.analyze().works_as_intended;
+    EXPECT_EQ(ok, probe == p);
+    const FeasibilityResult feas = check_intended_behaviour(analyser.engine());
+    if (ok) {
+      EXPECT_TRUE(feas.feasible);
+    }
+    if (!feas.feasible) {
+      EXPECT_FALSE(ok);
+    }
+  }
+}
+
+TEST_F(ScaleBehaviorTest, SinglePhaseTransparentWindowIsLeadToTrail) {
+  // On a *single-phase* clock, a transparent latch launches at the leading
+  // edge and the next capture closes at the very next trailing edge — the
+  // data window is only the pulse width's complement of the period, whereas
+  // trailing-edge flip-flops get the full period.  (Transparency pays off
+  // in multi-phase schemes — EngineTest.CycleStealingThroughTransparent-
+  // Latches — not here.)  The analyser must reflect that.
+  const auto factory = [](TimePs p) { return make_single_clock(p, p * 2 / 5); };
+  MinPeriodOptions options;
+  options.lo = ns(1);
+  options.hi = ns(40);
+
+  AluSpec ff_spec;
+  ff_spec.bits = 12;
+  ff_spec.reg_cell = "DFFT";
+  const TimePs ff_period = find_min_period(make_alu(lib_, ff_spec), factory, options);
+
+  AluSpec lat_spec;
+  lat_spec.bits = 12;
+  lat_spec.reg_cell = "TLATCH";
+  const TimePs lat_period =
+      find_min_period(make_alu(lib_, lat_spec), factory, options);
+
+  EXPECT_GT(lat_period, ff_period);
+  // The lead-to-trail window is ~40% of the period, so the ratio should be
+  // roughly 1/0.4 = 2.5x (loosely bounded).
+  EXPECT_LT(lat_period, 4 * ff_period);
+}
+
+TEST_F(ScaleBehaviorTest, FsmHierarchicalPreprocessingSmaller) {
+  const Design flat = make_fsm_flat(lib_);
+  const Design hier = make_fsm_hier(lib_);
+  const ClockSet clocks = make_single_clock(ns(10), ns(4));
+  Hummingbird a_flat(flat, clocks);
+  Hummingbird a_hier(hier, clocks);
+  // The hierarchical description produces a much smaller timing problem
+  // (the paper's SM1F vs SM1H contrast).
+  EXPECT_LT(a_hier.stats().graph_nodes, a_flat.stats().graph_nodes / 3);
+  EXPECT_LT(a_hier.stats().graph_arcs, a_flat.stats().graph_arcs / 3);
+  EXPECT_LE(a_hier.stats().analysis_passes, a_flat.stats().analysis_passes);
+}
+
+TEST_F(ScaleBehaviorTest, ReportOnDesNamesRealPaths) {
+  DesSpec spec;
+  spec.rounds = 2;
+  const Design des = make_des(lib_, spec);
+  // Deliberately too fast (a DES round is only ~5 gate levels deep).
+  Hummingbird analyser(des, make_single_clock(ps(480), ps(200)));
+  EXPECT_FALSE(analyser.analyze().works_as_intended);
+  const auto paths = analyser.slow_paths(5);
+  ASSERT_FALSE(paths.empty());
+  for (const SlowPath& p : paths) {
+    EXPECT_LT(p.slack, 0);
+    EXPECT_GE(p.steps.size(), 3u);
+    // Launch and capture are register instances of the datapath.
+    const std::string cap = analyser.sync_model().at(p.capture).label;
+    EXPECT_TRUE(cap.find("reg") != std::string::npos ||
+                cap.rfind("out:", 0) == 0)
+        << cap;
+  }
+}
+
+}  // namespace
+}  // namespace hb

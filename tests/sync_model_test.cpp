@@ -1,0 +1,317 @@
+#include <gtest/gtest.h>
+
+#include "delay/calculator.hpp"
+#include "netlist/builder.hpp"
+#include "netlist/stdcells.hpp"
+#include "sta/sync_model.hpp"
+
+namespace hb {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Offset arithmetic of the generic element (paper Figure 3).
+
+// The paper's worked example: a transparent latch with no internal delays,
+// controlled by a 20 ns pulse, output asserted 5 ns after the pulse begins:
+// O_zd = 5 ns, O_dz = -15 ns; with a 2 ns control path delay,
+// O_ac = O_zc = 2 ns.
+TEST(SyncInstanceTest, PaperFigure3Example) {
+  SyncInstance si;
+  si.transparent = true;
+  si.width = ns(20);
+  si.ddz = 0;
+  si.dcz = 0;
+  si.setup = 0;
+  si.oac = ns(2);
+  si.odz = ns(-15);
+  si.ozd = si.width + si.odz + si.ddz;
+  EXPECT_EQ(si.ozd, ns(5));
+  // O_zc = O_ac + D_cz = 2 ns; output assertion = max(O_zc, O_zd) = 5 ns.
+  EXPECT_EQ(si.assert_offset(), ns(5));
+  // Input closure = min(O_dc, O_dz) = min(0, -15 ns) = -15 ns.
+  EXPECT_EQ(si.close_offset(), ns(-15));
+}
+
+TEST(SyncInstanceTest, EdgeTriggeredOffsetsArePinned) {
+  SyncInstance si;
+  si.transparent = false;
+  si.setup = 65;
+  si.dcz = 100;
+  si.oac = 7;
+  si.odz = 0;
+  si.ozd = 0;
+  EXPECT_EQ(si.assert_offset(), 107);  // O_ac + D_cz
+  EXPECT_EQ(si.close_offset(), -65);   // -D_setup
+  EXPECT_EQ(si.max_decrease(), 0);
+  EXPECT_EQ(si.max_increase(), 0);
+}
+
+TEST(SyncInstanceTest, TransferBoundsAndShift) {
+  SyncInstance si;
+  si.transparent = true;
+  si.width = 1000;
+  si.ddz = 80;
+  si.setup = 50;
+  si.odz = -80;  // end-of-pulse state
+  si.ozd = 1000;
+  EXPECT_EQ(si.max_decrease(), 1000);  // down to O_zd = 0
+  EXPECT_EQ(si.max_increase(), 0);     // O_dz at its -D_dz bound already
+
+  si.shift(-400);
+  EXPECT_EQ(si.odz, -480);
+  EXPECT_EQ(si.ozd, 600);
+  EXPECT_EQ(si.max_decrease(), 600);
+  EXPECT_EQ(si.max_increase(), 400);
+  // O_zd = W + O_dz + D_dz stays consistent under shifts.
+  EXPECT_EQ(si.ozd, si.width + si.odz + si.ddz);
+}
+
+TEST(SyncInstanceTest, ControlLimitedAssertion) {
+  // When the control arrives late, output assertion is control-limited and
+  // further forward shifts stop helping downstream.
+  SyncInstance si;
+  si.transparent = true;
+  si.width = 1000;
+  si.ddz = 0;
+  si.oac = 300;
+  si.dcz = 50;
+  si.odz = -900;
+  si.ozd = 100;
+  EXPECT_EQ(si.assert_offset(), 350);  // max(300+50, 100)
+}
+
+// ---------------------------------------------------------------------------
+// Model construction over real designs.
+
+class SyncModelTest : public ::testing::Test {
+ protected:
+  std::shared_ptr<const Library> lib_ = make_standard_library();
+
+  struct Built {
+    Design design;
+    ClockSet clocks;
+    std::unique_ptr<DelayCalculator> calc;
+    std::unique_ptr<TimingGraph> graph;
+    std::unique_ptr<SyncModel> sync;
+  };
+
+  Built build(Design design, ClockSet clocks, SyncModelOptions opts = {}) {
+    Built b{std::move(design), std::move(clocks), nullptr, nullptr, nullptr};
+    b.calc = std::make_unique<DelayCalculator>(b.design);
+    b.graph = std::make_unique<TimingGraph>(b.design, *b.calc);
+    b.sync = std::make_unique<SyncModel>(*b.graph, b.clocks, *b.calc, opts);
+    return b;
+  }
+
+  const SyncInstance& find(const SyncModel& sync, const std::string& label) {
+    for (std::uint32_t i = 0; i < sync.num_instances(); ++i) {
+      if (sync.at(SyncId(i)).label == label) return sync.at(SyncId(i));
+    }
+    ADD_FAILURE() << "no instance labelled " << label;
+    static SyncInstance dummy;
+    return dummy;
+  }
+};
+
+TEST_F(SyncModelTest, TransparentLatchIdealTimesFollowThePulse) {
+  TopBuilder b("t", lib_);
+  const NetId clk = b.port_in("clk", true);
+  const NetId d = b.port_in("d");
+  b.port_out_net("q", b.latch("TLATCH", d, clk, "lat"));
+  ClockSet clocks;
+  clocks.add_simple_clock("clk", ns(20), ns(3), ns(11));
+  auto built = build(b.finish(), std::move(clocks));
+
+  const SyncInstance& si = find(*built.sync, "lat#0");
+  EXPECT_TRUE(si.transparent);
+  EXPECT_EQ(si.ideal_assert, ns(3));   // leading edge asserts
+  EXPECT_EQ(si.ideal_close, ns(11));   // trailing edge closes
+  EXPECT_EQ(si.width, ns(8));
+  // End-of-pulse initial offsets.
+  EXPECT_EQ(si.odz, -si.ddz);
+  EXPECT_EQ(si.ozd, si.width);
+}
+
+TEST_F(SyncModelTest, ActiveLowLatchUsesLowInterval) {
+  TopBuilder b("t", lib_);
+  const NetId clk = b.port_in("clk", true);
+  const NetId d = b.port_in("d");
+  b.port_out_net("q", b.latch("TLATCHN", d, clk, "lat"));
+  ClockSet clocks;
+  clocks.add_simple_clock("clk", ns(20), ns(3), ns(11));
+  auto built = build(b.finish(), std::move(clocks));
+
+  const SyncInstance& si = find(*built.sync, "lat#0");
+  EXPECT_EQ(si.ideal_assert, ns(11));  // low interval starts at the fall
+  EXPECT_EQ(si.ideal_close, ns(3));    // and wraps to the next rise
+  EXPECT_EQ(si.width, ns(12));
+}
+
+TEST_F(SyncModelTest, InvertedControlFlipsTheInterval) {
+  TopBuilder b("t", lib_);
+  const NetId clk = b.port_in("clk", true);
+  const NetId nclk = b.gate("INVX1", {clk});
+  const NetId d = b.port_in("d");
+  b.port_out_net("q", b.latch("TLATCH", d, nclk, "lat"));
+  ClockSet clocks;
+  clocks.add_simple_clock("clk", ns(20), ns(3), ns(11));
+  auto built = build(b.finish(), std::move(clocks));
+
+  const SyncInstance& si = find(*built.sync, "lat#0");
+  // Active-high latch on inverted clock == enabled while the clock is low.
+  EXPECT_EQ(si.ideal_assert, ns(11));
+  EXPECT_EQ(si.ideal_close, ns(3));
+  // The inverter contributes control path delay: O_ac > 0.
+  EXPECT_GT(si.oac, 0);
+}
+
+TEST_F(SyncModelTest, TrailingEdgeTriggeredUsesTrailingEdge) {
+  TopBuilder b("t", lib_);
+  const NetId clk = b.port_in("clk", true);
+  const NetId d = b.port_in("d");
+  b.port_out_net("q", b.latch("DFFT", d, clk, "ff"));
+  ClockSet clocks;
+  clocks.add_simple_clock("clk", ns(20), ns(3), ns(11));
+  auto built = build(b.finish(), std::move(clocks));
+
+  const SyncInstance& si = find(*built.sync, "ff#0");
+  EXPECT_FALSE(si.transparent);
+  EXPECT_EQ(si.ideal_assert, ns(11));
+  EXPECT_EQ(si.ideal_close, ns(11));
+  EXPECT_EQ(si.max_decrease(), 0);
+}
+
+TEST_F(SyncModelTest, LeadingEdgeTriggeredUsesLeadingEdge) {
+  TopBuilder b("t", lib_);
+  const NetId clk = b.port_in("clk", true);
+  const NetId d = b.port_in("d");
+  b.port_out_net("q", b.latch("DFFL", d, clk, "ff"));
+  ClockSet clocks;
+  clocks.add_simple_clock("clk", ns(20), ns(3), ns(11));
+  auto built = build(b.finish(), std::move(clocks));
+
+  const SyncInstance& si = find(*built.sync, "ff#0");
+  EXPECT_EQ(si.ideal_assert, ns(3));
+  EXPECT_EQ(si.ideal_close, ns(3));
+}
+
+TEST_F(SyncModelTest, DoubleRateClockYieldsTwoInstances) {
+  TopBuilder b("t", lib_);
+  const NetId fast = b.port_in("fast", true);
+  const NetId slow = b.port_in("slow", true);
+  const NetId d = b.port_in("d");
+  const NetId q1 = b.latch("DFFT", d, fast, "ff_fast");
+  b.port_out_net("q1", q1);
+  const NetId q2 = b.latch("DFFT", d, slow, "ff_slow");
+  b.port_out_net("q2", q2);
+  ClockSet clocks;
+  clocks.add_simple_clock("fast", ns(10), 0, ns(4));
+  clocks.add_simple_clock("slow", ns(20), 0, ns(8));
+  auto built = build(b.finish(), std::move(clocks));
+
+  EXPECT_EQ(built.sync->overall_period(), ns(20));
+  const SyncInstance& p0 = find(*built.sync, "ff_fast#0");
+  const SyncInstance& p1 = find(*built.sync, "ff_fast#1");
+  EXPECT_EQ(p0.ideal_close, ns(4));
+  EXPECT_EQ(p1.ideal_close, ns(14));
+  // Both instances share the same data pins.
+  EXPECT_EQ(p0.data_in, p1.data_in);
+  EXPECT_EQ(built.sync->captures_at(p0.data_in).size(), 2u);
+}
+
+TEST_F(SyncModelTest, ControlPathDelayBecomesOac) {
+  TopBuilder b("t", lib_);
+  const NetId clk = b.port_in("clk", true);
+  const NetId buffered = b.gate("CLKBUF", {clk});
+  const NetId d = b.port_in("d");
+  b.port_out_net("q", b.latch("DFFT", d, buffered, "ff"));
+  ClockSet clocks;
+  clocks.add_simple_clock("clk", ns(20), 0, ns(8));
+  auto built = build(b.finish(), std::move(clocks));
+
+  const SyncInstance& si = find(*built.sync, "ff#0");
+  EXPECT_GT(si.oac, ns(0));  // CLKBUF delay
+  const auto& info = built.sync->control_of(si.inst);
+  EXPECT_EQ(info.polarity, +1);
+  EXPECT_EQ(info.delay, si.oac);
+}
+
+TEST_F(SyncModelTest, PortInstancesCreatedByDefault) {
+  TopBuilder b("t", lib_);
+  const NetId clk = b.port_in("clk", true);
+  const NetId d = b.port_in("d");
+  b.port_out_net("q", b.latch("DFFT", d, clk, "ff"));
+  ClockSet clocks;
+  clocks.add_simple_clock("clk", ns(20), 0, ns(8));
+  auto built = build(b.finish(), std::move(clocks));
+
+  const SyncInstance& pi = find(*built.sync, "in:d");
+  EXPECT_TRUE(pi.is_virtual);
+  EXPECT_TRUE(pi.data_out.valid());
+  EXPECT_FALSE(pi.data_in.valid());
+  const SyncInstance& po = find(*built.sync, "out:q");
+  EXPECT_TRUE(po.data_in.valid());
+}
+
+TEST_F(SyncModelTest, PortSpecsOverrideDefaults) {
+  TopBuilder b("t", lib_);
+  const NetId clk = b.port_in("clk", true);
+  const NetId d = b.port_in("d");
+  b.port_out_net("q", b.latch("DFFT", d, clk, "ff"));
+  ClockSet clocks;
+  clocks.add_simple_clock("clk", ns(20), 0, ns(8));
+  SyncModelOptions opts;
+  opts.input_arrivals.push_back({"d", ns(3), ns(1)});
+  opts.output_requireds.push_back({"q", ns(18), ns(-2)});
+  auto built = build(b.finish(), std::move(clocks), opts);
+
+  const SyncInstance& pi = find(*built.sync, "in:d");
+  EXPECT_EQ(pi.ideal_assert, ns(3));
+  EXPECT_EQ(pi.assert_offset(), ns(1));
+  const SyncInstance& po = find(*built.sync, "out:q");
+  EXPECT_EQ(po.ideal_close, ns(18));
+  EXPECT_EQ(po.close_offset(), ns(-2));
+}
+
+TEST_F(SyncModelTest, EnableSinkCreatedForGatedControl) {
+  TopBuilder b("t", lib_);
+  const NetId clk = b.port_in("clk", true);
+  const NetId d = b.port_in("d");
+  const NetId en_q = b.latch("DFFT", b.port_in("en"), clk, "en_ff");
+  const NetId gated = b.gate("AND2X1", {clk, en_q});
+  b.port_out_net("q", b.latch("TLATCH", d, gated, "lat"));
+  ClockSet clocks;
+  clocks.add_simple_clock("clk", ns(20), ns(2), ns(10));
+  auto built = build(b.finish(), std::move(clocks));
+
+  const SyncInstance& en = find(*built.sync, "enable:lat#0");
+  EXPECT_TRUE(en.is_virtual);
+  EXPECT_EQ(en.ideal_close, ns(2));  // enable must settle by the leading edge
+  // The plain (ungated) en_ff control pin gets no enable sink.
+  for (std::uint32_t i = 0; i < built.sync->num_instances(); ++i) {
+    EXPECT_NE(built.sync->at(SyncId(i)).label, "enable:en_ff#0");
+  }
+}
+
+TEST_F(SyncModelTest, ResetRestoresEndOfPulseState) {
+  TopBuilder b("t", lib_);
+  const NetId clk = b.port_in("clk", true);
+  const NetId d = b.port_in("d");
+  b.port_out_net("q", b.latch("TLATCH", d, clk, "lat"));
+  ClockSet clocks;
+  clocks.add_simple_clock("clk", ns(20), 0, ns(8));
+  auto built = build(b.finish(), std::move(clocks));
+
+  SyncModel& sync = *built.sync;
+  for (std::uint32_t i = 0; i < sync.num_instances(); ++i) {
+    SyncInstance& si = sync.at_mut(SyncId(i));
+    if (si.transparent) si.shift(-100);
+  }
+  sync.reset_offsets();
+  const SyncInstance& si = find(sync, "lat#0");
+  EXPECT_EQ(si.odz, -si.ddz);
+  EXPECT_EQ(si.ozd, si.width);
+}
+
+}  // namespace
+}  // namespace hb

@@ -1,0 +1,109 @@
+// Algorithm 3: resizing primitives and the analyse-redesign loop.
+#include <gtest/gtest.h>
+
+#include "gen/alu.hpp"
+#include "gen/des.hpp"
+#include "netlist/builder.hpp"
+#include "netlist/stdcells.hpp"
+#include "netlist/validate.hpp"
+#include "synth/redesign_loop.hpp"
+#include "synth/resize.hpp"
+
+namespace hb {
+namespace {
+
+class SynthTest : public ::testing::Test {
+ protected:
+  std::shared_ptr<const Library> lib_ = make_standard_library();
+};
+
+TEST_F(SynthTest, UpsizeWalksTheFamily) {
+  TopBuilder b("u", lib_);
+  const NetId a = b.port_in("a");
+  b.port_out_net("y", b.gate("NAND2X1", {a, a}, "g"));
+  Design d = b.finish();
+  const InstId g = d.top().find_inst("g");
+
+  EXPECT_TRUE(upsize_instance(d, g));
+  EXPECT_EQ(d.lib().cell(d.top().inst(g).cell).name(), "NAND2X2");
+  EXPECT_TRUE(upsize_instance(d, g));
+  EXPECT_EQ(d.lib().cell(d.top().inst(g).cell).name(), "NAND2X4");
+  EXPECT_FALSE(upsize_instance(d, g));  // already strongest
+  EXPECT_TRUE(validate(d).ok());
+}
+
+TEST_F(SynthTest, TotalAreaTracksResizes) {
+  TopBuilder b("a", lib_);
+  const NetId a = b.port_in("a");
+  b.port_out_net("y", b.gate("INVX1", {a}, "g"));
+  Design d = b.finish();
+  const double before = total_area_um2(d);
+  ASSERT_TRUE(upsize_instance(d, d.top().find_inst("g")));
+  EXPECT_GT(total_area_um2(d), before);
+}
+
+TEST_F(SynthTest, AreaRecursesIntoSubmodules) {
+  TopBuilder b("h", lib_);
+  const ModuleId sub = b.design().add_module("inner");
+  {
+    Module& m = b.design().module_mut(sub);
+    const NetId x = m.add_net("x");
+    const NetId y = m.add_net("y");
+    m.bind_port(m.add_port("A", PortDirection::kInput), x);
+    m.bind_port(m.add_port("Y", PortDirection::kOutput), y);
+    const InstId g = m.add_cell_inst("g", b.lib().require("INVX4"), 2);
+    m.connect(g, 0, x);
+    m.connect(g, 1, y);
+  }
+  const NetId a = b.port_in("a");
+  const NetId y = b.net("y");
+  b.submodule(sub, {a, y}, "m0");
+  b.port_out_net("q", y);
+  const Design d = b.finish();
+  const double inv_x4_area = lib_->cell(lib_->require("INVX4")).area_um2();
+  EXPECT_NEAR(total_area_um2(d), inv_x4_area, 1e-9);
+}
+
+TEST_F(SynthTest, LoopMeetsTimingOnAlu) {
+  AluSpec spec;
+  spec.bits = 16;
+  Design design = make_alu(lib_, spec);
+  const ClockSet clocks = make_single_clock(ps(3400), ps(1400));
+
+  RedesignOptions options;
+  const RedesignResult res = run_redesign_loop(design, clocks, options);
+  EXPECT_TRUE(res.met_timing);
+  EXPECT_LT(res.initial_worst_slack, 0);
+  EXPECT_GT(res.final_worst_slack, 0);
+  EXPECT_GT(res.cells_resized, 0);
+  EXPECT_GT(res.final_area_um2, res.initial_area_um2);
+  EXPECT_TRUE(validate(design).ok());
+}
+
+TEST_F(SynthTest, LoopIsNoOpWhenTimingAlreadyMet) {
+  AluSpec spec;
+  spec.bits = 8;
+  Design design = make_alu(lib_, spec);
+  const ClockSet clocks = make_single_clock(ns(20), ns(8));
+  const RedesignResult res = run_redesign_loop(design, clocks);
+  EXPECT_TRUE(res.met_timing);
+  EXPECT_EQ(res.cells_resized, 0);
+  EXPECT_EQ(res.final_area_um2, res.initial_area_um2);
+}
+
+TEST_F(SynthTest, LoopStopsWhenTimingUnreachable) {
+  AluSpec spec;
+  spec.bits = 16;
+  Design design = make_alu(lib_, spec);
+  // 500 ps period: unreachable at any drive strength.
+  const ClockSet clocks = make_single_clock(ps(500), ps(200));
+  RedesignOptions options;
+  options.max_iterations = 30;
+  const RedesignResult res = run_redesign_loop(design, clocks, options);
+  EXPECT_FALSE(res.met_timing);
+  // It must terminate by exhausting upsizes or iterations, not hang.
+  EXPECT_LE(res.iterations, 30);
+}
+
+}  // namespace
+}  // namespace hb

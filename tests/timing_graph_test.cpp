@@ -1,0 +1,260 @@
+// Timing graph construction: node roles, component and net arcs,
+// sequential-cell arc exclusion, hierarchy, topological order, and the
+// interactive delay-adjustment hooks.
+#include <gtest/gtest.h>
+
+#include "gen/fsm.hpp"
+#include "netlist/builder.hpp"
+#include "netlist/stdcells.hpp"
+#include "sta/cluster.hpp"
+#include "sta/hummingbird.hpp"
+#include "sta/timing_graph.hpp"
+
+namespace hb {
+namespace {
+
+class TimingGraphTest : public ::testing::Test {
+ protected:
+  std::shared_ptr<const Library> lib_ = make_standard_library();
+};
+
+TEST_F(TimingGraphTest, NodeRolesAssigned) {
+  TopBuilder b("roles", lib_);
+  const NetId clk = b.port_in("clk", true);
+  const NetId d = b.port_in("d");
+  const NetId inv = b.gate("INVX1", {d}, "g");
+  const NetId q = b.latch("DFFT", inv, clk, "ff");
+  b.port_out_net("q", q);
+  const Design design = b.finish();
+
+  DelayCalculator calc(design);
+  TimingGraph graph(design, calc);
+
+  const Module& top = design.top();
+  const InstId ff = top.find_inst("ff");
+  const Cell& dff = lib_->cell(top.inst(ff).cell);
+  EXPECT_EQ(graph.node(graph.pin_node(ff, dff.sync().data_in)).role,
+            NodeRole::kSyncDataIn);
+  EXPECT_EQ(graph.node(graph.pin_node(ff, dff.sync().control)).role,
+            NodeRole::kSyncControl);
+  EXPECT_EQ(graph.node(graph.pin_node(ff, dff.sync().data_out)).role,
+            NodeRole::kSyncDataOut);
+  const InstId g = top.find_inst("g");
+  EXPECT_EQ(graph.node(graph.pin_node(g, 0)).role, NodeRole::kCombPin);
+
+  int clock_ports = 0, in_ports = 0, out_ports = 0;
+  for (std::uint32_t p = 0; p < top.ports().size(); ++p) {
+    switch (graph.node(graph.top_port_node(p)).role) {
+      case NodeRole::kClockPort: ++clock_ports; break;
+      case NodeRole::kPortIn: ++in_ports; break;
+      case NodeRole::kPortOut: ++out_ports; break;
+      default: break;
+    }
+  }
+  EXPECT_EQ(clock_ports, 1);
+  EXPECT_EQ(in_ports, 1);
+  EXPECT_EQ(out_ports, 1);
+}
+
+TEST_F(TimingGraphTest, SequentialCellsContributeNoArcs) {
+  TopBuilder b("seq", lib_);
+  const NetId clk = b.port_in("clk", true);
+  const NetId d = b.port_in("d");
+  b.port_out_net("q", b.latch("TLATCH", d, clk, "lat"));
+  const Design design = b.finish();
+  DelayCalculator calc(design);
+  TimingGraph graph(design, calc);
+
+  const InstId lat = design.top().find_inst("lat");
+  const Cell& cell = lib_->cell(design.top().inst(lat).cell);
+  // No arc may leave the latch D or CK pins or enter its Q pin from inside.
+  const TNodeId din = graph.pin_node(lat, cell.sync().data_in);
+  const TNodeId ctl = graph.pin_node(lat, cell.sync().control);
+  const TNodeId q = graph.pin_node(lat, cell.sync().data_out);
+  EXPECT_TRUE(graph.fanout(din).empty());
+  EXPECT_TRUE(graph.fanout(ctl).empty());
+  EXPECT_TRUE(graph.fanin(q).empty());
+  // The latch transparency is modelled by offsets, not arcs: despite the
+  // library's D->Q arc, the graph has none.
+}
+
+TEST_F(TimingGraphTest, NetArcsConnectDriversToAllSinks) {
+  TopBuilder b("fan", lib_);
+  const NetId a = b.port_in("a");
+  const NetId y = b.gate("INVX1", {a}, "drv");
+  for (int i = 0; i < 3; ++i) {
+    b.port_out_net("q" + std::to_string(i), b.gate("BUFX1", {y}));
+  }
+  const Design design = b.finish();
+  DelayCalculator calc(design);
+  TimingGraph graph(design, calc);
+
+  const TNodeId out = graph.pin_node(design.top().find_inst("drv"), 1);
+  EXPECT_EQ(graph.fanout(out).size(), 3u);
+  for (std::uint32_t ai : graph.fanout(out)) {
+    EXPECT_TRUE(graph.arc(ai).is_net);
+    EXPECT_EQ(graph.arc(ai).delay, (RiseFall{0, 0}));
+  }
+}
+
+TEST_F(TimingGraphTest, TopoOrderRespectsArcs) {
+  const Design fsm = make_fsm_flat(lib_);
+  DelayCalculator calc(fsm);
+  TimingGraph graph(fsm, calc);
+  std::vector<std::uint32_t> position(graph.num_nodes());
+  const auto& topo = graph.topo_order();
+  ASSERT_EQ(topo.size(), graph.num_nodes());
+  for (std::uint32_t i = 0; i < topo.size(); ++i) position[topo[i].index()] = i;
+  for (std::size_t a = 0; a < graph.num_arcs(); ++a) {
+    EXPECT_LT(position[graph.arc(a).from.index()], position[graph.arc(a).to.index()]);
+  }
+}
+
+TEST_F(TimingGraphTest, HierarchicalModuleBecomesComponentArcs) {
+  const Design hier = make_fsm_hier(lib_);
+  const Design flat = make_fsm_flat(lib_);
+  DelayCalculator hc(hier), fc(flat);
+  TimingGraph hg(hier, hc), fg(flat, fc);
+  // The hierarchical graph is much smaller: the logic is one component.
+  EXPECT_LT(hg.num_nodes(), fg.num_nodes() / 3);
+  EXPECT_LT(hg.num_arcs(), fg.num_arcs());
+}
+
+TEST_F(TimingGraphTest, NodeNamesAreReadable) {
+  TopBuilder b("names", lib_);
+  const NetId a = b.port_in("a");
+  b.port_out_net("y", b.gate("INVX1", {a}, "u1"));
+  const Design design = b.finish();
+  DelayCalculator calc(design);
+  TimingGraph graph(design, calc);
+  EXPECT_EQ(graph.node_name(graph.pin_node(design.top().find_inst("u1"), 0)), "u1.A");
+  bool found_port = false;
+  for (std::uint32_t n = 0; n < graph.num_nodes(); ++n) {
+    if (graph.node_name(TNodeId(n)) == "port:a") found_port = true;
+  }
+  EXPECT_TRUE(found_port);
+}
+
+TEST_F(TimingGraphTest, DerateScalesDelaysAndSlack) {
+  TopBuilder b("derate", lib_);
+  const NetId clk = b.port_in("clk", true);
+  NetId n = b.latch("DFFT", b.port_in("d"), clk, "ff1");
+  for (int i = 0; i < 10; ++i) n = b.gate("INVX1", {n});
+  b.port_out_net("q", b.latch("DFFT", n, clk, "ff2"));
+  const Design design = b.finish();
+  ClockSet clocks;
+  clocks.add_simple_clock("clk", ns(10), 0, ns(4));
+
+  // Compare the chain endpoint's slack (the worst terminal is the
+  // delay-free PI->ff1 wire, which derating cannot move).
+  auto ff2_slack = [](Hummingbird& analyser) {
+    analyser.analyze();
+    const SyncModel& sync = analyser.sync_model();
+    for (std::uint32_t i = 0; i < sync.num_instances(); ++i) {
+      if (sync.at(SyncId(i)).label == "ff2#0") {
+        return analyser.engine().capture_slack(SyncId(i));
+      }
+    }
+    return kInfinitePs;
+  };
+  Hummingbird base(design, clocks);
+  const TimePs slack_base = ff2_slack(base);
+
+  HummingbirdOptions slow;
+  slow.delay_derate = 2.0;
+  Hummingbird derated(design, clocks, slow);
+  const TimePs slack_slow = ff2_slack(derated);
+  ASSERT_NE(slack_base, kInfinitePs);
+  EXPECT_LT(slack_slow, slack_base);
+  // Doubling delays roughly doubles the path contribution.
+  const TimePs dcz_and_chain_base = ns(10) - 65 - slack_base;
+  const TimePs dcz_and_chain_slow = ns(10) - 65 - slack_slow;
+  EXPECT_NEAR(static_cast<double>(dcz_and_chain_slow),
+              2.0 * static_cast<double>(dcz_and_chain_base), 16.0);
+}
+
+TEST_F(TimingGraphTest, InstanceAdjustmentShiftsOneArc) {
+  TopBuilder b("adj", lib_);
+  const NetId a = b.port_in("a");
+  b.port_out_net("y", b.gate("INVX1", {a}, "u1"));
+  const Design design = b.finish();
+  DelayCalculator calc(design);
+  const InstId u1 = design.top().find_inst("u1");
+  const Cell& inv = lib_->cell(design.top().inst(u1).cell);
+  const RiseFall before = calc.arc_delay(design.top_id(), u1, inv.arcs()[0]);
+  calc.adjust_instance(u1, ps(500));
+  const RiseFall after = calc.arc_delay(design.top_id(), u1, inv.arcs()[0]);
+  EXPECT_EQ(after.rise, before.rise + 500);
+  EXPECT_EQ(after.fall, before.fall + 500);
+  // Adjustments clamp at zero rather than going negative.
+  calc.adjust_instance(u1, ns(-100));
+  const RiseFall clamped = calc.arc_delay(design.top_id(), u1, inv.arcs()[0]);
+  EXPECT_EQ(clamped.rise, 0);
+}
+
+// ---------------------------------------------------------------------------
+// Clusters.
+
+TEST_F(TimingGraphTest, ClustersPartitionTheLogic) {
+  TopBuilder b("clus", lib_);
+  const NetId clk = b.port_in("clk", true);
+  // Two independent FF->INV->FF lanes: separate clusters.
+  for (int lane = 0; lane < 2; ++lane) {
+    NetId n = b.latch("DFFT", b.port_in("d" + std::to_string(lane)), clk,
+                      "src" + std::to_string(lane));
+    n = b.gate("INVX1", {n});
+    b.port_out_net("q" + std::to_string(lane),
+                   b.latch("DFFT", n, clk, "dst" + std::to_string(lane)));
+  }
+  const Design design = b.finish();
+  DelayCalculator calc(design);
+  TimingGraph graph(design, calc);
+  ClockSet clocks;
+  clocks.add_simple_clock("clk", ns(10), 0, ns(4));
+  SyncModel sync(graph, clocks, calc);
+  ClusterSet clusters(graph, sync);
+
+  // Lanes: 2x (PI->D) + 2x (Q->INV->D) + 2x (Q->PO) = 6 data clusters, plus
+  // the clock-distribution cluster (clk to both CK pins).
+  EXPECT_EQ(clusters.num_clusters(), 7u);
+
+  // Every lane's middle cluster has one source (src Q) and one sink (dst D).
+  const InstId src0 = design.top().find_inst("src0");
+  const Cell& dff = lib_->cell(design.top().inst(src0).cell);
+  const TNodeId q0 = graph.pin_node(src0, dff.sync().data_out);
+  const ClusterId c = clusters.cluster_of(q0);
+  ASSERT_TRUE(c.valid());
+  EXPECT_EQ(clusters.cluster(c).source_nodes.size(), 1u);
+  EXPECT_EQ(clusters.cluster(c).sink_nodes.size(), 1u);
+  // The two lanes land in different clusters.
+  const InstId src1 = design.top().find_inst("src1");
+  EXPECT_NE(clusters.cluster_of(graph.pin_node(src1, dff.sync().data_out)), c);
+}
+
+TEST_F(TimingGraphTest, ClusterNodesStayTopological) {
+  const Design fsm = make_fsm_flat(lib_);
+  DelayCalculator calc(fsm);
+  TimingGraph graph(fsm, calc);
+  ClockSet clocks;
+  clocks.add_simple_clock("clk", ns(10), 0, ns(4));
+  SyncModel sync(graph, clocks, calc);
+  ClusterSet clusters(graph, sync);
+
+  std::vector<std::uint32_t> position(graph.num_nodes());
+  for (std::uint32_t i = 0; i < graph.topo_order().size(); ++i) {
+    position[graph.topo_order()[i].index()] = i;
+  }
+  for (std::uint32_t c = 0; c < clusters.num_clusters(); ++c) {
+    const Cluster& cl = clusters.cluster(ClusterId(c));
+    for (std::size_t i = 1; i < cl.nodes.size(); ++i) {
+      EXPECT_LT(position[cl.nodes[i - 1].index()], position[cl.nodes[i].index()]);
+    }
+    for (std::uint32_t ai : cl.arcs) {
+      EXPECT_EQ(clusters.cluster_of(graph.arc(ai).from), ClusterId(c));
+      EXPECT_EQ(clusters.cluster_of(graph.arc(ai).to), ClusterId(c));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace hb

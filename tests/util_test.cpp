@@ -1,0 +1,94 @@
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+#include "util/ids.hpp"
+#include "util/rng.hpp"
+#include "util/time.hpp"
+
+namespace hb {
+namespace {
+
+TEST(TimeTest, LiteralHelpers) {
+  EXPECT_EQ(ps(7), 7);
+  EXPECT_EQ(ns(2), 2000);
+  EXPECT_EQ(us(1), 1'000'000);
+}
+
+TEST(TimeTest, ModPeriodIsEuclidean) {
+  EXPECT_EQ(mod_period(7, 5), 2);
+  EXPECT_EQ(mod_period(5, 5), 0);
+  EXPECT_EQ(mod_period(0, 5), 0);
+  EXPECT_EQ(mod_period(-1, 5), 4);
+  EXPECT_EQ(mod_period(-5, 5), 0);
+  EXPECT_EQ(mod_period(-6, 5), 4);
+}
+
+TEST(TimeTest, GcdLcm) {
+  EXPECT_EQ(gcd_ps(ns(20), ns(30)), ns(10));
+  EXPECT_EQ(lcm_ps(ns(20), ns(30)), ns(60));
+  EXPECT_EQ(lcm_ps(ns(10), ns(10)), ns(10));
+}
+
+TEST(TimeTest, FormatTime) {
+  EXPECT_EQ(format_time(ns(12)), "12 ns");
+  EXPECT_EQ(format_time(ps(-3)), "-3 ps");
+  EXPECT_EQ(format_time(12345), "12.345 ns");
+  EXPECT_EQ(format_time(kInfinitePs), "+inf");
+}
+
+TEST(IdsTest, InvalidByDefault) {
+  NetId id;
+  EXPECT_FALSE(id.valid());
+  EXPECT_EQ(id, NetId::invalid());
+  NetId other(3);
+  EXPECT_TRUE(other.valid());
+  EXPECT_NE(id, other);
+  EXPECT_EQ(other.index(), 3u);
+}
+
+TEST(IdsTest, DistinctTagsAreDistinctTypes) {
+  static_assert(!std::is_same_v<NetId, InstId>);
+  static_assert(!std::is_same_v<ClockId, ClockEdgeId>);
+}
+
+TEST(RngTest, DeterministicAcrossInstances) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(RngTest, UniformStaysInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const std::int64_t v = rng.uniform(-5, 9);
+    EXPECT_GE(v, -5);
+    EXPECT_LE(v, 9);
+  }
+}
+
+TEST(RngTest, Uniform01InUnitInterval) {
+  Rng rng(3);
+  for (int i = 0; i < 1000; ++i) {
+    const double v = rng.uniform01();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+  }
+}
+
+TEST(RngTest, PickCoversAllBuckets) {
+  Rng rng(9);
+  std::unordered_set<std::size_t> seen;
+  for (int i = 0; i < 200; ++i) seen.insert(rng.pick(5));
+  EXPECT_EQ(seen.size(), 5u);
+}
+
+TEST(RngTest, ShuffleIsAPermutation) {
+  Rng rng(11);
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7};
+  auto sorted = v;
+  rng.shuffle(v);
+  EXPECT_TRUE(std::is_permutation(v.begin(), v.end(), sorted.begin()));
+}
+
+}  // namespace
+}  // namespace hb

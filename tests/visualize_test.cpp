@@ -1,0 +1,103 @@
+// Dot export and slack histograms.
+#include <gtest/gtest.h>
+
+#include "gen/pipeline.hpp"
+#include "netlist/builder.hpp"
+#include "netlist/stdcells.hpp"
+#include "sta/hummingbird.hpp"
+#include "sta/visualize.hpp"
+
+namespace hb {
+namespace {
+
+class VisualizeTest : public ::testing::Test {
+ protected:
+  std::shared_ptr<const Library> lib_ = make_standard_library();
+
+  Design make_slow() {
+    TopBuilder b("slow", lib_);
+    const NetId clk = b.port_in("clk", true);
+    NetId n = b.latch("DFFT", b.port_in("d"), clk, "ff1");
+    for (int i = 0; i < 64; ++i) n = b.gate("INVX1", {n});
+    b.port_out_net("q", b.latch("DFFT", n, clk, "ff2"));
+    return b.finish();
+  }
+};
+
+TEST_F(VisualizeTest, DotContainsSlowClusterAndColours) {
+  const Design design = make_slow();
+  ClockSet clocks;
+  clocks.add_simple_clock("clk", ns(2), 0, ns(1));
+  Hummingbird analyser(design, clocks);
+  analyser.analyze();
+  const std::string dot = to_dot(analyser.engine());
+  EXPECT_NE(dot.find("digraph timing"), std::string::npos);
+  EXPECT_NE(dot.find("subgraph cluster_"), std::string::npos);
+  EXPECT_NE(dot.find("fillcolor=red"), std::string::npos);  // violations
+  EXPECT_NE(dot.find("ff2_D"), std::string::npos);          // endpoint present
+  EXPECT_NE(dot.find("penwidth=3"), std::string::npos);     // slow path marked
+  // Only the slow cluster is drawn by default: the clean PI->ff1 wire
+  // cluster is not.
+  EXPECT_EQ(dot.find("port_d"), std::string::npos);
+}
+
+TEST_F(VisualizeTest, DotDrawsEverythingWhenUnlimited) {
+  const Design design = make_slow();
+  ClockSet clocks;
+  clocks.add_simple_clock("clk", ns(10), 0, ns(4));  // meets timing
+  Hummingbird analyser(design, clocks);
+  analyser.analyze();
+  VisualizeOptions options;
+  options.max_paths = 0;  // no slow paths to anchor on -> draw all
+  const std::string dot = to_dot(analyser.engine(), options);
+  EXPECT_NE(dot.find("ff1_Q"), std::string::npos);
+  EXPECT_NE(dot.find("fillcolor=palegreen3"), std::string::npos);
+  EXPECT_EQ(dot.find("fillcolor=red"), std::string::npos);
+}
+
+TEST_F(VisualizeTest, HistogramBucketsCoverAllTerminals) {
+  PipelineSpec spec;
+  spec.stage_depths = {30, 10, 20};
+  spec.width = 2;
+  const Design design = make_pipeline(lib_, spec);
+  Hummingbird analyser(design, make_two_phase_clocks(ns(10)));
+  analyser.analyze();
+  const std::string hist = slack_histogram(analyser.engine(), 8);
+  // 8 bucket lines, each with a count; counts sum to the number of
+  // constrained terminals.
+  int lines = 0;
+  long total = 0;
+  std::istringstream is(hist);
+  std::string line;
+  while (std::getline(is, line)) {
+    ++lines;
+    const auto pos = line.find_last_of(' ');
+    total += std::stol(line.substr(pos + 1));
+  }
+  EXPECT_EQ(lines, 8);
+  std::size_t constrained = 0;
+  const SyncModel& sync = analyser.sync_model();
+  for (std::uint32_t i = 0; i < sync.num_instances(); ++i) {
+    if (analyser.engine().launch_slack(SyncId(i)) != kInfinitePs) ++constrained;
+    if (analyser.engine().capture_slack(SyncId(i)) != kInfinitePs) ++constrained;
+  }
+  EXPECT_EQ(total, static_cast<long>(constrained));
+}
+
+TEST_F(VisualizeTest, HistogramHandlesNoTerminals) {
+  TopBuilder b("empty", lib_);
+  const NetId a = b.port_in("a");
+  b.port_out_net("y", b.gate("INVX1", {a}));
+  const Design design = b.finish();
+  ClockSet clocks;
+  clocks.add_simple_clock("clk", ns(10), 0, ns(4));
+  HummingbirdOptions options;
+  options.sync.constrain_ports = false;
+  Hummingbird analyser(design, clocks, options);
+  analyser.analyze();
+  EXPECT_NE(slack_histogram(analyser.engine()).find("no constrained"),
+            std::string::npos);
+}
+
+}  // namespace
+}  // namespace hb
