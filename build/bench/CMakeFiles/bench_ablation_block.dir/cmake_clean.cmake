@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_block.dir/bench_ablation_block.cpp.o"
+  "CMakeFiles/bench_ablation_block.dir/bench_ablation_block.cpp.o.d"
+  "bench_ablation_block"
+  "bench_ablation_block.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_block.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

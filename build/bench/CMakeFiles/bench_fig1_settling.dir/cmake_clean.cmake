@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig1_settling.dir/bench_fig1_settling.cpp.o"
+  "CMakeFiles/bench_fig1_settling.dir/bench_fig1_settling.cpp.o.d"
+  "bench_fig1_settling"
+  "bench_fig1_settling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig1_settling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

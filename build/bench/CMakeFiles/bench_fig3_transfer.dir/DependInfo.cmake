@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_fig3_transfer.cpp" "bench/CMakeFiles/bench_fig3_transfer.dir/bench_fig3_transfer.cpp.o" "gcc" "bench/CMakeFiles/bench_fig3_transfer.dir/bench_fig3_transfer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/hb_sta.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hb_gen.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hb_baseline.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hb_constraints.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hb_synth.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hb_clocks.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hb_delay.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hb_netlist.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hb_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4_passes.dir/bench_fig4_passes.cpp.o"
+  "CMakeFiles/bench_fig4_passes.dir/bench_fig4_passes.cpp.o.d"
+  "bench_fig4_passes"
+  "bench_fig4_passes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_passes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

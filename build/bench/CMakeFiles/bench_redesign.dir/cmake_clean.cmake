@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_redesign.dir/bench_redesign.cpp.o"
+  "CMakeFiles/bench_redesign.dir/bench_redesign.cpp.o.d"
+  "bench_redesign"
+  "bench_redesign.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_redesign.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

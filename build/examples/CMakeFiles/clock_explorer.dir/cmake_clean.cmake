@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/clock_explorer.dir/clock_explorer.cpp.o"
+  "CMakeFiles/clock_explorer.dir/clock_explorer.cpp.o.d"
+  "clock_explorer"
+  "clock_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/clock_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

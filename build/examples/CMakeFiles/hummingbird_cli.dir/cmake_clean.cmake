@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hummingbird_cli.dir/hummingbird_cli.cpp.o"
+  "CMakeFiles/hummingbird_cli.dir/hummingbird_cli.cpp.o.d"
+  "hummingbird_cli"
+  "hummingbird_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hummingbird_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

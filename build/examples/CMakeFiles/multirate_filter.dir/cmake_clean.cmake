@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multirate_filter.dir/multirate_filter.cpp.o"
+  "CMakeFiles/multirate_filter.dir/multirate_filter.cpp.o.d"
+  "multirate_filter"
+  "multirate_filter.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multirate_filter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

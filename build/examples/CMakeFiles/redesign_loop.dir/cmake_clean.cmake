@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/redesign_loop.dir/redesign_loop.cpp.o"
+  "CMakeFiles/redesign_loop.dir/redesign_loop.cpp.o.d"
+  "redesign_loop"
+  "redesign_loop.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/redesign_loop.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

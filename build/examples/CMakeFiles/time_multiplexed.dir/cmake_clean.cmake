@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/time_multiplexed.dir/time_multiplexed.cpp.o"
+  "CMakeFiles/time_multiplexed.dir/time_multiplexed.cpp.o.d"
+  "time_multiplexed"
+  "time_multiplexed.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/time_multiplexed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baseline/edge_trace.cpp" "src/CMakeFiles/hb_baseline.dir/baseline/edge_trace.cpp.o" "gcc" "src/CMakeFiles/hb_baseline.dir/baseline/edge_trace.cpp.o.d"
+  "/root/repo/src/baseline/path_enum.cpp" "src/CMakeFiles/hb_baseline.dir/baseline/path_enum.cpp.o" "gcc" "src/CMakeFiles/hb_baseline.dir/baseline/path_enum.cpp.o.d"
+  "/root/repo/src/baseline/relaxation.cpp" "src/CMakeFiles/hb_baseline.dir/baseline/relaxation.cpp.o" "gcc" "src/CMakeFiles/hb_baseline.dir/baseline/relaxation.cpp.o.d"
+  "/root/repo/src/baseline/rigid_latch.cpp" "src/CMakeFiles/hb_baseline.dir/baseline/rigid_latch.cpp.o" "gcc" "src/CMakeFiles/hb_baseline.dir/baseline/rigid_latch.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/hb_sta.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hb_clocks.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hb_delay.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hb_netlist.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hb_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

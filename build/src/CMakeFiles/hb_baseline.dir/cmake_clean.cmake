@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hb_baseline.dir/baseline/edge_trace.cpp.o"
+  "CMakeFiles/hb_baseline.dir/baseline/edge_trace.cpp.o.d"
+  "CMakeFiles/hb_baseline.dir/baseline/path_enum.cpp.o"
+  "CMakeFiles/hb_baseline.dir/baseline/path_enum.cpp.o.d"
+  "CMakeFiles/hb_baseline.dir/baseline/relaxation.cpp.o"
+  "CMakeFiles/hb_baseline.dir/baseline/relaxation.cpp.o.d"
+  "CMakeFiles/hb_baseline.dir/baseline/rigid_latch.cpp.o"
+  "CMakeFiles/hb_baseline.dir/baseline/rigid_latch.cpp.o.d"
+  "libhb_baseline.a"
+  "libhb_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hb_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/clocks/clock_io.cpp" "src/CMakeFiles/hb_clocks.dir/clocks/clock_io.cpp.o" "gcc" "src/CMakeFiles/hb_clocks.dir/clocks/clock_io.cpp.o.d"
+  "/root/repo/src/clocks/edge_graph.cpp" "src/CMakeFiles/hb_clocks.dir/clocks/edge_graph.cpp.o" "gcc" "src/CMakeFiles/hb_clocks.dir/clocks/edge_graph.cpp.o.d"
+  "/root/repo/src/clocks/waveform.cpp" "src/CMakeFiles/hb_clocks.dir/clocks/waveform.cpp.o" "gcc" "src/CMakeFiles/hb_clocks.dir/clocks/waveform.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/hb_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hb_clocks.dir/clocks/clock_io.cpp.o"
+  "CMakeFiles/hb_clocks.dir/clocks/clock_io.cpp.o.d"
+  "CMakeFiles/hb_clocks.dir/clocks/edge_graph.cpp.o"
+  "CMakeFiles/hb_clocks.dir/clocks/edge_graph.cpp.o.d"
+  "CMakeFiles/hb_clocks.dir/clocks/waveform.cpp.o"
+  "CMakeFiles/hb_clocks.dir/clocks/waveform.cpp.o.d"
+  "libhb_clocks.a"
+  "libhb_clocks.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hb_clocks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

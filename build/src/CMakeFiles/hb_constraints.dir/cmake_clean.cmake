@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hb_constraints.dir/constraints/difference_system.cpp.o"
+  "CMakeFiles/hb_constraints.dir/constraints/difference_system.cpp.o.d"
+  "CMakeFiles/hb_constraints.dir/constraints/feasibility.cpp.o"
+  "CMakeFiles/hb_constraints.dir/constraints/feasibility.cpp.o.d"
+  "libhb_constraints.a"
+  "libhb_constraints.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hb_constraints.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

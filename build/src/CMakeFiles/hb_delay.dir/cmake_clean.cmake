@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hb_delay.dir/delay/calculator.cpp.o"
+  "CMakeFiles/hb_delay.dir/delay/calculator.cpp.o.d"
+  "libhb_delay.a"
+  "libhb_delay.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hb_delay.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libhb_delay.a"
+)

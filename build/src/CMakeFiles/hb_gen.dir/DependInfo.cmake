@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/gen/alu.cpp" "src/CMakeFiles/hb_gen.dir/gen/alu.cpp.o" "gcc" "src/CMakeFiles/hb_gen.dir/gen/alu.cpp.o.d"
+  "/root/repo/src/gen/des.cpp" "src/CMakeFiles/hb_gen.dir/gen/des.cpp.o" "gcc" "src/CMakeFiles/hb_gen.dir/gen/des.cpp.o.d"
+  "/root/repo/src/gen/fig1.cpp" "src/CMakeFiles/hb_gen.dir/gen/fig1.cpp.o" "gcc" "src/CMakeFiles/hb_gen.dir/gen/fig1.cpp.o.d"
+  "/root/repo/src/gen/filter.cpp" "src/CMakeFiles/hb_gen.dir/gen/filter.cpp.o" "gcc" "src/CMakeFiles/hb_gen.dir/gen/filter.cpp.o.d"
+  "/root/repo/src/gen/fsm.cpp" "src/CMakeFiles/hb_gen.dir/gen/fsm.cpp.o" "gcc" "src/CMakeFiles/hb_gen.dir/gen/fsm.cpp.o.d"
+  "/root/repo/src/gen/pipeline.cpp" "src/CMakeFiles/hb_gen.dir/gen/pipeline.cpp.o" "gcc" "src/CMakeFiles/hb_gen.dir/gen/pipeline.cpp.o.d"
+  "/root/repo/src/gen/random_network.cpp" "src/CMakeFiles/hb_gen.dir/gen/random_network.cpp.o" "gcc" "src/CMakeFiles/hb_gen.dir/gen/random_network.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/hb_netlist.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hb_clocks.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hb_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hb_gen.dir/gen/alu.cpp.o"
+  "CMakeFiles/hb_gen.dir/gen/alu.cpp.o.d"
+  "CMakeFiles/hb_gen.dir/gen/des.cpp.o"
+  "CMakeFiles/hb_gen.dir/gen/des.cpp.o.d"
+  "CMakeFiles/hb_gen.dir/gen/fig1.cpp.o"
+  "CMakeFiles/hb_gen.dir/gen/fig1.cpp.o.d"
+  "CMakeFiles/hb_gen.dir/gen/filter.cpp.o"
+  "CMakeFiles/hb_gen.dir/gen/filter.cpp.o.d"
+  "CMakeFiles/hb_gen.dir/gen/fsm.cpp.o"
+  "CMakeFiles/hb_gen.dir/gen/fsm.cpp.o.d"
+  "CMakeFiles/hb_gen.dir/gen/pipeline.cpp.o"
+  "CMakeFiles/hb_gen.dir/gen/pipeline.cpp.o.d"
+  "CMakeFiles/hb_gen.dir/gen/random_network.cpp.o"
+  "CMakeFiles/hb_gen.dir/gen/random_network.cpp.o.d"
+  "libhb_gen.a"
+  "libhb_gen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hb_gen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

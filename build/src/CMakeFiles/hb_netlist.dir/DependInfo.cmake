@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/netlist/builder.cpp" "src/CMakeFiles/hb_netlist.dir/netlist/builder.cpp.o" "gcc" "src/CMakeFiles/hb_netlist.dir/netlist/builder.cpp.o.d"
+  "/root/repo/src/netlist/design.cpp" "src/CMakeFiles/hb_netlist.dir/netlist/design.cpp.o" "gcc" "src/CMakeFiles/hb_netlist.dir/netlist/design.cpp.o.d"
+  "/root/repo/src/netlist/flatten.cpp" "src/CMakeFiles/hb_netlist.dir/netlist/flatten.cpp.o" "gcc" "src/CMakeFiles/hb_netlist.dir/netlist/flatten.cpp.o.d"
+  "/root/repo/src/netlist/library.cpp" "src/CMakeFiles/hb_netlist.dir/netlist/library.cpp.o" "gcc" "src/CMakeFiles/hb_netlist.dir/netlist/library.cpp.o.d"
+  "/root/repo/src/netlist/library_io.cpp" "src/CMakeFiles/hb_netlist.dir/netlist/library_io.cpp.o" "gcc" "src/CMakeFiles/hb_netlist.dir/netlist/library_io.cpp.o.d"
+  "/root/repo/src/netlist/netlist_io.cpp" "src/CMakeFiles/hb_netlist.dir/netlist/netlist_io.cpp.o" "gcc" "src/CMakeFiles/hb_netlist.dir/netlist/netlist_io.cpp.o.d"
+  "/root/repo/src/netlist/stdcells.cpp" "src/CMakeFiles/hb_netlist.dir/netlist/stdcells.cpp.o" "gcc" "src/CMakeFiles/hb_netlist.dir/netlist/stdcells.cpp.o.d"
+  "/root/repo/src/netlist/validate.cpp" "src/CMakeFiles/hb_netlist.dir/netlist/validate.cpp.o" "gcc" "src/CMakeFiles/hb_netlist.dir/netlist/validate.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/hb_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

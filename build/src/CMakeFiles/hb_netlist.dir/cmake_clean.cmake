@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hb_netlist.dir/netlist/builder.cpp.o"
+  "CMakeFiles/hb_netlist.dir/netlist/builder.cpp.o.d"
+  "CMakeFiles/hb_netlist.dir/netlist/design.cpp.o"
+  "CMakeFiles/hb_netlist.dir/netlist/design.cpp.o.d"
+  "CMakeFiles/hb_netlist.dir/netlist/flatten.cpp.o"
+  "CMakeFiles/hb_netlist.dir/netlist/flatten.cpp.o.d"
+  "CMakeFiles/hb_netlist.dir/netlist/library.cpp.o"
+  "CMakeFiles/hb_netlist.dir/netlist/library.cpp.o.d"
+  "CMakeFiles/hb_netlist.dir/netlist/library_io.cpp.o"
+  "CMakeFiles/hb_netlist.dir/netlist/library_io.cpp.o.d"
+  "CMakeFiles/hb_netlist.dir/netlist/netlist_io.cpp.o"
+  "CMakeFiles/hb_netlist.dir/netlist/netlist_io.cpp.o.d"
+  "CMakeFiles/hb_netlist.dir/netlist/stdcells.cpp.o"
+  "CMakeFiles/hb_netlist.dir/netlist/stdcells.cpp.o.d"
+  "CMakeFiles/hb_netlist.dir/netlist/validate.cpp.o"
+  "CMakeFiles/hb_netlist.dir/netlist/validate.cpp.o.d"
+  "libhb_netlist.a"
+  "libhb_netlist.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hb_netlist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sta/algorithm1.cpp" "src/CMakeFiles/hb_sta.dir/sta/algorithm1.cpp.o" "gcc" "src/CMakeFiles/hb_sta.dir/sta/algorithm1.cpp.o.d"
+  "/root/repo/src/sta/algorithm2.cpp" "src/CMakeFiles/hb_sta.dir/sta/algorithm2.cpp.o" "gcc" "src/CMakeFiles/hb_sta.dir/sta/algorithm2.cpp.o.d"
+  "/root/repo/src/sta/analysis_pass.cpp" "src/CMakeFiles/hb_sta.dir/sta/analysis_pass.cpp.o" "gcc" "src/CMakeFiles/hb_sta.dir/sta/analysis_pass.cpp.o.d"
+  "/root/repo/src/sta/cluster.cpp" "src/CMakeFiles/hb_sta.dir/sta/cluster.cpp.o" "gcc" "src/CMakeFiles/hb_sta.dir/sta/cluster.cpp.o.d"
+  "/root/repo/src/sta/hold_check.cpp" "src/CMakeFiles/hb_sta.dir/sta/hold_check.cpp.o" "gcc" "src/CMakeFiles/hb_sta.dir/sta/hold_check.cpp.o.d"
+  "/root/repo/src/sta/hummingbird.cpp" "src/CMakeFiles/hb_sta.dir/sta/hummingbird.cpp.o" "gcc" "src/CMakeFiles/hb_sta.dir/sta/hummingbird.cpp.o.d"
+  "/root/repo/src/sta/report.cpp" "src/CMakeFiles/hb_sta.dir/sta/report.cpp.o" "gcc" "src/CMakeFiles/hb_sta.dir/sta/report.cpp.o.d"
+  "/root/repo/src/sta/search.cpp" "src/CMakeFiles/hb_sta.dir/sta/search.cpp.o" "gcc" "src/CMakeFiles/hb_sta.dir/sta/search.cpp.o.d"
+  "/root/repo/src/sta/slack_engine.cpp" "src/CMakeFiles/hb_sta.dir/sta/slack_engine.cpp.o" "gcc" "src/CMakeFiles/hb_sta.dir/sta/slack_engine.cpp.o.d"
+  "/root/repo/src/sta/sync_model.cpp" "src/CMakeFiles/hb_sta.dir/sta/sync_model.cpp.o" "gcc" "src/CMakeFiles/hb_sta.dir/sta/sync_model.cpp.o.d"
+  "/root/repo/src/sta/timing_graph.cpp" "src/CMakeFiles/hb_sta.dir/sta/timing_graph.cpp.o" "gcc" "src/CMakeFiles/hb_sta.dir/sta/timing_graph.cpp.o.d"
+  "/root/repo/src/sta/visualize.cpp" "src/CMakeFiles/hb_sta.dir/sta/visualize.cpp.o" "gcc" "src/CMakeFiles/hb_sta.dir/sta/visualize.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/hb_netlist.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hb_clocks.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hb_delay.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hb_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,33 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hb_sta.dir/sta/algorithm1.cpp.o"
+  "CMakeFiles/hb_sta.dir/sta/algorithm1.cpp.o.d"
+  "CMakeFiles/hb_sta.dir/sta/algorithm2.cpp.o"
+  "CMakeFiles/hb_sta.dir/sta/algorithm2.cpp.o.d"
+  "CMakeFiles/hb_sta.dir/sta/analysis_pass.cpp.o"
+  "CMakeFiles/hb_sta.dir/sta/analysis_pass.cpp.o.d"
+  "CMakeFiles/hb_sta.dir/sta/cluster.cpp.o"
+  "CMakeFiles/hb_sta.dir/sta/cluster.cpp.o.d"
+  "CMakeFiles/hb_sta.dir/sta/hold_check.cpp.o"
+  "CMakeFiles/hb_sta.dir/sta/hold_check.cpp.o.d"
+  "CMakeFiles/hb_sta.dir/sta/hummingbird.cpp.o"
+  "CMakeFiles/hb_sta.dir/sta/hummingbird.cpp.o.d"
+  "CMakeFiles/hb_sta.dir/sta/report.cpp.o"
+  "CMakeFiles/hb_sta.dir/sta/report.cpp.o.d"
+  "CMakeFiles/hb_sta.dir/sta/search.cpp.o"
+  "CMakeFiles/hb_sta.dir/sta/search.cpp.o.d"
+  "CMakeFiles/hb_sta.dir/sta/slack_engine.cpp.o"
+  "CMakeFiles/hb_sta.dir/sta/slack_engine.cpp.o.d"
+  "CMakeFiles/hb_sta.dir/sta/sync_model.cpp.o"
+  "CMakeFiles/hb_sta.dir/sta/sync_model.cpp.o.d"
+  "CMakeFiles/hb_sta.dir/sta/timing_graph.cpp.o"
+  "CMakeFiles/hb_sta.dir/sta/timing_graph.cpp.o.d"
+  "CMakeFiles/hb_sta.dir/sta/visualize.cpp.o"
+  "CMakeFiles/hb_sta.dir/sta/visualize.cpp.o.d"
+  "libhb_sta.a"
+  "libhb_sta.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hb_sta.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/synth/redesign_loop.cpp" "src/CMakeFiles/hb_synth.dir/synth/redesign_loop.cpp.o" "gcc" "src/CMakeFiles/hb_synth.dir/synth/redesign_loop.cpp.o.d"
+  "/root/repo/src/synth/resize.cpp" "src/CMakeFiles/hb_synth.dir/synth/resize.cpp.o" "gcc" "src/CMakeFiles/hb_synth.dir/synth/resize.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/hb_sta.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hb_clocks.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hb_delay.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hb_netlist.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hb_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

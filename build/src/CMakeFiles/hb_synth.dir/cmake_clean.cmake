@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hb_synth.dir/synth/redesign_loop.cpp.o"
+  "CMakeFiles/hb_synth.dir/synth/redesign_loop.cpp.o.d"
+  "CMakeFiles/hb_synth.dir/synth/resize.cpp.o"
+  "CMakeFiles/hb_synth.dir/synth/resize.cpp.o.d"
+  "libhb_synth.a"
+  "libhb_synth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hb_synth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

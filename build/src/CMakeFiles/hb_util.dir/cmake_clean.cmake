@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hb_util.dir/util/error.cpp.o"
+  "CMakeFiles/hb_util.dir/util/error.cpp.o.d"
+  "CMakeFiles/hb_util.dir/util/rng.cpp.o"
+  "CMakeFiles/hb_util.dir/util/rng.cpp.o.d"
+  "CMakeFiles/hb_util.dir/util/time.cpp.o"
+  "CMakeFiles/hb_util.dir/util/time.cpp.o.d"
+  "libhb_util.a"
+  "libhb_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hb_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/algorithm_test.dir/algorithm_test.cpp.o"
+  "CMakeFiles/algorithm_test.dir/algorithm_test.cpp.o.d"
+  "algorithm_test"
+  "algorithm_test.pdb"
+  "algorithm_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/algorithm_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

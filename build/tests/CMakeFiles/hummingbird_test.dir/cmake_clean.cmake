@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hummingbird_test.dir/hummingbird_test.cpp.o"
+  "CMakeFiles/hummingbird_test.dir/hummingbird_test.cpp.o.d"
+  "hummingbird_test"
+  "hummingbird_test.pdb"
+  "hummingbird_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hummingbird_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

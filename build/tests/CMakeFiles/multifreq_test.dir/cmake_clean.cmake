@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multifreq_test.dir/multifreq_test.cpp.o"
+  "CMakeFiles/multifreq_test.dir/multifreq_test.cpp.o.d"
+  "multifreq_test"
+  "multifreq_test.pdb"
+  "multifreq_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multifreq_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

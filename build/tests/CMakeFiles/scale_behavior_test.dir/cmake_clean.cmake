@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scale_behavior_test.dir/scale_behavior_test.cpp.o"
+  "CMakeFiles/scale_behavior_test.dir/scale_behavior_test.cpp.o.d"
+  "scale_behavior_test"
+  "scale_behavior_test.pdb"
+  "scale_behavior_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scale_behavior_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

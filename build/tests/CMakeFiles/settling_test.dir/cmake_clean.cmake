@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/settling_test.dir/settling_test.cpp.o"
+  "CMakeFiles/settling_test.dir/settling_test.cpp.o.d"
+  "settling_test"
+  "settling_test.pdb"
+  "settling_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/settling_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

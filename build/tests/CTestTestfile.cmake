@@ -1,0 +1,31 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/util_test[1]_include.cmake")
+include("/root/repo/build/tests/library_test[1]_include.cmake")
+include("/root/repo/build/tests/netlist_test[1]_include.cmake")
+include("/root/repo/build/tests/clocks_test[1]_include.cmake")
+include("/root/repo/build/tests/delay_test[1]_include.cmake")
+include("/root/repo/build/tests/sync_model_test[1]_include.cmake")
+include("/root/repo/build/tests/engine_test[1]_include.cmake")
+include("/root/repo/build/tests/oracle_test[1]_include.cmake")
+include("/root/repo/build/tests/baseline_test[1]_include.cmake")
+include("/root/repo/build/tests/gen_test[1]_include.cmake")
+include("/root/repo/build/tests/report_test[1]_include.cmake")
+include("/root/repo/build/tests/hold_test[1]_include.cmake")
+include("/root/repo/build/tests/synth_test[1]_include.cmake")
+include("/root/repo/build/tests/hummingbird_test[1]_include.cmake")
+include("/root/repo/build/tests/multifreq_test[1]_include.cmake")
+include("/root/repo/build/tests/clock_io_test[1]_include.cmake")
+include("/root/repo/build/tests/algorithm_test[1]_include.cmake")
+include("/root/repo/build/tests/timing_graph_test[1]_include.cmake")
+include("/root/repo/build/tests/settling_test[1]_include.cmake")
+include("/root/repo/build/tests/robustness_test[1]_include.cmake")
+include("/root/repo/build/tests/relaxation_test[1]_include.cmake")
+include("/root/repo/build/tests/visualize_test[1]_include.cmake")
+include("/root/repo/build/tests/coverage_test[1]_include.cmake")
+include("/root/repo/build/tests/library_io_test[1]_include.cmake")
+include("/root/repo/build/tests/scale_behavior_test[1]_include.cmake")
