@@ -29,7 +29,8 @@ int main() {
   const RedesignResult res = run_redesign_loop(design, clocks, options);
 
   std::printf("initial worst slack: %s\n", format_time(res.initial_worst_slack).c_str());
-  std::printf("iterations: %d, cells upsized: %d\n", res.iterations, res.cells_resized);
+  std::printf("iterations: %d, cells upsized: %d, analyser rebuilds: %d\n", res.iterations,
+              res.cells_resized, res.analyser_rebuilds);
   std::printf("final worst slack: %s (%s)\n", format_time(res.final_worst_slack).c_str(),
               res.met_timing ? "timing met" : "timing NOT met");
   std::printf("area: %.1f -> %.1f um^2 (%.1f%% increase)\n", res.initial_area_um2,

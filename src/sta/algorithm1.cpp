@@ -46,7 +46,13 @@ Algorithm1Result run_algorithm1(SyncModel& sync, SlackEngine& engine,
   Algorithm1Result res;
 
   auto evaluate = [&]() {
-    engine.compute();
+    if (options.incremental) {
+      engine.invalidate_offsets(sync.drain_changed_offsets());
+      engine.update(options.pool);
+    } else {
+      sync.drain_changed_offsets();
+      engine.compute(options.pool);
+    }
     ++res.slack_evaluations;
     return engine.worst_terminal_slack();
   };

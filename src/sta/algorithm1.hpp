@@ -26,6 +26,13 @@ struct Algorithm1Options {
   /// Safety cap on transfer cycles; the paper observes each iteration needs
   /// at most one cycle more than the synchronising-element depth.
   int max_cycles = 10000;
+  /// Re-evaluate slacks incrementally between sweeps: each sweep's offset
+  /// edits are drained from the SyncModel change log into SlackEngine
+  /// invalidations and only the affected cones are re-propagated.  Results
+  /// are bit-identical to full recomputation (tests/incremental_test.cpp).
+  bool incremental = true;
+  /// Evaluate independent dirty passes on this pool when non-null.
+  ThreadPool* pool = nullptr;
 };
 
 struct Algorithm1Result {

@@ -1,6 +1,16 @@
 #include "sta/analysis_pass.hpp"
 
+#include <algorithm>
+
 namespace hb {
+namespace {
+
+bool blocks_propagation(NodeRole role) {
+  // Data does not propagate combinationally through synchronising elements.
+  return role == NodeRole::kSyncDataIn || role == NodeRole::kSyncControl;
+}
+
+}  // namespace
 
 PassResult run_analysis_pass(const TimingGraph& graph, const SyncModel& sync,
                              const Cluster& cluster,
@@ -67,6 +77,137 @@ PassResult run_analysis_pass(const TimingGraph& graph, const SyncModel& sync,
   }
 
   return res;
+}
+
+namespace {
+
+/// Collects the closure of `seeds` under `expand` into scratch.affected
+/// (deduplicated local indices, unsorted).  `expand(li)` pushes the local
+/// indices directly readable from node li.
+template <class Expand>
+void collect_cone(const std::vector<std::uint32_t>& seeds, std::size_t num_locals,
+                  PassScratch& scratch, Expand expand) {
+  scratch.mark.assign(num_locals, 0);
+  scratch.stack.clear();
+  scratch.affected.clear();
+  for (std::uint32_t li : seeds) {
+    if (!scratch.mark[li]) {
+      scratch.mark[li] = 1;
+      scratch.stack.push_back(li);
+      scratch.affected.push_back(li);
+    }
+  }
+  while (!scratch.stack.empty()) {
+    const std::uint32_t li = scratch.stack.back();
+    scratch.stack.pop_back();
+    expand(li, [&](std::uint32_t to) {
+      if (!scratch.mark[to]) {
+        scratch.mark[to] = 1;
+        scratch.stack.push_back(to);
+        scratch.affected.push_back(to);
+      }
+    });
+  }
+}
+
+}  // namespace
+
+std::size_t update_analysis_pass(const TimingGraph& graph, const SyncModel& sync,
+                                 const Cluster& cluster,
+                                 const std::vector<std::uint32_t>& local_index,
+                                 const ClockEdgeGraph& edges, std::size_t break_node,
+                                 const std::vector<SyncId>& capture_insts,
+                                 const std::vector<bool>& assigned,
+                                 const std::vector<std::uint32_t>& fwd_seeds,
+                                 const std::vector<std::uint32_t>& bwd_seeds,
+                                 PassResult& res, PassScratch& scratch) {
+  std::size_t retraced = 0;
+
+  // Forward: re-derive ready over the forward cone of the seeds, in
+  // topological order (Cluster::nodes is topologically sorted, so local
+  // indices order the cone).  Values outside the cone cannot change: every
+  // node reading a changed value is, by construction, inside it.
+  if (!fwd_seeds.empty()) {
+    collect_cone(fwd_seeds, cluster.nodes.size(), scratch,
+                 [&](std::uint32_t li, auto push) {
+                   const TNodeId n = cluster.nodes[li];
+                   if (blocks_propagation(graph.node(n).role)) return;
+                   for (std::uint32_t ai : graph.fanout(n)) {
+                     push(local_index[graph.arc(ai).to.index()]);
+                   }
+                 });
+    std::sort(scratch.affected.begin(), scratch.affected.end());
+    for (std::uint32_t li : scratch.affected) {
+      const TNodeId n = cluster.nodes[li];
+      std::optional<RiseFall> v;
+      const std::vector<SyncId>& launches = sync.launches_at(n);
+      if (!launches.empty()) {
+        TimePs latest = -kInfinitePs;
+        for (SyncId id : launches) {
+          const SyncInstance& si = sync.at(id);
+          const TimePs a = edges.linear_assert(si.ideal_assert, break_node) +
+                           si.assert_offset();
+          latest = std::max(latest, a);
+        }
+        v = RiseFall{latest, latest};
+      }
+      for (std::uint32_t ai : graph.fanin(n)) {
+        const TArcRec& arc = graph.arc(ai);
+        if (blocks_propagation(graph.node(arc.from).role)) continue;
+        const auto& in = res.ready[local_index[arc.from.index()]];
+        if (!in) continue;
+        const RiseFall cand = propagate_forward(*in, arc, arc.delay);
+        v = v ? rf_max(*v, cand) : cand;
+      }
+      res.ready[li] = v;
+    }
+    retraced += scratch.affected.size();
+  }
+
+  // Backward: the mirror image over the backward cone, in reverse
+  // topological order.  A predecessor reads required through its own fanout
+  // regardless of the seed node's role, but blocked predecessors never
+  // propagate further back.
+  if (!bwd_seeds.empty()) {
+    collect_cone(bwd_seeds, cluster.nodes.size(), scratch,
+                 [&](std::uint32_t li, auto push) {
+                   const TNodeId n = cluster.nodes[li];
+                   for (std::uint32_t ai : graph.fanin(n)) {
+                     const TNodeId from = graph.arc(ai).from;
+                     if (blocks_propagation(graph.node(from).role)) continue;
+                     push(local_index[from.index()]);
+                   }
+                 });
+    std::sort(scratch.affected.begin(), scratch.affected.end(),
+              std::greater<std::uint32_t>());
+    for (std::uint32_t li : scratch.affected) {
+      const TNodeId n = cluster.nodes[li];
+      std::optional<RiseFall> v;
+      if (!sync.captures_at(n).empty()) {
+        for (std::size_t k = 0; k < capture_insts.size(); ++k) {
+          if (!assigned[k]) continue;
+          const SyncInstance& si = sync.at(capture_insts[k]);
+          if (si.data_in != n) continue;
+          const TimePs c = edges.linear_close(si.ideal_close, break_node) +
+                           si.close_offset();
+          v = v ? rf_min(*v, RiseFall{c, c}) : RiseFall{c, c};
+        }
+      }
+      if (!blocks_propagation(graph.node(n).role)) {
+        for (std::uint32_t ai : graph.fanout(n)) {
+          const TArcRec& arc = graph.arc(ai);
+          const auto& out = res.required[local_index[arc.to.index()]];
+          if (!out) continue;
+          const RiseFall cand = propagate_backward(*out, arc, arc.delay);
+          v = v ? rf_min(*v, cand) : cand;
+        }
+      }
+      res.required[li] = v;
+    }
+    retraced += scratch.affected.size();
+  }
+
+  return retraced;
 }
 
 }  // namespace hb

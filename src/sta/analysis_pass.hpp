@@ -39,4 +39,35 @@ PassResult run_analysis_pass(const TimingGraph& graph, const SyncModel& sync,
                              const std::vector<SyncId>& capture_insts,
                              const std::vector<bool>& assigned);
 
+/// Reusable per-task buffers for update_analysis_pass (one per concurrent
+/// evaluation; never shared between threads).
+struct PassScratch {
+  std::vector<char> mark;                 // by local index
+  std::vector<std::uint32_t> stack;
+  std::vector<std::uint32_t> affected;    // local indices of the cone
+};
+
+/// Incrementally patches `res` (a previous result of run_analysis_pass over
+/// the same pass) after local changes:
+///   * `fwd_seeds`: local indices whose *ready* must be re-derived — launch
+///     nodes with changed assertion offsets, or heads of arcs with changed
+///     delays.  The forward cone of the seeds is re-propagated (eq. 1).
+///   * `bwd_seeds`: local indices whose *required* must be re-derived —
+///     capture nodes with changed closure offsets, or tails of arcs with
+///     changed delays.  The backward cone is re-propagated (eq. 2).
+/// Both ready and required are pure min/max fixpoints over integer times, so
+/// re-deriving exactly the cone reproduces run_analysis_pass bit for bit
+/// (tests/incremental_test.cpp holds the two against each other).
+///
+/// Returns the number of nodes re-traced (forward plus backward cones).
+std::size_t update_analysis_pass(const TimingGraph& graph, const SyncModel& sync,
+                                 const Cluster& cluster,
+                                 const std::vector<std::uint32_t>& local_index,
+                                 const ClockEdgeGraph& edges, std::size_t break_node,
+                                 const std::vector<SyncId>& capture_insts,
+                                 const std::vector<bool>& assigned,
+                                 const std::vector<std::uint32_t>& fwd_seeds,
+                                 const std::vector<std::uint32_t>& bwd_seeds,
+                                 PassResult& res, PassScratch& scratch);
+
 }  // namespace hb

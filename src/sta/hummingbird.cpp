@@ -48,6 +48,39 @@ Algorithm1Result Hummingbird::analyze() {
   return res;
 }
 
+Algorithm1Result Hummingbird::reanalyze() {
+  sync_->reset_offsets();
+  engine_->invalidate_offsets(sync_->drain_changed_offsets());
+  const auto start = std::chrono::steady_clock::now();
+  Algorithm1Result res = run_algorithm1(*sync_, *engine_, options_.alg1);
+  stats_.analysis_seconds = seconds_since(start);
+  analyzed_ = true;
+  return res;
+}
+
+bool Hummingbird::update_instance_delays(InstId inst) {
+  const Instance& self = design_->top().inst(inst);
+  if (self.is_cell() && design_->lib().cell(self.cell).is_sequential()) {
+    return false;  // element delays feed cluster/pass pre-processing
+  }
+  const TimingGraph::DelayUpdate upd = graph_->update_instance_delays(inst, *calc_);
+  std::vector<TNodeId> heads;
+  heads.reserve(upd.changed_arcs.size());
+  for (std::uint32_t ai : upd.changed_arcs) heads.push_back(graph_->arc(ai).from);
+  if (graph_->reaches_control(heads)) {
+    return false;  // control arrival tracing in the SyncModel is now stale
+  }
+  for (InstId s : upd.affected_sequential) {
+    sync_->refresh_element_delays(s, *calc_);
+  }
+  engine_->invalidate_offsets(sync_->drain_changed_offsets());
+  for (std::uint32_t ai : upd.changed_arcs) {
+    engine_->invalidate_node(graph_->arc(ai).from);
+    engine_->invalidate_node(graph_->arc(ai).to);
+  }
+  return true;
+}
+
 ConstraintSet Hummingbird::generate_constraints() {
   if (!analyzed_) analyze();
   return run_algorithm2(*sync_, *engine_, options_.alg2);

@@ -68,6 +68,21 @@ class Hummingbird {
   /// Run Algorithm 1 from freshly initialised offsets.
   Algorithm1Result analyze();
 
+  /// Re-run Algorithm 1 keeping the engine's incremental cache: offsets are
+  /// re-initialised and the resulting invalidations drive update() instead
+  /// of a from-scratch compute().  Results match analyze() bit for bit.
+  Algorithm1Result reanalyze();
+
+  /// Absorb an in-place delay change of top-level instance `inst` (e.g. a
+  /// cell resize to a same-port-layout variant) without rebuilding:
+  /// re-evaluates the component arcs of the instance and of the drivers of
+  /// its input nets, refreshes affected sequential D_cz/D_dz in the sync
+  /// model, and records the matching engine invalidations.  Returns false —
+  /// caller must construct a fresh Hummingbird — when the change cannot be
+  /// absorbed: `inst` is sequential (element delays feed pre-processing) or
+  /// a changed arc reaches a control pin (clock tracing would go stale).
+  bool update_instance_delays(InstId inst);
+
   /// Run Algorithm 2 (requires a preceding analyze(); enforced).
   ConstraintSet generate_constraints();
 

@@ -1,6 +1,9 @@
 #include "sta/slack_engine.hpp"
 
 #include <algorithm>
+#include <functional>
+
+#include "util/thread_pool.hpp"
 
 namespace hb {
 
@@ -19,6 +22,7 @@ SlackEngine::SlackEngine(const TimingGraph& graph, const ClusterSet& clusters,
   for (std::uint32_t c = 0; c < clusters.num_clusters(); ++c) {
     prepare_cluster(ClusterId(c));
   }
+  dirty_.resize(clusters.num_clusters());
   launch_slack_.assign(sync.num_instances(), kInfinitePs);
   capture_slack_.assign(sync.num_instances(), kInfinitePs);
   node_.assign(graph.num_nodes(), NodeTiming{});
@@ -114,18 +118,189 @@ void SlackEngine::prepare_cluster(ClusterId c) {
   }
 }
 
-void SlackEngine::compute() {
+void SlackEngine::compute(ThreadPool* pool) {
+  ++istats_.full_computes;
+
+  // Evaluate every pass into the cache; passes are independent, so a pool
+  // may run them concurrently (each task owns its result slot).
+  std::vector<std::function<void()>> tasks;
+  for (std::uint32_t c = 0; c < clusters_->num_clusters(); ++c) {
+    ClusterAnalysis& ca = analyses_[c];
+    ca.cache.resize(ca.breaks.size());
+    for (std::size_t p = 0; p < ca.breaks.size(); ++p) {
+      ++istats_.passes_evaluated;
+      if (pool != nullptr && pool->size() > 1) {
+        tasks.push_back([this, c, p] {
+          analyses_[c].cache[p] = run_pass(ClusterId(c), p);
+        });
+      } else {
+        ca.cache[p] = run_pass(ClusterId(c), p);
+      }
+    }
+  }
+  if (!tasks.empty()) pool->run_batch(tasks);
+
+  accumulate_all();
+  cache_valid_ = true;
+  for (ClusterDirty& d : dirty_) d.clear();
+}
+
+void SlackEngine::accumulate_all() {
   std::fill(launch_slack_.begin(), launch_slack_.end(), kInfinitePs);
   std::fill(capture_slack_.begin(), capture_slack_.end(), kInfinitePs);
   node_.assign(graph_->num_nodes(), NodeTiming{});
-
   for (std::uint32_t c = 0; c < clusters_->num_clusters(); ++c) {
     const ClusterAnalysis& ca = analyses_[c];
     for (std::size_t p = 0; p < ca.breaks.size(); ++p) {
-      const PassResult res = run_pass(ClusterId(c), p);
-      accumulate(ClusterId(c), p, res);
+      accumulate(ClusterId(c), p, ca.cache[p]);
     }
   }
+}
+
+void SlackEngine::invalidate_offsets(SyncId id) {
+  const SyncInstance& si = sync_->at(id);
+  if (si.data_out.valid()) {
+    const ClusterId c = clusters_->cluster_of(si.data_out);
+    if (c.valid()) {
+      dirty_[c.index()].fwd.push_back(local_of_node_[si.data_out.index()]);
+    }
+  }
+  if (si.data_in.valid()) {
+    const ClusterId c = clusters_->cluster_of(si.data_in);
+    if (c.valid()) {
+      dirty_[c.index()].bwd_of_pass.emplace_back(
+          assigned_pass_of_capture_[id.index()],
+          local_of_node_[si.data_in.index()]);
+    }
+  }
+}
+
+void SlackEngine::invalidate_offsets(const std::vector<SyncId>& ids) {
+  for (SyncId id : ids) invalidate_offsets(id);
+}
+
+void SlackEngine::invalidate_node(TNodeId node) {
+  const ClusterId c = clusters_->cluster_of(node);
+  if (!c.valid()) return;
+  ClusterDirty& d = dirty_[c.index()];
+  const std::uint32_t li = local_of_node_[node.index()];
+  d.fwd.push_back(li);
+  d.bwd.push_back(li);
+}
+
+void SlackEngine::invalidate_instance(InstId inst) {
+  const Design& design = graph_->design();
+  const Instance& self = design.top().inst(inst);
+  for (std::uint32_t p = 0; p < self.conn.size(); ++p) {
+    if (!self.conn[p].valid()) continue;
+    invalidate_node(graph_->pin_node(inst, p));
+    if (design.target_port_dir(self, p) != PortDirection::kInput) continue;
+    // The instance's pin caps load its input nets: the drivers' output-arc
+    // delays change with them.  Their output pins seed both cones; the
+    // backward closure reaches the drivers' inputs from there.
+    for (const PinRef& pin : design.top().net(self.conn[p]).pins) {
+      const Instance& other = design.top().inst(pin.inst);
+      if (design.target_port_dir(other, pin.port) == PortDirection::kOutput) {
+        invalidate_node(graph_->pin_node(pin.inst, pin.port));
+      }
+    }
+  }
+}
+
+void SlackEngine::invalidate_all() { cache_valid_ = false; }
+
+bool SlackEngine::has_pending_invalidations() const {
+  if (!cache_valid_) return true;
+  for (const ClusterDirty& d : dirty_) {
+    if (d.any()) return true;
+  }
+  return false;
+}
+
+void SlackEngine::update(ThreadPool* pool) {
+  if (!cache_valid_) {
+    compute(pool);
+    return;
+  }
+  ++istats_.updates;
+
+  // One task per dirty (cluster, pass); each owns its cached result and its
+  // scratch, so the pool schedule cannot affect the outcome.
+  struct PassTask {
+    std::uint32_t cluster;
+    std::size_t pass;
+    std::vector<std::uint32_t> bwd;  // bwd plus this pass's bwd_of_pass
+    PassScratch scratch;
+    std::size_t retraced = 0;
+  };
+  std::vector<PassTask> pass_tasks;
+  std::vector<std::uint32_t> dirty_clusters;
+  for (std::uint32_t c = 0; c < clusters_->num_clusters(); ++c) {
+    ClusterDirty& d = dirty_[c];
+    if (!d.any()) continue;
+    dirty_clusters.push_back(c);
+    const ClusterAnalysis& ca = analyses_[c];
+    for (std::size_t p = 0; p < ca.breaks.size(); ++p) {
+      PassTask task;
+      task.cluster = c;
+      task.pass = p;
+      task.bwd = d.bwd;
+      for (const auto& [pass, li] : d.bwd_of_pass) {
+        if (pass == p) task.bwd.push_back(li);
+      }
+      if (d.fwd.empty() && task.bwd.empty()) continue;
+      ++istats_.passes_updated;
+      pass_tasks.push_back(std::move(task));
+    }
+  }
+  istats_.passes_reused += num_passes_total() - pass_tasks.size();
+
+  auto run_task = [this](PassTask& task) {
+    const Cluster& cl = clusters_->cluster(ClusterId(task.cluster));
+    ClusterAnalysis& ca = analyses_[task.cluster];
+    task.retraced = update_analysis_pass(
+        *graph_, *sync_, cl, local_of_node_, *ca.edges, ca.breaks[task.pass],
+        ca.capture_insts, ca.assigned_mask[task.pass], dirty_[task.cluster].fwd,
+        task.bwd, ca.cache[task.pass], task.scratch);
+  };
+  if (pool != nullptr && pool->size() > 1 && pass_tasks.size() > 1) {
+    std::vector<std::function<void()>> tasks;
+    tasks.reserve(pass_tasks.size());
+    for (PassTask& task : pass_tasks) {
+      tasks.push_back([&run_task, &task] { run_task(task); });
+    }
+    pool->run_batch(tasks);
+  } else {
+    for (PassTask& task : pass_tasks) run_task(task);
+  }
+  for (const PassTask& task : pass_tasks) istats_.nodes_retraced += task.retraced;
+
+  // Accumulation is cluster-local (every terminal and node belongs to
+  // exactly one cluster), so only dirty clusters need re-accumulating; the
+  // ascending cluster/pass order keeps tie-breaking identical to compute().
+  for (std::uint32_t c : dirty_clusters) {
+    reset_accumulation(ClusterId(c));
+    const ClusterAnalysis& ca = analyses_[c];
+    for (std::size_t p = 0; p < ca.breaks.size(); ++p) {
+      accumulate(ClusterId(c), p, ca.cache[p]);
+    }
+    dirty_[c].clear();
+  }
+}
+
+void SlackEngine::reset_accumulation(ClusterId c) {
+  const Cluster& cl = clusters_->cluster(c);
+  for (TNodeId n : cl.source_nodes) {
+    for (SyncId id : sync_->launches_at(n)) {
+      launch_slack_[id.index()] = kInfinitePs;
+    }
+  }
+  for (TNodeId n : cl.sink_nodes) {
+    for (SyncId id : sync_->captures_at(n)) {
+      capture_slack_[id.index()] = kInfinitePs;
+    }
+  }
+  for (TNodeId n : cl.nodes) node_[n.index()] = NodeTiming{};
 }
 
 PassResult SlackEngine::run_pass(ClusterId c, std::size_t pass) const {

@@ -15,6 +15,16 @@
 //   * per-node slack / ready / required times (from the node's critical
 //     pass) and settling-time counts — the paper's headline "minimum number
 //     of settling times ... evaluated for the nodes".
+//
+// Incremental re-analysis: the engine caches every pass result and accepts
+// invalidations (invalidate_offsets / invalidate_node / invalidate_instance)
+// describing local changes.  update() then re-propagates only the affected
+// reachability cone of each affected pass and re-accumulates only the
+// affected clusters, reproducing compute() bit for bit — see
+// docs/ALGORITHMS.md §7 and tests/incremental_test.cpp.  Independent dirty
+// passes are evaluated in parallel when a ThreadPool is supplied; the
+// schedule never affects results because every pass owns its result slot
+// and accumulation stays in cluster/pass order.
 #pragma once
 
 #include <memory>
@@ -23,6 +33,8 @@
 #include "sta/analysis_pass.hpp"
 
 namespace hb {
+
+class ThreadPool;
 
 struct NodeTiming {
   /// Worst slack over all passes; +inf when unconstrained.
@@ -38,13 +50,57 @@ struct NodeTiming {
   int settling_count = 0;
 };
 
+/// Bookkeeping for the incremental layer (see bench_incremental).
+struct IncrementalStats {
+  std::uint64_t full_computes = 0;     // compute() calls, fallbacks included
+  std::uint64_t updates = 0;           // update() calls served incrementally
+  std::uint64_t passes_evaluated = 0;  // passes propagated from scratch
+  std::uint64_t passes_updated = 0;    // passes patched over a dirty cone
+  std::uint64_t passes_reused = 0;     // cached passes an update left untouched
+  std::uint64_t nodes_retraced = 0;    // nodes re-derived by cone updates
+};
+
 class SlackEngine {
  public:
   SlackEngine(const TimingGraph& graph, const ClusterSet& clusters,
               const SyncModel& sync);
 
-  /// Re-evaluate every pass with the current offsets.
-  void compute();
+  /// Re-evaluate every pass with the current offsets.  With a pool,
+  /// independent passes are evaluated concurrently (results identical).
+  /// Also primes the incremental cache and clears pending invalidations.
+  void compute(ThreadPool* pool = nullptr);
+
+  // -- Dirty-set API ------------------------------------------------------
+  // Record *what changed* between evaluations; update() re-derives exactly
+  // the recorded cones.  All three may be mixed freely before one update().
+
+  /// The adjustable/virtual offsets of `id` changed (SyncInstance::shift,
+  /// a port-spec edit, a refreshed D_cz/D_dz).  Launch side dirties the
+  /// ready cone of every pass of its cluster; capture side dirties the
+  /// required cone of its assigned pass.
+  void invalidate_offsets(SyncId id);
+  void invalidate_offsets(const std::vector<SyncId>& ids);
+  /// Delays of arcs incident to `node` changed: dirties the forward and
+  /// backward cones from the node in every pass of its cluster.
+  void invalidate_node(TNodeId node);
+  /// Delays of `inst`'s own component arcs changed (e.g. after
+  /// DelayCalculator::adjust_instance).  Covers the instance's pins and the
+  /// output pins of the drivers of its input nets, whose load-dependent
+  /// delays change with the instance's pin caps.  For an exact footprint
+  /// after a cell swap, prefer TimingGraph::update_instance_delays and
+  /// invalidate_node on the endpoints of the arcs it reports changed.
+  void invalidate_instance(InstId inst);
+  /// Drop the cache entirely: the next update() is a full compute().
+  void invalidate_all();
+  bool has_pending_invalidations() const;
+
+  /// Bring all results up to date with the recorded invalidations.  With a
+  /// valid cache this re-propagates only the dirty cones and re-accumulates
+  /// only the dirty clusters; otherwise it falls back to compute().  The
+  /// result state is bit-identical to a fresh compute() either way.
+  void update(ThreadPool* pool = nullptr);
+
+  const IncrementalStats& incremental_stats() const { return istats_; }
 
   /// Terminal slacks (min over passes); +inf when unconstrained.  Valid
   /// after compute().
@@ -84,10 +140,27 @@ class SlackEngine {
     std::vector<SyncId> capture_insts;            // all captures in cluster
     std::vector<std::uint32_t> assigned;          // pass index per capture
     std::vector<std::vector<bool>> assigned_mask; // [pass][capture]
+    std::vector<PassResult> cache;                // [pass], valid iff cache_valid_
+  };
+
+  /// Pending invalidations of one cluster, in local node indices.
+  struct ClusterDirty {
+    std::vector<std::uint32_t> fwd;  // ready cones, every pass
+    std::vector<std::uint32_t> bwd;  // required cones, every pass
+    /// required cones of a single pass (capture offset changes).
+    std::vector<std::pair<std::uint32_t, std::uint32_t>> bwd_of_pass;
+    bool any() const { return !fwd.empty() || !bwd.empty() || !bwd_of_pass.empty(); }
+    void clear() {
+      fwd.clear();
+      bwd.clear();
+      bwd_of_pass.clear();
+    }
   };
 
   void prepare_cluster(ClusterId c);
   void accumulate(ClusterId c, std::size_t pass, const PassResult& res);
+  void reset_accumulation(ClusterId c);
+  void accumulate_all();
 
   const TimingGraph* graph_;
   const ClusterSet* clusters_;
@@ -96,6 +169,10 @@ class SlackEngine {
   std::vector<std::uint32_t> local_of_node_;
   std::vector<ClusterAnalysis> analyses_;
   std::vector<std::uint32_t> assigned_pass_of_capture_;  // by SyncId
+
+  std::vector<ClusterDirty> dirty_;  // by cluster
+  bool cache_valid_ = false;
+  IncrementalStats istats_;
 
   std::vector<TimePs> launch_slack_;
   std::vector<TimePs> capture_slack_;

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <optional>
+#include <utility>
 
 namespace hb {
 namespace {
@@ -33,6 +34,7 @@ SyncModel::SyncModel(const TimingGraph& graph, const ClockSet& clocks,
   build_enable_sinks();
   index_instances();
   reset_offsets();
+  drain_changed_offsets();  // the initial state is nobody's "change"
 }
 
 // Propagate (clock, polarity, delay) from clock ports through combinational
@@ -299,17 +301,64 @@ const SyncModel::ControlInfo& SyncModel::control_of(InstId inst) const {
 }
 
 void SyncModel::reset_offsets() {
-  for (SyncInstance& si : instances_) {
-    if (si.is_virtual || !si.transparent) {
-      si.odz = 0;
-      si.ozd = 0;
-      continue;
+  for (std::uint32_t i = 0; i < instances_.size(); ++i) {
+    SyncInstance& si = instances_[i];
+    TimePs odz = 0, ozd = 0;
+    if (!si.is_virtual && si.transparent) {
+      // End-of-pulse initial state: input closes at the trailing edge
+      // (O_dz = -D_dz, its upper bound), output asserts W - ... accordingly.
+      odz = -si.ddz;
+      ozd = si.width + odz + si.ddz;  // == si.width
     }
-    // End-of-pulse initial state: input closes at the trailing edge
-    // (O_dz = -D_dz, its upper bound), output asserts W - ... accordingly.
-    si.odz = -si.ddz;
-    si.ozd = si.width + si.odz + si.ddz;  // == si.width
+    if (si.odz != odz || si.ozd != ozd) {
+      si.odz = odz;
+      si.ozd = ozd;
+      record_changed(SyncId(i));
+    }
   }
+}
+
+void SyncModel::refresh_element_delays(InstId inst, const DelayCalculator& calc) {
+  const Design& design = graph_->design();
+  const Instance& top_inst = design.top().inst(inst);
+  HB_ASSERT(top_inst.is_cell());
+  const Cell& cell = design.lib().cell(top_inst.cell);
+  HB_ASSERT(cell.is_sequential());
+  const SyncSpec& spec = cell.sync();
+
+  TimePs dcz = 0, ddz = 0;
+  for (const TimingArc& arc : cell.arcs()) {
+    const RiseFall d = calc.arc_delay(design.top_id(), inst, arc);
+    if (arc.from_port == spec.control) dcz = std::max(dcz, d.max());
+    if (arc.from_port == spec.data_in) ddz = std::max(ddz, d.max());
+  }
+
+  for (std::uint32_t i = 0; i < instances_.size(); ++i) {
+    SyncInstance& si = instances_[i];
+    if (si.inst != inst || si.is_virtual) continue;
+    const TimePs new_ddz = si.transparent ? ddz : 0;
+    if (si.dcz == dcz && si.ddz == new_ddz) continue;
+    si.dcz = dcz;
+    si.ddz = new_ddz;
+    if (si.transparent) si.ozd = si.width + si.odz + si.ddz;
+    record_changed(SyncId(i));
+  }
+}
+
+void SyncModel::record_changed(SyncId id) {
+  if (changed_flag_.size() != instances_.size()) {
+    changed_flag_.assign(instances_.size(), 0);
+  }
+  char& flag = changed_flag_[id.index()];
+  if (!flag) {
+    flag = 1;
+    changed_.push_back(id);
+  }
+}
+
+std::vector<SyncId> SyncModel::drain_changed_offsets() {
+  for (SyncId id : changed_) changed_flag_[id.index()] = 0;
+  return std::exchange(changed_, {});
 }
 
 }  // namespace hb

@@ -113,7 +113,19 @@ class SyncModel {
 
   std::size_t num_instances() const { return instances_.size(); }
   const SyncInstance& at(SyncId id) const { return instances_.at(id.index()); }
-  SyncInstance& at_mut(SyncId id) { return instances_.at(id.index()); }
+  /// Mutable access conservatively records `id` in the changed-offsets log,
+  /// so incremental re-analysis (SlackEngine::update) stays exact no matter
+  /// which offsets the caller moves.
+  SyncInstance& at_mut(SyncId id) {
+    record_changed(id);
+    return instances_.at(id.index());
+  }
+
+  /// Instances whose offsets may have changed since the last drain
+  /// (deduplicated, in first-touch order).  Feed into
+  /// SlackEngine::invalidate_offsets and clear with drain_changed_offsets().
+  const std::vector<SyncId>& changed_offsets() const { return changed_; }
+  std::vector<SyncId> drain_changed_offsets();
 
   /// Launch instances whose data_out is this node (empty vector if none).
   const std::vector<SyncId>& launches_at(TNodeId node) const;
@@ -136,10 +148,22 @@ class SyncModel {
   bool has_data_cone(TNodeId node) const { return has_data_cone_.at(node.index()); }
 
   /// Restore all adjustable offsets to the end-of-pulse initial state
-  /// (O_zd = W', i.e. input closure at the trailing edge).
+  /// (O_zd = W', i.e. input closure at the trailing edge).  Only instances
+  /// whose offsets actually move are recorded as changed, so a reset right
+  /// after construction (or a previous reset) invalidates nothing.
   void reset_offsets();
 
+  /// Re-derive the load-dependent element delays (D_cz, and D_dz for
+  /// transparent elements) of every generic instance of sequential instance
+  /// `inst` after the load on its output net changed (e.g. a fanout cell was
+  /// resized).  The O_zd = W + O_dz + D_dz coupling is preserved by keeping
+  /// O_dz and re-deriving O_zd.  Changed instances land in the
+  /// changed-offsets log.  The cell itself must be unchanged (setup, ideal
+  /// times and control tracing stay valid).
+  void refresh_element_delays(InstId inst, const DelayCalculator& calc);
+
  private:
+  void record_changed(SyncId id);
   void trace_controls();
   void build_element_instances(const DelayCalculator& calc);
   void build_port_instances();
@@ -160,6 +184,8 @@ class SyncModel {
   std::vector<TNodeId> launch_nodes_;
   std::vector<TNodeId> capture_nodes_;
   std::vector<bool> has_data_cone_;
+  std::vector<SyncId> changed_;       // offsets touched since the last drain
+  std::vector<char> changed_flag_;    // by SyncId, dedups changed_
 };
 
 }  // namespace hb

@@ -1,5 +1,9 @@
 #include "sta/timing_graph.hpp"
 
+#include <algorithm>
+
+#include "util/error.hpp"
+
 namespace hb {
 
 TimingGraph::TimingGraph(const Design& design, const DelayCalculator& calc)
@@ -55,8 +59,11 @@ TimingGraph::TimingGraph(const Design& design, const DelayCalculator& calc)
   fanin_.resize(nodes_.size());
 
   // Component arcs of combinational instances (cells and submodules).
+  inst_arc_span_.resize(top.insts().size());
   for (std::uint32_t i = 0; i < top.insts().size(); ++i) {
     const Instance& inst = top.inst(InstId(i));
+    inst_arc_span_[i] = {static_cast<std::uint32_t>(arcs_.size()),
+                         static_cast<std::uint32_t>(arcs_.size())};
     if (inst.is_cell() && design.lib().cell(inst.cell).is_sequential()) continue;
     for (const TimingArc& arc : calc.arcs_of(inst)) {
       if (!inst.conn[arc.from_port].valid() || !inst.conn[arc.to_port].valid()) {
@@ -65,6 +72,7 @@ TimingGraph::TimingGraph(const Design& design, const DelayCalculator& calc)
       add_arc(inst_pin_node_[i][arc.from_port], inst_pin_node_[i][arc.to_port],
               calc.arc_delay(top_id, InstId(i), arc), arc.unate, false);
     }
+    inst_arc_span_[i].second = static_cast<std::uint32_t>(arcs_.size());
   }
 
   // Net arcs: every driver pin to every sink pin of the net.  Top input
@@ -118,6 +126,85 @@ std::string TimingGraph::node_name(TNodeId id) const {
   if (n.is_top_port) return "port:" + design_->top().port(n.port).name;
   const Instance& inst = design_->top().inst(n.inst);
   return inst.name + "." + design_->target_port_name(inst, n.port);
+}
+
+TimingGraph::DelayUpdate TimingGraph::update_instance_delays(
+    InstId inst, const DelayCalculator& calc) {
+  const Module& top = design_->top();
+  const ModuleId top_id = design_->top_id();
+  DelayUpdate upd;
+
+  // The instance itself plus the drivers of its input nets: a pin-cap change
+  // on `inst` changes those drivers' output loads, nothing else.
+  std::vector<InstId> affected{inst};
+  const Instance& self = top.inst(inst);
+  for (std::uint32_t p = 0; p < self.conn.size(); ++p) {
+    if (!self.conn[p].valid()) continue;
+    if (design_->target_port_dir(self, p) != PortDirection::kInput) continue;
+    for (const PinRef& pin : top.net(self.conn[p]).pins) {
+      const Instance& other = top.inst(pin.inst);
+      if (design_->target_port_dir(other, pin.port) != PortDirection::kOutput) {
+        continue;
+      }
+      if (std::find(affected.begin(), affected.end(), pin.inst) ==
+          affected.end()) {
+        affected.push_back(pin.inst);
+      }
+    }
+  }
+
+  for (InstId a : affected) {
+    const Instance& ai = top.inst(a);
+    if (ai.is_cell() && design_->lib().cell(ai.cell).is_sequential()) {
+      if (a != inst) upd.affected_sequential.push_back(a);
+      continue;  // element delays live in the SyncModel, not in arcs
+    }
+    // Walk the instance's arc span in the exact order the constructor
+    // created it; the arc list of a same-port-layout variant matches 1:1.
+    std::uint32_t idx = inst_arc_span_.at(a.index()).first;
+    for (const TimingArc& arc : calc.arcs_of(ai)) {
+      if (!ai.conn[arc.from_port].valid() || !ai.conn[arc.to_port].valid()) {
+        continue;
+      }
+      TArcRec& rec = arcs_.at(idx);
+      HB_ASSERT(rec.from == inst_pin_node_[a.index()][arc.from_port] &&
+                rec.to == inst_pin_node_[a.index()][arc.to_port]);
+      const RiseFall d = calc.arc_delay(top_id, a, arc);
+      if (!(rec.delay == d)) {
+        rec.delay = d;
+        upd.changed_arcs.push_back(idx);
+      }
+      ++idx;
+    }
+    HB_ASSERT(idx == inst_arc_span_.at(a.index()).second);
+  }
+  return upd;
+}
+
+bool TimingGraph::reaches_control(const std::vector<TNodeId>& from) const {
+  std::vector<char> visited(nodes_.size(), 0);
+  std::vector<TNodeId> stack;
+  for (TNodeId n : from) {
+    if (!visited[n.index()]) {
+      visited[n.index()] = 1;
+      stack.push_back(n);
+    }
+  }
+  while (!stack.empty()) {
+    const TNodeId n = stack.back();
+    stack.pop_back();
+    const NodeRole role = nodes_[n.index()].role;
+    if (role == NodeRole::kSyncControl) return true;
+    if (role == NodeRole::kSyncDataIn) continue;  // no combinational path out
+    for (std::uint32_t ai : fanout_[n.index()]) {
+      const TNodeId to = arcs_[ai].to;
+      if (!visited[to.index()]) {
+        visited[to.index()] = 1;
+        stack.push_back(to);
+      }
+    }
+  }
+  return false;
 }
 
 void TimingGraph::compute_topo() {

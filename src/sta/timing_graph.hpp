@@ -77,6 +77,27 @@ class TimingGraph {
   /// have no through-arcs, so this always exists for valid designs.
   const std::vector<TNodeId>& topo_order() const { return topo_; }
 
+  /// Footprint of re-evaluating one instance's delays in place.
+  struct DelayUpdate {
+    /// Arcs whose delay actually changed (seed the analysis dirty cones).
+    std::vector<std::uint32_t> changed_arcs;
+    /// Sequential instances driving the updated instance's input nets:
+    /// their D_cz / D_dz see the new load and must be refreshed in the
+    /// SyncModel (SyncModel::refresh_element_delays).
+    std::vector<InstId> affected_sequential;
+  };
+
+  /// Re-evaluate, in place, the component-arc delays of `inst` and of every
+  /// instance driving one of its input nets (their loads changed with the
+  /// instance's pin caps — e.g. after a cell resize to a variant with the
+  /// same port layout).  Structure (nodes, arcs, topology) is unchanged.
+  DelayUpdate update_instance_delays(InstId inst, const DelayCalculator& calc);
+
+  /// True when any node in `from` reaches a synchronising-element control
+  /// pin through combinational arcs — i.e. a delay change at these nodes
+  /// invalidates the SyncModel's control tracing, not just the slack state.
+  bool reaches_control(const std::vector<TNodeId>& from) const;
+
  private:
   void add_arc(TNodeId from, TNodeId to, RiseFall delay, Unate unate, bool is_net);
   void compute_topo();
@@ -90,6 +111,9 @@ class TimingGraph {
   std::vector<std::vector<TNodeId>> inst_pin_node_;  // [inst][port]
   std::vector<TNodeId> top_port_node_;
   std::vector<TNodeId> topo_;
+  // Component arcs of each instance occupy one contiguous index range
+  // (build order); net arcs come after all of them.
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> inst_arc_span_;
 };
 
 }  // namespace hb

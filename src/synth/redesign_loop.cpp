@@ -1,20 +1,23 @@
 #include "synth/redesign_loop.hpp"
 
+#include <memory>
 #include <unordered_set>
 
 #include "synth/resize.hpp"
+#include "util/thread_pool.hpp"
 
 namespace hb {
 namespace {
 
 /// Pick up to `budget` distinct on-path cell instances to upsize, preferring
-/// the slowest steps of the worst paths.
-int resize_along_paths(Design& design, const TimingGraph& graph,
-                       const std::vector<SlowPath>& paths, int budget) {
-  int resized = 0;
+/// the slowest steps of the worst paths.  Returns the instances upsized.
+std::vector<InstId> resize_along_paths(Design& design, const TimingGraph& graph,
+                                       const std::vector<SlowPath>& paths,
+                                       int budget) {
+  std::vector<InstId> resized;
   std::unordered_set<std::uint32_t> tried;
   for (const SlowPath& p : paths) {
-    if (resized >= budget) break;
+    if (static_cast<int>(resized.size()) >= budget) break;
     // Score each on-path instance by the step delay it contributes.
     std::vector<std::pair<TimePs, InstId>> candidates;
     for (std::size_t s = 1; s < p.steps.size(); ++s) {
@@ -28,9 +31,9 @@ int resize_along_paths(Design& design, const TimingGraph& graph,
     std::sort(candidates.begin(), candidates.end(),
               [](const auto& a, const auto& b) { return a.first > b.first; });
     for (const auto& [step, inst] : candidates) {
-      if (resized >= budget) break;
+      if (static_cast<int>(resized.size()) >= budget) break;
       if (!tried.insert(inst.value()).second) continue;
-      if (upsize_instance(design, inst)) ++resized;
+      if (upsize_instance(design, inst)) resized.push_back(inst);
     }
   }
   return resized;
@@ -43,21 +46,39 @@ RedesignResult run_redesign_loop(Design& design, const ClockSet& clocks,
   RedesignResult res;
   res.initial_area_um2 = total_area_um2(design);
 
+  std::unique_ptr<ThreadPool> pool;
+  if (options.threads != 1) pool = std::make_unique<ThreadPool>(options.threads);
+  options.analysis.alg1.incremental = options.incremental;
+  options.analysis.alg1.pool = pool.get();
+
+  std::unique_ptr<Hummingbird> hb;
   for (res.iterations = 0; res.iterations < options.max_iterations;
        ++res.iterations) {
-    Hummingbird hb(design, clocks, options.analysis);
-    const Algorithm1Result a1 = hb.analyze();
+    if (!hb) {
+      hb = std::make_unique<Hummingbird>(design, clocks, options.analysis);
+      ++res.analyser_rebuilds;
+    }
+    const Algorithm1Result a1 = hb->analyze();
     if (res.iterations == 0) res.initial_worst_slack = a1.worst_slack;
     res.final_worst_slack = a1.worst_slack;
     if (a1.works_as_intended) {
       res.met_timing = true;
       break;
     }
-    const auto paths = hb.slow_paths(8);
-    const int resized = resize_along_paths(design, hb.graph(), paths,
-                                           options.resizes_per_iteration);
-    if (resized == 0) break;  // nothing left to upsize: timing unreachable
-    res.cells_resized += resized;
+    const auto paths = hb->slow_paths(8);
+    const std::vector<InstId> resized = resize_along_paths(
+        design, hb->graph(), paths, options.resizes_per_iteration);
+    if (resized.empty()) break;  // nothing left to upsize: timing unreachable
+    res.cells_resized += static_cast<int>(resized.size());
+    if (options.incremental) {
+      bool absorbed = true;
+      for (InstId inst : resized) {
+        absorbed = hb->update_instance_delays(inst) && absorbed;
+      }
+      if (!absorbed) hb.reset();  // fall back: rebuild next iteration
+    } else {
+      hb.reset();
+    }
   }
 
   res.final_area_um2 = total_area_um2(design);

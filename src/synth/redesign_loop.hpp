@@ -24,12 +24,23 @@ struct RedesignOptions {
   int max_iterations = 200;
   /// Cells upsized per iteration (along the worst paths).
   int resizes_per_iteration = 4;
+  /// Keep one analyser alive across iterations: absorb each resize via
+  /// Hummingbird::update_instance_delays and re-analyse incrementally,
+  /// rebuilding only when a change cannot be absorbed (sequential cell,
+  /// control-path delay change).  Off = rebuild every iteration.
+  bool incremental = true;
+  /// Worker threads for pass evaluation: 1 = serial, 0 = one per hardware
+  /// thread, n = n threads.
+  int threads = 1;
 };
 
 struct RedesignResult {
   bool met_timing = false;
   int iterations = 0;
   int cells_resized = 0;
+  /// Analyser constructions (pre-processing runs); incremental mode keeps
+  /// this near 1, rebuild-per-iteration mode equals iterations.
+  int analyser_rebuilds = 0;
   TimePs initial_worst_slack = 0;
   TimePs final_worst_slack = 0;
   double initial_area_um2 = 0.0;

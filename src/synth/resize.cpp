@@ -1,5 +1,7 @@
 #include "synth/resize.hpp"
 
+#include "sta/hummingbird.hpp"
+
 namespace hb {
 namespace {
 
@@ -28,6 +30,12 @@ bool upsize_instance(Design& design, InstId inst) {
             design.lib().cell(i.cell).ports().size());
   i.cell = stronger;
   return true;
+}
+
+ResizeUpdate upsize_and_update(Design& design, InstId inst, Hummingbird& hb) {
+  if (!upsize_instance(design, inst)) return ResizeUpdate::kNotResized;
+  return hb.update_instance_delays(inst) ? ResizeUpdate::kAbsorbed
+                                         : ResizeUpdate::kRebuildRequired;
 }
 
 double total_area_um2(const Design& design) {

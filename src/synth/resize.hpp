@@ -8,10 +8,23 @@
 
 namespace hb {
 
+class Hummingbird;
+
 /// Swap an instance of the top module to the next stronger family variant.
 /// Returns false if the instance is already at maximum drive, is a
 /// submodule instance, or its cell has no family.
 bool upsize_instance(Design& design, InstId inst);
+
+enum class ResizeUpdate {
+  kNotResized,       // no stronger variant; design unchanged
+  kAbsorbed,         // resized and absorbed into the live analyser
+  kRebuildRequired,  // resized, but the analyser must be reconstructed
+};
+
+/// Upsize `inst` and absorb the delay change into a live analyser via
+/// Hummingbird::update_instance_delays, so the next reanalysis is
+/// incremental.  `hb` must have been built over `design`.
+ResizeUpdate upsize_and_update(Design& design, InstId inst, Hummingbird& hb);
 
 /// Total standard-cell area of the design (recursing into submodules).
 double total_area_um2(const Design& design);

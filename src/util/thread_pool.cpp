@@ -1,0 +1,100 @@
+#include "util/thread_pool.hpp"
+
+#include <algorithm>
+
+namespace hb {
+
+ThreadPool::ThreadPool(int num_threads) {
+  if (num_threads <= 0) {
+    num_threads = static_cast<int>(std::thread::hardware_concurrency());
+  }
+  num_threads = std::max(1, num_threads);
+  workers_.reserve(static_cast<std::size_t>(num_threads - 1));
+  for (int i = 0; i < num_threads - 1; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  wake_.notify_all();
+  for (std::thread& t : workers_) t.join();
+}
+
+void ThreadPool::run_batch(const std::vector<std::function<void()>>& tasks) {
+  if (tasks.empty()) return;
+  if (workers_.empty()) {
+    for (const auto& task : tasks) task();
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    batch_ = &tasks;
+    next_.store(0, std::memory_order_relaxed);
+    completed_ = 0;
+    first_error_ = nullptr;
+    ++generation_;
+  }
+  wake_.notify_all();
+  work_through();
+  std::exception_ptr error;
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    // Wait until every task ran AND every worker left the batch, so the
+    // shared counter can be reset for the next batch without a straggler
+    // picking indices against a stale task list.
+    done_.wait(lock, [&] { return completed_ == tasks.size() && active_ == 0; });
+    batch_ = nullptr;
+    error = first_error_;
+  }
+  if (error) std::rethrow_exception(error);
+}
+
+void ThreadPool::work_through() {
+  const std::vector<std::function<void()>>* batch;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    batch = batch_;
+  }
+  if (batch == nullptr) return;
+  std::size_t done_here = 0;
+  std::exception_ptr error;
+  for (;;) {
+    const std::size_t i = next_.fetch_add(1, std::memory_order_relaxed);
+    if (i >= batch->size()) break;
+    try {
+      (*batch)[i]();
+    } catch (...) {
+      if (!error) error = std::current_exception();
+    }
+    ++done_here;
+  }
+  std::lock_guard<std::mutex> lock(mutex_);
+  completed_ += done_here;
+  if (error && !first_error_) first_error_ = error;
+  if (completed_ == batch->size()) done_.notify_all();
+}
+
+void ThreadPool::worker_loop() {
+  std::uint64_t seen = 0;
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      wake_.wait(lock, [&] { return stop_ || generation_ != seen; });
+      if (stop_) return;
+      seen = generation_;
+      ++active_;
+    }
+    work_through();
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      --active_;
+      if (active_ == 0) done_.notify_all();
+    }
+  }
+}
+
+}  // namespace hb

@@ -1,0 +1,58 @@
+// Small fixed-size worker pool for evaluating independent analysis passes.
+//
+// The pool runs *batches*: run_batch() hands every worker (plus the calling
+// thread) tasks from a shared atomic counter and returns when all tasks have
+// finished.  Tasks must be independent — the slack engine guarantees this by
+// giving every (cluster, pass) task its own result slot — so the schedule
+// never affects results, only wall-clock time.  The first exception thrown
+// by any task is re-thrown on the calling thread after the batch completes.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace hb {
+
+class ThreadPool {
+ public:
+  /// `num_threads` counts workers *including* the calling thread: the pool
+  /// spawns num_threads - 1 std::threads.  0 picks hardware_concurrency().
+  explicit ThreadPool(int num_threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Total workers, calling thread included; always >= 1.
+  int size() const { return static_cast<int>(workers_.size()) + 1; }
+
+  /// Run tasks[0..n) to completion.  Each task is executed exactly once, on
+  /// an unspecified worker.  Not re-entrant: tasks must not call run_batch.
+  void run_batch(const std::vector<std::function<void()>>& tasks);
+
+ private:
+  void worker_loop();
+  void work_through();
+
+  std::vector<std::thread> workers_;
+  std::mutex mutex_;
+  std::condition_variable wake_;
+  std::condition_variable done_;
+
+  // All fields below except next_ are guarded by mutex_.
+  const std::vector<std::function<void()>>* batch_ = nullptr;
+  std::atomic<std::size_t> next_{0};
+  std::size_t completed_ = 0;
+  int active_ = 0;  // workers currently inside the batch
+  std::uint64_t generation_ = 0;
+  bool stop_ = false;
+  std::exception_ptr first_error_;
+};
+
+}  // namespace hb

@@ -1,0 +1,340 @@
+// Differential harness for the incremental re-analysis layer.
+//
+// The contract under test (docs/ALGORITHMS.md §7): after any sequence of
+// local changes — offset shifts, virtual-terminal edits, component-delay
+// adjustments, cell resizes — SlackEngine::update() must reproduce a fresh
+// full compute() bit for bit, serially and on a thread pool.  Slacks are
+// integer picoseconds and every propagation step is a min/max, so there is
+// no tolerance anywhere: every comparison below is exact equality.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <functional>
+#include <memory>
+
+#include "baseline/relaxation.hpp"
+#include "gen/alu.hpp"
+#include "gen/des.hpp"
+#include "gen/random_network.hpp"
+#include "netlist/stdcells.hpp"
+#include "sta/cluster.hpp"
+#include "sta/hummingbird.hpp"
+#include "synth/redesign_loop.hpp"
+#include "synth/resize.hpp"
+#include "util/rng.hpp"
+#include "util/thread_pool.hpp"
+
+namespace hb {
+namespace {
+
+// Everything compute() produces, captured for exact comparison.
+struct Snapshot {
+  std::vector<TimePs> launch;
+  std::vector<TimePs> capture;
+  std::vector<NodeTiming> nodes;
+};
+
+Snapshot take(const SlackEngine& engine) {
+  Snapshot s;
+  for (std::uint32_t i = 0; i < engine.sync().num_instances(); ++i) {
+    s.launch.push_back(engine.launch_slack(SyncId(i)));
+    s.capture.push_back(engine.capture_slack(SyncId(i)));
+  }
+  for (std::uint32_t n = 0; n < engine.graph().num_nodes(); ++n) {
+    s.nodes.push_back(engine.node_timing(TNodeId(n)));
+  }
+  return s;
+}
+
+::testing::AssertionResult equal(const Snapshot& a, const Snapshot& b) {
+  for (std::size_t i = 0; i < a.launch.size(); ++i) {
+    if (a.launch[i] != b.launch[i]) {
+      return ::testing::AssertionFailure()
+             << "launch slack of sync " << i << ": " << a.launch[i] << " vs "
+             << b.launch[i];
+    }
+    if (a.capture[i] != b.capture[i]) {
+      return ::testing::AssertionFailure()
+             << "capture slack of sync " << i << ": " << a.capture[i] << " vs "
+             << b.capture[i];
+    }
+  }
+  for (std::size_t n = 0; n < a.nodes.size(); ++n) {
+    const NodeTiming& x = a.nodes[n];
+    const NodeTiming& y = b.nodes[n];
+    if (x.slack != y.slack || !(x.ready == y.ready) ||
+        !(x.required == y.required) || x.has_ready != y.has_ready ||
+        x.has_constraint != y.has_constraint ||
+        x.settling_count != y.settling_count) {
+      return ::testing::AssertionFailure()
+             << "node timing of node " << n << " differs (slack " << x.slack
+             << " vs " << y.slack << ", settling " << x.settling_count << " vs "
+             << y.settling_count << ")";
+    }
+  }
+  return ::testing::AssertionSuccess();
+}
+
+RandomNetworkSpec spec_for(int i) {
+  RandomNetworkSpec spec;
+  spec.seed = 1000 + static_cast<std::uint64_t>(i);
+  spec.num_clocks = 1 + i % 3;
+  spec.banks = 2 + i % 3;
+  spec.bank_width = 2 + (i / 3) % 3;
+  spec.gates_per_stage = 6 + i % 9;
+  spec.transparent_prob = 0.5 + 0.1 * (i % 5);
+  return spec;
+}
+
+// The tentpole differential test: >= 50 seeded random multi-phase networks,
+// each driven through >= 20 random perturbation steps.  Three engines share
+// one SyncModel and one TimingGraph: `ref` recomputes from scratch every
+// step, `inc` updates serially, `par` updates on a pool.  All three must
+// agree exactly at every step.
+TEST(IncrementalDifferential, RandomPerturbationsMatchFullCompute) {
+  auto lib = make_standard_library();
+  ThreadPool pool(4);
+  std::uint64_t total_updates = 0;
+
+  for (int net_i = 0; net_i < 50; ++net_i) {
+    SCOPED_TRACE("network " + std::to_string(net_i));
+    RandomNetwork net = make_random_network(lib, spec_for(net_i));
+    DelayCalculator calc(net.design);
+    TimingGraph graph(net.design, calc);
+    SyncModel sync(graph, net.clocks, calc);
+    ClusterSet clusters(graph, sync);
+
+    SlackEngine ref(graph, clusters, sync);
+    SlackEngine inc(graph, clusters, sync);
+    SlackEngine par(graph, clusters, sync);
+    ref.compute();
+    inc.compute();
+    par.compute(&pool);
+    ASSERT_TRUE(equal(take(ref), take(inc)));
+    ASSERT_TRUE(equal(take(ref), take(par)));
+
+    // Top-level combinational cell instances (delay-perturbation targets).
+    std::vector<InstId> comb;
+    for (std::uint32_t i = 0; i < net.design.top().insts().size(); ++i) {
+      const Instance& inst = net.design.top().inst(InstId(i));
+      if (inst.is_cell() && !net.design.lib().cell(inst.cell).is_sequential()) {
+        comb.push_back(InstId(i));
+      }
+    }
+
+    Rng rng(900 + static_cast<std::uint64_t>(net_i));
+    for (int step = 0; step < 20; ++step) {
+      SCOPED_TRACE("step " + std::to_string(step));
+      switch (rng.uniform(0, 3)) {
+        case 0: {  // shift a transparent element within its legal range
+          const SyncId id(static_cast<std::uint32_t>(rng.pick(sync.num_instances())));
+          const SyncInstance& si = sync.at(id);
+          if (!si.transparent || si.is_virtual) break;
+          const TimePs delta =
+              rng.uniform(-si.max_decrease(), si.max_increase());
+          if (delta != 0) sync.at_mut(id).shift(delta);
+          break;
+        }
+        case 1: {  // move a virtual terminal (PI arrival / PO required)
+          const SyncId id(static_cast<std::uint32_t>(rng.pick(sync.num_instances())));
+          if (!sync.at(id).is_virtual) break;
+          sync.at_mut(id).v_offset += rng.uniform(-200, 200);
+          break;
+        }
+        case 2: {  // reset all offsets to the initial state
+          sync.reset_offsets();
+          break;
+        }
+        default: {  // perturb a combinational instance's delays in place
+          if (comb.empty()) break;
+          const InstId inst = comb[rng.pick(comb.size())];
+          calc.adjust_instance(inst, rng.uniform(-30, 60));
+          const TimingGraph::DelayUpdate upd =
+              graph.update_instance_delays(inst, calc);
+          for (InstId s : upd.affected_sequential) {
+            sync.refresh_element_delays(s, calc);
+          }
+          for (std::uint32_t ai : upd.changed_arcs) {
+            inc.invalidate_node(graph.arc(ai).from);
+            inc.invalidate_node(graph.arc(ai).to);
+            par.invalidate_node(graph.arc(ai).from);
+            par.invalidate_node(graph.arc(ai).to);
+          }
+          break;
+        }
+      }
+      const std::vector<SyncId> changed = sync.drain_changed_offsets();
+      inc.invalidate_offsets(changed);
+      par.invalidate_offsets(changed);
+      inc.update();
+      par.update(&pool);
+      ref.compute();
+      ASSERT_TRUE(equal(take(ref), take(inc)));
+      ASSERT_TRUE(equal(take(ref), take(par)));
+    }
+    total_updates += inc.incremental_stats().updates;
+    EXPECT_EQ(inc.incremental_stats().full_computes, 1u);
+  }
+  EXPECT_GT(total_updates, 0u);
+}
+
+// Hummingbird-level differential: absorb random cell resizes through
+// update_instance_delays (rebuilding when it reports the change cannot be
+// absorbed) and compare every re-analysis against a freshly constructed
+// analyser on the mutated design.
+TEST(IncrementalDifferential, ResizesMatchFreshAnalyser) {
+  auto lib = make_standard_library();
+  for (int net_i = 0; net_i < 8; ++net_i) {
+    SCOPED_TRACE("network " + std::to_string(net_i));
+    RandomNetwork net = make_random_network(lib, spec_for(net_i));
+    Design& design = net.design;
+    auto hb = std::make_unique<Hummingbird>(design, net.clocks);
+    hb->analyze();
+
+    Rng rng(300 + static_cast<std::uint64_t>(net_i));
+    int rebuilds = 0;
+    for (int step = 0; step < 10; ++step) {
+      SCOPED_TRACE("step " + std::to_string(step));
+      const InstId inst(static_cast<std::uint32_t>(
+          rng.pick(design.top().insts().size())));
+      switch (upsize_and_update(design, inst, *hb)) {
+        case ResizeUpdate::kNotResized:
+          continue;  // sequential, submodule, or already strongest
+        case ResizeUpdate::kAbsorbed:
+          break;
+        case ResizeUpdate::kRebuildRequired:
+          hb = std::make_unique<Hummingbird>(design, net.clocks);
+          ++rebuilds;
+          break;
+      }
+      const Algorithm1Result got = hb->analyze();
+      Hummingbird fresh(design, net.clocks);
+      const Algorithm1Result want = fresh.analyze();
+      ASSERT_EQ(got.worst_slack, want.worst_slack);
+      ASSERT_EQ(got.works_as_intended, want.works_as_intended);
+      ASSERT_TRUE(equal(take(fresh.engine()), take(hb->engine())));
+    }
+    // The point of the exercise: resizes are normally absorbed in place.
+    EXPECT_LE(rebuilds, 5);
+  }
+}
+
+// After in-place delay updates the graph must be indistinguishable from a
+// rebuilt one for an independent decision procedure as well: the relaxation
+// baseline (different semantics, same graph + element data).
+TEST(IncrementalDifferential, RelaxationAgreesOnUpdatedGraph) {
+  auto lib = make_standard_library();
+  for (int net_i = 0; net_i < 6; ++net_i) {
+    SCOPED_TRACE("network " + std::to_string(net_i));
+    RandomNetworkSpec spec = spec_for(net_i);
+    spec.banks = 2;
+    spec.bank_width = 2;
+    spec.gates_per_stage = 5;
+    RandomNetwork net = make_random_network(lib, spec);
+    Design& design = net.design;
+    auto hb = std::make_unique<Hummingbird>(design, net.clocks);
+    hb->analyze();
+
+    Rng rng(77 + static_cast<std::uint64_t>(net_i));
+    for (int step = 0; step < 5; ++step) {
+      const InstId inst(static_cast<std::uint32_t>(
+          rng.pick(design.top().insts().size())));
+      if (upsize_and_update(design, inst, *hb) ==
+          ResizeUpdate::kRebuildRequired) {
+        hb = std::make_unique<Hummingbird>(design, net.clocks);
+      }
+    }
+    hb->analyze();
+
+    Hummingbird fresh(design, net.clocks);
+    fresh.analyze();
+    const RelaxationResult a = relaxation_analysis(hb->engine());
+    const RelaxationResult b = relaxation_analysis(fresh.engine());
+    EXPECT_EQ(a.works, b.works);
+    EXPECT_EQ(a.converged, b.converged);
+    EXPECT_EQ(a.rounds, b.rounds);
+    EXPECT_EQ(a.violations.size(), b.violations.size());
+    EXPECT_EQ(a.settling_counts, b.settling_counts);
+  }
+}
+
+// The redesign loop must reach the same design state in all three modes:
+// rebuild-per-iteration, incremental serial, incremental parallel.  The
+// parallel run doubles as the TSan hammer for pass evaluation.
+TEST(IncrementalRedesign, LoopModesAgreeExactly) {
+  auto lib = make_standard_library();
+  auto run = [&](bool incremental, int threads) {
+    AluSpec spec;
+    spec.bits = 16;
+    Design design = make_alu(lib, spec);
+    RedesignOptions options;
+    options.incremental = incremental;
+    options.threads = threads;
+    const RedesignResult res =
+        run_redesign_loop(design, make_single_clock(ps(3400), ps(1400)), options);
+    return std::make_pair(res, total_area_um2(design));
+  };
+
+  const auto [full, full_area] = run(false, 1);
+  const auto [serial, serial_area] = run(true, 1);
+  const auto [parallel, parallel_area] = run(true, 4);
+
+  EXPECT_TRUE(full.met_timing);
+  for (const auto* r : {&serial, &parallel}) {
+    EXPECT_EQ(r->met_timing, full.met_timing);
+    EXPECT_EQ(r->iterations, full.iterations);
+    EXPECT_EQ(r->cells_resized, full.cells_resized);
+    EXPECT_EQ(r->initial_worst_slack, full.initial_worst_slack);
+    EXPECT_EQ(r->final_worst_slack, full.final_worst_slack);
+    EXPECT_EQ(r->final_area_um2, full_area);
+  }
+  EXPECT_EQ(serial_area, full_area);
+  EXPECT_EQ(parallel_area, full_area);
+  // Incremental mode must actually avoid rebuilding the analyser: full mode
+  // rebuilds once per iteration (including the final, successful one).
+  EXPECT_EQ(full.analyser_rebuilds, full.iterations + 1);
+  EXPECT_LT(serial.analyser_rebuilds, full.analyser_rebuilds);
+}
+
+TEST(ThreadPoolTest, RunsEveryTaskExactlyOncePerBatch) {
+  ThreadPool pool(4);
+  EXPECT_EQ(pool.size(), 4);
+  std::vector<std::atomic<int>> hits(500);
+  std::vector<std::function<void()>> tasks;
+  for (int i = 0; i < 500; ++i) {
+    tasks.push_back([&hits, i] { hits[i].fetch_add(1); });
+  }
+  for (int round = 0; round < 25; ++round) {
+    for (auto& h : hits) h.store(0);
+    pool.run_batch(tasks);
+    for (int i = 0; i < 500; ++i) ASSERT_EQ(hits[i].load(), 1);
+  }
+}
+
+TEST(ThreadPoolTest, PropagatesExceptionsAndStaysUsable) {
+  ThreadPool pool(3);
+  std::vector<std::function<void()>> tasks;
+  for (int i = 0; i < 64; ++i) {
+    tasks.push_back([i] {
+      if (i == 13) throw std::runtime_error("boom");
+    });
+  }
+  EXPECT_THROW(pool.run_batch(tasks), std::runtime_error);
+
+  std::atomic<int> count{0};
+  std::vector<std::function<void()>> ok(100, [&count] { count.fetch_add(1); });
+  pool.run_batch(ok);
+  EXPECT_EQ(count.load(), 100);
+}
+
+TEST(ThreadPoolTest, SerialFallbackWithOneThread) {
+  ThreadPool pool(1);
+  EXPECT_EQ(pool.size(), 1);
+  int count = 0;
+  std::vector<std::function<void()>> tasks(10, [&count] { ++count; });
+  pool.run_batch(tasks);
+  EXPECT_EQ(count, 10);
+}
+
+}  // namespace
+}  // namespace hb

@@ -1,9 +1,14 @@
 #include <gtest/gtest.h>
 
 #include "delay/calculator.hpp"
+#include "gen/random_network.hpp"
 #include "netlist/builder.hpp"
 #include "netlist/stdcells.hpp"
+#include "sta/algorithm1.hpp"
+#include "sta/cluster.hpp"
 #include "sta/sync_model.hpp"
+#include "synth/resize.hpp"
+#include "util/rng.hpp"
 
 namespace hb {
 namespace {
@@ -311,6 +316,172 @@ TEST_F(SyncModelTest, ResetRestoresEndOfPulseState) {
   const SyncInstance& si = find(sync, "lat#0");
   EXPECT_EQ(si.odz, -si.ddz);
   EXPECT_EQ(si.ozd, si.width);
+}
+
+// ---------------------------------------------------------------------------
+// Randomized model invariants (paper Section 5).
+//
+// For every transparent generic instance, after ANY sequence of legal
+// transfers the adjustable pair must satisfy
+//     O_zd = W + O_dz + D_dz   (the transparent-latch coupling),
+//     O_zd >= 0                (assertion not before the leading edge),
+//     O_dz <= -D_dz            (closure leaves room for the data delay),
+// and edge-triggered instances must stay pinned at O_dz = O_zd = 0.
+
+void expect_invariants(const SyncModel& sync) {
+  for (std::uint32_t i = 0; i < sync.num_instances(); ++i) {
+    const SyncInstance& si = sync.at(SyncId(i));
+    if (si.is_virtual) continue;
+    if (si.transparent) {
+      ASSERT_EQ(si.ozd, si.width + si.odz + si.ddz) << si.label;
+      ASSERT_GE(si.ozd, 0) << si.label;
+      ASSERT_LE(si.odz, -si.ddz) << si.label;
+    } else {
+      ASSERT_EQ(si.odz, 0) << si.label;
+      ASSERT_EQ(si.ozd, 0) << si.label;
+    }
+  }
+}
+
+class SyncModelPropertyTest : public ::testing::Test {
+ protected:
+  std::shared_ptr<const Library> lib_ = make_standard_library();
+};
+
+TEST_F(SyncModelPropertyTest, InvariantsHoldUnderRandomTransferSequences) {
+  for (int net_i = 0; net_i < 20; ++net_i) {
+    SCOPED_TRACE("network " + std::to_string(net_i));
+    RandomNetworkSpec spec;
+    spec.seed = 4000 + static_cast<std::uint64_t>(net_i);
+    spec.num_clocks = 1 + net_i % 3;
+    spec.banks = 2 + net_i % 3;
+    spec.transparent_prob = 0.8;
+    RandomNetwork net = make_random_network(lib_, spec);
+    DelayCalculator calc(net.design);
+    TimingGraph graph(net.design, calc);
+    SyncModel sync(graph, net.clocks, calc);
+    expect_invariants(sync);
+
+    Rng rng(5000 + static_cast<std::uint64_t>(net_i));
+    for (int step = 0; step < 200; ++step) {
+      const SyncId id(static_cast<std::uint32_t>(rng.pick(sync.num_instances())));
+      const SyncInstance& si = sync.at(id);
+      if (si.is_virtual || !si.transparent) continue;
+      // A legal transfer never exceeds the element bounds, like the
+      // algorithm's sweeps: forward up to max_decrease, backward up to
+      // max_increase.
+      const TimePs delta = rng.chance(0.5)
+                               ? -rng.uniform(0, si.max_decrease())
+                               : rng.uniform(0, si.max_increase());
+      if (delta != 0) sync.at_mut(id).shift(delta);
+      expect_invariants(sync);
+    }
+    sync.reset_offsets();
+    expect_invariants(sync);
+  }
+}
+
+TEST_F(SyncModelPropertyTest, InvariantsHoldAfterAlgorithm1) {
+  for (int net_i = 0; net_i < 10; ++net_i) {
+    SCOPED_TRACE("network " + std::to_string(net_i));
+    RandomNetworkSpec spec;
+    spec.seed = 8000 + static_cast<std::uint64_t>(net_i);
+    spec.num_clocks = 1 + net_i % 2;
+    RandomNetwork net = make_random_network(lib_, spec);
+    DelayCalculator calc(net.design);
+    TimingGraph graph(net.design, calc);
+    SyncModel sync(graph, net.clocks, calc);
+    ClusterSet clusters(graph, sync);
+    SlackEngine engine(graph, clusters, sync);
+    run_algorithm1(sync, engine);
+    expect_invariants(sync);
+  }
+}
+
+// The change log feeding incremental re-analysis: at_mut records
+// conservatively and dedups; draining empties the log; reset_offsets records
+// only instances whose offsets actually move.
+TEST_F(SyncModelPropertyTest, ChangeLogTracksMutationsExactly) {
+  RandomNetworkSpec spec;
+  spec.seed = 42;
+  RandomNetwork net = make_random_network(lib_, spec);
+  DelayCalculator calc(net.design);
+  TimingGraph graph(net.design, calc);
+  SyncModel sync(graph, net.clocks, calc);
+
+  // Construction leaves a clean log.
+  EXPECT_TRUE(sync.changed_offsets().empty());
+
+  // at_mut records, deduplicated, in first-touch order.
+  sync.at_mut(SyncId(3));
+  sync.at_mut(SyncId(1));
+  sync.at_mut(SyncId(3));
+  ASSERT_EQ(sync.changed_offsets().size(), 2u);
+  EXPECT_EQ(sync.changed_offsets()[0], SyncId(3));
+  EXPECT_EQ(sync.changed_offsets()[1], SyncId(1));
+
+  // Draining empties the log and returns it.
+  const std::vector<SyncId> drained = sync.drain_changed_offsets();
+  ASSERT_EQ(drained.size(), 2u);
+  EXPECT_TRUE(sync.changed_offsets().empty());
+
+  // A reset that moves nothing records nothing...
+  sync.reset_offsets();
+  EXPECT_TRUE(sync.changed_offsets().empty());
+
+  // ...and one that moves some transparent instances records exactly those.
+  std::vector<std::uint32_t> shifted;
+  for (std::uint32_t i = 0; i < sync.num_instances(); ++i) {
+    const SyncInstance& si = sync.at(SyncId(i));
+    if (si.transparent && !si.is_virtual && si.max_decrease() >= 10) {
+      sync.at_mut(SyncId(i)).shift(-10);
+      shifted.push_back(i);
+    }
+  }
+  ASSERT_FALSE(shifted.empty());
+  sync.drain_changed_offsets();
+  sync.reset_offsets();
+  std::vector<std::uint32_t> recorded;
+  for (SyncId id : sync.changed_offsets()) recorded.push_back(id.index());
+  std::sort(recorded.begin(), recorded.end());
+  EXPECT_EQ(recorded, shifted);
+}
+
+TEST_F(SyncModelPropertyTest, RefreshElementDelaysPreservesCoupling) {
+  // A latch driving fanout that then gets heavier: D_cz/D_dz must re-derive
+  // and the O_zd coupling must be preserved with O_dz kept.
+  TopBuilder b("t", lib_);
+  const NetId clk = b.port_in("clk", true);
+  const NetId d = b.port_in("d");
+  const NetId q = b.latch("TLATCH", d, clk, "lat");
+  b.port_out_net("y", b.gate("INVX1", {q}, "load"));
+  ClockSet clocks;
+  clocks.add_simple_clock("clk", ns(20), 0, ns(8));
+  Design design = b.finish();
+  DelayCalculator calc(design);
+  TimingGraph graph(design, calc);
+  SyncModel sync(graph, clocks, calc);
+
+  SyncId lat = SyncId::invalid();
+  for (std::uint32_t i = 0; i < sync.num_instances(); ++i) {
+    if (sync.at(SyncId(i)).label == "lat#0") lat = SyncId(i);
+  }
+  ASSERT_TRUE(lat.valid());
+  const SyncInstance before = sync.at(lat);
+  sync.drain_changed_offsets();
+
+  // Make the latch's output load heavier, then refresh.
+  const InstId latch_inst = design.top().find_inst("lat");
+  ASSERT_TRUE(upsize_instance(design, design.top().find_inst("load")));
+  sync.refresh_element_delays(latch_inst, calc);
+
+  const SyncInstance& after = sync.at(lat);
+  EXPECT_GT(after.dcz, before.dcz);
+  EXPECT_EQ(after.odz, before.odz);  // O_dz kept
+  EXPECT_EQ(after.ozd, after.width + after.odz + after.ddz);  // re-coupled
+  // The change landed in the log.
+  ASSERT_EQ(sync.changed_offsets().size(), 1u);
+  EXPECT_EQ(sync.changed_offsets()[0], lat);
 }
 
 }  // namespace
