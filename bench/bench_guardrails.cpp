@@ -1,0 +1,159 @@
+// Cost of the resilient-runtime guardrails on the hot paths.
+//
+// Three guardrails ride along with every analysis and must stay (nearly)
+// free when nothing goes wrong:
+//   * structured diagnostics in the parsers (recovery machinery vs the
+//     legacy fail-fast path on clean input);
+//   * watchdog budgets (BudgetTimer checks between relaxation sweeps);
+//   * cache self-checking (write-time checksums always; paranoid read-back
+//     verification when enabled).
+//
+// Writes BENCH_guardrails.json with the measured overheads; the target is
+// <5% for everything that is on by default (parse recovery, budget checks,
+// write-time checksums are part of the baseline), with the paranoid
+// verification reported separately since it is opt-in.
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "gen/random_network.hpp"
+#include "netlist/netlist_io.hpp"
+#include "netlist/stdcells.hpp"
+#include "sta/cluster.hpp"
+#include "sta/hummingbird.hpp"
+#include "sta/slack_engine.hpp"
+#include "util/cancel.hpp"
+#include "util/diagnostics.hpp"
+
+namespace hb {
+namespace {
+
+double seconds_since(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+template <typename Fn>
+double time_us(int reps, Fn&& fn) {
+  fn(0);  // warm caches so first-run cost doesn't skew the comparison
+  const auto start = std::chrono::steady_clock::now();
+  for (int k = 0; k < reps; ++k) fn(k);
+  return seconds_since(start) * 1e6 / reps;
+}
+
+double pct_over(double base_us, double with_us) {
+  return base_us > 0 ? (with_us - base_us) / base_us * 100.0 : 0.0;
+}
+
+RandomNetwork make_workload(std::shared_ptr<const Library> lib) {
+  RandomNetworkSpec spec;
+  spec.seed = 7;
+  spec.num_clocks = 2;
+  spec.banks = 6;
+  spec.bank_width = 8;
+  spec.gates_per_stage = 120;
+  return make_random_network(lib, spec);
+}
+
+}  // namespace
+}  // namespace hb
+
+int main() {
+  using namespace hb;
+  auto lib = make_standard_library();
+  RandomNetwork net = make_workload(lib);
+  const std::string text = netlist_to_string(net.design);
+
+  // -- Parse: legacy fail-fast vs recovering parser on clean input --------
+  const int parse_reps = 30;
+  const double parse_legacy_us =
+      time_us(parse_reps, [&](int) { netlist_from_string(text, lib); });
+  const double parse_sink_us = time_us(parse_reps, [&](int) {
+    DiagnosticSink sink;
+    netlist_from_string(text, lib, sink);
+  });
+  const double parse_pct = pct_over(parse_legacy_us, parse_sink_us);
+
+  // -- Analysis: no budget vs an (unexhausted) budget + cancel token ------
+  const int analyze_reps = 20;
+  double analyze_plain_us, analyze_budget_us;
+  {
+    Hummingbird analyser(net.design, net.clocks);
+    analyze_plain_us =
+        time_us(analyze_reps, [&](int) { analyser.analyze(); });
+  }
+  {
+    CancelToken cancel;
+    HummingbirdOptions opt;
+    opt.alg1.budget.wall_seconds = 3600;
+    opt.alg1.budget.max_total_cycles = 1 << 30;
+    opt.alg1.budget.cancel = &cancel;
+    Hummingbird analyser(net.design, net.clocks, opt);
+    analyze_budget_us =
+        time_us(analyze_reps, [&](int) { analyser.analyze(); });
+  }
+  const double budget_pct = pct_over(analyze_plain_us, analyze_budget_us);
+
+  // -- Incremental updates: default (write-time checksums only) vs the
+  //    opt-in paranoid read-back verification --------------------------------
+  DelayCalculator calc(net.design);
+  TimingGraph graph(net.design, calc);
+  SyncModel sync(graph, net.clocks, calc);
+  ClusterSet clusters(graph, sync);
+  SlackEngine engine(graph, clusters, sync);
+
+  std::vector<SyncId> latches;
+  for (std::uint32_t i = 0; i < sync.num_instances(); ++i) {
+    const SyncInstance& si = sync.at(SyncId(i));
+    if (si.transparent && !si.is_virtual && si.width >= 4) {
+      latches.push_back(SyncId(i));
+    }
+  }
+
+  const int update_reps = 400;
+  auto run_updates = [&](bool paranoid) {
+    engine.set_self_check(paranoid);
+    sync.reset_offsets();
+    sync.drain_changed_offsets();
+    engine.invalidate_all();
+    engine.compute();
+    return time_us(update_reps, [&](int k) {
+      const SyncId id = latches[static_cast<std::size_t>(k) % latches.size()];
+      SyncInstance& si = sync.at_mut(id);
+      si.shift((k % 2 == 0) ? -std::min<TimePs>(si.max_decrease(), 2)
+                            : std::min<TimePs>(si.max_increase(), 2));
+      engine.invalidate_offsets(sync.drain_changed_offsets());
+      engine.update();
+    });
+  };
+  const double update_default_us = run_updates(false);
+  const double update_paranoid_us = run_updates(true);
+  const double paranoid_pct = pct_over(update_default_us, update_paranoid_us);
+
+  std::printf("guardrail overheads (target < 5%% for defaults):\n");
+  std::printf("  parse      %10.1f -> %10.1f us  (%+.2f%%)\n", parse_legacy_us,
+              parse_sink_us, parse_pct);
+  std::printf("  budget     %10.1f -> %10.1f us  (%+.2f%%)\n", analyze_plain_us,
+              analyze_budget_us, budget_pct);
+  std::printf("  paranoid   %10.1f -> %10.1f us  (%+.2f%%, opt-in)\n",
+              update_default_us, update_paranoid_us, paranoid_pct);
+
+  FILE* json = std::fopen("BENCH_guardrails.json", "w");
+  std::fprintf(json,
+               "{\n"
+               "  \"target_default_overhead_pct\": 5.0,\n"
+               "  \"parse\": {\"legacy_us\": %.1f, \"recovering_us\": %.1f, "
+               "\"overhead_pct\": %.2f},\n"
+               "  \"budget\": {\"plain_us\": %.1f, \"budgeted_us\": %.1f, "
+               "\"overhead_pct\": %.2f},\n"
+               "  \"paranoid_self_check\": {\"default_us\": %.1f, "
+               "\"paranoid_us\": %.1f, \"overhead_pct\": %.2f, \"opt_in\": true}\n"
+               "}\n",
+               parse_legacy_us, parse_sink_us, parse_pct, analyze_plain_us,
+               analyze_budget_us, budget_pct, update_default_us,
+               update_paranoid_us, paranoid_pct);
+  std::fclose(json);
+  std::printf("wrote BENCH_guardrails.json\n");
+  return 0;
+}

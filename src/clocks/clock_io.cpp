@@ -1,27 +1,86 @@
 #include "clocks/clock_io.hpp"
 
-#include <cctype>
 #include <cmath>
 #include <sstream>
 
+#include "util/diagnostics.hpp"
 #include "util/error.hpp"
 
 namespace hb {
 namespace {
 
-[[noreturn]] void spec_error(int lineno, const std::string& msg) {
-  raise("timing spec error at line " + std::to_string(lineno) + ": " + msg);
+/// Statement-level parse failure; caught by the line loop, which records the
+/// diagnostic and resynchronises at the next statement.
+struct ParseAbort {
+  Diagnostic diag;
+};
+
+[[noreturn]] void fail(DiagCode code, int line, int col, std::string msg,
+                       std::string hint = {}) {
+  throw ParseAbort{
+      Diagnostic{code, Severity::kError, SourceLoc{line, col}, std::move(msg),
+                 std::move(hint)}};
 }
 
-std::vector<std::string> tokenize(const std::string& line) {
-  std::vector<std::string> toks;
-  std::istringstream is(line);
-  std::string t;
-  while (is >> t) {
-    if (t[0] == '#') break;
-    toks.push_back(t);
+/// parse_time with a source location on failure.
+TimePs parse_time_at(const Token& t, int lineno) {
+  try {
+    return parse_time(t.text);
+  } catch (const Error& e) {
+    fail(DiagCode::kParseBadNumber, lineno, t.col, e.what(),
+         "times are `<value>[ps|ns|us]`");
   }
-  return toks;
+}
+
+void statement(TimingSpec& spec, const std::vector<Token>& toks, int lineno) {
+  const std::string& kw = toks[0].text;
+  const int at = toks[0].col;
+
+  if (kw == "clock") {
+    // clock <name> period <t> pulse <r> <f> [pulse <r> <f>]...
+    if (toks.size() < 7 || toks[2].text != "period") {
+      fail(DiagCode::kParseSyntax, lineno, at,
+           "expected `clock <name> period <t> pulse <r> <f> ...`");
+    }
+    const TimePs period = parse_time_at(toks[3], lineno);
+    std::vector<ClockPulse> pulses;
+    std::size_t i = 4;
+    while (i < toks.size()) {
+      if (toks[i].text != "pulse" || i + 2 >= toks.size()) {
+        fail(DiagCode::kParseSyntax, lineno, toks[i].col,
+             "expected `pulse <rise> <fall>`");
+      }
+      pulses.push_back(
+          {parse_time_at(toks[i + 1], lineno), parse_time_at(toks[i + 2], lineno)});
+      i += 3;
+    }
+    try {
+      spec.clocks.add_clock(toks[1].text, period, std::move(pulses));
+    } catch (const Error& e) {
+      fail(DiagCode::kParseStructure, lineno, toks[1].col, e.what());
+    }
+  } else if (kw == "input" || kw == "output") {
+    const bool is_input = kw == "input";
+    const char* expect = is_input ? "arrival" : "required";
+    if (toks.size() < 4 || toks[2].text != expect) {
+      fail(DiagCode::kParseSyntax, lineno, at,
+           "expected `" + kw + " <port> " + expect + " <time> [offset <time>]`");
+    }
+    PortTimingSpec p;
+    p.port = toks[1].text;
+    p.time = parse_time_at(toks[3], lineno);
+    if (toks.size() == 6 && toks[4].text == "offset") {
+      p.offset = parse_time_at(toks[5], lineno);
+    } else if (toks.size() != 4) {
+      fail(DiagCode::kParseSyntax, lineno, toks[4].col,
+           "expected `[offset <time>]`");
+    }
+    (is_input ? spec.input_arrivals : spec.output_requireds).push_back(std::move(p));
+  } else {
+    fail(DiagCode::kParseUnknownKeyword, lineno, at,
+         "unknown keyword '" + kw + "'",
+         "timing specs contain clock/input/output statements");
+  }
 }
 
 }  // namespace
@@ -49,55 +108,34 @@ TimePs parse_time(const std::string& text) {
   return static_cast<TimePs>(std::llround(value * scale));
 }
 
-TimingSpec load_timing_spec(std::istream& is) {
+TimingSpec load_timing_spec(std::istream& is, DiagnosticSink& sink) {
   TimingSpec spec;
   std::string line;
   int lineno = 0;
   while (std::getline(is, line)) {
     ++lineno;
-    const auto toks = tokenize(line);
+    const auto toks = split_tokens(line);
     if (toks.empty()) continue;
-    if (toks[0] == "clock") {
-      // clock <name> period <t> pulse <r> <f> [pulse <r> <f>]...
-      if (toks.size() < 7 || toks[2] != "period") {
-        spec_error(lineno, "expected `clock <name> period <t> pulse <r> <f> ...`");
-      }
-      const TimePs period = parse_time(toks[3]);
-      std::vector<ClockPulse> pulses;
-      std::size_t i = 4;
-      while (i < toks.size()) {
-        if (toks[i] != "pulse" || i + 2 >= toks.size()) {
-          spec_error(lineno, "expected `pulse <rise> <fall>`");
-        }
-        pulses.push_back({parse_time(toks[i + 1]), parse_time(toks[i + 2])});
-        i += 3;
-      }
-      try {
-        spec.clocks.add_clock(toks[1], period, std::move(pulses));
-      } catch (const Error& e) {
-        spec_error(lineno, e.what());
-      }
-    } else if (toks[0] == "input" || toks[0] == "output") {
-      const bool is_input = toks[0] == "input";
-      const char* kw = is_input ? "arrival" : "required";
-      if (toks.size() < 4 || toks[2] != kw) {
-        spec_error(lineno, std::string("expected `") + toks[0] + " <port> " + kw +
-                               " <time> [offset <time>]`");
-      }
-      PortTimingSpec p;
-      p.port = toks[1];
-      p.time = parse_time(toks[3]);
-      if (toks.size() == 6 && toks[4] == "offset") {
-        p.offset = parse_time(toks[5]);
-      } else if (toks.size() != 4) {
-        spec_error(lineno, "expected `[offset <time>]`");
-      }
-      (is_input ? spec.input_arrivals : spec.output_requireds).push_back(std::move(p));
-    } else {
-      spec_error(lineno, "unknown keyword '" + toks[0] + "'");
+    try {
+      statement(spec, toks, lineno);
+    } catch (const ParseAbort& abort) {
+      sink.add(abort.diag);
     }
   }
   return spec;
+}
+
+TimingSpec load_timing_spec(std::istream& is) {
+  DiagnosticSink sink;
+  TimingSpec spec = load_timing_spec(is, sink);
+  if (sink.has_errors()) raise_first_error("timing spec error", sink);
+  return spec;
+}
+
+TimingSpec timing_spec_from_string(const std::string& text,
+                                   DiagnosticSink& sink) {
+  std::istringstream is(text);
+  return load_timing_spec(is, sink);
 }
 
 TimingSpec timing_spec_from_string(const std::string& text) {

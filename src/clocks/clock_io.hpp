@@ -16,6 +16,8 @@
 
 namespace hb {
 
+class DiagnosticSink;
+
 /// Arrival / required specification for a top-level data port.
 struct PortTimingSpec {
   std::string port;   // top-level port name
@@ -32,8 +34,15 @@ struct TimingSpec {
 /// Parse "250", "250ps", "3ns", "2.5ns", "1us"; throws hb::Error otherwise.
 TimePs parse_time(const std::string& text);
 
+/// Fail-fast parse: throws hb::Error (with line/col) on the first problem.
 TimingSpec load_timing_spec(std::istream& is);
 TimingSpec timing_spec_from_string(const std::string& text);
+
+/// Recovering parse: problems are recorded in `sink` (with line/col, also
+/// for bad time literals) and parsing continues at the next statement.
+TimingSpec load_timing_spec(std::istream& is, DiagnosticSink& sink);
+TimingSpec timing_spec_from_string(const std::string& text,
+                                   DiagnosticSink& sink);
 
 /// Serialise (round-trips through load_timing_spec).
 std::string timing_spec_to_string(const TimingSpec& spec);

@@ -9,7 +9,7 @@ namespace hb {
 
 ClockEdgeGraph::ClockEdgeGraph(std::vector<TimePs> edge_times, TimePs overall_period)
     : period_(overall_period), times_(std::move(edge_times)) {
-  HB_ASSERT(period_ > 0);
+  if (period_ <= 0) raise("clock edge graph needs a positive overall period");
   std::sort(times_.begin(), times_.end());
   times_.erase(std::unique(times_.begin(), times_.end()), times_.end());
   if (times_.empty()) raise("clock edge graph needs at least one edge");

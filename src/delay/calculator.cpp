@@ -33,7 +33,9 @@ const std::vector<TimingArc>& DelayCalculator::arcs_of(const Instance& inst) con
 }
 
 void DelayCalculator::set_derate(double factor) {
-  HB_ASSERT(factor > 0.0);
+  if (!(factor > 0.0)) {
+    raise("delay derate factor must be positive, got " + std::to_string(factor));
+  }
   derate_ = factor;
   module_cache_.clear();  // combined module arcs bake the factor in
 }

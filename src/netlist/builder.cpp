@@ -61,7 +61,9 @@ NetId TopBuilder::gate(const std::string& cell_name,
   if (next_input != inputs.size()) {
     raise("gate(" + cell_name + "): too many inputs supplied");
   }
-  HB_ASSERT(out_net.valid());
+  if (!out_net.valid()) {
+    raise("gate(): cell '" + cell_name + "' has no output port");
+  }
   return out_net;
 }
 

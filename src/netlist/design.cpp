@@ -57,7 +57,11 @@ InstId Module::add_module_inst(const std::string& name, ModuleId module,
 
 void Module::connect(InstId inst, std::uint32_t port, NetId net) {
   Instance& i = insts_.at(inst.index());
-  HB_ASSERT(port < i.conn.size());
+  if (port >= i.conn.size()) {
+    raise("module '" + name_ + "': port index " + std::to_string(port) +
+          " out of range for instance '" + i.name + "' (" +
+          std::to_string(i.conn.size()) + " ports)");
+  }
   if (i.conn[port].valid()) {
     raise("module '" + name_ + "': port " + std::to_string(port) +
           " of instance '" + i.name + "' connected twice");

@@ -23,7 +23,12 @@ void inline_module(const Design& src, ModuleId mod_id, const std::string& prefix
     }
     if (net.module_ports.size() == 1) {
       NetId outer = port_nets.at(net.module_ports[0]);
-      HB_ASSERT(outer.valid());
+      if (!outer.valid()) {
+        raise("flatten: port of submodule instance '" +
+              prefix.substr(0, prefix.empty() ? 0 : prefix.size() - 1) +
+              "' bound to net '" + net.name +
+              "' is unconnected in the parent module");
+      }
       net_map[n] = outer;
     } else {
       net_map[n] = out.add_net(prefix + net.name);

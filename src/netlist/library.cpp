@@ -23,9 +23,17 @@ std::optional<std::uint32_t> Cell::find_port(const std::string& name) const {
 }
 
 void Cell::add_arc(TimingArc arc) {
-  HB_ASSERT(arc.from_port < ports_.size() && arc.to_port < ports_.size());
-  HB_ASSERT(ports_[arc.from_port].direction == PortDirection::kInput);
-  HB_ASSERT(ports_[arc.to_port].direction == PortDirection::kOutput);
+  if (arc.from_port >= ports_.size() || arc.to_port >= ports_.size()) {
+    raise("cell '" + name_ + "': timing arc references a port index out of range");
+  }
+  if (ports_[arc.from_port].direction != PortDirection::kInput) {
+    raise("cell '" + name_ + "': timing arc source '" +
+          ports_[arc.from_port].name + "' is not an input port");
+  }
+  if (ports_[arc.to_port].direction != PortDirection::kOutput) {
+    raise("cell '" + name_ + "': timing arc target '" +
+          ports_[arc.to_port].name + "' is not an output port");
+  }
   arcs_.push_back(arc);
 }
 

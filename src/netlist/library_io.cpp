@@ -5,6 +5,7 @@
 #include <sstream>
 #include <vector>
 
+#include "util/diagnostics.hpp"
 #include "util/error.hpp"
 
 namespace hb {
@@ -29,42 +30,295 @@ const char* unate_name(Unate u) {
   return "pos";
 }
 
-[[noreturn]] void lib_error(int lineno, const std::string& msg) {
-  raise("library parse error at line " + std::to_string(lineno) + ": " + msg);
+/// Statement-level parse failure; caught by the line loop, which records the
+/// diagnostic and resynchronises at the next statement.
+struct ParseAbort {
+  Diagnostic diag;
+};
+
+[[noreturn]] void fail(DiagCode code, int line, int col, std::string msg,
+                       std::string hint = {}) {
+  throw ParseAbort{
+      Diagnostic{code, Severity::kError, SourceLoc{line, col}, std::move(msg),
+                 std::move(hint)}};
 }
 
-std::vector<std::string> tokenize(const std::string& line) {
-  std::vector<std::string> toks;
-  std::istringstream is(line);
-  std::string t;
-  while (is >> t) {
-    if (t[0] == '#') break;
-    toks.push_back(t);
-  }
-  return toks;
-}
-
-double parse_double(const std::string& s, int lineno) {
+double parse_double(const Token& t, int lineno) {
   try {
     std::size_t pos = 0;
-    const double v = std::stod(s, &pos);
-    if (pos != s.size()) lib_error(lineno, "bad number '" + s + "'");
-    return v;
+    const double v = std::stod(t.text, &pos);
+    if (pos == t.text.size()) return v;
   } catch (const std::exception&) {
-    lib_error(lineno, "bad number '" + s + "'");
   }
+  fail(DiagCode::kParseBadNumber, lineno, t.col, "bad number '" + t.text + "'");
 }
 
-TimePs parse_ps(const std::string& s, int lineno) {
+TimePs parse_ps(const Token& t, int lineno) {
   try {
     std::size_t pos = 0;
-    const long long v = std::stoll(s, &pos);
-    if (pos != s.size()) lib_error(lineno, "bad integer '" + s + "'");
-    return v;
+    const long long v = std::stoll(t.text, &pos);
+    if (pos == t.text.size()) return v;
   } catch (const std::exception&) {
-    lib_error(lineno, "bad integer '" + s + "'");
   }
+  fail(DiagCode::kParseBadNumber, lineno, t.col, "bad integer '" + t.text + "'",
+       "intrinsics and setup are integer picoseconds");
 }
+
+class LibraryParser {
+ public:
+  explicit LibraryParser(DiagnosticSink& sink) : sink_(&sink) {}
+
+  std::shared_ptr<const Library> run(std::istream& is) {
+    std::string line;
+    std::string lib_name;
+    std::vector<Token> pending;
+    while (std::getline(is, line)) {
+      ++lineno_;
+      auto toks = split_tokens(line);
+      if (toks.empty()) continue;
+      if (toks[0].text == "library" && toks.size() == 2) {
+        lib_name = toks[1].text;
+      } else {
+        sink_->add(DiagCode::kParseSyntax, Severity::kError,
+                   SourceLoc{lineno_, toks[0].col}, "expected `library <name>`",
+                   "libraries start with a `library` header");
+        lib_name = "<recovered>";
+        pending = std::move(toks);
+      }
+      break;
+    }
+    if (lib_name.empty()) {
+      sink_->add(DiagCode::kParseEmptyInput, Severity::kFatal, SourceLoc{},
+                 "empty input");
+      return std::make_shared<Library>("<empty>");
+    }
+    lib_ = std::make_shared<Library>(lib_name);
+
+    if (!pending.empty()) statement(pending);
+    while (std::getline(is, line)) {
+      ++lineno_;
+      const auto toks = split_tokens(line);
+      if (toks.empty()) continue;
+      statement(toks);
+    }
+    if (cell_) {
+      sink_->add(DiagCode::kParseUnterminated, Severity::kError,
+                 SourceLoc{lineno_, 0}, "unterminated cell", "add `endcell`");
+    }
+    return lib_;
+  }
+
+ private:
+  void statement(const std::vector<Token>& toks) {
+    try {
+      dispatch(toks);
+    } catch (const ParseAbort& abort) {
+      sink_->add(abort.diag);
+    } catch (const Error& e) {
+      sink_->add(DiagCode::kParseDuplicateName, Severity::kError,
+                 SourceLoc{lineno_, toks[0].col}, e.what());
+    }
+  }
+
+  /// Resolve the current cell's pending arcs and hand it to the library.
+  /// A cell with broken arcs keeps the clean ones; a sequential cell that
+  /// is missing structural ports is dropped entirely (its sync indices
+  /// would be meaningless), which the degraded-mode layer then reports as
+  /// unknown-cell references in the netlist.
+  void finish_cell() {
+    bool keep = true;
+    for (const PendingArc& a : arcs_) {
+      TimingArc arc;
+      const auto from = cell_->find_port(a.from.text);
+      const auto to = cell_->find_port(a.to.text);
+      if (!from || !to) {
+        sink_->add(DiagCode::kParseUnknownName, Severity::kError,
+                   SourceLoc{a.lineno, (!from ? a.from : a.to).col},
+                   "arc references unknown port",
+                   "declare `in`/`out` ports before use");
+        continue;
+      }
+      arc.from_port = *from;
+      arc.to_port = *to;
+      if (a.unate.text == "pos") {
+        arc.unate = Unate::kPositive;
+      } else if (a.unate.text == "neg") {
+        arc.unate = Unate::kNegative;
+      } else if (a.unate.text == "none") {
+        arc.unate = Unate::kNone;
+      } else {
+        sink_->add(DiagCode::kParseSyntax, Severity::kError,
+                   SourceLoc{a.lineno, a.unate.col},
+                   "bad unateness '" + a.unate.text + "'",
+                   "expected pos, neg or none");
+        continue;
+      }
+      arc.intrinsic_rise = a.ir;
+      arc.intrinsic_fall = a.if_;
+      arc.slope_rise = a.sr;
+      arc.slope_fall = a.sf;
+      cell_->add_arc(arc);
+    }
+    if (!family_.empty()) cell_->set_family(family_, drive_);
+    if (cell_->kind() != CellKind::kCombinational) {
+      if (!saw_in_ || !saw_ctrl_ || !saw_out_) {
+        sink_->add(DiagCode::kParseStructure, Severity::kError,
+                   SourceLoc{lineno_, 0},
+                   "sequential cell needs in, ctrl and out ports",
+                   "cell '" + cell_->name() + "' dropped");
+        keep = false;
+      } else {
+        cell_->set_sync(sync_);
+      }
+    }
+    if (keep) lib_->add_cell(std::move(*cell_));
+    cell_.reset();
+  }
+
+  void dispatch(const std::vector<Token>& toks) {
+    const std::string& kw = toks[0].text;
+    const int at = toks[0].col;
+
+    if (kw == "cell") {
+      if (cell_) {
+        sink_->add(DiagCode::kParseStructure, Severity::kError,
+                   SourceLoc{lineno_, at}, "nested cell",
+                   "previous cell closed implicitly");
+        finish_cell();
+      }
+      if (toks.size() != 3) {
+        fail(DiagCode::kParseSyntax, lineno_, at, "expected `cell <name> <kind>`");
+      }
+      CellKind kind;
+      if (toks[2].text == "comb") {
+        kind = CellKind::kCombinational;
+      } else if (toks[2].text == "edge") {
+        kind = CellKind::kEdgeTriggeredLatch;
+      } else if (toks[2].text == "transparent") {
+        kind = CellKind::kTransparentLatch;
+      } else if (toks[2].text == "tristate") {
+        kind = CellKind::kTristateDriver;
+      } else {
+        fail(DiagCode::kParseSyntax, lineno_, toks[2].col,
+             "bad cell kind '" + toks[2].text + "'",
+             "expected comb, edge, transparent or tristate");
+      }
+      cell_.emplace(toks[1].text, kind);
+      sync_ = SyncSpec{};
+      saw_in_ = saw_ctrl_ = saw_out_ = false;
+      family_.clear();
+      drive_ = 1;
+      arcs_.clear();
+      return;
+    }
+    if (!cell_) {
+      fail(DiagCode::kParseStructure, lineno_, at,
+           "statement outside cell: " + kw);
+    }
+
+    if (kw == "endcell") {
+      finish_cell();
+    } else if (kw == "family") {
+      if (toks.size() != 3) {
+        fail(DiagCode::kParseSyntax, lineno_, at, "expected `family <name> <drive>`");
+      }
+      family_ = toks[1].text;
+      drive_ = static_cast<int>(parse_ps(toks[2], lineno_));
+    } else if (kw == "area") {
+      if (toks.size() != 2) {
+        fail(DiagCode::kParseSyntax, lineno_, at, "expected `area <um2>`");
+      }
+      cell_->set_area(parse_double(toks[1], lineno_));
+    } else if (kw == "in" || kw == "ctrl") {
+      if (toks.size() != 3) {
+        fail(DiagCode::kParseSyntax, lineno_, at,
+             "expected `" + kw + " <port> <cap>`");
+      }
+      Port p;
+      p.name = toks[1].text;
+      p.direction = PortDirection::kInput;
+      p.role = kw == "ctrl" ? PortRole::kControl : PortRole::kData;
+      p.cap_ff = parse_double(toks[2], lineno_);
+      const std::uint32_t idx = cell_->add_port(p);
+      if (kw == "ctrl") {
+        sync_.control = idx;
+        saw_ctrl_ = true;
+      } else if (!saw_in_) {
+        sync_.data_in = idx;
+        saw_in_ = true;
+      }
+    } else if (kw == "out") {
+      if (toks.size() != 2) {
+        fail(DiagCode::kParseSyntax, lineno_, at, "expected `out <port>`");
+      }
+      Port p;
+      p.name = toks[1].text;
+      p.direction = PortDirection::kOutput;
+      const std::uint32_t idx = cell_->add_port(p);
+      if (!saw_out_) {
+        sync_.data_out = idx;
+        saw_out_ = true;
+      }
+    } else if (kw == "arc") {
+      if (toks.size() != 8) {
+        fail(DiagCode::kParseSyntax, lineno_, at,
+             "expected `arc <from> <to> <unate> <ir> <if> <sr> <sf>`");
+      }
+      arcs_.push_back({toks[1], toks[2], toks[3], parse_ps(toks[4], lineno_),
+                       parse_ps(toks[5], lineno_), parse_double(toks[6], lineno_),
+                       parse_double(toks[7], lineno_), lineno_});
+    } else if (kw == "trigger") {
+      if (toks.size() != 2) {
+        fail(DiagCode::kParseSyntax, lineno_, at, "expected `trigger <edge>`");
+      }
+      if (toks[1].text == "leading") {
+        sync_.trigger = TriggerEdge::kLeading;
+      } else if (toks[1].text == "trailing") {
+        sync_.trigger = TriggerEdge::kTrailing;
+      } else {
+        fail(DiagCode::kParseSyntax, lineno_, toks[1].col,
+             "bad trigger '" + toks[1].text + "'",
+             "expected leading or trailing");
+      }
+    } else if (kw == "active") {
+      if (toks.size() != 2) {
+        fail(DiagCode::kParseSyntax, lineno_, at, "expected `active <high|low>`");
+      }
+      if (toks[1].text != "high" && toks[1].text != "low") {
+        fail(DiagCode::kParseSyntax, lineno_, toks[1].col,
+             "bad active level '" + toks[1].text + "'");
+      }
+      sync_.active_high = toks[1].text == "high";
+    } else if (kw == "setup") {
+      if (toks.size() != 2) {
+        fail(DiagCode::kParseSyntax, lineno_, at, "expected `setup <ps>`");
+      }
+      sync_.setup = parse_ps(toks[1], lineno_);
+    } else {
+      fail(DiagCode::kParseUnknownKeyword, lineno_, at,
+           "unknown keyword '" + kw + "'");
+    }
+  }
+
+  // Arcs are recorded by name and resolved at endcell (ports must exist by
+  // then, whatever the declaration order).
+  struct PendingArc {
+    Token from, to, unate;
+    TimePs ir, if_;
+    double sr, sf;
+    int lineno;
+  };
+
+  DiagnosticSink* sink_;
+  std::shared_ptr<Library> lib_;
+  int lineno_ = 0;
+  std::optional<Cell> cell_;
+  SyncSpec sync_;
+  bool saw_in_ = false, saw_ctrl_ = false, saw_out_ = false;
+  std::string family_;
+  int drive_ = 1;
+  std::vector<PendingArc> arcs_;
+};
 
 }  // namespace
 
@@ -113,165 +367,22 @@ std::string library_to_string(const Library& lib) {
   return os.str();
 }
 
+std::shared_ptr<const Library> load_library(std::istream& is,
+                                            DiagnosticSink& sink) {
+  return LibraryParser(sink).run(is);
+}
+
 std::shared_ptr<const Library> load_library(std::istream& is) {
-  std::string line;
-  int lineno = 0;
-  std::string lib_name;
-  while (std::getline(is, line)) {
-    ++lineno;
-    const auto toks = tokenize(line);
-    if (toks.empty()) continue;
-    if (toks[0] != "library" || toks.size() != 2) {
-      lib_error(lineno, "expected `library <name>`");
-    }
-    lib_name = toks[1];
-    break;
-  }
-  if (lib_name.empty()) raise("library parse error: empty input");
-  auto lib = std::make_shared<Library>(lib_name);
-
-  std::optional<Cell> cell;
-  CellKind kind = CellKind::kCombinational;
-  SyncSpec sync;
-  bool saw_in = false, saw_ctrl = false, saw_out = false;
-  std::string family;
-  int drive = 1;
-  // Arcs are recorded by name and resolved at endcell (ports must exist by
-  // then, whatever the declaration order).
-  struct PendingArc {
-    std::string from, to, unate;
-    TimePs ir, if_;
-    double sr, sf;
-    int lineno;
-  };
-  std::vector<PendingArc> arcs;
-
-  while (std::getline(is, line)) {
-    ++lineno;
-    const auto toks = tokenize(line);
-    if (toks.empty()) continue;
-    const std::string& kw = toks[0];
-
-    if (kw == "cell") {
-      if (cell) lib_error(lineno, "nested cell");
-      if (toks.size() != 3) lib_error(lineno, "expected `cell <name> <kind>`");
-      if (toks[2] == "comb") {
-        kind = CellKind::kCombinational;
-      } else if (toks[2] == "edge") {
-        kind = CellKind::kEdgeTriggeredLatch;
-      } else if (toks[2] == "transparent") {
-        kind = CellKind::kTransparentLatch;
-      } else if (toks[2] == "tristate") {
-        kind = CellKind::kTristateDriver;
-      } else {
-        lib_error(lineno, "bad cell kind '" + toks[2] + "'");
-      }
-      cell.emplace(toks[1], kind);
-      sync = SyncSpec{};
-      saw_in = saw_ctrl = saw_out = false;
-      family.clear();
-      drive = 1;
-      arcs.clear();
-      continue;
-    }
-    if (!cell) lib_error(lineno, "statement outside cell: " + kw);
-
-    if (kw == "endcell") {
-      for (const PendingArc& a : arcs) {
-        TimingArc arc;
-        const auto from = cell->find_port(a.from);
-        const auto to = cell->find_port(a.to);
-        if (!from || !to) lib_error(a.lineno, "arc references unknown port");
-        arc.from_port = *from;
-        arc.to_port = *to;
-        if (a.unate == "pos") {
-          arc.unate = Unate::kPositive;
-        } else if (a.unate == "neg") {
-          arc.unate = Unate::kNegative;
-        } else if (a.unate == "none") {
-          arc.unate = Unate::kNone;
-        } else {
-          lib_error(a.lineno, "bad unateness '" + a.unate + "'");
-        }
-        arc.intrinsic_rise = a.ir;
-        arc.intrinsic_fall = a.if_;
-        arc.slope_rise = a.sr;
-        arc.slope_fall = a.sf;
-        cell->add_arc(arc);
-      }
-      if (!family.empty()) cell->set_family(family, drive);
-      if (cell->kind() != CellKind::kCombinational) {
-        if (!saw_in || !saw_ctrl || !saw_out) {
-          lib_error(lineno, "sequential cell needs in, ctrl and out ports");
-        }
-        cell->set_sync(sync);
-      }
-      lib->add_cell(std::move(*cell));
-      cell.reset();
-    } else if (kw == "family") {
-      if (toks.size() != 3) lib_error(lineno, "expected `family <name> <drive>`");
-      family = toks[1];
-      drive = static_cast<int>(parse_ps(toks[2], lineno));
-    } else if (kw == "area") {
-      if (toks.size() != 2) lib_error(lineno, "expected `area <um2>`");
-      cell->set_area(parse_double(toks[1], lineno));
-    } else if (kw == "in" || kw == "ctrl") {
-      if (toks.size() != 3) lib_error(lineno, "expected `" + kw + " <port> <cap>`");
-      Port p;
-      p.name = toks[1];
-      p.direction = PortDirection::kInput;
-      p.role = kw == "ctrl" ? PortRole::kControl : PortRole::kData;
-      p.cap_ff = parse_double(toks[2], lineno);
-      const std::uint32_t idx = cell->add_port(p);
-      if (kw == "ctrl") {
-        sync.control = idx;
-        saw_ctrl = true;
-      } else if (!saw_in) {
-        sync.data_in = idx;
-        saw_in = true;
-      }
-    } else if (kw == "out") {
-      if (toks.size() != 2) lib_error(lineno, "expected `out <port>`");
-      Port p;
-      p.name = toks[1];
-      p.direction = PortDirection::kOutput;
-      const std::uint32_t idx = cell->add_port(p);
-      if (!saw_out) {
-        sync.data_out = idx;
-        saw_out = true;
-      }
-    } else if (kw == "arc") {
-      if (toks.size() != 8) {
-        lib_error(lineno,
-                  "expected `arc <from> <to> <unate> <ir> <if> <sr> <sf>`");
-      }
-      arcs.push_back({toks[1], toks[2], toks[3], parse_ps(toks[4], lineno),
-                      parse_ps(toks[5], lineno), parse_double(toks[6], lineno),
-                      parse_double(toks[7], lineno), lineno});
-    } else if (kw == "trigger") {
-      if (toks.size() != 2) lib_error(lineno, "expected `trigger <edge>`");
-      if (toks[1] == "leading") {
-        sync.trigger = TriggerEdge::kLeading;
-      } else if (toks[1] == "trailing") {
-        sync.trigger = TriggerEdge::kTrailing;
-      } else {
-        lib_error(lineno, "bad trigger '" + toks[1] + "'");
-      }
-    } else if (kw == "active") {
-      if (toks.size() != 2) lib_error(lineno, "expected `active <high|low>`");
-      sync.active_high = toks[1] == "high";
-      if (toks[1] != "high" && toks[1] != "low") {
-        lib_error(lineno, "bad active level '" + toks[1] + "'");
-      }
-    } else if (kw == "setup") {
-      if (toks.size() != 2) lib_error(lineno, "expected `setup <ps>`");
-      sync.setup = parse_ps(toks[1], lineno);
-    } else {
-      lib_error(lineno, "unknown keyword '" + kw + "'");
-    }
-  }
-  if (cell) raise("library parse error: unterminated cell");
+  DiagnosticSink sink;
+  auto lib = load_library(is, sink);
+  if (sink.has_errors()) raise_first_error("library parse error", sink);
   return lib;
+}
+
+std::shared_ptr<const Library> library_from_string(const std::string& text,
+                                                   DiagnosticSink& sink) {
+  std::istringstream is(text);
+  return load_library(is, sink);
 }
 
 std::shared_ptr<const Library> library_from_string(const std::string& text) {

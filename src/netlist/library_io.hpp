@@ -27,10 +27,22 @@
 
 namespace hb {
 
+class DiagnosticSink;
+
 void save_library(const Library& lib, std::ostream& os);
 std::string library_to_string(const Library& lib);
 
+/// Fail-fast parse: throws hb::Error (with line/col) on the first problem.
 std::shared_ptr<const Library> load_library(std::istream& is);
 std::shared_ptr<const Library> library_from_string(const std::string& text);
+
+/// Recovering parse: problems are recorded in `sink` and parsing continues
+/// at the next statement.  Cells with broken arcs keep their clean arcs;
+/// sequential cells missing structural ports are dropped.  Callers must
+/// check sink.has_errors() before trusting the result.
+std::shared_ptr<const Library> load_library(std::istream& is,
+                                            DiagnosticSink& sink);
+std::shared_ptr<const Library> library_from_string(const std::string& text,
+                                                   DiagnosticSink& sink);
 
 }  // namespace hb

@@ -5,23 +5,292 @@
 #include <sstream>
 #include <vector>
 
+#include "util/diagnostics.hpp"
+
 namespace hb {
 namespace {
 
-std::vector<std::string> tokenize(const std::string& line) {
-  std::vector<std::string> toks;
-  std::istringstream is(line);
-  std::string t;
-  while (is >> t) {
-    if (t[0] == '#') break;
-    toks.push_back(t);
+void save_module(const Design& design, const Module& mod, std::ostream& os) {
+  os << "module " << mod.name() << "\n";
+  for (const ModulePort& p : mod.ports()) {
+    os << "  port " << p.name << ' '
+       << (p.direction == PortDirection::kInput ? "input" : "output");
+    if (p.is_clock) os << " clock";
+    os << "\n";
   }
-  return toks;
+  for (const Instance& inst : mod.insts()) {
+    if (inst.is_cell()) {
+      os << "  inst " << inst.name << ' ' << design.lib().cell(inst.cell).name()
+         << "\n";
+    } else {
+      os << "  minst " << inst.name << ' ' << design.module(inst.module).name()
+         << "\n";
+    }
+  }
+  for (std::uint32_t n = 0; n < mod.num_nets(); ++n) {
+    os << "  net " << mod.net(NetId(n)).name << "\n";
+  }
+  for (std::uint32_t n = 0; n < mod.num_nets(); ++n) {
+    const Net& net = mod.net(NetId(n));
+    for (const PinRef& pin : net.pins) {
+      const Instance& inst = mod.inst(pin.inst);
+      os << "  conn " << net.name << ' ' << inst.name << '.'
+         << design.target_port_name(inst, pin.port) << "\n";
+    }
+    for (std::uint32_t p : net.module_ports) {
+      os << "  bind " << net.name << ' ' << mod.port(p).name << "\n";
+    }
+  }
+  os << "endmodule\n";
 }
 
-[[noreturn]] void parse_error(int lineno, const std::string& msg) {
-  raise("netlist parse error at line " + std::to_string(lineno) + ": " + msg);
+/// Statement-level parse failure; caught by the line loop, which records the
+/// diagnostic and resynchronises at the next statement.
+struct ParseAbort {
+  Diagnostic diag;
+};
+
+[[noreturn]] void fail(DiagCode code, int line, int col, std::string msg,
+                       std::string hint = {}) {
+  throw ParseAbort{
+      Diagnostic{code, Severity::kError, SourceLoc{line, col}, std::move(msg),
+                 std::move(hint)}};
 }
+
+class NetlistParser {
+ public:
+  NetlistParser(std::shared_ptr<const Library> lib, DiagnosticSink& sink)
+      : lib_(std::move(lib)), sink_(&sink) {}
+
+  Design run(std::istream& is) {
+    std::string line;
+
+    // Header: the first statement must be `design <name>`.  On a malformed
+    // header, recover with a placeholder name and reprocess the line as an
+    // ordinary statement.
+    std::string design_name;
+    std::vector<Token> pending;
+    while (std::getline(is, line)) {
+      ++lineno_;
+      auto toks = split_tokens(line);
+      if (toks.empty()) continue;
+      if (toks[0].text == "design" && toks.size() == 2) {
+        design_name = toks[1].text;
+      } else {
+        sink_->add(DiagCode::kParseSyntax, Severity::kError,
+                   SourceLoc{lineno_, toks[0].col}, "expected `design <name>`",
+                   "netlists start with a `design` header");
+        design_name = "<recovered>";
+        pending = std::move(toks);
+      }
+      break;
+    }
+    if (design_name.empty()) {
+      sink_->add(DiagCode::kParseEmptyInput, Severity::kFatal, SourceLoc{},
+                 "empty input");
+      return Design("<empty>", lib_);
+    }
+
+    Design design(design_name, lib_);
+    if (!pending.empty()) statement(design, pending);
+    while (std::getline(is, line)) {
+      ++lineno_;
+      const auto toks = split_tokens(line);
+      if (toks.empty()) continue;
+      statement(design, toks);
+    }
+    if (cur_ != nullptr) {
+      sink_->add(DiagCode::kParseUnterminated, Severity::kError,
+                 SourceLoc{lineno_, 0}, "unterminated module",
+                 "add `endmodule`");
+      cur_ = nullptr;
+    }
+    if (!design.top_id().valid()) {
+      if (design.num_modules() == 0) {
+        sink_->add(DiagCode::kParseEmptyInput, Severity::kFatal,
+                   SourceLoc{lineno_, 0}, "input declares no module");
+      } else {
+        // Recover: the last declared module is almost always the intended
+        // top (the writer emits children before parents).
+        const ModuleId last = ModuleId(design.num_modules() - 1);
+        sink_->add(DiagCode::kParseStructure, Severity::kError,
+                   SourceLoc{lineno_, 0},
+                   "no `top` statement; assuming module '" +
+                       design.module(last).name() + "'",
+                   "end the file with `top <module>`");
+        design.set_top(last);
+      }
+    }
+    return design;
+  }
+
+ private:
+  void statement(Design& design, const std::vector<Token>& toks) {
+    try {
+      dispatch(design, toks);
+    } catch (const ParseAbort& abort) {
+      sink_->add(abort.diag);
+    } catch (const Error& e) {
+      // Database-level rejections (duplicate names, re-bound ports, ...)
+      // become diagnostics at the statement that triggered them.
+      sink_->add(DiagCode::kParseDuplicateName, Severity::kError,
+                 SourceLoc{lineno_, toks[0].col}, e.what());
+    }
+  }
+
+  void dispatch(Design& design, const std::vector<Token>& toks) {
+    const std::string& kw = toks[0].text;
+    const int at = toks[0].col;
+
+    if (kw == "module") {
+      if (cur_ != nullptr) {
+        sink_->add(DiagCode::kParseStructure, Severity::kError,
+                   SourceLoc{lineno_, at}, "nested module",
+                   "previous module closed implicitly");
+        cur_ = nullptr;
+      }
+      if (toks.size() != 2) {
+        fail(DiagCode::kParseSyntax, lineno_, at, "expected `module <name>`");
+      }
+      cur_id_ = design.add_module(toks[1].text);
+      cur_ = &design.module_mut(cur_id_);
+    } else if (kw == "endmodule") {
+      if (cur_ == nullptr) {
+        fail(DiagCode::kParseStructure, lineno_, at, "endmodule outside module");
+      }
+      cur_ = nullptr;
+    } else if (kw == "top") {
+      if (cur_ != nullptr) {
+        fail(DiagCode::kParseStructure, lineno_, at, "top inside module");
+      }
+      if (toks.size() != 2) {
+        fail(DiagCode::kParseSyntax, lineno_, at, "expected `top <module>`");
+      }
+      ModuleId top = design.find_module(toks[1].text);
+      if (!top.valid()) {
+        fail(DiagCode::kParseUnknownName, lineno_, toks[1].col,
+             "unknown top module '" + toks[1].text + "'");
+      }
+      design.set_top(top);
+    } else if (cur_ == nullptr) {
+      fail(DiagCode::kParseStructure, lineno_, at,
+           "statement outside module: " + kw);
+    } else if (kw == "port") {
+      if (toks.size() < 3 || toks.size() > 4) {
+        fail(DiagCode::kParseSyntax, lineno_, at,
+             "expected `port <name> <input|output> [clock]`");
+      }
+      PortDirection dir;
+      if (toks[2].text == "input") {
+        dir = PortDirection::kInput;
+      } else if (toks[2].text == "output") {
+        dir = PortDirection::kOutput;
+      } else {
+        fail(DiagCode::kParseSyntax, lineno_, toks[2].col,
+             "bad port direction '" + toks[2].text + "'");
+      }
+      bool is_clock = false;
+      if (toks.size() == 4) {
+        if (toks[3].text != "clock") {
+          fail(DiagCode::kParseSyntax, lineno_, toks[3].col, "expected `clock`");
+        }
+        is_clock = true;
+      }
+      cur_->add_port(toks[1].text, dir, is_clock);
+    } else if (kw == "inst") {
+      if (toks.size() != 3) {
+        fail(DiagCode::kParseSyntax, lineno_, at, "expected `inst <name> <cell>`");
+      }
+      CellId cell = design.lib().find(toks[2].text);
+      if (!cell.valid()) {
+        fail(DiagCode::kParseUnknownName, lineno_, toks[2].col,
+             "unknown cell '" + toks[2].text + "'");
+      }
+      cur_->add_cell_inst(toks[1].text, cell,
+                          design.lib().cell(cell).ports().size());
+    } else if (kw == "minst") {
+      if (toks.size() != 3) {
+        fail(DiagCode::kParseSyntax, lineno_, at,
+             "expected `minst <name> <module>`");
+      }
+      ModuleId sub = design.find_module(toks[2].text);
+      if (!sub.valid()) {
+        fail(DiagCode::kParseUnknownName, lineno_, toks[2].col,
+             "unknown module '" + toks[2].text + "'",
+             "modules must be declared before they are instantiated");
+      }
+      if (sub == cur_id_) {
+        fail(DiagCode::kParseStructure, lineno_, toks[2].col,
+             "module instantiates itself");
+      }
+      cur_->add_module_inst(toks[1].text, sub,
+                            design.module(sub).ports().size());
+    } else if (kw == "net") {
+      if (toks.size() != 2) {
+        fail(DiagCode::kParseSyntax, lineno_, at, "expected `net <name>`");
+      }
+      cur_->add_net(toks[1].text);
+    } else if (kw == "conn") {
+      if (toks.size() != 3) {
+        fail(DiagCode::kParseSyntax, lineno_, at,
+             "expected `conn <net> <inst>.<port>`");
+      }
+      NetId net = cur_->find_net(toks[1].text);
+      if (!net.valid()) {
+        fail(DiagCode::kParseUnknownName, lineno_, toks[1].col,
+             "unknown net '" + toks[1].text + "'",
+             "declare it with `net` before `conn`");
+      }
+      auto dot = toks[2].text.find('.');
+      if (dot == std::string::npos) {
+        fail(DiagCode::kParseSyntax, lineno_, toks[2].col,
+             "expected <inst>.<port>");
+      }
+      InstId inst = cur_->find_inst(toks[2].text.substr(0, dot));
+      if (!inst.valid()) {
+        fail(DiagCode::kParseUnknownName, lineno_, toks[2].col,
+             "unknown instance '" + toks[2].text.substr(0, dot) + "'");
+      }
+      const std::string port_name = toks[2].text.substr(dot + 1);
+      const Instance& i = cur_->inst(inst);
+      std::optional<std::uint32_t> port;
+      if (i.is_cell()) {
+        port = design.lib().cell(i.cell).find_port(port_name);
+      } else {
+        port = design.module(i.module).find_port(port_name);
+      }
+      if (!port) {
+        fail(DiagCode::kParseUnknownName, lineno_, toks[2].col,
+             "unknown port '" + port_name + "'");
+      }
+      cur_->connect(inst, *port, net);
+    } else if (kw == "bind") {
+      if (toks.size() != 3) {
+        fail(DiagCode::kParseSyntax, lineno_, at, "expected `bind <net> <port>`");
+      }
+      NetId net = cur_->find_net(toks[1].text);
+      if (!net.valid()) {
+        fail(DiagCode::kParseUnknownName, lineno_, toks[1].col,
+             "unknown net '" + toks[1].text + "'");
+      }
+      auto port = cur_->find_port(toks[2].text);
+      if (!port) {
+        fail(DiagCode::kParseUnknownName, lineno_, toks[2].col,
+             "unknown port '" + toks[2].text + "'");
+      }
+      cur_->bind_port(*port, net);
+    } else {
+      fail(DiagCode::kParseUnknownKeyword, lineno_, at,
+           "unknown keyword '" + kw + "'");
+    }
+  }
+
+  std::shared_ptr<const Library> lib_;
+  DiagnosticSink* sink_;
+  int lineno_ = 0;
+  Module* cur_ = nullptr;
+  ModuleId cur_id_;
+};
 
 }  // namespace
 
@@ -44,38 +313,7 @@ void save_netlist(const Design& design, std::ostream& os) {
   for (std::uint32_t m = 0; m < design.num_modules(); ++m) visit(m);
 
   for (std::uint32_t m : order) {
-    const Module& mod = design.module(ModuleId(m));
-    os << "module " << mod.name() << "\n";
-    for (const ModulePort& p : mod.ports()) {
-      os << "  port " << p.name << ' '
-         << (p.direction == PortDirection::kInput ? "input" : "output");
-      if (p.is_clock) os << " clock";
-      os << "\n";
-    }
-    for (const Instance& inst : mod.insts()) {
-      if (inst.is_cell()) {
-        os << "  inst " << inst.name << ' ' << design.lib().cell(inst.cell).name()
-           << "\n";
-      } else {
-        os << "  minst " << inst.name << ' ' << design.module(inst.module).name()
-           << "\n";
-      }
-    }
-    for (std::uint32_t n = 0; n < mod.num_nets(); ++n) {
-      os << "  net " << mod.net(NetId(n)).name << "\n";
-    }
-    for (std::uint32_t n = 0; n < mod.num_nets(); ++n) {
-      const Net& net = mod.net(NetId(n));
-      for (const PinRef& pin : net.pins) {
-        const Instance& inst = mod.inst(pin.inst);
-        os << "  conn " << net.name << ' ' << inst.name << '.'
-           << design.target_port_name(inst, pin.port) << "\n";
-      }
-      for (std::uint32_t p : net.module_ports) {
-        os << "  bind " << net.name << ' ' << mod.port(p).name << "\n";
-      }
-    }
-    os << "endmodule\n";
+    save_module(design, design.module(ModuleId(m)), os);
   }
   if (design.top_id().valid()) {
     os << "top " << design.top().name() << "\n";
@@ -88,115 +326,23 @@ std::string netlist_to_string(const Design& design) {
   return os.str();
 }
 
+Design load_netlist(std::istream& is, std::shared_ptr<const Library> lib,
+                    DiagnosticSink& sink) {
+  return NetlistParser(std::move(lib), sink).run(is);
+}
+
 Design load_netlist(std::istream& is, std::shared_ptr<const Library> lib) {
-  std::string line;
-  int lineno = 0;
-
-  // First line must be `design <name>`.
-  std::string design_name;
-  while (std::getline(is, line)) {
-    ++lineno;
-    auto toks = tokenize(line);
-    if (toks.empty()) continue;
-    if (toks[0] != "design" || toks.size() != 2) {
-      parse_error(lineno, "expected `design <name>`");
-    }
-    design_name = toks[1];
-    break;
-  }
-  if (design_name.empty()) raise("netlist parse error: empty input");
-
-  Design design(design_name, std::move(lib));
-  Module* cur = nullptr;
-  ModuleId cur_id;
-
-  while (std::getline(is, line)) {
-    ++lineno;
-    auto toks = tokenize(line);
-    if (toks.empty()) continue;
-    const std::string& kw = toks[0];
-
-    if (kw == "module") {
-      if (cur != nullptr) parse_error(lineno, "nested module");
-      if (toks.size() != 2) parse_error(lineno, "expected `module <name>`");
-      cur_id = design.add_module(toks[1]);
-      cur = &design.module_mut(cur_id);
-    } else if (kw == "endmodule") {
-      if (cur == nullptr) parse_error(lineno, "endmodule outside module");
-      cur = nullptr;
-    } else if (kw == "top") {
-      if (cur != nullptr) parse_error(lineno, "top inside module");
-      if (toks.size() != 2) parse_error(lineno, "expected `top <module>`");
-      ModuleId top = design.find_module(toks[1]);
-      if (!top.valid()) parse_error(lineno, "unknown top module '" + toks[1] + "'");
-      design.set_top(top);
-    } else if (cur == nullptr) {
-      parse_error(lineno, "statement outside module: " + kw);
-    } else if (kw == "port") {
-      if (toks.size() < 3 || toks.size() > 4) {
-        parse_error(lineno, "expected `port <name> <input|output> [clock]`");
-      }
-      PortDirection dir;
-      if (toks[2] == "input") {
-        dir = PortDirection::kInput;
-      } else if (toks[2] == "output") {
-        dir = PortDirection::kOutput;
-      } else {
-        parse_error(lineno, "bad port direction '" + toks[2] + "'");
-      }
-      bool is_clock = false;
-      if (toks.size() == 4) {
-        if (toks[3] != "clock") parse_error(lineno, "expected `clock`");
-        is_clock = true;
-      }
-      cur->add_port(toks[1], dir, is_clock);
-    } else if (kw == "inst") {
-      if (toks.size() != 3) parse_error(lineno, "expected `inst <name> <cell>`");
-      CellId cell = design.lib().find(toks[2]);
-      if (!cell.valid()) parse_error(lineno, "unknown cell '" + toks[2] + "'");
-      cur->add_cell_inst(toks[1], cell, design.lib().cell(cell).ports().size());
-    } else if (kw == "minst") {
-      if (toks.size() != 3) parse_error(lineno, "expected `minst <name> <module>`");
-      ModuleId sub = design.find_module(toks[2]);
-      if (!sub.valid()) parse_error(lineno, "unknown module '" + toks[2] + "'");
-      if (sub == cur_id) parse_error(lineno, "module instantiates itself");
-      cur->add_module_inst(toks[1], sub, design.module(sub).ports().size());
-    } else if (kw == "net") {
-      if (toks.size() != 2) parse_error(lineno, "expected `net <name>`");
-      cur->add_net(toks[1]);
-    } else if (kw == "conn") {
-      if (toks.size() != 3) parse_error(lineno, "expected `conn <net> <inst>.<port>`");
-      NetId net = cur->find_net(toks[1]);
-      if (!net.valid()) parse_error(lineno, "unknown net '" + toks[1] + "'");
-      auto dot = toks[2].find('.');
-      if (dot == std::string::npos) parse_error(lineno, "expected <inst>.<port>");
-      InstId inst = cur->find_inst(toks[2].substr(0, dot));
-      if (!inst.valid()) {
-        parse_error(lineno, "unknown instance '" + toks[2].substr(0, dot) + "'");
-      }
-      const std::string port_name = toks[2].substr(dot + 1);
-      const Instance& i = cur->inst(inst);
-      std::optional<std::uint32_t> port;
-      if (i.is_cell()) {
-        port = design.lib().cell(i.cell).find_port(port_name);
-      } else {
-        port = design.module(i.module).find_port(port_name);
-      }
-      if (!port) parse_error(lineno, "unknown port '" + port_name + "'");
-      cur->connect(inst, *port, net);
-    } else if (kw == "bind") {
-      if (toks.size() != 3) parse_error(lineno, "expected `bind <net> <port>`");
-      NetId net = cur->find_net(toks[1]);
-      if (!net.valid()) parse_error(lineno, "unknown net '" + toks[1] + "'");
-      auto port = cur->find_port(toks[2]);
-      if (!port) parse_error(lineno, "unknown port '" + toks[2] + "'");
-      cur->bind_port(*port, net);
-    } else {
-      parse_error(lineno, "unknown keyword '" + kw + "'");
-    }
-  }
-  if (cur != nullptr) raise("netlist parse error: unterminated module");
+  DiagnosticSink sink;
+  Design design = load_netlist(is, std::move(lib), sink);
+  if (sink.has_errors()) raise_first_error("netlist parse error", sink);
   return design;
+}
+
+Design netlist_from_string(const std::string& text,
+                           std::shared_ptr<const Library> lib,
+                           DiagnosticSink& sink) {
+  std::istringstream is(text);
+  return load_netlist(is, std::move(lib), sink);
 }
 
 Design netlist_from_string(const std::string& text,

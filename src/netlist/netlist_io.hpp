@@ -26,6 +26,8 @@
 
 namespace hb {
 
+class DiagnosticSink;
+
 /// Serialise the design to the text format above.
 void save_netlist(const Design& design, std::ostream& os);
 std::string netlist_to_string(const Design& design);
@@ -35,5 +37,16 @@ std::string netlist_to_string(const Design& design);
 Design load_netlist(std::istream& is, std::shared_ptr<const Library> lib);
 Design netlist_from_string(const std::string& text,
                            std::shared_ptr<const Library> lib);
+
+/// Recovering parse: malformed statements are recorded in `sink` (with line
+/// and column) and the parser resynchronises at the next line, so one bad
+/// statement does not hide the rest of the file.  The returned design holds
+/// everything that parsed cleanly; callers must check sink.has_errors()
+/// before trusting it.
+Design load_netlist(std::istream& is, std::shared_ptr<const Library> lib,
+                    DiagnosticSink& sink);
+Design netlist_from_string(const std::string& text,
+                           std::shared_ptr<const Library> lib,
+                           DiagnosticSink& sink);
 
 }  // namespace hb

@@ -33,14 +33,28 @@ class FlatChecker {
   }
 
  private:
-  void error(std::string msg) { report_.errors.push_back(std::move(msg)); }
+  /// Record a finding under both representations (legacy string + structured).
+  void finding(DiagCode code, std::string msg, std::vector<InstId> insts = {},
+               std::vector<NetId> nets = {}) {
+    report_.errors.push_back(msg);
+    ValidationFinding f;
+    f.diag.code = code;
+    f.diag.severity = Severity::kError;
+    f.diag.message = std::move(msg);
+    f.insts = std::move(insts);
+    f.nets = std::move(nets);
+    report_.findings.push_back(std::move(f));
+  }
 
   void check_connections() {
-    for (const Instance& inst : top_.insts()) {
+    for (std::uint32_t i = 0; i < top_.insts().size(); ++i) {
+      const Instance& inst = top_.inst(InstId(i));
       for (std::uint32_t p = 0; p < inst.conn.size(); ++p) {
         if (!inst.conn[p].valid()) {
-          error("instance '" + inst.name + "' port '" +
-                d_.target_port_name(inst, p) + "' is unconnected");
+          finding(DiagCode::kDesignUnconnected,
+                  "instance '" + inst.name + "' port '" +
+                      d_.target_port_name(inst, p) + "' is unconnected",
+                  {InstId(i)});
         }
       }
     }
@@ -51,10 +65,12 @@ class FlatChecker {
       const Net& net = top_.net(NetId(n));
       int drivers = 0;
       int tristate_drivers = 0;
+      std::vector<InstId> driver_insts;
       for (const PinRef& pin : net.pins) {
         const Instance& inst = top_.inst(pin.inst);
         if (d_.target_port_dir(inst, pin.port) == PortDirection::kOutput) {
           ++drivers;
+          driver_insts.push_back(pin.inst);
           if (inst.is_cell() &&
               d_.lib().cell(inst.cell).kind() == CellKind::kTristateDriver) {
             ++tristate_drivers;
@@ -65,13 +81,16 @@ class FlatChecker {
         if (top_.port(p).direction == PortDirection::kInput) ++drivers;
       }
       if (drivers == 0 && !net.pins.empty()) {
-        error("net '" + net.name + "' has no driver");
+        finding(DiagCode::kDesignNoDriver, "net '" + net.name + "' has no driver",
+                {}, {NetId(n)});
       }
       // Multiple drivers are legal only when all of them are clocked
       // tristate drivers (a shared bus).
       if (drivers > 1 && tristate_drivers != drivers) {
-        error("net '" + net.name + "' has " + std::to_string(drivers) +
-              " drivers (only tristate buses may have several)");
+        finding(DiagCode::kDesignMultiDriver,
+                "net '" + net.name + "' has " + std::to_string(drivers) +
+                    " drivers (only tristate buses may have several)",
+                std::move(driver_insts), {NetId(n)});
       }
     }
   }
@@ -113,13 +132,17 @@ class FlatChecker {
       }
     }
     if (seen != insts.size()) {
-      // Name one instance on a cycle to help debugging.
+      // Every residual instance is on a cycle or strictly downstream of one;
+      // implicate them all so degraded mode can excise the whole knot.  Name
+      // the first one to keep the message readable.
+      std::vector<InstId> on_cycle;
       for (std::uint32_t i = 0; i < insts.size(); ++i) {
-        if (indeg[i] > 0) {
-          error("combinational cycle through instance '" + insts[i].name + "'");
-          break;
-        }
+        if (indeg[i] > 0) on_cycle.push_back(InstId(i));
       }
+      std::string msg = "combinational cycle through instance '" +
+                        insts[on_cycle.front().value()].name + "' (" +
+                        std::to_string(on_cycle.size()) + " instances involved)";
+      finding(DiagCode::kDesignCombCycle, std::move(msg), std::move(on_cycle));
     }
   }
 
@@ -131,13 +154,14 @@ class FlatChecker {
   // synchronising element outputs (enable paths) — those do not carry clock
   // polarity.
   void check_control_cones() {
-    for (const Instance& inst : top_.insts()) {
+    for (std::uint32_t i = 0; i < top_.insts().size(); ++i) {
+      const Instance& inst = top_.inst(InstId(i));
       if (!inst.is_cell()) continue;
       const Cell& cell = d_.lib().cell(inst.cell);
       if (!cell.is_sequential()) continue;
       const std::uint32_t ctrl = cell.sync().control;
       if (!inst.conn[ctrl].valid()) continue;  // reported elsewhere
-      trace_control(inst.name, inst.conn[ctrl]);
+      trace_control(InstId(i), inst.name, inst.conn[ctrl]);
     }
   }
 
@@ -147,19 +171,26 @@ class FlatChecker {
     bool monotonic = true;
   };
 
-  void trace_control(const std::string& elem_name, NetId net) {
+  void trace_control(InstId elem, const std::string& elem_name, NetId net) {
     // Polarity of each net w.r.t. the clock: 0 unvisited, +1 positive,
     // -1 negative, 2 conflict/non-unate.
     std::unordered_map<std::uint32_t, int> polarity;
     ConeResult res;
     walk_cone(net, +1, polarity, res);
     if (!res.monotonic) {
-      error("control input of '" + elem_name +
-            "' is not a monotonic function of one clock signal");
+      finding(DiagCode::kDesignControlCone,
+              "control input of '" + elem_name +
+                  "' is not a monotonic function of one clock signal",
+              {elem});
     } else if (res.num_clocks == 0) {
-      error("control input of '" + elem_name + "' is not reachable from any clock port");
+      finding(DiagCode::kDesignControlCone,
+              "control input of '" + elem_name +
+                  "' is not reachable from any clock port",
+              {elem});
     } else if (res.num_clocks > 1) {
-      error("control input of '" + elem_name + "' depends on more than one clock");
+      finding(DiagCode::kDesignControlCone,
+              "control input of '" + elem_name + "' depends on more than one clock",
+              {elem});
     }
   }
 
@@ -235,8 +266,15 @@ ValidationReport validate(const Design& design) {
     if (!inst.is_cell()) {
       hierarchical = true;
       if (module_has_sequential(design, inst.module)) {
-        report.errors.push_back("submodule '" + design.module(inst.module).name() +
-                                "' contains synchronising elements");
+        const std::string msg = "submodule '" +
+                                design.module(inst.module).name() +
+                                "' contains synchronising elements";
+        report.errors.push_back(msg);
+        ValidationFinding f;
+        f.diag.code = DiagCode::kDesignHierarchy;
+        f.diag.severity = Severity::kFatal;  // not salvageable by quarantine
+        f.diag.message = msg;
+        report.findings.push_back(std::move(f));
       }
     }
   }
@@ -254,6 +292,68 @@ ValidationReport validate(const Design& design) {
 void validate_or_throw(const Design& design) {
   ValidationReport report = validate(design);
   if (!report.ok()) raise("design '" + design.name() + "' invalid:\n" + report.to_string());
+}
+
+std::vector<bool> compute_quarantine(const Design& flat_design,
+                                     const ValidationReport& report) {
+  const Module& top = flat_design.top();
+  std::vector<bool> quarantined(top.insts().size(), false);
+  std::vector<bool> dead(top.num_nets(), false);
+
+  for (const ValidationFinding& f : report.findings) {
+    for (InstId i : f.insts) {
+      if (i.valid() && i.value() < quarantined.size()) quarantined[i.value()] = true;
+    }
+    for (NetId n : f.nets) {
+      if (n.valid() && n.value() < dead.size()) dead[n.value()] = true;
+    }
+  }
+
+  // Fixpoint: reading a dead net poisons the reader; a net all of whose
+  // drivers are poisoned (and that no top-level input port drives) dies.
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (std::uint32_t i = 0; i < top.insts().size(); ++i) {
+      if (quarantined[i]) continue;
+      const Instance& inst = top.inst(InstId(i));
+      for (std::uint32_t p = 0; p < inst.conn.size(); ++p) {
+        if (!inst.conn[p].valid()) continue;
+        if (flat_design.target_port_dir(inst, p) != PortDirection::kInput) continue;
+        if (dead[inst.conn[p].value()]) {
+          quarantined[i] = true;
+          changed = true;
+          break;
+        }
+      }
+    }
+    for (std::uint32_t n = 0; n < top.num_nets(); ++n) {
+      if (dead[n]) continue;
+      const Net& net = top.net(NetId(n));
+      bool port_driven = false;
+      for (std::uint32_t p : net.module_ports) {
+        if (top.port(p).direction == PortDirection::kInput) {
+          port_driven = true;
+          break;
+        }
+      }
+      if (port_driven) continue;
+      int drivers = 0;
+      int dead_drivers = 0;
+      for (const PinRef& pin : net.pins) {
+        const Instance& inst = top.inst(pin.inst);
+        if (flat_design.target_port_dir(inst, pin.port) == PortDirection::kOutput) {
+          ++drivers;
+          if (quarantined[pin.inst.value()]) ++dead_drivers;
+        }
+      }
+      if (drivers > 0 && dead_drivers == drivers) {
+        dead[n] = true;
+        changed = true;
+      }
+    }
+  }
+  return quarantined;
 }
 
 }  // namespace hb

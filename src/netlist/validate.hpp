@@ -14,11 +14,26 @@
 #include <vector>
 
 #include "netlist/design.hpp"
+#include "util/diagnostics.hpp"
 
 namespace hb {
 
+/// One structural problem, with the design objects it implicates so that
+/// degraded-mode analysis (compute_quarantine) can excise exactly the
+/// affected logic.  `insts` and `nets` refer to the *flat* design that was
+/// checked: the design itself when it is flat, the internally flattened
+/// copy otherwise.
+struct ValidationFinding {
+  Diagnostic diag;
+  std::vector<InstId> insts;  // implicated top-level instances
+  std::vector<NetId> nets;    // implicated (undrivable) top-level nets
+};
+
 struct ValidationReport {
+  /// Legacy flat messages, one per finding (kept for existing callers).
   std::vector<std::string> errors;
+  /// Structured findings, parallel to `errors`.
+  std::vector<ValidationFinding> findings;
   bool ok() const { return errors.empty(); }
   /// All errors joined with newlines (empty when ok()).
   std::string to_string() const;
@@ -31,5 +46,15 @@ ValidationReport validate(const Design& design);
 
 /// Convenience: validate and throw hb::Error on the first problem.
 void validate_or_throw(const Design& design);
+
+/// Degraded-mode support: from a *flat* design and its validation report,
+/// mark every instance that cannot be analysed.  Seeds are the implicated
+/// instances/nets of the findings; the closure then propagates forward:
+/// an instance reading a dead net is quarantined, and a net whose drivers
+/// are all quarantined is dead (nets driven by top-level input ports stay
+/// alive).  The indices of `report`'s findings must refer to `flat_design`
+/// (i.e. call validate() on the same flat design).
+std::vector<bool> compute_quarantine(const Design& flat_design,
+                                     const ValidationReport& report);
 
 }  // namespace hb

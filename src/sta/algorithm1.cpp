@@ -42,8 +42,19 @@ bool transfer_sweep(SyncModel& sync, const SlackEngine& engine, Direction dir,
 
 Algorithm1Result run_algorithm1(SyncModel& sync, SlackEngine& engine,
                                 Algorithm1Options options) {
-  HB_ASSERT(options.partial_divisor > 1);
+  if (options.partial_divisor <= 1) {
+    raise("Algorithm 1: partial_divisor must be > 1");
+  }
   Algorithm1Result res;
+  BudgetTimer timer(options.budget);
+  bool timed_out = false;
+  // Sticky budget check, evaluated only between sweeps so the engine is
+  // never abandoned mid-propagation: the last evaluated offsets are a
+  // consistent, conservative state.
+  auto out_of_budget = [&]() {
+    if (!timed_out && timer.exhausted()) timed_out = true;
+    return timed_out;
+  };
 
   auto evaluate = [&]() {
     if (options.incremental) {
@@ -58,6 +69,7 @@ Algorithm1Result run_algorithm1(SyncModel& sync, SlackEngine& engine,
   };
 
   auto finish = [&](TimePs worst) {
+    res.status = timed_out ? AnalysisStatus::kTimedOut : AnalysisStatus::kComplete;
     res.worst_slack = worst;
     res.works_as_intended = worst > 0;
     return res;
@@ -67,38 +79,44 @@ Algorithm1Result run_algorithm1(SyncModel& sync, SlackEngine& engine,
   for (;;) {
     const TimePs worst = evaluate();
     if (worst > 0) return finish(worst);
+    if (out_of_budget()) return finish(worst);
     if (res.forward_cycles >= options.max_cycles) {
       raise("Algorithm 1 exceeded the forward-transfer cycle limit");
     }
     if (!transfer_sweep(sync, engine, Direction::kForward, 1)) break;
     ++res.forward_cycles;
+    timer.count_cycle();
   }
 
   // Iteration 2: complete backward transfer to fixpoint.
   for (;;) {
     const TimePs worst = evaluate();
     if (worst > 0) return finish(worst);
+    if (out_of_budget()) return finish(worst);
     if (res.backward_cycles >= options.max_cycles) {
       raise("Algorithm 1 exceeded the backward-transfer cycle limit");
     }
     if (!transfer_sweep(sync, engine, Direction::kBackward, 1)) break;
     ++res.backward_cycles;
+    timer.count_cycle();
   }
 
   // Iteration 3: partial forward, once per complete backward cycle made.
-  for (int k = 0; k < res.backward_cycles; ++k) {
+  for (int k = 0; k < res.backward_cycles && !out_of_budget(); ++k) {
     evaluate();
     if (transfer_sweep(sync, engine, Direction::kForward, options.partial_divisor)) {
       ++res.partial_forward_cycles;
     }
+    timer.count_cycle();
   }
 
   // Iteration 4: partial backward, once per complete forward cycle made.
-  for (int k = 0; k < res.forward_cycles; ++k) {
+  for (int k = 0; k < res.forward_cycles && !out_of_budget(); ++k) {
     evaluate();
     if (transfer_sweep(sync, engine, Direction::kBackward, options.partial_divisor)) {
       ++res.partial_backward_cycles;
     }
+    timer.count_cycle();
   }
 
   // Final step: find all node slacks.

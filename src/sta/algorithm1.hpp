@@ -17,6 +17,8 @@
 #pragma once
 
 #include "sta/slack_engine.hpp"
+#include "util/cancel.hpp"
+#include "util/diagnostics.hpp"
 
 namespace hb {
 
@@ -33,9 +35,16 @@ struct Algorithm1Options {
   bool incremental = true;
   /// Evaluate independent dirty passes on this pool when non-null.
   ThreadPool* pool = nullptr;
+  /// Watchdog limits (wall clock, total cycles, external cancellation).
+  /// Checked between sweeps, never mid-propagation: on exhaustion the
+  /// current offsets — which are always a consistent, conservative state —
+  /// are kept and the result is tagged AnalysisStatus::kTimedOut.
+  AnalysisBudget budget;
 };
 
 struct Algorithm1Result {
+  /// kComplete, or kTimedOut when the budget expired before the fixpoint.
+  AnalysisStatus status = AnalysisStatus::kComplete;
   bool works_as_intended = false;
   /// Worst terminal slack after the final recomputation.
   TimePs worst_slack = 0;

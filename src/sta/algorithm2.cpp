@@ -38,11 +38,21 @@ ConstraintSet run_algorithm2(SyncModel& sync, SlackEngine& engine,
                              Algorithm2Options options) {
   ConstraintSet out;
   out.nodes.resize(engine.graph().num_nodes());
+  BudgetTimer timer(options.budget);
+  bool timed_out = false;
+  // Checked only between sweeps (after a full engine.compute()), so on
+  // exhaustion the recorded times reflect a consistent conservative state.
+  auto out_of_budget = [&]() {
+    if (!timed_out && timer.exhausted()) timed_out = true;
+    return timed_out;
+  };
 
   // Iteration 1: backward snatching to fixpoint, then record ready times.
   for (;;) {
     engine.compute();
+    if (out_of_budget()) break;
     if (!snatch_sweep(sync, engine, /*backward=*/true)) break;
+    timer.count_cycle();
     if (++out.backward_snatch_cycles > options.max_cycles) {
       raise("Algorithm 2 exceeded the backward-snatch cycle limit");
     }
@@ -56,7 +66,9 @@ ConstraintSet run_algorithm2(SyncModel& sync, SlackEngine& engine,
   // Iteration 2: forward snatching to fixpoint, then record required times.
   for (;;) {
     engine.compute();
+    if (out_of_budget()) break;
     if (!snatch_sweep(sync, engine, /*backward=*/false)) break;
+    timer.count_cycle();
     if (++out.forward_snatch_cycles > options.max_cycles) {
       raise("Algorithm 2 exceeded the forward-snatch cycle limit");
     }
@@ -67,6 +79,7 @@ ConstraintSet run_algorithm2(SyncModel& sync, SlackEngine& engine,
     out.nodes[n].required = nt.required;
     out.nodes[n].slack = nt.slack;
   }
+  out.status = timed_out ? AnalysisStatus::kTimedOut : AnalysisStatus::kComplete;
   return out;
 }
 

@@ -16,6 +16,8 @@
 #pragma once
 
 #include "sta/slack_engine.hpp"
+#include "util/cancel.hpp"
+#include "util/diagnostics.hpp"
 
 namespace hb {
 
@@ -31,6 +33,10 @@ struct ConstraintTimes {
 struct ConstraintSet {
   /// Indexed by timing-graph node.
   std::vector<ConstraintTimes> nodes;
+  /// kComplete, or kTimedOut when the budget expired before both snatching
+  /// fixpoints were reached (the recorded times are the conservative state
+  /// of the last completed sweep).
+  AnalysisStatus status = AnalysisStatus::kComplete;
   int backward_snatch_cycles = 0;
   int forward_snatch_cycles = 0;
 
@@ -39,6 +45,8 @@ struct ConstraintSet {
 
 struct Algorithm2Options {
   int max_cycles = 10000;
+  /// Watchdog limits; see Algorithm1Options::budget.
+  AnalysisBudget budget;
 };
 
 /// Runs Algorithm 2, mutating offsets in `sync`.  Call after run_algorithm1.

@@ -1,7 +1,9 @@
 #include "sta/hummingbird.hpp"
 
+#include <algorithm>
 #include <chrono>
 
+#include "netlist/flatten.hpp"
 #include "netlist/validate.hpp"
 
 namespace hb {
@@ -17,24 +19,60 @@ double seconds_since(std::chrono::steady_clock::time_point start) {
 Hummingbird::Hummingbird(const Design& design, const ClockSet& clocks,
                          HummingbirdOptions options)
     : design_(&design), options_(std::move(options)) {
-  if (options_.validate) validate_or_throw(design);
+  std::vector<bool> quarantine;
+  if (options_.validate || options_.degraded) {
+    ValidationReport report = validate(design);
+    if (!report.ok()) {
+      const bool fatal =
+          std::any_of(report.findings.begin(), report.findings.end(),
+                      [](const ValidationFinding& f) {
+                        return f.diag.severity == Severity::kFatal;
+                      });
+      if (!options_.degraded || fatal) {
+        raise("design '" + design.name() + "' invalid:\n" + report.to_string());
+      }
+      // Degraded mode.  Finding indices refer to the flat design, so analyse
+      // a flat copy when the input is hierarchical.
+      const bool hierarchical =
+          std::any_of(design.top().insts().begin(), design.top().insts().end(),
+                      [](const Instance& i) { return !i.is_cell(); });
+      if (hierarchical) {
+        owned_flat_ = std::make_unique<Design>(flatten(design));
+        design_ = owned_flat_.get();
+        report = validate(*design_);
+      }
+      for (const ValidationFinding& f : report.findings) diags_.add(f.diag);
+      quarantine = compute_quarantine(*design_, report);
+      quarantined_count_ = static_cast<std::size_t>(
+          std::count(quarantine.begin(), quarantine.end(), true));
+      diags_.add(DiagCode::kAnalysisQuarantined, Severity::kWarning, {},
+                 "degraded mode: " + std::to_string(quarantined_count_) +
+                     " of " + std::to_string(design_->top().insts().size()) +
+                     " instances quarantined; results are partial",
+                 "fix the reported design problems for a complete analysis");
+    }
+  }
 
+  const Design& d = *design_;
   const auto start = std::chrono::steady_clock::now();
-  calc_ = std::make_unique<DelayCalculator>(design, options_.wire);
+  calc_ = std::make_unique<DelayCalculator>(d, options_.wire);
   if (options_.delay_derate != 1.0) calc_->set_derate(options_.delay_derate);
-  graph_ = std::make_unique<TimingGraph>(design, *calc_);
+  graph_ = std::make_unique<TimingGraph>(d, *calc_,
+                                         quarantine.empty() ? nullptr : &quarantine);
   sync_ = std::make_unique<SyncModel>(*graph_, clocks, *calc_, options_.sync);
   clusters_ = std::make_unique<ClusterSet>(*graph_, *sync_);
   engine_ = std::make_unique<SlackEngine>(*graph_, *clusters_, *sync_);
+  engine_->set_self_check(options_.paranoid_self_check);
   stats_.preprocess_seconds = seconds_since(start);
 
-  stats_.cells = design.total_cell_count();
-  stats_.nets = design.total_net_count();
+  stats_.cells = d.total_cell_count();
+  stats_.nets = d.total_net_count();
   stats_.graph_nodes = graph_->num_nodes();
   stats_.graph_arcs = graph_->num_arcs();
   stats_.sync_instances = sync_->num_instances();
   stats_.clusters = clusters_->num_clusters();
   stats_.analysis_passes = engine_->num_passes_total();
+  stats_.quarantined_insts = quarantined_count_;
 }
 
 Hummingbird::~Hummingbird() = default;
@@ -45,6 +83,9 @@ Algorithm1Result Hummingbird::analyze() {
   Algorithm1Result res = run_algorithm1(*sync_, *engine_, options_.alg1);
   stats_.analysis_seconds = seconds_since(start);
   analyzed_ = true;
+  if (quarantined_count_ > 0 && res.status == AnalysisStatus::kComplete) {
+    res.status = AnalysisStatus::kPartial;  // timed-out keeps precedence
+  }
   return res;
 }
 
@@ -55,6 +96,9 @@ Algorithm1Result Hummingbird::reanalyze() {
   Algorithm1Result res = run_algorithm1(*sync_, *engine_, options_.alg1);
   stats_.analysis_seconds = seconds_since(start);
   analyzed_ = true;
+  if (quarantined_count_ > 0 && res.status == AnalysisStatus::kComplete) {
+    res.status = AnalysisStatus::kPartial;
+  }
   return res;
 }
 
@@ -83,7 +127,11 @@ bool Hummingbird::update_instance_delays(InstId inst) {
 
 ConstraintSet Hummingbird::generate_constraints() {
   if (!analyzed_) analyze();
-  return run_algorithm2(*sync_, *engine_, options_.alg2);
+  ConstraintSet out = run_algorithm2(*sync_, *engine_, options_.alg2);
+  if (quarantined_count_ > 0 && out.status == AnalysisStatus::kComplete) {
+    out.status = AnalysisStatus::kPartial;
+  }
+  return out;
 }
 
 std::vector<HoldViolation> Hummingbird::check_hold_times(TimePs hold_margin) const {

@@ -40,6 +40,17 @@ struct HummingbirdOptions {
   /// Validate the design structurally before analysis (recommended; turn
   /// off only in tight analyse-redesign loops that re-check elsewhere).
   bool validate = true;
+  /// Degraded mode: instead of refusing an invalid design, quarantine the
+  /// logic implicated by the validation findings (plus everything only
+  /// reachable through it — see compute_quarantine) and analyse the rest.
+  /// Findings are collected in diagnostics() and every analysis result is
+  /// tagged AnalysisStatus::kPartial.  The hierarchy rule (sequential
+  /// submodules) stays fatal: nothing salvageable remains.
+  bool degraded = false;
+  /// Paranoid mode: verify the incremental cache against its write-time
+  /// checksums on every update and self-heal divergences with a full
+  /// recompute (counted in SlackEngine::incremental_stats().self_heals).
+  bool paranoid_self_check = false;
 };
 
 struct AnalysisStats {
@@ -50,6 +61,7 @@ struct AnalysisStats {
   std::size_t sync_instances = 0;   // generic element instances
   std::size_t clusters = 0;
   std::size_t analysis_passes = 0;  // total break count over clusters
+  std::size_t quarantined_insts = 0;  // degraded mode: excluded instances
   double preprocess_seconds = 0.0;  // graph + clusters + Section 7
   double analysis_seconds = 0.0;    // Algorithm 1
 };
@@ -100,6 +112,11 @@ class Hummingbird {
   void flag_slow_paths_in(Design& design, std::size_t max_paths = 1000) const;
 
   const AnalysisStats& stats() const { return stats_; }
+  /// Findings collected by degraded-mode construction (validation findings
+  /// plus one kAnalysisQuarantined summary).  Empty outside degraded mode.
+  const DiagnosticSink& diagnostics() const { return diags_; }
+  /// Instances excluded from analysis by degraded mode (0 = full analysis).
+  std::size_t num_quarantined() const { return quarantined_count_; }
   const TimingGraph& graph() const { return *graph_; }
   const SlackEngine& engine() const { return *engine_; }
   /// Mutable access for baseline comparisons that drive the engine directly
@@ -112,6 +129,11 @@ class Hummingbird {
  private:
   const Design* design_;
   HummingbirdOptions options_;
+  /// Degraded mode flattens hierarchical inputs so quarantine indices refer
+  /// to analysable flat InstIds; design_ then points here.
+  std::unique_ptr<Design> owned_flat_;
+  DiagnosticSink diags_;
+  std::size_t quarantined_count_ = 0;
   std::unique_ptr<DelayCalculator> calc_;
   std::unique_ptr<TimingGraph> graph_;
   std::unique_ptr<SyncModel> sync_;

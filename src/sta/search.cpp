@@ -19,7 +19,9 @@ bool works_at_period(const Design& design, const ClockFactory& make_clocks,
 
 TimePs find_min_period(const Design& design, const ClockFactory& make_clocks,
                        MinPeriodOptions options) {
-  HB_ASSERT(options.grid > 0 && options.lo > 0 && options.lo <= options.hi);
+  if (options.grid <= 0 || options.lo <= 0 || options.lo > options.hi) {
+    raise("find_min_period: need grid > 0 and 0 < lo <= hi");
+  }
   // Snap bounds onto the grid.
   TimePs lo = (options.lo + options.grid - 1) / options.grid;
   TimePs hi = options.hi / options.grid;

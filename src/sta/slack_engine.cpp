@@ -3,9 +3,42 @@
 #include <algorithm>
 #include <functional>
 
+#include "util/faultinject.hpp"
 #include "util/thread_pool.hpp"
 
 namespace hb {
+namespace {
+
+// SplitMix64 finaliser, used to fold pass results into a checksum.
+std::uint64_t mix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+/// Order-sensitive checksum of a cached pass result.  Any bit flip in any
+/// ready/required entry (value or presence) changes the sum.
+std::uint64_t pass_checksum(const PassResult& res) {
+  std::uint64_t h = 0x243f6a8885a308d3ULL;
+  auto feed = [&h](std::uint64_t v) { h = mix64(h ^ v); };
+  auto feed_side = [&](const std::vector<std::optional<RiseFall>>& side) {
+    feed(side.size());
+    for (const auto& e : side) {
+      if (e) {
+        feed(static_cast<std::uint64_t>(e->rise));
+        feed(static_cast<std::uint64_t>(e->fall));
+      } else {
+        feed(0x5b5e546a6d51a0baULL);  // "absent" sentinel
+      }
+    }
+  };
+  feed_side(res.ready);
+  feed_side(res.required);
+  return h;
+}
+
+}  // namespace
 
 SlackEngine::SlackEngine(const TimingGraph& graph, const ClusterSet& clusters,
                          const SyncModel& sync)
@@ -140,9 +173,18 @@ void SlackEngine::compute(ThreadPool* pool) {
   }
   if (!tasks.empty()) pool->run_batch(tasks);
 
+  for (std::uint32_t c = 0; c < clusters_->num_clusters(); ++c) {
+    ClusterAnalysis& ca = analyses_[c];
+    ca.checksums.resize(ca.breaks.size());
+    for (std::size_t p = 0; p < ca.breaks.size(); ++p) {
+      ca.checksums[p] = pass_checksum(ca.cache[p]);
+    }
+  }
+
   accumulate_all();
   cache_valid_ = true;
   for (ClusterDirty& d : dirty_) d.clear();
+  maybe_corrupt_cache();
 }
 
 void SlackEngine::accumulate_all() {
@@ -218,6 +260,12 @@ bool SlackEngine::has_pending_invalidations() const {
 }
 
 void SlackEngine::update(ThreadPool* pool) {
+  if (cache_valid_ && self_check_) {
+    // Paranoid mode: re-verify every cached pass against its write-time
+    // checksum before trusting it.  A divergence drops the cache, and the
+    // update below degenerates into a (bit-identical) full compute.
+    if (!verify_cache()) ++istats_.self_heals;
+  }
   if (!cache_valid_) {
     compute(pool);
     return;
@@ -273,7 +321,11 @@ void SlackEngine::update(ThreadPool* pool) {
   } else {
     for (PassTask& task : pass_tasks) run_task(task);
   }
-  for (const PassTask& task : pass_tasks) istats_.nodes_retraced += task.retraced;
+  for (const PassTask& task : pass_tasks) {
+    istats_.nodes_retraced += task.retraced;
+    ClusterAnalysis& ca = analyses_[task.cluster];
+    ca.checksums[task.pass] = pass_checksum(ca.cache[task.pass]);
+  }
 
   // Accumulation is cluster-local (every terminal and node belongs to
   // exactly one cluster), so only dirty clusters need re-accumulating; the
@@ -285,6 +337,49 @@ void SlackEngine::update(ThreadPool* pool) {
       accumulate(ClusterId(c), p, ca.cache[p]);
     }
     dirty_[c].clear();
+  }
+  maybe_corrupt_cache();
+}
+
+bool SlackEngine::verify_cache() {
+  if (!cache_valid_) return true;
+  ++istats_.self_checks;
+  for (std::uint32_t c = 0; c < clusters_->num_clusters(); ++c) {
+    const ClusterAnalysis& ca = analyses_[c];
+    for (std::size_t p = 0; p < ca.breaks.size(); ++p) {
+      if (pass_checksum(ca.cache[p]) != ca.checksums[p]) {
+        cache_valid_ = false;
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+void SlackEngine::maybe_corrupt_cache() {
+  FaultInjector& injector = FaultInjector::instance();
+  if (!injector.armed()) return;
+  if (!injector.should_fire(FaultSite::kCacheCorrupt)) return;
+  // Pick a deterministic cached entry and flip it *after* its checksum was
+  // taken, modelling silent corruption of the incremental state.
+  const std::size_t total = num_passes_total();
+  if (total == 0) return;
+  std::size_t target = injector.draw(FaultSite::kCacheCorrupt) % total;
+  for (std::uint32_t c = 0; c < clusters_->num_clusters(); ++c) {
+    ClusterAnalysis& ca = analyses_[c];
+    if (target >= ca.breaks.size()) {
+      target -= ca.breaks.size();
+      continue;
+    }
+    PassResult& res = ca.cache[target];
+    for (auto& e : res.ready) {
+      if (e) {
+        e->rise += 1000;  // 1ns of silent error
+        return;
+      }
+    }
+    if (!res.ready.empty()) res.ready.front() = RiseFall{0, 0};
+    return;
   }
 }
 

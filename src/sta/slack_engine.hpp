@@ -58,6 +58,8 @@ struct IncrementalStats {
   std::uint64_t passes_updated = 0;    // passes patched over a dirty cone
   std::uint64_t passes_reused = 0;     // cached passes an update left untouched
   std::uint64_t nodes_retraced = 0;    // nodes re-derived by cone updates
+  std::uint64_t self_checks = 0;       // cache verifications performed
+  std::uint64_t self_heals = 0;        // divergences healed by full recompute
 };
 
 class SlackEngine {
@@ -102,6 +104,23 @@ class SlackEngine {
 
   const IncrementalStats& incremental_stats() const { return istats_; }
 
+  // -- Self-check / self-heal --------------------------------------------
+  // Every cached pass result carries a checksum taken when it was written.
+  // In self-check (paranoid) mode, update() re-verifies all cached
+  // checksums before trusting the cache; on any divergence — memory
+  // corruption, a faulty cone patch, or an injected fault — the cache is
+  // dropped and the update is served by a full compute(), which is
+  // bit-identical by construction.  The event is counted in
+  // IncrementalStats::self_heals; analysis results are unaffected.
+
+  void set_self_check(bool on) { self_check_ = on; }
+  bool self_check() const { return self_check_; }
+
+  /// Verify all cached pass results against their write-time checksums.
+  /// Returns true when consistent (or when there is no cache to verify);
+  /// on divergence drops the cache and returns false.
+  bool verify_cache();
+
   /// Terminal slacks (min over passes); +inf when unconstrained.  Valid
   /// after compute().
   TimePs launch_slack(SyncId id) const { return launch_slack_.at(id.index()); }
@@ -141,6 +160,7 @@ class SlackEngine {
     std::vector<std::uint32_t> assigned;          // pass index per capture
     std::vector<std::vector<bool>> assigned_mask; // [pass][capture]
     std::vector<PassResult> cache;                // [pass], valid iff cache_valid_
+    std::vector<std::uint64_t> checksums;         // [pass], taken at write time
   };
 
   /// Pending invalidations of one cluster, in local node indices.
@@ -161,6 +181,9 @@ class SlackEngine {
   void accumulate(ClusterId c, std::size_t pass, const PassResult& res);
   void reset_accumulation(ClusterId c);
   void accumulate_all();
+  /// Fault-injection hook: deterministically perturb one cached entry
+  /// *after* its checksum was taken (no-op unless the injector is armed).
+  void maybe_corrupt_cache();
 
   const TimingGraph* graph_;
   const ClusterSet* clusters_;
@@ -172,6 +195,7 @@ class SlackEngine {
 
   std::vector<ClusterDirty> dirty_;  // by cluster
   bool cache_valid_ = false;
+  bool self_check_ = false;
   IncrementalStats istats_;
 
   std::vector<TimePs> launch_slack_;

@@ -109,6 +109,7 @@ void SyncModel::build_element_instances(const DelayCalculator& calc) {
   const ModuleId top_id = design.top_id();
 
   for (std::uint32_t i = 0; i < top.insts().size(); ++i) {
+    if (graph_->is_quarantined(InstId(i))) continue;  // degraded mode
     const Instance& inst = top.inst(InstId(i));
     if (!inst.is_cell()) continue;
     const Cell& cell = design.lib().cell(inst.cell);
@@ -230,6 +231,7 @@ void SyncModel::build_enable_sinks() {
   const Design& design = graph_->design();
   const Module& top = design.top();
   for (std::uint32_t i = 0; i < top.insts().size(); ++i) {
+    if (graph_->is_quarantined(InstId(i))) continue;  // degraded mode
     const Instance& inst = top.inst(InstId(i));
     if (!inst.is_cell()) continue;
     const Cell& cell = design.lib().cell(inst.cell);

@@ -6,12 +6,21 @@
 
 namespace hb {
 
-TimingGraph::TimingGraph(const Design& design, const DelayCalculator& calc)
+TimingGraph::TimingGraph(const Design& design, const DelayCalculator& calc,
+                         const std::vector<bool>* quarantined)
     : design_(&design) {
   const Module& top = design.top();
   const ModuleId top_id = design.top_id();
+  if (quarantined != nullptr &&
+      std::find(quarantined->begin(), quarantined->end(), true) !=
+          quarantined->end()) {
+    quarantined_ = *quarantined;
+    quarantined_.resize(top.insts().size(), false);
+  }
 
-  // Create instance pin nodes.
+  // Create instance pin nodes.  Quarantined instances keep their pin nodes
+  // (so InstId/port lookups stay total) but are stripped of sync roles and
+  // of every arc below — they end up isolated and clusterless.
   inst_pin_node_.resize(top.insts().size());
   for (std::uint32_t i = 0; i < top.insts().size(); ++i) {
     const Instance& inst = top.inst(InstId(i));
@@ -23,7 +32,8 @@ TimingGraph::TimingGraph(const Design& design, const DelayCalculator& calc)
       node.port = p;
       node.net = inst.conn[p];
       node.role = NodeRole::kCombPin;
-      if (cell != nullptr && cell->is_sequential()) {
+      if (cell != nullptr && cell->is_sequential() &&
+          !is_quarantined(InstId(i))) {
         const SyncSpec& sync = cell->sync();
         if (p == sync.data_in) {
           node.role = NodeRole::kSyncDataIn;
@@ -64,6 +74,7 @@ TimingGraph::TimingGraph(const Design& design, const DelayCalculator& calc)
     const Instance& inst = top.inst(InstId(i));
     inst_arc_span_[i] = {static_cast<std::uint32_t>(arcs_.size()),
                          static_cast<std::uint32_t>(arcs_.size())};
+    if (is_quarantined(InstId(i))) continue;
     if (inst.is_cell() && design.lib().cell(inst.cell).is_sequential()) continue;
     for (const TimingArc& arc : calc.arcs_of(inst)) {
       if (!inst.conn[arc.from_port].valid() || !inst.conn[arc.to_port].valid()) {
@@ -81,6 +92,7 @@ TimingGraph::TimingGraph(const Design& design, const DelayCalculator& calc)
     const Net& net = top.net(NetId(n));
     std::vector<TNodeId> drivers, sinks;
     for (const PinRef& pin : net.pins) {
+      if (is_quarantined(pin.inst)) continue;
       const Instance& inst = top.inst(pin.inst);
       if (design.target_port_dir(inst, pin.port) == PortDirection::kOutput) {
         drivers.push_back(inst_pin_node_[pin.inst.value()][pin.port]);
@@ -154,6 +166,7 @@ TimingGraph::DelayUpdate TimingGraph::update_instance_delays(
   }
 
   for (InstId a : affected) {
+    if (is_quarantined(a)) continue;  // no arcs to refresh (empty span)
     const Instance& ai = top.inst(a);
     if (ai.is_cell() && design_->lib().cell(ai.cell).is_sequential()) {
       if (a != inst) upd.affected_sequential.push_back(a);

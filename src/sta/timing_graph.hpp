@@ -14,6 +14,7 @@
 // union of the paper's combinational *clusters*.
 #pragma once
 
+#include <algorithm>
 #include <vector>
 
 #include "delay/calculator.hpp"
@@ -50,9 +51,23 @@ struct TArcRec {
 class TimingGraph {
  public:
   /// Build over design.top(); delays are evaluated once at build time.
-  TimingGraph(const Design& design, const DelayCalculator& calc);
+  /// `quarantined` (optional, by InstId; see compute_quarantine) excises the
+  /// marked instances for degraded-mode analysis: their pins keep nodes but
+  /// lose their sync roles, contribute no component arcs and are dropped
+  /// from net arcs, leaving them isolated (clusterless) in the graph.
+  TimingGraph(const Design& design, const DelayCalculator& calc,
+              const std::vector<bool>* quarantined = nullptr);
 
   const Design& design() const { return *design_; }
+
+  /// True when `inst` was excluded by the quarantine mask.
+  bool is_quarantined(InstId inst) const {
+    return !quarantined_.empty() && quarantined_[inst.index()];
+  }
+  std::size_t num_quarantined() const {
+    return static_cast<std::size_t>(
+        std::count(quarantined_.begin(), quarantined_.end(), true));
+  }
 
   std::size_t num_nodes() const { return nodes_.size(); }
   std::size_t num_arcs() const { return arcs_.size(); }
@@ -114,6 +129,8 @@ class TimingGraph {
   // Component arcs of each instance occupy one contiguous index range
   // (build order); net arcs come after all of them.
   std::vector<std::pair<std::uint32_t, std::uint32_t>> inst_arc_span_;
+  // Degraded mode: excluded instances by InstId (empty = none).
+  std::vector<bool> quarantined_;
 };
 
 }  // namespace hb

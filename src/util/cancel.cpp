@@ -1,0 +1,37 @@
+#include "util/cancel.hpp"
+
+#include "util/faultinject.hpp"
+
+namespace hb {
+
+bool CancelToken::cancelled() const {
+  if (flag_.load(std::memory_order_relaxed)) return true;
+  if (FaultInjector::instance().should_fire(FaultSite::kSpuriousCancel)) {
+    flag_.store(true, std::memory_order_relaxed);  // cancellation is sticky
+    return true;
+  }
+  return false;
+}
+
+BudgetTimer::BudgetTimer(const AnalysisBudget& budget) : budget_(budget) {
+  if (budget_.wall_seconds > 0) {
+    has_deadline_ = true;
+    deadline_ = std::chrono::steady_clock::now() +
+                std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                    std::chrono::duration<double>(budget_.wall_seconds));
+  }
+}
+
+bool BudgetTimer::exhausted() {
+  if (exhausted_) return true;
+  if (budget_.max_total_cycles > 0 && cycles_ >= budget_.max_total_cycles) {
+    exhausted_ = true;
+  } else if (has_deadline_ && std::chrono::steady_clock::now() >= deadline_) {
+    exhausted_ = true;
+  } else if (budget_.cancel != nullptr && budget_.cancel->cancelled()) {
+    exhausted_ = true;
+  }
+  return exhausted_;
+}
+
+}  // namespace hb

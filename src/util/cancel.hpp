@@ -1,0 +1,71 @@
+// Cooperative cancellation and analysis watchdogs.
+//
+// A CancelToken is a thread-safe flag checked at safe points: between
+// relaxation sweeps in Algorithms 1 and 2, and between tasks inside
+// ThreadPool::run_batch.  Nothing is interrupted mid-propagation, so
+// cancelled analyses always leave the engine in a consistent (if stale)
+// state and the last evaluated offsets remain conservative.
+//
+// An AnalysisBudget bundles the watchdog limits threaded through an
+// analysis: a wall-clock deadline and a cap on relaxation cycles.  When a
+// BudgetTimer reports exhaustion the algorithms stop transferring slack and
+// return the current state tagged AnalysisStatus::kTimedOut instead of
+// looping or raising.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+
+namespace hb {
+
+class CancelToken {
+ public:
+  void cancel() { flag_.store(true, std::memory_order_relaxed); }
+  void reset() { flag_.store(false, std::memory_order_relaxed); }
+  /// True once cancel() has been called.  Also the hook point where the
+  /// fault-injection framework fires spurious cancellations in test builds.
+  bool cancelled() const;
+
+ private:
+  // mutable: cancelled() latches injected spurious cancellations.
+  mutable std::atomic<bool> flag_{false};
+};
+
+struct AnalysisBudget {
+  /// Wall-clock limit in seconds; 0 = unlimited.
+  double wall_seconds = 0;
+  /// Cap on total slack-transfer/snatch cycles across all iterations;
+  /// 0 = unlimited (the per-iteration safety caps still apply).
+  int max_total_cycles = 0;
+  /// Optional external cancellation; not owned, may be null.
+  CancelToken* cancel = nullptr;
+
+  bool limited() const {
+    return wall_seconds > 0 || max_total_cycles > 0 || cancel != nullptr;
+  }
+};
+
+/// Tracks one analysis run against its budget.  Checking is cheap enough to
+/// call once per relaxation sweep; an unlimited budget short-circuits.
+class BudgetTimer {
+ public:
+  explicit BudgetTimer(const AnalysisBudget& budget);
+
+  /// Count one relaxation cycle against the budget.
+  void count_cycle() { ++cycles_; }
+
+  /// Deadline passed, cycle cap hit, or cancellation requested.  Sticky:
+  /// once exhausted, stays exhausted.
+  bool exhausted();
+
+  int cycles() const { return cycles_; }
+
+ private:
+  AnalysisBudget budget_;
+  std::chrono::steady_clock::time_point deadline_{};
+  bool has_deadline_ = false;
+  int cycles_ = 0;
+  bool exhausted_ = false;
+};
+
+}  // namespace hb

@@ -1,0 +1,126 @@
+#include "util/diagnostics.hpp"
+
+#include <cctype>
+
+#include "util/error.hpp"
+
+namespace hb {
+
+const char* diag_code_name(DiagCode code) {
+  switch (code) {
+    case DiagCode::kParseSyntax: return "parse-syntax";
+    case DiagCode::kParseUnknownKeyword: return "parse-unknown-keyword";
+    case DiagCode::kParseBadNumber: return "parse-bad-number";
+    case DiagCode::kParseUnknownName: return "parse-unknown-name";
+    case DiagCode::kParseDuplicateName: return "parse-duplicate-name";
+    case DiagCode::kParseStructure: return "parse-structure";
+    case DiagCode::kParseUnterminated: return "parse-unterminated";
+    case DiagCode::kParseEmptyInput: return "parse-empty-input";
+    case DiagCode::kDesignUnconnected: return "design-unconnected";
+    case DiagCode::kDesignNoDriver: return "design-no-driver";
+    case DiagCode::kDesignMultiDriver: return "design-multi-driver";
+    case DiagCode::kDesignCombCycle: return "design-comb-cycle";
+    case DiagCode::kDesignControlCone: return "design-control-cone";
+    case DiagCode::kDesignHierarchy: return "design-hierarchy";
+    case DiagCode::kClockNonHarmonic: return "clock-non-harmonic";
+    case DiagCode::kAnalysisQuarantined: return "analysis-quarantined";
+    case DiagCode::kAnalysisBudget: return "analysis-budget";
+    case DiagCode::kAnalysisSelfHeal: return "analysis-self-heal";
+  }
+  return "unknown";
+}
+
+const char* severity_name(Severity severity) {
+  switch (severity) {
+    case Severity::kNote: return "note";
+    case Severity::kWarning: return "warning";
+    case Severity::kError: return "error";
+    case Severity::kFatal: return "fatal";
+  }
+  return "error";
+}
+
+const char* analysis_status_name(AnalysisStatus status) {
+  switch (status) {
+    case AnalysisStatus::kComplete: return "complete";
+    case AnalysisStatus::kPartial: return "partial";
+    case AnalysisStatus::kTimedOut: return "timed_out";
+  }
+  return "complete";
+}
+
+std::string Diagnostic::to_string() const {
+  std::string out = severity_name(severity);
+  out += '[';
+  out += diag_code_name(code);
+  out += ']';
+  if (loc.valid()) {
+    out += " at line " + std::to_string(loc.line);
+    if (loc.col > 0) out += ", col " + std::to_string(loc.col);
+  }
+  out += ": ";
+  out += message;
+  if (!hint.empty()) {
+    out += " (hint: ";
+    out += hint;
+    out += ')';
+  }
+  return out;
+}
+
+void DiagnosticSink::add(Diagnostic d) {
+  if (d.severity == Severity::kError || d.severity == Severity::kFatal) ++errors_;
+  diags_.push_back(std::move(d));
+}
+
+void DiagnosticSink::add(DiagCode code, Severity severity, SourceLoc loc,
+                         std::string message, std::string hint) {
+  add(Diagnostic{code, severity, loc, std::move(message), std::move(hint)});
+}
+
+const Diagnostic& DiagnosticSink::first_error() const {
+  for (const Diagnostic& d : diags_) {
+    if (d.severity == Severity::kError || d.severity == Severity::kFatal) return d;
+  }
+  raise("DiagnosticSink::first_error() called without errors");
+}
+
+void DiagnosticSink::clear() {
+  diags_.clear();
+  errors_ = 0;
+}
+
+std::string DiagnosticSink::to_string() const {
+  std::string out;
+  for (const Diagnostic& d : diags_) {
+    out += d.to_string();
+    out += '\n';
+  }
+  return out;
+}
+
+void raise_first_error(const char* prefix, const DiagnosticSink& sink) {
+  const Diagnostic& d = sink.first_error();
+  std::string msg(prefix);
+  if (d.loc.valid()) {
+    msg += " at line " + std::to_string(d.loc.line);
+    if (d.loc.col > 0) msg += ", col " + std::to_string(d.loc.col);
+  }
+  msg += ": " + d.message;
+  raise(msg);
+}
+
+std::vector<Token> split_tokens(const std::string& line) {
+  std::vector<Token> toks;
+  std::size_t i = 0;
+  while (i < line.size()) {
+    while (i < line.size() && std::isspace(static_cast<unsigned char>(line[i]))) ++i;
+    if (i >= line.size() || line[i] == '#') break;
+    const std::size_t start = i;
+    while (i < line.size() && !std::isspace(static_cast<unsigned char>(line[i]))) ++i;
+    toks.push_back(Token{line.substr(start, i - start), static_cast<int>(start) + 1});
+  }
+  return toks;
+}
+
+}  // namespace hb

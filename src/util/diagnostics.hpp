@@ -1,0 +1,130 @@
+// Structured diagnostics for Hummingbird (the resilient-runtime layer).
+//
+// A Diagnostic is one machine-readable finding: a stable code, a severity,
+// an optional source location (line/column for parsers, names for design
+// checks), a message and an optional suggested fix.  Producers append to a
+// DiagnosticSink instead of throwing, so a single run can surface *every*
+// problem in a file or design rather than dying on the first one; callers
+// that still want fail-fast semantics use the sink-free wrappers, which
+// raise hb::Error from the first error-severity diagnostic.
+//
+// Codes are grouped by layer (parse / design / clock / analysis) and are
+// documented in docs/ROBUSTNESS.md; treat them as a stable interface for
+// tooling built on top of the analyser.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace hb {
+
+enum class Severity {
+  kNote,     // information attached to another finding
+  kWarning,  // suspicious but analysable
+  kError,    // the construct is unusable; analysis degrades around it
+  kFatal,    // nothing usable could be produced at all
+};
+
+enum class DiagCode : std::uint16_t {
+  // Parsers (netlist / library / timing spec).
+  kParseSyntax,          // malformed statement
+  kParseUnknownKeyword,  // unrecognised statement keyword
+  kParseBadNumber,       // unparsable numeric / time literal
+  kParseUnknownName,     // reference to an undeclared cell/module/net/port
+  kParseDuplicateName,   // redeclaration of an existing name
+  kParseStructure,       // misplaced statement (outside module/cell, nesting)
+  kParseUnterminated,    // EOF inside an open module/cell
+  kParseEmptyInput,      // no usable content at all
+
+  // Structural design validation.
+  kDesignUnconnected,    // instance port with no net
+  kDesignNoDriver,       // net read but never driven
+  kDesignMultiDriver,    // non-tristate net with several drivers
+  kDesignCombCycle,      // combinational cycle
+  kDesignControlCone,    // control pin not a monotonic function of one clock
+  kDesignHierarchy,      // submodule breaks the combinational-only rule
+
+  // Clock / analysis runtime.
+  kClockNonHarmonic,     // clock set with an exploded overall period
+  kAnalysisQuarantined,  // cluster/instances excluded by degraded mode
+  kAnalysisBudget,       // watchdog expired; result tagged timed_out
+  kAnalysisSelfHeal,     // incremental cache divergence healed
+};
+
+/// Stable lower-case identifier for a code, e.g. "parse-syntax".
+const char* diag_code_name(DiagCode code);
+const char* severity_name(Severity severity);
+
+/// Source position of a finding; 0 means "not applicable" for either field.
+struct SourceLoc {
+  int line = 0;
+  int col = 0;
+  bool valid() const { return line > 0; }
+};
+
+struct Diagnostic {
+  DiagCode code = DiagCode::kParseSyntax;
+  Severity severity = Severity::kError;
+  SourceLoc loc;
+  std::string message;
+  /// Optional actionable suggestion ("declare the net before `conn`", ...).
+  std::string hint;
+
+  /// "error[parse-syntax] at line 4, col 9: ... (hint: ...)".
+  std::string to_string() const;
+};
+
+/// Ordered collection of diagnostics from one operation.
+class DiagnosticSink {
+ public:
+  void add(Diagnostic d);
+  /// Convenience for the common case.
+  void add(DiagCode code, Severity severity, SourceLoc loc, std::string message,
+           std::string hint = {});
+
+  const std::vector<Diagnostic>& all() const { return diags_; }
+  bool empty() const { return diags_.empty(); }
+  std::size_t size() const { return diags_.size(); }
+
+  /// Count / presence of error-or-worse findings.
+  std::size_t error_count() const { return errors_; }
+  bool has_errors() const { return errors_ > 0; }
+  /// First error-severity diagnostic; requires has_errors().
+  const Diagnostic& first_error() const;
+
+  void clear();
+
+  /// All findings, one per line (diagnostic to_string() format).
+  std::string to_string() const;
+
+ private:
+  std::vector<Diagnostic> diags_;
+  std::size_t errors_ = 0;
+};
+
+/// Fail-fast bridge for the legacy throwing parser APIs: raises hb::Error
+/// as "<prefix> at line N, col M: <first error message>" (location parts
+/// omitted when the diagnostic has none).  Requires sink.has_errors().
+[[noreturn]] void raise_first_error(const char* prefix,
+                                    const DiagnosticSink& sink);
+
+/// Result-quality tag for analysis entry points (Algorithms 1 and 2).
+enum class AnalysisStatus {
+  kComplete,  // every constraint evaluated with full information
+  kPartial,   // degraded mode: quarantined portions were not analysed
+  kTimedOut,  // watchdog expired; offsets are the last conservative state
+};
+const char* analysis_status_name(AnalysisStatus status);
+
+/// A token with its 1-based starting column — shared by the line-oriented
+/// parsers so every syntax diagnostic can point at the offending token.
+struct Token {
+  std::string text;
+  int col = 0;
+};
+
+/// Split a line on whitespace, dropping '#' comments, recording columns.
+std::vector<Token> split_tokens(const std::string& line);
+
+}  // namespace hb

@@ -1,0 +1,61 @@
+#include "util/faultinject.hpp"
+
+namespace hb {
+namespace {
+
+// SplitMix64 finaliser — the same mixer Rng uses, reimplemented here so the
+// injector has no dependency on (and cannot perturb) generator seeds.
+std::uint64_t mix(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+FaultInjector& FaultInjector::instance() {
+  static FaultInjector injector;
+  return injector;
+}
+
+void FaultInjector::arm(const Config& config) {
+  config_ = config;
+  for (int s = 0; s < kNumFaultSites; ++s) {
+    draws_[s].store(0, std::memory_order_relaxed);
+    fires_[s].store(0, std::memory_order_relaxed);
+  }
+  armed_.store(true, std::memory_order_release);
+}
+
+void FaultInjector::disarm() { armed_.store(false, std::memory_order_release); }
+
+bool FaultInjector::should_fire(FaultSite site) {
+  if (!armed_.load(std::memory_order_acquire)) return false;
+  const int s = static_cast<int>(site);
+  const double p = config_.probability[s];
+  if (p <= 0) return false;
+  const std::uint64_t n = draws_[s].fetch_add(1, std::memory_order_relaxed);
+  const std::uint64_t h = mix(mix(config_.seed ^ (0x5157ULL + s)) ^ n);
+  // Top 53 bits -> uniform double in [0, 1).
+  const double u = static_cast<double>(h >> 11) * 0x1.0p-53;
+  if (u >= p) return false;
+  fires_[s].fetch_add(1, std::memory_order_relaxed);
+  return true;
+}
+
+std::uint64_t FaultInjector::draw(FaultSite site) {
+  const int s = static_cast<int>(site);
+  const std::uint64_t n = draws_[s].fetch_add(1, std::memory_order_relaxed);
+  return mix(mix(config_.seed ^ (0xd0a1ULL + s)) ^ n);
+}
+
+std::uint64_t FaultInjector::draw_count(FaultSite site) const {
+  return draws_[static_cast<int>(site)].load(std::memory_order_relaxed);
+}
+
+std::uint64_t FaultInjector::fire_count(FaultSite site) const {
+  return fires_[static_cast<int>(site)].load(std::memory_order_relaxed);
+}
+
+}  // namespace hb

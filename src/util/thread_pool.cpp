@@ -2,6 +2,9 @@
 
 #include <algorithm>
 
+#include "util/cancel.hpp"
+#include "util/faultinject.hpp"
+
 namespace hb {
 
 ThreadPool::ThreadPool(int num_threads) {
@@ -24,23 +27,23 @@ ThreadPool::~ThreadPool() {
   for (std::thread& t : workers_) t.join();
 }
 
-void ThreadPool::run_batch(const std::vector<std::function<void()>>& tasks) {
-  if (tasks.empty()) return;
-  if (workers_.empty()) {
-    for (const auto& task : tasks) task();
-    return;
-  }
+bool ThreadPool::run_batch(const std::vector<std::function<void()>>& tasks,
+                           const CancelToken* cancel) {
+  if (tasks.empty()) return true;
   {
     std::lock_guard<std::mutex> lock(mutex_);
     batch_ = &tasks;
+    cancel_ = cancel;
     next_.store(0, std::memory_order_relaxed);
     completed_ = 0;
+    skipped_ = 0;
     first_error_ = nullptr;
     ++generation_;
   }
   wake_.notify_all();
   work_through();
   std::exception_ptr error;
+  bool complete = true;
   {
     std::unique_lock<std::mutex> lock(mutex_);
     // Wait until every task ran AND every worker left the batch, so the
@@ -48,32 +51,46 @@ void ThreadPool::run_batch(const std::vector<std::function<void()>>& tasks) {
     // picking indices against a stale task list.
     done_.wait(lock, [&] { return completed_ == tasks.size() && active_ == 0; });
     batch_ = nullptr;
+    cancel_ = nullptr;
     error = first_error_;
+    complete = skipped_ == 0;
   }
   if (error) std::rethrow_exception(error);
+  return complete;
 }
 
 void ThreadPool::work_through() {
   const std::vector<std::function<void()>>* batch;
+  const CancelToken* cancel;
   {
     std::lock_guard<std::mutex> lock(mutex_);
     batch = batch_;
+    cancel = cancel_;
   }
   if (batch == nullptr) return;
   std::size_t done_here = 0;
+  std::size_t skipped_here = 0;
   std::exception_ptr error;
   for (;;) {
     const std::size_t i = next_.fetch_add(1, std::memory_order_relaxed);
     if (i >= batch->size()) break;
-    try {
-      (*batch)[i]();
-    } catch (...) {
-      if (!error) error = std::current_exception();
+    if (cancel != nullptr && cancel->cancelled()) {
+      // Cooperative cancellation: consume the index without running the
+      // task so the batch still drains and the pool stays consistent.
+      ++skipped_here;
+    } else {
+      try {
+        maybe_inject_fault(FaultSite::kPoolTask, "thread pool task");
+        (*batch)[i]();
+      } catch (...) {
+        if (!error) error = std::current_exception();
+      }
     }
     ++done_here;
   }
   std::lock_guard<std::mutex> lock(mutex_);
   completed_ += done_here;
+  skipped_ += skipped_here;
   if (error && !first_error_) first_error_ = error;
   if (completed_ == batch->size()) done_.notify_all();
 }

@@ -4,8 +4,19 @@
 // thread) tasks from a shared atomic counter and returns when all tasks have
 // finished.  Tasks must be independent — the slack engine guarantees this by
 // giving every (cluster, pass) task its own result slot — so the schedule
-// never affects results, only wall-clock time.  The first exception thrown
-// by any task is re-thrown on the calling thread after the batch completes.
+// never affects results, only wall-clock time.
+//
+// Fault containment: a task exception never terminates the process or a
+// worker thread.  The batch always runs to completion (a failed task does
+// not starve the others), and the first exception thrown by any task is
+// re-thrown on the calling thread after the batch completes — identically
+// on the serial and the pooled path.
+//
+// Cancellation is cooperative: when run_batch() is given a CancelToken and
+// it trips mid-batch, tasks not yet started are skipped and run_batch
+// returns false.  The caller owns the consequences (typically: discard the
+// partial state and tag the analysis timed_out); the pool itself stays
+// usable for the next batch.
 #pragma once
 
 #include <atomic>
@@ -18,6 +29,8 @@
 #include <vector>
 
 namespace hb {
+
+class CancelToken;
 
 class ThreadPool {
  public:
@@ -34,7 +47,11 @@ class ThreadPool {
 
   /// Run tasks[0..n) to completion.  Each task is executed exactly once, on
   /// an unspecified worker.  Not re-entrant: tasks must not call run_batch.
-  void run_batch(const std::vector<std::function<void()>>& tasks);
+  /// Returns true when every task ran; false when `cancel` tripped and the
+  /// remaining tasks were skipped.  The first task exception is re-thrown
+  /// here after the batch has drained.
+  bool run_batch(const std::vector<std::function<void()>>& tasks,
+                 const CancelToken* cancel = nullptr);
 
  private:
   void worker_loop();
@@ -47,8 +64,10 @@ class ThreadPool {
 
   // All fields below except next_ are guarded by mutex_.
   const std::vector<std::function<void()>>* batch_ = nullptr;
+  const CancelToken* cancel_ = nullptr;
   std::atomic<std::size_t> next_{0};
   std::size_t completed_ = 0;
+  std::size_t skipped_ = 0;
   int active_ = 0;  // workers currently inside the batch
   std::uint64_t generation_ = 0;
   bool stop_ = false;

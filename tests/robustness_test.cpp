@@ -1,10 +1,13 @@
-// Robustness and scale: the parser must never crash on mutated input
-// (either parse or raise hb::Error), analyses must be deterministic across
-// runs, and run time must scale sanely with design size.
+// Robustness and scale: the parsers must never crash on mutated input
+// (either parse cleanly or report structured diagnostics), analyses must be
+// deterministic across runs, and run time must scale sanely with design
+// size.
 #include <gtest/gtest.h>
 
+#include "clocks/clock_io.hpp"
 #include "gen/des.hpp"
 #include "gen/filter.hpp"
+#include "netlist/library_io.hpp"
 #include "netlist/netlist_io.hpp"
 #include "netlist/stdcells.hpp"
 #include "netlist/validate.hpp"
@@ -14,20 +17,10 @@
 namespace hb {
 namespace {
 
-class ParserFuzzTest : public ::testing::TestWithParam<std::uint64_t> {};
-
-// Mutate a valid netlist (byte flips, line drops, truncation) and feed it
-// back: the parser must either produce a design or throw hb::Error — never
-// crash or hang.
-TEST_P(ParserFuzzTest, MutatedNetlistNeverCrashes) {
-  auto lib = make_standard_library();
-  DesSpec spec;
-  spec.rounds = 1;
-  spec.half_width = 4;
-  const std::string base = netlist_to_string(make_des(lib, spec));
-
-  Rng rng(GetParam());
-  std::string text = base;
+/// Apply 1-8 random mutations (byte flips, truncation, line drops, chunk
+/// duplication) to `text`, shared by all parser fuzzers.
+std::string mutate_text(std::string text, std::uint64_t seed) {
+  Rng rng(seed);
   const int mutations = 1 + static_cast<int>(rng.pick(8));
   for (int m = 0; m < mutations; ++m) {
     switch (rng.pick(4)) {
@@ -61,12 +54,75 @@ TEST_P(ParserFuzzTest, MutatedNetlistNeverCrashes) {
       }
     }
   }
+  return text;
+}
 
+class ParserFuzzTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+// Mutate a valid netlist (byte flips, line drops, truncation) and feed it
+// back: the parser must either produce a design or throw hb::Error — never
+// crash or hang.
+TEST_P(ParserFuzzTest, MutatedNetlistNeverCrashes) {
+  auto lib = make_standard_library();
+  DesSpec spec;
+  spec.rounds = 1;
+  spec.half_width = 4;
+  const std::string base = netlist_to_string(make_des(lib, spec));
+  const std::string text = mutate_text(base, GetParam());
+
+  // Legacy fail-fast API: parse or throw hb::Error, never crash or hang.
   try {
     const Design d = netlist_from_string(text, lib);
     validate(d);  // may report errors; must not crash
   } catch (const Error&) {
     // expected for most mutations
+  }
+
+  // Recovering API: never throws on malformed *syntax*; either the text
+  // round-trips identically or diagnostics explain what was dropped.
+  DiagnosticSink sink;
+  const Design d = netlist_from_string(text, lib, sink);
+  if (d.top_id().valid()) validate(d);
+  if (sink.empty()) {
+    EXPECT_NO_THROW(netlist_from_string(text, lib));
+  }
+}
+
+TEST_P(ParserFuzzTest, MutatedLibraryNeverCrashes) {
+  const std::string base = library_to_string(*make_standard_library());
+  const std::string text = mutate_text(base, GetParam() * 7919 + 1);
+
+  try {
+    library_from_string(text);
+  } catch (const Error&) {
+  }
+
+  DiagnosticSink sink;
+  auto lib = library_from_string(text, sink);
+  ASSERT_NE(lib, nullptr);
+  if (sink.empty()) {
+    EXPECT_NO_THROW(library_from_string(text));
+  }
+}
+
+TEST_P(ParserFuzzTest, MutatedTimingSpecNeverCrashes) {
+  const std::string base =
+      "# demo spec\n"
+      "clock phi1 period 20ns pulse 0 8ns\n"
+      "clock phi2 period 10ns pulse 2ns 6ns pulse 7ns 9ns\n"
+      "input d arrival 3ns offset 100ps\n"
+      "output q required 18ns offset -250ps\n";
+  const std::string text = mutate_text(base, GetParam() * 6151 + 3);
+
+  try {
+    timing_spec_from_string(text);
+  } catch (const Error&) {
+  }
+
+  DiagnosticSink sink;
+  timing_spec_from_string(text, sink);
+  if (sink.empty()) {
+    EXPECT_NO_THROW(timing_spec_from_string(text));
   }
 }
 
