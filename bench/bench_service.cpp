@@ -1,0 +1,189 @@
+// Query-service throughput and what-if latency.
+//
+// Scenario: one Session over the largest generated random network, hammered
+// by 1/4/8 client threads issuing a realistic read mix (summary,
+// worst_paths, histogram, slack over a rotating node set), then a what-if
+// loop (set_delay + commit) running under 4 concurrent readers.  Each
+// thread-count run uses a fresh session so cache warm-up is comparable.
+//
+// Writes BENCH_service.json.  `hardware_threads` records the machine the
+// numbers came from: read scaling across client threads is limited by the
+// cores available (a 1-core container serialises every client).
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "gen/random_network.hpp"
+#include "netlist/stdcells.hpp"
+#include "service/session.hpp"
+#include "util/time.hpp"
+
+namespace hb {
+namespace {
+
+double seconds_since(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+std::shared_ptr<Session> make_bench_session() {
+  RandomNetworkSpec spec;
+  spec.seed = 7;
+  spec.num_clocks = 2;
+  spec.banks = 8;
+  spec.bank_width = 10;
+  spec.gates_per_stage = 220;
+  RandomNetwork net = make_random_network(make_standard_library(), spec);
+  return std::make_shared<Session>(std::move(net.design), std::move(net.clocks));
+}
+
+/// The per-client read mix, parameterised by iteration so slack queries
+/// rotate through the node set (misses on first touch, hits after).
+std::string read_query(const std::vector<std::string>& nodes, int k) {
+  switch (k % 4) {
+    case 0: return "summary";
+    case 1: return "worst_paths 8";
+    case 2: return "histogram 8";
+    default:
+      return "slack " + nodes[static_cast<std::size_t>(k / 4) % nodes.size()];
+  }
+}
+
+struct ThroughputResult {
+  int clients = 0;
+  double qps = 0;
+  double cache_hit_rate = 0;
+};
+
+ThroughputResult measure_reads(int clients, int queries_per_client) {
+  auto session = make_bench_session();
+  std::vector<std::string> nodes;
+  for (const auto& [name, node] : session->snapshot()->names->node_by_name) {
+    nodes.push_back(name);
+    if (nodes.size() == 256) break;
+  }
+  std::sort(nodes.begin(), nodes.end());  // deterministic rotation order
+
+  auto client = [&](int offset) {
+    for (int k = 0; k < queries_per_client; ++k) {
+      session->execute(read_query(nodes, k + offset));
+    }
+  };
+
+  const auto start = std::chrono::steady_clock::now();
+  std::vector<std::thread> threads;
+  for (int c = 0; c < clients; ++c) threads.emplace_back(client, 17 * c);
+  for (std::thread& t : threads) t.join();
+  const double elapsed = seconds_since(start);
+
+  ThroughputResult r;
+  r.clients = clients;
+  r.qps = static_cast<double>(clients) * queries_per_client / elapsed;
+  r.cache_hit_rate = session->metrics().cache_hit_rate();
+  return r;
+}
+
+struct WhatIfResult {
+  double mean_us = 0;
+  double p50_us = 0;
+  double max_us = 0;
+  int commits = 0;
+};
+
+WhatIfResult measure_whatif(int readers, int commits) {
+  auto session = make_bench_session();
+  std::vector<std::string> comb;
+  for (const Instance& inst : session->design().top().insts()) {
+    if (inst.is_cell() &&
+        !session->design().lib().cell(inst.cell).is_sequential()) {
+      comb.push_back(inst.name);
+      if (comb.size() == 32) break;
+    }
+  }
+  std::vector<std::string> nodes;
+  for (const auto& [name, node] : session->snapshot()->names->node_by_name) {
+    nodes.push_back(name);
+    if (nodes.size() == 64) break;
+  }
+
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> threads;
+  for (int c = 0; c < readers; ++c) {
+    threads.emplace_back([&, c] {
+      for (int k = 0; !stop.load(std::memory_order_relaxed); ++k) {
+        session->execute(read_query(nodes, k + 17 * c));
+      }
+    });
+  }
+
+  std::vector<double> latency_us;
+  latency_us.reserve(static_cast<std::size_t>(commits));
+  for (int k = 0; k < commits; ++k) {
+    const std::string& inst = comb[static_cast<std::size_t>(k) % comb.size()];
+    session->execute("set_delay " + inst + (k % 2 == 0 ? " 5" : " -5"));
+    const auto start = std::chrono::steady_clock::now();
+    session->execute("commit");
+    latency_us.push_back(1e6 * seconds_since(start));
+  }
+  stop = true;
+  for (std::thread& t : threads) t.join();
+
+  WhatIfResult r;
+  r.commits = commits;
+  std::sort(latency_us.begin(), latency_us.end());
+  for (double v : latency_us) r.mean_us += v;
+  r.mean_us /= static_cast<double>(latency_us.size());
+  r.p50_us = latency_us[latency_us.size() / 2];
+  r.max_us = latency_us.back();
+  return r;
+}
+
+}  // namespace
+}  // namespace hb
+
+int main() {
+  using namespace hb;
+  const unsigned hw = std::thread::hardware_concurrency();
+  std::printf("hardware threads: %u\n", hw);
+  std::printf("%8s %12s %14s\n", "clients", "queries/s", "cache hit rate");
+
+  std::vector<ThroughputResult> reads;
+  for (int clients : {1, 4, 8}) {
+    reads.push_back(measure_reads(clients, 4000));
+    const ThroughputResult& r = reads.back();
+    std::printf("%8d %12.0f %13.1f%%\n", r.clients, r.qps,
+                100.0 * r.cache_hit_rate);
+  }
+  const double scaling = reads.back().qps / reads.front().qps;
+  std::printf("read throughput scaling 1 -> 8 clients: %.2fx\n", scaling);
+
+  const WhatIfResult whatif = measure_whatif(4, 40);
+  std::printf(
+      "what-if commit under 4 readers: mean %.0f us, p50 %.0f us, max %.0f us "
+      "(%d commits)\n",
+      whatif.mean_us, whatif.p50_us, whatif.max_us, whatif.commits);
+
+  FILE* json = std::fopen("BENCH_service.json", "w");
+  std::fprintf(json, "{\n  \"hardware_threads\": %u,\n  \"read_throughput\": [\n",
+               hw);
+  for (std::size_t i = 0; i < reads.size(); ++i) {
+    std::fprintf(json,
+                 "    {\"clients\": %d, \"queries_per_second\": %.0f, "
+                 "\"cache_hit_rate\": %.3f}%s\n",
+                 reads[i].clients, reads[i].qps, reads[i].cache_hit_rate,
+                 i + 1 < reads.size() ? "," : "");
+  }
+  std::fprintf(json,
+               "  ],\n  \"read_scaling_1_to_8\": %.2f,\n"
+               "  \"whatif_commit_under_4_readers\": {\"mean_us\": %.1f, "
+               "\"p50_us\": %.1f, \"max_us\": %.1f, \"commits\": %d}\n}\n",
+               scaling, whatif.mean_us, whatif.p50_us, whatif.max_us,
+               whatif.commits);
+  std::fclose(json);
+  std::printf("wrote BENCH_service.json\n");
+  return 0;
+}

@@ -1,23 +1,40 @@
 // Command-line driver: the shape of the tool a downstream flow would call
-// in place of the original Hummingbird.  Reads a netlist file and a timing
+// in place of the original Hummingbird.
+//
+// One-shot analysis (legacy form): reads a netlist file and a timing
 // specification (clocks + port arrivals/requireds), runs the analysis, and
 // prints the report; optionally Algorithm 2 constraints and hold checks.
 //
 //   hummingbird_cli <netlist> <timing-spec> [--paths N] [--constraints]
 //                   [--hold <margin>]
 //
+// Query-service frontends (docs/SERVICE.md):
+//
+//   hummingbird_cli serve [<netlist> <timing-spec>] [--lib F] [--tcp PORT]
+//     Line-protocol request loop on stdin/stdout; with --tcp also serves
+//     the same protocol on 127.0.0.1:PORT (0 = ephemeral, port printed to
+//     stderr).  Exits 3 when the initial load fails.
+//
+//   hummingbird_cli query <netlist> <timing-spec> [--lib F] <query>...
+//     One-shot: loads the design, executes each <query> argument as one
+//     protocol line and prints the replies.  Exits 3 when any reply is an
+//     error, 0 otherwise.
+//
 // Run without arguments to execute a built-in demo: the tool writes a small
 // two-phase latch design and its spec to ./hummingbird_demo.* and analyses
-// them.
+// them.  `--help` prints this usage.
 #include <cstdio>
 #include <cstring>
 #include <fstream>
+#include <iostream>
 
 #include "clocks/clock_io.hpp"
 #include "gen/pipeline.hpp"
 #include "netlist/library_io.hpp"
 #include "netlist/netlist_io.hpp"
 #include "netlist/stdcells.hpp"
+#include "service/protocol.hpp"
+#include "service/tcp_server.hpp"
 #include "sta/hummingbird.hpp"
 #include "sta/visualize.hpp"
 
@@ -143,10 +160,117 @@ int demo() {
   return run("hummingbird_demo.net", "hummingbird_demo.spec", flags);
 }
 
+void print_usage(std::FILE* to) {
+  std::fprintf(
+      to,
+      "usage:\n"
+      "  hummingbird_cli <netlist> <timing-spec> [--paths N] [--constraints]\n"
+      "                  [--hold <margin>] [--histogram] [--dot F] [--lib F]\n"
+      "  hummingbird_cli serve [<netlist> <timing-spec>] [--lib F] [--tcp PORT]\n"
+      "  hummingbird_cli query <netlist> <timing-spec> [--lib F] <query>...\n"
+      "  hummingbird_cli --help\n"
+      "\n"
+      "With no arguments, runs a built-in demo.  serve/query speak the line\n"
+      "protocol documented in docs/SERVICE.md (`help` lists the verbs).\n"
+      "Exit codes: 0 ok, 1 timing violations (one-shot analysis), 2 usage,\n"
+      "3 protocol error (query: any error reply; serve: initial load failed).\n");
+}
+
+int run_serve(int argc, char** argv) {
+  using namespace hb;
+  std::string netlist, spec, lib;
+  int tcp_port = -1;  // -1 = no TCP listener
+  for (int i = 2; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--lib") == 0 && i + 1 < argc) {
+      lib = argv[++i];
+    } else if (std::strcmp(argv[i], "--tcp") == 0 && i + 1 < argc) {
+      tcp_port = std::atoi(argv[++i]);
+    } else if (argv[i][0] == '-') {
+      std::fprintf(stderr, "serve: unknown option '%s'\n", argv[i]);
+      return 2;
+    } else if (netlist.empty()) {
+      netlist = argv[i];
+    } else if (spec.empty()) {
+      spec = argv[i];
+    } else {
+      std::fprintf(stderr, "serve: unexpected argument '%s'\n", argv[i]);
+      return 2;
+    }
+  }
+  if (netlist.empty() != spec.empty()) {
+    std::fprintf(stderr, "serve: need both <netlist> and <timing-spec>\n");
+    return 2;
+  }
+
+  ServiceHost host;
+  if (!netlist.empty()) {
+    const QueryResult loaded = host.load(netlist, spec, lib);
+    if (!loaded.ok) {
+      std::fputs(to_wire(loaded).c_str(), stderr);
+      return 3;
+    }
+  }
+  std::unique_ptr<TcpServer> tcp;
+  if (tcp_port >= 0) {
+    tcp = std::make_unique<TcpServer>(host, static_cast<std::uint16_t>(tcp_port));
+    std::fprintf(stderr, "listening on 127.0.0.1:%u\n", tcp->port());
+  }
+  serve_stream(host, std::cin, std::cout);
+  return 0;
+}
+
+int run_query(int argc, char** argv) {
+  using namespace hb;
+  std::string netlist, spec, lib;
+  std::vector<std::string> queries;
+  for (int i = 2; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--lib") == 0 && i + 1 < argc) {
+      lib = argv[++i];
+    } else if (netlist.empty()) {
+      netlist = argv[i];
+    } else if (spec.empty()) {
+      spec = argv[i];
+    } else {
+      queries.push_back(argv[i]);
+    }
+  }
+  if (spec.empty() || queries.empty()) {
+    std::fprintf(stderr, "query: need <netlist> <timing-spec> <query>...\n");
+    return 2;
+  }
+
+  ServiceHost host;
+  const QueryResult loaded = host.load(netlist, spec, lib);
+  if (!loaded.ok) {
+    std::fputs(to_wire(loaded).c_str(), stderr);
+    return 3;
+  }
+  ProtocolHandler handler(host);
+  bool any_error = false;
+  for (const std::string& q : queries) {
+    const std::string reply = handler.handle_line(q);
+    if (reply.rfind("err ", 0) == 0) any_error = true;
+    std::fputs(reply.c_str(), stdout);
+    if (handler.quit()) break;
+  }
+  if (handler.collecting()) {
+    std::fprintf(stderr, "query: batch left incomplete\n");
+    return 2;
+  }
+  return any_error ? 3 : 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   try {
+    if (argc >= 2 && (std::strcmp(argv[1], "--help") == 0 ||
+                      std::strcmp(argv[1], "-h") == 0)) {
+      print_usage(stdout);
+      return 0;
+    }
+    if (argc >= 2 && std::strcmp(argv[1], "serve") == 0) return run_serve(argc, argv);
+    if (argc >= 2 && std::strcmp(argv[1], "query") == 0) return run_query(argc, argv);
     if (argc < 3) return demo();
     CliFlags flags;
     for (int i = 3; i < argc; ++i) {

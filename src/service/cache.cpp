@@ -1,0 +1,66 @@
+#include "service/cache.hpp"
+
+#include <functional>
+
+namespace hb {
+
+QueryCache::QueryCache(std::size_t capacity, std::size_t shards)
+    : capacity_(capacity == 0 ? 1 : capacity),
+      shards_(shards == 0 ? 1 : shards) {
+  per_shard_ = (capacity_ + shards_.size() - 1) / shards_.size();
+  if (per_shard_ == 0) per_shard_ = 1;
+}
+
+QueryCache::Shard& QueryCache::shard_of(const std::string& key) {
+  return shards_[std::hash<std::string>{}(key) % shards_.size()];
+}
+
+const QueryCache::Shard& QueryCache::shard_of(const std::string& key) const {
+  return shards_[std::hash<std::string>{}(key) % shards_.size()];
+}
+
+bool QueryCache::lookup(const std::string& key, QueryResult* out) {
+  Shard& s = shard_of(key);
+  std::lock_guard<std::mutex> lock(s.mutex);
+  auto it = s.index.find(key);
+  if (it == s.index.end()) return false;
+  s.lru.splice(s.lru.begin(), s.lru, it->second);
+  *out = it->second->result;
+  return true;
+}
+
+void QueryCache::insert(const std::string& key, const QueryResult& result) {
+  Shard& s = shard_of(key);
+  std::lock_guard<std::mutex> lock(s.mutex);
+  auto it = s.index.find(key);
+  if (it != s.index.end()) {
+    it->second->result = result;
+    s.lru.splice(s.lru.begin(), s.lru, it->second);
+    return;
+  }
+  s.lru.push_front(Entry{key, result});
+  s.index.emplace(key, s.lru.begin());
+  while (s.lru.size() > per_shard_) {
+    s.index.erase(s.lru.back().key);
+    s.lru.pop_back();
+  }
+}
+
+void QueryCache::clear() {
+  for (Shard& s : shards_) {
+    std::lock_guard<std::mutex> lock(s.mutex);
+    s.lru.clear();
+    s.index.clear();
+  }
+}
+
+std::size_t QueryCache::size() const {
+  std::size_t n = 0;
+  for (const Shard& s : shards_) {
+    std::lock_guard<std::mutex> lock(s.mutex);
+    n += s.lru.size();
+  }
+  return n;
+}
+
+}  // namespace hb

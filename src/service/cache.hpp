@@ -1,0 +1,64 @@
+// Query-result cache: sharded LRU keyed on (snapshot id, canonical query).
+//
+// Only successful read replies are cached.  Because the key embeds the
+// snapshot id, entries for superseded snapshots can never be served stale;
+// they are also useless, so publication clears the whole cache rather than
+// letting dead entries age out through the LRU chain.
+//
+// Sharding by key hash keeps the per-shard mutexes short-lived: concurrent
+// readers touching different queries rarely contend.
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "service/query.hpp"
+
+namespace hb {
+
+class QueryCache {
+ public:
+  /// `capacity` is the total entry budget, split evenly across shards.
+  explicit QueryCache(std::size_t capacity = 1024, std::size_t shards = 8);
+
+  static std::string key(std::uint64_t snapshot_id, const std::string& canonical) {
+    return std::to_string(snapshot_id) + '\0' + canonical;
+  }
+
+  /// True and fills `out` on a hit; a hit refreshes the entry's LRU rank.
+  bool lookup(const std::string& key, QueryResult* out);
+
+  /// Insert or refresh; evicts the shard's least recently used entry when
+  /// the shard is full.
+  void insert(const std::string& key, const QueryResult& result);
+
+  /// Drop everything (called on snapshot publication).
+  void clear();
+
+  std::size_t size() const;
+  std::size_t capacity() const { return capacity_; }
+
+ private:
+  struct Entry {
+    std::string key;
+    QueryResult result;
+  };
+  struct Shard {
+    mutable std::mutex mutex;
+    std::list<Entry> lru;  // front = most recently used
+    std::unordered_map<std::string, std::list<Entry>::iterator> index;
+  };
+
+  Shard& shard_of(const std::string& key);
+  const Shard& shard_of(const std::string& key) const;
+
+  std::size_t capacity_;
+  std::size_t per_shard_;
+  std::vector<Shard> shards_;
+};
+
+}  // namespace hb

@@ -1,0 +1,93 @@
+#include "service/metrics.hpp"
+
+#include <bit>
+#include <cmath>
+#include <cstdio>
+
+namespace hb {
+namespace {
+
+constexpr int kBuckets = 32;  // mirrors ServiceMetrics::kBuckets
+
+/// Bucket index of a latency: 0 covers [0, 1) us, bucket i covers
+/// [2^(i-1), 2^i) us.
+int bucket_of_us(std::uint64_t us) {
+  if (us == 0) return 0;
+  const int b = std::bit_width(us);  // 1-based position of the top bit
+  return b >= kBuckets ? kBuckets - 1 : b;
+}
+
+}  // namespace
+
+void ServiceMetrics::record_request(bool is_read, bool ok, bool timed_out,
+                                    double seconds) {
+  requests_.fetch_add(1, std::memory_order_relaxed);
+  (is_read ? reads_ : writes_).fetch_add(1, std::memory_order_relaxed);
+  if (!ok) errors_.fetch_add(1, std::memory_order_relaxed);
+  if (timed_out) timeouts_.fetch_add(1, std::memory_order_relaxed);
+  const auto us = static_cast<std::uint64_t>(
+      std::llround(std::max(0.0, seconds) * 1e6));
+  latency_bucket_[bucket_of_us(us)].fetch_add(1, std::memory_order_relaxed);
+}
+
+void ServiceMetrics::record_cache(bool hit) {
+  (hit ? cache_hits_ : cache_misses_).fetch_add(1, std::memory_order_relaxed);
+}
+
+void ServiceMetrics::record_snapshot_published() {
+  snapshots_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void ServiceMetrics::record_batch() {
+  batches_.fetch_add(1, std::memory_order_relaxed);
+}
+
+double ServiceMetrics::cache_hit_rate() const {
+  const double h = static_cast<double>(cache_hits());
+  const double m = static_cast<double>(cache_misses());
+  return h + m > 0 ? h / (h + m) : 0.0;
+}
+
+std::uint64_t ServiceMetrics::latency_us(double percentile) const {
+  std::uint64_t counts[kBuckets];
+  std::uint64_t total = 0;
+  for (int i = 0; i < kBuckets; ++i) {
+    counts[i] = latency_bucket_[i].load(std::memory_order_relaxed);
+    total += counts[i];
+  }
+  if (total == 0) return 0;
+  const double rank = percentile / 100.0 * static_cast<double>(total);
+  std::uint64_t seen = 0;
+  for (int i = 0; i < kBuckets; ++i) {
+    seen += counts[i];
+    if (static_cast<double>(seen) >= rank) {
+      return i == 0 ? 1 : (std::uint64_t{1} << i);
+    }
+  }
+  return std::uint64_t{1} << (kBuckets - 1);
+}
+
+std::vector<std::string> ServiceMetrics::to_lines() const {
+  char buf[64];
+  std::vector<std::string> out;
+  auto add = [&out](const char* name, std::uint64_t v) {
+    out.push_back("  stat " + std::string(name) + " " + std::to_string(v));
+  };
+  add("requests", requests());
+  add("reads", reads());
+  add("writes", writes());
+  add("errors", errors());
+  add("timeouts", timeouts());
+  add("batches", batches());
+  add("cache_hits", cache_hits());
+  add("cache_misses", cache_misses());
+  std::snprintf(buf, sizeof buf, "  stat cache_hit_rate_pct %.1f",
+                100.0 * cache_hit_rate());
+  out.emplace_back(buf);
+  add("snapshots_published", snapshots_published());
+  add("latency_p50_us", latency_us(50));
+  add("latency_p99_us", latency_us(99));
+  return out;
+}
+
+}  // namespace hb

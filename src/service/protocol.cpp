@@ -1,0 +1,185 @@
+#include "service/protocol.hpp"
+
+#include <fstream>
+#include <istream>
+#include <ostream>
+
+#include "clocks/clock_io.hpp"
+#include "netlist/library_io.hpp"
+#include "netlist/netlist_io.hpp"
+#include "netlist/stdcells.hpp"
+#include "util/error.hpp"
+
+namespace hb {
+
+ServiceHost::ServiceHost(ServiceConfig config) : config_(std::move(config)) {}
+
+ServiceHost::~ServiceHost() = default;
+
+void ServiceHost::adopt(std::shared_ptr<Session> session) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  session_ = std::move(session);
+}
+
+std::shared_ptr<Session> ServiceHost::session() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return session_;
+}
+
+QueryResult ServiceHost::load(const std::string& netlist_path,
+                              const std::string& spec_path,
+                              const std::string& lib_path) {
+  try {
+    std::shared_ptr<const Library> lib = config_.lib;
+    if (!lib_path.empty()) {
+      std::ifstream lf(lib_path);
+      if (!lf) {
+        return make_error(DiagCode::kServiceRejected,
+                          "cannot open library '" + lib_path + "'");
+      }
+      lib = load_library(lf);
+    }
+    if (lib == nullptr) lib = make_standard_library();
+
+    std::ifstream nf(netlist_path);
+    if (!nf) {
+      return make_error(DiagCode::kServiceRejected,
+                        "cannot open netlist '" + netlist_path + "'");
+    }
+    Design design = load_netlist(nf, lib);
+
+    std::ifstream sf(spec_path);
+    if (!sf) {
+      return make_error(DiagCode::kServiceRejected,
+                        "cannot open timing spec '" + spec_path + "'");
+    }
+    const TimingSpec spec = load_timing_spec(sf);
+
+    HummingbirdOptions analysis = config_.analysis;
+    analysis.sync.input_arrivals = spec.input_arrivals;
+    analysis.sync.output_requireds = spec.output_requireds;
+
+    const std::string name = design.name();
+    const std::size_t cells = design.total_cell_count();
+    auto session = std::make_shared<Session>(std::move(design), spec.clocks,
+                                             std::move(analysis),
+                                             config_.session);
+    const std::uint64_t snap = session->snapshot()->id;
+    adopt(std::move(session));
+    return make_ok("ok load " + name + " cells " + std::to_string(cells) +
+                   " snapshot " + std::to_string(snap));
+  } catch (const Error& e) {
+    return make_error(DiagCode::kParseStructure, e.what());
+  }
+}
+
+// ---------------------------------------------------------------------------
+
+ProtocolHandler::ProtocolHandler(ServiceHost& host)
+    : host_(&host), timer_(AnalysisBudget{}) {}
+
+std::string ProtocolHandler::handle_line(const std::string& line) {
+  if (batch_pending_ > 0) {
+    batch_lines_.push_back(line);
+    if (--batch_pending_ > 0) return std::string();
+    return to_wire(run_batch());
+  }
+  const ParsedQuery q = parse_query(line);
+  if (!q.ok && q.error.lines.empty()) return std::string();  // blank/comment
+  if (!q.ok) return to_wire(q.error);
+  if (q.verb == QueryVerb::kBatch) {
+    batch_pending_ = static_cast<std::size_t>(q.number);
+    batch_lines_.clear();
+    return std::string();
+  }
+  return to_wire(dispatch(q));
+}
+
+QueryResult ProtocolHandler::dispatch(const ParsedQuery& q) {
+  switch (q.verb) {
+    case QueryVerb::kQuit:
+      quit_ = true;
+      return make_ok("ok bye");
+    case QueryVerb::kHelp: {
+      std::vector<std::string> lines = protocol_help_lines();
+      QueryResult r = make_ok("ok help " + std::to_string(lines.size()));
+      for (std::string& l : lines) r.lines.push_back(std::move(l));
+      return r;
+    }
+    case QueryVerb::kLoad:
+      return host_->load(q.args[0], q.args[1],
+                         q.args.size() > 2 ? q.args[2] : std::string());
+    default: {
+      const std::shared_ptr<Session> session = host_->session();
+      if (session == nullptr) {
+        return make_error(DiagCode::kServiceRejected,
+                          "no design loaded; use `load <netlist> <spec>`");
+      }
+      // Reuse the connection's token/timer pair across requests: reset the
+      // token, then re-arm the timer with this request's deadline.
+      token_.reset();
+      AnalysisBudget budget;
+      budget.wall_seconds = session->deadline_ms() / 1000.0;
+      budget.cancel = &token_;
+      timer_.rearm(budget);
+      return session->execute(q, &timer_);
+    }
+  }
+}
+
+QueryResult ProtocolHandler::run_batch() {
+  const std::shared_ptr<Session> session = host_->session();
+  if (session == nullptr) {
+    return make_error(DiagCode::kServiceRejected,
+                      "no design loaded; use `load <netlist> <spec>`");
+  }
+  const std::vector<QueryResult> results = session->execute_batch(batch_lines_);
+  batch_lines_.clear();
+  std::size_t emitted = 0;
+  for (const QueryResult& r : results) {
+    if (!r.lines.empty()) ++emitted;
+  }
+  QueryResult out = make_ok("ok batch " + std::to_string(emitted));
+  for (const QueryResult& r : results) {
+    for (const std::string& l : r.lines) out.lines.push_back(l);
+  }
+  return out;
+}
+
+std::vector<std::string> protocol_help_lines() {
+  return {
+      "  slack <node>             slack of one timing-graph node",
+      "  worst_paths <K>          the K worst slow paths of the snapshot",
+      "  histogram <bins>         capture-terminal slack histogram",
+      "  constraints <instance>   per-pin timing window of an instance",
+      "  summary                  snapshot-level analysis summary",
+      "  set_delay <inst> <time>  add delay to an instance (pending edit)",
+      "  upsize <inst>            swap to the next stronger variant",
+      "  commit                   re-analyse edits, publish next snapshot",
+      "  deadline <ms>            per-request deadline (0 = unlimited)",
+      "  stats                    service counters and latency percentiles",
+      "  ping                     liveness check",
+      "  load <netlist> <spec> [<lib>]  start a session from files",
+      "  batch <N>                execute the next N lines as one batch",
+      "  help                     this text",
+      "  quit                     end the connection",
+  };
+}
+
+int serve_stream(ServiceHost& host, std::istream& in, std::ostream& out) {
+  ProtocolHandler handler(host);
+  int errors = 0;
+  std::string line;
+  while (std::getline(in, line)) {
+    const std::string reply = handler.handle_line(line);
+    if (!reply.empty()) {
+      if (reply.rfind("err ", 0) == 0) ++errors;
+      out << reply;
+      out.flush();
+    }
+    if (handler.quit()) break;
+  }
+  return errors;
+}
+
+}  // namespace hb

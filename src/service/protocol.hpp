@@ -1,0 +1,88 @@
+// Line-oriented protocol frontend of the query service.
+//
+// A ServiceHost owns the active Session (the `load` verb replaces it); a
+// ProtocolHandler holds the per-connection state: the batch collector and
+// the reusable CancelToken/BudgetTimer pair that is reset and re-armed for
+// every request (util/cancel reuse semantics).  serve_stream() runs the
+// blocking stdio loop; the TCP frontend (tcp_server) runs one handler per
+// connection against the same host.
+#pragma once
+
+#include <iosfwd>
+#include <memory>
+#include <mutex>
+
+#include "netlist/library.hpp"
+#include "service/session.hpp"
+
+namespace hb {
+
+struct ServiceConfig {
+  HummingbirdOptions analysis;
+  SessionOptions session;
+  /// Cell library used by `load`; the built-in standard library when null.
+  std::shared_ptr<const Library> lib;
+};
+
+class ServiceHost {
+ public:
+  explicit ServiceHost(ServiceConfig config = {});
+  ~ServiceHost();
+
+  /// Install a ready-made session (embedded use and tests).
+  void adopt(std::shared_ptr<Session> session);
+
+  /// Load a netlist and timing-spec file and start a fresh session,
+  /// replacing any current one.  Returns the reply to send.
+  QueryResult load(const std::string& netlist_path,
+                   const std::string& spec_path,
+                   const std::string& lib_path = "");
+
+  /// The active session; null until load()/adopt().  Connections fetch it
+  /// per request, so a concurrent `load` swaps sessions between requests,
+  /// never mid-request.
+  std::shared_ptr<Session> session() const;
+
+  const ServiceConfig& config() const { return config_; }
+
+ private:
+  ServiceConfig config_;
+  mutable std::mutex mutex_;
+  std::shared_ptr<Session> session_;
+};
+
+/// Per-connection request loop state.
+class ProtocolHandler {
+ public:
+  explicit ProtocolHandler(ServiceHost& host);
+
+  /// Handle one request line and return the wire-format reply text
+  /// (newline-terminated; empty for blank/comment lines and while a batch
+  /// is collecting).  Sets quit() once a `quit` line is seen.
+  std::string handle_line(const std::string& line);
+
+  bool quit() const { return quit_; }
+
+  /// True while `batch N` is still collecting its N lines.
+  bool collecting() const { return batch_pending_ > 0; }
+
+ private:
+  QueryResult dispatch(const ParsedQuery& q);
+  QueryResult run_batch();
+
+  ServiceHost* host_;
+  CancelToken token_;
+  BudgetTimer timer_;
+  bool quit_ = false;
+  std::size_t batch_pending_ = 0;
+  std::vector<std::string> batch_lines_;
+};
+
+/// The `help` payload (two-space-indented continuation lines).
+std::vector<std::string> protocol_help_lines();
+
+/// Blocking request loop: one line in, one reply out, until EOF or `quit`.
+/// Returns the number of error replies emitted.
+int serve_stream(ServiceHost& host, std::istream& in, std::ostream& out);
+
+}  // namespace hb

@@ -1,0 +1,194 @@
+#include "service/query.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdio>
+
+#include "clocks/clock_io.hpp"  // parse_time
+#include "util/error.hpp"
+
+namespace hb {
+namespace {
+
+struct VerbSpec {
+  const char* name;
+  QueryVerb verb;
+  int min_args;
+  int max_args;
+};
+
+constexpr VerbSpec kVerbs[] = {
+    {"slack", QueryVerb::kSlack, 1, 1},
+    {"worst_paths", QueryVerb::kWorstPaths, 1, 1},
+    {"histogram", QueryVerb::kHistogram, 1, 1},
+    {"constraints", QueryVerb::kConstraints, 1, 1},
+    {"summary", QueryVerb::kSummary, 0, 0},
+    {"set_delay", QueryVerb::kSetDelay, 2, 2},
+    {"upsize", QueryVerb::kUpsize, 1, 1},
+    {"commit", QueryVerb::kCommit, 0, 0},
+    {"deadline", QueryVerb::kDeadline, 1, 1},
+    {"stats", QueryVerb::kStats, 0, 0},
+    {"ping", QueryVerb::kPing, 0, 0},
+    {"load", QueryVerb::kLoad, 2, 3},
+    {"batch", QueryVerb::kBatch, 1, 1},
+    {"help", QueryVerb::kHelp, 0, 0},
+    {"quit", QueryVerb::kQuit, 0, 0},
+    {"exit", QueryVerb::kQuit, 0, 0},
+};
+
+ParsedQuery fail(ParsedQuery q, DiagCode code, const std::string& message) {
+  q.ok = false;
+  q.error = make_error(code, message);
+  return q;
+}
+
+}  // namespace
+
+bool is_read_query(QueryVerb verb) {
+  switch (verb) {
+    case QueryVerb::kSlack:
+    case QueryVerb::kWorstPaths:
+    case QueryVerb::kHistogram:
+    case QueryVerb::kConstraints:
+    case QueryVerb::kSummary:
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool is_write_query(QueryVerb verb) {
+  return verb == QueryVerb::kSetDelay || verb == QueryVerb::kUpsize ||
+         verb == QueryVerb::kCommit;
+}
+
+bool is_session_query(QueryVerb verb) {
+  return is_read_query(verb) || is_write_query(verb) ||
+         verb == QueryVerb::kDeadline || verb == QueryVerb::kStats ||
+         verb == QueryVerb::kPing;
+}
+
+QueryResult make_ok(std::string header) {
+  QueryResult r;
+  r.lines.push_back(std::move(header));
+  return r;
+}
+
+QueryResult make_error(DiagCode code, const std::string& message) {
+  QueryResult r;
+  r.ok = false;
+  r.code = code;
+  r.lines.push_back("err " + std::string(diag_code_name(code)) + " " + message);
+  return r;
+}
+
+std::string to_wire(const QueryResult& r) {
+  std::string out;
+  for (const std::string& line : r.lines) {
+    out += line;
+    out += '\n';
+  }
+  return out;
+}
+
+std::string fmt_ps(TimePs t) {
+  if (t >= kInfinitePs) return "+inf";
+  if (t <= -kInfinitePs) return "-inf";
+  return std::to_string(t);
+}
+
+ParsedQuery parse_query(const std::string& line) {
+  ParsedQuery q;
+  const std::vector<Token> tokens = split_tokens(line);
+  if (tokens.empty()) {
+    // Blank / comment line: ok=false with an empty error — callers skip it.
+    return q;
+  }
+
+  std::string verb = tokens[0].text;
+  std::transform(verb.begin(), verb.end(), verb.begin(),
+                 [](unsigned char c) { return std::tolower(c); });
+
+  const VerbSpec* spec = nullptr;
+  for (const VerbSpec& v : kVerbs) {
+    if (verb == v.name) {
+      spec = &v;
+      break;
+    }
+  }
+  if (spec == nullptr) {
+    return fail(std::move(q), DiagCode::kParseUnknownKeyword,
+                "unknown query '" + verb + "' (try `help`)");
+  }
+  q.verb = spec->verb;
+  for (std::size_t i = 1; i < tokens.size(); ++i) q.args.push_back(tokens[i].text);
+  const int argc = static_cast<int>(q.args.size());
+  if (argc < spec->min_args || argc > spec->max_args) {
+    return fail(std::move(q), DiagCode::kParseSyntax,
+                "'" + std::string(spec->name) + "' expects " +
+                    std::to_string(spec->min_args) +
+                    (spec->max_args != spec->min_args
+                         ? ".." + std::to_string(spec->max_args)
+                         : "") +
+                    " argument(s), got " + std::to_string(argc));
+  }
+
+  // Per-verb numeric validation and canonicalisation.
+  std::string canon_args;
+  switch (q.verb) {
+    case QueryVerb::kWorstPaths:
+    case QueryVerb::kHistogram:
+    case QueryVerb::kBatch: {
+      char* end = nullptr;
+      const long long v = std::strtoll(q.args[0].c_str(), &end, 10);
+      const long long lo = q.verb == QueryVerb::kWorstPaths ? 0 : 1;
+      const long long hi = q.verb == QueryVerb::kHistogram ? 1000 : 100000;
+      if (end == nullptr || *end != '\0' || q.args[0].empty() || v < lo ||
+          v > hi) {
+        return fail(std::move(q), DiagCode::kParseBadNumber,
+                    "'" + q.args[0] + "' is not an integer in [" +
+                        std::to_string(lo) + ", " + std::to_string(hi) + "]");
+      }
+      q.number = v;
+      canon_args = std::to_string(v);
+      break;
+    }
+    case QueryVerb::kSetDelay: {
+      TimePs delta = 0;
+      try {
+        delta = parse_time(q.args[1]);
+      } catch (const Error& e) {
+        return fail(std::move(q), DiagCode::kParseBadNumber, e.what());
+      }
+      q.number = delta;
+      canon_args = q.args[0] + " " + std::to_string(delta);
+      break;
+    }
+    case QueryVerb::kDeadline: {
+      char* end = nullptr;
+      const double ms = std::strtod(q.args[0].c_str(), &end);
+      if (end == nullptr || *end != '\0' || q.args[0].empty() || ms < 0 ||
+          !(ms <= 1e9)) {
+        return fail(std::move(q), DiagCode::kParseBadNumber,
+                    "'" + q.args[0] + "' is not a deadline in milliseconds");
+      }
+      q.fraction = ms;
+      canon_args = q.args[0];
+      break;
+    }
+    default: {
+      for (std::size_t i = 0; i < q.args.size(); ++i) {
+        if (i) canon_args += ' ';
+        canon_args += q.args[i];
+      }
+      break;
+    }
+  }
+
+  q.canonical = spec->name;
+  if (!canon_args.empty()) q.canonical += " " + canon_args;
+  q.ok = true;
+  return q;
+}
+
+}  // namespace hb

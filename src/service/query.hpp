@@ -1,0 +1,90 @@
+// Query grammar of the timing service's line protocol (docs/SERVICE.md).
+//
+// One request per line; the reply is one header line ("ok ..." or
+// "err <code> <message>") plus zero or more continuation lines, each
+// indented with two spaces.  The header of a multi-line reply always
+// carries the continuation count, so clients can frame replies without
+// sentinels.
+//
+// Parsing canonicalises every query (verb spelling, numeric literals), and
+// the canonical form is the cache key component: "worst_paths 010" and
+// "worst_paths 10" hit the same cache entry.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "util/diagnostics.hpp"
+#include "util/time.hpp"
+
+namespace hb {
+
+enum class QueryVerb {
+  // Read queries: evaluated against the current snapshot, cacheable.
+  kSlack,
+  kWorstPaths,
+  kHistogram,
+  kConstraints,
+  kSummary,
+  // Write queries: funnel through the session's single writer.
+  kSetDelay,
+  kUpsize,
+  kCommit,
+  // Session control (neither cached nor written).
+  kDeadline,
+  kStats,
+  kPing,
+  // Host-level verbs, handled by the protocol layer, not the session.
+  kLoad,
+  kBatch,
+  kHelp,
+  kQuit,
+  kUnknown,
+};
+
+bool is_read_query(QueryVerb verb);
+bool is_write_query(QueryVerb verb);
+/// Read, write or control — everything a Session executes itself.
+bool is_session_query(QueryVerb verb);
+
+/// One reply: header line first, continuation lines (two-space indented)
+/// after.  `code` is meaningful only when !ok.
+struct QueryResult {
+  bool ok = true;
+  DiagCode code = DiagCode::kParseSyntax;
+  std::vector<std::string> lines;
+
+  bool timed_out() const { return !ok && code == DiagCode::kAnalysisBudget; }
+};
+
+QueryResult make_ok(std::string header);
+QueryResult make_error(DiagCode code, const std::string& message);
+
+/// Reply text on the wire: all lines joined, newline-terminated.
+std::string to_wire(const QueryResult& r);
+
+struct ParsedQuery {
+  QueryVerb verb = QueryVerb::kUnknown;
+  /// Raw argument tokens (names case-sensitive, numbers unparsed).
+  std::vector<std::string> args;
+  /// Canonical query text (cache key component); empty for invalid queries.
+  std::string canonical;
+  /// Pre-parsed numeric arguments, by grammar position (see parse_query).
+  std::int64_t number = 0;
+  double fraction = 0;
+  /// Verb recognised and arity/format valid.
+  bool ok = false;
+  /// The reply to send when !ok.
+  QueryResult error;
+};
+
+/// Parse and canonicalise one query line.  Empty and '#'-comment lines
+/// yield verb kUnknown with ok=false and an empty canonical — callers skip
+/// them silently (error.lines is empty for exactly this case).
+ParsedQuery parse_query(const std::string& line);
+
+/// "+inf" for the unconstrained sentinel, the plain picosecond integer
+/// otherwise — the machine-readable time format of every reply.
+std::string fmt_ps(TimePs t);
+
+}  // namespace hb

@@ -1,0 +1,424 @@
+#include "service/session.hpp"
+
+#include <algorithm>
+#include <chrono>
+
+#include "synth/resize.hpp"
+
+namespace hb {
+namespace {
+
+double seconds_since(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+std::string status_word(AnalysisStatus s) { return analysis_status_name(s); }
+
+}  // namespace
+
+Session::Session(Design design, ClockSet clocks, HummingbirdOptions analysis,
+                 SessionOptions options)
+    : design_(std::move(design)),
+      clocks_(std::move(clocks)),
+      analysis_options_(std::move(analysis)),
+      options_(options),
+      pool_(std::make_unique<ThreadPool>(options.pool_threads)),
+      cache_(options.cache_capacity, options.cache_shards) {
+  deadline_ms_.store(options_.default_deadline_ms, std::memory_order_relaxed);
+  HummingbirdOptions opt = analysis_options_;
+  opt.alg1.pool = pool_.get();
+  hb_ = std::make_unique<Hummingbird>(design_, clocks_, std::move(opt));
+  names_ = build_name_index(hb_->graph());
+  const Algorithm1Result res = hb_->analyze();
+  snapshot_ = take_snapshot(hb_->engine(), res, ++snapshot_counter_,
+                            options_.max_paths, names_);
+  metrics_.record_snapshot_published();
+}
+
+Session::~Session() = default;
+
+std::shared_ptr<const AnalysisSnapshot> Session::snapshot() const {
+  std::lock_guard<std::mutex> lock(snapshot_mutex_);
+  return snapshot_;
+}
+
+void Session::publish(std::shared_ptr<const AnalysisSnapshot> snap) {
+  {
+    std::lock_guard<std::mutex> lock(snapshot_mutex_);
+    snapshot_ = std::move(snap);
+  }
+  cache_.clear();
+  metrics_.record_snapshot_published();
+}
+
+AnalysisBudget Session::request_budget() const {
+  AnalysisBudget b;
+  b.wall_seconds = deadline_ms_.load(std::memory_order_relaxed) / 1000.0;
+  b.cancel = cancel_;
+  return b;
+}
+
+std::vector<InstDelayAdjust> Session::delay_adjust_history() const {
+  std::vector<InstDelayAdjust> out;
+  out.reserve(delay_adjust_.size());
+  for (const auto& [inst, delta] : delay_adjust_) {
+    if (delta != 0) out.push_back(InstDelayAdjust{InstId(inst), delta});
+  }
+  std::sort(out.begin(), out.end(),
+            [](const InstDelayAdjust& a, const InstDelayAdjust& b) {
+              return a.inst.index() < b.inst.index();
+            });
+  return out;
+}
+
+QueryResult Session::execute(const std::string& line) {
+  ParsedQuery q = parse_query(line);
+  if (!q.ok && q.error.lines.empty()) return q.error;  // blank/comment input
+  if (q.ok && !is_session_query(q.verb)) {
+    return make_error(DiagCode::kParseSyntax,
+                      "host-level command; not valid inside a session");
+  }
+  return execute(q);  // parse errors flow through so metrics count them
+}
+
+QueryResult Session::execute(const ParsedQuery& q, BudgetTimer* timer) {
+  const auto t0 = std::chrono::steady_clock::now();
+  const bool is_read = is_read_query(q.verb);
+  QueryResult r;
+  if (!q.ok) {
+    r = q.error;
+  } else if (is_read) {
+    const std::shared_ptr<const AnalysisSnapshot> snap = snapshot();
+    const std::string key = QueryCache::key(snap->id, q.canonical);
+    if (cache_.lookup(key, &r)) {
+      metrics_.record_cache(true);
+    } else {
+      metrics_.record_cache(false);
+      BudgetTimer local(request_budget());
+      r = evaluate_read(q, *snap, timer != nullptr ? *timer : local);
+      if (r.ok) cache_.insert(key, r);
+    }
+  } else if (is_write_query(q.verb)) {
+    r = execute_write(q, timer);
+  } else {
+    r = execute_control(q);
+  }
+  if (!q.error.lines.empty() || q.ok) {
+    metrics_.record_request(is_read, r.ok, r.timed_out(), seconds_since(t0));
+  }
+  return r;
+}
+
+std::vector<QueryResult> Session::execute_batch(
+    const std::vector<std::string>& lines) {
+  metrics_.record_batch();
+  std::vector<QueryResult> out(lines.size());
+  std::vector<ParsedQuery> parsed;
+  parsed.reserve(lines.size());
+  for (const std::string& line : lines) parsed.push_back(parse_query(line));
+
+  std::size_t i = 0;
+  while (i < lines.size()) {
+    // Maximal run of read queries starting at i.
+    std::size_t j = i;
+    while (j < lines.size() && parsed[j].ok && is_read_query(parsed[j].verb)) ++j;
+    if (j > i) {
+      if (j - i == 1 || pool_->size() == 1) {
+        for (std::size_t k = i; k < j; ++k) out[k] = execute(parsed[k]);
+      } else {
+        std::lock_guard<std::mutex> pool_lock(pool_mutex_);
+        std::vector<std::function<void()>> tasks;
+        tasks.reserve(j - i);
+        for (std::size_t k = i; k < j; ++k) {
+          tasks.push_back([this, &out, &parsed, k] { out[k] = execute(parsed[k]); });
+        }
+        pool_->run_batch(tasks);
+      }
+      i = j;
+      continue;
+    }
+    const ParsedQuery& q = parsed[i];
+    if (!q.ok) {
+      out[i] = q.error;
+    } else if (is_session_query(q.verb)) {
+      out[i] = execute(q);
+    } else {
+      out[i] = make_error(DiagCode::kParseSyntax,
+                          "host-level command; not valid inside a batch");
+    }
+    ++i;
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Read queries — pure functions of one snapshot.
+
+QueryResult Session::evaluate_read(const ParsedQuery& q,
+                                   const AnalysisSnapshot& snap,
+                                   BudgetTimer& timer) const {
+  if (timer.exhausted()) {
+    return make_error(DiagCode::kAnalysisBudget,
+                      "read deadline exceeded; snapshot " +
+                          std::to_string(snap.id) + " unaffected");
+  }
+  const NameIndex& names = *snap.names;
+  switch (q.verb) {
+    case QueryVerb::kSlack: {
+      auto it = names.node_by_name.find(q.args[0]);
+      if (it == names.node_by_name.end()) {
+        return make_error(DiagCode::kParseUnknownName,
+                          "unknown node '" + q.args[0] + "'");
+      }
+      const NodeTiming& nt = snap.nodes.at(it->second);
+      return make_ok("ok slack " + q.args[0] + " " + fmt_ps(nt.slack));
+    }
+    case QueryVerb::kWorstPaths: {
+      const std::size_t want = static_cast<std::size_t>(q.number);
+      const std::size_t served = std::min(want, snap.paths.size());
+      QueryResult r = make_ok("ok worst_paths " + std::to_string(served) +
+                              " of " + std::to_string(snap.num_violations));
+      for (std::size_t i = 0; i < served; ++i) {
+        timer.count_cycle();
+        if (timer.exhausted()) {
+          return make_error(DiagCode::kAnalysisBudget,
+                            "read deadline exceeded; snapshot " +
+                                std::to_string(snap.id) + " unaffected");
+        }
+        const SnapshotPath& p = snap.paths[i];
+        r.lines.push_back("  path " + std::to_string(i) + " slack " +
+                          fmt_ps(p.slack) + " launch " + p.launch +
+                          " capture " + p.capture + " from " + p.from +
+                          " to " + p.to + " steps " + std::to_string(p.steps));
+      }
+      return r;
+    }
+    case QueryVerb::kHistogram: {
+      const std::vector<TimePs>& slacks = snap.capture_slacks;
+      if (slacks.empty()) {
+        return make_ok("ok histogram 0 count 0 min 0 max 0");
+      }
+      const auto [mn_it, mx_it] = std::minmax_element(slacks.begin(), slacks.end());
+      const TimePs mn = *mn_it, mx = *mx_it;
+      const std::int64_t bins = q.number;
+      const TimePs width = (mx - mn) / bins + 1;
+      std::vector<std::uint64_t> count(static_cast<std::size_t>(bins), 0);
+      for (const TimePs s : slacks) {
+        ++count[static_cast<std::size_t>((s - mn) / width)];
+      }
+      QueryResult r = make_ok("ok histogram " + std::to_string(bins) +
+                              " count " + std::to_string(slacks.size()) +
+                              " min " + fmt_ps(mn) + " max " + fmt_ps(mx));
+      for (std::int64_t i = 0; i < bins; ++i) {
+        timer.count_cycle();
+        if (timer.exhausted()) {
+          return make_error(DiagCode::kAnalysisBudget,
+                            "read deadline exceeded; snapshot " +
+                                std::to_string(snap.id) + " unaffected");
+        }
+        r.lines.push_back("  bin " + std::to_string(i) + " lo " +
+                          fmt_ps(mn + i * width) + " hi " +
+                          fmt_ps(mn + (i + 1) * width) + " count " +
+                          std::to_string(count[static_cast<std::size_t>(i)]));
+      }
+      return r;
+    }
+    case QueryVerb::kConstraints: {
+      auto it = names.inst_pins.find(q.args[0]);
+      if (it == names.inst_pins.end()) {
+        return make_error(DiagCode::kParseUnknownName,
+                          "unknown instance '" + q.args[0] + "'");
+      }
+      QueryResult r = make_ok("ok constraints " + q.args[0] + " pins " +
+                              std::to_string(it->second.size()));
+      for (const auto& [pin, node] : it->second) {
+        timer.count_cycle();
+        if (timer.exhausted()) {
+          return make_error(DiagCode::kAnalysisBudget,
+                            "read deadline exceeded; snapshot " +
+                                std::to_string(snap.id) + " unaffected");
+        }
+        const NodeTiming& nt = snap.nodes.at(node);
+        r.lines.push_back("  pin " + pin + " slack " + fmt_ps(nt.slack) +
+                          " ready " + fmt_ps(nt.ready.rise) + " " +
+                          fmt_ps(nt.ready.fall) + " required " +
+                          fmt_ps(nt.required.rise) + " " +
+                          fmt_ps(nt.required.fall));
+      }
+      return r;
+    }
+    case QueryVerb::kSummary: {
+      QueryResult r = make_ok("ok summary snapshot " + std::to_string(snap.id) +
+                              " fields 6");
+      r.lines.push_back("  status " + status_word(snap.status));
+      r.lines.push_back(std::string("  works_as_intended ") +
+                        (snap.works_as_intended ? "true" : "false"));
+      r.lines.push_back("  worst_slack " + fmt_ps(snap.worst_slack));
+      r.lines.push_back("  terminals " + std::to_string(snap.num_terminals));
+      r.lines.push_back("  violations " + std::to_string(snap.num_violations));
+      r.lines.push_back("  paths " + std::to_string(snap.paths.size()));
+      return r;
+    }
+    default:
+      return make_error(DiagCode::kParseSyntax, "not a read query");
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Write queries — single writer.
+
+QueryResult Session::execute_write(const ParsedQuery& q, BudgetTimer* timer) {
+  switch (q.verb) {
+    case QueryVerb::kSetDelay: return do_set_delay(q);
+    case QueryVerb::kUpsize: return do_upsize(q);
+    case QueryVerb::kCommit: return do_commit(timer);
+    default:
+      return make_error(DiagCode::kParseSyntax, "not a write query");
+  }
+}
+
+QueryResult Session::do_set_delay(const ParsedQuery& q) {
+  std::lock_guard<std::mutex> writer(writer_mutex_);
+  const InstId inst = design_.top().find_inst(q.args[0]);
+  if (!inst.valid()) {
+    return make_error(DiagCode::kParseUnknownName,
+                      "unknown instance '" + q.args[0] + "'");
+  }
+  const TimePs delta = q.number;
+  hb_->calculator_mut().adjust_instance(inst, delta);
+  delay_adjust_[inst.value()] += delta;
+  bool absorbed = false;
+  if (!rebuild_required_) {
+    absorbed = hb_->update_instance_delays(inst);
+    if (!absorbed) rebuild_required_ = true;
+  }
+  const std::size_t pending =
+      pending_edits_.fetch_add(1, std::memory_order_relaxed) + 1;
+  return make_ok("ok set_delay " + q.args[0] + " " + std::to_string(delta) +
+                 (absorbed ? " absorbed" : " deferred") + " pending " +
+                 std::to_string(pending));
+}
+
+QueryResult Session::do_upsize(const ParsedQuery& q) {
+  std::lock_guard<std::mutex> writer(writer_mutex_);
+  const InstId inst = design_.top().find_inst(q.args[0]);
+  if (!inst.valid()) {
+    return make_error(DiagCode::kParseUnknownName,
+                      "unknown instance '" + q.args[0] + "'");
+  }
+  bool absorbed = false;
+  if (rebuild_required_) {
+    // The live analyser is already stale; mutate the design only.
+    if (!upsize_instance(design_, inst)) {
+      return make_error(DiagCode::kServiceRejected,
+                        "'" + q.args[0] + "' has no stronger variant");
+    }
+  } else {
+    switch (upsize_and_update(design_, inst, *hb_)) {
+      case ResizeUpdate::kNotResized:
+        return make_error(DiagCode::kServiceRejected,
+                          "'" + q.args[0] + "' has no stronger variant");
+      case ResizeUpdate::kAbsorbed:
+        absorbed = true;
+        break;
+      case ResizeUpdate::kRebuildRequired:
+        rebuild_required_ = true;
+        break;
+    }
+  }
+  const std::size_t pending =
+      pending_edits_.fetch_add(1, std::memory_order_relaxed) + 1;
+  return make_ok("ok upsize " + q.args[0] + " to " +
+                 design_.target_name(design_.top().inst(inst)) +
+                 (absorbed ? " absorbed" : " deferred") + " pending " +
+                 std::to_string(pending));
+}
+
+QueryResult Session::do_commit(BudgetTimer*) {
+  std::lock_guard<std::mutex> writer(writer_mutex_);
+  if (pending_edits_.load(std::memory_order_relaxed) == 0) {
+    return make_ok("ok commit snapshot " + std::to_string(snapshot_counter_) +
+                   " noop");
+  }
+  Algorithm1Result res;
+  {
+    std::lock_guard<std::mutex> pool_lock(pool_mutex_);
+    if (rebuild_required_) {
+      // A deferred edit invalidated pre-processing: rebuild from the current
+      // design plus the accumulated delay history and analyse from scratch.
+      HummingbirdOptions opt = analysis_options_;
+      opt.alg1.pool = pool_.get();
+      opt.alg1.budget = request_budget();
+      opt.delay_adjust = delay_adjust_history();
+      auto fresh = std::make_unique<Hummingbird>(design_, clocks_, std::move(opt));
+      res = fresh->analyze();
+      if (res.status == AnalysisStatus::kTimedOut) {
+        return make_error(DiagCode::kAnalysisBudget,
+                          "commit timed out; edits retained, snapshot " +
+                              std::to_string(snapshot_counter_) + " unchanged");
+      }
+      hb_ = std::move(fresh);
+      names_ = build_name_index(hb_->graph());
+      rebuild_required_ = false;
+    } else {
+      // Absorbed edits: re-run Algorithm 1 over the recorded dirty sets.
+      // Mirrors Hummingbird::reanalyze() with a per-request budget injected;
+      // bit-identical to a fresh full analysis (tests/service_test.cpp).
+      SyncModel& sync = hb_->sync_model_mut();
+      SlackEngine& engine = hb_->engine_mut();
+      sync.reset_offsets();
+      engine.invalidate_offsets(sync.drain_changed_offsets());
+      Algorithm1Options a1 = analysis_options_.alg1;
+      a1.pool = pool_.get();
+      a1.budget = request_budget();
+      res = run_algorithm1(sync, engine, a1);
+      if (res.status == AnalysisStatus::kTimedOut) {
+        // Offsets are consistent but unsettled; the next commit re-runs from
+        // reset offsets, so nothing is poisoned and the edits stay pending.
+        return make_error(DiagCode::kAnalysisBudget,
+                          "commit timed out; edits retained, snapshot " +
+                              std::to_string(snapshot_counter_) + " unchanged");
+      }
+    }
+  }
+  const std::uint64_t id = ++snapshot_counter_;
+  auto snap = take_snapshot(hb_->engine(), res, id, options_.max_paths, names_);
+  const TimePs worst = snap->worst_slack;
+  const std::size_t violations = snap->num_violations;
+  const AnalysisStatus status = snap->status;
+  publish(std::move(snap));
+  pending_edits_.store(0, std::memory_order_relaxed);
+  return make_ok("ok commit snapshot " + std::to_string(id) + " worst_slack " +
+                 fmt_ps(worst) + " violations " + std::to_string(violations) +
+                 " status " + status_word(status));
+}
+
+// ---------------------------------------------------------------------------
+// Control queries.
+
+QueryResult Session::execute_control(const ParsedQuery& q) {
+  switch (q.verb) {
+    case QueryVerb::kPing:
+      return make_ok("ok pong");
+    case QueryVerb::kDeadline: {
+      deadline_ms_.store(q.fraction, std::memory_order_relaxed);
+      return make_ok("ok deadline_ms " + q.args[0]);
+    }
+    case QueryVerb::kStats: {
+      std::vector<std::string> lines = metrics_.to_lines();
+      lines.push_back("  stat snapshot_id " +
+                      std::to_string(snapshot()->id));
+      lines.push_back("  stat pending_edits " +
+                      std::to_string(pending_edits()));
+      lines.push_back("  stat cache_size " + std::to_string(cache_.size()));
+      QueryResult r = make_ok("ok stats " + std::to_string(lines.size()));
+      for (std::string& l : lines) r.lines.push_back(std::move(l));
+      return r;
+    }
+    default:
+      return make_error(DiagCode::kParseSyntax, "not a control query");
+  }
+}
+
+}  // namespace hb

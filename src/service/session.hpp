@@ -1,0 +1,146 @@
+// A timing query session: one loaded design, one live analyser, one
+// published snapshot, many concurrent readers.
+//
+// Concurrency model (docs/SERVICE.md):
+//   * Read queries (slack, worst_paths, histogram, constraints, summary)
+//     evaluate against the currently published AnalysisSnapshot — an
+//     immutable value fetched under a tiny pointer mutex — and may run from
+//     any number of threads at once.  They never touch the analyser, the
+//     design or the thread pool, so they never block the writer.
+//   * Write queries (set_delay, upsize, commit) funnel through writer_mutex_.
+//     Edits accumulate against the live analyser (absorbed incrementally via
+//     Hummingbird::update_instance_delays / upsize_and_update when possible,
+//     deferred to a rebuild otherwise); `commit` re-runs Algorithm 1 — using
+//     the SlackEngine dirty-set machinery, bit-identical to a fresh full
+//     analysis — and publishes the successor snapshot.  Readers observe the
+//     old analysis until the instant of publication, never a half-updated
+//     one.
+//   * The session owns its ThreadPool (run_batch is not safe for concurrent
+//     external callers); pool_mutex_ serialises the two pool users, batch
+//     read fan-out and commit's pass evaluation.  Lock order: batch fan-out
+//     holds only pool_mutex_; commit takes writer_mutex_ then pool_mutex_ —
+//     no cycle.
+//
+// A query-result cache keyed on (snapshot id, canonical query) fronts the
+// read path and is cleared wholesale on publication; because the key embeds
+// the snapshot id, a stale hit is impossible by construction.
+#pragma once
+
+#include <atomic>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+
+#include "service/cache.hpp"
+#include "service/metrics.hpp"
+#include "service/query.hpp"
+#include "service/snapshot.hpp"
+#include "util/thread_pool.hpp"
+
+namespace hb {
+
+struct SessionOptions {
+  /// Worst paths captured per snapshot (upper bound for worst_paths K).
+  std::size_t max_paths = 32;
+  std::size_t cache_capacity = 1024;
+  std::size_t cache_shards = 8;
+  /// Workers in the session's pool, calling thread included; 0 = hardware.
+  int pool_threads = 0;
+  /// Default per-request deadline in milliseconds; 0 = unlimited.  Queries
+  /// adjust it with the `deadline` verb.
+  double default_deadline_ms = 0;
+};
+
+class Session {
+ public:
+  /// Takes ownership of the design and clocks (the analyser holds
+  /// references into them), builds the analyser, runs the initial analysis
+  /// and publishes snapshot 1.
+  Session(Design design, ClockSet clocks, HummingbirdOptions analysis = {},
+          SessionOptions options = {});
+  ~Session();
+
+  Session(const Session&) = delete;
+  Session& operator=(const Session&) = delete;
+
+  /// Parse and execute one query line.  Thread-safe.  Blank/comment lines
+  /// return an ok result with no lines (emit nothing).
+  QueryResult execute(const std::string& line);
+
+  /// Execute a parsed session query.  `timer` carries the caller's
+  /// per-request deadline/cancellation (e.g. a connection's re-armed
+  /// BudgetTimer); when null the session's own deadline applies.
+  QueryResult execute(const ParsedQuery& q, BudgetTimer* timer = nullptr);
+
+  /// Execute a batch: maximal runs of read queries fan out over the
+  /// session's pool; writes and control queries run serially in order.
+  /// Results are index-aligned with `lines` and identical to sequential
+  /// execution (reads are snapshot-consistent; writes publish only at
+  /// commit).
+  std::vector<QueryResult> execute_batch(const std::vector<std::string>& lines);
+
+  /// The currently published snapshot (never null).
+  std::shared_ptr<const AnalysisSnapshot> snapshot() const;
+
+  /// External cancellation hook folded into every internally built budget
+  /// (a protocol connection installs its token once and resets it per
+  /// request).  Not owned; may be null.
+  void set_cancel_token(CancelToken* token) { cancel_ = token; }
+
+  double deadline_ms() const { return deadline_ms_.load(std::memory_order_relaxed); }
+
+  ServiceMetrics& metrics() { return metrics_; }
+  const ServiceMetrics& metrics() const { return metrics_; }
+  const QueryCache& cache() const { return cache_; }
+
+  // -- Differential-test hooks --------------------------------------------
+  // A fresh Hummingbird over design()/clocks() with delay_adjust_history()
+  // in its options must reproduce the session's published analysis bit for
+  // bit (tests/service_test.cpp).  Take these only when no writes are in
+  // flight.
+  const Design& design() const { return design_; }
+  const ClockSet& clocks() const { return clocks_; }
+  /// Accumulated set_delay edits, sorted by instance index (the map itself
+  /// is order-free: adjustments are additive).
+  std::vector<InstDelayAdjust> delay_adjust_history() const;
+  std::size_t pending_edits() const { return pending_edits_.load(std::memory_order_relaxed); }
+
+ private:
+  AnalysisBudget request_budget() const;
+  QueryResult evaluate_read(const ParsedQuery& q, const AnalysisSnapshot& snap,
+                            BudgetTimer& timer) const;
+  QueryResult execute_write(const ParsedQuery& q, BudgetTimer* timer);
+  QueryResult execute_control(const ParsedQuery& q);
+  QueryResult do_set_delay(const ParsedQuery& q);
+  QueryResult do_upsize(const ParsedQuery& q);
+  QueryResult do_commit(BudgetTimer* timer);
+  void publish(std::shared_ptr<const AnalysisSnapshot> snap);
+
+  Design design_;
+  ClockSet clocks_;
+  HummingbirdOptions analysis_options_;
+  SessionOptions options_;
+
+  std::unique_ptr<ThreadPool> pool_;
+  std::unique_ptr<Hummingbird> hb_;
+  std::shared_ptr<const NameIndex> names_;
+
+  mutable std::mutex snapshot_mutex_;  // guards snapshot_ pointer only
+  std::shared_ptr<const AnalysisSnapshot> snapshot_;
+
+  std::mutex writer_mutex_;  // serialises write queries
+  std::mutex pool_mutex_;    // serialises pool users (batch vs commit)
+
+  /// Accumulated additive delay edits by InstId value (writer_mutex_).
+  std::unordered_map<std::uint32_t, TimePs> delay_adjust_;
+  std::atomic<std::size_t> pending_edits_{0};
+  bool rebuild_required_ = false;  // writer_mutex_
+  std::uint64_t snapshot_counter_ = 0;  // writer_mutex_ (and ctor)
+
+  QueryCache cache_;
+  ServiceMetrics metrics_;
+  std::atomic<double> deadline_ms_{0};
+  CancelToken* cancel_ = nullptr;
+};
+
+}  // namespace hb

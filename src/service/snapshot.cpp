@@ -1,0 +1,77 @@
+#include "service/snapshot.hpp"
+
+namespace hb {
+
+std::shared_ptr<const NameIndex> build_name_index(const TimingGraph& graph) {
+  auto idx = std::make_shared<NameIndex>();
+  const std::size_t n = graph.num_nodes();
+  idx->node_names.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const TNodeId id(static_cast<std::uint32_t>(i));
+    idx->node_names.push_back(graph.node_name(id));
+    idx->node_by_name.emplace(idx->node_names.back(),
+                              static_cast<std::uint32_t>(i));
+  }
+  const Design& design = graph.design();
+  const Module& top = design.top();
+  for (std::size_t ii = 0; ii < top.num_insts(); ++ii) {
+    const InstId inst(static_cast<std::uint32_t>(ii));
+    const Instance& rec = top.inst(inst);
+    auto& pins = idx->inst_pins[rec.name];
+    const std::size_t ports = design.target_num_ports(rec);
+    pins.reserve(ports);
+    for (std::size_t p = 0; p < ports; ++p) {
+      const TNodeId node = graph.pin_node(inst, static_cast<std::uint32_t>(p));
+      if (!node.valid()) continue;
+      pins.emplace_back(design.target_port_name(rec, static_cast<std::uint32_t>(p)),
+                        static_cast<std::uint32_t>(node.index()));
+    }
+  }
+  return idx;
+}
+
+std::shared_ptr<const AnalysisSnapshot> take_snapshot(
+    const SlackEngine& engine, const Algorithm1Result& result,
+    std::uint64_t id, std::size_t max_paths,
+    std::shared_ptr<const NameIndex> names) {
+  auto snap = std::make_shared<AnalysisSnapshot>();
+  snap->id = id;
+  snap->status = result.status;
+  snap->works_as_intended = result.works_as_intended;
+  snap->worst_slack = result.worst_slack;
+  snap->names = std::move(names);
+
+  const SyncModel& sync = engine.sync();
+  snap->num_terminals = sync.num_instances();
+  snap->capture_slacks.reserve(snap->num_terminals);
+  for (std::size_t i = 0; i < snap->num_terminals; ++i) {
+    const SyncId sid(static_cast<std::uint32_t>(i));
+    if (!sync.at(sid).data_in.valid()) continue;
+    const TimePs s = engine.capture_slack(sid);
+    if (s >= kInfinitePs) continue;
+    snap->capture_slacks.push_back(s);
+    if (s < 0) ++snap->num_violations;
+  }
+
+  for (const SlowPath& p : enumerate_slow_paths(engine, max_paths)) {
+    SnapshotPath sp;
+    sp.slack = p.slack;
+    sp.launch = sync.at(p.launch).label;
+    sp.capture = sync.at(p.capture).label;
+    if (!p.steps.empty()) {
+      sp.from = engine.graph().node_name(p.steps.front().node);
+      sp.to = engine.graph().node_name(p.steps.back().node);
+    }
+    sp.steps = p.steps.size();
+    snap->paths.push_back(std::move(sp));
+  }
+
+  const std::size_t n = engine.graph().num_nodes();
+  snap->nodes.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    snap->nodes.push_back(engine.node_timing(TNodeId(static_cast<std::uint32_t>(i))));
+  }
+  return snap;
+}
+
+}  // namespace hb

@@ -1,0 +1,74 @@
+// Immutable analysis snapshots — the consistency unit of the query service.
+//
+// A snapshot is a self-contained copy of everything read queries need:
+// per-node timing, terminal slack distribution, the worst slow paths
+// (pre-rendered to labels and node names) and the summary counters.  It
+// holds no pointers into the analyser, the timing graph or the design, so
+// the writer may mutate — or completely rebuild — all of those while
+// readers keep serving from the published snapshot.  Publication is a
+// shared_ptr swap; a snapshot, once published, never changes.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "sta/hummingbird.hpp"
+
+namespace hb {
+
+/// Name lookup tables captured at graph-build time.  Shared by every
+/// snapshot taken from the same graph build; replaced when the analyser is
+/// rebuilt (names and node ids may then differ).
+struct NameIndex {
+  /// Human-readable pin name per timing-graph node.
+  std::vector<std::string> node_names;
+  std::unordered_map<std::string, std::uint32_t> node_by_name;
+  /// Instance name -> (pin name, node index) for every pin of every
+  /// top-level instance — the `constraints` query's working set.
+  std::unordered_map<std::string,
+                     std::vector<std::pair<std::string, std::uint32_t>>>
+      inst_pins;
+};
+
+std::shared_ptr<const NameIndex> build_name_index(const TimingGraph& graph);
+
+/// One slow path, reduced to what replies print (no graph references).
+struct SnapshotPath {
+  TimePs slack = 0;
+  std::string launch;   // launch terminal label
+  std::string capture;  // capture terminal label
+  std::string from;     // first path node name
+  std::string to;       // last path node name
+  std::size_t steps = 0;
+};
+
+struct AnalysisSnapshot {
+  std::uint64_t id = 0;
+  AnalysisStatus status = AnalysisStatus::kComplete;
+  bool works_as_intended = false;
+  TimePs worst_slack = 0;
+
+  std::size_t num_terminals = 0;   // generic sync instances
+  std::size_t num_violations = 0;  // capture terminals with negative slack
+
+  /// Finite capture-terminal slacks, in SyncId order (histogram input).
+  std::vector<TimePs> capture_slacks;
+  /// Worst paths, worst first, up to the session's max_paths.
+  std::vector<SnapshotPath> paths;
+  /// Per-node timing, by TNodeId index (slack / constraints queries).
+  std::vector<NodeTiming> nodes;
+
+  std::shared_ptr<const NameIndex> names;
+};
+
+/// Copy the engine's current results into a fresh snapshot.  Called by the
+/// session writer only, with the engine fully up to date.
+std::shared_ptr<const AnalysisSnapshot> take_snapshot(
+    const SlackEngine& engine, const Algorithm1Result& result,
+    std::uint64_t id, std::size_t max_paths,
+    std::shared_ptr<const NameIndex> names);
+
+}  // namespace hb

@@ -1,0 +1,120 @@
+#include "service/tcp_server.hpp"
+
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstring>
+#include <string>
+
+#include "service/protocol.hpp"
+#include "util/error.hpp"
+
+namespace hb {
+
+TcpServer::TcpServer(ServiceHost& host, std::uint16_t port) : host_(&host) {
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) raise("tcp: cannot create socket");
+  const int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof addr) < 0 ||
+      ::listen(listen_fd_, 16) < 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    raise("tcp: cannot bind 127.0.0.1:" + std::to_string(port));
+  }
+  socklen_t len = sizeof addr;
+  ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len);
+  port_ = ntohs(addr.sin_port);
+
+  acceptor_ = std::thread([this] { accept_loop(); });
+}
+
+TcpServer::~TcpServer() { stop(); }
+
+void TcpServer::stop() {
+  if (stopping_.exchange(true)) {
+    if (acceptor_.joinable()) acceptor_.join();
+    return;
+  }
+  const int lfd = listen_fd_.exchange(-1);
+  if (lfd >= 0) {
+    ::shutdown(lfd, SHUT_RDWR);
+    ::close(lfd);
+  }
+  if (acceptor_.joinable()) acceptor_.join();
+  std::vector<std::thread> threads;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (int fd : conn_fds_) ::shutdown(fd, SHUT_RDWR);
+    threads.swap(conn_threads_);
+  }
+  for (std::thread& t : threads) {
+    if (t.joinable()) t.join();
+  }
+}
+
+void TcpServer::accept_loop() {
+  while (!stopping_.load(std::memory_order_relaxed)) {
+    const int lfd = listen_fd_.load(std::memory_order_relaxed);
+    if (lfd < 0) break;
+    const int fd = ::accept(lfd, nullptr, nullptr);
+    if (fd < 0) {
+      if (stopping_.load(std::memory_order_relaxed)) break;
+      continue;
+    }
+    std::lock_guard<std::mutex> lock(mutex_);
+    conn_fds_.push_back(fd);
+    conn_threads_.emplace_back([this, fd] { serve_connection(fd); });
+  }
+}
+
+void TcpServer::serve_connection(int fd) {
+  ProtocolHandler handler(*host_);
+  std::string buffer;
+  char chunk[4096];
+  for (;;) {
+    const ssize_t n = ::read(fd, chunk, sizeof chunk);
+    if (n <= 0) break;
+    buffer.append(chunk, static_cast<std::size_t>(n));
+    std::size_t nl;
+    bool done = false;
+    while ((nl = buffer.find('\n')) != std::string::npos) {
+      std::string line = buffer.substr(0, nl);
+      if (!line.empty() && line.back() == '\r') line.pop_back();
+      buffer.erase(0, nl + 1);
+      const std::string reply = handler.handle_line(line);
+      if (!reply.empty()) {
+        std::size_t off = 0;
+        while (off < reply.size()) {
+          const ssize_t w = ::write(fd, reply.data() + off, reply.size() - off);
+          if (w <= 0) {
+            done = true;
+            break;
+          }
+          off += static_cast<std::size_t>(w);
+        }
+      }
+      if (done || handler.quit()) {
+        done = true;
+        break;
+      }
+    }
+    if (done) break;
+  }
+  {
+    // De-register before closing so stop() never shuts down a recycled fd.
+    std::lock_guard<std::mutex> lock(mutex_);
+    conn_fds_.erase(std::remove(conn_fds_.begin(), conn_fds_.end(), fd),
+                    conn_fds_.end());
+  }
+  ::close(fd);
+}
+
+}  // namespace hb

@@ -1,0 +1,49 @@
+// Loopback TCP frontend: the same line protocol as serve_stream, served on
+// 127.0.0.1 with one handler thread per connection.  Intended for local
+// tooling (editors, synthesis loops polling a long-lived session), not for
+// exposure beyond the machine — the listener refuses non-loopback binds by
+// construction.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace hb {
+
+class ServiceHost;
+
+class TcpServer {
+ public:
+  /// Bind 127.0.0.1:`port` (0 picks an ephemeral port) and start the accept
+  /// loop on a background thread.  Throws hb::Error when the bind fails.
+  TcpServer(ServiceHost& host, std::uint16_t port = 0);
+  ~TcpServer();
+
+  TcpServer(const TcpServer&) = delete;
+  TcpServer& operator=(const TcpServer&) = delete;
+
+  /// The bound port (useful with port 0).
+  std::uint16_t port() const { return port_; }
+
+  /// Stop accepting, shut down live connections and join all threads.
+  /// Idempotent; also called by the destructor.
+  void stop();
+
+ private:
+  void accept_loop();
+  void serve_connection(int fd);
+
+  ServiceHost* host_;
+  std::atomic<int> listen_fd_{-1};  // written by stop(), read by accept_loop()
+  std::uint16_t port_ = 0;
+  std::atomic<bool> stopping_{false};
+  std::thread acceptor_;
+  std::mutex mutex_;  // guards conn_threads_ / conn_fds_
+  std::vector<std::thread> conn_threads_;
+  std::vector<int> conn_fds_;
+};
+
+}  // namespace hb

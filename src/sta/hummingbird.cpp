@@ -57,6 +57,9 @@ Hummingbird::Hummingbird(const Design& design, const ClockSet& clocks,
   const auto start = std::chrono::steady_clock::now();
   calc_ = std::make_unique<DelayCalculator>(d, options_.wire);
   if (options_.delay_derate != 1.0) calc_->set_derate(options_.delay_derate);
+  for (const InstDelayAdjust& a : options_.delay_adjust) {
+    calc_->adjust_instance(a.inst, a.delta);
+  }
   graph_ = std::make_unique<TimingGraph>(d, *calc_,
                                          quarantine.empty() ? nullptr : &quarantine);
   sync_ = std::make_unique<SyncModel>(*graph_, clocks, *calc_, options_.sync);

@@ -29,6 +29,14 @@
 
 namespace hb {
 
+/// One additive per-instance delay adjustment (paper Section 8 interactive
+/// mode).  Used by HummingbirdOptions::delay_adjust to replay a what-if
+/// session's edit history into a freshly built analyser.
+struct InstDelayAdjust {
+  InstId inst;
+  TimePs delta = 0;
+};
+
 struct HummingbirdOptions {
   WireLoadModel wire;
   SyncModelOptions sync;
@@ -37,6 +45,11 @@ struct HummingbirdOptions {
   /// Global component-delay derating factor (interactive what-if analysis:
   /// "what if everything were 20% slower?" -> 1.2).
   double delay_derate = 1.0;
+  /// Additive per-instance delay adjustments applied to the calculator
+  /// before the timing graph is built.  A fresh analyser constructed with
+  /// the accumulated set_delay history of an interactive session reproduces
+  /// the session's incremental state bit for bit (tests/service_test.cpp).
+  std::vector<InstDelayAdjust> delay_adjust;
   /// Validate the design structurally before analysis (recommended; turn
   /// off only in tight analyse-redesign loops that re-check elsewhere).
   bool validate = true;
@@ -125,6 +138,9 @@ class Hummingbird {
   const SyncModel& sync_model() const { return *sync_; }
   SyncModel& sync_model_mut() { return *sync_; }
   const DelayCalculator& calculator() const { return *calc_; }
+  /// Mutable access for interactive delay edits (adjust_instance followed by
+  /// update_instance_delays — see src/service/session.cpp).
+  DelayCalculator& calculator_mut() { return *calc_; }
 
  private:
   const Design* design_;

@@ -77,8 +77,15 @@ std::vector<SlowPath> enumerate_slow_paths(const SlackEngine& engine,
     const TimePs s = engine.capture_slack(SyncId(i));
     if (s != kInfinitePs && s < slack_limit) violators.push_back(SyncId(i));
   }
+  // Order by (slack, SyncId): the id tie-break makes worst-K enumeration
+  // deterministic when several paths share a slack (common under
+  // multi-frequency clocks, where one element expands into several generic
+  // instances with identical windows) — the same K paths in the same order
+  // on every run, independent of evaluation schedule or thread count.
   std::sort(violators.begin(), violators.end(), [&](SyncId a, SyncId b) {
-    return engine.capture_slack(a) < engine.capture_slack(b);
+    const TimePs sa = engine.capture_slack(a), sb = engine.capture_slack(b);
+    if (sa != sb) return sa < sb;
+    return a.index() < b.index();
   });
   if (violators.size() > max_paths) violators.resize(max_paths);
 

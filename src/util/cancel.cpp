@@ -13,9 +13,16 @@ bool CancelToken::cancelled() const {
   return false;
 }
 
-BudgetTimer::BudgetTimer(const AnalysisBudget& budget) : budget_(budget) {
-  if (budget_.wall_seconds > 0) {
-    has_deadline_ = true;
+BudgetTimer::BudgetTimer(const AnalysisBudget& budget) { rearm(budget); }
+
+void BudgetTimer::rearm() { rearm(budget_); }
+
+void BudgetTimer::rearm(const AnalysisBudget& budget) {
+  budget_ = budget;
+  cycles_ = 0;
+  exhausted_ = false;
+  has_deadline_ = budget_.wall_seconds > 0;
+  if (has_deadline_) {
     deadline_ = std::chrono::steady_clock::now() +
                 std::chrono::duration_cast<std::chrono::steady_clock::duration>(
                     std::chrono::duration<double>(budget_.wall_seconds));

@@ -11,6 +11,12 @@
 // BudgetTimer reports exhaustion the algorithms stop transferring slack and
 // return the current state tagged AnalysisStatus::kTimedOut instead of
 // looping or raising.
+//
+// Both primitives are reusable across sequential requests: CancelToken
+// resets with reset(), and a BudgetTimer re-arms with rearm(), which
+// restarts the wall-clock window from "now" and clears the sticky exhausted
+// state — the pattern a long-lived service connection uses to serve many
+// deadline-bounded requests with one token/timer pair.
 #pragma once
 
 #include <atomic>
@@ -21,6 +27,8 @@ namespace hb {
 class CancelToken {
  public:
   void cancel() { flag_.store(true, std::memory_order_relaxed); }
+  /// Disarm for reuse: a token cancelled (or spuriously tripped by fault
+  /// injection) during one request starts the next request clean.
   void reset() { flag_.store(false, std::memory_order_relaxed); }
   /// True once cancel() has been called.  Also the hook point where the
   /// fault-injection framework fires spurious cancellations in test builds.
@@ -47,6 +55,11 @@ struct AnalysisBudget {
 
 /// Tracks one analysis run against its budget.  Checking is cheap enough to
 /// call once per relaxation sweep; an unlimited budget short-circuits.
+///
+/// A timer is single-shot per run but reusable across runs: rearm() starts
+/// the next run with a fresh wall-clock window, a zeroed cycle count and the
+/// exhausted flag cleared.  A still-cancelled token keeps the re-armed timer
+/// exhausted until the token itself is reset.
 class BudgetTimer {
  public:
   explicit BudgetTimer(const AnalysisBudget& budget);
@@ -55,8 +68,15 @@ class BudgetTimer {
   void count_cycle() { ++cycles_; }
 
   /// Deadline passed, cycle cap hit, or cancellation requested.  Sticky:
-  /// once exhausted, stays exhausted.
+  /// once exhausted, stays exhausted (until the next rearm()).
   bool exhausted();
+
+  /// Re-arm for a new run against the same budget: the wall-clock deadline
+  /// restarts from now, the cycle count zeroes and the sticky exhausted
+  /// state clears.
+  void rearm();
+  /// Re-arm against a different budget (e.g. a request-specific deadline).
+  void rearm(const AnalysisBudget& budget);
 
   int cycles() const { return cycles_; }
 

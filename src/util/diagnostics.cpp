@@ -26,6 +26,7 @@ const char* diag_code_name(DiagCode code) {
     case DiagCode::kAnalysisQuarantined: return "analysis-quarantined";
     case DiagCode::kAnalysisBudget: return "analysis-budget";
     case DiagCode::kAnalysisSelfHeal: return "analysis-self-heal";
+    case DiagCode::kServiceRejected: return "service-rejected";
   }
   return "unknown";
 }

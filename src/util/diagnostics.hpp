@@ -50,6 +50,10 @@ enum class DiagCode : std::uint16_t {
   kAnalysisQuarantined,  // cluster/instances excluded by degraded mode
   kAnalysisBudget,       // watchdog expired; result tagged timed_out
   kAnalysisSelfHeal,     // incremental cache divergence healed
+
+  // Query service (src/service).
+  kServiceRejected,      // well-formed query the session cannot apply
+                         // (e.g. upsize of a maxed-out or sequential cell)
 };
 
 /// Stable lower-case identifier for a code, e.g. "parse-syntax".

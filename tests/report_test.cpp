@@ -5,6 +5,7 @@
 #include "netlist/builder.hpp"
 #include "netlist/stdcells.hpp"
 #include "sta/hummingbird.hpp"
+#include "util/thread_pool.hpp"
 
 namespace hb {
 namespace {
@@ -119,6 +120,91 @@ TEST_F(ReportTest, FlagSlowPathsMarksOnlyCriticalNets) {
   const Instance& dst1 = top.inst(top.find_inst("dst1"));
   const Cell& cell = lib_->cell(dst1.cell);
   EXPECT_FALSE(design.is_slow_net(dst1.conn[cell.sync().data_in]));
+}
+
+// Worst-K enumeration must be deterministic when several paths tie on
+// slack.  Multi-frequency clocks are the stress case: every fast-clock
+// element expands into several generic instances per overall period, all
+// with identical windows, so structurally-identical lanes produce whole
+// groups of equal-slack violators.  The contract: ties break on ascending
+// SyncId, and the enumeration is bit-identical across repeated runs and
+// across serial / pooled analysis.
+TEST_F(ReportTest, EqualSlackTieBreakDeterministicUnderMultiFrequency) {
+  // Four structurally identical violating lanes on the fast clock and two on
+  // the slow clock; within each clock domain all lanes tie exactly.
+  TopBuilder b("ties", lib_);
+  const NetId fast = b.port_in("fast", true);
+  const NetId slow = b.port_in("slow", true);
+  for (int lane = 0; lane < 4; ++lane) {
+    NetId n = b.latch("DFFT", b.port_in("df" + std::to_string(lane)), fast,
+                      "fsrc" + std::to_string(lane));
+    for (int i = 0; i < 48; ++i) n = b.gate("INVX1", {n});
+    b.port_out_net("qf" + std::to_string(lane),
+                   b.latch("DFFT", n, fast, "fdst" + std::to_string(lane)));
+  }
+  for (int lane = 0; lane < 2; ++lane) {
+    NetId n = b.latch("DFFT", b.port_in("ds" + std::to_string(lane)), slow,
+                      "ssrc" + std::to_string(lane));
+    for (int i = 0; i < 48; ++i) n = b.gate("INVX1", {n});
+    b.port_out_net("qs" + std::to_string(lane),
+                   b.latch("DFFT", n, slow, "sdst" + std::to_string(lane)));
+  }
+  const Design design = b.finish();
+  ClockSet clocks;
+  clocks.add_simple_clock("fast", ns(2), 0, ns(1));   // 2 pulses per period
+  clocks.add_simple_clock("slow", ns(4), 0, ns(2));   // overall period 4 ns
+  ThreadPool pool(4);
+
+  auto enumerate = [&](ThreadPool* p) {
+    HummingbirdOptions options;
+    options.alg1.pool = p;
+    Hummingbird analyser(design, clocks, options);
+    analyser.analyze();
+    return analyser.slow_paths(100);
+  };
+
+  const auto ref = enumerate(nullptr);
+  // Fast lanes contribute two generic capture instances each; expect a
+  // tie group larger than one for both domains.
+  ASSERT_GE(ref.size(), 6u);
+  std::size_t tied = 0;
+  for (std::size_t i = 1; i < ref.size(); ++i) {
+    ASSERT_LE(ref[i - 1].slack, ref[i].slack);  // worst first
+    if (ref[i - 1].slack == ref[i].slack) {
+      ++tied;
+      // The documented tie-break: ascending SyncId within a slack group.
+      EXPECT_LT(ref[i - 1].capture.index(), ref[i].capture.index());
+    }
+  }
+  EXPECT_GE(tied, 3u);
+
+  // Bit-identical across repeated runs and across serial vs pooled analysis,
+  // including the full step traces.
+  for (int round = 0; round < 3; ++round) {
+    const auto got = enumerate(round == 2 ? nullptr : &pool);
+    ASSERT_EQ(got.size(), ref.size());
+    for (std::size_t i = 0; i < ref.size(); ++i) {
+      EXPECT_EQ(got[i].slack, ref[i].slack);
+      EXPECT_EQ(got[i].capture, ref[i].capture);
+      EXPECT_EQ(got[i].launch, ref[i].launch);
+      ASSERT_EQ(got[i].steps.size(), ref[i].steps.size());
+      for (std::size_t s = 0; s < ref[i].steps.size(); ++s) {
+        EXPECT_EQ(got[i].steps[s].node, ref[i].steps[s].node);
+        EXPECT_EQ(got[i].steps[s].arrival, ref[i].steps[s].arrival);
+        EXPECT_EQ(got[i].steps[s].rising, ref[i].steps[s].rising);
+      }
+    }
+  }
+
+  // Truncation keeps the same deterministic prefix.
+  HummingbirdOptions options;
+  Hummingbird analyser(design, clocks, options);
+  analyser.analyze();
+  const auto limited = analyser.slow_paths(5);
+  ASSERT_EQ(limited.size(), 5u);
+  for (std::size_t i = 0; i < limited.size(); ++i) {
+    EXPECT_EQ(limited[i].capture, ref[i].capture);
+  }
 }
 
 TEST_F(ReportTest, CleanDesignReportsNoViolations) {

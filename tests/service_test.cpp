@@ -1,0 +1,422 @@
+// Tests for the concurrent timing query service (src/service).
+//
+// The load-bearing contract: a session's published snapshot after any
+// sequence of what-if edits and commits is bit-identical to a fresh full
+// analysis of the same design with the same accumulated edit history —
+// serially and with 8 concurrent reader threads hammering the read path
+// (the TSan job runs this file; see .github/workflows/ci.yml).  All
+// comparisons are exact: times are integer picoseconds.
+#include <gtest/gtest.h>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <memory>
+#include <sstream>
+#include <thread>
+
+#include "gen/random_network.hpp"
+#include "netlist/stdcells.hpp"
+#include "service/protocol.hpp"
+#include "service/session.hpp"
+#include "service/tcp_server.hpp"
+#include "sta/hummingbird.hpp"
+#include "sta/report.hpp"
+#include "util/error.hpp"
+
+namespace hb {
+namespace {
+
+RandomNetworkSpec test_spec() {
+  RandomNetworkSpec spec;
+  spec.seed = 7;
+  spec.num_clocks = 2;
+  spec.banks = 4;
+  spec.bank_width = 4;
+  spec.gates_per_stage = 40;  // worst slack -1837 ps, 5 slow paths
+  return spec;
+}
+
+std::shared_ptr<Session> make_session(SessionOptions opt = {},
+                                      RandomNetworkSpec spec = test_spec()) {
+  RandomNetwork net = make_random_network(make_standard_library(), spec);
+  return std::make_shared<Session>(std::move(net.design), std::move(net.clocks),
+                                   HummingbirdOptions{}, opt);
+}
+
+/// Instance names of the first `n` combinational (or, with `sequential`,
+/// sequential) cell instances of the top module.
+std::vector<std::string> cell_names(const Design& d, std::size_t n,
+                                    bool sequential) {
+  std::vector<std::string> out;
+  for (const Instance& inst : d.top().insts()) {
+    if (!inst.is_cell()) continue;
+    if (d.lib().cell(inst.cell).is_sequential() != sequential) continue;
+    out.push_back(inst.name);
+    if (out.size() == n) break;
+  }
+  return out;
+}
+
+/// The service contract: the session's published analysis equals a fresh
+/// full analysis of session.design() with the session's accumulated delay
+/// history replayed.  Exact comparison of every exposed quantity.
+::testing::AssertionResult matches_fresh_analysis(Session& session) {
+  HummingbirdOptions opt;
+  opt.delay_adjust = session.delay_adjust_history();
+  Hummingbird fresh(session.design(), session.clocks(), opt);
+  const Algorithm1Result res = fresh.analyze();
+  const std::shared_ptr<const AnalysisSnapshot> snap = session.snapshot();
+
+  if (snap->worst_slack != res.worst_slack) {
+    return ::testing::AssertionFailure()
+           << "worst slack: snapshot " << snap->worst_slack << " vs fresh "
+           << res.worst_slack;
+  }
+  if (snap->works_as_intended != res.works_as_intended) {
+    return ::testing::AssertionFailure() << "works_as_intended differs";
+  }
+  const std::size_t nodes = fresh.graph().num_nodes();
+  if (snap->nodes.size() != nodes) {
+    return ::testing::AssertionFailure()
+           << "node count: snapshot " << snap->nodes.size() << " vs fresh "
+           << nodes;
+  }
+  for (std::size_t i = 0; i < nodes; ++i) {
+    const NodeTiming& a = snap->nodes[i];
+    const NodeTiming& b = fresh.engine().node_timing(TNodeId(static_cast<std::uint32_t>(i)));
+    if (a.slack != b.slack || !(a.ready == b.ready) ||
+        !(a.required == b.required) || a.has_ready != b.has_ready ||
+        a.has_constraint != b.has_constraint ||
+        a.settling_count != b.settling_count) {
+      return ::testing::AssertionFailure()
+             << "node " << fresh.graph().node_name(TNodeId(static_cast<std::uint32_t>(i)))
+             << ": slack " << a.slack << " vs " << b.slack;
+    }
+  }
+  // Worst paths: same slacks, endpoints and lengths in the same order.
+  // 32 is the SessionOptions::max_paths default used by make_session().
+  const std::vector<SlowPath> paths = fresh.slow_paths(32);
+  if (snap->paths.size() != paths.size()) {
+    return ::testing::AssertionFailure()
+           << "path count: snapshot " << snap->paths.size() << " vs fresh "
+           << paths.size();
+  }
+  for (std::size_t i = 0; i < paths.size(); ++i) {
+    const SnapshotPath& a = snap->paths[i];
+    const SlowPath& b = paths[i];
+    if (a.slack != b.slack || a.steps != b.steps.size() ||
+        a.launch != fresh.sync_model().at(b.launch).label ||
+        a.capture != fresh.sync_model().at(b.capture).label) {
+      return ::testing::AssertionFailure() << "path " << i << " differs";
+    }
+  }
+  return ::testing::AssertionSuccess();
+}
+
+TEST(ServiceTest, InitialSnapshotMatchesFreshAnalysis) {
+  auto session = make_session();
+  EXPECT_TRUE(matches_fresh_analysis(*session));
+  EXPECT_EQ(session->snapshot()->id, 1u);
+  EXPECT_GT(session->snapshot()->num_violations, 0u);
+}
+
+TEST(ServiceTest, WhatIfEditsMatchFreshAnalysisSerially) {
+  auto session = make_session();
+  const std::vector<std::string> comb = cell_names(session->design(), 6, false);
+  const std::vector<std::string> seq = cell_names(session->design(), 2, true);
+  ASSERT_GE(comb.size(), 6u);
+  ASSERT_GE(seq.size(), 1u);
+
+  // Round 1: absorbed in-place edits.
+  EXPECT_TRUE(session->execute("set_delay " + comb[0] + " 150ps").ok);
+  EXPECT_TRUE(session->execute("set_delay " + comb[1] + " -40").ok);
+  EXPECT_TRUE(session->execute("upsize " + comb[2]).ok);
+  QueryResult commit = session->execute("commit");
+  ASSERT_TRUE(commit.ok) << to_wire(commit);
+  EXPECT_EQ(session->snapshot()->id, 2u);
+  EXPECT_TRUE(matches_fresh_analysis(*session));
+
+  // Round 2: an edit on a sequential element defers to a full rebuild.
+  EXPECT_TRUE(session->execute("set_delay " + seq[0] + " 90ps").ok);
+  EXPECT_TRUE(session->execute("set_delay " + comb[3] + " 210ps").ok);
+  commit = session->execute("commit");
+  ASSERT_TRUE(commit.ok) << to_wire(commit);
+  EXPECT_EQ(session->snapshot()->id, 3u);
+  EXPECT_TRUE(matches_fresh_analysis(*session));
+
+  // Round 3: more absorbed edits on the rebuilt analyser.
+  EXPECT_TRUE(session->execute("upsize " + comb[4]).ok);
+  EXPECT_TRUE(session->execute("set_delay " + comb[5] + " 75ps").ok);
+  commit = session->execute("commit");
+  ASSERT_TRUE(commit.ok) << to_wire(commit);
+  EXPECT_EQ(session->snapshot()->id, 4u);
+  EXPECT_TRUE(matches_fresh_analysis(*session));
+
+  // A no-op commit publishes nothing.
+  commit = session->execute("commit");
+  ASSERT_TRUE(commit.ok);
+  EXPECT_NE(to_wire(commit).find("noop"), std::string::npos);
+  EXPECT_EQ(session->snapshot()->id, 4u);
+}
+
+TEST(ServiceTest, ConcurrentReadersNeverSeeTornAnalysis) {
+  auto session = make_session();
+  const std::vector<std::string> comb = cell_names(session->design(), 8, false);
+  ASSERT_GE(comb.size(), 8u);
+
+  constexpr int kReaders = 8;
+  constexpr int kIterations = 60;
+  std::atomic<int> failures{0};
+  std::atomic<bool> writer_done{false};
+
+  auto reader = [&] {
+    std::uint64_t last_id = 0;
+    for (int i = 0; i < kIterations; ++i) {
+      const QueryResult summary = session->execute("summary");
+      if (!summary.ok) { ++failures; continue; }
+      // Header: "ok summary snapshot <id> fields 6".
+      std::istringstream is(summary.lines[0]);
+      std::string okw, verb, snapw;
+      std::uint64_t id = 0;
+      is >> okw >> verb >> snapw >> id;
+      if (id < last_id) ++failures;  // snapshots may only move forward
+      last_id = id;
+      if (!session->execute("worst_paths 5").ok) ++failures;
+      if (!session->execute("histogram 8").ok) ++failures;
+      if (!session->execute("summary").ok) ++failures;
+    }
+  };
+  auto writer = [&] {
+    for (std::size_t round = 0; round < 6; ++round) {
+      if (!session->execute("set_delay " + comb[round % comb.size()] + " 35ps").ok) {
+        ++failures;
+      }
+      if (!session->execute("commit").ok) ++failures;
+    }
+    writer_done = true;
+  };
+
+  std::vector<std::thread> threads;
+  threads.emplace_back(writer);
+  for (int i = 0; i < kReaders; ++i) threads.emplace_back(reader);
+  for (std::thread& t : threads) t.join();
+
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_TRUE(writer_done.load());
+  EXPECT_EQ(session->snapshot()->id, 7u);  // 1 initial + 6 commits
+  EXPECT_TRUE(matches_fresh_analysis(*session));
+}
+
+TEST(ServiceTest, ConcurrentBatchesMatchSequentialExecution) {
+  auto session = make_session();
+  auto reference = make_session();
+  const std::vector<std::string> comb = cell_names(session->design(), 1, false);
+  // Any real timing-graph node; both sessions are built from the same seed,
+  // so the name resolves identically in each.
+  const std::string node =
+      session->snapshot()->names->node_by_name.begin()->first;
+
+  std::vector<std::string> lines = {
+      "summary",
+      "worst_paths 3",
+      "histogram 4",
+      "slack " + node,
+      "set_delay " + comb[0] + " 120ps",
+      "commit",
+      "summary",
+      "worst_paths 3",
+  };
+  const std::vector<QueryResult> batched = session->execute_batch(lines);
+  ASSERT_EQ(batched.size(), lines.size());
+  for (std::size_t i = 0; i < lines.size(); ++i) {
+    const QueryResult serial = reference->execute(lines[i]);
+    EXPECT_EQ(to_wire(batched[i]), to_wire(serial)) << "line " << i;
+  }
+  EXPECT_TRUE(matches_fresh_analysis(*session));
+}
+
+TEST(ServiceTest, ReadDeadlineTimeoutIsStructuredAndNonPoisoning) {
+  auto session = make_session();
+  ASSERT_TRUE(session->execute("deadline 0.000001").ok);  // 1 ns
+  const QueryResult timed_out = session->execute("histogram 9");
+  ASSERT_FALSE(timed_out.ok);
+  EXPECT_TRUE(timed_out.timed_out());
+  EXPECT_EQ(timed_out.code, DiagCode::kAnalysisBudget);
+  EXPECT_EQ(timed_out.lines[0].rfind("err analysis-budget", 0), 0u);
+
+  // Neither the session nor other queries are poisoned.
+  ASSERT_TRUE(session->execute("deadline 0").ok);
+  EXPECT_TRUE(session->execute("histogram 9").ok);
+  EXPECT_TRUE(session->execute("summary").ok);
+  EXPECT_GE(session->metrics().timeouts(), 1u);
+  EXPECT_TRUE(matches_fresh_analysis(*session));
+}
+
+TEST(ServiceTest, TimedOutCommitRetainsEditsAndSnapshot) {
+  auto session = make_session();
+  const std::vector<std::string> comb = cell_names(session->design(), 1, false);
+  ASSERT_TRUE(session->execute("set_delay " + comb[0] + " 500ps").ok);
+  ASSERT_TRUE(session->execute("deadline 0.000001").ok);
+  const QueryResult failed = session->execute("commit");
+  ASSERT_FALSE(failed.ok);
+  EXPECT_TRUE(failed.timed_out());
+  EXPECT_EQ(session->snapshot()->id, 1u);  // nothing published
+  EXPECT_EQ(session->pending_edits(), 1u);
+
+  ASSERT_TRUE(session->execute("deadline 0").ok);
+  const QueryResult ok = session->execute("commit");
+  ASSERT_TRUE(ok.ok) << to_wire(ok);
+  EXPECT_EQ(session->snapshot()->id, 2u);
+  EXPECT_EQ(session->pending_edits(), 0u);
+  EXPECT_TRUE(matches_fresh_analysis(*session));
+}
+
+TEST(ServiceTest, CacheHitsOnRepeatAndInvalidatesOnPublication) {
+  auto session = make_session();
+  const QueryResult first = session->execute("worst_paths 4");
+  ASSERT_TRUE(first.ok);
+  EXPECT_EQ(session->metrics().cache_hits(), 0u);
+  const QueryResult second = session->execute("worst_paths 4");
+  EXPECT_EQ(to_wire(first), to_wire(second));
+  EXPECT_EQ(session->metrics().cache_hits(), 1u);
+
+  // Canonicalisation: numerically equal spellings share the entry.
+  session->execute("worst_paths 04");
+  EXPECT_EQ(session->metrics().cache_hits(), 2u);
+
+  // Publication invalidates wholesale: same query misses, new content key.
+  const std::vector<std::string> comb = cell_names(session->design(), 1, false);
+  ASSERT_TRUE(session->execute("set_delay " + comb[0] + " 90ps").ok);
+  ASSERT_TRUE(session->execute("commit").ok);
+  EXPECT_EQ(session->cache().size(), 0u);
+  session->execute("worst_paths 4");
+  EXPECT_EQ(session->metrics().cache_hits(), 2u);  // miss after publication
+  EXPECT_EQ(session->metrics().cache_misses(), 2u);
+}
+
+TEST(ServiceTest, StructuredErrorsForBadQueries) {
+  auto session = make_session();
+  EXPECT_EQ(session->execute("slacc n1").code, DiagCode::kParseUnknownKeyword);
+  EXPECT_EQ(session->execute("slack").code, DiagCode::kParseSyntax);
+  EXPECT_EQ(session->execute("worst_paths nan").code, DiagCode::kParseBadNumber);
+  EXPECT_EQ(session->execute("histogram 0").code, DiagCode::kParseBadNumber);
+  EXPECT_EQ(session->execute("slack no_such.pin").code,
+            DiagCode::kParseUnknownName);
+  EXPECT_EQ(session->execute("set_delay ghost 1ns").code,
+            DiagCode::kParseUnknownName);
+  // Upsizing a sequential element has no stronger variant: rejected, not fatal.
+  const std::vector<std::string> seq = cell_names(session->design(), 1, true);
+  EXPECT_EQ(session->execute("upsize " + seq[0]).code,
+            DiagCode::kServiceRejected);
+  // Blank and comment lines produce no reply at all.
+  EXPECT_TRUE(session->execute("").lines.empty());
+  EXPECT_TRUE(session->execute("# comment").lines.empty());
+  // The session still works.
+  EXPECT_TRUE(session->execute("summary").ok);
+}
+
+TEST(ServiceTest, ProtocolHandlerBatchAndLifecycle) {
+  ServiceHost host;
+  host.adopt(make_session());
+  ProtocolHandler handler(host);
+
+  EXPECT_EQ(handler.handle_line(""), "");
+  EXPECT_EQ(handler.handle_line("# comment"), "");
+  EXPECT_EQ(handler.handle_line("ping"), "ok pong\n");
+
+  // batch collects exactly N lines, then replies once.
+  EXPECT_EQ(handler.handle_line("batch 2"), "");
+  EXPECT_TRUE(handler.collecting());
+  EXPECT_EQ(handler.handle_line("ping"), "");
+  const std::string reply = handler.handle_line("summary");
+  EXPECT_FALSE(handler.collecting());
+  EXPECT_EQ(reply.rfind("ok batch 2\n", 0), 0u);
+  EXPECT_NE(reply.find("ok pong"), std::string::npos);
+  EXPECT_NE(reply.find("ok summary"), std::string::npos);
+
+  const std::string help = handler.handle_line("help");
+  EXPECT_EQ(help.rfind("ok help", 0), 0u);
+
+  EXPECT_FALSE(handler.quit());
+  EXPECT_EQ(handler.handle_line("quit"), "ok bye\n");
+  EXPECT_TRUE(handler.quit());
+}
+
+TEST(ServiceTest, HostWithoutSessionRejectsQueries) {
+  ServiceHost host;
+  ProtocolHandler handler(host);
+  const std::string reply = handler.handle_line("summary");
+  EXPECT_EQ(reply.rfind("err service-rejected", 0), 0u);
+  const std::string load = handler.handle_line("load missing.net missing.spec");
+  EXPECT_EQ(load.rfind("err service-rejected", 0), 0u);
+}
+
+TEST(ServiceTest, ServeStreamCountsErrors) {
+  ServiceHost host;
+  host.adopt(make_session());
+  std::istringstream in("ping\nbogus_verb\nsummary\nquit\n");
+  std::ostringstream out;
+  const int errors = serve_stream(host, in, out);
+  EXPECT_EQ(errors, 1);
+  EXPECT_NE(out.str().find("ok pong"), std::string::npos);
+  EXPECT_NE(out.str().find("err parse-unknown-keyword"), std::string::npos);
+  EXPECT_NE(out.str().find("ok bye"), std::string::npos);
+}
+
+TEST(ServiceTest, TcpServerServesTheLineProtocol) {
+  ServiceHost host;
+  host.adopt(make_session());
+  std::unique_ptr<TcpServer> server;
+  try {
+    server = std::make_unique<TcpServer>(host, 0);
+  } catch (const Error& e) {
+    GTEST_SKIP() << "cannot bind loopback: " << e.what();
+  }
+
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(server->port());
+  ASSERT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr), 0);
+
+  const std::string request = "ping\nsummary\nquit\n";
+  ASSERT_EQ(::write(fd, request.data(), request.size()),
+            static_cast<ssize_t>(request.size()));
+  std::string response;
+  char chunk[1024];
+  ssize_t n;
+  while ((n = ::read(fd, chunk, sizeof chunk)) > 0) {
+    response.append(chunk, static_cast<std::size_t>(n));
+  }
+  ::close(fd);
+  EXPECT_NE(response.find("ok pong"), std::string::npos);
+  EXPECT_NE(response.find("ok summary"), std::string::npos);
+  EXPECT_NE(response.find("ok bye"), std::string::npos);
+  server->stop();
+}
+
+TEST(ServiceTest, MetricsReflectTraffic) {
+  auto session = make_session();
+  session->execute("summary");
+  session->execute("summary");
+  session->execute("ping");
+  session->execute("bogus");
+  const ServiceMetrics& m = session->metrics();
+  EXPECT_EQ(m.reads(), 2u);
+  EXPECT_EQ(m.requests(), 4u);
+  EXPECT_EQ(m.errors(), 1u);
+  EXPECT_EQ(m.cache_hits(), 1u);
+  EXPECT_EQ(m.cache_misses(), 1u);
+  const QueryResult stats = session->execute("stats");
+  ASSERT_TRUE(stats.ok);
+  EXPECT_EQ(stats.lines.size(), 16u);  // header + 15 stat lines
+}
+
+}  // namespace
+}  // namespace hb

@@ -2,6 +2,7 @@
 
 #include <unordered_set>
 
+#include "util/cancel.hpp"
 #include "util/ids.hpp"
 #include "util/rng.hpp"
 #include "util/time.hpp"
@@ -80,6 +81,71 @@ TEST(RngTest, PickCoversAllBuckets) {
   std::unordered_set<std::size_t> seen;
   for (int i = 0; i < 200; ++i) seen.insert(rng.pick(5));
   EXPECT_EQ(seen.size(), 5u);
+}
+
+TEST(CancelTest, TokenResetsForReuse) {
+  CancelToken token;
+  EXPECT_FALSE(token.cancelled());
+  token.cancel();
+  EXPECT_TRUE(token.cancelled());
+  token.reset();
+  EXPECT_FALSE(token.cancelled());
+  // A second request can cancel and reset again — nothing is latched.
+  token.cancel();
+  token.reset();
+  EXPECT_FALSE(token.cancelled());
+}
+
+TEST(CancelTest, BudgetTimerCycleCapRearms) {
+  AnalysisBudget budget;
+  budget.max_total_cycles = 3;
+  BudgetTimer timer(budget);
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_FALSE(timer.exhausted());
+    timer.count_cycle();
+  }
+  EXPECT_TRUE(timer.exhausted());
+  EXPECT_TRUE(timer.exhausted());  // sticky within a run
+
+  timer.rearm();  // next request: same budget, fresh counters
+  EXPECT_EQ(timer.cycles(), 0);
+  EXPECT_FALSE(timer.exhausted());
+  timer.count_cycle();
+  timer.count_cycle();
+  timer.count_cycle();
+  EXPECT_TRUE(timer.exhausted());
+}
+
+TEST(CancelTest, BudgetTimerWallDeadlineRearmsFromNow) {
+  AnalysisBudget tight;
+  tight.wall_seconds = 1e-9;  // expires before the first check
+  BudgetTimer timer(tight);
+  EXPECT_TRUE(timer.exhausted());
+
+  AnalysisBudget roomy;
+  roomy.wall_seconds = 3600;
+  timer.rearm(roomy);  // re-arm against a different budget
+  EXPECT_FALSE(timer.exhausted());
+
+  timer.rearm(tight);  // and back to an instantly-expiring one
+  EXPECT_TRUE(timer.exhausted());
+}
+
+TEST(CancelTest, RearmedTimerStaysExhaustedUntilTokenResets) {
+  CancelToken token;
+  AnalysisBudget budget;
+  budget.cancel = &token;
+  BudgetTimer timer(budget);
+  EXPECT_FALSE(timer.exhausted());
+  token.cancel();
+  EXPECT_TRUE(timer.exhausted());
+
+  timer.rearm();  // timer state clears, but the token still reports cancel
+  EXPECT_TRUE(timer.exhausted());
+
+  timer.rearm();
+  token.reset();  // only resetting the token truly disarms the pair
+  EXPECT_FALSE(timer.exhausted());
 }
 
 TEST(RngTest, ShuffleIsAPermutation) {
