@@ -1,0 +1,448 @@
+// Core pass-evaluation throughput of the CSR-flattened engine.
+//
+// Compares the levelized wavefront kernels over the flat CSR layout
+// (sta/analysis_pass) against a faithful reimplementation of the pre-CSR
+// engine: vector-of-vectors adjacency in arc-creation order and
+// std::optional<RiseFall> ready/required arrays, evaluated pass by pass with
+// global-to-local index translation — exactly the layout this benchmark's
+// kernels replaced.  Both engines are held bit-identical here before any
+// timing is taken, so the speedup is a pure data-layout/scheduling delta.
+//
+// Also counts heap allocations (global operator new hook, this binary only)
+// around steady-state compute() and update() loops: warm caches and
+// workspaces are reused in place, so both loops must allocate nothing.
+//
+// Writes BENCH_core.json; `--quick` restricts to the small networks with few
+// reps (the CI perf-smoke job runs this mode and schema-checks the JSON).
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <new>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "gen/filter.hpp"
+#include "gen/pipeline.hpp"
+#include "gen/random_network.hpp"
+#include "netlist/stdcells.hpp"
+#include "sta/cluster.hpp"
+#include "sta/slack_engine.hpp"
+#include "util/time.hpp"
+
+// ---------------------------------------------------------------------------
+// Allocation counting hook: every operator new in this process bumps the
+// counter.  Defined here so only the benchmark binary pays for it.
+namespace {
+std::atomic<std::uint64_t> g_allocs{0};
+}  // namespace
+
+void* operator new(std::size_t sz) {
+  g_allocs.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(sz ? sz : 1)) return p;
+  throw std::bad_alloc();
+}
+void* operator new[](std::size_t sz) { return ::operator new(sz); }
+void* operator new(std::size_t sz, std::align_val_t al) {
+  g_allocs.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::aligned_alloc(static_cast<std::size_t>(al),
+                                   (sz + static_cast<std::size_t>(al) - 1) &
+                                       ~(static_cast<std::size_t>(al) - 1))) {
+    return p;
+  }
+  throw std::bad_alloc();
+}
+void* operator new[](std::size_t sz, std::align_val_t al) {
+  return ::operator new(sz, al);
+}
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+void operator delete[](void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+
+namespace hb {
+namespace {
+
+double seconds_since(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+/// Best-of-5 wall time of `reps` calls to `body`, in microseconds per call.
+/// Minimum over repetitions is the standard noise filter for short kernels.
+template <class Body>
+double time_us(int reps, Body body) {
+  double best = 1e30;
+  for (int round = 0; round < 5; ++round) {
+    const auto start = std::chrono::steady_clock::now();
+    for (int r = 0; r < reps; ++r) body();
+    best = std::min(best, 1e6 * seconds_since(start) / reps);
+  }
+  return best;
+}
+
+struct Workload {
+  std::string name;
+  Design design;
+  ClockSet clocks;
+};
+
+// -- Reference engine: the pre-CSR data layout -----------------------------
+
+struct RefPassResult {
+  std::vector<std::optional<RiseFall>> ready;
+  std::vector<std::optional<RiseFall>> required;
+};
+
+// The pre-change propagation rules, switch-based as the old engine compiled
+// them (delay_model.hpp is branchless now; the reference must not inherit
+// that).
+RiseFall ref_propagate_forward(RiseFall in, const TArcRec& arc, RiseFall d) {
+  switch (arc.unate) {
+    case Unate::kPositive:
+      return {in.rise + d.rise, in.fall + d.fall};
+    case Unate::kNegative:
+      return {in.fall + d.rise, in.rise + d.fall};
+    case Unate::kNone: {
+      const TimePs worst = std::max(in.rise, in.fall);
+      return {worst + d.rise, worst + d.fall};
+    }
+  }
+  return {};
+}
+
+RiseFall ref_propagate_backward(RiseFall out, const TArcRec& arc, RiseFall d) {
+  switch (arc.unate) {
+    case Unate::kPositive:
+      return {out.rise - d.rise, out.fall - d.fall};
+    case Unate::kNegative:
+      return {out.fall - d.fall, out.rise - d.rise};
+    case Unate::kNone: {
+      const TimePs worst = std::min(out.rise - d.rise, out.fall - d.fall);
+      return {worst, worst};
+    }
+  }
+  return {};
+}
+
+/// Pre-CSR pass evaluation: Cluster::nodes traversal with per-node
+/// global->local translation through `local_index`, adjacency as
+/// vector-of-vectors over an arc array in creation-like order,
+/// optional<RiseFall> results.
+RefPassResult run_reference_pass(
+    const TimingGraph& graph, const SyncModel& sync, const Cluster& cluster,
+    const std::vector<TArcRec>& arcs,
+    const std::vector<std::vector<std::uint32_t>>& fanout,
+    const std::vector<std::uint32_t>& local_index, const ClockEdgeGraph& edges,
+    std::size_t break_node, const std::vector<SyncId>& capture_insts,
+    const std::vector<bool>& assigned) {
+  RefPassResult res;
+  res.ready.resize(cluster.nodes.size());
+  res.required.resize(cluster.nodes.size());
+
+  for (TNodeId n : cluster.source_nodes) {
+    TimePs latest = -kInfinitePs;
+    for (SyncId id : sync.launches_at(n)) {
+      const SyncInstance& si = sync.at(id);
+      const TimePs a = edges.linear_assert(si.ideal_assert, break_node) +
+                       si.assert_offset();
+      latest = std::max(latest, a);
+    }
+    res.ready[local_index[n.index()]] = RiseFall{latest, latest};
+  }
+
+  for (TNodeId n : cluster.nodes) {
+    const auto& in = res.ready[local_index[n.index()]];
+    if (!in) continue;
+    const NodeRole role = graph.node(n).role;
+    if (role == NodeRole::kSyncDataIn || role == NodeRole::kSyncControl) continue;
+    for (std::uint32_t ai : fanout[n.index()]) {
+      const TArcRec& arc = arcs.at(ai);
+      const RiseFall cand = ref_propagate_forward(*in, arc, arc.delay);
+      auto& slot = res.ready[local_index[arc.to.index()]];
+      slot = slot ? rf_max(*slot, cand) : cand;
+    }
+  }
+
+  for (std::size_t k = 0; k < capture_insts.size(); ++k) {
+    if (!assigned[k]) continue;
+    const SyncInstance& si = sync.at(capture_insts[k]);
+    const TimePs c = edges.linear_close(si.ideal_close, break_node) +
+                     si.close_offset();
+    auto& slot = res.required[local_index[si.data_in.index()]];
+    slot = slot ? rf_min(*slot, RiseFall{c, c}) : RiseFall{c, c};
+  }
+
+  for (auto it = cluster.nodes.rbegin(); it != cluster.nodes.rend(); ++it) {
+    const TNodeId n = *it;
+    const NodeRole role = graph.node(n).role;
+    if (role == NodeRole::kSyncDataIn || role == NodeRole::kSyncControl) continue;
+    for (std::uint32_t ai : fanout[n.index()]) {
+      const TArcRec& arc = arcs.at(ai);
+      const auto& out = res.required[local_index[arc.to.index()]];
+      if (!out) continue;
+      const RiseFall cand = ref_propagate_backward(*out, arc, arc.delay);
+      auto& slot = res.required[local_index[n.index()]];
+      slot = slot ? rf_min(*slot, cand) : cand;
+    }
+  }
+
+  return res;
+}
+
+struct CoreReport {
+  std::size_t nodes = 0;
+  std::size_t arcs = 0;
+  std::size_t passes = 0;
+  std::size_t levels = 0;
+  std::size_t node_evals = 0;        // sum of cluster sizes over passes
+  double full_analysis_us = 0;       // warm engine.compute(), incl. accumulate
+  double pass_eval_us = 0;           // CSR kernels, all passes
+  double reference_pass_eval_us = 0; // pre-CSR kernels, all passes
+  double node_evals_per_sec = 0;
+  double allocs_per_pass = 0;        // steady-state compute()
+  double update_allocs = 0;          // steady-state update(), per update
+  bool bit_identical = false;
+};
+
+CoreReport measure(Workload& w, int reps) {
+  DelayCalculator calc(w.design);
+  TimingGraph graph(w.design, calc);
+  SyncModel sync(graph, w.clocks, calc);
+  ClusterSet clusters(graph, sync);
+  SlackEngine engine(graph, clusters, sync);
+
+  CoreReport rep;
+  rep.nodes = graph.num_nodes();
+  rep.arcs = graph.num_arcs();
+  rep.passes = engine.num_passes_total();
+  rep.levels = graph.num_levels();
+
+  // Pre-CSR arc storage and adjacency.  The old engine kept arcs in
+  // creation order -- component arcs grouped by instance (ascending pin
+  // ids), net arcs after them -- and per-node fanout lists in that order.
+  // Reconstruct the equivalent layout: records sorted by (tail id, head id),
+  // which tracks pin-creation order rather than the sweep order the current
+  // graph stores, in the reference's own array so the comparison reflects
+  // the old memory behaviour, not the new one.
+  std::vector<TArcRec> ref_arcs(graph.arcs_data(),
+                                graph.arcs_data() + graph.num_arcs());
+  std::sort(ref_arcs.begin(), ref_arcs.end(),
+            [](const TArcRec& a, const TArcRec& b) {
+              if (a.from != b.from) return a.from.value() < b.from.value();
+              return a.to.value() < b.to.value();
+            });
+  std::vector<std::vector<std::uint32_t>> ref_fanout(graph.num_nodes());
+  for (std::uint32_t ai = 0; ai < ref_arcs.size(); ++ai) {
+    ref_fanout[ref_arcs[ai].from.index()].push_back(ai);
+  }
+  std::vector<std::uint32_t> local_index(graph.num_nodes(), 0);
+  for (std::uint32_t c = 0; c < clusters.num_clusters(); ++c) {
+    const Cluster& cl = clusters.cluster(ClusterId(c));
+    for (std::uint32_t i = 0; i < cl.nodes.size(); ++i) {
+      local_index[cl.nodes[i].index()] = i;
+    }
+  }
+
+  // Differential check first: every pass bit-identical between layouts.
+  rep.bit_identical = true;
+  for (std::uint32_t c = 0; c < clusters.num_clusters(); ++c) {
+    const Cluster& cl = clusters.cluster(ClusterId(c));
+    for (std::size_t p = 0; p < engine.num_passes(ClusterId(c)); ++p) {
+      rep.node_evals += cl.nodes.size();
+      const RefPassResult ref = run_reference_pass(
+          graph, sync, cl, ref_arcs, ref_fanout, local_index,
+          engine.edge_graph(ClusterId(c)), engine.breaks(ClusterId(c))[p],
+          engine.capture_insts(ClusterId(c)),
+          engine.assigned_mask(ClusterId(c), p));
+      const PassResult csr = engine.run_pass(ClusterId(c), p);
+      for (std::size_t i = 0; i < cl.nodes.size(); ++i) {
+        const bool rh = ref.ready[i].has_value(), ch = csr.ready.has(i);
+        const bool qh = ref.required[i].has_value(), dh = csr.required.has(i);
+        if (rh != ch || qh != dh ||
+            (rh && !(*ref.ready[i] == csr.ready.at(i))) ||
+            (qh && !(*ref.required[i] == csr.required.at(i)))) {
+          rep.bit_identical = false;
+        }
+      }
+    }
+  }
+
+  // Reference pass-evaluation throughput (per-pass result allocation
+  // included: that is what the pre-CSR engine's run_pass did).
+  rep.reference_pass_eval_us = time_us(reps, [&] {
+    for (std::uint32_t c = 0; c < clusters.num_clusters(); ++c) {
+      for (std::size_t p = 0; p < engine.num_passes(ClusterId(c)); ++p) {
+        const RefPassResult ref = run_reference_pass(
+            graph, sync, clusters.cluster(ClusterId(c)), ref_arcs, ref_fanout,
+            local_index, engine.edge_graph(ClusterId(c)),
+            engine.breaks(ClusterId(c))[p], engine.capture_insts(ClusterId(c)),
+            engine.assigned_mask(ClusterId(c), p));
+        (void)ref;
+      }
+    }
+  });
+
+  // CSR pass-evaluation throughput, caller-owned buffers reused in place.
+  {
+    std::vector<std::vector<PassResult>> out(clusters.num_clusters());
+    for (std::uint32_t c = 0; c < clusters.num_clusters(); ++c) {
+      out[c].resize(engine.num_passes(ClusterId(c)));
+    }
+    rep.pass_eval_us = time_us(reps, [&] {
+      for (std::uint32_t c = 0; c < clusters.num_clusters(); ++c) {
+        for (std::size_t p = 0; p < engine.num_passes(ClusterId(c)); ++p) {
+          engine.run_pass_into(ClusterId(c), p, out[c][p]);
+        }
+      }
+    });
+    if (rep.pass_eval_us > 0) {
+      rep.node_evals_per_sec =
+          1e6 * static_cast<double>(rep.node_evals) / rep.pass_eval_us;
+    }
+  }
+
+  // Full analysis (compute + checksums + accumulation), warm.
+  engine.compute();
+  rep.full_analysis_us = time_us(reps, [&] { engine.compute(); });
+
+  // Steady-state allocation counts.  compute() over a warm cache and
+  // update() over warm workspaces must both be allocation-free.
+  {
+    engine.compute();  // warm
+    const std::uint64_t before = g_allocs.load(std::memory_order_relaxed);
+    for (int r = 0; r < 10; ++r) engine.compute();
+    const std::uint64_t after = g_allocs.load(std::memory_order_relaxed);
+    rep.allocs_per_pass = rep.passes == 0
+                              ? 0.0
+                              : static_cast<double>(after - before) /
+                                    (10.0 * static_cast<double>(rep.passes));
+  }
+  if (graph.num_nodes() > 0) {
+    // A fixed mid-graph dirty node, warmed once so every persistent buffer
+    // has reached steady-state capacity.
+    const TNodeId probe = clusters.num_clusters() > 0
+                              ? clusters.cluster(ClusterId(0)).nodes.front()
+                              : TNodeId(0);
+    engine.invalidate_node(probe);
+    engine.update();
+    engine.invalidate_node(probe);
+    engine.update();  // warm twice: first update grows task slots
+    const std::uint64_t before = g_allocs.load(std::memory_order_relaxed);
+    for (int r = 0; r < 10; ++r) {
+      engine.invalidate_node(probe);
+      engine.update();
+    }
+    const std::uint64_t after = g_allocs.load(std::memory_order_relaxed);
+    rep.update_allocs = static_cast<double>(after - before) / 10.0;
+  }
+
+  return rep;
+}
+
+}  // namespace
+}  // namespace hb
+
+int main(int argc, char** argv) {
+  using namespace hb;
+  const bool quick = argc > 1 && std::strcmp(argv[1], "--quick") == 0;
+  auto lib = make_standard_library();
+
+  std::vector<Workload> workloads;
+  {
+    PipelineSpec spec;
+    spec.stage_depths = {8, 8, 8, 8};
+    spec.width = 8;
+    workloads.push_back({"pipeline_8x4x8", make_pipeline(lib, spec),
+                         make_two_phase_clocks(ns(6))});
+  }
+  {
+    FilterSpec spec;
+    spec.width = 12;
+    spec.taps = 6;
+    spec.reg_cell = "TLATCH";
+    workloads.push_back({"filter_12b_6tap", make_multirate_filter(lib, spec),
+                         make_multirate_clocks(ns(8))});
+  }
+  for (const auto& [name, banks, width, gates] :
+       {std::tuple<const char*, int, int, int>{"random_small", 3, 3, 12},
+        {"random_medium", 5, 6, 60},
+        {"random_large", 8, 10, 220}}) {
+    if (quick && std::strcmp(name, "random_large") == 0) continue;
+    RandomNetworkSpec spec;
+    spec.seed = 7;
+    spec.num_clocks = 2;
+    spec.banks = banks;
+    spec.bank_width = width;
+    spec.gates_per_stage = gates;
+    RandomNetwork net = make_random_network(lib, spec);
+    workloads.push_back({name, std::move(net.design), std::move(net.clocks)});
+  }
+
+  const int reps = quick ? 10 : 100;
+  std::printf("%-16s %8s %8s %7s %7s | %10s %10s %8s | %12s %9s %9s\n",
+              "network", "nodes", "arcs", "passes", "levels", "ref us",
+              "csr us", "speedup", "node-evals/s", "allocs/p", "upd alloc");
+
+  FILE* json = std::fopen("BENCH_core.json", "w");
+  std::fprintf(json, "{\n  \"quick\": %s,\n  \"networks\": [\n",
+               quick ? "true" : "false");
+
+  bool all_identical = true;
+  bool zero_alloc = true;
+  double large_speedup = 0;
+  for (std::size_t i = 0; i < workloads.size(); ++i) {
+    Workload& w = workloads[i];
+    const CoreReport rep = measure(w, reps);
+    all_identical = all_identical && rep.bit_identical;
+    zero_alloc = zero_alloc && rep.allocs_per_pass == 0 && rep.update_allocs == 0;
+    const double speedup =
+        rep.pass_eval_us > 0 ? rep.reference_pass_eval_us / rep.pass_eval_us : 0;
+    if (w.name == "random_large") large_speedup = speedup;
+    std::printf("%-16s %8zu %8zu %7zu %7zu | %10.1f %10.1f %7.2fx | %12.0f %9.2f %9.2f\n",
+                w.name.c_str(), rep.nodes, rep.arcs, rep.passes, rep.levels,
+                rep.reference_pass_eval_us, rep.pass_eval_us, speedup,
+                rep.node_evals_per_sec, rep.allocs_per_pass, rep.update_allocs);
+    if (!rep.bit_identical) {
+      std::fprintf(stderr, "%s: CSR and reference engines DIVERGED\n",
+                   w.name.c_str());
+    }
+    std::fprintf(json,
+                 "    {\"name\": \"%s\", \"nodes\": %zu, \"arcs\": %zu, "
+                 "\"passes\": %zu, \"levels\": %zu,\n"
+                 "     \"bit_identical_to_reference\": %s,\n"
+                 "     \"full_analysis_us\": %.2f, \"pass_eval_us\": %.2f, "
+                 "\"reference_pass_eval_us\": %.2f, "
+                 "\"speedup_vs_reference\": %.2f,\n"
+                 "     \"node_evals_per_sec\": %.0f, "
+                 "\"steady_state_allocs_per_pass\": %.2f, "
+                 "\"steady_state_allocs_per_update\": %.2f}%s\n",
+                 w.name.c_str(), rep.nodes, rep.arcs, rep.passes, rep.levels,
+                 rep.bit_identical ? "true" : "false", rep.full_analysis_us,
+                 rep.pass_eval_us, rep.reference_pass_eval_us, speedup,
+                 rep.node_evals_per_sec, rep.allocs_per_pass, rep.update_allocs,
+                 i + 1 < workloads.size() ? "," : "");
+  }
+  std::fprintf(json,
+               "  ],\n  \"all_bit_identical\": %s,\n"
+               "  \"zero_alloc_steady_state\": %s,\n"
+               "  \"random_large_speedup_vs_reference\": %.2f\n}\n",
+               all_identical ? "true" : "false", zero_alloc ? "true" : "false",
+               large_speedup);
+  std::fclose(json);
+  std::printf("\nwrote BENCH_core.json (random_large speedup vs pre-CSR "
+              "reference: %.2fx; bit-identical: %s; zero-alloc: %s)\n",
+              large_speedup, all_identical ? "yes" : "NO",
+              zero_alloc ? "yes" : "NO");
+  return all_identical ? 0 : 1;
+}

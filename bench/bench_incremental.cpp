@@ -73,6 +73,11 @@ struct Report {
   std::size_t arcs = 0;
   std::size_t passes = 0;
   double retraced_per_update = 0;
+  // Strategy chosen by the cost model over the serial incremental phases:
+  // dirty passes patched over their cone vs re-evaluated by full sweep
+  // (docs/ALGORITHMS.md §7).
+  std::uint64_t cone_updates = 0;
+  std::uint64_t full_sweeps = 0;
 };
 
 Report measure(Workload& w, ThreadPool& pool, int reps) {
@@ -120,10 +125,14 @@ Report measure(Workload& w, ThreadPool& pool, int reps) {
     sync.drain_changed_offsets();
     engine.compute();
   });
+  const IncrementalStats off_before = engine.incremental_stats();
   rep.offset.incremental_us = run_offset([&] {
     engine.invalidate_offsets(sync.drain_changed_offsets());
     engine.update();
   });
+  const IncrementalStats off_after = engine.incremental_stats();
+  rep.cone_updates += off_after.passes_updated - off_before.passes_updated;
+  rep.full_sweeps += off_after.passes_full_swept - off_before.passes_full_swept;
   rep.offset.parallel_us = run_offset([&] {
     engine.invalidate_offsets(sync.drain_changed_offsets());
     engine.update(&pool);
@@ -161,6 +170,8 @@ Report measure(Workload& w, ThreadPool& pool, int reps) {
         static_cast<double>(after.nodes_retraced - before.nodes_retraced) /
         static_cast<double>(after.updates - before.updates);
   }
+  rep.cone_updates += after.passes_updated - before.passes_updated;
+  rep.full_sweeps += after.passes_full_swept - before.passes_full_swept;
   rep.delay.parallel_us = run_delay([&](const TimingGraph::DelayUpdate& upd) {
     for (std::uint32_t ai : upd.changed_arcs) {
       engine.invalidate_node(graph.arc(ai).from);
@@ -242,6 +253,8 @@ int main() {
                  "     \"delay_perturbation\": {\"full_us\": %.2f, "
                  "\"incremental_us\": %.2f, \"parallel_us\": %.2f, "
                  "\"speedup\": %.2f, \"parallel_speedup\": %.2f},\n"
+                 "     \"strategy\": {\"cone_updates\": %llu, "
+                 "\"full_sweeps\": %llu},\n"
                  "     \"retraced_nodes_per_update\": %.1f}%s\n",
                  w.name.c_str(), rep.nodes, rep.arcs, rep.passes,
                  rep.offset.full_us, rep.offset.incremental_us,
@@ -249,6 +262,8 @@ int main() {
                  rep.offset.parallel_speedup(), rep.delay.full_us,
                  rep.delay.incremental_us, rep.delay.parallel_us,
                  rep.delay.speedup(), rep.delay.parallel_speedup(),
+                 static_cast<unsigned long long>(rep.cone_updates),
+                 static_cast<unsigned long long>(rep.full_sweeps),
                  rep.retraced_per_update,
                  i + 1 < workloads.size() ? "," : "");
   }

@@ -43,35 +43,36 @@ inline RiseFall rf_min(RiseFall a, RiseFall b) {
 /// refer to the *output* transition of the arc):
 ///   forward (paper eq. 1):  arrival_out = f(arrival_in) + delay
 ///   backward (paper eq. 2): required_in = g(required_out) - delay
+/// Written as value selects rather than a switch: unateness varies
+/// arc-to-arc in mixed logic, so a branch here mispredicts constantly in the
+/// propagation sweeps; ternaries on integers compile to conditional moves.
 template <class ArcLike>
 RiseFall propagate_forward(RiseFall in, const ArcLike& arc, RiseFall d) {
-  switch (arc.unate) {
-    case Unate::kPositive:
-      return {in.rise + d.rise, in.fall + d.fall};
-    case Unate::kNegative:
-      return {in.fall + d.rise, in.rise + d.fall};
-    case Unate::kNone: {
-      const TimePs worst = std::max(in.rise, in.fall);
-      return {worst + d.rise, worst + d.fall};
-    }
-  }
-  return {};
+  // kPositive: {rise, fall}; kNegative: {fall, rise} (an input fall causes
+  // an output rise); kNone: worst of the two on both transitions.
+  const TimePs worst = std::max(in.rise, in.fall);
+  const TimePs r = arc.unate == Unate::kPositive
+                       ? in.rise
+                       : (arc.unate == Unate::kNegative ? in.fall : worst);
+  const TimePs f = arc.unate == Unate::kPositive
+                       ? in.fall
+                       : (arc.unate == Unate::kNegative ? in.rise : worst);
+  return {r + d.rise, f + d.fall};
 }
 
 template <class ArcLike>
 RiseFall propagate_backward(RiseFall out, const ArcLike& arc, RiseFall d) {
-  switch (arc.unate) {
-    case Unate::kPositive:
-      return {out.rise - d.rise, out.fall - d.fall};
-    case Unate::kNegative:
-      // An input rise causes an output fall and vice versa.
-      return {out.fall - d.fall, out.rise - d.rise};
-    case Unate::kNone: {
-      const TimePs worst = std::min(out.rise - d.rise, out.fall - d.fall);
-      return {worst, worst};
-    }
-  }
-  return {};
+  const TimePs pr = out.rise - d.rise;
+  const TimePs pf = out.fall - d.fall;
+  // kNegative: an input rise causes an output fall and vice versa.
+  const TimePs worst = std::min(pr, pf);
+  const TimePs r = arc.unate == Unate::kPositive
+                       ? pr
+                       : (arc.unate == Unate::kNegative ? pf : worst);
+  const TimePs f = arc.unate == Unate::kPositive
+                       ? pf
+                       : (arc.unate == Unate::kNegative ? pr : worst);
+  return {r, f};
 }
 
 /// Statistical wire load estimate: every net contributes a fixed stem cap

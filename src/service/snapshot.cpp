@@ -66,11 +66,9 @@ std::shared_ptr<const AnalysisSnapshot> take_snapshot(
     snap->paths.push_back(std::move(sp));
   }
 
-  const std::size_t n = engine.graph().num_nodes();
-  snap->nodes.reserve(n);
-  for (std::size_t i = 0; i < n; ++i) {
-    snap->nodes.push_back(engine.node_timing(TNodeId(static_cast<std::uint32_t>(i))));
-  }
+  // Bulk copy straight from the engine's flat per-node timing array (one
+  // allocation, no per-node accessor calls).
+  snap->nodes = engine.node_timings();
   return snap;
 }
 

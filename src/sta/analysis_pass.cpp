@@ -1,16 +1,183 @@
 #include "sta/analysis_pass.hpp"
 
-#include <algorithm>
+#include <bit>
 
 namespace hb {
 namespace {
 
-bool blocks_propagation(NodeRole role) {
-  // Data does not propagate combinationally through synchronising elements.
-  return role == NodeRole::kSyncDataIn || role == NodeRole::kSyncControl;
+constexpr std::uint64_t bit_of(std::uint32_t li) {
+  return std::uint64_t{1} << (li & 63);
+}
+
+/// Latest actual assertion over the launch instances at `node`, in linear
+/// coordinates; false when the node launches nothing.
+bool launch_seed(const SyncModel& sync, const ClockEdgeGraph& edges,
+                 std::size_t break_node, TNodeId node, RiseFall& out) {
+  const std::vector<SyncId>& launches = sync.launches_at(node);
+  if (launches.empty()) return false;
+  TimePs latest = -kInfinitePs;
+  for (SyncId id : launches) {
+    const SyncInstance& si = sync.at(id);
+    const TimePs a =
+        edges.linear_assert(si.ideal_assert, break_node) + si.assert_offset();
+    latest = std::max(latest, a);
+  }
+  out = RiseFall{latest, latest};
+  return true;
+}
+
+/// Fused mark-and-visit sweep over the forward cone of `seeds`: processes
+/// marked locals in ascending order (= topological order, since every arc
+/// goes from a lower local index to a higher one) and marks the successors
+/// of each processed non-blocked node.  Mark words are consumed (zeroed) as
+/// the sweep passes, so the workspace is clean on return.  Returns the
+/// number of nodes visited.
+template <class Visit>
+std::size_t sweep_forward(const Cluster& cluster,
+                          const std::vector<std::uint32_t>& seeds,
+                          PassWorkspace& ws, Visit visit) {
+  if (seeds.empty()) return 0;
+  std::vector<std::uint64_t>& m = ws.marks;
+  std::size_t lo = SIZE_MAX, hi = 0;
+  for (std::uint32_t li : seeds) {
+    const std::size_t w = li >> 6;
+    m[w] |= bit_of(li);
+    lo = std::min(lo, w);
+    hi = std::max(hi, w);
+  }
+  std::size_t count = 0;
+  for (std::size_t w = lo; w <= hi; ++w) {
+    std::uint64_t done = 0;
+    for (;;) {
+      const std::uint64_t pend = m[w] & ~done;
+      if (pend == 0) break;
+      const unsigned b = static_cast<unsigned>(std::countr_zero(pend));
+      done |= std::uint64_t{1} << b;
+      const std::uint32_t li = static_cast<std::uint32_t>(w * 64 + b);
+      visit(li);
+      ++count;
+      if (!cluster.blocked[li]) {
+        const std::uint32_t end = cluster.out_offsets[li + 1];
+        for (std::uint32_t k = cluster.out_offsets[li]; k < end; ++k) {
+          const std::uint32_t to = cluster.out_local[k];
+          m[to >> 6] |= bit_of(to);
+          hi = std::max(hi, static_cast<std::size_t>(to >> 6));
+        }
+      }
+    }
+    m[w] = 0;
+  }
+  return count;
+}
+
+/// Mirror sweep over the backward cone: descending local index (= reverse
+/// topological order), marking each processed node's non-blocked
+/// predecessors.
+template <class Visit>
+std::size_t sweep_backward(const Cluster& cluster,
+                           const std::vector<std::uint32_t>& seeds,
+                           PassWorkspace& ws, Visit visit) {
+  if (seeds.empty()) return 0;
+  std::vector<std::uint64_t>& m = ws.marks;
+  std::size_t lo = SIZE_MAX, hi = 0;
+  for (std::uint32_t li : seeds) {
+    const std::size_t w = li >> 6;
+    m[w] |= bit_of(li);
+    lo = std::min(lo, w);
+    hi = std::max(hi, w);
+  }
+  std::size_t count = 0;
+  std::size_t w = hi;
+  for (;;) {
+    std::uint64_t done = 0;
+    for (;;) {
+      const std::uint64_t pend = m[w] & ~done;
+      if (pend == 0) break;
+      const unsigned b = 63u - static_cast<unsigned>(std::countl_zero(pend));
+      done |= std::uint64_t{1} << b;
+      const std::uint32_t li = static_cast<std::uint32_t>(w * 64 + b);
+      visit(li);
+      ++count;
+      const std::uint32_t end = cluster.in_offsets[li + 1];
+      for (std::uint32_t k = cluster.in_offsets[li]; k < end; ++k) {
+        const std::uint32_t fl = cluster.in_local[k];
+        if (cluster.blocked[fl]) continue;
+        m[fl >> 6] |= bit_of(fl);
+        lo = std::min(lo, static_cast<std::size_t>(fl >> 6));
+      }
+    }
+    m[w] = 0;
+    if (w == lo) break;
+    --w;
+  }
+  return count;
 }
 
 }  // namespace
+
+void run_analysis_pass_into(const TimingGraph& graph, const SyncModel& sync,
+                            const Cluster& cluster,
+                            const std::vector<std::uint32_t>& local_index,
+                            const ClockEdgeGraph& edges, std::size_t break_node,
+                            const std::vector<SyncId>& capture_insts,
+                            const std::vector<bool>& assigned, PassResult& res) {
+  const std::size_t n = cluster.nodes.size();
+  const TArcRec* arcs = graph.arcs_data();
+  res.ready.reset(n);
+  res.required.reset(n);
+  RiseFall* ready = res.ready.data();
+  RiseFall* required = res.required.data();
+
+  // Seed launch terminals: the latest actual assertion over the node's
+  // launch instances, in linear coordinates.
+  for (TNodeId node : cluster.source_nodes) {
+    RiseFall seed;
+    if (launch_seed(sync, edges, break_node, node, seed)) {
+      ready[local_index[node.index()]] = seed;
+    }
+  }
+
+  // Forward wavefront, eq. (1): R_z = max_i (R_i + P_iz).  Ascending local
+  // index is level order, so one linear sweep settles every node; data does
+  // not propagate combinationally out of synchronising-element terminals.
+  // The max-fold is unconditional: -kInfinitePs slots are its identity.
+  for (std::uint32_t li = 0; li < n; ++li) {
+    if (!res.ready.has(li) || cluster.blocked[li]) continue;
+    const RiseFall in = ready[li];
+    const std::uint32_t end = cluster.out_offsets[li + 1];
+    for (std::uint32_t k = cluster.out_offsets[li]; k < end; ++k) {
+      const TArcRec& arc = arcs[cluster.out_arc[k]];
+      const std::uint32_t to = cluster.out_local[k];
+      ready[to] = rf_max(ready[to], propagate_forward(in, arc, arc.delay));
+    }
+  }
+
+  // Seed capture terminals assigned to this pass with their closure times.
+  for (std::size_t k = 0; k < capture_insts.size(); ++k) {
+    if (!assigned[k]) continue;
+    const SyncInstance& si = sync.at(capture_insts[k]);
+    const TimePs c =
+        edges.linear_close(si.ideal_close, break_node) + si.close_offset();
+    RiseFall& slot = required[local_index[si.data_in.index()]];
+    slot = rf_min(slot, RiseFall{c, c});
+  }
+
+  // Backward wavefront, eq. (2) in required-time form: Q_i = min_z (Q_z - P_iz).
+  // Descending local index is reverse level order, so every successor is
+  // final before it is read.  Folding through an absent successor leaves the
+  // slot on the absent side of the has() threshold (see PassSide).
+  for (std::uint32_t li = static_cast<std::uint32_t>(n); li-- > 0;) {
+    if (cluster.blocked[li]) continue;
+    RiseFall acc = required[li];
+    const std::uint32_t end = cluster.out_offsets[li + 1];
+    for (std::uint32_t k = cluster.out_offsets[li]; k < end; ++k) {
+      const TArcRec& arc = arcs[cluster.out_arc[k]];
+      acc = rf_min(acc, propagate_backward(required[cluster.out_local[k]], arc,
+                                           arc.delay));
+    }
+    required[li] = acc;
+  }
+}
 
 PassResult run_analysis_pass(const TimingGraph& graph, const SyncModel& sync,
                              const Cluster& cluster,
@@ -19,195 +186,84 @@ PassResult run_analysis_pass(const TimingGraph& graph, const SyncModel& sync,
                              const std::vector<SyncId>& capture_insts,
                              const std::vector<bool>& assigned) {
   PassResult res;
-  res.ready.resize(cluster.nodes.size());
-  res.required.resize(cluster.nodes.size());
-
-  // Seed launch terminals: the latest actual assertion over the node's
-  // launch instances, in linear coordinates.
-  for (TNodeId n : cluster.source_nodes) {
-    TimePs latest = -kInfinitePs;
-    for (SyncId id : sync.launches_at(n)) {
-      const SyncInstance& si = sync.at(id);
-      const TimePs a = edges.linear_assert(si.ideal_assert, break_node) +
-                       si.assert_offset();
-      latest = std::max(latest, a);
-    }
-    res.ready[local_index[n.index()]] = RiseFall{latest, latest};
-  }
-
-  // Forward trace, eq. (1): R_z = max_i (R_i + P_iz).
-  for (TNodeId n : cluster.nodes) {
-    const auto& in = res.ready[local_index[n.index()]];
-    if (!in) continue;
-    // Data does not propagate combinationally through synchronising
-    // elements or out of capture terminals.
-    const NodeRole role = graph.node(n).role;
-    if (role == NodeRole::kSyncDataIn || role == NodeRole::kSyncControl) continue;
-    for (std::uint32_t ai : graph.fanout(n)) {
-      const TArcRec& arc = graph.arc(ai);
-      const RiseFall cand = propagate_forward(*in, arc, arc.delay);
-      auto& slot = res.ready[local_index[arc.to.index()]];
-      slot = slot ? rf_max(*slot, cand) : cand;
-    }
-  }
-
-  // Seed capture terminals assigned to this pass with their closure times.
-  for (std::size_t k = 0; k < capture_insts.size(); ++k) {
-    if (!assigned[k]) continue;
-    const SyncInstance& si = sync.at(capture_insts[k]);
-    const TimePs c = edges.linear_close(si.ideal_close, break_node) +
-                     si.close_offset();
-    auto& slot = res.required[local_index[si.data_in.index()]];
-    slot = slot ? rf_min(*slot, RiseFall{c, c}) : RiseFall{c, c};
-  }
-
-  // Backward trace, eq. (2) in required-time form: Q_i = min_z (Q_z - P_iz).
-  for (auto it = cluster.nodes.rbegin(); it != cluster.nodes.rend(); ++it) {
-    const TNodeId n = *it;
-    const NodeRole role = graph.node(n).role;
-    if (role == NodeRole::kSyncDataIn || role == NodeRole::kSyncControl) continue;
-    for (std::uint32_t ai : graph.fanout(n)) {
-      const TArcRec& arc = graph.arc(ai);
-      const auto& out = res.required[local_index[arc.to.index()]];
-      if (!out) continue;
-      const RiseFall cand = propagate_backward(*out, arc, arc.delay);
-      auto& slot = res.required[local_index[n.index()]];
-      slot = slot ? rf_min(*slot, cand) : cand;
-    }
-  }
-
+  run_analysis_pass_into(graph, sync, cluster, local_index, edges, break_node,
+                         capture_insts, assigned, res);
   return res;
 }
 
-namespace {
-
-/// Collects the closure of `seeds` under `expand` into scratch.affected
-/// (deduplicated local indices, unsorted).  `expand(li)` pushes the local
-/// indices directly readable from node li.
-template <class Expand>
-void collect_cone(const std::vector<std::uint32_t>& seeds, std::size_t num_locals,
-                  PassScratch& scratch, Expand expand) {
-  scratch.mark.assign(num_locals, 0);
-  scratch.stack.clear();
-  scratch.affected.clear();
-  for (std::uint32_t li : seeds) {
-    if (!scratch.mark[li]) {
-      scratch.mark[li] = 1;
-      scratch.stack.push_back(li);
-      scratch.affected.push_back(li);
-    }
-  }
-  while (!scratch.stack.empty()) {
-    const std::uint32_t li = scratch.stack.back();
-    scratch.stack.pop_back();
-    expand(li, [&](std::uint32_t to) {
-      if (!scratch.mark[to]) {
-        scratch.mark[to] = 1;
-        scratch.stack.push_back(to);
-        scratch.affected.push_back(to);
-      }
-    });
-  }
-}
-
-}  // namespace
-
 std::size_t update_analysis_pass(const TimingGraph& graph, const SyncModel& sync,
                                  const Cluster& cluster,
-                                 const std::vector<std::uint32_t>& local_index,
+                                 const std::vector<std::uint32_t>& /*local_index*/,
                                  const ClockEdgeGraph& edges, std::size_t break_node,
                                  const std::vector<SyncId>& capture_insts,
                                  const std::vector<bool>& assigned,
                                  const std::vector<std::uint32_t>& fwd_seeds,
                                  const std::vector<std::uint32_t>& bwd_seeds,
-                                 PassResult& res, PassScratch& scratch) {
+                                 PassResult& res, PassWorkspace& ws) {
+  ws.ensure(cluster.nodes.size());
+  const TArcRec* arcs = graph.arcs_data();
+  RiseFall* ready = res.ready.data();
+  RiseFall* required = res.required.data();
   std::size_t retraced = 0;
 
-  // Forward: re-derive ready over the forward cone of the seeds, in
-  // topological order (Cluster::nodes is topologically sorted, so local
-  // indices order the cone).  Values outside the cone cannot change: every
-  // node reading a changed value is, by construction, inside it.
-  if (!fwd_seeds.empty()) {
-    collect_cone(fwd_seeds, cluster.nodes.size(), scratch,
-                 [&](std::uint32_t li, auto push) {
-                   const TNodeId n = cluster.nodes[li];
-                   if (blocks_propagation(graph.node(n).role)) return;
-                   for (std::uint32_t ai : graph.fanout(n)) {
-                     push(local_index[graph.arc(ai).to.index()]);
-                   }
-                 });
-    std::sort(scratch.affected.begin(), scratch.affected.end());
-    for (std::uint32_t li : scratch.affected) {
-      const TNodeId n = cluster.nodes[li];
-      std::optional<RiseFall> v;
-      const std::vector<SyncId>& launches = sync.launches_at(n);
-      if (!launches.empty()) {
-        TimePs latest = -kInfinitePs;
-        for (SyncId id : launches) {
-          const SyncInstance& si = sync.at(id);
-          const TimePs a = edges.linear_assert(si.ideal_assert, break_node) +
-                           si.assert_offset();
-          latest = std::max(latest, a);
-        }
-        v = RiseFall{latest, latest};
-      }
-      for (std::uint32_t ai : graph.fanin(n)) {
-        const TArcRec& arc = graph.arc(ai);
-        if (blocks_propagation(graph.node(arc.from).role)) continue;
-        const auto& in = res.ready[local_index[arc.from.index()]];
-        if (!in) continue;
-        const RiseFall cand = propagate_forward(*in, arc, arc.delay);
-        v = v ? rf_max(*v, cand) : cand;
-      }
-      res.ready[li] = v;
+  // Forward: re-derive ready over the forward cone of the seeds.  The sweep
+  // visits the cone in ascending local index (= topological) order, so every
+  // changed predecessor is settled before its readers; values outside the
+  // cone cannot change.  Each cone node is re-derived from scratch by
+  // max-folding over its fanin (absent tails fold as the identity); blocked
+  // tails never propagate their ready onward.
+  retraced += sweep_forward(cluster, fwd_seeds, ws, [&](std::uint32_t li) {
+    RiseFall v = res.ready.absent();
+    launch_seed(sync, edges, break_node, cluster.nodes[li], v);
+    const std::uint32_t end = cluster.in_offsets[li + 1];
+    for (std::uint32_t k = cluster.in_offsets[li]; k < end; ++k) {
+      const std::uint32_t fl = cluster.in_local[k];
+      if (cluster.blocked[fl]) continue;
+      const TArcRec& arc = arcs[cluster.in_arc[k]];
+      v = rf_max(v, propagate_forward(ready[fl], arc, arc.delay));
     }
-    retraced += scratch.affected.size();
-  }
+    ready[li] = v;
+  });
 
   // Backward: the mirror image over the backward cone, in reverse
   // topological order.  A predecessor reads required through its own fanout
   // regardless of the seed node's role, but blocked predecessors never
   // propagate further back.
-  if (!bwd_seeds.empty()) {
-    collect_cone(bwd_seeds, cluster.nodes.size(), scratch,
-                 [&](std::uint32_t li, auto push) {
-                   const TNodeId n = cluster.nodes[li];
-                   for (std::uint32_t ai : graph.fanin(n)) {
-                     const TNodeId from = graph.arc(ai).from;
-                     if (blocks_propagation(graph.node(from).role)) continue;
-                     push(local_index[from.index()]);
-                   }
-                 });
-    std::sort(scratch.affected.begin(), scratch.affected.end(),
-              std::greater<std::uint32_t>());
-    for (std::uint32_t li : scratch.affected) {
-      const TNodeId n = cluster.nodes[li];
-      std::optional<RiseFall> v;
-      if (!sync.captures_at(n).empty()) {
-        for (std::size_t k = 0; k < capture_insts.size(); ++k) {
-          if (!assigned[k]) continue;
-          const SyncInstance& si = sync.at(capture_insts[k]);
-          if (si.data_in != n) continue;
-          const TimePs c = edges.linear_close(si.ideal_close, break_node) +
-                           si.close_offset();
-          v = v ? rf_min(*v, RiseFall{c, c}) : RiseFall{c, c};
-        }
+  retraced += sweep_backward(cluster, bwd_seeds, ws, [&](std::uint32_t li) {
+    RiseFall v = res.required.absent();
+    const TNodeId node = cluster.nodes[li];
+    if (!sync.captures_at(node).empty()) {
+      for (std::size_t k = 0; k < capture_insts.size(); ++k) {
+        if (!assigned[k]) continue;
+        const SyncInstance& si = sync.at(capture_insts[k]);
+        if (si.data_in != node) continue;
+        const TimePs c =
+            edges.linear_close(si.ideal_close, break_node) + si.close_offset();
+        v = rf_min(v, RiseFall{c, c});
       }
-      if (!blocks_propagation(graph.node(n).role)) {
-        for (std::uint32_t ai : graph.fanout(n)) {
-          const TArcRec& arc = graph.arc(ai);
-          const auto& out = res.required[local_index[arc.to.index()]];
-          if (!out) continue;
-          const RiseFall cand = propagate_backward(*out, arc, arc.delay);
-          v = v ? rf_min(*v, cand) : cand;
-        }
-      }
-      res.required[li] = v;
     }
-    retraced += scratch.affected.size();
-  }
+    if (!cluster.blocked[li]) {
+      const std::uint32_t end = cluster.out_offsets[li + 1];
+      for (std::uint32_t k = cluster.out_offsets[li]; k < end; ++k) {
+        const TArcRec& arc = arcs[cluster.out_arc[k]];
+        v = rf_min(v, propagate_backward(required[cluster.out_local[k]], arc,
+                                         arc.delay));
+      }
+    }
+    required[li] = v;
+  });
 
   return retraced;
+}
+
+std::size_t pass_cone_size(const Cluster& cluster,
+                           const std::vector<std::uint32_t>& fwd_seeds,
+                           const std::vector<std::uint32_t>& bwd_seeds,
+                           PassWorkspace& ws) {
+  ws.ensure(cluster.nodes.size());
+  auto noop = [](std::uint32_t) {};
+  return sweep_forward(cluster, fwd_seeds, ws, noop) +
+         sweep_backward(cluster, bwd_seeds, ws, noop);
 }
 
 }  // namespace hb

@@ -9,9 +9,18 @@
 // large number"), so each output's slack is meaningful only in its assigned
 // pass — the one where its ideal closure time falls closest to the end of
 // the broken-open period.
+//
+// Results are stored as packed arrays of rise/fall value pairs with absence
+// encoded as a fold-identity sentinel, instead of std::optional<RiseFall>
+// records (which pad each entry to 24 bytes and force a presence branch on
+// every merge).
+// Values stay integer picoseconds so every kernel here is bit-reproducible
+// (the acceptance oracle for the incremental layer).  All kernels sweep the
+// cluster's local CSR adjacency in level order — see docs/PERFORMANCE.md.
 #pragma once
 
-#include <optional>
+#include <algorithm>
+#include <cstdint>
 #include <vector>
 
 #include "clocks/edge_graph.hpp"
@@ -19,19 +28,71 @@
 
 namespace hb {
 
-struct PassResult {
-  /// Indexed like Cluster::nodes.  Disengaged = the node is not reached by
-  /// any launch (ready) / does not feed any assigned capture (required).
-  std::vector<std::optional<RiseFall>> ready;
-  std::vector<std::optional<RiseFall>> required;
+/// One side (ready or required) of a pass result: a packed array of rise/
+/// fall value pairs indexed like Cluster::nodes.  Absence is encoded in the
+/// values themselves: an absent ready slot holds -kInfinitePs (the identity
+/// of the max-fold), an absent required slot +kInfinitePs (identity of the
+/// min-fold), so the propagation kernels fold unconditionally — no per-arc
+/// presence branch.  Folding *through* an absent slot leaves the result on
+/// the absent side of kInfinitePs/2 (real schedule times are far smaller,
+/// and 2^50 ∓ any delay sum never crosses the midpoint), so has() is a
+/// threshold compare.  Buffers grow to the largest size seen and are never
+/// shrunk, so reset() in steady state performs no heap allocation.
+class PassSide {
+ public:
+  /// `absent`: the fold identity, -kInfinitePs (ready) or +kInfinitePs
+  /// (required).
+  explicit PassSide(TimePs absent) : absent_(absent) {}
+
+  /// Size to `n` locals with every slot absent.
+  void reset(std::size_t n) {
+    size_ = n;
+    if (val_.size() < n) val_.resize(n);
+    std::fill(val_.begin(), val_.begin() + static_cast<std::ptrdiff_t>(n),
+              RiseFall{absent_, absent_});
+  }
+  std::size_t size() const { return size_; }
+  bool has(std::size_t i) const {
+    return absent_ < 0 ? val_[i].rise > absent_ / 2 : val_[i].rise < absent_ / 2;
+  }
+  RiseFall at(std::size_t i) const { return val_[i]; }
+  void set(std::size_t i, RiseFall v) { val_[i] = v; }
+  void clear(std::size_t i) { val_[i] = RiseFall{absent_, absent_}; }
+  /// The fold identity, as a full slot value.
+  RiseFall absent() const { return RiseFall{absent_, absent_}; }
+  /// Raw slot access for the propagation kernels.
+  RiseFall* data() { return val_.data(); }
+  const RiseFall* data() const { return val_.data(); }
+
+ private:
+  std::vector<RiseFall> val_;
+  TimePs absent_;
+  std::size_t size_ = 0;
 };
 
-/// Runs eq. (1) forward and eq. (2) backward over `cluster`.
+struct PassResult {
+  /// Indexed like Cluster::nodes.  Absent = the node is not reached by any
+  /// launch (ready) / does not feed any assigned capture (required).
+  PassSide ready{-kInfinitePs};
+  PassSide required{kInfinitePs};
+};
+
+/// Runs eq. (1) forward and eq. (2) backward over `cluster`, writing into
+/// `res` (buffers are reused; steady-state re-evaluation allocates nothing).
 ///
 /// `local_index[node]` maps global node ids to positions in Cluster::nodes.
 /// `assigned[k]` is true when capture instance `capture_insts[k]` reads its
 /// slack from this pass; `capture_insts` lists all capture instances on the
 /// cluster's sink nodes in a fixed order chosen by the caller.
+void run_analysis_pass_into(const TimingGraph& graph, const SyncModel& sync,
+                            const Cluster& cluster,
+                            const std::vector<std::uint32_t>& local_index,
+                            const ClockEdgeGraph& edges, std::size_t break_node,
+                            const std::vector<SyncId>& capture_insts,
+                            const std::vector<bool>& assigned, PassResult& res);
+
+/// Convenience wrapper returning a fresh PassResult (allocates; use the
+/// _into form on hot paths).
 PassResult run_analysis_pass(const TimingGraph& graph, const SyncModel& sync,
                              const Cluster& cluster,
                              const std::vector<std::uint32_t>& local_index,
@@ -39,12 +100,17 @@ PassResult run_analysis_pass(const TimingGraph& graph, const SyncModel& sync,
                              const std::vector<SyncId>& capture_insts,
                              const std::vector<bool>& assigned);
 
-/// Reusable per-task buffers for update_analysis_pass (one per concurrent
-/// evaluation; never shared between threads).
-struct PassScratch {
-  std::vector<char> mark;                 // by local index
-  std::vector<std::uint32_t> stack;
-  std::vector<std::uint32_t> affected;    // local indices of the cone
+/// Reusable per-task arena for incremental pass updates (one per concurrent
+/// evaluation; never shared between threads).  Holds the dirty bitmap the
+/// fused cone sweeps mark and consume; it grows to the largest cluster seen
+/// and is never shrunk, so steady-state updates perform no heap allocation.
+struct PassWorkspace {
+  std::vector<std::uint64_t> marks;  // by local index, one bit per node
+
+  void ensure(std::size_t num_locals) {
+    const std::size_t words = (num_locals + 63) / 64;
+    if (marks.size() < words) marks.resize(words, 0);
+  }
 };
 
 /// Incrementally patches `res` (a previous result of run_analysis_pass over
@@ -59,6 +125,11 @@ struct PassScratch {
 /// re-deriving exactly the cone reproduces run_analysis_pass bit for bit
 /// (tests/incremental_test.cpp holds the two against each other).
 ///
+/// Cone collection and re-derivation are fused into one bitmap sweep per
+/// direction: ascending local index for the forward cone, descending for the
+/// backward cone (ascending local index is topological order, so a marked
+/// node's predecessors are always re-derived before it).
+///
 /// Returns the number of nodes re-traced (forward plus backward cones).
 std::size_t update_analysis_pass(const TimingGraph& graph, const SyncModel& sync,
                                  const Cluster& cluster,
@@ -68,6 +139,14 @@ std::size_t update_analysis_pass(const TimingGraph& graph, const SyncModel& sync
                                  const std::vector<bool>& assigned,
                                  const std::vector<std::uint32_t>& fwd_seeds,
                                  const std::vector<std::uint32_t>& bwd_seeds,
-                                 PassResult& res, PassScratch& scratch);
+                                 PassResult& res, PassWorkspace& ws);
+
+/// Number of nodes the two cone sweeps of update_analysis_pass would
+/// re-derive for these seeds, without touching any result — the probe behind
+/// SlackEngine's incremental/full cost model (docs/ALGORITHMS.md §7).
+std::size_t pass_cone_size(const Cluster& cluster,
+                           const std::vector<std::uint32_t>& fwd_seeds,
+                           const std::vector<std::uint32_t>& bwd_seeds,
+                           PassWorkspace& ws);
 
 }  // namespace hb

@@ -65,6 +65,46 @@ ClusterSet::ClusterSet(const TimingGraph& graph, const SyncModel& sync) {
       if (!sync.captures_at(n).empty()) cl.sink_nodes.push_back(n);
     }
   }
+
+  // Local CSR adjacency: every arc incident to a cluster node is internal to
+  // the cluster (components are arc-closed), so per-node slices are exactly
+  // the graph CSR slices with endpoints translated to local indices.
+  std::vector<std::uint32_t> local(graph.num_nodes(), 0);
+  for (Cluster& cl : clusters_) {
+    const std::size_t n = cl.nodes.size();
+    for (std::uint32_t i = 0; i < n; ++i) local[cl.nodes[i].index()] = i;
+    cl.out_offsets.assign(n + 1, 0);
+    cl.in_offsets.assign(n + 1, 0);
+    cl.blocked.resize(n);
+    for (std::uint32_t i = 0; i < n; ++i) {
+      const TNodeId node = cl.nodes[i];
+      cl.out_offsets[i + 1] =
+          cl.out_offsets[i] + static_cast<std::uint32_t>(graph.fanout(node).size());
+      cl.in_offsets[i + 1] =
+          cl.in_offsets[i] + static_cast<std::uint32_t>(graph.fanin(node).size());
+      const NodeRole role = graph.node(node).role;
+      cl.blocked[i] =
+          role == NodeRole::kSyncDataIn || role == NodeRole::kSyncControl;
+    }
+    cl.out_arc.resize(cl.out_offsets[n]);
+    cl.out_local.resize(cl.out_offsets[n]);
+    cl.in_arc.resize(cl.in_offsets[n]);
+    cl.in_local.resize(cl.in_offsets[n]);
+    for (std::uint32_t i = 0; i < n; ++i) {
+      std::uint32_t k = cl.out_offsets[i];
+      for (std::uint32_t ai : graph.fanout(cl.nodes[i])) {
+        cl.out_arc[k] = ai;
+        cl.out_local[k] = local[graph.arc(ai).to.index()];
+        ++k;
+      }
+      k = cl.in_offsets[i];
+      for (std::uint32_t ai : graph.fanin(cl.nodes[i])) {
+        cl.in_arc[k] = ai;
+        cl.in_local[k] = local[graph.arc(ai).from.index()];
+        ++k;
+      }
+    }
+  }
 }
 
 }  // namespace hb

@@ -7,6 +7,13 @@
 // clusters are exactly the connected components of the timing graph's arc
 // set.  Boundary pins (latch D/Q pins, ports, enable-path control pins)
 // belong to the cluster their arcs touch.
+//
+// Each cluster carries a *local* CSR adjacency over its own node list:
+// arc endpoints are pre-translated to cluster-local indices, so the pass
+// kernels (sta/analysis_pass) sweep flat arrays with no global-id lookups.
+// Because `nodes` follows the graph's level-ordered topological order, every
+// internal arc goes from a lower local index to a higher one — ascending
+// local index IS forward topological (wavefront) order.
 #pragma once
 
 #include <vector>
@@ -17,7 +24,8 @@
 namespace hb {
 
 struct Cluster {
-  /// Member nodes in global topological order.
+  /// Member nodes in global topological order (level-monotone; see
+  /// TimingGraph::topo_order).
   std::vector<TNodeId> nodes;
   /// Arc indices internal to the cluster.
   std::vector<std::uint32_t> arcs;
@@ -25,6 +33,18 @@ struct Cluster {
   /// instances (cluster outputs).
   std::vector<TNodeId> source_nodes;
   std::vector<TNodeId> sink_nodes;
+
+  // -- Local CSR adjacency (indices into `nodes`) -------------------------
+  // Slices follow the graph CSR's deterministic (endpoint, arc-id) order.
+  std::vector<std::uint32_t> out_offsets;  // [nodes.size() + 1]
+  std::vector<std::uint32_t> out_arc;      // global arc index
+  std::vector<std::uint32_t> out_local;    // local index of the arc's head
+  std::vector<std::uint32_t> in_offsets;   // [nodes.size() + 1]
+  std::vector<std::uint32_t> in_arc;
+  std::vector<std::uint32_t> in_local;     // local index of the arc's tail
+  /// Per local index: the node's role blocks combinational propagation
+  /// (kSyncDataIn / kSyncControl).
+  std::vector<char> blocked;
 };
 
 class ClusterSet {

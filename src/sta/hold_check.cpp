@@ -18,21 +18,19 @@ std::vector<HoldViolation> check_hold(const SlackEngine& engine,
     if (cl.source_nodes.empty() || cl.sink_nodes.empty()) continue;
 
     // Minimum propagation delay from each source node to every node of the
-    // cluster (scalar: min over transitions).
+    // cluster (scalar: min over transitions), swept over the cluster's local
+    // CSR in level order.
     for (TNodeId src : cl.source_nodes) {
       std::vector<std::optional<TimePs>> dmin(cl.nodes.size());
       dmin[engine.local_index(src)] = 0;
-      for (TNodeId n : cl.nodes) {
-        const auto& dn = dmin[engine.local_index(n)];
-        if (!dn) continue;
-        const NodeRole role = graph.node(n).role;
-        if (role == NodeRole::kSyncDataIn || role == NodeRole::kSyncControl) {
-          continue;
-        }
-        for (std::uint32_t ai : graph.fanout(n)) {
-          const TArcRec& arc = graph.arc(ai);
+      for (std::uint32_t li = 0; li < cl.nodes.size(); ++li) {
+        const auto& dn = dmin[li];
+        if (!dn || cl.blocked[li]) continue;
+        const std::uint32_t end = cl.out_offsets[li + 1];
+        for (std::uint32_t k = cl.out_offsets[li]; k < end; ++k) {
+          const TArcRec& arc = graph.arc(cl.out_arc[k]);
           const TimePs cand = *dn + arc.delay.min();
-          auto& slot = dmin[engine.local_index(arc.to)];
+          auto& slot = dmin[cl.out_local[k]];
           slot = slot ? std::min(*slot, cand) : cand;
         }
       }

@@ -13,11 +13,11 @@ std::vector<PathStep> backtrace(const SlackEngine& engine, ClusterId c,
   const TimingGraph& graph = engine.graph();
   std::vector<PathStep> rev;
 
-  const auto& end_ready = res.ready[engine.local_index(end)];
-  HB_ASSERT(end_ready.has_value());
-  bool rising = end_ready->rise >= end_ready->fall;
+  HB_ASSERT(res.ready.has(engine.local_index(end)));
+  const RiseFall end_ready = res.ready.at(engine.local_index(end));
+  bool rising = end_ready.rise >= end_ready.fall;
   TNodeId node = end;
-  TimePs arrival = rising ? end_ready->rise : end_ready->fall;
+  TimePs arrival = rising ? end_ready.rise : end_ready.fall;
 
   for (;;) {
     rev.push_back({node, arrival, rising});
@@ -30,8 +30,8 @@ std::vector<PathStep> backtrace(const SlackEngine& engine, ClusterId c,
           engine.clusters().cluster_of(arc.from) != c) {
         continue;
       }
-      const auto& from_ready = res.ready[engine.local_index(arc.from)];
-      if (!from_ready) continue;
+      if (!res.ready.has(engine.local_index(arc.from))) continue;
+      const RiseFall from_ready = res.ready.at(engine.local_index(arc.from));
       const TimePs d = rising ? arc.delay.rise : arc.delay.fall;
       // Which input transition explains this output transition?
       bool prev_rising = rising;
@@ -44,10 +44,10 @@ std::vector<PathStep> backtrace(const SlackEngine& engine, ClusterId c,
           prev_rising = !rising;
           break;
         case Unate::kNone:
-          prev_rising = from_ready->rise >= from_ready->fall;
+          prev_rising = from_ready.rise >= from_ready.fall;
           break;
       }
-      prev_arrival = prev_rising ? from_ready->rise : from_ready->fall;
+      prev_arrival = prev_rising ? from_ready.rise : from_ready.fall;
       if (prev_arrival + d == arrival) {
         node = arc.from;
         arrival = prev_arrival;

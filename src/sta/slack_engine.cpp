@@ -22,12 +22,13 @@ std::uint64_t mix64(std::uint64_t x) {
 std::uint64_t pass_checksum(const PassResult& res) {
   std::uint64_t h = 0x243f6a8885a308d3ULL;
   auto feed = [&h](std::uint64_t v) { h = mix64(h ^ v); };
-  auto feed_side = [&](const std::vector<std::optional<RiseFall>>& side) {
+  auto feed_side = [&](const PassSide& side) {
     feed(side.size());
-    for (const auto& e : side) {
-      if (e) {
-        feed(static_cast<std::uint64_t>(e->rise));
-        feed(static_cast<std::uint64_t>(e->fall));
+    for (std::size_t i = 0; i < side.size(); ++i) {
+      if (side.has(i)) {
+        const RiseFall e = side.at(i);
+        feed(static_cast<std::uint64_t>(e.rise));
+        feed(static_cast<std::uint64_t>(e.fall));
       } else {
         feed(0x5b5e546a6d51a0baULL);  // "absent" sentinel
       }
@@ -155,23 +156,25 @@ void SlackEngine::compute(ThreadPool* pool) {
   ++istats_.full_computes;
 
   // Evaluate every pass into the cache; passes are independent, so a pool
-  // may run them concurrently (each task owns its result slot).
-  std::vector<std::function<void()>> tasks;
+  // may run them concurrently (each task owns its result slot).  Cached
+  // PassResult buffers are reused in place, so recomputes over a warm cache
+  // allocate nothing.
+  task_fns_.clear();
   for (std::uint32_t c = 0; c < clusters_->num_clusters(); ++c) {
     ClusterAnalysis& ca = analyses_[c];
     ca.cache.resize(ca.breaks.size());
     for (std::size_t p = 0; p < ca.breaks.size(); ++p) {
       ++istats_.passes_evaluated;
       if (pool != nullptr && pool->size() > 1) {
-        tasks.push_back([this, c, p] {
-          analyses_[c].cache[p] = run_pass(ClusterId(c), p);
+        task_fns_.push_back([this, c, p] {
+          run_pass_into(ClusterId(c), p, analyses_[c].cache[p]);
         });
       } else {
-        ca.cache[p] = run_pass(ClusterId(c), p);
+        run_pass_into(ClusterId(c), p, ca.cache[p]);
       }
     }
   }
-  if (!tasks.empty()) pool->run_batch(tasks);
+  if (!task_fns_.empty()) pool->run_batch(task_fns_);
 
   for (std::uint32_t c = 0; c < clusters_->num_clusters(); ++c) {
     ClusterAnalysis& ca = analyses_[c];
@@ -273,55 +276,86 @@ void SlackEngine::update(ThreadPool* pool) {
   ++istats_.updates;
 
   // One task per dirty (cluster, pass); each owns its cached result and its
-  // scratch, so the pool schedule cannot affect the outcome.
-  struct PassTask {
-    std::uint32_t cluster;
-    std::size_t pass;
-    std::vector<std::uint32_t> bwd;  // bwd plus this pass's bwd_of_pass
-    PassScratch scratch;
-    std::size_t retraced = 0;
+  // workspace, so the pool schedule cannot affect the outcome.  Task slots
+  // and seed buffers are persistent members, reused across updates.
+  num_update_tasks_ = 0;
+  auto new_task = [this]() -> UpdateTask& {
+    if (num_update_tasks_ == update_tasks_.size()) update_tasks_.emplace_back();
+    UpdateTask& t = update_tasks_[num_update_tasks_++];
+    t.bwd.clear();
+    t.full = false;
+    t.retraced = 0;
+    return t;
   };
-  std::vector<PassTask> pass_tasks;
-  std::vector<std::uint32_t> dirty_clusters;
+  dirty_clusters_.clear();
   for (std::uint32_t c = 0; c < clusters_->num_clusters(); ++c) {
     ClusterDirty& d = dirty_[c];
     if (!d.any()) continue;
-    dirty_clusters.push_back(c);
+    dirty_clusters_.push_back(c);
+    const Cluster& cl = clusters_->cluster(ClusterId(c));
     const ClusterAnalysis& ca = analyses_[c];
+
+    // Cost model: probe the union dirty cone once per cluster.  Each dirty
+    // pass re-derives (at least) this cone, at the same per-node cost as
+    // the full levelized sweep — so past kFullSweepNum/kFullSweepDen of the
+    // cluster, re-evaluating the pass from scratch is cheaper than patching
+    // (docs/ALGORITHMS.md §7).
+    probe_bwd_.clear();
+    for (std::uint32_t li : d.bwd) probe_bwd_.push_back(li);
+    for (const auto& [pass, li] : d.bwd_of_pass) probe_bwd_.push_back(li);
+    const std::size_t cone = pass_cone_size(cl, d.fwd, probe_bwd_, probe_ws_);
+    const bool full =
+        cone * kFullSweepDen > cl.nodes.size() * kFullSweepNum * 2;
+
     for (std::size_t p = 0; p < ca.breaks.size(); ++p) {
-      PassTask task;
+      UpdateTask& task = new_task();
       task.cluster = c;
-      task.pass = p;
+      task.pass = static_cast<std::uint32_t>(p);
       task.bwd = d.bwd;
       for (const auto& [pass, li] : d.bwd_of_pass) {
         if (pass == p) task.bwd.push_back(li);
       }
-      if (d.fwd.empty() && task.bwd.empty()) continue;
-      ++istats_.passes_updated;
-      pass_tasks.push_back(std::move(task));
+      if (d.fwd.empty() && task.bwd.empty()) {
+        --num_update_tasks_;  // pass untouched by this change set
+        continue;
+      }
+      task.full = full;
+      if (full) {
+        ++istats_.passes_full_swept;
+      } else {
+        ++istats_.passes_updated;
+      }
     }
   }
-  istats_.passes_reused += num_passes_total() - pass_tasks.size();
+  istats_.passes_reused += num_passes_total() - num_update_tasks_;
 
-  auto run_task = [this](PassTask& task) {
+  auto run_task = [this](UpdateTask& task) {
     const Cluster& cl = clusters_->cluster(ClusterId(task.cluster));
     ClusterAnalysis& ca = analyses_[task.cluster];
-    task.retraced = update_analysis_pass(
-        *graph_, *sync_, cl, local_of_node_, *ca.edges, ca.breaks[task.pass],
-        ca.capture_insts, ca.assigned_mask[task.pass], dirty_[task.cluster].fwd,
-        task.bwd, ca.cache[task.pass], task.scratch);
-  };
-  if (pool != nullptr && pool->size() > 1 && pass_tasks.size() > 1) {
-    std::vector<std::function<void()>> tasks;
-    tasks.reserve(pass_tasks.size());
-    for (PassTask& task : pass_tasks) {
-      tasks.push_back([&run_task, &task] { run_task(task); });
+    if (task.full) {
+      run_pass_into(ClusterId(task.cluster), task.pass, ca.cache[task.pass]);
+      task.retraced = 2 * cl.nodes.size();  // both sides, every node
+    } else {
+      task.retraced = update_analysis_pass(
+          *graph_, *sync_, cl, local_of_node_, *ca.edges, ca.breaks[task.pass],
+          ca.capture_insts, ca.assigned_mask[task.pass],
+          dirty_[task.cluster].fwd, task.bwd, ca.cache[task.pass], task.ws);
     }
-    pool->run_batch(tasks);
+  };
+  if (pool != nullptr && pool->size() > 1 && num_update_tasks_ > 1) {
+    task_fns_.clear();
+    for (std::size_t i = 0; i < num_update_tasks_; ++i) {
+      UpdateTask* task = &update_tasks_[i];
+      task_fns_.push_back([&run_task, task] { run_task(*task); });
+    }
+    pool->run_batch(task_fns_);
   } else {
-    for (PassTask& task : pass_tasks) run_task(task);
+    for (std::size_t i = 0; i < num_update_tasks_; ++i) {
+      run_task(update_tasks_[i]);
+    }
   }
-  for (const PassTask& task : pass_tasks) {
+  for (std::size_t i = 0; i < num_update_tasks_; ++i) {
+    const UpdateTask& task = update_tasks_[i];
     istats_.nodes_retraced += task.retraced;
     ClusterAnalysis& ca = analyses_[task.cluster];
     ca.checksums[task.pass] = pass_checksum(ca.cache[task.pass]);
@@ -330,7 +364,7 @@ void SlackEngine::update(ThreadPool* pool) {
   // Accumulation is cluster-local (every terminal and node belongs to
   // exactly one cluster), so only dirty clusters need re-accumulating; the
   // ascending cluster/pass order keeps tie-breaking identical to compute().
-  for (std::uint32_t c : dirty_clusters) {
+  for (std::uint32_t c : dirty_clusters_) {
     reset_accumulation(ClusterId(c));
     const ClusterAnalysis& ca = analyses_[c];
     for (std::size_t p = 0; p < ca.breaks.size(); ++p) {
@@ -372,13 +406,15 @@ void SlackEngine::maybe_corrupt_cache() {
       continue;
     }
     PassResult& res = ca.cache[target];
-    for (auto& e : res.ready) {
-      if (e) {
-        e->rise += 1000;  // 1ns of silent error
+    for (std::size_t i = 0; i < res.ready.size(); ++i) {
+      if (res.ready.has(i)) {
+        RiseFall e = res.ready.at(i);
+        e.rise += 1000;  // 1ns of silent error
+        res.ready.set(i, e);
         return;
       }
     }
-    if (!res.ready.empty()) res.ready.front() = RiseFall{0, 0};
+    if (res.ready.size() > 0) res.ready.set(0, RiseFall{0, 0});
     return;
   }
 }
@@ -399,10 +435,17 @@ void SlackEngine::reset_accumulation(ClusterId c) {
 }
 
 PassResult SlackEngine::run_pass(ClusterId c, std::size_t pass) const {
+  PassResult res;
+  run_pass_into(c, pass, res);
+  return res;
+}
+
+void SlackEngine::run_pass_into(ClusterId c, std::size_t pass,
+                                PassResult& out) const {
   const ClusterAnalysis& ca = analyses_.at(c.index());
-  return run_analysis_pass(*graph_, *sync_, clusters_->cluster(c), local_of_node_,
-                           *ca.edges, ca.breaks.at(pass), ca.capture_insts,
-                           ca.assigned_mask.at(pass));
+  run_analysis_pass_into(*graph_, *sync_, clusters_->cluster(c), local_of_node_,
+                         *ca.edges, ca.breaks.at(pass), ca.capture_insts,
+                         ca.assigned_mask.at(pass), out);
 }
 
 void SlackEngine::accumulate(ClusterId c, std::size_t pass, const PassResult& res) {
@@ -414,47 +457,49 @@ void SlackEngine::accumulate(ClusterId c, std::size_t pass, const PassResult& re
     if (ca.assigned[k] != pass) continue;
     const SyncId id = ca.capture_insts[k];
     const SyncInstance& si = sync_->at(id);
-    const auto& rdy = res.ready[local_of_node_[si.data_in.index()]];
-    if (!rdy) continue;  // no data cone reaches this input
+    const std::uint32_t li = local_of_node_[si.data_in.index()];
+    if (!res.ready.has(li)) continue;  // no data cone reaches this input
+    const RiseFall rdy = res.ready.at(li);
     const TimePs close = ca.edges->linear_close(si.ideal_close, ca.breaks[pass]) +
                          si.close_offset();
     capture_slack_[id.index()] =
-        std::min(capture_slack_[id.index()], close - rdy->max());
+        std::min(capture_slack_[id.index()], close - rdy.max());
   }
 
   // Launch terminal slacks: min over passes of required - assertion.
   for (TNodeId n : cl.source_nodes) {
-    const auto& req = res.required[local_of_node_[n.index()]];
-    if (!req) continue;
+    const std::uint32_t li = local_of_node_[n.index()];
+    if (!res.required.has(li)) continue;
+    const RiseFall req = res.required.at(li);
     for (SyncId id : sync_->launches_at(n)) {
       const SyncInstance& si = sync_->at(id);
       const TimePs a = ca.edges->linear_assert(si.ideal_assert, ca.breaks[pass]) +
                        si.assert_offset();
       launch_slack_[id.index()] =
-          std::min(launch_slack_[id.index()], req->min() - a);
+          std::min(launch_slack_[id.index()], req.min() - a);
     }
   }
 
   // Node timings.
   for (std::uint32_t i = 0; i < cl.nodes.size(); ++i) {
-    const auto& rdy = res.ready[i];
-    if (!rdy) continue;
+    if (!res.ready.has(i)) continue;
+    const RiseFall rdy = res.ready.at(i);
     NodeTiming& nt = node_[cl.nodes[i].index()];
     ++nt.settling_count;
     if (!nt.has_ready) {
       nt.has_ready = true;
-      if (!nt.has_constraint) nt.ready = *rdy;
+      if (!nt.has_constraint) nt.ready = rdy;
     } else if (!nt.has_constraint) {
-      nt.ready = rf_max(nt.ready, *rdy);
+      nt.ready = rf_max(nt.ready, rdy);
     }
-    const auto& req = res.required[i];
-    if (!req) continue;
+    if (!res.required.has(i)) continue;
+    const RiseFall req = res.required.at(i);
     const TimePs pass_slack =
-        std::min(req->rise - rdy->rise, req->fall - rdy->fall);
+        std::min(req.rise - rdy.rise, req.fall - rdy.fall);
     if (pass_slack < nt.slack) {
       nt.slack = pass_slack;
-      nt.ready = *rdy;
-      nt.required = *req;
+      nt.ready = rdy;
+      nt.required = req;
       nt.has_constraint = true;
     }
   }

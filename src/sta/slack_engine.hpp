@@ -27,8 +27,8 @@
 // and accumulation stays in cluster/pass order.
 #pragma once
 
+#include <functional>
 #include <memory>
-#include <optional>
 
 #include "sta/analysis_pass.hpp"
 
@@ -56,6 +56,9 @@ struct IncrementalStats {
   std::uint64_t updates = 0;           // update() calls served incrementally
   std::uint64_t passes_evaluated = 0;  // passes propagated from scratch
   std::uint64_t passes_updated = 0;    // passes patched over a dirty cone
+  std::uint64_t passes_full_swept = 0; // dirty passes the cost model chose to
+                                       // re-evaluate with a full levelized
+                                       // sweep instead of a cone patch
   std::uint64_t passes_reused = 0;     // cached passes an update left untouched
   std::uint64_t nodes_retraced = 0;    // nodes re-derived by cone updates
   std::uint64_t self_checks = 0;       // cache verifications performed
@@ -129,6 +132,8 @@ class SlackEngine {
   TimePs worst_terminal_slack() const;
 
   const NodeTiming& node_timing(TNodeId id) const { return node_.at(id.index()); }
+  /// All node timings, indexed by TNodeId (bulk accessor for snapshots).
+  const std::vector<NodeTiming>& node_timings() const { return node_; }
 
   /// Pre-processing facts.
   std::size_t num_passes_total() const;
@@ -145,6 +150,16 @@ class SlackEngine {
 
   /// Re-run a single pass (for path tracing / debugging).
   PassResult run_pass(ClusterId c, std::size_t pass) const;
+  /// Same, writing into caller-owned buffers (no steady-state allocation).
+  void run_pass_into(ClusterId c, std::size_t pass, PassResult& out) const;
+
+  /// Pre-processing facts exposed for differential harnesses and benches.
+  const std::vector<SyncId>& capture_insts(ClusterId c) const {
+    return analyses_.at(c.index()).capture_insts;
+  }
+  const std::vector<bool>& assigned_mask(ClusterId c, std::size_t pass) const {
+    return analyses_.at(c.index()).assigned_mask.at(pass);
+  }
 
   const TimingGraph& graph() const { return *graph_; }
   const ClusterSet& clusters() const { return *clusters_; }
@@ -177,6 +192,15 @@ class SlackEngine {
     }
   };
 
+  /// Cost model for update(): when the union dirty cone of a cluster exceeds
+  /// this fraction of the cluster's nodes, all of its dirty passes are
+  /// re-evaluated with full levelized sweeps instead of per-pass cone
+  /// patches (docs/ALGORITHMS.md §7).  Calibrated with bench_incremental:
+  /// a cone re-derivation touches the same per-node work as the full sweep,
+  /// so past ~half the cluster the sweep's linear access pattern wins.
+  static constexpr std::size_t kFullSweepNum = 1;
+  static constexpr std::size_t kFullSweepDen = 2;
+
   void prepare_cluster(ClusterId c);
   void accumulate(ClusterId c, std::size_t pass, const PassResult& res);
   void reset_accumulation(ClusterId c);
@@ -197,6 +221,24 @@ class SlackEngine {
   bool cache_valid_ = false;
   bool self_check_ = false;
   IncrementalStats istats_;
+
+  // -- Persistent update()/compute() machinery ----------------------------
+  // Task slots, closures and seed buffers are reused across calls (grown,
+  // never shrunk), so steady-state updates perform no heap allocation.
+  struct UpdateTask {
+    std::uint32_t cluster = 0;
+    std::uint32_t pass = 0;
+    bool full = false;               // cost model: full sweep vs cone patch
+    std::vector<std::uint32_t> bwd;  // cone: bwd plus this pass's bwd_of_pass
+    PassWorkspace ws;
+    std::size_t retraced = 0;
+  };
+  std::vector<UpdateTask> update_tasks_;
+  std::size_t num_update_tasks_ = 0;
+  std::vector<std::function<void()>> task_fns_;
+  std::vector<std::uint32_t> dirty_clusters_;
+  std::vector<std::uint32_t> probe_bwd_;  // union backward seeds (cost probe)
+  PassWorkspace probe_ws_;
 
   std::vector<TimePs> launch_slack_;
   std::vector<TimePs> capture_slack_;

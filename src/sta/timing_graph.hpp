@@ -12,9 +12,22 @@
 // modelled by terminal offsets (sta/sync_model), not by combinational
 // propagation.  Consequently the graph restricted to arcs is exactly the
 // union of the paper's combinational *clusters*.
+//
+// Adjacency is stored in CSR form (offset array + packed arc indices), with
+// each node's slice sorted deterministically: fanout by (head node, arc id),
+// fanin by (tail node, arc id).  Arc records themselves are stored in sweep
+// order — sorted by (topological position of the tail, head node id) — so a
+// node's fanout slice is a run of consecutive arc ids and a levelized
+// forward sweep reads the arc array monotonically.  Both orders are a
+// function of the graph alone, not of construction history, so rebuilds
+// reproduce identical ids and traversals.
+// Every node also carries its *level* — longest-path depth from the graph's
+// sources — and `topo_order()` is level-monotone: all nodes of level L
+// precede all nodes of level L+1 (ties broken by node id).  Propagation
+// sweeps over a level-ordered node list are therefore levelized wavefronts.
+// See docs/PERFORMANCE.md.
 #pragma once
 
-#include <algorithm>
 #include <vector>
 
 #include "delay/calculator.hpp"
@@ -48,6 +61,25 @@ struct TArcRec {
   bool is_net = false;
 };
 
+/// Immutable view over one node's slice of the CSR arc-index arrays.
+/// Iterates like the `std::vector<std::uint32_t>` it replaced.
+class ArcSpan {
+ public:
+  using value_type = std::uint32_t;
+  constexpr ArcSpan() = default;
+  constexpr ArcSpan(const std::uint32_t* data, std::size_t size)
+      : data_(data), size_(size) {}
+  const std::uint32_t* begin() const { return data_; }
+  const std::uint32_t* end() const { return data_ + size_; }
+  std::size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  std::uint32_t operator[](std::size_t i) const { return data_[i]; }
+
+ private:
+  const std::uint32_t* data_ = nullptr;
+  std::size_t size_ = 0;
+};
+
 class TimingGraph {
  public:
   /// Build over design.top(); delays are evaluated once at build time.
@@ -64,22 +96,28 @@ class TimingGraph {
   bool is_quarantined(InstId inst) const {
     return !quarantined_.empty() && quarantined_[inst.index()];
   }
-  std::size_t num_quarantined() const {
-    return static_cast<std::size_t>(
-        std::count(quarantined_.begin(), quarantined_.end(), true));
-  }
+  std::size_t num_quarantined() const { return num_quarantined_; }
 
   std::size_t num_nodes() const { return nodes_.size(); }
   std::size_t num_arcs() const { return arcs_.size(); }
   const TNode& node(TNodeId id) const { return nodes_.at(id.index()); }
   const TArcRec& arc(std::size_t i) const { return arcs_.at(i); }
+  /// Unchecked base pointer for propagation kernels that index arcs through
+  /// CSR slices (already validated at build time).
+  const TArcRec* arcs_data() const { return arcs_.data(); }
 
-  /// Arc indices leaving / entering a node.
-  const std::vector<std::uint32_t>& fanout(TNodeId id) const {
-    return fanout_.at(id.index());
+  /// Arc indices leaving / entering a node (contiguous CSR slices).
+  /// Fanout is ordered by (head node id, arc id), fanin by (tail node id,
+  /// arc id) — deterministic across rebuilds.
+  ArcSpan fanout(TNodeId id) const {
+    const std::size_t i = id.index();
+    return ArcSpan(fanout_arcs_.data() + fanout_offsets_.at(i),
+                   fanout_offsets_[i + 1] - fanout_offsets_[i]);
   }
-  const std::vector<std::uint32_t>& fanin(TNodeId id) const {
-    return fanin_.at(id.index());
+  ArcSpan fanin(TNodeId id) const {
+    const std::size_t i = id.index();
+    return ArcSpan(fanin_arcs_.data() + fanin_offsets_.at(i),
+                   fanin_offsets_[i + 1] - fanin_offsets_[i]);
   }
 
   TNodeId pin_node(InstId inst, std::uint32_t port) const;
@@ -89,8 +127,16 @@ class TimingGraph {
   std::string node_name(TNodeId id) const;
 
   /// Topological order of all nodes w.r.t. arcs (sources first).  Sync pins
-  /// have no through-arcs, so this always exists for valid designs.
+  /// have no through-arcs, so this always exists for valid designs.  The
+  /// order is level-monotone: level-L nodes precede level-(L+1) nodes, with
+  /// each level sorted by node id.
   const std::vector<TNodeId>& topo_order() const { return topo_; }
+
+  /// Longest-path depth of a node from the arc graph's sources (0 for nodes
+  /// with no fanin).  level(arc.from) < level(arc.to) for every arc.
+  std::uint32_t level(TNodeId id) const { return level_.at(id.index()); }
+  /// 1 + max level over all nodes (0 for an empty graph).
+  std::uint32_t num_levels() const { return num_levels_; }
 
   /// Footprint of re-evaluating one instance's delays in place.
   struct DelayUpdate {
@@ -105,7 +151,9 @@ class TimingGraph {
   /// Re-evaluate, in place, the component-arc delays of `inst` and of every
   /// instance driving one of its input nets (their loads changed with the
   /// instance's pin caps — e.g. after a cell resize to a variant with the
-  /// same port layout).  Structure (nodes, arcs, topology) is unchanged.
+  /// same port layout).  Structure (nodes, arcs, topology) is unchanged, so
+  /// the CSR arrays and levels stay valid: they index arcs, whose delays
+  /// mutate in place.
   DelayUpdate update_instance_delays(InstId inst, const DelayCalculator& calc);
 
   /// True when any node in `from` reaches a synchronising-element control
@@ -115,22 +163,35 @@ class TimingGraph {
 
  private:
   void add_arc(TNodeId from, TNodeId to, RiseFall delay, Unate unate, bool is_net);
+  void build_csr();
   void compute_topo();
+  /// Re-store arcs_ in sweep order (topo position of tail, head id, creation
+  /// id) and rebuild the CSR arrays and per-instance arc-id lists on the new
+  /// numbering.  Must run after compute_topo().
+  void permute_arcs();
 
   const Design* design_;
   std::vector<TNode> nodes_;
   std::vector<TArcRec> arcs_;
-  std::vector<std::vector<std::uint32_t>> fanout_;
-  std::vector<std::vector<std::uint32_t>> fanin_;
+  // CSR adjacency: per-node contiguous slices of arc indices.
+  std::vector<std::uint32_t> fanout_offsets_;  // [num_nodes + 1]
+  std::vector<std::uint32_t> fanout_arcs_;     // [num_arcs]
+  std::vector<std::uint32_t> fanin_offsets_;
+  std::vector<std::uint32_t> fanin_arcs_;
   // pin -> node maps
   std::vector<std::vector<TNodeId>> inst_pin_node_;  // [inst][port]
   std::vector<TNodeId> top_port_node_;
   std::vector<TNodeId> topo_;
-  // Component arcs of each instance occupy one contiguous index range
-  // (build order); net arcs come after all of them.
-  std::vector<std::pair<std::uint32_t, std::uint32_t>> inst_arc_span_;
+  std::vector<std::uint32_t> level_;  // by node index
+  std::uint32_t num_levels_ = 0;
+  // Component arc ids of each instance, in the creation order of
+  // DelayCalculator::arcs_of (CSR over instances; ids follow the sweep-order
+  // numbering after permute_arcs).
+  std::vector<std::uint32_t> inst_arc_offsets_;  // [num_insts + 1]
+  std::vector<std::uint32_t> inst_arc_ids_;
   // Degraded mode: excluded instances by InstId (empty = none).
   std::vector<bool> quarantined_;
+  std::size_t num_quarantined_ = 0;
 };
 
 }  // namespace hb

@@ -1,0 +1,300 @@
+// Differential checks of the timing graph's flattened memory layout: the
+// CSR fanout/fanin slices, the sweep-order arc permutation, and the
+// longest-path levels are compared against a naive reference builder that
+// only uses the public arc records.  Also pins down the determinism the
+// layout promises: rebuilding the graph from the same design reproduces
+// identical arc ids, and worst-path reports are byte-identical across
+// rebuilds and thread-pool sizes.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <deque>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "gen/alu.hpp"
+#include "gen/des.hpp"
+#include "gen/fig1.hpp"
+#include "gen/filter.hpp"
+#include "gen/fsm.hpp"
+#include "gen/pipeline.hpp"
+#include "gen/random_network.hpp"
+#include "netlist/stdcells.hpp"
+#include "sta/cluster.hpp"
+#include "sta/report.hpp"
+#include "sta/slack_engine.hpp"
+#include "sta/timing_graph.hpp"
+#include "util/thread_pool.hpp"
+
+namespace hb {
+namespace {
+
+// Reference layout rebuilt from the public per-arc records alone, the way
+// the pre-CSR engine stored adjacency: one vector of arc ids per node plus
+// longest-path levels from a Kahn sweep over that adjacency.
+struct NaiveLayout {
+  std::vector<std::vector<std::uint32_t>> fanout;
+  std::vector<std::vector<std::uint32_t>> fanin;
+  std::vector<std::uint32_t> level;
+
+  explicit NaiveLayout(const TimingGraph& g) {
+    const std::size_t n = g.num_nodes();
+    fanout.resize(n);
+    fanin.resize(n);
+    level.assign(n, 0);
+    std::vector<std::uint32_t> indeg(n, 0);
+    for (std::uint32_t a = 0; a < g.num_arcs(); ++a) {
+      const TArcRec& arc = g.arc(a);
+      fanout[arc.from.index()].push_back(a);
+      fanin[arc.to.index()].push_back(a);
+      ++indeg[arc.to.index()];
+    }
+    // The graph's slices are sorted by (far endpoint, arc id).
+    auto by_head = [&](std::uint32_t a, std::uint32_t b) {
+      const std::uint32_t ha = g.arc(a).to.value(), hb2 = g.arc(b).to.value();
+      return ha != hb2 ? ha < hb2 : a < b;
+    };
+    auto by_tail = [&](std::uint32_t a, std::uint32_t b) {
+      const std::uint32_t ta = g.arc(a).from.value(), tb = g.arc(b).from.value();
+      return ta != tb ? ta < tb : a < b;
+    };
+    for (std::size_t i = 0; i < n; ++i) {
+      std::sort(fanout[i].begin(), fanout[i].end(), by_head);
+      std::sort(fanin[i].begin(), fanin[i].end(), by_tail);
+    }
+    // Longest-path depth by Kahn relaxation.
+    std::deque<std::uint32_t> q;
+    for (std::uint32_t i = 0; i < n; ++i) {
+      if (indeg[i] == 0) q.push_back(i);
+    }
+    std::size_t popped = 0;
+    while (!q.empty()) {
+      const std::uint32_t u = q.front();
+      q.pop_front();
+      ++popped;
+      for (std::uint32_t a : fanout[u]) {
+        const std::uint32_t v = g.arc(a).to.index();
+        level[v] = std::max(level[v], level[u] + 1);
+        if (--indeg[v] == 0) q.push_back(v);
+      }
+    }
+    EXPECT_EQ(popped, n) << "arc graph has a cycle";
+  }
+};
+
+// Every structural invariant the propagation kernels rely on, checked
+// against the naive rebuild.
+void check_layout(const TimingGraph& g) {
+  NaiveLayout ref(g);
+
+  std::uint32_t max_level = 0;
+  for (std::uint32_t i = 0; i < g.num_nodes(); ++i) {
+    const TNodeId id(i);
+    const ArcSpan fo = g.fanout(id);
+    const ArcSpan fi = g.fanin(id);
+    ASSERT_EQ(fo.size(), ref.fanout[i].size()) << "node " << g.node_name(id);
+    ASSERT_EQ(fi.size(), ref.fanin[i].size()) << "node " << g.node_name(id);
+    for (std::size_t k = 0; k < fo.size(); ++k) {
+      EXPECT_EQ(fo[k], ref.fanout[i][k]) << "fanout of " << g.node_name(id);
+      // Sweep-order arc storage: a node's fanout is a run of consecutive
+      // arc ids (what lets the forward sweep read arcs_data() linearly).
+      EXPECT_EQ(fo[k], fo[0] + k) << "fanout of " << g.node_name(id);
+    }
+    for (std::size_t k = 0; k < fi.size(); ++k) {
+      EXPECT_EQ(fi[k], ref.fanin[i][k]) << "fanin of " << g.node_name(id);
+    }
+    EXPECT_EQ(g.level(id), ref.level[i]) << "level of " << g.node_name(id);
+    max_level = std::max(max_level, g.level(id));
+  }
+  EXPECT_EQ(g.num_levels(), g.num_nodes() == 0 ? 0u : max_level + 1);
+
+  // Arcs strictly increase level, and the stored order is the sweep order:
+  // (topological position of tail, head id, arc id), which implies the arc
+  // array is sorted by (level of tail, ...) — tails never decrease in level.
+  std::uint32_t prev_tail_level = 0;
+  for (std::uint32_t a = 0; a < g.num_arcs(); ++a) {
+    const TArcRec& arc = g.arc(a);
+    EXPECT_LT(g.level(arc.from), g.level(arc.to)) << "arc " << a;
+    EXPECT_GE(g.level(arc.from), prev_tail_level) << "arc " << a;
+    prev_tail_level = g.level(arc.from);
+  }
+
+  // topo_order(): a permutation of all nodes, level-monotone with node-id
+  // tie-break — fully deterministic given the graph.
+  const std::vector<TNodeId>& topo = g.topo_order();
+  ASSERT_EQ(topo.size(), g.num_nodes());
+  std::vector<bool> seen(g.num_nodes(), false);
+  for (std::size_t i = 0; i < topo.size(); ++i) {
+    ASSERT_FALSE(seen[topo[i].index()]);
+    seen[topo[i].index()] = true;
+    if (i > 0) {
+      const std::uint32_t la = g.level(topo[i - 1]), lb = g.level(topo[i]);
+      EXPECT_TRUE(la < lb || (la == lb && topo[i - 1].value() < topo[i].value()))
+          << "topo position " << i;
+    }
+  }
+}
+
+class GraphLayoutTest : public ::testing::Test {
+ protected:
+  std::shared_ptr<const Library> lib_ = make_standard_library();
+};
+
+TEST_F(GraphLayoutTest, CsrMatchesNaiveOnGeneratedNetworks) {
+  std::vector<Design> designs;
+  designs.push_back(make_alu(lib_));
+  designs.push_back(make_des(lib_));
+  designs.push_back(make_fig1_design(lib_, Fig1Config{}));
+  designs.push_back(make_multirate_filter(lib_));
+  designs.push_back(make_fsm_flat(lib_));
+  designs.push_back(make_fsm_hier(lib_));
+  PipelineSpec pspec;
+  pspec.stage_depths = {8, 4, 8};
+  pspec.width = 4;
+  designs.push_back(make_pipeline(lib_, pspec));
+  for (std::uint64_t seed : {1, 7, 13}) {
+    RandomNetworkSpec rspec;
+    rspec.seed = seed;
+    rspec.banks = 4;
+    rspec.bank_width = 4;
+    rspec.gates_per_stage = 30;
+    designs.push_back(make_random_network(lib_, rspec).design);
+  }
+
+  for (const Design& design : designs) {
+    SCOPED_TRACE(design.top().name());
+    DelayCalculator calc(design);
+    TimingGraph graph(design, calc);
+    ASSERT_GT(graph.num_arcs(), 0u);
+    check_layout(graph);
+  }
+}
+
+// Degenerate shapes the CSR builder must survive: quarantined instances
+// leave isolated zero-arc nodes behind, and heavy quarantine produces
+// whole clusters' worth of nodes with no adjacency at all.
+TEST_F(GraphLayoutTest, DegenerateQuarantinedGraphsKeepInvariants) {
+  RandomNetworkSpec rspec;
+  rspec.seed = 21;
+  rspec.banks = 3;
+  rspec.bank_width = 3;
+  rspec.gates_per_stage = 20;
+  RandomNetwork net = make_random_network(lib_, rspec);
+  DelayCalculator calc(net.design);
+  const std::size_t num_insts = net.design.top().insts().size();
+
+  for (std::uint64_t seed : {3, 5, 9}) {
+    SCOPED_TRACE("fuzz seed " + std::to_string(seed));
+    std::mt19937_64 rng(seed);
+    std::vector<bool> mask(num_insts, false);
+    std::size_t expect = 0;
+    for (std::size_t i = 0; i < num_insts; ++i) {
+      if (rng() % 3 == 0) {
+        mask[i] = true;
+        ++expect;
+      }
+    }
+    TimingGraph graph(net.design, calc, &mask);
+    EXPECT_EQ(graph.num_quarantined(), expect);
+    check_layout(graph);
+    // Quarantined component pins are fully excised: no arcs in or out.
+    for (std::uint32_t n = 0; n < graph.num_nodes(); ++n) {
+      const TNode& node = graph.node(TNodeId(n));
+      if (!node.is_top_port && graph.is_quarantined(node.inst)) {
+        EXPECT_TRUE(graph.fanout(TNodeId(n)).empty());
+        EXPECT_TRUE(graph.fanin(TNodeId(n)).empty());
+        EXPECT_EQ(graph.level(TNodeId(n)), 0u);
+      }
+    }
+  }
+
+  // Everything quarantined: an arc-free graph of isolated nodes.
+  std::vector<bool> all(num_insts, true);
+  TimingGraph empty(net.design, calc, &all);
+  EXPECT_EQ(empty.num_quarantined(), num_insts);
+  check_layout(empty);
+  SyncModel sync(empty, net.clocks, calc);
+  ClusterSet clusters(empty, sync);
+  for (std::uint32_t c = 0; c < clusters.num_clusters(); ++c) {
+    EXPECT_TRUE(clusters.cluster(ClusterId(c)).arcs.empty());
+  }
+}
+
+TEST_F(GraphLayoutTest, RebuildReproducesIdenticalArcIds) {
+  RandomNetworkSpec rspec;
+  rspec.seed = 7;
+  rspec.banks = 4;
+  rspec.bank_width = 4;
+  rspec.gates_per_stage = 30;
+  RandomNetwork net = make_random_network(lib_, rspec);
+  DelayCalculator calc(net.design);
+  TimingGraph a(net.design, calc);
+  TimingGraph b(net.design, calc);
+  ASSERT_EQ(a.num_nodes(), b.num_nodes());
+  ASSERT_EQ(a.num_arcs(), b.num_arcs());
+  for (std::uint32_t i = 0; i < a.num_arcs(); ++i) {
+    EXPECT_EQ(a.arc(i).from, b.arc(i).from);
+    EXPECT_EQ(a.arc(i).to, b.arc(i).to);
+    EXPECT_EQ(a.arc(i).delay, b.arc(i).delay);
+    EXPECT_EQ(a.arc(i).unate, b.arc(i).unate);
+    EXPECT_EQ(a.arc(i).is_net, b.arc(i).is_net);
+  }
+  for (std::uint32_t n = 0; n < a.num_nodes(); ++n) {
+    const ArcSpan fa = a.fanout(TNodeId(n)), fb = b.fanout(TNodeId(n));
+    ASSERT_EQ(fa.size(), fb.size());
+    for (std::size_t k = 0; k < fa.size(); ++k) EXPECT_EQ(fa[k], fb[k]);
+  }
+}
+
+// Satellite of the CSR determinism claim: the *reports* — the layer users
+// diff — come out byte-identical when the engine is rebuilt from scratch
+// and when passes are evaluated under different thread counts.
+TEST_F(GraphLayoutTest, WorstPathReportsByteIdenticalAcrossRebuildsAndThreads) {
+  struct Workload {
+    std::string name;
+    Design design;
+    ClockSet clocks;
+  };
+  std::vector<Workload> workloads;
+  PipelineSpec pspec;
+  pspec.stage_depths = {8, 4, 8};
+  pspec.width = 4;
+  workloads.push_back({"pipeline", make_pipeline(lib_, pspec),
+                       make_two_phase_clocks(ns(6))});
+  RandomNetworkSpec rspec;
+  rspec.seed = 7;
+  rspec.banks = 4;
+  rspec.bank_width = 4;
+  rspec.gates_per_stage = 40;
+  RandomNetwork net = make_random_network(lib_, rspec);
+  workloads.push_back({"random", std::move(net.design), std::move(net.clocks)});
+
+  for (Workload& w : workloads) {
+    SCOPED_TRACE(w.name);
+    // Render the worst paths (violating or not: a huge slack limit keeps
+    // the test meaningful even when the workload meets timing).
+    auto render = [](const SlackEngine& engine) {
+      return format_paths(engine, enumerate_slow_paths(engine, 20, ns(1000))) +
+             timing_summary(engine);
+    };
+    auto run = [&](ThreadPool* pool) {
+      DelayCalculator calc(w.design);
+      TimingGraph graph(w.design, calc);
+      SyncModel sync(graph, w.clocks, calc);
+      ClusterSet clusters(graph, sync);
+      SlackEngine engine(graph, clusters, sync);
+      engine.compute(pool);
+      return render(engine);
+    };
+    const std::string serial = run(nullptr);
+    EXPECT_FALSE(serial.empty());
+    EXPECT_EQ(serial, run(nullptr)) << "rebuild changed the report";
+    ThreadPool two(2), eight(8);
+    EXPECT_EQ(serial, run(&two)) << "2-thread report differs";
+    EXPECT_EQ(serial, run(&eight)) << "8-thread report differs";
+  }
+}
+
+}  // namespace
+}  // namespace hb
