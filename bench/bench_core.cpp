@@ -14,6 +14,7 @@
 //
 // Writes BENCH_core.json; `--quick` restricts to the small networks with few
 // reps (the CI perf-smoke job runs this mode and schema-checks the JSON).
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <cstdio>
@@ -22,14 +23,17 @@
 #include <new>
 #include <optional>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "gen/filter.hpp"
 #include "gen/pipeline.hpp"
 #include "gen/random_network.hpp"
 #include "netlist/stdcells.hpp"
+#include "sta/analysis_pass.hpp"
 #include "sta/cluster.hpp"
 #include "sta/slack_engine.hpp"
+#include "util/thread_pool.hpp"
 #include "util/time.hpp"
 
 // ---------------------------------------------------------------------------
@@ -87,6 +91,24 @@ double time_us(int reps, Body body) {
     const auto start = std::chrono::steady_clock::now();
     for (int r = 0; r < reps; ++r) body();
     best = std::min(best, 1e6 * seconds_since(start) / reps);
+  }
+  return best;
+}
+
+/// Best-of-7 for a pair of bodies with the rounds interleaved A/B/A/B...,
+/// so slow drift in host load (shared runners, noisy containers) hits both
+/// sides alike instead of skewing their ratio.  Used for the headline
+/// reference-vs-CSR comparison.
+template <class A, class B>
+std::pair<double, double> time_pair_us(int reps, A a, B b) {
+  std::pair<double, double> best{1e30, 1e30};
+  for (int round = 0; round < 7; ++round) {
+    auto start = std::chrono::steady_clock::now();
+    for (int r = 0; r < reps; ++r) a();
+    best.first = std::min(best.first, 1e6 * seconds_since(start) / reps);
+    start = std::chrono::steady_clock::now();
+    for (int r = 0; r < reps; ++r) b();
+    best.second = std::min(best.second, 1e6 * seconds_since(start) / reps);
   }
   return best;
 }
@@ -212,10 +234,14 @@ struct CoreReport {
   double node_evals_per_sec = 0;
   double allocs_per_pass = 0;        // steady-state compute()
   double update_allocs = 0;          // steady-state update(), per update
+  double parallel_allocs = 0;        // steady-state pooled sweeps, per pass
+  double pass_eval_scalar_us = 0;    // 1-thread kForceScalar CSR sweep
+  std::string kernel;                // auto-dispatched variant ("avx2"/"scalar")
+  std::vector<std::pair<int, double>> scaling;  // (threads, pass_eval_us)
   bool bit_identical = false;
 };
 
-CoreReport measure(Workload& w, int reps) {
+CoreReport measure(Workload& w, int reps, const std::vector<int>& thread_counts) {
   DelayCalculator calc(w.design);
   TimingGraph graph(w.design, calc);
   SyncModel sync(graph, w.clocks, calc);
@@ -278,38 +304,95 @@ CoreReport measure(Workload& w, int reps) {
     }
   }
 
-  // Reference pass-evaluation throughput (per-pass result allocation
-  // included: that is what the pre-CSR engine's run_pass did).
-  rep.reference_pass_eval_us = time_us(reps, [&] {
-    for (std::uint32_t c = 0; c < clusters.num_clusters(); ++c) {
-      for (std::size_t p = 0; p < engine.num_passes(ClusterId(c)); ++p) {
-        const RefPassResult ref = run_reference_pass(
-            graph, sync, clusters.cluster(ClusterId(c)), ref_arcs, ref_fanout,
-            local_index, engine.edge_graph(ClusterId(c)),
-            engine.breaks(ClusterId(c))[p], engine.capture_insts(ClusterId(c)),
-            engine.assigned_mask(ClusterId(c), p));
-        (void)ref;
-      }
-    }
-  });
-
-  // CSR pass-evaluation throughput, caller-owned buffers reused in place.
+  // Reference vs CSR pass-evaluation throughput, rounds interleaved so the
+  // speedup ratio is robust against drifting host load.  The reference pays
+  // its per-pass result allocation (that is what the pre-CSR engine's
+  // run_pass did); the CSR side reuses caller-owned buffers in place.
   {
     std::vector<std::vector<PassResult>> out(clusters.num_clusters());
     for (std::uint32_t c = 0; c < clusters.num_clusters(); ++c) {
       out[c].resize(engine.num_passes(ClusterId(c)));
     }
-    rep.pass_eval_us = time_us(reps, [&] {
-      for (std::uint32_t c = 0; c < clusters.num_clusters(); ++c) {
-        for (std::size_t p = 0; p < engine.num_passes(ClusterId(c)); ++p) {
-          engine.run_pass_into(ClusterId(c), p, out[c][p]);
-        }
-      }
-    });
+    const auto [ref_us, csr_us] = time_pair_us(
+        reps,
+        [&] {
+          for (std::uint32_t c = 0; c < clusters.num_clusters(); ++c) {
+            for (std::size_t p = 0; p < engine.num_passes(ClusterId(c)); ++p) {
+              const RefPassResult ref = run_reference_pass(
+                  graph, sync, clusters.cluster(ClusterId(c)), ref_arcs,
+                  ref_fanout, local_index, engine.edge_graph(ClusterId(c)),
+                  engine.breaks(ClusterId(c))[p],
+                  engine.capture_insts(ClusterId(c)),
+                  engine.assigned_mask(ClusterId(c), p));
+              (void)ref;
+            }
+          }
+        },
+        [&] {
+          for (std::uint32_t c = 0; c < clusters.num_clusters(); ++c) {
+            for (std::size_t p = 0; p < engine.num_passes(ClusterId(c)); ++p) {
+              engine.run_pass_into(ClusterId(c), p, out[c][p]);
+            }
+          }
+        });
+    rep.reference_pass_eval_us = ref_us;
+    rep.pass_eval_us = csr_us;
     if (rep.pass_eval_us > 0) {
       rep.node_evals_per_sec =
           1e6 * static_cast<double>(rep.node_evals) / rep.pass_eval_us;
     }
+  }
+
+  // Kernel variant and thread-scaling curve.  The 1-thread forced-scalar
+  // sweep is the baseline; each curve entry then times the auto-dispatched
+  // kernels with a pool of `t` workers.  The size gate is lowered so every
+  // cluster takes the level-parallel path -- the curve measures kernel
+  // scaling, not the cost model.  Chunk boundaries are a pure function of
+  // (level size, grain), so every entry computes bit-identical results.
+  rep.kernel = active_kernel_name();
+  {
+    std::vector<std::vector<PassResult>> out(clusters.num_clusters());
+    for (std::uint32_t c = 0; c < clusters.num_clusters(); ++c) {
+      out[c].resize(engine.num_passes(ClusterId(c)));
+    }
+    const auto sweep_all = [&](ThreadPool* pool) {
+      for (std::uint32_t c = 0; c < clusters.num_clusters(); ++c) {
+        for (std::size_t p = 0; p < engine.num_passes(ClusterId(c)); ++p) {
+          engine.run_pass_into(ClusterId(c), p, out[c][p], pool);
+        }
+      }
+    };
+    set_kernel_mode(KernelMode::kForceScalar);
+    rep.pass_eval_scalar_us = time_us(reps, [&] { sweep_all(nullptr); });
+    set_kernel_mode(KernelMode::kAuto);
+
+    const SweepTuning saved = sweep_tuning();
+    set_sweep_tuning({1, 64});
+    for (int t : thread_counts) {
+      if (t <= 1) {
+        rep.scaling.emplace_back(1, time_us(reps, [&] { sweep_all(nullptr); }));
+      } else {
+        ThreadPool pool(t);
+        rep.scaling.emplace_back(t, time_us(reps, [&] { sweep_all(&pool); }));
+      }
+    }
+
+    // Pooled sweeps must be allocation-free in steady state too: chunk
+    // dispatch erases the level callable to a function pointer and the
+    // per-worker workspace slots are reused after first touch.
+    {
+      ThreadPool pool(thread_counts.back());
+      sweep_all(&pool);
+      sweep_all(&pool);  // warm workspace slots and chunk state
+      const std::uint64_t before = g_allocs.load(std::memory_order_relaxed);
+      for (int r = 0; r < 10; ++r) sweep_all(&pool);
+      const std::uint64_t after = g_allocs.load(std::memory_order_relaxed);
+      rep.parallel_allocs = rep.passes == 0
+                                ? 0.0
+                                : static_cast<double>(after - before) /
+                                      (10.0 * static_cast<double>(rep.passes));
+    }
+    set_sweep_tuning(saved);
   }
 
   // Full analysis (compute + checksums + accumulation), warm.
@@ -355,7 +438,24 @@ CoreReport measure(Workload& w, int reps) {
 
 int main(int argc, char** argv) {
   using namespace hb;
-  const bool quick = argc > 1 && std::strcmp(argv[1], "--quick") == 0;
+  bool quick = false;
+  int threads = 0;  // 0 = hardware concurrency
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) {
+      quick = true;
+    } else if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
+      threads = std::atoi(argv[++i]);
+    }
+  }
+  const int hardware =
+      static_cast<int>(std::thread::hardware_concurrency());
+  if (threads <= 0) threads = hardware > 0 ? hardware : 1;
+  std::vector<int> thread_counts = {1, 2, 4, 8};
+  if (std::find(thread_counts.begin(), thread_counts.end(), threads) ==
+      thread_counts.end()) {
+    thread_counts.push_back(threads);
+    std::sort(thread_counts.begin(), thread_counts.end());
+  }
   auto lib = make_standard_library();
 
   std::vector<Workload> workloads;
@@ -395,17 +495,20 @@ int main(int argc, char** argv) {
               "csr us", "speedup", "node-evals/s", "allocs/p", "upd alloc");
 
   FILE* json = std::fopen("BENCH_core.json", "w");
-  std::fprintf(json, "{\n  \"quick\": %s,\n  \"networks\": [\n",
-               quick ? "true" : "false");
+  std::fprintf(json,
+               "{\n  \"quick\": %s,\n  \"threads_used\": %d,\n"
+               "  \"hardware_threads\": %d,\n  \"networks\": [\n",
+               quick ? "true" : "false", threads, hardware);
 
   bool all_identical = true;
   bool zero_alloc = true;
   double large_speedup = 0;
   for (std::size_t i = 0; i < workloads.size(); ++i) {
     Workload& w = workloads[i];
-    const CoreReport rep = measure(w, reps);
+    const CoreReport rep = measure(w, reps, thread_counts);
     all_identical = all_identical && rep.bit_identical;
-    zero_alloc = zero_alloc && rep.allocs_per_pass == 0 && rep.update_allocs == 0;
+    zero_alloc = zero_alloc && rep.allocs_per_pass == 0 &&
+                 rep.update_allocs == 0 && rep.parallel_allocs == 0;
     const double speedup =
         rep.pass_eval_us > 0 ? rep.reference_pass_eval_us / rep.pass_eval_us : 0;
     if (w.name == "random_large") large_speedup = speedup;
@@ -413,6 +516,13 @@ int main(int argc, char** argv) {
                 w.name.c_str(), rep.nodes, rep.arcs, rep.passes, rep.levels,
                 rep.reference_pass_eval_us, rep.pass_eval_us, speedup,
                 rep.node_evals_per_sec, rep.allocs_per_pass, rep.update_allocs);
+    std::printf("  kernel=%s scalar-1t %.1fus | scaling:", rep.kernel.c_str(),
+                rep.pass_eval_scalar_us);
+    for (const auto& [t, us] : rep.scaling) {
+      std::printf("  %dt %.1fus (%.2fx)", t, us,
+                  us > 0 ? rep.pass_eval_scalar_us / us : 0.0);
+    }
+    std::printf("  | par allocs/p %.2f\n", rep.parallel_allocs);
     if (!rep.bit_identical) {
       std::fprintf(stderr, "%s: CSR and reference engines DIVERGED\n",
                    w.name.c_str());
@@ -426,12 +536,25 @@ int main(int argc, char** argv) {
                  "\"speedup_vs_reference\": %.2f,\n"
                  "     \"node_evals_per_sec\": %.0f, "
                  "\"steady_state_allocs_per_pass\": %.2f, "
-                 "\"steady_state_allocs_per_update\": %.2f}%s\n",
+                 "\"steady_state_allocs_per_update\": %.2f,\n"
+                 "     \"kernel\": \"%s\", \"pass_eval_scalar_1t_us\": %.2f, "
+                 "\"parallel_allocs_per_pass\": %.2f,\n"
+                 "     \"scaling\": [",
                  w.name.c_str(), rep.nodes, rep.arcs, rep.passes, rep.levels,
                  rep.bit_identical ? "true" : "false", rep.full_analysis_us,
                  rep.pass_eval_us, rep.reference_pass_eval_us, speedup,
                  rep.node_evals_per_sec, rep.allocs_per_pass, rep.update_allocs,
-                 i + 1 < workloads.size() ? "," : "");
+                 rep.kernel.c_str(), rep.pass_eval_scalar_us,
+                 rep.parallel_allocs);
+    for (std::size_t k = 0; k < rep.scaling.size(); ++k) {
+      const auto& [t, us] = rep.scaling[k];
+      std::fprintf(json,
+                   "{\"threads\": %d, \"pass_eval_us\": %.2f, "
+                   "\"speedup_vs_1t_scalar\": %.2f}%s",
+                   t, us, us > 0 ? rep.pass_eval_scalar_us / us : 0.0,
+                   k + 1 < rep.scaling.size() ? ", " : "");
+    }
+    std::fprintf(json, "]}%s\n", i + 1 < workloads.size() ? "," : "");
   }
   std::fprintf(json,
                "  ],\n  \"all_bit_identical\": %s,\n"

@@ -13,7 +13,10 @@
 // perturbations on the largest generated network.
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "gen/filter.hpp"
@@ -187,10 +190,16 @@ Report measure(Workload& w, ThreadPool& pool, int reps) {
 }  // namespace
 }  // namespace hb
 
-int main() {
+int main(int argc, char** argv) {
   using namespace hb;
+  int threads = 0;  // 0 = hardware concurrency
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
+      threads = std::atoi(argv[++i]);
+    }
+  }
   auto lib = make_standard_library();
-  ThreadPool pool(0);  // one worker per hardware thread
+  ThreadPool pool(threads);  // 0 -> one worker per hardware thread
 
   std::vector<Workload> workloads;
 
@@ -228,7 +237,11 @@ int main() {
               "par x");
 
   FILE* json = std::fopen("BENCH_incremental.json", "w");
-  std::fprintf(json, "{\n  \"threads\": %d,\n  \"networks\": [\n", pool.size());
+  std::fprintf(json,
+               "{\n  \"threads\": %d,\n  \"threads_used\": %d,\n"
+               "  \"hardware_threads\": %d,\n  \"networks\": [\n",
+               pool.size(), pool.size(),
+               static_cast<int>(std::thread::hardware_concurrency()));
 
   double largest_speedup = 0;
   for (std::size_t i = 0; i < workloads.size(); ++i) {

@@ -168,8 +168,10 @@ int main() {
       whatif.mean_us, whatif.p50_us, whatif.max_us, whatif.commits);
 
   FILE* json = std::fopen("BENCH_service.json", "w");
-  std::fprintf(json, "{\n  \"hardware_threads\": %u,\n  \"read_throughput\": [\n",
-               hw);
+  std::fprintf(json,
+               "{\n  \"hardware_threads\": %u,\n  \"threads_used\": %u,\n"
+               "  \"read_throughput\": [\n",
+               hw, hw > 0 ? hw : 1);
   for (std::size_t i = 0; i < reads.size(); ++i) {
     std::fprintf(json,
                  "    {\"clients\": %d, \"queries_per_second\": %.0f, "

@@ -48,6 +48,7 @@ struct CliFlags {
   bool want_histogram = false;
   std::string dot_path;   // write a Graphviz view here when non-empty
   std::string lib_path;   // cell library file; built-in hbcells when empty
+  int threads = 1;        // analysis workers; 0 = hardware concurrency
 };
 
 int run(const std::string& netlist_path, const std::string& spec_path,
@@ -82,6 +83,14 @@ int run(const std::string& netlist_path, const std::string& spec_path,
   HummingbirdOptions options;
   options.sync.input_arrivals = spec.input_arrivals;
   options.sync.output_requireds = spec.output_requireds;
+
+  // --threads: one pool drives pass-level fan-out, level-parallel sweeps
+  // and the hold check; results are identical at every thread count.
+  std::unique_ptr<ThreadPool> pool;
+  if (flags.threads != 1) {
+    pool = std::make_unique<ThreadPool>(flags.threads);
+    options.alg1.pool = pool.get();
+  }
 
   Hummingbird analyser(design, spec.clocks, options);
   const Algorithm1Result result = analyser.analyze();
@@ -119,7 +128,7 @@ int run(const std::string& netlist_path, const std::string& spec_path,
   }
 
   if (flags.want_hold) {
-    const auto holds = analyser.check_hold_times(flags.hold_margin);
+    const auto holds = analyser.check_hold_times(flags.hold_margin, pool.get());
     std::printf("hold check (margin %s): %zu violation(s)\n",
                 format_time(flags.hold_margin).c_str(), holds.size());
     for (const HoldViolation& v : holds) {
@@ -166,6 +175,7 @@ void print_usage(std::FILE* to) {
       "usage:\n"
       "  hummingbird_cli <netlist> <timing-spec> [--paths N] [--constraints]\n"
       "                  [--hold <margin>] [--histogram] [--dot F] [--lib F]\n"
+      "                  [--threads N]\n"
       "  hummingbird_cli serve [<netlist> <timing-spec>] [--lib F] [--tcp PORT]\n"
       "  hummingbird_cli query <netlist> <timing-spec> [--lib F] <query>...\n"
       "  hummingbird_cli --help\n"
@@ -287,6 +297,8 @@ int main(int argc, char** argv) {
         flags.dot_path = argv[++i];
       } else if (std::strcmp(argv[i], "--lib") == 0 && i + 1 < argc) {
         flags.lib_path = argv[++i];
+      } else if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
+        flags.threads = std::atoi(argv[++i]);
       } else {
         std::fprintf(stderr, "unknown option '%s'\n", argv[i]);
         return 2;

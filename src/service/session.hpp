@@ -15,11 +15,14 @@
 //     analysis — and publishes the successor snapshot.  Readers observe the
 //     old analysis until the instant of publication, never a half-updated
 //     one.
-//   * The session owns its ThreadPool (run_batch is not safe for concurrent
-//     external callers); pool_mutex_ serialises the two pool users, batch
-//     read fan-out and commit's pass evaluation.  Lock order: batch fan-out
-//     holds only pool_mutex_; commit takes writer_mutex_ then pool_mutex_ —
-//     no cycle.
+//   * The session owns its ThreadPool; pool_mutex_ serialises the two pool
+//     users, batch read fan-out and commit's pass evaluation.  Lock order:
+//     batch fan-out holds only pool_mutex_; commit takes writer_mutex_ then
+//     pool_mutex_ — no cycle.  The pool is one thread budget shared by both
+//     uses: commit's SlackEngine spends it first on pass-level fan-out and
+//     then on level-parallel wavefront sweeps of large clusters (the two
+//     never nest), so SessionOptions::pool_threads bounds the session's
+//     total analysis concurrency regardless of the mix.
 //
 // A query-result cache keyed on (snapshot id, canonical query) fronts the
 // read path and is cleared wholesale on publication; because the key embeds

@@ -1,78 +1,133 @@
 #include "sta/hold_check.hpp"
 
 #include <algorithm>
-#include <optional>
+
+#include "util/thread_pool.hpp"
 
 namespace hb {
+namespace {
 
-std::vector<HoldViolation> check_hold(const SlackEngine& engine,
-                                      TimePs hold_margin) {
+/// Per-worker scratch for the parallel source sweep: the min-delay array
+/// (flat TimePs with a +kInfinitePs absence sentinel — unconditional min
+/// fold, no optional unwrapping) and the worker's violation bucket.  Parked
+/// in ThreadPool scratch slots, so steady-state re-checks allocate nothing.
+struct HoldScratch {
+  std::vector<TimePs> dmin;
+  std::vector<HoldViolation> found;
+};
+
+/// Check sources [begin, end) of one cluster, appending violations to
+/// `s.found`.  Sources are independent (each gets its own dmin sweep), so
+/// any partition across workers finds the same violation set; the final
+/// sort+dedup makes the output order a function of that set alone.
+void check_sources(const SlackEngine& engine, const Cluster& cl,
+                   std::size_t begin, std::size_t end, TimePs hold_margin,
+                   TimePs T, HoldScratch& s) {
   const TimingGraph& graph = engine.graph();
   const SyncModel& sync = engine.sync();
-  const ClusterSet& clusters = engine.clusters();
-  const TimePs T = sync.overall_period();
-  std::vector<HoldViolation> out;
+  for (std::size_t si = begin; si < end; ++si) {
+    const TNodeId src = cl.source_nodes[si];
 
-  for (std::uint32_t c = 0; c < clusters.num_clusters(); ++c) {
-    const Cluster& cl = clusters.cluster(ClusterId(c));
-    if (cl.source_nodes.empty() || cl.sink_nodes.empty()) continue;
-
-    // Minimum propagation delay from each source node to every node of the
-    // cluster (scalar: min over transitions), swept over the cluster's local
-    // CSR in level order.
-    for (TNodeId src : cl.source_nodes) {
-      std::vector<std::optional<TimePs>> dmin(cl.nodes.size());
-      dmin[engine.local_index(src)] = 0;
-      for (std::uint32_t li = 0; li < cl.nodes.size(); ++li) {
-        const auto& dn = dmin[li];
-        if (!dn || cl.blocked[li]) continue;
-        const std::uint32_t end = cl.out_offsets[li + 1];
-        for (std::uint32_t k = cl.out_offsets[li]; k < end; ++k) {
-          const TArcRec& arc = graph.arc(cl.out_arc[k]);
-          const TimePs cand = *dn + arc.delay.min();
-          auto& slot = dmin[cl.out_local[k]];
-          slot = slot ? std::min(*slot, cand) : cand;
-        }
+    // Minimum propagation delay from the source node to every node of the
+    // cluster (scalar: min over transitions), swept over the cluster's
+    // local CSR in level order.
+    s.dmin.assign(cl.nodes.size(), kInfinitePs);
+    s.dmin[engine.local_index(src)] = 0;
+    for (std::uint32_t li = 0; li < cl.nodes.size(); ++li) {
+      const TimePs dn = s.dmin[li];
+      if (dn == kInfinitePs || cl.blocked[li]) continue;
+      const std::uint32_t ke = cl.out_offsets[li + 1];
+      for (std::uint32_t k = cl.out_offsets[li]; k < ke; ++k) {
+        const TArcRec& arc = graph.arc(cl.out_arc[k]);
+        TimePs& slot = s.dmin[cl.out_local[k]];
+        slot = std::min(slot, dn + arc.delay.min());
       }
+    }
 
-      for (TNodeId sink : cl.sink_nodes) {
-        const auto& d = dmin[engine.local_index(sink)];
-        if (!d) continue;
-        for (SyncId li : sync.launches_at(src)) {
-          const SyncInstance& launch = sync.at(li);
-          for (SyncId cj : sync.captures_at(sink)) {
-            const SyncInstance& cap = sync.at(cj);
-            if (!cap.inst.valid() && cap.is_virtual) continue;  // PO: no race
-            // Previous closure of the capture element relative to the
-            // launch's assertion: the closure instance (of the same
-            // physical element) at the smallest cyclic distance at-or-
-            // before the launch edge.
-            TimePs gap = kInfinitePs;
-            TimePs prev_offset = 0;
-            for (SyncId ck : sync.captures_at(sink)) {
-              const SyncInstance& other = sync.at(ck);
-              if (other.inst != cap.inst || other.is_virtual != cap.is_virtual) {
-                continue;
-              }
-              const TimePs g = mod_period(launch.ideal_assert - other.ideal_close, T);
-              if (g < gap) {
-                gap = g;
-                prev_offset = other.close_offset();
-              }
+    for (TNodeId sink : cl.sink_nodes) {
+      const TimePs d = s.dmin[engine.local_index(sink)];
+      if (d == kInfinitePs) continue;
+      for (SyncId li : sync.launches_at(src)) {
+        const SyncInstance& launch = sync.at(li);
+        for (SyncId cj : sync.captures_at(sink)) {
+          const SyncInstance& cap = sync.at(cj);
+          if (!cap.inst.valid() && cap.is_virtual) continue;  // PO: no race
+          // Previous closure of the capture element relative to the
+          // launch's assertion: the closure instance (of the same
+          // physical element) at the smallest cyclic distance at-or-
+          // before the launch edge.
+          TimePs gap = kInfinitePs;
+          TimePs prev_offset = 0;
+          for (SyncId ck : sync.captures_at(sink)) {
+            const SyncInstance& other = sync.at(ck);
+            if (other.inst != cap.inst || other.is_virtual != cap.is_virtual) {
+              continue;
             }
-            if (gap == kInfinitePs) continue;
-            // Earliest arrival vs. previous closure, both in actual time.
-            const TimePs margin = launch.assert_offset() + *d + gap - prev_offset;
-            if (margin < hold_margin) {
-              out.push_back({li, cj, margin});
+            const TimePs g =
+                mod_period(launch.ideal_assert - other.ideal_close, T);
+            if (g < gap) {
+              gap = g;
+              prev_offset = other.close_offset();
             }
+          }
+          if (gap == kInfinitePs) continue;
+          // Earliest arrival vs. previous closure, both in actual time.
+          const TimePs margin = launch.assert_offset() + d + gap - prev_offset;
+          if (margin < hold_margin) {
+            s.found.push_back({li, cj, margin});
           }
         }
       }
     }
   }
+}
+
+}  // namespace
+
+std::vector<HoldViolation> check_hold(const SlackEngine& engine,
+                                      TimePs hold_margin, ThreadPool* pool) {
+  const ClusterSet& clusters = engine.clusters();
+  const TimePs T = engine.sync().overall_period();
+  std::vector<HoldViolation> out;
+
+  const bool pooled = pool != nullptr && pool->size() > 1;
+  HoldScratch local;  // serial path
+  if (pooled) {
+    for (int w = 0; w < pool->size(); ++w) {
+      pool->scratch<HoldScratch>(w).found.clear();
+    }
+  }
+
+  for (std::uint32_t c = 0; c < clusters.num_clusters(); ++c) {
+    const Cluster& cl = clusters.cluster(ClusterId(c));
+    if (cl.source_nodes.empty() || cl.sink_nodes.empty()) continue;
+    if (pooled) {
+      // One chunk per source: every source is a full O(nodes + arcs) sweep,
+      // so grain 1 is already coarse.  Each worker sweeps into its own
+      // scratch and buckets its own finds.
+      pool->parallel_for(
+          cl.source_nodes.size(), 1, [&](std::size_t b, std::size_t e, int w) {
+            check_sources(engine, cl, b, e, hold_margin, T,
+                          pool->scratch<HoldScratch>(w));
+          });
+    } else {
+      check_sources(engine, cl, 0, cl.source_nodes.size(), hold_margin, T,
+                    local);
+    }
+  }
+
+  if (pooled) {
+    for (int w = 0; w < pool->size(); ++w) {
+      const HoldScratch& s = pool->scratch<HoldScratch>(w);
+      out.insert(out.end(), s.found.begin(), s.found.end());
+    }
+  } else {
+    out = std::move(local.found);
+  }
 
   // Deduplicate identical (launch, capture) pairs keeping the worst margin.
+  // Sorting on the full (launch, capture, margin) key also makes the output
+  // independent of which worker found what.
   std::sort(out.begin(), out.end(), [](const HoldViolation& a, const HoldViolation& b) {
     if (a.launch != b.launch) return a.launch < b.launch;
     if (a.capture != b.capture) return a.capture < b.capture;

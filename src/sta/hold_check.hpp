@@ -26,9 +26,15 @@ struct HoldViolation {
   TimePs margin;    // actual_arrival - previous_closure; violation if < hold_margin
 };
 
+class ThreadPool;
+
 /// Check all launch/capture pairs with the current offsets.  `hold_margin`
 /// is the minimum time data must arrive after the previous input closure.
+/// With a pool, each cluster's per-source min-delay sweeps fan out across
+/// the workers (sources are independent); the result is identical at every
+/// thread count — the final sort+dedup orders violations by value alone.
 std::vector<HoldViolation> check_hold(const SlackEngine& engine,
-                                      TimePs hold_margin = 0);
+                                      TimePs hold_margin = 0,
+                                      ThreadPool* pool = nullptr);
 
 }  // namespace hb

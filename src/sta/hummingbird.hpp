@@ -112,7 +112,10 @@ class Hummingbird {
   ConstraintSet generate_constraints();
 
   /// Supplementary-path (hold) checking — extension, see hold_check.hpp.
-  std::vector<HoldViolation> check_hold_times(TimePs hold_margin = 0) const;
+  /// With a pool, per-source sweeps fan out across its workers (identical
+  /// results at every thread count).
+  std::vector<HoldViolation> check_hold_times(TimePs hold_margin = 0,
+                                              ThreadPool* pool = nullptr) const;
 
   /// Worst-first slow paths with full step traces.
   std::vector<SlowPath> slow_paths(std::size_t max_paths = 10) const;

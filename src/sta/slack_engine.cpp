@@ -153,19 +153,30 @@ void SlackEngine::prepare_cluster(ClusterId c) {
 }
 
 void SlackEngine::compute(ThreadPool* pool) {
+  if (pool == nullptr) pool = env_analysis_pool();
   ++istats_.full_computes;
 
   // Evaluate every pass into the cache; passes are independent, so a pool
   // may run them concurrently (each task owns its result slot).  Cached
   // PassResult buffers are reused in place, so recomputes over a warm cache
-  // allocate nothing.
+  // allocate nothing.  Passes over clusters large enough for level-parallel
+  // sweeps instead run on this thread, one at a time, with the pool
+  // chunking their wavefronts — after the batch, because pool jobs must not
+  // nest.
+  const bool pooled = pool != nullptr && pool->size() > 1;
+  const std::size_t par_min = sweep_tuning().min_parallel_nodes;
   task_fns_.clear();
+  big_passes_.clear();
   for (std::uint32_t c = 0; c < clusters_->num_clusters(); ++c) {
     ClusterAnalysis& ca = analyses_[c];
     ca.cache.resize(ca.breaks.size());
+    const bool big =
+        pooled && clusters_->cluster(ClusterId(c)).nodes.size() >= par_min;
     for (std::size_t p = 0; p < ca.breaks.size(); ++p) {
       ++istats_.passes_evaluated;
-      if (pool != nullptr && pool->size() > 1) {
+      if (big) {
+        big_passes_.emplace_back(c, static_cast<std::uint32_t>(p));
+      } else if (pooled) {
         task_fns_.push_back([this, c, p] {
           run_pass_into(ClusterId(c), p, analyses_[c].cache[p]);
         });
@@ -175,6 +186,9 @@ void SlackEngine::compute(ThreadPool* pool) {
     }
   }
   if (!task_fns_.empty()) pool->run_batch(task_fns_);
+  for (const auto& [c, p] : big_passes_) {
+    run_pass_into(ClusterId(c), p, analyses_[c].cache[p], pool);
+  }
 
   for (std::uint32_t c = 0; c < clusters_->num_clusters(); ++c) {
     ClusterAnalysis& ca = analyses_[c];
@@ -263,6 +277,7 @@ bool SlackEngine::has_pending_invalidations() const {
 }
 
 void SlackEngine::update(ThreadPool* pool) {
+  if (pool == nullptr) pool = env_analysis_pool();
   if (cache_valid_ && self_check_) {
     // Paranoid mode: re-verify every cached pass against its write-time
     // checksum before trusting it.  A divergence drops the cache, and the
@@ -279,6 +294,8 @@ void SlackEngine::update(ThreadPool* pool) {
   // workspace, so the pool schedule cannot affect the outcome.  Task slots
   // and seed buffers are persistent members, reused across updates.
   num_update_tasks_ = 0;
+  const bool pooled = pool != nullptr && pool->size() > 1;
+  const std::size_t par_min = sweep_tuning().min_parallel_nodes;
   auto new_task = [this]() -> UpdateTask& {
     if (num_update_tasks_ == update_tasks_.size()) update_tasks_.emplace_back();
     UpdateTask& t = update_tasks_[num_update_tasks_++];
@@ -304,8 +321,14 @@ void SlackEngine::update(ThreadPool* pool) {
     for (std::uint32_t li : d.bwd) probe_bwd_.push_back(li);
     for (const auto& [pass, li] : d.bwd_of_pass) probe_bwd_.push_back(li);
     const std::size_t cone = pass_cone_size(cl, d.fwd, probe_bwd_, probe_ws_);
+    // A level-parallel full sweep finishes ~par× sooner than the serial
+    // cone patch per node, so scale the cone side of the comparison.
+    const std::size_t par =
+        (pooled && cl.nodes.size() >= par_min)
+            ? std::min<std::size_t>(static_cast<std::size_t>(pool->size()), 8)
+            : 1;
     const bool full =
-        cone * kFullSweepDen > cl.nodes.size() * kFullSweepNum * 2;
+        cone * kFullSweepDen * par > cl.nodes.size() * kFullSweepNum * 2;
 
     for (std::size_t p = 0; p < ca.breaks.size(); ++p) {
       UpdateTask& task = new_task();
@@ -329,11 +352,12 @@ void SlackEngine::update(ThreadPool* pool) {
   }
   istats_.passes_reused += num_passes_total() - num_update_tasks_;
 
-  auto run_task = [this](UpdateTask& task) {
+  auto run_task = [this](UpdateTask& task, ThreadPool* sweep_pool) {
     const Cluster& cl = clusters_->cluster(ClusterId(task.cluster));
     ClusterAnalysis& ca = analyses_[task.cluster];
     if (task.full) {
-      run_pass_into(ClusterId(task.cluster), task.pass, ca.cache[task.pass]);
+      run_pass_into(ClusterId(task.cluster), task.pass, ca.cache[task.pass],
+                    sweep_pool);
       task.retraced = 2 * cl.nodes.size();  // both sides, every node
     } else {
       task.retraced = update_analysis_pass(
@@ -342,16 +366,26 @@ void SlackEngine::update(ThreadPool* pool) {
           dirty_[task.cluster].fwd, task.bwd, ca.cache[task.pass], task.ws);
     }
   };
-  if (pool != nullptr && pool->size() > 1 && num_update_tasks_ > 1) {
+  if (pooled && num_update_tasks_ > 1) {
+    // Full sweeps over level-parallel-sized clusters run after the batch,
+    // one at a time with the pool chunking their wavefronts (pool jobs must
+    // not nest); everything else fans out as one task per dirty pass.
     task_fns_.clear();
+    big_task_ids_.clear();
     for (std::size_t i = 0; i < num_update_tasks_; ++i) {
       UpdateTask* task = &update_tasks_[i];
-      task_fns_.push_back([&run_task, task] { run_task(*task); });
+      const Cluster& cl = clusters_->cluster(ClusterId(task->cluster));
+      if (task->full && cl.nodes.size() >= par_min) {
+        big_task_ids_.push_back(i);
+      } else {
+        task_fns_.push_back([&run_task, task] { run_task(*task, nullptr); });
+      }
     }
-    pool->run_batch(task_fns_);
+    if (!task_fns_.empty()) pool->run_batch(task_fns_);
+    for (std::size_t i : big_task_ids_) run_task(update_tasks_[i], pool);
   } else {
     for (std::size_t i = 0; i < num_update_tasks_; ++i) {
-      run_task(update_tasks_[i]);
+      run_task(update_tasks_[i], pool);
     }
   }
   for (std::size_t i = 0; i < num_update_tasks_; ++i) {
@@ -440,12 +474,12 @@ PassResult SlackEngine::run_pass(ClusterId c, std::size_t pass) const {
   return res;
 }
 
-void SlackEngine::run_pass_into(ClusterId c, std::size_t pass,
-                                PassResult& out) const {
+void SlackEngine::run_pass_into(ClusterId c, std::size_t pass, PassResult& out,
+                                ThreadPool* pool) const {
   const ClusterAnalysis& ca = analyses_.at(c.index());
   run_analysis_pass_into(*graph_, *sync_, clusters_->cluster(c), local_of_node_,
                          *ca.edges, ca.breaks.at(pass), ca.capture_insts,
-                         ca.assigned_mask.at(pass), out);
+                         ca.assigned_mask.at(pass), out, pool);
 }
 
 void SlackEngine::accumulate(ClusterId c, std::size_t pass, const PassResult& res) {

@@ -71,7 +71,11 @@ class SlackEngine {
               const SyncModel& sync);
 
   /// Re-evaluate every pass with the current offsets.  With a pool,
-  /// independent passes are evaluated concurrently (results identical).
+  /// independent passes are evaluated concurrently, and passes over large
+  /// clusters additionally chunk each level wavefront across the pool
+  /// (results byte-identical either way; the two uses of the pool never
+  /// nest — batch fan-out first, then the level-parallel passes).  When no
+  /// pool is given, falls back to env_analysis_pool() (HB_THREADS).
   /// Also primes the incremental cache and clears pending invalidations.
   void compute(ThreadPool* pool = nullptr);
 
@@ -151,7 +155,16 @@ class SlackEngine {
   /// Re-run a single pass (for path tracing / debugging).
   PassResult run_pass(ClusterId c, std::size_t pass) const;
   /// Same, writing into caller-owned buffers (no steady-state allocation).
-  void run_pass_into(ClusterId c, std::size_t pass, PassResult& out) const;
+  /// With a pool, the sweeps run level-parallel when the cluster is large
+  /// enough (see SweepTuning); results are byte-identical either way.
+  void run_pass_into(ClusterId c, std::size_t pass, PassResult& out,
+                     ThreadPool* pool = nullptr) const;
+  /// Cached result of one pass (valid after compute()/update(); exposed for
+  /// the determinism sweep tests, which compare caches across thread counts
+  /// and kernel variants).
+  const PassResult& cached_pass(ClusterId c, std::size_t pass) const {
+    return analyses_.at(c.index()).cache.at(pass);
+  }
 
   /// Pre-processing facts exposed for differential harnesses and benches.
   const std::vector<SyncId>& capture_insts(ClusterId c) const {
@@ -198,6 +211,11 @@ class SlackEngine {
   /// patches (docs/ALGORITHMS.md §7).  Calibrated with bench_incremental:
   /// a cone re-derivation touches the same per-node work as the full sweep,
   /// so past ~half the cluster the sweep's linear access pattern wins.
+  /// When a pool can level-parallelise the full sweep (cluster at least
+  /// SweepTuning::min_parallel_nodes), the sweep's wall-clock cost drops by
+  /// roughly the worker count while the (serial) cone patch does not, so
+  /// the comparison scales the cone side by that factor — the choice only
+  /// moves the patch/sweep crossover; both strategies are bit-identical.
   static constexpr std::size_t kFullSweepNum = 1;
   static constexpr std::size_t kFullSweepDen = 2;
 
@@ -236,6 +254,12 @@ class SlackEngine {
   std::vector<UpdateTask> update_tasks_;
   std::size_t num_update_tasks_ = 0;
   std::vector<std::function<void()>> task_fns_;
+  /// (cluster, pass) pairs big enough for level-parallel sweeps; these run
+  /// on the calling thread with the pool chunking their wavefronts, after
+  /// the batch of small passes (the pool is not re-entrant, so the two
+  /// parallelism modes never nest).
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> big_passes_;
+  std::vector<std::size_t> big_task_ids_;  // update(): tasks run pool-swept
   std::vector<std::uint32_t> dirty_clusters_;
   std::vector<std::uint32_t> probe_bwd_;  // union backward seeds (cost probe)
   PassWorkspace probe_ws_;

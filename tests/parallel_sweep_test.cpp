@@ -1,0 +1,229 @@
+// Determinism of the level-parallel + SIMD wavefront kernels.
+//
+// The contract (docs/PERFORMANCE.md §8): run_analysis_pass_into produces
+// byte-identical PassResult arrays — not just semantically equal slots —
+// for every combination of kernel variant (forced scalar vs auto-dispatched
+// SIMD) and thread count (serial, 2, 8), on every generator network.  Worst-
+// path reports, which read the cached passes through the accumulation layer,
+// must therefore also be byte-identical strings.  The sweep tuning is forced
+// down so even the small networks take the level-parallel path.
+//
+// Also proves the pool survives faults mid-sweep: a kPoolTask fault injected
+// into a parallel compute() surfaces as FaultInjectedError after the sweep
+// drains, and the same engine+pool then produce bit-identical results once
+// the injector is disarmed — no poisoned workers, no stale partial state.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "gen/alu.hpp"
+#include "gen/des.hpp"
+#include "gen/fig1.hpp"
+#include "gen/filter.hpp"
+#include "gen/fsm.hpp"
+#include "gen/pipeline.hpp"
+#include "gen/random_network.hpp"
+#include "netlist/stdcells.hpp"
+#include "sta/analysis_pass.hpp"
+#include "sta/cluster.hpp"
+#include "sta/hummingbird.hpp"
+#include "util/faultinject.hpp"
+#include "util/thread_pool.hpp"
+
+namespace hb {
+namespace {
+
+// Restore process-wide kernel mode and sweep tuning on scope exit so a
+// failing assertion cannot leak a forced configuration into other tests.
+struct KernelConfigGuard {
+  KernelMode mode = kernel_mode();
+  SweepTuning tuning = sweep_tuning();
+  ~KernelConfigGuard() {
+    set_kernel_mode(mode);
+    set_sweep_tuning(tuning);
+  }
+};
+
+struct Workload {
+  std::string name;
+  Design design;
+  ClockSet clocks;
+};
+
+std::vector<Workload> all_generator_networks() {
+  auto lib = make_standard_library();
+  std::vector<Workload> out;
+  {
+    Fig1Config cfg;
+    out.push_back({"fig1", make_fig1_design(lib, cfg), make_fig1_clocks(cfg)});
+  }
+  out.push_back({"fsm_flat", make_fsm_flat(lib), make_single_clock(ns(20), ns(8))});
+  out.push_back({"alu", make_alu(lib), make_single_clock(ns(8), ps(3200))});
+  out.push_back({"des", make_des(lib), make_single_clock(ns(6), ps(2400))});
+  {
+    PipelineSpec spec;
+    spec.stage_depths = {6, 6, 6};
+    spec.width = 6;
+    out.push_back({"pipeline", make_pipeline(lib, spec),
+                   make_two_phase_clocks(ns(6))});
+  }
+  {
+    FilterSpec spec;
+    spec.width = 8;
+    spec.taps = 4;
+    spec.reg_cell = "TLATCH";
+    out.push_back({"filter", make_multirate_filter(lib, spec),
+                   make_multirate_clocks(ns(8))});
+  }
+  {
+    RandomNetworkSpec spec;
+    spec.seed = 7;
+    spec.num_clocks = 2;
+    spec.banks = 4;
+    spec.bank_width = 5;
+    spec.gates_per_stage = 40;
+    RandomNetwork net = make_random_network(lib, spec);
+    out.push_back({"random", std::move(net.design), std::move(net.clocks)});
+  }
+  return out;
+}
+
+// Raw bytes of every cached pass of every cluster, in a fixed order.
+std::vector<std::uint8_t> pass_bytes(const SlackEngine& engine) {
+  std::vector<std::uint8_t> out;
+  const auto append = [&out](const PassSide& side) {
+    const auto* p = reinterpret_cast<const std::uint8_t*>(side.data());
+    out.insert(out.end(), p, p + side.size() * sizeof(RiseFall));
+  };
+  for (std::uint32_t c = 0; c < engine.clusters().num_clusters(); ++c) {
+    for (std::size_t p = 0; p < engine.num_passes(ClusterId(c)); ++p) {
+      const PassResult& res = engine.cached_pass(ClusterId(c), p);
+      append(res.ready);
+      append(res.required);
+    }
+  }
+  return out;
+}
+
+TEST(ParallelSweepTest, ByteIdenticalAcrossThreadCountsAndKernels) {
+  KernelConfigGuard guard;
+  for (Workload& w : all_generator_networks()) {
+    SCOPED_TRACE(w.name);
+
+    // Baseline: serial forced-scalar analysis at default tuning.
+    set_kernel_mode(KernelMode::kForceScalar);
+    set_sweep_tuning(SweepTuning{});
+    Hummingbird baseline(w.design, w.clocks);
+    baseline.analyze();
+    const std::vector<std::uint8_t> want = pass_bytes(baseline.engine());
+    const std::string want_report = baseline.report(8);
+    ASSERT_FALSE(want.empty());
+
+    // Force the level-parallel path through every cluster and chunk even
+    // tiny levels: results must not move by a single byte.
+    set_sweep_tuning(SweepTuning{1, 4});
+    for (const KernelMode mode : {KernelMode::kForceScalar, KernelMode::kAuto}) {
+      for (const int threads : {1, 2, 8}) {
+        SCOPED_TRACE(std::string(mode == KernelMode::kAuto ? "auto" : "scalar") +
+                     "/" + std::to_string(threads) + "t");
+        set_kernel_mode(mode);
+        std::unique_ptr<ThreadPool> pool;
+        HummingbirdOptions opt;
+        if (threads > 1) {
+          pool = std::make_unique<ThreadPool>(threads);
+          opt.alg1.pool = pool.get();
+        }
+        Hummingbird analyser(w.design, w.clocks, opt);
+        analyser.analyze();
+        const std::vector<std::uint8_t> got = pass_bytes(analyser.engine());
+        ASSERT_EQ(got.size(), want.size());
+        EXPECT_EQ(std::memcmp(got.data(), want.data(), want.size()), 0)
+            << "cached PassResult arrays diverged from serial scalar";
+        EXPECT_EQ(analyser.report(8), want_report);
+        EXPECT_EQ(analyser.check_hold_times(0, pool.get()).size(),
+                  baseline.check_hold_times(0).size());
+      }
+    }
+  }
+}
+
+// The incremental layer must stay byte-identical too: a parallel update()
+// over a dirty offset reproduces the parallel (and serial) full compute().
+TEST(ParallelSweepTest, ParallelUpdateMatchesParallelCompute) {
+  KernelConfigGuard guard;
+  set_kernel_mode(KernelMode::kAuto);
+  set_sweep_tuning(SweepTuning{1, 4});
+
+  auto lib = make_standard_library();
+  RandomNetworkSpec spec;
+  spec.seed = 11;
+  spec.num_clocks = 2;
+  spec.banks = 4;
+  spec.bank_width = 5;
+  spec.gates_per_stage = 40;
+  RandomNetwork net = make_random_network(lib, spec);
+
+  ThreadPool pool(8);
+  HummingbirdOptions opt;
+  opt.alg1.pool = &pool;
+  Hummingbird analyser(net.design, net.clocks, opt);
+  analyser.analyze();
+
+  SlackEngine& engine = analyser.engine_mut();
+  SyncModel& sync = analyser.sync_model_mut();
+  for (std::uint32_t i = 0; i < sync.num_instances(); ++i) {
+    SyncInstance& si = sync.at_mut(SyncId(i));
+    if (si.transparent && !si.is_virtual && si.max_increase() >= 2) {
+      si.shift(2);
+      break;
+    }
+  }
+  engine.invalidate_offsets(sync.drain_changed_offsets());
+  engine.update(&pool);
+  const std::vector<std::uint8_t> incremental = pass_bytes(engine);
+
+  engine.invalidate_all();
+  engine.compute(&pool);
+  EXPECT_EQ(pass_bytes(engine), incremental);
+  engine.invalidate_all();
+  engine.compute();  // serial closes the triangle
+  EXPECT_EQ(pass_bytes(engine), incremental);
+}
+
+// A fault injected into a pool task mid-sweep must surface as an error after
+// the whole sweep drains, and must not poison the pool or the engine: the
+// next compute() on the same objects is bit-identical to a fresh serial run.
+TEST(ParallelSweepTest, PoolTaskFaultDrainsWithoutPoisoning) {
+  KernelConfigGuard guard;
+  set_kernel_mode(KernelMode::kAuto);
+  set_sweep_tuning(SweepTuning{1, 4});
+
+  auto lib = make_standard_library();
+  const Design des = make_des(lib);
+  const ClockSet clocks = make_single_clock(ns(6), ps(2400));
+
+  ThreadPool pool(4);
+  Hummingbird analyser(des, clocks);
+  SlackEngine& engine = analyser.engine_mut();
+  {
+    FaultInjector::Config cfg;
+    cfg.seed = 42;
+    cfg.probability[static_cast<int>(FaultSite::kPoolTask)] = 1.0;
+    FaultInjector::Scope scope(cfg);
+    EXPECT_THROW(engine.compute(&pool), FaultInjectedError);
+  }
+  // Injector disarmed: the same engine and pool recover completely.
+  engine.invalidate_all();
+  engine.compute(&pool);
+
+  Hummingbird fresh(des, clocks);
+  fresh.analyze();
+  EXPECT_EQ(pass_bytes(engine), pass_bytes(fresh.engine()));
+  EXPECT_EQ(timing_summary(engine), timing_summary(fresh.engine()));
+}
+
+}  // namespace
+}  // namespace hb
