@@ -26,9 +26,11 @@
 #include <thread>
 #include <vector>
 
+#include "gen/des.hpp"
 #include "gen/filter.hpp"
 #include "gen/pipeline.hpp"
 #include "gen/random_network.hpp"
+#include "netlist/blif_io.hpp"
 #include "netlist/stdcells.hpp"
 #include "sta/analysis_pass.hpp"
 #include "sta/cluster.hpp"
@@ -223,6 +225,7 @@ RefPassResult run_reference_pass(
 }
 
 struct CoreReport {
+  std::size_t cells = 0;
   std::size_t nodes = 0;
   std::size_t arcs = 0;
   std::size_t passes = 0;
@@ -249,6 +252,7 @@ CoreReport measure(Workload& w, int reps, const std::vector<int>& thread_counts)
   SlackEngine engine(graph, clusters, sync);
 
   CoreReport rep;
+  rep.cells = w.design.total_cell_count();
   rep.nodes = graph.num_nodes();
   rep.arcs = graph.num_arcs();
   rep.passes = engine.num_passes_total();
@@ -488,6 +492,21 @@ int main(int argc, char** argv) {
     RandomNetwork net = make_random_network(lib, spec);
     workloads.push_back({name, std::move(net.design), std::move(net.clocks)});
   }
+  // Scaled workloads (skipped under --quick): a pipeline ~16x the small one
+  // and a DES-like datapath past the 100k-cell mark — the 10-100x scale-ups
+  // that exercise allocation behaviour and kernel scheduling for real.
+  if (!quick) {
+    PipelineSpec spec;
+    spec.stage_depths.assign(16, 10);
+    spec.width = 64;
+    workloads.push_back({"pipeline_16x10x64", make_pipeline(lib, spec),
+                         make_two_phase_clocks(ns(8))});
+    DesSpec des;
+    des.rounds = 56;
+    des.half_width = 256;  // 103264 cells
+    workloads.push_back({"des_100k", make_des(lib, des),
+                         make_single_clock(ns(6), ps(2400))});
+  }
 
   const int reps = quick ? 10 : 100;
   std::printf("%-16s %8s %8s %7s %7s | %10s %10s %8s | %12s %9s %9s\n",
@@ -505,7 +524,11 @@ int main(int argc, char** argv) {
   double large_speedup = 0;
   for (std::size_t i = 0; i < workloads.size(); ++i) {
     Workload& w = workloads[i];
-    const CoreReport rep = measure(w, reps, thread_counts);
+    // The 100k-cell class sweeps in milliseconds, not microseconds; fewer
+    // reps keep the full run's wall time sane without hurting best-of-N.
+    const int wreps =
+        w.design.total_cell_count() > 20000 ? std::max(1, reps / 20) : reps;
+    const CoreReport rep = measure(w, wreps, thread_counts);
     all_identical = all_identical && rep.bit_identical;
     zero_alloc = zero_alloc && rep.allocs_per_pass == 0 &&
                  rep.update_allocs == 0 && rep.parallel_allocs == 0;
@@ -528,7 +551,8 @@ int main(int argc, char** argv) {
                    w.name.c_str());
     }
     std::fprintf(json,
-                 "    {\"name\": \"%s\", \"nodes\": %zu, \"arcs\": %zu, "
+                 "    {\"name\": \"%s\", \"cells\": %zu, \"nodes\": %zu, "
+                 "\"arcs\": %zu, "
                  "\"passes\": %zu, \"levels\": %zu,\n"
                  "     \"bit_identical_to_reference\": %s,\n"
                  "     \"full_analysis_us\": %.2f, \"pass_eval_us\": %.2f, "
@@ -540,7 +564,8 @@ int main(int argc, char** argv) {
                  "     \"kernel\": \"%s\", \"pass_eval_scalar_1t_us\": %.2f, "
                  "\"parallel_allocs_per_pass\": %.2f,\n"
                  "     \"scaling\": [",
-                 w.name.c_str(), rep.nodes, rep.arcs, rep.passes, rep.levels,
+                 w.name.c_str(), rep.cells, rep.nodes, rep.arcs, rep.passes,
+                 rep.levels,
                  rep.bit_identical ? "true" : "false", rep.full_analysis_us,
                  rep.pass_eval_us, rep.reference_pass_eval_us, speedup,
                  rep.node_evals_per_sec, rep.allocs_per_pass, rep.update_allocs,
@@ -556,16 +581,53 @@ int main(int argc, char** argv) {
     }
     std::fprintf(json, "]}%s\n", i + 1 < workloads.size() ? "," : "");
   }
+
+  // BLIF load path: serialise every workload, time the full parse+elaborate
+  // (the fail-fast one-call loader), and require the round trip to close —
+  // re-serialising the re-read design must reproduce the text byte for byte.
+  std::fprintf(json, "  ],\n  \"blif_load\": [\n");
+  std::printf("\n%-18s %10s %10s %10s %12s %9s\n", "blif load", "bytes",
+              "emit us", "load us", "cells/s", "roundtrip");
+  bool blif_roundtrip = true;
+  for (std::size_t i = 0; i < workloads.size(); ++i) {
+    Workload& w = workloads[i];
+    const std::string text = blif_to_string(w.design);
+    const int blif_reps = text.size() > (1u << 20) ? 1 : (quick ? 3 : 10);
+    const double emit_us =
+        time_us(blif_reps, [&] { (void)blif_to_string(w.design); });
+    const double load_us =
+        time_us(blif_reps, [&] { (void)blif_design_from_string(text, lib); });
+    const Design rt = blif_design_from_string(text, lib);
+    const bool ok = blif_to_string(rt) == text &&
+                    rt.total_cell_count() == w.design.total_cell_count();
+    blif_roundtrip = blif_roundtrip && ok;
+    const std::size_t cells = w.design.total_cell_count();
+    const double cells_per_sec =
+        load_us > 0 ? 1e6 * static_cast<double>(cells) / load_us : 0;
+    std::printf("%-18s %10zu %10.1f %10.1f %12.0f %9s\n", w.name.c_str(),
+                text.size(), emit_us, load_us, cells_per_sec,
+                ok ? "yes" : "NO");
+    std::fprintf(json,
+                 "    {\"name\": \"%s\", \"cells\": %zu, \"bytes\": %zu, "
+                 "\"emit_us\": %.2f, \"load_us\": %.2f, "
+                 "\"cells_per_sec\": %.0f, \"roundtrip_ok\": %s}%s\n",
+                 w.name.c_str(), cells, text.size(), emit_us, load_us,
+                 cells_per_sec, ok ? "true" : "false",
+                 i + 1 < workloads.size() ? "," : "");
+  }
+
   std::fprintf(json,
                "  ],\n  \"all_bit_identical\": %s,\n"
                "  \"zero_alloc_steady_state\": %s,\n"
+               "  \"blif_roundtrip_ok\": %s,\n"
                "  \"random_large_speedup_vs_reference\": %.2f\n}\n",
                all_identical ? "true" : "false", zero_alloc ? "true" : "false",
-               large_speedup);
+               blif_roundtrip ? "true" : "false", large_speedup);
   std::fclose(json);
   std::printf("\nwrote BENCH_core.json (random_large speedup vs pre-CSR "
-              "reference: %.2fx; bit-identical: %s; zero-alloc: %s)\n",
+              "reference: %.2fx; bit-identical: %s; zero-alloc: %s; "
+              "blif round trip: %s)\n",
               large_speedup, all_identical ? "yes" : "NO",
-              zero_alloc ? "yes" : "NO");
-  return all_identical ? 0 : 1;
+              zero_alloc ? "yes" : "NO", blif_roundtrip ? "yes" : "NO");
+  return all_identical && blif_roundtrip ? 0 : 1;
 }

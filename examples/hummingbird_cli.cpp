@@ -8,6 +8,15 @@
 //   hummingbird_cli <netlist> <timing-spec> [--paths N] [--constraints]
 //                   [--hold <margin>]
 //
+// BLIF frontend (docs/FRONTEND.md): `analyze` accepts either the native
+// netlist format or BLIF (detected by the .blif extension, also honoured by
+// the legacy form and the service `load` verb).  For BLIF inputs the timing
+// spec is optional — without one, a simple staggered clock per `.clock`
+// port is synthesised over --period:
+//
+//   hummingbird_cli analyze <netlist-or-blif> [<timing-spec>] [--period T]
+//                   [one-shot flags]
+//
 // Query-service frontends (docs/SERVICE.md):
 //
 //   hummingbird_cli serve [<netlist> <timing-spec>] [--lib F] [--tcp PORT]
@@ -30,6 +39,8 @@
 
 #include "clocks/clock_io.hpp"
 #include "gen/pipeline.hpp"
+#include "netlist/blif_builder.hpp"
+#include "netlist/blif_io.hpp"
 #include "netlist/library_io.hpp"
 #include "netlist/netlist_io.hpp"
 #include "netlist/stdcells.hpp"
@@ -49,7 +60,37 @@ struct CliFlags {
   std::string dot_path;   // write a Graphviz view here when non-empty
   std::string lib_path;   // cell library file; built-in hbcells when empty
   int threads = 1;        // analysis workers; 0 = hardware concurrency
+  hb::TimePs period = hb::ns(20);  // default-clock period for spec-less BLIF
 };
+
+/// Parse the shared one-shot flags starting at argv[start]; returns 0 or
+/// the exit code on a usage error.
+int parse_flags(int argc, char** argv, int start, CliFlags& flags) {
+  for (int i = start; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--paths") == 0 && i + 1 < argc) {
+      flags.max_paths = static_cast<std::size_t>(std::atoi(argv[++i]));
+    } else if (std::strcmp(argv[i], "--constraints") == 0) {
+      flags.want_constraints = true;
+    } else if (std::strcmp(argv[i], "--hold") == 0 && i + 1 < argc) {
+      flags.want_hold = true;
+      flags.hold_margin = hb::parse_time(argv[++i]);
+    } else if (std::strcmp(argv[i], "--histogram") == 0) {
+      flags.want_histogram = true;
+    } else if (std::strcmp(argv[i], "--dot") == 0 && i + 1 < argc) {
+      flags.dot_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--lib") == 0 && i + 1 < argc) {
+      flags.lib_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
+      flags.threads = std::atoi(argv[++i]);
+    } else if (std::strcmp(argv[i], "--period") == 0 && i + 1 < argc) {
+      flags.period = hb::parse_time(argv[++i]);
+    } else {
+      std::fprintf(stderr, "unknown option '%s'\n", argv[i]);
+      return 2;
+    }
+  }
+  return 0;
+}
 
 int run(const std::string& netlist_path, const std::string& spec_path,
         const CliFlags& flags) {
@@ -71,14 +112,22 @@ int run(const std::string& netlist_path, const std::string& spec_path,
     std::fprintf(stderr, "cannot open netlist '%s'\n", netlist_path.c_str());
     return 2;
   }
-  Design design = load_netlist(nf, lib);
+  Design design =
+      is_blif_path(netlist_path) ? load_blif(nf, lib) : load_netlist(nf, lib);
 
-  std::ifstream sf(spec_path);
-  if (!sf) {
-    std::fprintf(stderr, "cannot open timing spec '%s'\n", spec_path.c_str());
-    return 2;
+  TimingSpec spec;
+  if (spec_path.empty()) {
+    // Spec-less BLIF analysis: synthesise one staggered clock per `.clock`
+    // port (throws when the design declares none).
+    spec.clocks = default_blif_clocks(design, flags.period);
+  } else {
+    std::ifstream sf(spec_path);
+    if (!sf) {
+      std::fprintf(stderr, "cannot open timing spec '%s'\n", spec_path.c_str());
+      return 2;
+    }
+    spec = load_timing_spec(sf);
   }
-  const TimingSpec spec = load_timing_spec(sf);
 
   HummingbirdOptions options;
   options.sync.input_arrivals = spec.input_arrivals;
@@ -176,14 +225,38 @@ void print_usage(std::FILE* to) {
       "  hummingbird_cli <netlist> <timing-spec> [--paths N] [--constraints]\n"
       "                  [--hold <margin>] [--histogram] [--dot F] [--lib F]\n"
       "                  [--threads N]\n"
+      "  hummingbird_cli analyze <netlist-or-blif> [<timing-spec>]\n"
+      "                  [--period T] [one-shot flags]\n"
       "  hummingbird_cli serve [<netlist> <timing-spec>] [--lib F] [--tcp PORT]\n"
       "  hummingbird_cli query <netlist> <timing-spec> [--lib F] <query>...\n"
       "  hummingbird_cli --help\n"
       "\n"
+      "Netlist inputs ending in .blif are parsed as BLIF (docs/FRONTEND.md);\n"
+      "for those `analyze` may omit the timing spec, synthesising a clock\n"
+      "per `.clock` port over --period (default 20ns).\n"
       "With no arguments, runs a built-in demo.  serve/query speak the line\n"
       "protocol documented in docs/SERVICE.md (`help` lists the verbs).\n"
       "Exit codes: 0 ok, 1 timing violations (one-shot analysis), 2 usage,\n"
       "3 protocol error (query: any error reply; serve: initial load failed).\n");
+}
+
+int run_analyze(int argc, char** argv) {
+  std::string netlist, spec;
+  int i = 2;
+  if (i < argc && argv[i][0] != '-') netlist = argv[i++];
+  if (i < argc && argv[i][0] != '-') spec = argv[i++];
+  if (netlist.empty()) {
+    std::fprintf(stderr, "analyze: need <netlist-or-blif> [<timing-spec>]\n");
+    return 2;
+  }
+  CliFlags flags;
+  if (const int rc = parse_flags(argc, argv, i, flags)) return rc;
+  if (spec.empty() && !hb::is_blif_path(netlist)) {
+    std::fprintf(stderr,
+                 "analyze: a timing spec is required for non-BLIF netlists\n");
+    return 2;
+  }
+  return run(netlist, spec, flags);
 }
 
 int run_serve(int argc, char** argv) {
@@ -281,29 +354,10 @@ int main(int argc, char** argv) {
     }
     if (argc >= 2 && std::strcmp(argv[1], "serve") == 0) return run_serve(argc, argv);
     if (argc >= 2 && std::strcmp(argv[1], "query") == 0) return run_query(argc, argv);
+    if (argc >= 2 && std::strcmp(argv[1], "analyze") == 0) return run_analyze(argc, argv);
     if (argc < 3) return demo();
     CliFlags flags;
-    for (int i = 3; i < argc; ++i) {
-      if (std::strcmp(argv[i], "--paths") == 0 && i + 1 < argc) {
-        flags.max_paths = static_cast<std::size_t>(std::atoi(argv[++i]));
-      } else if (std::strcmp(argv[i], "--constraints") == 0) {
-        flags.want_constraints = true;
-      } else if (std::strcmp(argv[i], "--hold") == 0 && i + 1 < argc) {
-        flags.want_hold = true;
-        flags.hold_margin = hb::parse_time(argv[++i]);
-      } else if (std::strcmp(argv[i], "--histogram") == 0) {
-        flags.want_histogram = true;
-      } else if (std::strcmp(argv[i], "--dot") == 0 && i + 1 < argc) {
-        flags.dot_path = argv[++i];
-      } else if (std::strcmp(argv[i], "--lib") == 0 && i + 1 < argc) {
-        flags.lib_path = argv[++i];
-      } else if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
-        flags.threads = std::atoi(argv[++i]);
-      } else {
-        std::fprintf(stderr, "unknown option '%s'\n", argv[i]);
-        return 2;
-      }
-    }
+    if (const int rc = parse_flags(argc, argv, 3, flags)) return rc;
     return run(argv[1], argv[2], flags);
   } catch (const hb::Error& e) {
     std::fprintf(stderr, "error: %s\n", e.what());

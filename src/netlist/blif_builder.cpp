@@ -1,0 +1,531 @@
+#include "netlist/blif_builder.hpp"
+
+#include <cstdint>
+#include <functional>
+#include <set>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace hb {
+namespace {
+
+/// `.names` beyond this many inputs would need >4096-row truth tables; real
+/// technology-mapped BLIF stays well under it (standard cells: <= 3).
+constexpr int kMaxLutInputs = 12;
+
+/// Truth-table mask of a cover: bit m is set iff the function is 1 for the
+/// input assignment where input i carries bit i of m.  An empty cover is
+/// the constant 0; a 0-output plane complements the row set (BLIF: the rows
+/// enumerate the OFF-set).
+std::vector<std::uint64_t> cover_mask(const BlifNames& n) {
+  const int k = static_cast<int>(n.nets.size()) - 1;
+  const std::uint32_t rows = 1u << k;
+  std::vector<std::uint64_t> mask((rows + 63) / 64, 0);
+  const bool on_set = n.cover.empty() || n.cover.front().output == '1';
+  for (std::uint32_t m = 0; m < rows; ++m) {
+    bool covered = false;
+    for (const BlifCover& row : n.cover) {
+      bool match = true;
+      for (int i = 0; i < k && match; ++i) {
+        const char c = row.inputs[static_cast<std::size_t>(i)];
+        if (c != '-' && (c == '1') != (((m >> i) & 1u) != 0)) match = false;
+      }
+      if (match) {
+        covered = true;
+        break;
+      }
+    }
+    if (covered == on_set) mask[m / 64] |= std::uint64_t{1} << (m % 64);
+  }
+  return mask;
+}
+
+std::string mask_hex(int k, const std::vector<std::uint64_t>& mask) {
+  const std::uint32_t bits = 1u << k;
+  const std::uint32_t digits = bits < 4 ? 1 : bits / 4;
+  std::string out(digits, '0');
+  for (std::uint32_t d = 0; d < digits; ++d) {
+    const std::uint32_t lo = d * 4;
+    int v = 0;
+    for (std::uint32_t b = 0; b < 4; ++b) {
+      const std::uint32_t bit = lo + b;
+      if (bit < bits && ((mask[bit / 64] >> (bit % 64)) & 1u)) v |= 1 << b;
+    }
+    out[digits - 1 - d] = "0123456789abcdef"[v];
+  }
+  return out;
+}
+
+/// Standard-cell functions recognised in `.names` covers, keyed by the
+/// exact input order of the table.  All matched cells are the X1 drive.
+struct KnownFn {
+  std::uint64_t mask;
+  int k;
+  const char* cell;
+};
+
+const std::vector<KnownFn>& known_functions() {
+  static const std::vector<KnownFn> table = [] {
+    const auto m = [](int k, auto fn) {
+      std::uint64_t v = 0;
+      for (int i = 0; i < (1 << k); ++i) {
+        if (fn((i >> 0) & 1, (i >> 1) & 1, (i >> 2) & 1)) {
+          v |= std::uint64_t{1} << i;
+        }
+      }
+      return v;
+    };
+    std::vector<KnownFn> t;
+    t.push_back({m(1, [](int a, int, int) { return !a; }), 1, "INVX1"});
+    t.push_back({m(1, [](int a, int, int) { return a; }), 1, "BUFX1"});
+    t.push_back({m(2, [](int a, int b, int) { return a & b; }), 2, "AND2X1"});
+    t.push_back({m(2, [](int a, int b, int) { return a | b; }), 2, "OR2X1"});
+    t.push_back({m(2, [](int a, int b, int) { return !(a & b); }), 2, "NAND2X1"});
+    t.push_back({m(2, [](int a, int b, int) { return !(a | b); }), 2, "NOR2X1"});
+    t.push_back({m(2, [](int a, int b, int) { return a ^ b; }), 2, "XOR2X1"});
+    t.push_back({m(2, [](int a, int b, int) { return !(a ^ b); }), 2, "XNOR2X1"});
+    t.push_back(
+        {m(3, [](int a, int b, int c) { return a & b & c; }), 3, "AND3X1"});
+    t.push_back(
+        {m(3, [](int a, int b, int c) { return !(a & b & c); }), 3, "NAND3X1"});
+    t.push_back(
+        {m(3, [](int a, int b, int c) { return !(a | b | c); }), 3, "NOR3X1"});
+    t.push_back(
+        {m(3, [](int a, int b, int c) { return !((a & b) | c); }), 3, "AOI21X1"});
+    t.push_back(
+        {m(3, [](int a, int b, int c) { return !((a | b) & c); }), 3, "OAI21X1"});
+    // MUX2: C selects between A (C=0) and B (C=1).
+    t.push_back(
+        {m(3, [](int a, int b, int c) { return c ? b : a; }), 3, "MUX2X1"});
+    return t;
+  }();
+  return table;
+}
+
+bool mask_bit(const std::vector<std::uint64_t>& mask, std::uint32_t m) {
+  return ((mask[m / 64] >> (m % 64)) & 1u) != 0;
+}
+
+/// Per-input unateness of a truth table: positive if raising the input can
+/// never lower the output, negative for the converse, non-unate otherwise.
+/// Inputs the function ignores count as positive (an arbitrary but fixed
+/// choice; the arc still exists so the pin stays in the timing graph).
+Unate input_unateness(int k, const std::vector<std::uint64_t>& mask, int in) {
+  bool can_rise = false, can_fall = false;
+  const std::uint32_t rows = 1u << k;
+  const std::uint32_t bit = 1u << in;
+  for (std::uint32_t m = 0; m < rows; ++m) {
+    if (m & bit) continue;
+    const bool lo = mask_bit(mask, m), hi = mask_bit(mask, m | bit);
+    if (!lo && hi) can_rise = true;
+    if (lo && !hi) can_fall = true;
+  }
+  if (can_rise && can_fall) return Unate::kNone;
+  return can_fall ? Unate::kNegative : Unate::kPositive;
+}
+
+/// Deterministic LUT cell for a function no standard cell covers.  The
+/// delay model scales with fan-in like a gate stack; constants are the
+/// arc-free TIE0/TIE1 cells (their outputs carry no transitions, so they
+/// contribute no timing events — exactly the semantics of a tied net).
+Cell make_lut_cell(const std::string& name, int k,
+                   const std::vector<std::uint64_t>& mask) {
+  Cell cell(name, CellKind::kCombinational);
+  if (k == 0) {
+    cell.add_port({"Y", PortDirection::kOutput, PortRole::kData, 0.0});
+    cell.set_family(name, 1);
+    cell.set_area(1.0);
+    return cell;
+  }
+  for (int i = 0; i < k; ++i) {
+    cell.add_port({"I" + std::to_string(i), PortDirection::kInput,
+                   PortRole::kData, 2.0 + 0.3 * k});
+  }
+  const std::uint32_t out =
+      cell.add_port({"Y", PortDirection::kOutput, PortRole::kData, 0.0});
+  for (int i = 0; i < k; ++i) {
+    TimingArc arc;
+    arc.from_port = static_cast<std::uint32_t>(i);
+    arc.to_port = out;
+    arc.unate = input_unateness(k, mask, i);
+    arc.intrinsic_rise = 40 + 14 * k + 4 * i;
+    arc.intrinsic_fall = 36 + 14 * k + 4 * i;
+    arc.slope_rise = 5.6;
+    arc.slope_fall = 4.8;
+    cell.add_arc(arc);
+  }
+  cell.set_family(name, 1);
+  cell.set_area(3.0 + 1.5 * k);
+  return cell;
+}
+
+/// Resolved cell for one `.names`; empty name means "diagnosed, skip".
+struct NamesRes {
+  std::string cell;
+};
+
+class Builder {
+ public:
+  Builder(const BlifFile& file, std::shared_ptr<const Library> lib,
+          DiagnosticSink& sink, BlifBuildOptions opts)
+      : file_(&file), lib_(std::move(lib)), sink_(&sink),
+        opts_(std::move(opts)) {}
+
+  Design run() {
+    if (file_->models.empty()) return Design("<empty>", lib_);
+
+    std::size_t top_idx = 0;
+    if (!opts_.top.empty()) {
+      bool found = false;
+      for (std::size_t i = 0; i < file_->models.size(); ++i) {
+        if (file_->models[i].name == opts_.top) {
+          top_idx = i;
+          found = true;
+          break;
+        }
+      }
+      if (!found) {
+        sink_->add(DiagCode::kParseUnknownName, Severity::kError, SourceLoc{},
+                   "unknown top model '" + opts_.top + "'",
+                   "using the file's first model instead");
+      }
+    }
+
+    resolve_names_functions();
+    Design design(file_->models[top_idx].name, lib_);
+    declare_modules(design);
+    detect_cycles();
+    for (std::size_t mi = 0; mi < file_->models.size(); ++mi) {
+      if (module_of_[mi].valid()) fill_module(design, mi);
+    }
+    const ModuleId top = module_of_[top_idx];
+    if (top.valid()) design.set_top(top);
+    return design;
+  }
+
+ private:
+  /// Pre-scan every `.names` so LUT/TIE cells can be synthesised into an
+  /// extended library before the Design (which owns its library) exists.
+  void resolve_names_functions() {
+    std::vector<std::pair<std::string, Cell>> synth;
+    names_res_.resize(file_->models.size());
+    for (std::size_t mi = 0; mi < file_->models.size(); ++mi) {
+      const BlifModel& model = file_->models[mi];
+      names_res_[mi].resize(model.names.size());
+      for (std::size_t ni = 0; ni < model.names.size(); ++ni) {
+        const BlifNames& n = model.names[ni];
+        const int k = static_cast<int>(n.nets.size()) - 1;
+        if (k > kMaxLutInputs) {
+          sink_->add(DiagCode::kParseStructure, Severity::kError, n.loc,
+                     "`.names` with " + std::to_string(k) +
+                         " inputs exceeds the " +
+                         std::to_string(kMaxLutInputs) + "-input limit",
+                     "decompose the cover or use `.subckt`");
+          continue;
+        }
+        const std::vector<std::uint64_t> mask = cover_mask(n);
+        std::string cell;
+        if (k == 0) {
+          cell = mask_bit(mask, 0) ? "TIE1" : "TIE0";
+        } else if (k <= 3) {
+          for (const KnownFn& fn : known_functions()) {
+            if (fn.k == k && fn.mask == mask[0] &&
+                lib_->find(fn.cell).valid()) {
+              cell = fn.cell;
+              break;
+            }
+          }
+        }
+        if (cell.empty() || k == 0) {
+          if (cell.empty()) cell = "LUT" + std::to_string(k) + "_" + mask_hex(k, mask);
+          if (!lib_->find(cell).valid()) {
+            bool queued = false;
+            for (const auto& s : synth) queued = queued || s.first == cell;
+            if (!queued) synth.emplace_back(cell, make_lut_cell(cell, k, mask));
+          }
+        }
+        names_res_[mi][ni].cell = std::move(cell);
+      }
+    }
+    if (!synth.empty()) {
+      auto ext = std::make_shared<Library>(*lib_);
+      for (auto& s : synth) ext->add_cell(std::move(s.second));
+      lib_ = std::move(ext);
+    }
+  }
+
+  void declare_modules(Design& design) {
+    module_of_.assign(file_->models.size(), ModuleId());
+    for (std::size_t mi = 0; mi < file_->models.size(); ++mi) {
+      const BlifModel& model = file_->models[mi];
+      if (design.find_module(model.name).valid()) continue;  // dup: diagnosed
+      const ModuleId id = design.add_module(model.name);
+      module_of_[mi] = id;
+      model_by_name_.emplace(model.name, mi);
+      Module& mod = design.module_mut(id);
+      for (const BlifModel::PortDecl& p : model.ports) {
+        const std::uint32_t port = mod.add_port(p.name, p.dir, p.is_clock);
+        mod.bind_port(port, mod.add_net(p.name));
+      }
+    }
+  }
+
+  /// Mark `.subckt`s whose instantiation would close a hierarchy cycle;
+  /// they are skipped (with a diagnostic) so downstream recursion over the
+  /// instantiates relation always terminates.
+  void detect_cycles() {
+    std::vector<char> color(file_->models.size(), 0);  // 0 new 1 open 2 done
+    std::function<void(std::size_t)> visit = [&](std::size_t mi) {
+      color[mi] = 1;
+      const BlifModel& model = file_->models[mi];
+      for (std::uint32_t si = 0; si < model.subckts.size(); ++si) {
+        const BlifSubckt& s = model.subckts[si];
+        if (s.is_gate) continue;
+        const auto it = model_by_name_.find(s.model);
+        if (it == model_by_name_.end()) continue;
+        if (color[it->second] == 1) {
+          cyclic_.insert({mi, si});
+        } else if (color[it->second] == 0) {
+          visit(it->second);
+        }
+      }
+      color[mi] = 2;
+    };
+    for (std::size_t mi = 0; mi < file_->models.size(); ++mi) {
+      if (module_of_[mi].valid() && color[mi] == 0) visit(mi);
+    }
+  }
+
+  NetId net_of(Module& mod, const std::string& name) {
+    const NetId id = mod.find_net(name);
+    return id.valid() ? id : mod.add_net(name);
+  }
+
+  std::string uniq_inst_name(const Module& mod, std::string base) {
+    while (mod.find_inst(base).valid()) base += "_";
+    return base;
+  }
+
+  void fill_module(Design& design, std::size_t mi) {
+    const BlifModel& model = file_->models[mi];
+    Module& mod = design.module_mut(module_of_[mi]);
+    for (const BlifModel::PrimRef& ref : model.order) {
+      switch (ref.kind) {
+        case BlifModel::PrimRef::kNames:
+          place_names(design, mod, model.names[ref.index],
+                      names_res_[mi][ref.index]);
+          break;
+        case BlifModel::PrimRef::kLatch:
+          place_latch(design, mod, model, model.latches[ref.index]);
+          break;
+        case BlifModel::PrimRef::kSubckt:
+          place_subckt(design, mod, mi, ref.index);
+          break;
+      }
+    }
+  }
+
+  void place_names(Design& design, Module& mod, const BlifNames& n,
+                   const NamesRes& res) {
+    if (res.cell.empty()) return;  // diagnosed during resolution
+    const CellId cid = design.lib().require(res.cell);
+    const Cell& cell = design.lib().cell(cid);
+    const std::string base = n.cname.empty() ? n.nets.back() : n.cname;
+    const InstId inst = mod.add_cell_inst(uniq_inst_name(mod, base), cid,
+                                          cell.ports().size());
+    // Cover inputs bind to the cell's input ports in order, the cover
+    // output to its (sole) output — the pin-expansion step: each bound pin
+    // becomes one timing-graph node.
+    std::uint32_t next_in = 0;
+    for (std::size_t i = 0; i + 1 < n.nets.size(); ++i) {
+      while (cell.port(next_in).direction != PortDirection::kInput) ++next_in;
+      mod.connect(inst, next_in++, net_of(mod, n.nets[i]));
+    }
+    for (std::uint32_t p = 0; p < cell.ports().size(); ++p) {
+      if (cell.port(p).direction == PortDirection::kOutput) {
+        mod.connect(inst, p, net_of(mod, n.nets.back()));
+        break;
+      }
+    }
+  }
+
+  void place_latch(Design& design, Module& mod, const BlifModel& model,
+                   const BlifLatch& l) {
+    const char* cell_name = nullptr;
+    switch (l.type) {
+      case BlifLatchType::kFallingEdge: cell_name = "DFFT"; break;
+      case BlifLatchType::kRisingEdge: cell_name = "DFFL"; break;
+      case BlifLatchType::kActiveHigh: cell_name = "TLATCH"; break;
+      case BlifLatchType::kActiveLow: cell_name = "TLATCHN"; break;
+      case BlifLatchType::kAlways:
+        sink_->add(DiagCode::kParseStructure, Severity::kWarning, l.loc,
+                   "always-transparent latch treated as active-high",
+                   "type `as` has no synchronising-element equivalent");
+        cell_name = "TLATCH";
+        break;
+      case BlifLatchType::kUnspecified:
+        // The SIS default for untyped latches is a rising-edge flip-flop.
+        cell_name = "DFFL";
+        break;
+    }
+    const CellId cid = design.lib().find(cell_name);
+    if (!cid.valid()) {
+      sink_->add(DiagCode::kParseUnknownName, Severity::kError, l.loc,
+                 std::string("library has no cell '") + cell_name +
+                     "' to map this latch onto");
+      return;
+    }
+    std::string control = l.control;
+    if (control.empty()) {
+      const BlifModel::PortDecl* clock = nullptr;
+      bool unique = true;
+      for (const BlifModel::PortDecl& p : model.ports) {
+        if (!p.is_clock) continue;
+        unique = clock == nullptr;
+        clock = &p;
+      }
+      if (clock == nullptr || !unique) {
+        sink_->add(DiagCode::kParseUnknownName, Severity::kError, l.loc,
+                   clock == nullptr
+                       ? "latch has no control net and the model declares no "
+                         "`.clock`"
+                       : "latch has no control net and the model declares "
+                         "several `.clock`s",
+                   "add `<type> <control>` to the .latch");
+        return;
+      }
+      control = clock->name;
+    }
+    const Cell& cell = design.lib().cell(cid);
+    const SyncSpec& sync = cell.sync();
+    const std::string base = l.cname.empty() ? l.output : l.cname;
+    const InstId inst = mod.add_cell_inst(uniq_inst_name(mod, base), cid,
+                                          cell.ports().size());
+    mod.connect(inst, sync.data_in, net_of(mod, l.input));
+    mod.connect(inst, sync.control, net_of(mod, control));
+    mod.connect(inst, sync.data_out, net_of(mod, l.output));
+  }
+
+  void place_subckt(Design& design, Module& mod, std::size_t mi,
+                    std::uint32_t si) {
+    const BlifSubckt& s = file_->models[mi].subckts[si];
+    const auto sub_it =
+        s.is_gate ? model_by_name_.end() : model_by_name_.find(s.model);
+    const CellId cell =
+        sub_it == model_by_name_.end() ? design.lib().find(s.model) : CellId();
+
+    if (sub_it == model_by_name_.end() && !cell.valid()) {
+      sink_->add(DiagCode::kParseUnknownName, Severity::kError, s.loc,
+                 std::string("unknown ") +
+                     (s.is_gate ? "library cell '" : "model or cell '") +
+                     s.model + "'");
+      return;
+    }
+    if (sub_it != model_by_name_.end() && cyclic_.count({mi, si}) != 0) {
+      sink_->add(DiagCode::kParseStructure, Severity::kError, s.loc,
+                 "instantiating model '" + s.model +
+                     "' here closes a hierarchy cycle");
+      return;
+    }
+
+    // Derive a stable default name from the actual bound to the first
+    // output formal, falling back to the model name.
+    std::string base = s.cname;
+    if (base.empty()) {
+      for (const auto& [formal, actual] : s.conns) {
+        const bool is_out =
+            cell.valid()
+                ? [&] {
+                    const auto p = design.lib().cell(cell).find_port(formal);
+                    return p && design.lib().cell(cell).port(*p).direction ==
+                                    PortDirection::kOutput;
+                  }()
+                : [&] {
+                    const Module& sub =
+                        design.module(module_of_[sub_it->second]);
+                    const auto p = sub.find_port(formal);
+                    return p &&
+                           sub.port(*p).direction == PortDirection::kOutput;
+                  }();
+        if (is_out) {
+          base = actual;
+          break;
+        }
+      }
+      if (base.empty()) base = s.model + "_" + std::to_string(si);
+    }
+
+    InstId inst;
+    if (cell.valid()) {
+      inst = mod.add_cell_inst(uniq_inst_name(mod, base), cell,
+                               design.lib().cell(cell).ports().size());
+    } else {
+      const Module& sub = design.module(module_of_[sub_it->second]);
+      inst = mod.add_module_inst(uniq_inst_name(mod, base),
+                                 module_of_[sub_it->second],
+                                 sub.ports().size());
+    }
+    std::set<std::uint32_t> connected;
+    for (const auto& [formal, actual] : s.conns) {
+      std::optional<std::uint32_t> port;
+      if (cell.valid()) {
+        port = design.lib().cell(cell).find_port(formal);
+      } else {
+        port = design.module(module_of_[sub_it->second]).find_port(formal);
+      }
+      if (!port) {
+        sink_->add(DiagCode::kParseUnknownName, Severity::kError, s.loc,
+                   "no port '" + formal + "' on '" + s.model + "'");
+        continue;
+      }
+      if (!connected.insert(*port).second) {
+        sink_->add(DiagCode::kParseDuplicateName, Severity::kError, s.loc,
+                   "port '" + formal + "' of '" + s.model +
+                       "' connected twice");
+        continue;
+      }
+      mod.connect(inst, *port, net_of(mod, actual));
+    }
+  }
+
+  const BlifFile* file_;
+  std::shared_ptr<const Library> lib_;
+  DiagnosticSink* sink_;
+  BlifBuildOptions opts_;
+  std::vector<std::vector<NamesRes>> names_res_;
+  std::vector<ModuleId> module_of_;
+  std::unordered_map<std::string, std::size_t> model_by_name_;
+  std::set<std::pair<std::size_t, std::uint32_t>> cyclic_;
+};
+
+}  // namespace
+
+Design build_blif_design(const BlifFile& file,
+                         std::shared_ptr<const Library> lib,
+                         DiagnosticSink& sink, BlifBuildOptions opts) {
+  return Builder(file, std::move(lib), sink, std::move(opts)).run();
+}
+
+ClockSet default_blif_clocks(const Design& design, TimePs period) {
+  std::vector<const ModulePort*> clocks;
+  for (const ModulePort& p : design.top().ports()) {
+    if (p.is_clock) clocks.push_back(&p);
+  }
+  if (clocks.empty()) {
+    throw Error("design '" + design.name() +
+                "' has no clock ports; supply a timing spec");
+  }
+  ClockSet set;
+  const TimePs n = static_cast<TimePs>(clocks.size());
+  const TimePs width = std::max<TimePs>(1, period / (2 * n));
+  for (std::size_t i = 0; i < clocks.size(); ++i) {
+    const TimePs rise = period * static_cast<TimePs>(i) / n;
+    set.add_simple_clock(clocks[i]->name, period, rise, rise + width);
+  }
+  return set;
+}
+
+}  // namespace hb

@@ -1,0 +1,50 @@
+// BLIF AST -> Design elaboration.
+//
+// Expands every `.names`/`.latch`/`.subckt`/`.gate` primitive into a
+// library-cell or submodule instance whose pins become individual timing-
+// graph nodes, following the pin-expansion pattern of esta's
+// BlifTimingGraphBuilder (SNIPPETS.md Snippet 1):
+//
+//   * `.gate` / `.subckt` map directly onto library cells / sibling models;
+//   * `.names` covers are canonicalised to a truth-table mask and matched
+//     against the standard-cell functions; unmatched functions synthesise a
+//     deterministic LUT cell (per-input unateness derived from the mask)
+//     into a copy of the library, and constants become TIE0/TIE1 cells;
+//   * `.latch` maps onto the paper's synchronising elements: fe -> DFFT
+//     (trailing edge), re -> DFFL (leading edge), ah -> TLATCH,
+//     al -> TLATCHN; a latch without a control net binds to the model's
+//     sole `.clock` port.
+//
+// Problems (unknown cells, unmappable latches, hierarchy cycles, covers
+// beyond the LUT input cap) become sink diagnostics and the offending
+// primitive is skipped, mirroring the recovering-parser contract.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "clocks/waveform.hpp"
+#include "netlist/blif_parser.hpp"
+#include "netlist/design.hpp"
+
+namespace hb {
+
+struct BlifBuildOptions {
+  /// Model to use as the top; empty selects the file's first model.
+  std::string top;
+};
+
+/// Elaborate a parsed BLIF file against `lib`.  The Design's library is
+/// `lib` itself unless `.names` functions force synthesised LUT/TIE cells,
+/// in which case it is an extended copy.
+Design build_blif_design(const BlifFile& file,
+                         std::shared_ptr<const Library> lib,
+                         DiagnosticSink& sink, BlifBuildOptions opts = {});
+
+/// Fallback clocks for BLIF inputs analysed without a timing spec: one
+/// simple clock per top-level clock port, pulses staggered evenly across
+/// `period` so multi-clock designs stay analysable out of the box.  Throws
+/// hb::Error when the design has no clock ports.
+ClockSet default_blif_clocks(const Design& design, TimePs period);
+
+}  // namespace hb

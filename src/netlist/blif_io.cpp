@@ -1,0 +1,185 @@
+#include "netlist/blif_io.hpp"
+
+#include <ostream>
+#include <sstream>
+#include <unordered_set>
+#include <vector>
+
+#include "netlist/blif_builder.hpp"
+#include "netlist/blif_parser.hpp"
+#include "util/diagnostics.hpp"
+#include "util/error.hpp"
+
+namespace hb {
+namespace {
+
+/// Latch-type field for the canonical synchronising cells; nullptr for
+/// every other cell (emitted as `.gate` instead).
+const char* latch_type_of(const Cell& cell) {
+  if (!cell.has_sync() || cell.ports().size() != 3) return nullptr;
+  if (cell.name() == "DFFT") return "fe";
+  if (cell.name() == "DFFL") return "re";
+  if (cell.name() == "TLATCH") return "ah";
+  if (cell.name() == "TLATCHN") return "al";
+  return nullptr;
+}
+
+/// BLIF identifier for every net of a module.  Port-bound nets take the
+/// port's name (the BLIF port identifier *is* the net); the rest keep
+/// their own names, uniquified against the used set.  Net names never
+/// appear in analysis reports, so uniquification cannot perturb results.
+std::vector<std::string> net_identifiers(const Module& mod) {
+  std::vector<std::string> ids(mod.num_nets());
+  std::unordered_set<std::string> used;
+  for (const ModulePort& p : mod.ports()) {
+    if (!p.net.valid()) continue;
+    std::string& id = ids[p.net.index()];
+    if (!id.empty()) {
+      throw Error("net '" + mod.net(p.net).name + "' of module '" +
+                  mod.name() + "' binds several ports; not expressible in BLIF");
+    }
+    id = p.name;
+    used.insert(p.name);
+  }
+  for (std::uint32_t n = 0; n < mod.num_nets(); ++n) {
+    std::string& id = ids[n];
+    if (!id.empty()) continue;
+    const std::string& name = mod.net(NetId(n)).name;
+    std::string candidate = name.empty() ? "n" + std::to_string(n) : name;
+    for (int suffix = 2; used.count(candidate) != 0; ++suffix) {
+      candidate = name + "_" + std::to_string(suffix);
+    }
+    used.insert(candidate);
+    id = std::move(candidate);
+  }
+  return ids;
+}
+
+void emit_ports(const Module& mod, std::ostream& os) {
+  // Maximal same-kind runs in original port order, so the reader recreates
+  // ports (and therefore timing-graph node numbering) in the same order.
+  constexpr std::size_t kNamesPerLine = 10;
+  std::size_t i = 0;
+  while (i < mod.ports().size()) {
+    const ModulePort& first = mod.port(static_cast<std::uint32_t>(i));
+    const char* directive =
+        first.is_clock ? ".clock"
+        : first.direction == PortDirection::kInput ? ".inputs"
+                                                   : ".outputs";
+    os << directive;
+    std::size_t on_line = 0;
+    for (; i < mod.ports().size(); ++i) {
+      const ModulePort& p = mod.port(static_cast<std::uint32_t>(i));
+      if (p.is_clock != first.is_clock || p.direction != first.direction) break;
+      if (on_line == kNamesPerLine) {
+        os << " \\\n  ";
+        on_line = 0;
+      }
+      os << ' ' << p.name;
+      ++on_line;
+    }
+    os << '\n';
+  }
+}
+
+void save_model(const Design& design, const Module& mod,
+                const std::string& model_name, std::ostream& os) {
+  const std::vector<std::string> ids = net_identifiers(mod);
+  const auto id_of = [&](NetId n) -> const std::string& {
+    return ids[n.index()];
+  };
+
+  os << ".model " << model_name << "\n";
+  emit_ports(mod, os);
+  for (const Instance& inst : mod.insts()) {
+    if (inst.is_cell()) {
+      const Cell& cell = design.lib().cell(inst.cell);
+      const char* latch_type = latch_type_of(cell);
+      const SyncSpec* sync = cell.has_sync() ? &cell.sync() : nullptr;
+      if (latch_type != nullptr && inst.conn[sync->data_in].valid() &&
+          inst.conn[sync->control].valid() &&
+          inst.conn[sync->data_out].valid()) {
+        os << ".latch " << id_of(inst.conn[sync->data_in]) << ' '
+           << id_of(inst.conn[sync->data_out]) << ' ' << latch_type << ' '
+           << id_of(inst.conn[sync->control]) << " 2\n";
+      } else {
+        os << ".gate " << cell.name();
+        for (std::uint32_t p = 0; p < inst.conn.size(); ++p) {
+          if (!inst.conn[p].valid()) continue;
+          os << ' ' << cell.port(p).name << '=' << id_of(inst.conn[p]);
+        }
+        os << '\n';
+      }
+    } else {
+      const Module& sub = design.module(inst.module);
+      os << ".subckt " << sub.name();
+      for (std::uint32_t p = 0; p < inst.conn.size(); ++p) {
+        if (!inst.conn[p].valid()) continue;
+        os << ' ' << sub.port(p).name << '=' << id_of(inst.conn[p]);
+      }
+      os << '\n';
+    }
+    os << ".cname " << inst.name << "\n";
+  }
+  os << ".end\n";
+}
+
+}  // namespace
+
+void save_blif(const Design& design, std::ostream& os) {
+  if (!design.top_id().valid()) throw Error("design has no top module");
+  // Top first (the BLIF convention the reader follows: first model = top,
+  // emitted under the design's name so it survives the round trip), then
+  // the remaining modules in declaration order.
+  save_model(design, design.top(), design.name(), os);
+  for (std::uint32_t m = 0; m < design.num_modules(); ++m) {
+    if (ModuleId(m) == design.top_id()) continue;
+    save_model(design, design.module(ModuleId(m)),
+               design.module(ModuleId(m)).name(), os);
+  }
+}
+
+std::string blif_to_string(const Design& design) {
+  std::ostringstream os;
+  save_blif(design, os);
+  return os.str();
+}
+
+Design load_blif(std::istream& is, std::shared_ptr<const Library> lib,
+                 DiagnosticSink& sink) {
+  const BlifFile file = parse_blif(is, sink);
+  return build_blif_design(file, std::move(lib), sink);
+}
+
+Design blif_design_from_string(const std::string& text,
+                               std::shared_ptr<const Library> lib,
+                               DiagnosticSink& sink) {
+  std::istringstream is(text);
+  return load_blif(is, std::move(lib), sink);
+}
+
+Design load_blif(std::istream& is, std::shared_ptr<const Library> lib) {
+  DiagnosticSink sink;
+  Design design = load_blif(is, std::move(lib), sink);
+  if (sink.has_errors()) raise_first_error("blif parse error", sink);
+  return design;
+}
+
+Design blif_design_from_string(const std::string& text,
+                               std::shared_ptr<const Library> lib) {
+  std::istringstream is(text);
+  return load_blif(is, std::move(lib));
+}
+
+bool is_blif_path(const std::string& path) {
+  const std::string ext = ".blif";
+  if (path.size() < ext.size()) return false;
+  for (std::size_t i = 0; i < ext.size(); ++i) {
+    const char c = path[path.size() - ext.size() + i];
+    const char lower = c >= 'A' && c <= 'Z' ? static_cast<char>(c - 'A' + 'a') : c;
+    if (lower != ext[i]) return false;
+  }
+  return true;
+}
+
+}  // namespace hb

@@ -1,0 +1,48 @@
+// BLIF serialisation and one-call load — the netlist_io counterpart for the
+// Berkeley Logic Interchange Format (subset documented in docs/FRONTEND.md).
+//
+// The writer emits a dialect the reader maps back onto the *same* Design:
+// library cells become `.gate`, the canonical synchronising cells
+// (DFFT/DFFL/TLATCH/TLATCHN) become `.latch`, submodules become sibling
+// `.model`s instantiated via `.subckt`, and every primitive is followed by
+// an ABC-style `.cname` carrying the instance name.  Ports are emitted as
+// maximal same-kind `.inputs`/`.outputs`/`.clock` runs in original port
+// order.  Together these make load_blif(save_blif(d)) reproduce d's
+// instance order, port order and names exactly, so analysis reports are
+// byte-identical (the round-trip differential suite enforces this).
+#pragma once
+
+#include <iosfwd>
+#include <memory>
+#include <string>
+
+#include "netlist/design.hpp"
+
+namespace hb {
+
+class DiagnosticSink;
+struct BlifBuildOptions;
+
+/// Serialise to BLIF; throws hb::Error for designs BLIF cannot express
+/// (a net bound to more than one module port).
+void save_blif(const Design& design, std::ostream& os);
+std::string blif_to_string(const Design& design);
+
+/// Recovering parse + elaborate: every problem lands in `sink` and the
+/// result holds whatever parsed cleanly; callers must check
+/// sink.has_errors() before trusting it.
+Design load_blif(std::istream& is, std::shared_ptr<const Library> lib,
+                 DiagnosticSink& sink);
+Design blif_design_from_string(const std::string& text,
+                               std::shared_ptr<const Library> lib,
+                               DiagnosticSink& sink);
+
+/// Fail-fast variants: throw hb::Error on the first error-severity finding.
+Design load_blif(std::istream& is, std::shared_ptr<const Library> lib);
+Design blif_design_from_string(const std::string& text,
+                               std::shared_ptr<const Library> lib);
+
+/// True when `path` names a BLIF file (".blif" extension, case-insensitive).
+bool is_blif_path(const std::string& path);
+
+}  // namespace hb

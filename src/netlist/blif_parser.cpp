@@ -1,0 +1,360 @@
+#include "netlist/blif_parser.hpp"
+
+#include <sstream>
+#include <unordered_set>
+
+namespace hb {
+namespace {
+
+/// A token tagged with the physical line it came from; BLIF logical lines
+/// can span several physical lines via `\` continuations.
+struct Tok {
+  std::string text;
+  int line = 0;
+  int col = 0;
+};
+
+/// Statement-level parse failure; caught by the statement loop, which
+/// records the diagnostic and resynchronises at the next logical line.
+struct ParseAbort {
+  Diagnostic diag;
+};
+
+[[noreturn]] void fail(DiagCode code, int line, int col, std::string msg,
+                       std::string hint = {}) {
+  throw ParseAbort{
+      Diagnostic{code, Severity::kError, SourceLoc{line, col}, std::move(msg),
+                 std::move(hint)}};
+}
+
+class BlifParser {
+ public:
+  explicit BlifParser(DiagnosticSink& sink) : sink_(&sink) {}
+
+  BlifFile run(std::istream& is) {
+    std::vector<Tok> toks;
+    while (next_logical_line(is, toks)) {
+      if (toks.empty()) continue;
+      try {
+        dispatch(toks);
+      } catch (const ParseAbort& abort) {
+        sink_->add(abort.diag);
+      }
+    }
+    if (in_model_) {
+      // Lenient like every BLIF consumer: a missing final `.end` is worth
+      // flagging but does not invalidate the model.
+      sink_->add(DiagCode::kParseUnterminated, Severity::kWarning,
+                 SourceLoc{lineno_, 0},
+                 "missing `.end` at end of file", "end models with `.end`");
+    }
+    if (file_.models.empty()) {
+      sink_->add(DiagCode::kParseEmptyInput, Severity::kFatal, SourceLoc{},
+                 "input declares no model",
+                 "BLIF files start with `.model <name>`");
+    }
+    return std::move(file_);
+  }
+
+ private:
+  /// Read one logical line: physical lines joined while each ends with a
+  /// `\` continuation (after comment stripping).  Token columns point into
+  /// the physical line each token appeared on.
+  bool next_logical_line(std::istream& is, std::vector<Tok>& out) {
+    out.clear();
+    std::string line;
+    bool any = false;
+    while (std::getline(is, line)) {
+      any = true;
+      ++lineno_;
+      const auto hash = line.find('#');
+      if (hash != std::string::npos) line.resize(hash);
+      while (!line.empty() &&
+             (line.back() == ' ' || line.back() == '\t' || line.back() == '\r')) {
+        line.pop_back();
+      }
+      bool continued = false;
+      if (!line.empty() && line.back() == '\\') {
+        continued = true;
+        line.pop_back();
+      }
+      for (Token& t : split_tokens(line)) {
+        out.push_back(Tok{std::move(t.text), lineno_, t.col});
+      }
+      if (!continued) return true;
+    }
+    return any || !out.empty();
+  }
+
+  BlifModel& model() { return file_.models.back(); }
+
+  void dispatch(const std::vector<Tok>& toks) {
+    const Tok& head = toks[0];
+    if (head.text[0] != '.') {
+      // Bare line: only legal as a cover row of an open `.names`.
+      if (names_open_) {
+        cover_row(toks);
+        return;
+      }
+      fail(DiagCode::kParseSyntax, head.line, head.col,
+           "expected a `.` directive",
+           "truth-table rows are only legal after `.names`");
+    }
+    // Any directive other than a cover row ends the open `.names` table.
+    names_open_ = false;
+
+    const std::string& kw = head.text;
+    if (kw == ".model") {
+      begin_model(toks);
+    } else if (!in_model_) {
+      fail(DiagCode::kParseStructure, head.line, head.col,
+           "statement outside a model: " + kw,
+           "open a model with `.model <name>` first");
+    } else if (kw == ".inputs") {
+      declare_ports(toks, PortDirection::kInput, false);
+    } else if (kw == ".outputs") {
+      declare_ports(toks, PortDirection::kOutput, false);
+    } else if (kw == ".clock") {
+      declare_ports(toks, PortDirection::kInput, true);
+    } else if (kw == ".names") {
+      begin_names(toks);
+    } else if (kw == ".latch") {
+      latch(toks);
+    } else if (kw == ".subckt" || kw == ".gate") {
+      subckt(toks, /*is_gate=*/kw == ".gate");
+    } else if (kw == ".cname") {
+      cname(toks);
+    } else if (kw == ".end") {
+      in_model_ = false;
+    } else {
+      // Unknown dot-directives (`.default_input_arrival`, `.area`, ...) are
+      // common in SIS-era files and carry nothing the analyser needs.
+      sink_->add(DiagCode::kParseUnknownKeyword, Severity::kWarning,
+                 SourceLoc{head.line, head.col},
+                 "ignoring unsupported directive " + kw);
+    }
+  }
+
+  void begin_model(const std::vector<Tok>& toks) {
+    if (in_model_) {
+      sink_->add(DiagCode::kParseUnterminated, Severity::kError,
+                 SourceLoc{toks[0].line, toks[0].col},
+                 "missing `.end` before `.model`",
+                 "previous model closed implicitly");
+    }
+    std::string name;
+    if (toks.size() != 2) {
+      // Recover with a placeholder so following statements still attach.
+      name = "<anon" + std::to_string(file_.models.size()) + ">";
+      sink_->add(DiagCode::kParseSyntax, Severity::kError,
+                 SourceLoc{toks[0].line, toks[0].col},
+                 "expected `.model <name>`");
+    } else {
+      name = toks[1].text;
+      for (const BlifModel& m : file_.models) {
+        if (m.name == name) {
+          sink_->add(DiagCode::kParseDuplicateName, Severity::kError,
+                     SourceLoc{toks[1].line, toks[1].col},
+                     "duplicate model '" + name + "'");
+          break;
+        }
+      }
+    }
+    BlifModel m;
+    m.name = std::move(name);
+    m.loc = SourceLoc{toks[0].line, toks[0].col};
+    file_.models.push_back(std::move(m));
+    port_names_.clear();
+    in_model_ = true;
+  }
+
+  void declare_ports(const std::vector<Tok>& toks, PortDirection dir,
+                     bool is_clock) {
+    for (std::size_t i = 1; i < toks.size(); ++i) {
+      if (!port_names_.insert(toks[i].text).second) {
+        sink_->add(DiagCode::kParseDuplicateName, Severity::kError,
+                   SourceLoc{toks[i].line, toks[i].col},
+                   "duplicate port '" + toks[i].text + "'");
+        continue;
+      }
+      model().ports.push_back(BlifModel::PortDecl{
+          toks[i].text, dir, is_clock, SourceLoc{toks[i].line, toks[i].col}});
+    }
+  }
+
+  void begin_names(const std::vector<Tok>& toks) {
+    if (toks.size() < 2) {
+      fail(DiagCode::kParseSyntax, toks[0].line, toks[0].col,
+           "expected `.names <input...> <output>`");
+    }
+    BlifNames n;
+    for (std::size_t i = 1; i < toks.size(); ++i) n.nets.push_back(toks[i].text);
+    n.loc = SourceLoc{toks[0].line, toks[0].col};
+    model().order.push_back(
+        {BlifModel::PrimRef::kNames,
+         static_cast<std::uint32_t>(model().names.size())});
+    model().names.push_back(std::move(n));
+    names_open_ = true;
+  }
+
+  void cover_row(const std::vector<Tok>& toks) {
+    BlifNames& n = model().names.back();
+    const std::size_t num_inputs = n.nets.size() - 1;
+    BlifCover row;
+    const Tok* out_tok = nullptr;
+    if (num_inputs == 0) {
+      if (toks.size() != 1) {
+        fail(DiagCode::kParseSyntax, toks[0].line, toks[0].col,
+             "constant cover row must be a single output value");
+      }
+      out_tok = &toks[0];
+    } else {
+      if (toks.size() != 2) {
+        fail(DiagCode::kParseSyntax, toks[0].line, toks[0].col,
+             "expected `<input-plane> <output>`");
+      }
+      row.inputs = toks[0].text;
+      if (row.inputs.size() != num_inputs) {
+        fail(DiagCode::kParseSyntax, toks[0].line, toks[0].col,
+             "input plane has " + std::to_string(row.inputs.size()) +
+                 " columns, `.names` lists " + std::to_string(num_inputs) +
+                 " inputs");
+      }
+      for (std::size_t i = 0; i < row.inputs.size(); ++i) {
+        const char c = row.inputs[i];
+        if (c != '0' && c != '1' && c != '-') {
+          fail(DiagCode::kParseSyntax, toks[0].line,
+               toks[0].col + static_cast<int>(i),
+               std::string("bad input-plane character '") + c + "'",
+               "use 0, 1 or -");
+        }
+      }
+      out_tok = &toks[1];
+    }
+    if (out_tok->text != "0" && out_tok->text != "1") {
+      fail(DiagCode::kParseSyntax, out_tok->line, out_tok->col,
+           "bad output value '" + out_tok->text + "'", "use 0 or 1");
+    }
+    row.output = out_tok->text[0];
+    if (!n.cover.empty() && n.cover.front().output != row.output) {
+      fail(DiagCode::kParseSyntax, out_tok->line, out_tok->col,
+           "mixed output values in one cover",
+           "every row of a `.names` table must share the output value");
+    }
+    n.cover.push_back(std::move(row));
+  }
+
+  void latch(const std::vector<Tok>& toks) {
+    const std::size_t argc = toks.size() - 1;
+    if (argc < 2 || argc > 5) {
+      fail(DiagCode::kParseSyntax, toks[0].line, toks[0].col,
+           "expected `.latch <input> <output> [<type> <control>] [<init>]`");
+    }
+    BlifLatch l;
+    l.input = toks[1].text;
+    l.output = toks[2].text;
+    l.loc = SourceLoc{toks[0].line, toks[0].col};
+    // argc 2: in out; 3: in out init; 4: in out type control;
+    // 5: in out type control init.
+    if (argc == 4 || argc == 5) {
+      const Tok& type = toks[3];
+      if (type.text == "fe") {
+        l.type = BlifLatchType::kFallingEdge;
+      } else if (type.text == "re") {
+        l.type = BlifLatchType::kRisingEdge;
+      } else if (type.text == "ah") {
+        l.type = BlifLatchType::kActiveHigh;
+      } else if (type.text == "al") {
+        l.type = BlifLatchType::kActiveLow;
+      } else if (type.text == "as") {
+        l.type = BlifLatchType::kAlways;
+      } else {
+        fail(DiagCode::kParseSyntax, type.line, type.col,
+             "bad latch type '" + type.text + "'",
+             "use fe, re, ah, al or as");
+      }
+      if (toks[4].text != "NIL") l.control = toks[4].text;
+    }
+    if (argc == 3 || argc == 5) {
+      const Tok& init = toks.back();
+      if (init.text.size() != 1 || init.text[0] < '0' || init.text[0] > '3') {
+        fail(DiagCode::kParseBadNumber, init.line, init.col,
+             "bad latch initial value '" + init.text + "'",
+             "use 0, 1, 2 (don't care) or 3 (unknown)");
+      }
+      l.init = init.text[0] - '0';
+    }
+    model().order.push_back(
+        {BlifModel::PrimRef::kLatch,
+         static_cast<std::uint32_t>(model().latches.size())});
+    model().latches.push_back(std::move(l));
+  }
+
+  void subckt(const std::vector<Tok>& toks, bool is_gate) {
+    if (toks.size() < 3) {
+      fail(DiagCode::kParseSyntax, toks[0].line, toks[0].col,
+           "expected `" + toks[0].text + " <name> <formal>=<actual>...`");
+    }
+    BlifSubckt s;
+    s.model = toks[1].text;
+    s.is_gate = is_gate;
+    s.loc = SourceLoc{toks[0].line, toks[0].col};
+    for (std::size_t i = 2; i < toks.size(); ++i) {
+      const auto eq = toks[i].text.find('=');
+      if (eq == std::string::npos || eq == 0 || eq + 1 == toks[i].text.size()) {
+        fail(DiagCode::kParseSyntax, toks[i].line, toks[i].col,
+             "expected <formal>=<actual>, got '" + toks[i].text + "'");
+      }
+      s.conns.emplace_back(toks[i].text.substr(0, eq),
+                           toks[i].text.substr(eq + 1));
+    }
+    model().order.push_back(
+        {BlifModel::PrimRef::kSubckt,
+         static_cast<std::uint32_t>(model().subckts.size())});
+    model().subckts.push_back(std::move(s));
+  }
+
+  void cname(const std::vector<Tok>& toks) {
+    if (toks.size() != 2) {
+      fail(DiagCode::kParseSyntax, toks[0].line, toks[0].col,
+           "expected `.cname <name>`");
+    }
+    if (model().order.empty()) {
+      fail(DiagCode::kParseStructure, toks[0].line, toks[0].col,
+           "`.cname` with no preceding primitive",
+           "place it directly after a .names/.latch/.subckt/.gate");
+    }
+    const BlifModel::PrimRef ref = model().order.back();
+    switch (ref.kind) {
+      case BlifModel::PrimRef::kNames:
+        model().names[ref.index].cname = toks[1].text;
+        break;
+      case BlifModel::PrimRef::kLatch:
+        model().latches[ref.index].cname = toks[1].text;
+        break;
+      case BlifModel::PrimRef::kSubckt:
+        model().subckts[ref.index].cname = toks[1].text;
+        break;
+    }
+  }
+
+  DiagnosticSink* sink_;
+  BlifFile file_;
+  std::unordered_set<std::string> port_names_;
+  int lineno_ = 0;
+  bool in_model_ = false;
+  bool names_open_ = false;
+};
+
+}  // namespace
+
+BlifFile parse_blif(std::istream& is, DiagnosticSink& sink) {
+  return BlifParser(sink).run(is);
+}
+
+BlifFile parse_blif_string(const std::string& text, DiagnosticSink& sink) {
+  std::istringstream is(text);
+  return parse_blif(is, sink);
+}
+
+}  // namespace hb

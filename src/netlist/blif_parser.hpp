@@ -1,0 +1,108 @@
+// Recovering BLIF tokenizer and parser.
+//
+// Parses the Berkeley Logic Interchange Format subset documented in
+// docs/FRONTEND.md into a faithful AST (BlifFile).  Like the native netlist
+// parser, it never dies on the first problem: every malformed statement
+// becomes a Diagnostic in the caller's sink and parsing resynchronises at
+// the next statement, so one run surfaces every finding in the file.
+//
+// The AST keeps source locations and the exact primitive declaration order;
+// BlifDesignBuilder (blif_builder.hpp) turns it into a Design.
+#pragma once
+
+#include <cstdint>
+#include <istream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "netlist/library.hpp"
+#include "util/diagnostics.hpp"
+
+namespace hb {
+
+/// One PLA cover row of a `.names` truth table: the input plane over
+/// {0,1,-} and the output value.  For zero-input constants the input plane
+/// is empty and only the output carries information.
+struct BlifCover {
+  std::string inputs;
+  char output = '1';
+};
+
+/// `.names <in...> <out>` logic function.
+struct BlifNames {
+  std::vector<std::string> nets;  // inputs then, last, the output
+  std::vector<BlifCover> cover;
+  std::string cname;  // instance name from a following `.cname`; may be empty
+  SourceLoc loc;
+};
+
+/// `.latch` control semantics (latch type field).
+enum class BlifLatchType {
+  kFallingEdge,  // fe
+  kRisingEdge,   // re
+  kActiveHigh,   // ah
+  kActiveLow,    // al
+  kAlways,       // as
+  kUnspecified,  // no type field in the file
+};
+
+/// `.latch <input> <output> [<type> <control>] [<init>]`.
+struct BlifLatch {
+  std::string input;
+  std::string output;
+  BlifLatchType type = BlifLatchType::kUnspecified;
+  std::string control;  // clock net; empty when unspecified
+  int init = 3;         // 0, 1, 2 (don't care) or 3 (unknown)
+  std::string cname;
+  SourceLoc loc;
+};
+
+/// `.subckt <model> <formal>=<actual>...` or `.gate <cell> <pin>=<net>...`.
+/// `.gate` resolves against the library only; `.subckt` prefers a model in
+/// the same file and falls back to a library cell.
+struct BlifSubckt {
+  std::string model;
+  bool is_gate = false;
+  std::vector<std::pair<std::string, std::string>> conns;  // formal -> actual
+  std::string cname;
+  SourceLoc loc;
+};
+
+struct BlifModel {
+  /// Reference to one primitive of a model, in declaration order.
+  struct PrimRef {
+    enum Kind : std::uint8_t { kNames, kLatch, kSubckt } kind;
+    std::uint32_t index;  // into the matching vector below
+  };
+  /// One name from a `.inputs` / `.outputs` / `.clock` run.  Declaration
+  /// order across all runs is preserved, so the rebuilt module's port order
+  /// (and therefore node/SyncId numbering) matches the file.
+  struct PortDecl {
+    std::string name;
+    PortDirection dir = PortDirection::kInput;
+    bool is_clock = false;
+    SourceLoc loc;
+  };
+
+  std::string name;
+  std::vector<PortDecl> ports;
+  std::vector<BlifNames> names;
+  std::vector<BlifLatch> latches;
+  std::vector<BlifSubckt> subckts;
+  std::vector<PrimRef> order;
+  SourceLoc loc;
+};
+
+struct BlifFile {
+  /// Models in file order; by BLIF convention the first model is the top.
+  std::vector<BlifModel> models;
+};
+
+/// Parse BLIF text, recording every problem in `sink` and recovering at the
+/// next statement.  Handles `#` comments and `\` line continuations; token
+/// locations always name the physical line the token appeared on.
+BlifFile parse_blif(std::istream& is, DiagnosticSink& sink);
+BlifFile parse_blif_string(const std::string& text, DiagnosticSink& sink);
+
+}  // namespace hb

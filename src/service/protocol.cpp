@@ -5,6 +5,8 @@
 #include <ostream>
 
 #include "clocks/clock_io.hpp"
+#include "netlist/blif_builder.hpp"
+#include "netlist/blif_io.hpp"
 #include "netlist/library_io.hpp"
 #include "netlist/netlist_io.hpp"
 #include "netlist/stdcells.hpp"
@@ -46,14 +48,22 @@ QueryResult ServiceHost::load(const std::string& netlist_path,
       return make_error(DiagCode::kServiceRejected,
                         "cannot open netlist '" + netlist_path + "'");
     }
-    Design design = load_netlist(nf, lib);
+    Design design = is_blif_path(netlist_path) ? load_blif(nf, lib)
+                                               : load_netlist(nf, lib);
 
-    std::ifstream sf(spec_path);
-    if (!sf) {
-      return make_error(DiagCode::kServiceRejected,
-                        "cannot open timing spec '" + spec_path + "'");
+    // "-" in place of a spec file derives default clocks from the design's
+    // clock ports (BLIF netlists usually carry no companion spec).
+    TimingSpec spec;
+    if (spec_path == "-") {
+      spec.clocks = default_blif_clocks(design, ns(20));
+    } else {
+      std::ifstream sf(spec_path);
+      if (!sf) {
+        return make_error(DiagCode::kServiceRejected,
+                          "cannot open timing spec '" + spec_path + "'");
+      }
+      spec = load_timing_spec(sf);
     }
-    const TimingSpec spec = load_timing_spec(sf);
 
     HummingbirdOptions analysis = config_.analysis;
     analysis.sync.input_arrivals = spec.input_arrivals;
@@ -156,10 +166,12 @@ std::vector<std::string> protocol_help_lines() {
       "  set_delay <inst> <time>  add delay to an instance (pending edit)",
       "  upsize <inst>            swap to the next stronger variant",
       "  commit                   re-analyse edits, publish next snapshot",
+      "  check_hold [<margin>]    supplementary hold check on the live analysis",
       "  deadline <ms>            per-request deadline (0 = unlimited)",
       "  stats                    service counters and latency percentiles",
       "  ping                     liveness check",
-      "  load <netlist> <spec> [<lib>]  start a session from files",
+      "  load <netlist> <spec> [<lib>]  start a session from files"
+      " (.blif netlists accepted; spec `-` derives clocks from clock ports)",
       "  batch <N>                execute the next N lines as one batch",
       "  help                     this text",
       "  quit                     end the connection",

@@ -26,6 +26,7 @@ constexpr VerbSpec kVerbs[] = {
     {"set_delay", QueryVerb::kSetDelay, 2, 2},
     {"upsize", QueryVerb::kUpsize, 1, 1},
     {"commit", QueryVerb::kCommit, 0, 0},
+    {"check_hold", QueryVerb::kCheckHold, 0, 1},
     {"deadline", QueryVerb::kDeadline, 1, 1},
     {"stats", QueryVerb::kStats, 0, 0},
     {"ping", QueryVerb::kPing, 0, 0},
@@ -64,8 +65,8 @@ bool is_write_query(QueryVerb verb) {
 
 bool is_session_query(QueryVerb verb) {
   return is_read_query(verb) || is_write_query(verb) ||
-         verb == QueryVerb::kDeadline || verb == QueryVerb::kStats ||
-         verb == QueryVerb::kPing;
+         verb == QueryVerb::kCheckHold || verb == QueryVerb::kDeadline ||
+         verb == QueryVerb::kStats || verb == QueryVerb::kPing;
 }
 
 QueryResult make_ok(std::string header) {
@@ -162,6 +163,19 @@ ParsedQuery parse_query(const std::string& line) {
       }
       q.number = delta;
       canon_args = q.args[0] + " " + std::to_string(delta);
+      break;
+    }
+    case QueryVerb::kCheckHold: {
+      TimePs margin = 0;
+      if (!q.args.empty()) {
+        try {
+          margin = parse_time(q.args[0]);
+        } catch (const Error& e) {
+          return fail(std::move(q), DiagCode::kParseBadNumber, e.what());
+        }
+      }
+      q.number = margin;
+      canon_args = std::to_string(margin);
       break;
     }
     case QueryVerb::kDeadline: {

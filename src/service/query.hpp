@@ -31,6 +31,7 @@ enum class QueryVerb {
   kUpsize,
   kCommit,
   // Session control (neither cached nor written).
+  kCheckHold,
   kDeadline,
   kStats,
   kPing,

@@ -397,10 +397,36 @@ QueryResult Session::do_commit(BudgetTimer*) {
 // ---------------------------------------------------------------------------
 // Control queries.
 
+// Supplementary hold-time check (hold_check.hpp).  Runs against the live
+// analyser rather than a snapshot: the per-pair minimum-delay sweeps need the
+// engine's cluster structures, which snapshots deliberately do not capture.
+// It therefore takes the writer lock (the analyser must not be mutated
+// mid-sweep) and then the pool lock — the same order do_commit uses.
+QueryResult Session::do_check_hold(const ParsedQuery& q) {
+  const TimePs margin = q.number;
+  std::lock_guard<std::mutex> writer(writer_mutex_);
+  std::vector<HoldViolation> holds;
+  {
+    std::lock_guard<std::mutex> pool_lock(pool_mutex_);
+    holds = hb_->check_hold_times(margin, pool_.get());
+  }
+  const SyncModel& sync = hb_->sync_model();
+  QueryResult r = make_ok("ok check_hold " + fmt_ps(margin) + " violations " +
+                          std::to_string(holds.size()));
+  for (const HoldViolation& v : holds) {
+    r.lines.push_back("  hold " + sync.at(v.launch).label + " -> " +
+                      sync.at(v.capture).label + " margin " +
+                      fmt_ps(v.margin));
+  }
+  return r;
+}
+
 QueryResult Session::execute_control(const ParsedQuery& q) {
   switch (q.verb) {
     case QueryVerb::kPing:
       return make_ok("ok pong");
+    case QueryVerb::kCheckHold:
+      return do_check_hold(q);
     case QueryVerb::kDeadline: {
       deadline_ms_.store(q.fraction, std::memory_order_relaxed);
       return make_ok("ok deadline_ms " + q.args[0]);

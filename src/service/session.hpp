@@ -114,6 +114,7 @@ class Session {
                             BudgetTimer& timer) const;
   QueryResult execute_write(const ParsedQuery& q, BudgetTimer* timer);
   QueryResult execute_control(const ParsedQuery& q);
+  QueryResult do_check_hold(const ParsedQuery& q);
   QueryResult do_set_delay(const ParsedQuery& q);
   QueryResult do_upsize(const ParsedQuery& q);
   QueryResult do_commit(BudgetTimer* timer);

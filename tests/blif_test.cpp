@@ -1,0 +1,391 @@
+// BLIF frontend corpus tests.
+//
+// Three layers, mirroring the recovering-parser contract of the native
+// netlist format:
+//   * malformed-input corpus with *exact* DiagCode / Severity / SourceLoc
+//     expectations — the diagnostics are a stable tooling interface;
+//   * elaboration semantics: cover canonicalisation onto standard cells,
+//     LUT/TIE synthesis, `.latch` -> synchronising-element mapping, implicit
+//     clock binding, hierarchy and its failure modes;
+//   * checked-in fixture corpus (tests/blif/*.blif) diffed against summary
+//     goldens; set HB_UPDATE_GOLDENS=1 to regenerate after intended changes.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "netlist/blif_builder.hpp"
+#include "netlist/blif_io.hpp"
+#include "netlist/blif_parser.hpp"
+#include "netlist/stdcells.hpp"
+#include "netlist/validate.hpp"
+#include "sta/hummingbird.hpp"
+#include "sta/report.hpp"
+#include "util/diagnostics.hpp"
+
+#ifndef HB_BLIF_DIR
+#define HB_BLIF_DIR "tests/blif"
+#endif
+
+namespace hb {
+namespace {
+
+struct DiagExpect {
+  DiagCode code;
+  Severity severity;
+  int line;
+  int col;
+};
+
+void expect_diags(const DiagnosticSink& sink,
+                  const std::vector<DiagExpect>& want) {
+  ASSERT_EQ(sink.size(), want.size()) << sink.to_string();
+  for (std::size_t i = 0; i < want.size(); ++i) {
+    SCOPED_TRACE("diagnostic " + std::to_string(i));
+    const Diagnostic& d = sink.all()[i];
+    EXPECT_EQ(d.code, want[i].code) << d.to_string();
+    EXPECT_EQ(d.severity, want[i].severity) << d.to_string();
+    EXPECT_EQ(d.loc.line, want[i].line) << d.to_string();
+    EXPECT_EQ(d.loc.col, want[i].col) << d.to_string();
+  }
+}
+
+// ---------------------------------------------------------------- parser --
+
+TEST(BlifParserTest, AstStructureWithContinuationsAndComments) {
+  DiagnosticSink sink;
+  const BlifFile file = parse_blif_string(
+      ".model m   # trailing comment\n"
+      ".inputs a \\\n"
+      "  b\n"
+      ".clock clk\n"
+      ".outputs y\n"
+      ".names a b y\n"
+      "1- 1\n"
+      "-1 1\n"
+      ".cname u_or\n"
+      ".latch y q re clk 2\n"
+      ".end\n",
+      sink);
+  EXPECT_TRUE(sink.empty()) << sink.to_string();
+  ASSERT_EQ(file.models.size(), 1u);
+  const BlifModel& m = file.models[0];
+  EXPECT_EQ(m.name, "m");
+  ASSERT_EQ(m.ports.size(), 4u);
+  EXPECT_EQ(m.ports[0].name, "a");
+  EXPECT_EQ(m.ports[1].name, "b");
+  EXPECT_EQ(m.ports[1].loc.line, 3);  // continuation token keeps its line
+  EXPECT_TRUE(m.ports[2].is_clock);
+  EXPECT_EQ(m.ports[3].dir, PortDirection::kOutput);
+  ASSERT_EQ(m.names.size(), 1u);
+  EXPECT_EQ(m.names[0].nets, (std::vector<std::string>{"a", "b", "y"}));
+  ASSERT_EQ(m.names[0].cover.size(), 2u);
+  EXPECT_EQ(m.names[0].cname, "u_or");
+  ASSERT_EQ(m.latches.size(), 1u);
+  EXPECT_EQ(m.latches[0].type, BlifLatchType::kRisingEdge);
+  EXPECT_EQ(m.latches[0].control, "clk");
+  EXPECT_EQ(m.latches[0].init, 2);
+  ASSERT_EQ(m.order.size(), 2u);
+  EXPECT_EQ(m.order[0].kind, BlifModel::PrimRef::kNames);
+  EXPECT_EQ(m.order[1].kind, BlifModel::PrimRef::kLatch);
+}
+
+TEST(BlifParserTest, MalformedCorpusExactDiagnostics) {
+  struct Case {
+    const char* name;
+    const char* text;
+    std::vector<DiagExpect> want;
+  };
+  const std::vector<Case> cases = {
+      {"empty input", "",
+       {{DiagCode::kParseEmptyInput, Severity::kFatal, 0, 0}}},
+      {"statement outside model", ".inputs a\n",
+       {{DiagCode::kParseStructure, Severity::kError, 1, 1},
+        {DiagCode::kParseEmptyInput, Severity::kFatal, 0, 0}}},
+      {"model without name", ".model\n.end\n",
+       {{DiagCode::kParseSyntax, Severity::kError, 1, 1}}},
+      {"bare line outside names", ".model m\n11 1\n.end\n",
+       {{DiagCode::kParseSyntax, Severity::kError, 2, 1}}},
+      {"unknown directive is a warning", ".model m\n.area 42\n.end\n",
+       {{DiagCode::kParseUnknownKeyword, Severity::kWarning, 2, 1}}},
+      {"bad latch type", ".model m\n.latch a b xx c 2\n.end\n",
+       {{DiagCode::kParseSyntax, Severity::kError, 2, 12}}},
+      {"bad latch init", ".model m\n.latch a b 7\n.end\n",
+       {{DiagCode::kParseBadNumber, Severity::kError, 2, 12}}},
+      {"plane width mismatch", ".model m\n.names a b y\n1 1\n.end\n",
+       {{DiagCode::kParseSyntax, Severity::kError, 3, 1}}},
+      {"bad plane character", ".model m\n.names a y\nx 1\n.end\n",
+       {{DiagCode::kParseSyntax, Severity::kError, 3, 1}}},
+      {"bad output value", ".model m\n.names a y\n1 2\n.end\n",
+       {{DiagCode::kParseSyntax, Severity::kError, 3, 3}}},
+      {"mixed cover outputs", ".model m\n.names a b y\n11 1\n00 0\n.end\n",
+       {{DiagCode::kParseSyntax, Severity::kError, 4, 4}}},
+      {"duplicate port", ".model m\n.inputs a a\n.end\n",
+       {{DiagCode::kParseDuplicateName, Severity::kError, 2, 11}}},
+      {"duplicate model", ".model m\n.end\n.model m\n.end\n",
+       {{DiagCode::kParseDuplicateName, Severity::kError, 3, 8}}},
+      {"missing .end before .model", ".model a\n.model b\n.end\n",
+       {{DiagCode::kParseUnterminated, Severity::kError, 2, 1}}},
+      {"missing final .end", ".model m\n.inputs a\n",
+       {{DiagCode::kParseUnterminated, Severity::kWarning, 2, 0}}},
+      {"cname without primitive", ".model m\n.cname x\n.end\n",
+       {{DiagCode::kParseStructure, Severity::kError, 2, 1}}},
+      {"subckt conn without equals", ".model m\n.gate NAND2X1 A=x B\n.end\n",
+       {{DiagCode::kParseSyntax, Severity::kError, 2, 19}}},
+      {"names without nets", ".model m\n.names\n.end\n",
+       {{DiagCode::kParseSyntax, Severity::kError, 2, 1}}},
+      {"constant row with plane", ".model m\n.names y\n1 1\n.end\n",
+       {{DiagCode::kParseSyntax, Severity::kError, 3, 1}}},
+  };
+  for (const Case& c : cases) {
+    SCOPED_TRACE(c.name);
+    DiagnosticSink sink;
+    parse_blif_string(c.text, sink);
+    expect_diags(sink, c.want);
+  }
+}
+
+TEST(BlifParserTest, RecoversPastMalformedStatements) {
+  // One bad latch must not hide the rest of the model.
+  DiagnosticSink sink;
+  const BlifFile file = parse_blif_string(
+      ".model m\n"
+      ".inputs a b\n"
+      ".outputs y q\n"
+      ".latch a q zz c 2\n"
+      ".names a b y\n"
+      "11 1\n"
+      ".end\n",
+      sink);
+  EXPECT_EQ(sink.size(), 1u);
+  ASSERT_EQ(file.models.size(), 1u);
+  EXPECT_EQ(file.models[0].latches.size(), 0u);
+  ASSERT_EQ(file.models[0].names.size(), 1u);
+  EXPECT_EQ(file.models[0].names[0].cover.size(), 1u);
+}
+
+// --------------------------------------------------------------- builder --
+
+std::shared_ptr<const Library> lib() {
+  static std::shared_ptr<const Library> l = make_standard_library();
+  return l;
+}
+
+const Cell& sole_cell(const Design& d, const char* inst) {
+  const InstId id = d.top().find_inst(inst);
+  EXPECT_TRUE(id.valid()) << "no instance " << inst;
+  return d.lib().cell(d.top().inst(id).cell);
+}
+
+TEST(BlifBuilderTest, CoverCanonicalisationMatchesStandardCells) {
+  DiagnosticSink sink;
+  const Design d = blif_design_from_string(
+      ".model m\n"
+      ".inputs a b c\n"
+      ".outputs y0 y1 y2 y3\n"
+      ".names a b y0\n"   // ON-set with don't-cares: !a | !b == NAND2
+      "0- 1\n"
+      "-0 1\n"
+      ".names a b y1\n"   // OFF-set form of the same function
+      "11 0\n"
+      ".names a b c y2\n" // c ? b : a == MUX2 (C is the select)
+      "1-0 1\n"
+      "-11 1\n"
+      ".names a y3\n"
+      "0 1\n"
+      ".end\n",
+      lib(), sink);
+  EXPECT_FALSE(sink.has_errors()) << sink.to_string();
+  EXPECT_EQ(sole_cell(d, "y0").name(), "NAND2X1");
+  EXPECT_EQ(sole_cell(d, "y1").name(), "NAND2X1");
+  EXPECT_EQ(sole_cell(d, "y2").name(), "MUX2X1");
+  EXPECT_EQ(sole_cell(d, "y3").name(), "INVX1");
+}
+
+TEST(BlifBuilderTest, UnmatchedCoversSynthesiseLutAndTieCells) {
+  DiagnosticSink sink;
+  const Design d = blif_design_from_string(
+      ".model m\n"
+      ".inputs a b c d\n"
+      ".outputs y k0 k1\n"
+      ".names a b c d y\n"  // 4-input odd parity: no standard cell
+      "1000 1\n0100 1\n0010 1\n0001 1\n"
+      "1110 1\n1101 1\n1011 1\n0111 1\n"
+      ".names k0\n"         // empty cover: constant 0
+      ".names k1\n"
+      "1\n"
+      ".end\n",
+      lib(), sink);
+  EXPECT_FALSE(sink.has_errors()) << sink.to_string();
+  const Cell& luty = sole_cell(d, "y");
+  EXPECT_EQ(luty.name(), "LUT4_6996");
+  ASSERT_EQ(luty.arcs().size(), 4u);
+  for (const TimingArc& arc : luty.arcs()) EXPECT_EQ(arc.unate, Unate::kNone);
+  EXPECT_EQ(sole_cell(d, "k0").name(), "TIE0");
+  EXPECT_EQ(sole_cell(d, "k1").name(), "TIE1");
+  // The base library is untouched: LUTs land in an extended copy.
+  EXPECT_FALSE(lib()->find("LUT4_6996").valid());
+  EXPECT_TRUE(d.lib().find("LUT4_6996").valid());
+}
+
+TEST(BlifBuilderTest, LatchTypesMapOntoSynchronisingElements) {
+  DiagnosticSink sink;
+  const Design d = blif_design_from_string(
+      ".model m\n"
+      ".inputs a\n"
+      ".clock clk\n"
+      ".outputs q0 q1 q2 q3 q4\n"
+      ".latch a q0 fe clk 2\n"
+      ".latch a q1 re clk 2\n"
+      ".latch a q2 ah clk 2\n"
+      ".latch a q3 al clk 2\n"
+      ".latch a q4\n"  // untyped: rising-edge, implicit sole clock
+      ".end\n",
+      lib(), sink);
+  EXPECT_FALSE(sink.has_errors()) << sink.to_string();
+  EXPECT_EQ(sole_cell(d, "q0").name(), "DFFT");
+  EXPECT_EQ(sole_cell(d, "q1").name(), "DFFL");
+  EXPECT_EQ(sole_cell(d, "q2").name(), "TLATCH");
+  EXPECT_EQ(sole_cell(d, "q3").name(), "TLATCHN");
+  EXPECT_EQ(sole_cell(d, "q4").name(), "DFFL");
+  // Implicit control is bound to the clock port's net.
+  const Module& top = d.top();
+  const Instance& q4 = top.inst(top.find_inst("q4"));
+  const SyncSpec& sync = sole_cell(d, "q4").sync();
+  EXPECT_EQ(top.net(q4.conn[sync.control]).name, "clk");
+}
+
+TEST(BlifBuilderTest, BuildStageDiagnostics) {
+  {  // unknown library cell in .gate
+    DiagnosticSink sink;
+    blif_design_from_string(
+        ".model m\n.inputs a\n.outputs y\n.gate NOPE A=a Y=y\n.end\n", lib(),
+        sink);
+    ASSERT_TRUE(sink.has_errors());
+    EXPECT_EQ(sink.first_error().code, DiagCode::kParseUnknownName);
+    EXPECT_EQ(sink.first_error().loc.line, 4);
+  }
+  {  // latch with neither control net nor .clock declaration
+    DiagnosticSink sink;
+    blif_design_from_string(".model m\n.inputs a\n.outputs q\n.latch a q\n.end\n",
+                            lib(), sink);
+    ASSERT_TRUE(sink.has_errors());
+    EXPECT_EQ(sink.first_error().code, DiagCode::kParseUnknownName);
+    EXPECT_EQ(sink.first_error().loc.line, 4);
+  }
+  {  // cover beyond the LUT input cap
+    std::string text = ".model m\n.inputs";
+    std::string names = ".names";
+    for (int i = 0; i < 13; ++i) {
+      text += " i" + std::to_string(i);
+      names += " i" + std::to_string(i);
+    }
+    text += "\n.outputs y\n" + names + " y\n.end\n";
+    DiagnosticSink sink;
+    blif_design_from_string(text, lib(), sink);
+    ASSERT_TRUE(sink.has_errors());
+    EXPECT_EQ(sink.first_error().code, DiagCode::kParseStructure);
+    EXPECT_EQ(sink.first_error().loc.line, 4);
+  }
+  {  // hierarchy cycle: the back edge is skipped with a diagnostic
+    DiagnosticSink sink;
+    blif_design_from_string(
+        ".model a\n.inputs x\n.outputs y\n.subckt b x=x y=y\n.end\n"
+        ".model b\n.inputs x\n.outputs y\n.subckt a x=x y=y\n.end\n",
+        lib(), sink);
+    ASSERT_TRUE(sink.has_errors());
+    bool cycle = false;
+    for (const Diagnostic& d : sink.all()) {
+      cycle = cycle || (d.code == DiagCode::kParseStructure &&
+                        d.message.find("cycle") != std::string::npos);
+    }
+    EXPECT_TRUE(cycle) << sink.to_string();
+  }
+}
+
+TEST(BlifBuilderTest, SubcktResolvesSiblingModelThenLibrary) {
+  DiagnosticSink sink;
+  const Design d = blif_design_from_string(
+      ".model top\n"
+      ".inputs a b\n"
+      ".outputs y\n"
+      ".subckt pair A=a B=b Y=t\n"
+      ".cname u_sub\n"
+      ".subckt INVX2 A=t Y=y\n"  // no model named INVX2: library fallback
+      ".end\n"
+      ".model pair\n"
+      ".inputs A B\n"
+      ".outputs Y\n"
+      ".gate AND2X1 A=A B=B Y=Y\n"
+      ".end\n",
+      lib(), sink);
+  EXPECT_FALSE(sink.has_errors()) << sink.to_string();
+  const Module& top = d.top();
+  const InstId sub = top.find_inst("u_sub");
+  ASSERT_TRUE(sub.valid());
+  EXPECT_FALSE(top.inst(sub).is_cell());
+  EXPECT_EQ(d.module(top.inst(sub).module).name(), "pair");
+  EXPECT_EQ(sole_cell(d, "y").name(), "INVX2");
+  const ValidationReport report = validate(d);
+  EXPECT_TRUE(report.ok()) << report.to_string();
+}
+
+TEST(BlifIoTest, PathDetection) {
+  EXPECT_TRUE(is_blif_path("foo.blif"));
+  EXPECT_TRUE(is_blif_path("FOO.BLIF"));
+  EXPECT_FALSE(is_blif_path("foo.net"));
+  EXPECT_FALSE(is_blif_path("blif"));
+}
+
+// -------------------------------------------------------------- fixtures --
+
+std::string read_file(const std::string& path) {
+  std::ifstream is(path);
+  EXPECT_TRUE(is.good()) << "cannot open " << path;
+  std::ostringstream os;
+  os << is.rdbuf();
+  return os.str();
+}
+
+TEST(BlifFixtureTest, CorpusMatchesSummaryGoldens) {
+  const bool update = std::getenv("HB_UPDATE_GOLDENS") != nullptr;
+  for (const char* name :
+       {"comb", "latched", "multi_model", "single_node"}) {
+    SCOPED_TRACE(name);
+    const std::string base = std::string(HB_BLIF_DIR) + "/" + name;
+    std::ifstream is(base + ".blif");
+    ASSERT_TRUE(is.good()) << "missing fixture " << base << ".blif";
+    DiagnosticSink sink;
+    Design design = load_blif(is, lib(), sink);
+    ASSERT_FALSE(sink.has_errors()) << sink.to_string();
+
+    bool has_clock_port = false;
+    for (const ModulePort& p : design.top().ports()) {
+      has_clock_port = has_clock_port || p.is_clock;
+    }
+    ClockSet clocks;
+    if (has_clock_port) {
+      clocks = default_blif_clocks(design, ns(10));
+    } else {
+      clocks.add_simple_clock("clk", ns(10), 0, ns(5));
+    }
+
+    Hummingbird hb(design, clocks);
+    hb.analyze();
+    const std::string got = hb.report(4);
+    const std::string golden_path = base + ".golden";
+    if (update) {
+      std::ofstream os(golden_path);
+      os << got;
+      continue;
+    }
+    EXPECT_EQ(got, read_file(golden_path))
+        << "run with HB_UPDATE_GOLDENS=1 to regenerate";
+  }
+}
+
+}  // namespace
+}  // namespace hb

@@ -7,6 +7,7 @@
 #include "clocks/clock_io.hpp"
 #include "gen/des.hpp"
 #include "gen/filter.hpp"
+#include "netlist/blif_io.hpp"
 #include "netlist/library_io.hpp"
 #include "netlist/netlist_io.hpp"
 #include "netlist/stdcells.hpp"
@@ -85,6 +86,32 @@ TEST_P(ParserFuzzTest, MutatedNetlistNeverCrashes) {
   if (d.top_id().valid()) validate(d);
   if (sink.empty()) {
     EXPECT_NO_THROW(netlist_from_string(text, lib));
+  }
+}
+
+// Same contract for the BLIF frontend: the recovering parse/elaborate never
+// throws on mutated syntax, the fail-fast variant throws hb::Error at worst,
+// and an error-free recovering pass implies the fail-fast pass succeeds too.
+TEST_P(ParserFuzzTest, MutatedBlifNeverCrashes) {
+  auto lib = make_standard_library();
+  DesSpec spec;
+  spec.rounds = 1;
+  spec.half_width = 4;
+  const std::string base = blif_to_string(make_des(lib, spec));
+  const std::string text = mutate_text(base, GetParam() * 4241 + 9);
+
+  try {
+    const Design d = blif_design_from_string(text, lib);
+    validate(d);  // may report errors; must not crash
+  } catch (const Error&) {
+    // expected for most mutations
+  }
+
+  DiagnosticSink sink;
+  const Design d = blif_design_from_string(text, lib, sink);
+  if (d.top_id().valid()) validate(d);
+  if (!sink.has_errors()) {
+    EXPECT_NO_THROW(blif_design_from_string(text, lib));
   }
 }
 

@@ -163,6 +163,48 @@ TEST(ServiceTest, WhatIfEditsMatchFreshAnalysisSerially) {
   EXPECT_EQ(session->snapshot()->id, 4u);
 }
 
+TEST(ServiceTest, CheckHoldMatchesFreshAnalysis) {
+  auto session = make_session();
+  const std::vector<std::string> comb = cell_names(session->design(), 1, false);
+  ASSERT_GE(comb.size(), 1u);
+  EXPECT_TRUE(session->execute("set_delay " + comb[0] + " 120ps").ok);
+  ASSERT_TRUE(session->execute("commit").ok);
+
+  // The verb must reproduce check_hold_times() on a fresh analyser with the
+  // session's edit history replayed — labels, order and margins exactly.
+  bool saw_violation = false;
+  for (const TimePs margin : {TimePs(0), ns(2), ns(8)}) {
+    const QueryResult r =
+        session->execute("check_hold " + std::to_string(margin));
+    ASSERT_TRUE(r.ok) << to_wire(r);
+
+    HummingbirdOptions opt;
+    opt.delay_adjust = session->delay_adjust_history();
+    Hummingbird fresh(session->design(), session->clocks(), opt);
+    fresh.analyze();
+    const std::vector<HoldViolation> holds = fresh.check_hold_times(margin);
+    saw_violation = saw_violation || !holds.empty();
+    ASSERT_EQ(r.lines.size(), holds.size() + 1);
+    EXPECT_EQ(r.lines[0], "ok check_hold " + fmt_ps(margin) + " violations " +
+                              std::to_string(holds.size()));
+    for (std::size_t i = 0; i < holds.size(); ++i) {
+      const HoldViolation& v = holds[i];
+      EXPECT_EQ(r.lines[i + 1],
+                "  hold " + fresh.sync_model().at(v.launch).label + " -> " +
+                    fresh.sync_model().at(v.capture).label + " margin " +
+                    fmt_ps(v.margin));
+    }
+  }
+  EXPECT_TRUE(saw_violation) << "no margin produced a violation; widen the "
+                                "margin sweep so the line format is covered";
+
+  // Canonicalisation: unit suffixes and plain picoseconds hit the same verb.
+  EXPECT_TRUE(session->execute("check_hold 1ns").ok);
+  EXPECT_TRUE(session->execute("check_hold").ok);
+  EXPECT_FALSE(session->execute("check_hold 1ns 2ns").ok);
+  EXPECT_FALSE(session->execute("check_hold bogus").ok);
+}
+
 TEST(ServiceTest, ConcurrentReadersNeverSeeTornAnalysis) {
   auto session = make_session();
   const std::vector<std::string> comb = cell_names(session->design(), 8, false);
