@@ -20,6 +20,7 @@
 #include "gen/random_network.hpp"
 #include "netlist/stdcells.hpp"
 #include "service/session.hpp"
+#include "service/snapshot_store.hpp"
 #include "util/time.hpp"
 
 namespace hb {
@@ -58,6 +59,41 @@ struct ThroughputResult {
   double qps = 0;
   double cache_hit_rate = 0;
 };
+
+struct SnapshotCodecResult {
+  std::size_t image_bytes = 0;
+  double serialize_mb_s = 0;  // MB/s through serialize_snapshot
+  double parse_mb_s = 0;      // MB/s through parse_snapshot (validated)
+};
+
+/// Serialise/parse throughput of the persistence codec over the bench
+/// session's fully captured snapshot — the cost of one store save and one
+/// warm-restart load, minus the disk.
+SnapshotCodecResult measure_snapshot_codec(int iters) {
+  auto session = make_bench_session();
+  const AnalysisSnapshot& snap = *session->snapshot();
+  SnapshotCodecResult r;
+
+  std::string image;
+  auto start = std::chrono::steady_clock::now();
+  for (int i = 0; i < iters; ++i) image = serialize_snapshot(snap);
+  const double ser_s = seconds_since(start);
+  r.image_bytes = image.size();
+  r.serialize_mb_s =
+      static_cast<double>(image.size()) * iters / ser_s / 1e6;
+
+  start = std::chrono::steady_clock::now();
+  for (int i = 0; i < iters; ++i) {
+    const SnapshotParse p = parse_snapshot(image);
+    if (!p.ok()) {
+      std::printf("snapshot parse failed: %s\n", p.error.c_str());
+      std::exit(1);
+    }
+  }
+  const double parse_s = seconds_since(start);
+  r.parse_mb_s = static_cast<double>(image.size()) * iters / parse_s / 1e6;
+  return r;
+}
 
 ThroughputResult measure_reads(int clients, int queries_per_client) {
   auto session = make_bench_session();
@@ -167,6 +203,11 @@ int main() {
       "(%d commits)\n",
       whatif.mean_us, whatif.p50_us, whatif.max_us, whatif.commits);
 
+  const SnapshotCodecResult codec = measure_snapshot_codec(20);
+  std::printf(
+      "snapshot codec (%zu byte image): serialize %.0f MB/s, parse %.0f MB/s\n",
+      codec.image_bytes, codec.serialize_mb_s, codec.parse_mb_s);
+
   FILE* json = std::fopen("BENCH_service.json", "w");
   std::fprintf(json,
                "{\n  \"hardware_threads\": %u,\n  \"threads_used\": %u,\n"
@@ -182,9 +223,12 @@ int main() {
   std::fprintf(json,
                "  ],\n  \"read_scaling_1_to_8\": %.2f,\n"
                "  \"whatif_commit_under_4_readers\": {\"mean_us\": %.1f, "
-               "\"p50_us\": %.1f, \"max_us\": %.1f, \"commits\": %d}\n}\n",
+               "\"p50_us\": %.1f, \"max_us\": %.1f, \"commits\": %d},\n"
+               "  \"snapshot_codec\": {\"image_bytes\": %zu, "
+               "\"serialize_mb_s\": %.1f, \"parse_mb_s\": %.1f}\n}\n",
                scaling, whatif.mean_us, whatif.p50_us, whatif.max_us,
-               whatif.commits);
+               whatif.commits, codec.image_bytes, codec.serialize_mb_s,
+               codec.parse_mb_s);
   std::fclose(json);
   std::printf("wrote BENCH_service.json\n");
   return 0;

@@ -20,9 +20,13 @@
 // Query-service frontends (docs/SERVICE.md):
 //
 //   hummingbird_cli serve [<netlist> <timing-spec>] [--lib F] [--tcp PORT]
+//                   [--snapshot-dir D]
 //     Line-protocol request loop on stdin/stdout; with --tcp also serves
 //     the same protocol on 127.0.0.1:PORT (0 = ephemeral, port printed to
-//     stderr).  Exits 3 when the initial load fails.
+//     stderr).  Exits 3 when the initial load fails.  With --snapshot-dir
+//     the host persists every published snapshot into D and, on restart,
+//     answers read queries from the newest valid one before any design is
+//     loaded (docs/SERVICE.md "Persistence & warm restart").
 //
 //   hummingbird_cli query <netlist> <timing-spec> [--lib F] <query>...
 //     One-shot: loads the design, executes each <query> argument as one
@@ -228,6 +232,7 @@ void print_usage(std::FILE* to) {
       "  hummingbird_cli analyze <netlist-or-blif> [<timing-spec>]\n"
       "                  [--period T] [one-shot flags]\n"
       "  hummingbird_cli serve [<netlist> <timing-spec>] [--lib F] [--tcp PORT]\n"
+      "                  [--snapshot-dir D]\n"
       "  hummingbird_cli query <netlist> <timing-spec> [--lib F] <query>...\n"
       "  hummingbird_cli --help\n"
       "\n"
@@ -261,13 +266,15 @@ int run_analyze(int argc, char** argv) {
 
 int run_serve(int argc, char** argv) {
   using namespace hb;
-  std::string netlist, spec, lib;
+  std::string netlist, spec, lib, snapshot_dir;
   int tcp_port = -1;  // -1 = no TCP listener
   for (int i = 2; i < argc; ++i) {
     if (std::strcmp(argv[i], "--lib") == 0 && i + 1 < argc) {
       lib = argv[++i];
     } else if (std::strcmp(argv[i], "--tcp") == 0 && i + 1 < argc) {
       tcp_port = std::atoi(argv[++i]);
+    } else if (std::strcmp(argv[i], "--snapshot-dir") == 0 && i + 1 < argc) {
+      snapshot_dir = argv[++i];
     } else if (argv[i][0] == '-') {
       std::fprintf(stderr, "serve: unknown option '%s'\n", argv[i]);
       return 2;
@@ -285,7 +292,14 @@ int run_serve(int argc, char** argv) {
     return 2;
   }
 
-  ServiceHost host;
+  ServiceConfig config;
+  config.snapshot_dir = snapshot_dir;
+  ServiceHost host(std::move(config));
+  if (const auto warm = host.warm_snapshot()) {
+    std::fprintf(stderr, "warm restart: serving snapshot %llu of '%s'\n",
+                 static_cast<unsigned long long>(warm->id),
+                 warm->design_name.c_str());
+  }
   if (!netlist.empty()) {
     const QueryResult loaded = host.load(netlist, spec, lib);
     if (!loaded.ok) {

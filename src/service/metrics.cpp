@@ -42,6 +42,22 @@ void ServiceMetrics::record_batch() {
   batches_.fetch_add(1, std::memory_order_relaxed);
 }
 
+void ServiceMetrics::record_snapshot_saved() {
+  snapshots_saved_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void ServiceMetrics::record_snapshot_loaded() {
+  snapshots_loaded_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void ServiceMetrics::record_snapshots_rejected(std::uint64_t n) {
+  snapshots_rejected_.fetch_add(n, std::memory_order_relaxed);
+}
+
+void ServiceMetrics::record_snapshot_self_heal() {
+  snapshot_self_heals_.fetch_add(1, std::memory_order_relaxed);
+}
+
 double ServiceMetrics::cache_hit_rate() const {
   const double h = static_cast<double>(cache_hits());
   const double m = static_cast<double>(cache_misses());
@@ -85,6 +101,10 @@ std::vector<std::string> ServiceMetrics::to_lines() const {
                 100.0 * cache_hit_rate());
   out.emplace_back(buf);
   add("snapshots_published", snapshots_published());
+  add("snapshots_saved", snapshots_saved());
+  add("snapshots_loaded", snapshots_loaded());
+  add("snapshots_rejected", snapshots_rejected());
+  add("snapshot_self_heals", snapshot_self_heals());
   add("latency_p50_us", latency_us(50));
   add("latency_p99_us", latency_us(99));
   return out;

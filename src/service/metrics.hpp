@@ -22,6 +22,11 @@ class ServiceMetrics {
   void record_cache(bool hit);
   void record_snapshot_published();
   void record_batch();
+  // Persistent snapshot store traffic (service/snapshot_store.hpp).
+  void record_snapshot_saved();
+  void record_snapshot_loaded();
+  void record_snapshots_rejected(std::uint64_t n);
+  void record_snapshot_self_heal();
 
   std::uint64_t requests() const { return requests_.load(std::memory_order_relaxed); }
   std::uint64_t reads() const { return reads_.load(std::memory_order_relaxed); }
@@ -35,6 +40,18 @@ class ServiceMetrics {
   }
   std::uint64_t snapshots_published() const {
     return snapshots_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t snapshots_saved() const {
+    return snapshots_saved_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t snapshots_loaded() const {
+    return snapshots_loaded_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t snapshots_rejected() const {
+    return snapshots_rejected_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t snapshot_self_heals() const {
+    return snapshot_self_heals_.load(std::memory_order_relaxed);
   }
 
   /// Hits / (hits + misses); 0 when no cacheable query ran yet.
@@ -59,6 +76,10 @@ class ServiceMetrics {
   std::atomic<std::uint64_t> cache_hits_{0};
   std::atomic<std::uint64_t> cache_misses_{0};
   std::atomic<std::uint64_t> snapshots_{0};
+  std::atomic<std::uint64_t> snapshots_saved_{0};
+  std::atomic<std::uint64_t> snapshots_loaded_{0};
+  std::atomic<std::uint64_t> snapshots_rejected_{0};
+  std::atomic<std::uint64_t> snapshot_self_heals_{0};
   std::atomic<std::uint64_t> latency_bucket_[kBuckets] = {};
 };
 

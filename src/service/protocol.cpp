@@ -10,22 +10,126 @@
 #include "netlist/library_io.hpp"
 #include "netlist/netlist_io.hpp"
 #include "netlist/stdcells.hpp"
+#include "service/snapshot_read.hpp"
+#include "service/snapshot_store.hpp"
 #include "util/error.hpp"
 
 namespace hb {
 
-ServiceHost::ServiceHost(ServiceConfig config) : config_(std::move(config)) {}
+ServiceHost::ServiceHost(ServiceConfig config) : config_(std::move(config)) {
+  if (config_.snapshot_dir.empty()) return;
+  SnapshotStore::Options opt;
+  opt.dir = config_.snapshot_dir;
+  opt.retain = config_.snapshot_retain;
+  store_ = std::make_unique<SnapshotStore>(std::move(opt));
+  // Warm restart: adopt the newest valid persisted snapshot, quarantining
+  // anything corrupt on the way; an empty or fully corrupt store is a cold
+  // start, not an error.
+  SnapshotStore::LoadResult warm = store_->load_newest();
+  warm_rejected_ = warm.rejected;
+  if (warm.ok()) {
+    warm_loaded_ = true;
+    warm_ = std::move(warm.snapshot);
+  }
+}
 
 ServiceHost::~ServiceHost() = default;
 
 void ServiceHost::adopt(std::shared_ptr<Session> session) {
   std::lock_guard<std::mutex> lock(mutex_);
+  if (session != nullptr && store_ != nullptr) {
+    session->set_snapshot_store(store_.get());
+    // The construction-time warm load happened before any session existed;
+    // transfer its recovery counters into the first session's metrics so
+    // `stats` reflects the restart.
+    ServiceMetrics& m = session->metrics();
+    if (warm_loaded_) m.record_snapshot_loaded();
+    if (warm_rejected_ > 0) {
+      m.record_snapshots_rejected(warm_rejected_);
+      m.record_snapshot_self_heal();
+    }
+    warm_loaded_ = false;
+    warm_rejected_ = 0;
+  }
   session_ = std::move(session);
 }
 
 std::shared_ptr<Session> ServiceHost::session() const {
   std::lock_guard<std::mutex> lock(mutex_);
   return session_;
+}
+
+std::shared_ptr<const AnalysisSnapshot> ServiceHost::warm_snapshot() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return warm_;
+}
+
+QueryResult ServiceHost::snapshot_command(const ParsedQuery& q) {
+  if (store_ == nullptr) {
+    return make_error(DiagCode::kServiceRejected,
+                      "no snapshot store configured (serve --snapshot-dir)");
+  }
+  const std::string& sub = q.args[0];
+  if (sub == "save") {
+    const std::shared_ptr<Session> session = this->session();
+    if (session == nullptr) {
+      return make_error(DiagCode::kServiceRejected,
+                        "snapshot save needs a loaded design; use `load "
+                        "<netlist> <spec>`");
+    }
+    const std::shared_ptr<const AnalysisSnapshot> snap = session->snapshot();
+    const SnapshotStore::SaveResult res = store_->save(*snap);
+    if (!res.ok) return make_error(res.code, res.error);
+    session->metrics().record_snapshot_saved();
+    return make_ok("ok snapshot save " + snap->design_name + " generation " +
+                   std::to_string(res.generation) + " snapshot " +
+                   std::to_string(snap->id));
+  }
+  if (sub == "load") {
+    const std::string design = q.args.size() > 1 ? q.args[1] : std::string();
+    SnapshotStore::LoadResult res = store_->load_newest(design);
+    const std::shared_ptr<Session> session = this->session();
+    if (session != nullptr) {
+      ServiceMetrics& m = session->metrics();
+      if (res.rejected > 0) {
+        m.record_snapshots_rejected(res.rejected);
+        m.record_snapshot_self_heal();
+      }
+      if (res.ok()) m.record_snapshot_loaded();
+    }
+    if (!res.ok()) return make_error(res.code, res.error);
+    QueryResult r = make_ok("ok snapshot load " + res.design + " generation " +
+                            std::to_string(res.generation) + " snapshot " +
+                            std::to_string(res.snapshot->id) + " rejected " +
+                            std::to_string(res.rejected));
+    std::lock_guard<std::mutex> lock(mutex_);
+    warm_ = std::move(res.snapshot);
+    return r;
+  }
+  // stat: store-level truth (counters since this process opened the store).
+  std::vector<std::string> lines;
+  const auto add = [&lines](const std::string& name, const std::string& v) {
+    lines.push_back("  store " + name + " " + v);
+  };
+  add("dir", store_->dir());
+  add("retain", std::to_string(store_->retain()));
+  const std::vector<std::string> designs = store_->designs();
+  std::size_t files = 0;
+  for (const std::string& d : designs) files += store_->generations(d).size();
+  add("designs", std::to_string(designs.size()));
+  add("files", std::to_string(files));
+  add("saves", std::to_string(store_->saves()));
+  add("save_failures", std::to_string(store_->save_failures()));
+  add("loads", std::to_string(store_->loads()));
+  add("snapshots_rejected", std::to_string(store_->snapshots_rejected()));
+  add("self_heals", std::to_string(store_->self_heals()));
+  const std::shared_ptr<const AnalysisSnapshot> warm = warm_snapshot();
+  add("warm", warm == nullptr
+                  ? std::string("none")
+                  : warm->design_name + " " + std::to_string(warm->id));
+  QueryResult r = make_ok("ok snapshot stat " + std::to_string(lines.size()));
+  for (std::string& l : lines) r.lines.push_back(std::move(l));
+  return r;
 }
 
 QueryResult ServiceHost::load(const std::string& netlist_path,
@@ -119,9 +223,31 @@ QueryResult ProtocolHandler::dispatch(const ParsedQuery& q) {
     case QueryVerb::kLoad:
       return host_->load(q.args[0], q.args[1],
                          q.args.size() > 2 ? q.args[2] : std::string());
+    case QueryVerb::kSnapshot:
+      return host_->snapshot_command(q);
     default: {
       const std::shared_ptr<Session> session = host_->session();
       if (session == nullptr) {
+        // Warm restart: before any design is loaded, read queries answer
+        // from the persisted snapshot the host recovered at start-up —
+        // byte-identical to the session that saved it, via the shared
+        // snapshot evaluator.
+        const std::shared_ptr<const AnalysisSnapshot> warm =
+            host_->warm_snapshot();
+        if (warm != nullptr && is_read_query(q.verb)) {
+          token_.reset();
+          AnalysisBudget budget;
+          budget.cancel = &token_;
+          timer_.rearm(budget);
+          return evaluate_snapshot_read(q, *warm, timer_);
+        }
+        if (warm != nullptr) {
+          return make_error(
+              DiagCode::kServiceRejected,
+              "warm snapshot " + std::to_string(warm->id) + " of '" +
+                  warm->design_name +
+                  "' is read-only; `load <netlist> <spec>` to edit");
+        }
         return make_error(DiagCode::kServiceRejected,
                           "no design loaded; use `load <netlist> <spec>`");
       }
@@ -166,12 +292,18 @@ std::vector<std::string> protocol_help_lines() {
       "  set_delay <inst> <time>  add delay to an instance (pending edit)",
       "  upsize <inst>            swap to the next stronger variant",
       "  commit                   re-analyse edits, publish next snapshot",
-      "  check_hold [<margin>]    supplementary hold check on the live analysis",
+      "  check_hold [<margin>]    hold pairs below margin, from the snapshot's"
+      " hold capture",
+      "  gen_constraints          Algorithm 2 constraint times from the"
+      " snapshot's capture",
       "  deadline <ms>            per-request deadline (0 = unlimited)",
       "  stats                    service counters and latency percentiles",
       "  ping                     liveness check",
       "  load <netlist> <spec> [<lib>]  start a session from files"
       " (.blif netlists accepted; spec `-` derives clocks from clock ports)",
+      "  snapshot save            persist the current snapshot to the store",
+      "  snapshot load [<design>] adopt the newest valid stored snapshot",
+      "  snapshot stat            snapshot-store counters and contents",
       "  batch <N>                execute the next N lines as one batch",
       "  help                     this text",
       "  quit                     end the connection",

@@ -6,6 +6,16 @@
 // every request (util/cancel reuse semantics).  serve_stream() runs the
 // blocking stdio loop; the TCP frontend (tcp_server) runs one handler per
 // connection against the same host.
+//
+// Warm restart: when ServiceConfig::snapshot_dir is set the host opens a
+// SnapshotStore, loads the newest valid persisted snapshot at construction
+// and serves read queries (slack, worst_paths, check_hold, summary, ...)
+// from that warm replica before any design is loaded — byte-identical to
+// the session that persisted it, because both sides answer through
+// evaluate_snapshot_read (service/snapshot_read.hpp).  Invalid files found
+// on the way are quarantined and counted; the host degrades to a cold
+// start when nothing valid remains.  Once a session is installed it saves
+// every published snapshot back into the same store.
 #pragma once
 
 #include <iosfwd>
@@ -22,6 +32,11 @@ struct ServiceConfig {
   SessionOptions session;
   /// Cell library used by `load`; the built-in standard library when null.
   std::shared_ptr<const Library> lib;
+  /// Directory of the persistent snapshot store; empty disables
+  /// persistence (no store, no warm restart, `snapshot` verbs rejected).
+  std::string snapshot_dir;
+  /// Snapshot generations retained per design (snapshot_store.hpp).
+  std::size_t snapshot_retain = 4;
 };
 
 class ServiceHost {
@@ -43,12 +58,31 @@ class ServiceHost {
   /// never mid-request.
   std::shared_ptr<Session> session() const;
 
+  /// The warm replica loaded from the snapshot store: set at construction
+  /// (newest valid persisted snapshot) and by `snapshot load`.  Read
+  /// queries are served from it while no session is active; null when the
+  /// store is absent, empty, or fully corrupt (cold start).
+  std::shared_ptr<const AnalysisSnapshot> warm_snapshot() const;
+
+  /// Execute a `snapshot save|load|stat` query (null store → structured
+  /// rejection, never a crash).
+  QueryResult snapshot_command(const ParsedQuery& q);
+
+  /// The persistent store; null when snapshot_dir was empty.
+  SnapshotStore* store() const { return store_.get(); }
+
   const ServiceConfig& config() const { return config_; }
 
  private:
   ServiceConfig config_;
+  std::unique_ptr<SnapshotStore> store_;
   mutable std::mutex mutex_;
   std::shared_ptr<Session> session_;
+  std::shared_ptr<const AnalysisSnapshot> warm_;  // mutex_
+  // Warm-load outcome held until the first session exists to carry the
+  // recovery counters in its ServiceMetrics (mutex_).
+  bool warm_loaded_ = false;
+  std::uint64_t warm_rejected_ = 0;
 };
 
 /// Per-connection request loop state.

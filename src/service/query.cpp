@@ -27,10 +27,12 @@ constexpr VerbSpec kVerbs[] = {
     {"upsize", QueryVerb::kUpsize, 1, 1},
     {"commit", QueryVerb::kCommit, 0, 0},
     {"check_hold", QueryVerb::kCheckHold, 0, 1},
+    {"gen_constraints", QueryVerb::kGenConstraints, 0, 0},
     {"deadline", QueryVerb::kDeadline, 1, 1},
     {"stats", QueryVerb::kStats, 0, 0},
     {"ping", QueryVerb::kPing, 0, 0},
     {"load", QueryVerb::kLoad, 2, 3},
+    {"snapshot", QueryVerb::kSnapshot, 1, 2},
     {"batch", QueryVerb::kBatch, 1, 1},
     {"help", QueryVerb::kHelp, 0, 0},
     {"quit", QueryVerb::kQuit, 0, 0},
@@ -52,6 +54,8 @@ bool is_read_query(QueryVerb verb) {
     case QueryVerb::kHistogram:
     case QueryVerb::kConstraints:
     case QueryVerb::kSummary:
+    case QueryVerb::kCheckHold:
+    case QueryVerb::kGenConstraints:
       return true;
     default:
       return false;
@@ -65,8 +69,8 @@ bool is_write_query(QueryVerb verb) {
 
 bool is_session_query(QueryVerb verb) {
   return is_read_query(verb) || is_write_query(verb) ||
-         verb == QueryVerb::kCheckHold || verb == QueryVerb::kDeadline ||
-         verb == QueryVerb::kStats || verb == QueryVerb::kPing;
+         verb == QueryVerb::kDeadline || verb == QueryVerb::kStats ||
+         verb == QueryVerb::kPing;
 }
 
 QueryResult make_ok(std::string header) {
@@ -176,6 +180,26 @@ ParsedQuery parse_query(const std::string& line) {
       }
       q.number = margin;
       canon_args = std::to_string(margin);
+      break;
+    }
+    case QueryVerb::kSnapshot: {
+      // Subcommand spelled case-insensitively; the optional second argument
+      // (`snapshot load <design>`) stays case-sensitive — it names a design.
+      std::string sub = q.args[0];
+      std::transform(sub.begin(), sub.end(), sub.begin(),
+                     [](unsigned char c) { return std::tolower(c); });
+      if (sub != "save" && sub != "load" && sub != "stat") {
+        return fail(std::move(q), DiagCode::kParseUnknownKeyword,
+                    "unknown snapshot subcommand '" + q.args[0] +
+                        "' (save | load [<design>] | stat)");
+      }
+      if (sub != "load" && q.args.size() > 1) {
+        return fail(std::move(q), DiagCode::kParseSyntax,
+                    "'snapshot " + sub + "' takes no further arguments");
+      }
+      q.args[0] = sub;
+      canon_args = sub;
+      if (q.args.size() > 1) canon_args += " " + q.args[1];
       break;
     }
     case QueryVerb::kDeadline: {

@@ -21,22 +21,27 @@ namespace hb {
 
 enum class QueryVerb {
   // Read queries: evaluated against the current snapshot, cacheable.
+  // check_hold and gen_constraints read the snapshot's hold-pair and
+  // Algorithm 2 captures — they never touch the live analyser or take the
+  // writer lock (service/snapshot_read.hpp).
   kSlack,
   kWorstPaths,
   kHistogram,
   kConstraints,
   kSummary,
+  kCheckHold,
+  kGenConstraints,
   // Write queries: funnel through the session's single writer.
   kSetDelay,
   kUpsize,
   kCommit,
   // Session control (neither cached nor written).
-  kCheckHold,
   kDeadline,
   kStats,
   kPing,
   // Host-level verbs, handled by the protocol layer, not the session.
   kLoad,
+  kSnapshot,
   kBatch,
   kHelp,
   kQuit,

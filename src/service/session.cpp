@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <chrono>
 
+#include "service/snapshot_read.hpp"
+#include "service/snapshot_store.hpp"
 #include "synth/resize.hpp"
 
 namespace hb {
@@ -31,8 +33,10 @@ Session::Session(Design design, ClockSet clocks, HummingbirdOptions analysis,
   hb_ = std::make_unique<Hummingbird>(design_, clocks_, std::move(opt));
   names_ = build_name_index(hb_->graph());
   const Algorithm1Result res = hb_->analyze();
-  snapshot_ = take_snapshot(hb_->engine(), res, ++snapshot_counter_,
+  auto snap = take_snapshot(hb_->engine(), res, ++snapshot_counter_,
                             options_.max_paths, names_);
+  attach_captures(*snap);
+  snapshot_ = std::move(snap);
   metrics_.record_snapshot_published();
 }
 
@@ -43,7 +47,24 @@ std::shared_ptr<const AnalysisSnapshot> Session::snapshot() const {
   return snapshot_;
 }
 
+void Session::set_snapshot_store(SnapshotStore* store) {
+  store_ = store;
+  if (store_ == nullptr) return;
+  // The initial snapshot was published during construction, before a store
+  // could be installed: persist it now so a restart warm-serves even a
+  // session that never committed.
+  const std::shared_ptr<const AnalysisSnapshot> snap = snapshot();
+  if (store_->save(*snap).ok) metrics_.record_snapshot_saved();
+}
+
 void Session::publish(std::shared_ptr<const AnalysisSnapshot> snap) {
+  // Persist before the pointer swap: a crash between the two leaves the
+  // store one generation ahead of what readers saw, never behind.  Runs
+  // under writer_mutex_ (publication is writer-only), so the disk write
+  // serialises with other commits, not with readers.
+  if (store_ != nullptr && store_->save(*snap).ok) {
+    metrics_.record_snapshot_saved();
+  }
   {
     std::lock_guard<std::mutex> lock(snapshot_mutex_);
     snapshot_ = std::move(snap);
@@ -96,7 +117,7 @@ QueryResult Session::execute(const ParsedQuery& q, BudgetTimer* timer) {
     } else {
       metrics_.record_cache(false);
       BudgetTimer local(request_budget());
-      r = evaluate_read(q, *snap, timer != nullptr ? *timer : local);
+      r = evaluate_snapshot_read(q, *snap, timer != nullptr ? *timer : local);
       if (r.ok) cache_.insert(key, r);
     }
   } else if (is_write_query(q.verb)) {
@@ -150,119 +171,6 @@ std::vector<QueryResult> Session::execute_batch(
     ++i;
   }
   return out;
-}
-
-// ---------------------------------------------------------------------------
-// Read queries — pure functions of one snapshot.
-
-QueryResult Session::evaluate_read(const ParsedQuery& q,
-                                   const AnalysisSnapshot& snap,
-                                   BudgetTimer& timer) const {
-  if (timer.exhausted()) {
-    return make_error(DiagCode::kAnalysisBudget,
-                      "read deadline exceeded; snapshot " +
-                          std::to_string(snap.id) + " unaffected");
-  }
-  const NameIndex& names = *snap.names;
-  switch (q.verb) {
-    case QueryVerb::kSlack: {
-      auto it = names.node_by_name.find(q.args[0]);
-      if (it == names.node_by_name.end()) {
-        return make_error(DiagCode::kParseUnknownName,
-                          "unknown node '" + q.args[0] + "'");
-      }
-      const NodeTiming& nt = snap.nodes.at(it->second);
-      return make_ok("ok slack " + q.args[0] + " " + fmt_ps(nt.slack));
-    }
-    case QueryVerb::kWorstPaths: {
-      const std::size_t want = static_cast<std::size_t>(q.number);
-      const std::size_t served = std::min(want, snap.paths.size());
-      QueryResult r = make_ok("ok worst_paths " + std::to_string(served) +
-                              " of " + std::to_string(snap.num_violations));
-      for (std::size_t i = 0; i < served; ++i) {
-        timer.count_cycle();
-        if (timer.exhausted()) {
-          return make_error(DiagCode::kAnalysisBudget,
-                            "read deadline exceeded; snapshot " +
-                                std::to_string(snap.id) + " unaffected");
-        }
-        const SnapshotPath& p = snap.paths[i];
-        r.lines.push_back("  path " + std::to_string(i) + " slack " +
-                          fmt_ps(p.slack) + " launch " + p.launch +
-                          " capture " + p.capture + " from " + p.from +
-                          " to " + p.to + " steps " + std::to_string(p.steps));
-      }
-      return r;
-    }
-    case QueryVerb::kHistogram: {
-      const std::vector<TimePs>& slacks = snap.capture_slacks;
-      if (slacks.empty()) {
-        return make_ok("ok histogram 0 count 0 min 0 max 0");
-      }
-      const auto [mn_it, mx_it] = std::minmax_element(slacks.begin(), slacks.end());
-      const TimePs mn = *mn_it, mx = *mx_it;
-      const std::int64_t bins = q.number;
-      const TimePs width = (mx - mn) / bins + 1;
-      std::vector<std::uint64_t> count(static_cast<std::size_t>(bins), 0);
-      for (const TimePs s : slacks) {
-        ++count[static_cast<std::size_t>((s - mn) / width)];
-      }
-      QueryResult r = make_ok("ok histogram " + std::to_string(bins) +
-                              " count " + std::to_string(slacks.size()) +
-                              " min " + fmt_ps(mn) + " max " + fmt_ps(mx));
-      for (std::int64_t i = 0; i < bins; ++i) {
-        timer.count_cycle();
-        if (timer.exhausted()) {
-          return make_error(DiagCode::kAnalysisBudget,
-                            "read deadline exceeded; snapshot " +
-                                std::to_string(snap.id) + " unaffected");
-        }
-        r.lines.push_back("  bin " + std::to_string(i) + " lo " +
-                          fmt_ps(mn + i * width) + " hi " +
-                          fmt_ps(mn + (i + 1) * width) + " count " +
-                          std::to_string(count[static_cast<std::size_t>(i)]));
-      }
-      return r;
-    }
-    case QueryVerb::kConstraints: {
-      auto it = names.inst_pins.find(q.args[0]);
-      if (it == names.inst_pins.end()) {
-        return make_error(DiagCode::kParseUnknownName,
-                          "unknown instance '" + q.args[0] + "'");
-      }
-      QueryResult r = make_ok("ok constraints " + q.args[0] + " pins " +
-                              std::to_string(it->second.size()));
-      for (const auto& [pin, node] : it->second) {
-        timer.count_cycle();
-        if (timer.exhausted()) {
-          return make_error(DiagCode::kAnalysisBudget,
-                            "read deadline exceeded; snapshot " +
-                                std::to_string(snap.id) + " unaffected");
-        }
-        const NodeTiming& nt = snap.nodes.at(node);
-        r.lines.push_back("  pin " + pin + " slack " + fmt_ps(nt.slack) +
-                          " ready " + fmt_ps(nt.ready.rise) + " " +
-                          fmt_ps(nt.ready.fall) + " required " +
-                          fmt_ps(nt.required.rise) + " " +
-                          fmt_ps(nt.required.fall));
-      }
-      return r;
-    }
-    case QueryVerb::kSummary: {
-      QueryResult r = make_ok("ok summary snapshot " + std::to_string(snap.id) +
-                              " fields 6");
-      r.lines.push_back("  status " + status_word(snap.status));
-      r.lines.push_back(std::string("  works_as_intended ") +
-                        (snap.works_as_intended ? "true" : "false"));
-      r.lines.push_back("  worst_slack " + fmt_ps(snap.worst_slack));
-      r.lines.push_back("  terminals " + std::to_string(snap.num_terminals));
-      r.lines.push_back("  violations " + std::to_string(snap.num_violations));
-      r.lines.push_back("  paths " + std::to_string(snap.paths.size()));
-      return r;
-    }
-    default:
-      return make_error(DiagCode::kParseSyntax, "not a read query");
-  }
 }
 
 // ---------------------------------------------------------------------------
@@ -384,6 +292,7 @@ QueryResult Session::do_commit(BudgetTimer*) {
   }
   const std::uint64_t id = ++snapshot_counter_;
   auto snap = take_snapshot(hb_->engine(), res, id, options_.max_paths, names_);
+  attach_captures(*snap);
   const TimePs worst = snap->worst_slack;
   const std::size_t violations = snap->num_violations;
   const AnalysisStatus status = snap->status;
@@ -394,39 +303,48 @@ QueryResult Session::do_commit(BudgetTimer*) {
                  " status " + status_word(status));
 }
 
+// Hold/constraint captures of a snapshot about to be published.  Runs with
+// writer_mutex_ held (construction or commit); takes pool_mutex_ for the
+// pooled sweeps — the same order do_commit uses.  Algorithm 2 mutates the
+// offsets, so it runs against the live analyser and is undone with the
+// absorbed-commit restore sequence (reset offsets, invalidate, re-run
+// Algorithm 1 — bit-identical by the reanalyze contract); deliberately no
+// per-request budget, so a deadline can never publish a half-restored
+// analyser.  The snapshot itself was copied out beforehand and is
+// unaffected by the round-trip.
+void Session::attach_captures(AnalysisSnapshot& snap) {
+  if (!options_.capture_hold && !options_.capture_constraints) return;
+  std::lock_guard<std::mutex> pool_lock(pool_mutex_);
+  if (options_.capture_constraints) {
+    SyncModel& sync = hb_->sync_model_mut();
+    SlackEngine& engine = hb_->engine_mut();
+    ConstraintSet cs = run_algorithm2(sync, engine, analysis_options_.alg2);
+    if (hb_->num_quarantined() > 0 && cs.status == AnalysisStatus::kComplete) {
+      cs.status = AnalysisStatus::kPartial;
+    }
+    sync.reset_offsets();
+    engine.invalidate_offsets(sync.drain_changed_offsets());
+    Algorithm1Options a1 = analysis_options_.alg1;
+    a1.pool = pool_.get();
+    run_algorithm1(sync, engine, a1);
+    snap.has_constraints = true;
+    snap.constraints_status = cs.status;
+    snap.backward_snatch_cycles = cs.backward_snatch_cycles;
+    snap.forward_snatch_cycles = cs.forward_snatch_cycles;
+    snap.constraint_nodes = std::move(cs.nodes);
+  }
+  if (options_.capture_hold) {
+    capture_hold_into(snap, hb_->engine(), pool_.get());
+  }
+}
+
 // ---------------------------------------------------------------------------
 // Control queries.
-
-// Supplementary hold-time check (hold_check.hpp).  Runs against the live
-// analyser rather than a snapshot: the per-pair minimum-delay sweeps need the
-// engine's cluster structures, which snapshots deliberately do not capture.
-// It therefore takes the writer lock (the analyser must not be mutated
-// mid-sweep) and then the pool lock — the same order do_commit uses.
-QueryResult Session::do_check_hold(const ParsedQuery& q) {
-  const TimePs margin = q.number;
-  std::lock_guard<std::mutex> writer(writer_mutex_);
-  std::vector<HoldViolation> holds;
-  {
-    std::lock_guard<std::mutex> pool_lock(pool_mutex_);
-    holds = hb_->check_hold_times(margin, pool_.get());
-  }
-  const SyncModel& sync = hb_->sync_model();
-  QueryResult r = make_ok("ok check_hold " + fmt_ps(margin) + " violations " +
-                          std::to_string(holds.size()));
-  for (const HoldViolation& v : holds) {
-    r.lines.push_back("  hold " + sync.at(v.launch).label + " -> " +
-                      sync.at(v.capture).label + " margin " +
-                      fmt_ps(v.margin));
-  }
-  return r;
-}
 
 QueryResult Session::execute_control(const ParsedQuery& q) {
   switch (q.verb) {
     case QueryVerb::kPing:
       return make_ok("ok pong");
-    case QueryVerb::kCheckHold:
-      return do_check_hold(q);
     case QueryVerb::kDeadline: {
       deadline_ms_.store(q.fraction, std::memory_order_relaxed);
       return make_ok("ok deadline_ms " + q.args[0]);

@@ -2,11 +2,14 @@
 // published snapshot, many concurrent readers.
 //
 // Concurrency model (docs/SERVICE.md):
-//   * Read queries (slack, worst_paths, histogram, constraints, summary)
-//     evaluate against the currently published AnalysisSnapshot — an
-//     immutable value fetched under a tiny pointer mutex — and may run from
-//     any number of threads at once.  They never touch the analyser, the
-//     design or the thread pool, so they never block the writer.
+//   * Read queries (slack, worst_paths, histogram, constraints, summary,
+//     check_hold, gen_constraints) evaluate against the currently published
+//     AnalysisSnapshot — an immutable value fetched under a tiny pointer
+//     mutex — and may run from any number of threads at once.  They never
+//     touch the analyser, the design or the thread pool, so they never
+//     block the writer.  check_hold and gen_constraints read the hold-pair
+//     and Algorithm 2 captures attached to every snapshot at publication
+//     (service/snapshot_read.hpp).
 //   * Write queries (set_delay, upsize, commit) funnel through writer_mutex_.
 //     Edits accumulate against the live analyser (absorbed incrementally via
 //     Hummingbird::update_instance_delays / upsize_and_update when possible,
@@ -42,6 +45,8 @@
 
 namespace hb {
 
+class SnapshotStore;
+
 struct SessionOptions {
   /// Worst paths captured per snapshot (upper bound for worst_paths K).
   std::size_t max_paths = 32;
@@ -52,6 +57,14 @@ struct SessionOptions {
   /// Default per-request deadline in milliseconds; 0 = unlimited.  Queries
   /// adjust it with the `deadline` verb.
   double default_deadline_ms = 0;
+  /// Attach the full hold sweep (every connected pair's worst margin) to
+  /// each published snapshot, making `check_hold` a lock-free snapshot
+  /// read.  Disabled, check_hold answers a structured rejection.
+  bool capture_hold = true;
+  /// Attach Algorithm 2 constraint times to each published snapshot (the
+  /// `gen_constraints` query); the analyser is restored bit-identically
+  /// afterwards via the reanalyze contract.
+  bool capture_constraints = true;
 };
 
 class Session {
@@ -90,6 +103,11 @@ class Session {
   /// request).  Not owned; may be null.
   void set_cancel_token(CancelToken* token) { cancel_ = token; }
 
+  /// Persist every published snapshot (the initial one included, saved
+  /// retroactively) into `store`.  Not owned; must outlive the session.
+  /// Call before serving traffic — installation is not synchronised.
+  void set_snapshot_store(SnapshotStore* store);
+
   double deadline_ms() const { return deadline_ms_.load(std::memory_order_relaxed); }
 
   ServiceMetrics& metrics() { return metrics_; }
@@ -110,14 +128,15 @@ class Session {
 
  private:
   AnalysisBudget request_budget() const;
-  QueryResult evaluate_read(const ParsedQuery& q, const AnalysisSnapshot& snap,
-                            BudgetTimer& timer) const;
   QueryResult execute_write(const ParsedQuery& q, BudgetTimer* timer);
   QueryResult execute_control(const ParsedQuery& q);
-  QueryResult do_check_hold(const ParsedQuery& q);
   QueryResult do_set_delay(const ParsedQuery& q);
   QueryResult do_upsize(const ParsedQuery& q);
   QueryResult do_commit(BudgetTimer* timer);
+  /// Attach the hold/constraint captures enabled in options_ to a snapshot
+  /// not yet published.  Takes pool_mutex_; the analyser state is restored
+  /// bit-identically before returning.
+  void attach_captures(AnalysisSnapshot& snap);
   void publish(std::shared_ptr<const AnalysisSnapshot> snap);
 
   Design design_;
@@ -145,6 +164,7 @@ class Session {
   ServiceMetrics metrics_;
   std::atomic<double> deadline_ms_{0};
   CancelToken* cancel_ = nullptr;
+  SnapshotStore* store_ = nullptr;  // not owned; saves on publication
 };
 
 }  // namespace hb

@@ -30,12 +30,13 @@ std::shared_ptr<const NameIndex> build_name_index(const TimingGraph& graph) {
   return idx;
 }
 
-std::shared_ptr<const AnalysisSnapshot> take_snapshot(
+std::shared_ptr<AnalysisSnapshot> take_snapshot(
     const SlackEngine& engine, const Algorithm1Result& result,
     std::uint64_t id, std::size_t max_paths,
     std::shared_ptr<const NameIndex> names) {
   auto snap = std::make_shared<AnalysisSnapshot>();
   snap->id = id;
+  snap->design_name = engine.graph().design().name();
   snap->status = result.status;
   snap->works_as_intended = result.works_as_intended;
   snap->worst_slack = result.worst_slack;
@@ -70,6 +71,37 @@ std::shared_ptr<const AnalysisSnapshot> take_snapshot(
   // allocation, no per-node accessor calls).
   snap->nodes = engine.node_timings();
   return snap;
+}
+
+void capture_hold_into(AnalysisSnapshot& snap, const SlackEngine& engine,
+                       ThreadPool* pool) {
+  // An infinite threshold keeps every connected pair: the sweep's final
+  // sort+dedup already reduces each pair to its worst (minimum) margin, so
+  // filtering this list by `margin < m` yields exactly check_hold(m).
+  const std::vector<HoldViolation> all = check_hold(engine, kInfinitePs, pool);
+  const SyncModel& sync = engine.sync();
+  snap.hold_pairs.clear();
+  snap.hold_pairs.reserve(all.size());
+  for (const HoldViolation& v : all) {
+    SnapshotHoldPair p;
+    p.launch = v.launch.value();
+    p.capture = v.capture.value();
+    p.margin = v.margin;
+    p.launch_label = sync.at(v.launch).label;
+    p.capture_label = sync.at(v.capture).label;
+    snap.hold_pairs.push_back(std::move(p));
+  }
+  snap.has_hold = true;
+}
+
+void capture_constraints_into(AnalysisSnapshot& snap, Hummingbird& hb) {
+  ConstraintSet cs = hb.generate_constraints();  // mutates offsets
+  hb.reanalyze();                                // bit-identical restore
+  snap.has_constraints = true;
+  snap.constraints_status = cs.status;
+  snap.backward_snatch_cycles = cs.backward_snatch_cycles;
+  snap.forward_snatch_cycles = cs.forward_snatch_cycles;
+  snap.constraint_nodes = std::move(cs.nodes);
 }
 
 }  // namespace hb

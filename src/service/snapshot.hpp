@@ -45,8 +45,23 @@ struct SnapshotPath {
   std::size_t steps = 0;
 };
 
+/// One connected (launch, capture) terminal pair with its worst hold margin
+/// — the full hold-sweep result at an infinite threshold.  `check_hold <m>`
+/// filters this list by margin < m, reproducing the live sweep byte for
+/// byte without touching the analyser (tests/snapshot_store_test.cpp).
+struct SnapshotHoldPair {
+  std::uint32_t launch = 0;   // SyncId value
+  std::uint32_t capture = 0;  // SyncId value
+  TimePs margin = 0;          // worst (minimum) margin over all paths
+  std::string launch_label;
+  std::string capture_label;
+};
+
 struct AnalysisSnapshot {
   std::uint64_t id = 0;
+  /// Top-module name of the analysed design — the persistence key of the
+  /// snapshot store (src/service/snapshot_store.hpp).
+  std::string design_name;
   AnalysisStatus status = AnalysisStatus::kComplete;
   bool works_as_intended = false;
   TimePs worst_slack = 0;
@@ -61,14 +76,41 @@ struct AnalysisSnapshot {
   /// Per-node timing, by TNodeId index (slack / constraints queries).
   std::vector<NodeTiming> nodes;
 
+  /// Hold-sweep inputs: every connected pair with its worst margin, sorted
+  /// by (launch, capture).  Present when the session captured them
+  /// (SessionOptions::capture_hold); `check_hold` is then a snapshot read.
+  bool has_hold = false;
+  std::vector<SnapshotHoldPair> hold_pairs;
+
+  /// Algorithm 2 constraint times by TNodeId index (gen_constraints query).
+  /// Present when SessionOptions::capture_constraints captured them.
+  bool has_constraints = false;
+  AnalysisStatus constraints_status = AnalysisStatus::kComplete;
+  std::int32_t backward_snatch_cycles = 0;
+  std::int32_t forward_snatch_cycles = 0;
+  std::vector<ConstraintTimes> constraint_nodes;
+
   std::shared_ptr<const NameIndex> names;
 };
 
 /// Copy the engine's current results into a fresh snapshot.  Called by the
-/// session writer only, with the engine fully up to date.
-std::shared_ptr<const AnalysisSnapshot> take_snapshot(
+/// session writer only, with the engine fully up to date.  The result is
+/// returned mutable so the caller can attach hold/constraint captures
+/// before publication freezes it behind a const pointer.
+std::shared_ptr<AnalysisSnapshot> take_snapshot(
     const SlackEngine& engine, const Algorithm1Result& result,
     std::uint64_t id, std::size_t max_paths,
     std::shared_ptr<const NameIndex> names);
+
+/// Run the hold sweep at an infinite threshold and record every connected
+/// pair's worst margin into `snap` (sets has_hold).
+void capture_hold_into(AnalysisSnapshot& snap, const SlackEngine& engine,
+                       ThreadPool* pool = nullptr);
+
+/// Run Algorithm 2 and record the constraint set into `snap` (sets
+/// has_constraints), then restore the analyser to its settled Algorithm 1
+/// state via reanalyze() — bit-identical, so snapshots taken before and
+/// after this call agree (the reanalyze contract, tests/service_test.cpp).
+void capture_constraints_into(AnalysisSnapshot& snap, Hummingbird& hb);
 
 }  // namespace hb

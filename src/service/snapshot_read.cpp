@@ -1,0 +1,171 @@
+#include "service/snapshot_read.hpp"
+
+#include <algorithm>
+
+namespace hb {
+namespace {
+
+QueryResult deadline_error(const AnalysisSnapshot& snap) {
+  return make_error(DiagCode::kAnalysisBudget,
+                    "read deadline exceeded; snapshot " +
+                        std::to_string(snap.id) + " unaffected");
+}
+
+}  // namespace
+
+QueryResult evaluate_snapshot_read(const ParsedQuery& q,
+                                   const AnalysisSnapshot& snap,
+                                   BudgetTimer& timer) {
+  if (timer.exhausted()) return deadline_error(snap);
+  const NameIndex& names = *snap.names;
+  switch (q.verb) {
+    case QueryVerb::kSlack: {
+      auto it = names.node_by_name.find(q.args[0]);
+      if (it == names.node_by_name.end()) {
+        return make_error(DiagCode::kParseUnknownName,
+                          "unknown node '" + q.args[0] + "'");
+      }
+      const NodeTiming& nt = snap.nodes.at(it->second);
+      return make_ok("ok slack " + q.args[0] + " " + fmt_ps(nt.slack));
+    }
+    case QueryVerb::kWorstPaths: {
+      const std::size_t want = static_cast<std::size_t>(q.number);
+      const std::size_t served = std::min(want, snap.paths.size());
+      QueryResult r = make_ok("ok worst_paths " + std::to_string(served) +
+                              " of " + std::to_string(snap.num_violations));
+      for (std::size_t i = 0; i < served; ++i) {
+        timer.count_cycle();
+        if (timer.exhausted()) return deadline_error(snap);
+        const SnapshotPath& p = snap.paths[i];
+        r.lines.push_back("  path " + std::to_string(i) + " slack " +
+                          fmt_ps(p.slack) + " launch " + p.launch +
+                          " capture " + p.capture + " from " + p.from +
+                          " to " + p.to + " steps " + std::to_string(p.steps));
+      }
+      return r;
+    }
+    case QueryVerb::kHistogram: {
+      const std::vector<TimePs>& slacks = snap.capture_slacks;
+      if (slacks.empty()) {
+        return make_ok("ok histogram 0 count 0 min 0 max 0");
+      }
+      const auto [mn_it, mx_it] = std::minmax_element(slacks.begin(), slacks.end());
+      const TimePs mn = *mn_it, mx = *mx_it;
+      const std::int64_t bins = q.number;
+      const TimePs width = (mx - mn) / bins + 1;
+      std::vector<std::uint64_t> count(static_cast<std::size_t>(bins), 0);
+      for (const TimePs s : slacks) {
+        ++count[static_cast<std::size_t>((s - mn) / width)];
+      }
+      QueryResult r = make_ok("ok histogram " + std::to_string(bins) +
+                              " count " + std::to_string(slacks.size()) +
+                              " min " + fmt_ps(mn) + " max " + fmt_ps(mx));
+      for (std::int64_t i = 0; i < bins; ++i) {
+        timer.count_cycle();
+        if (timer.exhausted()) return deadline_error(snap);
+        r.lines.push_back("  bin " + std::to_string(i) + " lo " +
+                          fmt_ps(mn + i * width) + " hi " +
+                          fmt_ps(mn + (i + 1) * width) + " count " +
+                          std::to_string(count[static_cast<std::size_t>(i)]));
+      }
+      return r;
+    }
+    case QueryVerb::kConstraints: {
+      auto it = names.inst_pins.find(q.args[0]);
+      if (it == names.inst_pins.end()) {
+        return make_error(DiagCode::kParseUnknownName,
+                          "unknown instance '" + q.args[0] + "'");
+      }
+      QueryResult r = make_ok("ok constraints " + q.args[0] + " pins " +
+                              std::to_string(it->second.size()));
+      for (const auto& [pin, node] : it->second) {
+        timer.count_cycle();
+        if (timer.exhausted()) return deadline_error(snap);
+        const NodeTiming& nt = snap.nodes.at(node);
+        r.lines.push_back("  pin " + pin + " slack " + fmt_ps(nt.slack) +
+                          " ready " + fmt_ps(nt.ready.rise) + " " +
+                          fmt_ps(nt.ready.fall) + " required " +
+                          fmt_ps(nt.required.rise) + " " +
+                          fmt_ps(nt.required.fall));
+      }
+      return r;
+    }
+    case QueryVerb::kSummary: {
+      QueryResult r = make_ok("ok summary snapshot " + std::to_string(snap.id) +
+                              " fields 6");
+      r.lines.push_back("  status " + std::string(analysis_status_name(snap.status)));
+      r.lines.push_back(std::string("  works_as_intended ") +
+                        (snap.works_as_intended ? "true" : "false"));
+      r.lines.push_back("  worst_slack " + fmt_ps(snap.worst_slack));
+      r.lines.push_back("  terminals " + std::to_string(snap.num_terminals));
+      r.lines.push_back("  violations " + std::to_string(snap.num_violations));
+      r.lines.push_back("  paths " + std::to_string(snap.paths.size()));
+      return r;
+    }
+    case QueryVerb::kCheckHold: {
+      if (!snap.has_hold) {
+        return make_error(DiagCode::kServiceRejected,
+                          "snapshot " + std::to_string(snap.id) +
+                              " carries no hold capture "
+                              "(SessionOptions::capture_hold disabled)");
+      }
+      // hold_pairs holds every connected pair with its worst margin, in the
+      // live sweep's (launch, capture) order — filtering by margin < m
+      // reproduces check_hold(m) on the analyser byte for byte.
+      const TimePs margin = q.number;
+      std::size_t violations = 0;
+      for (const SnapshotHoldPair& p : snap.hold_pairs) {
+        if (p.margin < margin) ++violations;
+      }
+      QueryResult r = make_ok("ok check_hold " + fmt_ps(margin) +
+                              " violations " + std::to_string(violations));
+      for (const SnapshotHoldPair& p : snap.hold_pairs) {
+        if (p.margin >= margin) continue;
+        timer.count_cycle();
+        if (timer.exhausted()) return deadline_error(snap);
+        r.lines.push_back("  hold " + p.launch_label + " -> " +
+                          p.capture_label + " margin " + fmt_ps(p.margin));
+      }
+      return r;
+    }
+    case QueryVerb::kGenConstraints: {
+      if (!snap.has_constraints) {
+        return make_error(DiagCode::kServiceRejected,
+                          "snapshot " + std::to_string(snap.id) +
+                              " carries no constraint capture "
+                              "(SessionOptions::capture_constraints disabled)");
+      }
+      // Violating endpoints, as the one-shot CLI prints them: nodes with a
+      // full Algorithm 2 window and non-positive slack.
+      std::size_t endpoints = 0;
+      for (const ConstraintTimes& ct : snap.constraint_nodes) {
+        if (ct.has_ready && ct.has_required && ct.slack <= 0) ++endpoints;
+      }
+      QueryResult r = make_ok(
+          "ok gen_constraints status " +
+          std::string(analysis_status_name(snap.constraints_status)) +
+          " backward " + std::to_string(snap.backward_snatch_cycles) +
+          " forward " + std::to_string(snap.forward_snatch_cycles) +
+          " endpoints " + std::to_string(endpoints));
+      for (std::size_t i = 0; i < snap.constraint_nodes.size(); ++i) {
+        const ConstraintTimes& ct = snap.constraint_nodes[i];
+        if (!ct.has_ready || !ct.has_required || ct.slack > 0) continue;
+        timer.count_cycle();
+        if (timer.exhausted()) return deadline_error(snap);
+        const std::string name = i < names.node_names.size()
+                                     ? names.node_names[i]
+                                     : std::to_string(i);
+        r.lines.push_back("  node " + name + " ready " +
+                          fmt_ps(std::max(ct.ready.rise, ct.ready.fall)) +
+                          " required " +
+                          fmt_ps(std::min(ct.required.rise, ct.required.fall)) +
+                          " slack " + fmt_ps(ct.slack));
+      }
+      return r;
+    }
+    default:
+      return make_error(DiagCode::kParseSyntax, "not a read query");
+  }
+}
+
+}  // namespace hb

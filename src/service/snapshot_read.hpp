@@ -1,0 +1,27 @@
+// Snapshot read evaluation — one pure function from (query, snapshot) to a
+// reply, shared by every serving surface.
+//
+// A live Session and a warm-restarted host serving a store-loaded snapshot
+// (snapshot_store.hpp) call the same evaluator, so a restarted service
+// answers read queries byte-identically to the pre-restart session — the
+// warm-restart acceptance contract (tests/snapshot_store_test.cpp).
+//
+// check_hold and gen_constraints are read queries here: they evaluate the
+// hold-pair and constraint captures embedded in the snapshot, never the
+// analyser.  Snapshots taken without those captures answer with a
+// structured service-rejected error instead of stale or partial data.
+#pragma once
+
+#include "service/query.hpp"
+#include "service/snapshot.hpp"
+#include "util/cancel.hpp"
+
+namespace hb {
+
+/// Evaluate one read query (is_read_query(q.verb)) against a snapshot.
+/// Pure: same query + same snapshot -> same reply bytes, on any thread.
+QueryResult evaluate_snapshot_read(const ParsedQuery& q,
+                                   const AnalysisSnapshot& snap,
+                                   BudgetTimer& timer);
+
+}  // namespace hb

@@ -1,0 +1,859 @@
+#include "service/snapshot_store.hpp"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <map>
+
+#include "util/error.hpp"
+#include "util/faultinject.hpp"
+
+namespace fs = std::filesystem;
+
+namespace hb {
+namespace {
+
+// ---------------------------------------------------------------------------
+// xxhash64 (one-shot, standard constants).
+
+constexpr std::uint64_t kPrime1 = 0x9E3779B185EBCA87ull;
+constexpr std::uint64_t kPrime2 = 0xC2B2AE3D27D4EB4Full;
+constexpr std::uint64_t kPrime3 = 0x165667B19E3779F9ull;
+constexpr std::uint64_t kPrime4 = 0x85EBCA77C2B2AE63ull;
+constexpr std::uint64_t kPrime5 = 0x27D4EB2F165667C5ull;
+
+std::uint64_t rotl64(std::uint64_t v, int r) {
+  return (v << r) | (v >> (64 - r));
+}
+
+std::uint64_t read_le64(const unsigned char* p) {
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v |= std::uint64_t{p[i]} << (8 * i);
+  return v;
+}
+
+std::uint32_t read_le32(const unsigned char* p) {
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) v |= std::uint32_t{p[i]} << (8 * i);
+  return v;
+}
+
+std::uint64_t xxh_round(std::uint64_t acc, std::uint64_t input) {
+  return rotl64(acc + input * kPrime2, 31) * kPrime1;
+}
+
+std::uint64_t xxh_merge(std::uint64_t acc, std::uint64_t val) {
+  return (acc ^ xxh_round(0, val)) * kPrime1 + kPrime4;
+}
+
+}  // namespace
+
+std::uint64_t snapshot_checksum(const void* data, std::size_t len,
+                                std::uint64_t seed) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  const unsigned char* const end = p + len;
+  std::uint64_t h;
+  if (len >= 32) {
+    std::uint64_t v1 = seed + kPrime1 + kPrime2;
+    std::uint64_t v2 = seed + kPrime2;
+    std::uint64_t v3 = seed;
+    std::uint64_t v4 = seed - kPrime1;
+    const unsigned char* const limit = end - 32;
+    do {
+      v1 = xxh_round(v1, read_le64(p));
+      v2 = xxh_round(v2, read_le64(p + 8));
+      v3 = xxh_round(v3, read_le64(p + 16));
+      v4 = xxh_round(v4, read_le64(p + 24));
+      p += 32;
+    } while (p <= limit);
+    h = rotl64(v1, 1) + rotl64(v2, 7) + rotl64(v3, 12) + rotl64(v4, 18);
+    h = xxh_merge(h, v1);
+    h = xxh_merge(h, v2);
+    h = xxh_merge(h, v3);
+    h = xxh_merge(h, v4);
+  } else {
+    h = seed + kPrime5;
+  }
+  h += static_cast<std::uint64_t>(len);
+  while (p + 8 <= end) {
+    h = rotl64(h ^ xxh_round(0, read_le64(p)), 27) * kPrime1 + kPrime4;
+    p += 8;
+  }
+  if (p + 4 <= end) {
+    h = rotl64(h ^ (std::uint64_t{read_le32(p)} * kPrime1), 23) * kPrime2 +
+        kPrime3;
+    p += 4;
+  }
+  while (p < end) {
+    h = rotl64(h ^ (std::uint64_t{*p} * kPrime5), 11) * kPrime1;
+    ++p;
+  }
+  h ^= h >> 33;
+  h *= kPrime2;
+  h ^= h >> 29;
+  h *= kPrime3;
+  h ^= h >> 32;
+  return h;
+}
+
+const char* snapshot_section_name(SnapshotSection s) {
+  switch (s) {
+    case SnapshotSection::kMeta: return "meta";
+    case SnapshotSection::kNodeTimings: return "node-timings";
+    case SnapshotSection::kWorstPaths: return "worst-paths";
+    case SnapshotSection::kCaptureSlacks: return "capture-slacks";
+    case SnapshotSection::kNameIndex: return "name-index";
+    case SnapshotSection::kHoldPairs: return "hold-pairs";
+    case SnapshotSection::kConstraints: return "constraints";
+  }
+  return "unknown";
+}
+
+namespace {
+
+const char* section_name_of(std::uint32_t kind) {
+  return kind < kNumSnapshotSections
+             ? snapshot_section_name(static_cast<SnapshotSection>(kind))
+             : "unknown";
+}
+
+// ---------------------------------------------------------------------------
+// Little-endian encoding primitives.
+
+void put_u8(std::string& out, std::uint8_t v) {
+  out.push_back(static_cast<char>(v));
+}
+
+void put_u32(std::string& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) out.push_back(static_cast<char>((v >> (8 * i)) & 0xFF));
+}
+
+void put_u64(std::string& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) out.push_back(static_cast<char>((v >> (8 * i)) & 0xFF));
+}
+
+void put_i64(std::string& out, std::int64_t v) {
+  put_u64(out, static_cast<std::uint64_t>(v));
+}
+
+void put_str(std::string& out, const std::string& s) {
+  put_u32(out, static_cast<std::uint32_t>(s.size()));
+  out.append(s);
+}
+
+/// Bounds-checked cursor over an untrusted image.  Every accessor checks
+/// the remaining length first and latches `fail` — no read past the end is
+/// possible, whatever the length fields claim.
+struct Reader {
+  const unsigned char* data = nullptr;
+  std::size_t size = 0;
+  std::size_t pos = 0;
+  bool fail = false;
+
+  std::size_t remaining() const { return size - pos; }
+  bool need(std::size_t k) {
+    if (fail || remaining() < k) {
+      fail = true;
+      return false;
+    }
+    return true;
+  }
+  std::uint8_t u8() {
+    if (!need(1)) return 0;
+    return data[pos++];
+  }
+  std::uint32_t u32() {
+    if (!need(4)) return 0;
+    const std::uint32_t v = read_le32(data + pos);
+    pos += 4;
+    return v;
+  }
+  std::uint64_t u64() {
+    if (!need(8)) return 0;
+    const std::uint64_t v = read_le64(data + pos);
+    pos += 8;
+    return v;
+  }
+  std::int64_t i64() { return static_cast<std::int64_t>(u64()); }
+  std::string str() {
+    const std::uint32_t len = u32();
+    if (!need(len)) return std::string();
+    std::string s(reinterpret_cast<const char*>(data + pos), len);
+    pos += len;
+    return s;
+  }
+};
+
+Reader reader_of(std::string_view bytes) {
+  Reader r;
+  r.data = reinterpret_cast<const unsigned char*>(bytes.data());
+  r.size = bytes.size();
+  return r;
+}
+
+bool valid_status(std::uint8_t v) { return v <= 2; }
+
+// ---------------------------------------------------------------------------
+// Per-section payloads.
+
+std::string encode_meta(const AnalysisSnapshot& s) {
+  std::string p;
+  put_str(p, s.design_name);
+  put_u64(p, s.id);
+  put_u8(p, static_cast<std::uint8_t>(s.status));
+  put_u8(p, s.works_as_intended ? 1 : 0);
+  put_i64(p, s.worst_slack);
+  put_u64(p, s.num_terminals);
+  put_u64(p, s.num_violations);
+  put_u8(p, s.has_hold ? 1 : 0);
+  put_u8(p, s.has_constraints ? 1 : 0);
+  put_u8(p, static_cast<std::uint8_t>(s.constraints_status));
+  put_u32(p, static_cast<std::uint32_t>(s.backward_snatch_cycles));
+  put_u32(p, static_cast<std::uint32_t>(s.forward_snatch_cycles));
+  return p;
+}
+
+bool decode_meta(std::string_view payload, AnalysisSnapshot& s) {
+  Reader r = reader_of(payload);
+  s.design_name = r.str();
+  s.id = r.u64();
+  const std::uint8_t status = r.u8();
+  s.works_as_intended = r.u8() != 0;
+  s.worst_slack = r.i64();
+  s.num_terminals = static_cast<std::size_t>(r.u64());
+  s.num_violations = static_cast<std::size_t>(r.u64());
+  s.has_hold = r.u8() != 0;
+  s.has_constraints = r.u8() != 0;
+  const std::uint8_t cstatus = r.u8();
+  s.backward_snatch_cycles = static_cast<std::int32_t>(r.u32());
+  s.forward_snatch_cycles = static_cast<std::int32_t>(r.u32());
+  if (r.fail || r.remaining() != 0) return false;
+  if (!valid_status(status) || !valid_status(cstatus)) return false;
+  s.status = static_cast<AnalysisStatus>(status);
+  s.constraints_status = static_cast<AnalysisStatus>(cstatus);
+  return true;
+}
+
+std::string encode_node_timings(const AnalysisSnapshot& s) {
+  std::string p;
+  put_u64(p, s.nodes.size());
+  for (const NodeTiming& nt : s.nodes) {
+    put_i64(p, nt.slack);
+    put_i64(p, nt.ready.rise);
+    put_i64(p, nt.ready.fall);
+    put_i64(p, nt.required.rise);
+    put_i64(p, nt.required.fall);
+    put_u8(p, nt.has_ready ? 1 : 0);
+    put_u8(p, nt.has_constraint ? 1 : 0);
+    put_u32(p, static_cast<std::uint32_t>(nt.settling_count));
+  }
+  return p;
+}
+
+bool decode_node_timings(std::string_view payload, AnalysisSnapshot& s) {
+  Reader r = reader_of(payload);
+  const std::uint64_t count = r.u64();
+  s.nodes.clear();
+  if (count <= r.remaining()) s.nodes.reserve(static_cast<std::size_t>(count));
+  for (std::uint64_t i = 0; i < count && !r.fail; ++i) {
+    NodeTiming nt;
+    nt.slack = r.i64();
+    nt.ready.rise = r.i64();
+    nt.ready.fall = r.i64();
+    nt.required.rise = r.i64();
+    nt.required.fall = r.i64();
+    nt.has_ready = r.u8() != 0;
+    nt.has_constraint = r.u8() != 0;
+    nt.settling_count = static_cast<int>(r.u32());
+    if (!r.fail) s.nodes.push_back(nt);
+  }
+  return !r.fail && s.nodes.size() == count && r.remaining() == 0;
+}
+
+std::string encode_paths(const AnalysisSnapshot& s) {
+  std::string p;
+  put_u64(p, s.paths.size());
+  for (const SnapshotPath& sp : s.paths) {
+    put_i64(p, sp.slack);
+    put_str(p, sp.launch);
+    put_str(p, sp.capture);
+    put_str(p, sp.from);
+    put_str(p, sp.to);
+    put_u64(p, sp.steps);
+  }
+  return p;
+}
+
+bool decode_paths(std::string_view payload, AnalysisSnapshot& s) {
+  Reader r = reader_of(payload);
+  const std::uint64_t count = r.u64();
+  s.paths.clear();
+  if (count <= r.remaining()) s.paths.reserve(static_cast<std::size_t>(count));
+  for (std::uint64_t i = 0; i < count && !r.fail; ++i) {
+    SnapshotPath sp;
+    sp.slack = r.i64();
+    sp.launch = r.str();
+    sp.capture = r.str();
+    sp.from = r.str();
+    sp.to = r.str();
+    sp.steps = static_cast<std::size_t>(r.u64());
+    if (!r.fail) s.paths.push_back(std::move(sp));
+  }
+  return !r.fail && s.paths.size() == count && r.remaining() == 0;
+}
+
+std::string encode_capture_slacks(const AnalysisSnapshot& s) {
+  std::string p;
+  put_u64(p, s.capture_slacks.size());
+  for (const TimePs t : s.capture_slacks) put_i64(p, t);
+  return p;
+}
+
+bool decode_capture_slacks(std::string_view payload, AnalysisSnapshot& s) {
+  Reader r = reader_of(payload);
+  const std::uint64_t count = r.u64();
+  s.capture_slacks.clear();
+  if (count * 8 == r.remaining()) {
+    s.capture_slacks.reserve(static_cast<std::size_t>(count));
+  }
+  for (std::uint64_t i = 0; i < count && !r.fail; ++i) {
+    const TimePs t = r.i64();
+    if (!r.fail) s.capture_slacks.push_back(t);
+  }
+  return !r.fail && s.capture_slacks.size() == count && r.remaining() == 0;
+}
+
+std::string encode_name_index(const AnalysisSnapshot& s) {
+  std::string p;
+  const NameIndex& idx = *s.names;
+  put_u64(p, idx.node_names.size());
+  for (const std::string& n : idx.node_names) put_str(p, n);
+  // Instance pin tables in sorted-name order: the unordered_map's iteration
+  // order must never leak into the image (byte-stability).
+  std::vector<const std::string*> keys;
+  keys.reserve(idx.inst_pins.size());
+  for (const auto& [name, pins] : idx.inst_pins) keys.push_back(&name);
+  std::sort(keys.begin(), keys.end(),
+            [](const std::string* a, const std::string* b) { return *a < *b; });
+  put_u64(p, keys.size());
+  for (const std::string* key : keys) {
+    put_str(p, *key);
+    const auto& pins = idx.inst_pins.at(*key);
+    put_u64(p, pins.size());
+    for (const auto& [pin, node] : pins) {
+      put_str(p, pin);
+      put_u32(p, node);
+    }
+  }
+  return p;
+}
+
+bool decode_name_index(std::string_view payload, AnalysisSnapshot& s) {
+  Reader r = reader_of(payload);
+  auto idx = std::make_shared<NameIndex>();
+  const std::uint64_t nodes = r.u64();
+  if (nodes <= r.remaining()) {
+    idx->node_names.reserve(static_cast<std::size_t>(nodes));
+  }
+  for (std::uint64_t i = 0; i < nodes && !r.fail; ++i) {
+    std::string n = r.str();
+    if (!r.fail) idx->node_names.push_back(std::move(n));
+  }
+  if (r.fail || idx->node_names.size() != nodes) return false;
+  // node_by_name is derived, never serialised: rebuild it here so the
+  // loaded index answers lookups exactly like the freshly built one.
+  idx->node_by_name.reserve(idx->node_names.size());
+  for (std::size_t i = 0; i < idx->node_names.size(); ++i) {
+    idx->node_by_name.emplace(idx->node_names[i],
+                              static_cast<std::uint32_t>(i));
+  }
+  const std::uint64_t insts = r.u64();
+  for (std::uint64_t i = 0; i < insts && !r.fail; ++i) {
+    std::string name = r.str();
+    const std::uint64_t pins = r.u64();
+    if (r.fail) break;
+    auto& slot = idx->inst_pins[name];
+    if (pins <= r.remaining()) slot.reserve(static_cast<std::size_t>(pins));
+    for (std::uint64_t pi = 0; pi < pins && !r.fail; ++pi) {
+      std::string pin = r.str();
+      const std::uint32_t node = r.u32();
+      if (!r.fail) slot.emplace_back(std::move(pin), node);
+    }
+    if (!r.fail && slot.size() != pins) return false;
+  }
+  if (r.fail || idx->inst_pins.size() != insts || r.remaining() != 0) {
+    return false;
+  }
+  s.names = std::move(idx);
+  return true;
+}
+
+std::string encode_hold_pairs(const AnalysisSnapshot& s) {
+  std::string p;
+  put_u64(p, s.hold_pairs.size());
+  for (const SnapshotHoldPair& hp : s.hold_pairs) {
+    put_u32(p, hp.launch);
+    put_u32(p, hp.capture);
+    put_i64(p, hp.margin);
+    put_str(p, hp.launch_label);
+    put_str(p, hp.capture_label);
+  }
+  return p;
+}
+
+bool decode_hold_pairs(std::string_view payload, AnalysisSnapshot& s) {
+  Reader r = reader_of(payload);
+  const std::uint64_t count = r.u64();
+  s.hold_pairs.clear();
+  if (count <= r.remaining()) {
+    s.hold_pairs.reserve(static_cast<std::size_t>(count));
+  }
+  for (std::uint64_t i = 0; i < count && !r.fail; ++i) {
+    SnapshotHoldPair hp;
+    hp.launch = r.u32();
+    hp.capture = r.u32();
+    hp.margin = r.i64();
+    hp.launch_label = r.str();
+    hp.capture_label = r.str();
+    if (!r.fail) s.hold_pairs.push_back(std::move(hp));
+  }
+  return !r.fail && s.hold_pairs.size() == count && r.remaining() == 0;
+}
+
+std::string encode_constraints(const AnalysisSnapshot& s) {
+  std::string p;
+  put_u64(p, s.constraint_nodes.size());
+  for (const ConstraintTimes& ct : s.constraint_nodes) {
+    put_u8(p, ct.has_ready ? 1 : 0);
+    put_u8(p, ct.has_required ? 1 : 0);
+    put_i64(p, ct.ready.rise);
+    put_i64(p, ct.ready.fall);
+    put_i64(p, ct.required.rise);
+    put_i64(p, ct.required.fall);
+    put_i64(p, ct.slack);
+  }
+  return p;
+}
+
+bool decode_constraints(std::string_view payload, AnalysisSnapshot& s) {
+  Reader r = reader_of(payload);
+  const std::uint64_t count = r.u64();
+  s.constraint_nodes.clear();
+  if (count <= r.remaining()) {
+    s.constraint_nodes.reserve(static_cast<std::size_t>(count));
+  }
+  for (std::uint64_t i = 0; i < count && !r.fail; ++i) {
+    ConstraintTimes ct;
+    ct.has_ready = r.u8() != 0;
+    ct.has_required = r.u8() != 0;
+    ct.ready.rise = r.i64();
+    ct.ready.fall = r.i64();
+    ct.required.rise = r.i64();
+    ct.required.fall = r.i64();
+    ct.slack = r.i64();
+    if (!r.fail) s.constraint_nodes.push_back(ct);
+  }
+  return !r.fail && s.constraint_nodes.size() == count && r.remaining() == 0;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Image assembly / parsing.
+
+std::string serialize_snapshot(const AnalysisSnapshot& snap) {
+  std::string payloads[kNumSnapshotSections];
+  payloads[0] = encode_meta(snap);
+  payloads[1] = encode_node_timings(snap);
+  payloads[2] = encode_paths(snap);
+  payloads[3] = encode_capture_slacks(snap);
+  payloads[4] = encode_name_index(snap);
+  payloads[5] = encode_hold_pairs(snap);
+  payloads[6] = encode_constraints(snap);
+
+  std::string image;
+  std::size_t total = 12;
+  for (const std::string& p : payloads) total += 20 + p.size();
+  image.reserve(total);
+  put_u32(image, kSnapshotMagic);
+  put_u32(image, kSnapshotFormatVersion);
+  put_u32(image, kNumSnapshotSections);
+  for (std::uint32_t kind = 0; kind < kNumSnapshotSections; ++kind) {
+    const std::string& p = payloads[kind];
+    put_u32(image, kind);
+    put_u64(image, p.size());
+    put_u64(image, snapshot_checksum(p.data(), p.size(), kind));
+    image.append(p);
+  }
+  return image;
+}
+
+SnapshotParse parse_snapshot(std::string_view bytes) {
+  SnapshotParse out;
+  auto corrupt = [&out](std::string msg) -> SnapshotParse& {
+    out.code = DiagCode::kSnapshotCorrupt;
+    out.error = std::move(msg);
+    out.snapshot = nullptr;
+    return out;
+  };
+
+  Reader r = reader_of(bytes);
+  if (!r.need(12)) return corrupt("image shorter than the 12-byte header");
+  const std::uint32_t magic = r.u32();
+  if (magic != kSnapshotMagic) return corrupt("bad magic (not a snapshot image)");
+  out.version = r.u32();
+  if (out.version != kSnapshotFormatVersion) {
+    out.code = DiagCode::kSnapshotVersionSkew;
+    out.error = "format version " + std::to_string(out.version) +
+                ", this build reads version " +
+                std::to_string(kSnapshotFormatVersion);
+    return out;
+  }
+  const std::uint32_t num_sections = r.u32();
+
+  std::string_view payloads[kNumSnapshotSections];
+  bool seen[kNumSnapshotSections] = {};
+  for (std::uint32_t i = 0; i < num_sections; ++i) {
+    SnapshotSectionInfo info;
+    info.header_offset = r.pos;
+    if (!r.need(20)) return corrupt("truncated section header");
+    info.kind = r.u32();
+    const std::uint64_t len = r.u64();
+    info.checksum = r.u64();
+    if (len > r.remaining()) {
+      return corrupt(std::string("truncated payload of section ") +
+                     section_name_of(info.kind));
+    }
+    info.payload_offset = r.pos;
+    info.payload_size = static_cast<std::size_t>(len);
+    const std::string_view payload =
+        bytes.substr(r.pos, static_cast<std::size_t>(len));
+    r.pos += static_cast<std::size_t>(len);
+    out.sections.push_back(info);
+    if (snapshot_checksum(payload.data(), payload.size(), info.kind) !=
+        info.checksum) {
+      return corrupt(std::string("checksum mismatch in section ") +
+                     section_name_of(info.kind));
+    }
+    if (info.kind < kNumSnapshotSections) {
+      if (seen[info.kind]) {
+        return corrupt(std::string("duplicate section ") +
+                       section_name_of(info.kind));
+      }
+      seen[info.kind] = true;
+      payloads[info.kind] = payload;
+    }
+    // Unknown kinds are checksum-verified and skipped.
+  }
+  if (r.remaining() != 0) return corrupt("trailing bytes after last section");
+  for (std::uint32_t k = 0; k < kNumSnapshotSections; ++k) {
+    if (!seen[k]) {
+      return corrupt(std::string("missing section ") + section_name_of(k));
+    }
+  }
+
+  auto snap = std::make_shared<AnalysisSnapshot>();
+  struct SectionDecoder {
+    SnapshotSection kind;
+    bool (*decode)(std::string_view, AnalysisSnapshot&);
+  };
+  const SectionDecoder decoders[] = {
+      {SnapshotSection::kMeta, decode_meta},
+      {SnapshotSection::kNodeTimings, decode_node_timings},
+      {SnapshotSection::kWorstPaths, decode_paths},
+      {SnapshotSection::kCaptureSlacks, decode_capture_slacks},
+      {SnapshotSection::kNameIndex, decode_name_index},
+      {SnapshotSection::kHoldPairs, decode_hold_pairs},
+      {SnapshotSection::kConstraints, decode_constraints},
+  };
+  for (const SectionDecoder& d : decoders) {
+    const auto kind = static_cast<std::uint32_t>(d.kind);
+    if (!d.decode(payloads[kind], *snap)) {
+      return corrupt(std::string("undecodable section ") +
+                     snapshot_section_name(d.kind));
+    }
+  }
+  out.snapshot = std::move(snap);
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// The store.
+
+namespace {
+
+constexpr const char* kSnapshotSuffix = ".hbss";
+
+/// Design name reduced to a filesystem-safe stem: anything outside
+/// [A-Za-z0-9_-] becomes '_' ('.' included — it delimits the generation).
+std::string sanitize_design(const std::string& name) {
+  std::string out;
+  out.reserve(name.size());
+  for (const char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_' || c == '-';
+    out.push_back(ok ? c : '_');
+  }
+  if (out.empty()) out = "design";
+  return out;
+}
+
+/// Split "<stem>.<generation>.hbss"; false for anything else (temp files,
+/// quarantined files, foreign files).
+bool parse_file_name(const std::string& name, std::string* stem,
+                     std::uint64_t* generation) {
+  const std::size_t suffix_len = std::strlen(kSnapshotSuffix);
+  if (name.size() <= suffix_len || name.front() == '.' ||
+      name.compare(name.size() - suffix_len, suffix_len, kSnapshotSuffix) != 0) {
+    return false;
+  }
+  const std::string base = name.substr(0, name.size() - suffix_len);
+  const std::size_t dot = base.rfind('.');
+  if (dot == std::string::npos || dot == 0 || dot + 1 >= base.size()) {
+    return false;
+  }
+  std::uint64_t gen = 0;
+  for (std::size_t i = dot + 1; i < base.size(); ++i) {
+    if (base[i] < '0' || base[i] > '9') return false;
+    gen = gen * 10 + static_cast<std::uint64_t>(base[i] - '0');
+  }
+  *stem = base.substr(0, dot);
+  *generation = gen;
+  return true;
+}
+
+bool write_file_synced(const std::string& path, const std::string& bytes,
+                       std::string* error) {
+  const int fd = ::open(path.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) {
+    *error = "open '" + path + "': " + std::strerror(errno);
+    return false;
+  }
+  std::size_t off = 0;
+  while (off < bytes.size()) {
+    const ssize_t n = ::write(fd, bytes.data() + off, bytes.size() - off);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      *error = "write '" + path + "': " + std::strerror(errno);
+      ::close(fd);
+      return false;
+    }
+    off += static_cast<std::size_t>(n);
+  }
+  if (::fsync(fd) != 0) {
+    *error = "fsync '" + path + "': " + std::strerror(errno);
+    ::close(fd);
+    return false;
+  }
+  if (::close(fd) != 0) {
+    *error = "close '" + path + "': " + std::strerror(errno);
+    return false;
+  }
+  return true;
+}
+
+void fsync_dir(const std::string& dir) {
+  const int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (fd < 0) return;  // durability best-effort; the rename itself succeeded
+  ::fsync(fd);
+  ::close(fd);
+}
+
+}  // namespace
+
+SnapshotStore::SnapshotStore(Options options) : options_(std::move(options)) {
+  std::error_code ec;
+  fs::create_directories(options_.dir, ec);
+  if (ec || !fs::is_directory(options_.dir)) {
+    raise("snapshot store: cannot create directory '" + options_.dir + "'" +
+          (ec ? ": " + ec.message() : std::string()));
+  }
+  for (const FileEntry& e : scan_locked()) {
+    next_generation_ = std::max(next_generation_, e.generation + 1);
+  }
+}
+
+std::vector<SnapshotStore::FileEntry> SnapshotStore::scan_locked() const {
+  std::vector<FileEntry> out;
+  std::error_code ec;
+  for (fs::directory_iterator it(options_.dir, ec), end; !ec && it != end;
+       it.increment(ec)) {
+    if (!it->is_regular_file(ec)) continue;
+    FileEntry e;
+    if (!parse_file_name(it->path().filename().string(), &e.stem,
+                         &e.generation)) {
+      continue;
+    }
+    e.path = it->path().string();
+    out.push_back(std::move(e));
+  }
+  std::sort(out.begin(), out.end(), [](const FileEntry& a, const FileEntry& b) {
+    return a.generation < b.generation;
+  });
+  return out;
+}
+
+void SnapshotStore::retain_locked(const std::string& stem) {
+  std::vector<FileEntry> mine;
+  for (FileEntry& e : scan_locked()) {
+    if (e.stem == stem) mine.push_back(std::move(e));
+  }
+  // scan_locked sorts oldest-first; drop from the front.
+  std::error_code ec;
+  for (std::size_t i = 0; i + options_.retain < mine.size(); ++i) {
+    fs::remove(mine[i].path, ec);
+  }
+}
+
+SnapshotStore::SaveResult SnapshotStore::save(const AnalysisSnapshot& snap) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  SaveResult res;
+  std::string image = serialize_snapshot(snap);
+
+  // Deterministic corruption of the in-memory image, so the injected fault
+  // lands on disk through the normal (crash-safe) write path and must be
+  // caught by load-time validation.
+  FaultInjector& fi = FaultInjector::instance();
+  if (fi.should_fire(FaultSite::kSnapshotStaleVersion) && image.size() >= 8) {
+    const auto v = kSnapshotFormatVersion + 1 +
+                   static_cast<std::uint32_t>(
+                       fi.draw(FaultSite::kSnapshotStaleVersion) % 7);
+    for (int i = 0; i < 4; ++i) {
+      image[4 + i] = static_cast<char>((v >> (8 * i)) & 0xFF);
+    }
+  }
+  if (fi.should_fire(FaultSite::kSnapshotBitFlip) && !image.empty()) {
+    const std::uint64_t bit =
+        fi.draw(FaultSite::kSnapshotBitFlip) % (image.size() * 8);
+    image[bit / 8] ^= static_cast<char>(1u << (bit % 8));
+  }
+  if (fi.should_fire(FaultSite::kSnapshotShortWrite) && !image.empty()) {
+    image.resize(fi.draw(FaultSite::kSnapshotShortWrite) % image.size());
+  }
+
+  const std::string stem = sanitize_design(snap.design_name);
+  res.generation = next_generation_++;
+  const std::string final_name =
+      stem + "." + std::to_string(res.generation) + kSnapshotSuffix;
+  const std::string tmp_path =
+      (fs::path(options_.dir) / ("." + final_name + ".tmp")).string();
+  const std::string final_path =
+      (fs::path(options_.dir) / final_name).string();
+
+  std::string err;
+  if (!write_file_synced(tmp_path, image, &err)) {
+    std::error_code ec;
+    fs::remove(tmp_path, ec);
+    ++save_failures_;
+    res.code = DiagCode::kSnapshotIo;
+    res.error = err;
+    return res;
+  }
+  if (::rename(tmp_path.c_str(), final_path.c_str()) != 0) {
+    err = "rename '" + tmp_path + "': " + std::strerror(errno);
+    std::error_code ec;
+    fs::remove(tmp_path, ec);
+    ++save_failures_;
+    res.code = DiagCode::kSnapshotIo;
+    res.error = err;
+    return res;
+  }
+  fsync_dir(options_.dir);
+  retain_locked(stem);
+  ++saves_;
+  res.ok = true;
+  res.path = final_path;
+  return res;
+}
+
+SnapshotStore::LoadResult SnapshotStore::load_newest(const std::string& design) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  LoadResult res;
+  const std::string stem = design.empty() ? std::string() : sanitize_design(design);
+
+  std::vector<FileEntry> entries = scan_locked();
+  if (!stem.empty()) {
+    entries.erase(std::remove_if(entries.begin(), entries.end(),
+                                 [&stem](const FileEntry& e) {
+                                   return e.stem != stem;
+                                 }),
+                  entries.end());
+  }
+  std::reverse(entries.begin(), entries.end());  // newest generation first
+
+  DiagCode last_code = DiagCode::kSnapshotMissing;
+  std::string last_error;
+  for (const FileEntry& e : entries) {
+    std::ifstream in(e.path, std::ios::binary);
+    if (!in) {
+      last_code = DiagCode::kSnapshotIo;
+      last_error = "cannot read '" + e.path + "'";
+      continue;
+    }
+    std::string bytes((std::istreambuf_iterator<char>(in)),
+                      std::istreambuf_iterator<char>());
+    SnapshotParse p = parse_snapshot(bytes);
+    if (!p.ok()) {
+      // Quarantine: keep the file for post-mortems, but never retry it.
+      std::error_code ec;
+      fs::rename(e.path, e.path + ".quarantined", ec);
+      ++rejected_;
+      ++res.rejected;
+      last_code = p.code;
+      last_error =
+          fs::path(e.path).filename().string() + ": " + p.error;
+      continue;
+    }
+    if (!design.empty() && p.snapshot->design_name != design) {
+      continue;  // stem collision with another design; not corruption
+    }
+    res.snapshot = std::move(p.snapshot);
+    res.path = e.path;
+    res.generation = e.generation;
+    res.design = res.snapshot->design_name;
+    break;
+  }
+
+  if (res.rejected > 0) ++self_heals_;
+  if (res.ok()) {
+    ++loads_;
+  } else {
+    res.code = last_code;
+    res.error = !last_error.empty()
+                    ? last_error
+                    : (design.empty()
+                           ? std::string("store has no snapshots")
+                           : "no snapshot for design '" + design + "'");
+  }
+  return res;
+}
+
+std::vector<std::string> SnapshotStore::designs() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<std::string> out;
+  for (const FileEntry& e : scan_locked()) {
+    if (std::find(out.begin(), out.end(), e.stem) == out.end()) {
+      out.push_back(e.stem);
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::vector<std::uint64_t> SnapshotStore::generations(
+    const std::string& design) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const std::string stem = sanitize_design(design);
+  std::vector<std::uint64_t> out;
+  for (const FileEntry& e : scan_locked()) {
+    if (e.stem == stem) out.push_back(e.generation);
+  }
+  return out;
+}
+
+}  // namespace hb

@@ -27,6 +27,10 @@ const char* diag_code_name(DiagCode code) {
     case DiagCode::kAnalysisBudget: return "analysis-budget";
     case DiagCode::kAnalysisSelfHeal: return "analysis-self-heal";
     case DiagCode::kServiceRejected: return "service-rejected";
+    case DiagCode::kSnapshotMissing: return "snapshot-missing";
+    case DiagCode::kSnapshotCorrupt: return "snapshot-corrupt";
+    case DiagCode::kSnapshotVersionSkew: return "snapshot-version-skew";
+    case DiagCode::kSnapshotIo: return "snapshot-io";
   }
   return "unknown";
 }

@@ -54,6 +54,12 @@ enum class DiagCode : std::uint16_t {
   // Query service (src/service).
   kServiceRejected,      // well-formed query the session cannot apply
                          // (e.g. upsize of a maxed-out or sequential cell)
+
+  // Persistent snapshot store (src/service/snapshot_store).
+  kSnapshotMissing,      // no stored snapshot for the requested design
+  kSnapshotCorrupt,      // truncated image or per-section checksum mismatch
+  kSnapshotVersionSkew,  // readable header but unknown format version
+  kSnapshotIo,           // filesystem failure while saving/loading
 };
 
 /// Stable lower-case identifier for a code, e.g. "parse-syntax".

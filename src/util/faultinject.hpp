@@ -13,7 +13,15 @@
 //   kSpuriousCancel — CancelToken::cancelled() returns true spuriously
 //                     (watchdog / timed_out paths);
 //   kCacheCorrupt   — SlackEngine perturbs one cached pass result before an
-//                     incremental update (self-check / self-heal paths).
+//                     incremental update (self-check / self-heal paths);
+//   kSnapshotShortWrite  — SnapshotStore::save truncates the serialized
+//                     image at a deterministic offset before it hits disk
+//                     (torn-write / crash-mid-write recovery paths);
+//   kSnapshotBitFlip     — SnapshotStore::save flips one deterministic bit
+//                     of the image (silent media-corruption paths);
+//   kSnapshotStaleVersion — SnapshotStore::save stamps a future format
+//                     version into the header (version-skew rejection
+//                     paths, e.g. a rollback after an upgrade).
 #pragma once
 
 #include <atomic>
@@ -27,8 +35,11 @@ enum class FaultSite : int {
   kPoolTask = 0,
   kSpuriousCancel = 1,
   kCacheCorrupt = 2,
+  kSnapshotShortWrite = 3,
+  kSnapshotBitFlip = 4,
+  kSnapshotStaleVersion = 5,
 };
-inline constexpr int kNumFaultSites = 3;
+inline constexpr int kNumFaultSites = 6;
 
 /// Exception thrown by injected task faults; an hb::Error so recovery paths
 /// treat it exactly like a real analysis failure.

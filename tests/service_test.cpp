@@ -14,6 +14,8 @@
 #include <unistd.h>
 
 #include <atomic>
+#include <cstdlib>
+#include <filesystem>
 #include <memory>
 #include <sstream>
 #include <thread>
@@ -203,6 +205,39 @@ TEST(ServiceTest, CheckHoldMatchesFreshAnalysis) {
   EXPECT_TRUE(session->execute("check_hold").ok);
   EXPECT_FALSE(session->execute("check_hold 1ns 2ns").ok);
   EXPECT_FALSE(session->execute("check_hold bogus").ok);
+}
+
+TEST(ServiceTest, CheckHoldDifferentialHoldsAfterWarmRestart) {
+  namespace fs = std::filesystem;
+  auto session = make_session();
+  const std::vector<std::string> comb = cell_names(session->design(), 1, false);
+  ASSERT_GE(comb.size(), 1u);
+  EXPECT_TRUE(session->execute("set_delay " + comb[0] + " 120ps").ok);
+  ASSERT_TRUE(session->execute("commit").ok);
+
+  std::string tmpl = (fs::temp_directory_path() / "hbwarm.XXXXXX").string();
+  std::vector<char> buf(tmpl.begin(), tmpl.end());
+  buf.push_back('\0');
+  ASSERT_NE(::mkdtemp(buf.data()), nullptr);
+  const std::string dir = buf.data();
+
+  ServiceConfig cfg;
+  cfg.snapshot_dir = dir;
+  {
+    ServiceHost host(cfg);
+    host.adopt(session);  // persists the published snapshot retroactively
+  }
+  // A restarted host with no session answers the same differential-tested
+  // check_hold replies from the persisted snapshot alone.
+  ServiceHost restarted(cfg);
+  ASSERT_NE(restarted.warm_snapshot(), nullptr);
+  ProtocolHandler h(restarted);
+  for (const TimePs margin : {TimePs(0), ns(2), ns(8)}) {
+    const std::string q = "check_hold " + std::to_string(margin);
+    EXPECT_EQ(h.handle_line(q), to_wire(session->execute(q)));
+  }
+  std::error_code ec;
+  fs::remove_all(dir, ec);
 }
 
 TEST(ServiceTest, ConcurrentReadersNeverSeeTornAnalysis) {
@@ -457,7 +492,7 @@ TEST(ServiceTest, MetricsReflectTraffic) {
   EXPECT_EQ(m.cache_misses(), 1u);
   const QueryResult stats = session->execute("stats");
   ASSERT_TRUE(stats.ok);
-  EXPECT_EQ(stats.lines.size(), 16u);  // header + 15 stat lines
+  EXPECT_EQ(stats.lines.size(), 20u);  // header + 19 stat lines
 }
 
 }  // namespace

@@ -1,0 +1,71 @@
+// Snapshot-format drift detector (ci `snapshot-drift` job).
+//
+// Serialises a fully captured snapshot of every generator network and
+// compares each section's checksum against tests/snapshots/checksums.golden.
+// A mismatch means either the binary format changed (bump
+// kSnapshotFormatVersion and regenerate) or the analysis results silently
+// drifted (investigate — the timing contract broke).  Regenerate after
+// intended changes with HB_UPDATE_GOLDENS=1.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "service/snapshot_store.hpp"
+#include "sta/hummingbird.hpp"
+#include "test_util.hpp"
+
+#ifndef HB_SNAPSHOT_GOLDEN
+#define HB_SNAPSHOT_GOLDEN "tests/snapshots/checksums.golden"
+#endif
+
+namespace hb {
+namespace {
+
+std::string current_checksum_table() {
+  std::ostringstream out;
+  for (Workload& w : all_generator_networks()) {
+    Hummingbird hum(w.design, w.clocks);
+    const Algorithm1Result res = hum.analyze();
+    auto snap = take_snapshot(hum.engine(), res, /*id=*/1, /*max_paths=*/32,
+                              build_name_index(hum.graph()));
+    capture_hold_into(*snap, hum.engine());
+    capture_constraints_into(*snap, hum);
+    const SnapshotParse parsed = parse_snapshot(serialize_snapshot(*snap));
+    EXPECT_TRUE(parsed.ok()) << w.name << ": " << parsed.error;
+    for (const SnapshotSectionInfo& s : parsed.sections) {
+      char line[160];
+      std::snprintf(line, sizeof line, "%s %s %016llx %zu\n", w.name.c_str(),
+                    snapshot_section_name(static_cast<SnapshotSection>(s.kind)),
+                    static_cast<unsigned long long>(s.checksum),
+                    s.payload_size);
+      out << line;
+    }
+  }
+  return out.str();
+}
+
+TEST(SnapshotGoldenTest, SectionChecksumsMatchGolden) {
+  const std::string current = current_checksum_table();
+  const std::string path = HB_SNAPSHOT_GOLDEN;
+  if (std::getenv("HB_UPDATE_GOLDENS") != nullptr) {
+    std::ofstream out(path, std::ios::trunc);
+    ASSERT_TRUE(out) << "cannot write " << path;
+    out << current;
+    GTEST_SKIP() << "regenerated " << path;
+  }
+  std::ifstream in(path);
+  ASSERT_TRUE(in) << "missing " << path
+                  << "; run with HB_UPDATE_GOLDENS=1 to generate";
+  const std::string golden((std::istreambuf_iterator<char>(in)),
+                           std::istreambuf_iterator<char>());
+  EXPECT_EQ(current, golden)
+      << "snapshot section checksums drifted; if the format or analysis "
+         "changed intentionally, run with HB_UPDATE_GOLDENS=1 to regenerate";
+}
+
+}  // namespace
+}  // namespace hb
