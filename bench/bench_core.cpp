@@ -32,6 +32,7 @@
 #include "gen/random_network.hpp"
 #include "netlist/blif_io.hpp"
 #include "netlist/stdcells.hpp"
+#include "scenario/corner_analysis.hpp"
 #include "sta/analysis_pass.hpp"
 #include "sta/cluster.hpp"
 #include "sta/slack_engine.hpp"
@@ -616,18 +617,90 @@ int main(int argc, char** argv) {
                  i + 1 < workloads.size() ? "," : "");
   }
 
+  // Multi-corner lane amortisation: one K=4 corner-lane sweep vs a K=1
+  // identity sweep over the same engine.  The graph walk is paid once per
+  // sweep regardless of K, so K=4 must cost well under 4x K=1 — that ratio
+  // is the whole case for the lane layout (docs/SCENARIOS.md).  The K=1
+  // identity lane is also held byte-identical to the engine's own cache,
+  // which IS deterministic and gates the exit code; the timing ratio is
+  // informational (shared CI runners make wall-clock flaky).
+  std::fprintf(json, "  ],\n  \"corners\": [\n");
+  std::printf("\n%-18s %10s %10s %12s %9s %9s\n", "corners (K=4)", "k1 us",
+              "k4 us", "percorner us", "amort", "k1 ident");
+  bool corner_identity = true;
+  bool corner_amortised = true;
+  for (std::size_t i = 0; i < workloads.size(); ++i) {
+    Workload& w = workloads[i];
+    DelayCalculator calc(w.design);
+    TimingGraph graph(w.design, calc);
+    SyncModel sync(graph, w.clocks, calc);
+    ClusterSet clusters(graph, sync);
+    SlackEngine engine(graph, clusters, sync);
+    engine.compute();
+
+    CornerSet k4;
+    k4.add(Corner{"typical", kIdentityPm, kIdentityPm, {}});
+    k4.add(Corner{"slow", 1250, 1300, {}});
+    k4.add(Corner{"fast", 800, 780, {}});
+    k4.add(Corner{"cold", 1100, 1050, {}});
+    CornerAnalysis ca1(engine, CornerSet::identity());
+    CornerAnalysis ca4(engine, k4);
+    ca1.compute();
+    ca4.compute();
+
+    // K=1 identity lane byte-identical to the engine's own cached passes.
+    bool identical = true;
+    for (std::uint32_t c = 0; c < clusters.num_clusters(); ++c) {
+      for (std::size_t p = 0; p < engine.num_passes(ClusterId(c)); ++p) {
+        const PassResult& ref = engine.cached_pass(ClusterId(c), p);
+        const CornerPassResult& got = ca1.cached_pass(ClusterId(c), p);
+        identical = identical &&
+                    got.ready.flat_size() == ref.ready.flat_size() &&
+                    std::memcmp(got.ready.data(), ref.ready.data(),
+                                ref.ready.flat_size() * sizeof(RiseFall)) == 0 &&
+                    std::memcmp(got.required.data(), ref.required.data(),
+                                ref.required.flat_size() * sizeof(RiseFall)) == 0;
+      }
+    }
+    corner_identity = corner_identity && identical;
+
+    const int creps = w.design.total_cell_count() > 20000
+                          ? std::max(1, (quick ? 3 : 10) / 5)
+                          : (quick ? 3 : 10);
+    const auto [k1_us, k4_us] = time_pair_us(
+        creps, [&] { ca1.compute(); }, [&] { ca4.compute(); });
+    const double amort = k1_us > 0 ? k4_us / k1_us : 0;
+    corner_amortised = corner_amortised && amort < 4.0;
+    std::printf("%-18s %10.1f %10.1f %12.1f %8.2fx %9s\n", w.name.c_str(),
+                k1_us, k4_us, k4_us / 4.0, amort, identical ? "yes" : "NO");
+    std::fprintf(json,
+                 "    {\"name\": \"%s\", \"corners\": 4, "
+                 "\"pass_eval_k1_us\": %.2f, \"pass_eval_k4_us\": %.2f, "
+                 "\"per_corner_us\": %.2f, \"amortisation_vs_k1\": %.2f, "
+                 "\"k1_identity_bit_identical\": %s}%s\n",
+                 w.name.c_str(), k1_us, k4_us, k4_us / 4.0, amort,
+                 identical ? "true" : "false",
+                 i + 1 < workloads.size() ? "," : "");
+  }
+
   std::fprintf(json,
                "  ],\n  \"all_bit_identical\": %s,\n"
                "  \"zero_alloc_steady_state\": %s,\n"
                "  \"blif_roundtrip_ok\": %s,\n"
+               "  \"corner_k1_identity_ok\": %s,\n"
+               "  \"corner_amortisation_ok\": %s,\n"
                "  \"random_large_speedup_vs_reference\": %.2f\n}\n",
                all_identical ? "true" : "false", zero_alloc ? "true" : "false",
-               blif_roundtrip ? "true" : "false", large_speedup);
+               blif_roundtrip ? "true" : "false",
+               corner_identity ? "true" : "false",
+               corner_amortised ? "true" : "false", large_speedup);
   std::fclose(json);
   std::printf("\nwrote BENCH_core.json (random_large speedup vs pre-CSR "
               "reference: %.2fx; bit-identical: %s; zero-alloc: %s; "
-              "blif round trip: %s)\n",
+              "blif round trip: %s; corner K=1 identity: %s; "
+              "K=4 amortised: %s)\n",
               large_speedup, all_identical ? "yes" : "NO",
-              zero_alloc ? "yes" : "NO", blif_roundtrip ? "yes" : "NO");
-  return all_identical && blif_roundtrip ? 0 : 1;
+              zero_alloc ? "yes" : "NO", blif_roundtrip ? "yes" : "NO",
+              corner_identity ? "yes" : "NO", corner_amortised ? "yes" : "NO");
+  return all_identical && blif_roundtrip && corner_identity ? 0 : 1;
 }

@@ -48,10 +48,12 @@
 #include "netlist/library_io.hpp"
 #include "netlist/netlist_io.hpp"
 #include "netlist/stdcells.hpp"
+#include "scenario/corner_analysis.hpp"
 #include "service/protocol.hpp"
 #include "service/tcp_server.hpp"
 #include "sta/hummingbird.hpp"
 #include "sta/visualize.hpp"
+#include "util/error.hpp"
 
 namespace {
 
@@ -63,6 +65,7 @@ struct CliFlags {
   bool want_histogram = false;
   std::string dot_path;   // write a Graphviz view here when non-empty
   std::string lib_path;   // cell library file; built-in hbcells when empty
+  std::string corners_path;  // corner-spec file (docs/SCENARIOS.md)
   int threads = 1;        // analysis workers; 0 = hardware concurrency
   hb::TimePs period = hb::ns(20);  // default-clock period for spec-less BLIF
 };
@@ -84,6 +87,8 @@ int parse_flags(int argc, char** argv, int start, CliFlags& flags) {
       flags.dot_path = argv[++i];
     } else if (std::strcmp(argv[i], "--lib") == 0 && i + 1 < argc) {
       flags.lib_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--corners") == 0 && i + 1 < argc) {
+      flags.corners_path = argv[++i];
     } else if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
       flags.threads = std::atoi(argv[++i]);
     } else if (std::strcmp(argv[i], "--period") == 0 && i + 1 < argc) {
@@ -94,6 +99,16 @@ int parse_flags(int argc, char** argv, int start, CliFlags& flags) {
     }
   }
   return 0;
+}
+
+/// Read and parse a corner-spec file; throws hb::Error on open or parse
+/// failure (first error diagnostic, with its line/column).
+hb::CornerSet load_corners(const std::string& path) {
+  std::ifstream cf(path);
+  if (!cf) hb::raise("cannot open corner spec '" + path + "'");
+  std::string text((std::istreambuf_iterator<char>(cf)),
+                   std::istreambuf_iterator<char>());
+  return hb::parse_corner_spec_or_throw(text);
 }
 
 int run(const std::string& netlist_path, const std::string& spec_path,
@@ -154,6 +169,36 @@ int run(const std::string& netlist_path, const std::string& spec_path,
   std::printf("pre-process %.4f s, analysis %.4f s\n",
               analyser.stats().preprocess_seconds, analyser.stats().analysis_seconds);
   std::printf("%s", analyser.report(flags.max_paths).c_str());
+
+  if (!flags.corners_path.empty()) {
+    // Sign off the settled schedule under every corner in one K-lane sweep
+    // (docs/SCENARIOS.md); the full path report prints for the worst corner.
+    const CornerSet corners = load_corners(flags.corners_path);
+    CornerAnalysis ca(analyser.engine(), corners);
+    ca.compute(pool.get());
+    const MergedSlack worst = ca.merged_worst_slack();
+    std::printf("multi-corner analysis: %zu corner(s), worst corner %s\n",
+                ca.num_corners(), corners.corner(worst.corner).name.c_str());
+    const SyncModel& sync = analyser.sync_model();
+    for (std::size_t k = 0; k < ca.num_corners(); ++k) {
+      std::size_t violations = 0;
+      for (std::size_t i = 0; i < sync.num_instances(); ++i) {
+        const SyncId sid(static_cast<std::uint32_t>(i));
+        if (!sync.at(sid).data_in.valid()) continue;
+        const TimePs s = ca.capture_slack(k, sid);
+        if (s < 0) ++violations;
+      }
+      const Corner& c = corners.corner(k);
+      std::printf(
+          "  corner %zu %-12s derate %u wire %u worst slack %s, "
+          "%zu violation(s)\n",
+          k, c.name.c_str(), c.derate_pm, c.wire_pm,
+          format_time(ca.worst_terminal_slack(k)).c_str(), violations);
+    }
+    std::printf("worst-corner report (%s):\n%s",
+                corners.corner(worst.corner).name.c_str(),
+                ca.report(worst.corner, flags.max_paths).c_str());
+  }
 
   if (flags.want_histogram) {
     std::printf("terminal slack histogram:\n%s",
@@ -228,17 +273,20 @@ void print_usage(std::FILE* to) {
       "usage:\n"
       "  hummingbird_cli <netlist> <timing-spec> [--paths N] [--constraints]\n"
       "                  [--hold <margin>] [--histogram] [--dot F] [--lib F]\n"
-      "                  [--threads N]\n"
+      "                  [--threads N] [--corners F]\n"
       "  hummingbird_cli analyze <netlist-or-blif> [<timing-spec>]\n"
       "                  [--period T] [one-shot flags]\n"
       "  hummingbird_cli serve [<netlist> <timing-spec>] [--lib F] [--tcp PORT]\n"
-      "                  [--snapshot-dir D]\n"
+      "                  [--snapshot-dir D] [--corners F]\n"
       "  hummingbird_cli query <netlist> <timing-spec> [--lib F] <query>...\n"
       "  hummingbird_cli --help\n"
       "\n"
       "Netlist inputs ending in .blif are parsed as BLIF (docs/FRONTEND.md);\n"
       "for those `analyze` may omit the timing spec, synthesising a clock\n"
       "per `.clock` port over --period (default 20ns).\n"
+      "--corners evaluates every corner of a corner-spec file in one K-lane\n"
+      "sweep (docs/SCENARIOS.md); serve --corners attaches per-corner\n"
+      "sections to every snapshot and enables the `corner` verbs.\n"
       "With no arguments, runs a built-in demo.  serve/query speak the line\n"
       "protocol documented in docs/SERVICE.md (`help` lists the verbs).\n"
       "Exit codes: 0 ok, 1 timing violations (one-shot analysis), 2 usage,\n"
@@ -266,7 +314,7 @@ int run_analyze(int argc, char** argv) {
 
 int run_serve(int argc, char** argv) {
   using namespace hb;
-  std::string netlist, spec, lib, snapshot_dir;
+  std::string netlist, spec, lib, snapshot_dir, corners;
   int tcp_port = -1;  // -1 = no TCP listener
   for (int i = 2; i < argc; ++i) {
     if (std::strcmp(argv[i], "--lib") == 0 && i + 1 < argc) {
@@ -275,6 +323,8 @@ int run_serve(int argc, char** argv) {
       tcp_port = std::atoi(argv[++i]);
     } else if (std::strcmp(argv[i], "--snapshot-dir") == 0 && i + 1 < argc) {
       snapshot_dir = argv[++i];
+    } else if (std::strcmp(argv[i], "--corners") == 0 && i + 1 < argc) {
+      corners = argv[++i];
     } else if (argv[i][0] == '-') {
       std::fprintf(stderr, "serve: unknown option '%s'\n", argv[i]);
       return 2;
@@ -294,6 +344,7 @@ int run_serve(int argc, char** argv) {
 
   ServiceConfig config;
   config.snapshot_dir = snapshot_dir;
+  if (!corners.empty()) config.session.corners = load_corners(corners);
   ServiceHost host(std::move(config));
   if (const auto warm = host.warm_snapshot()) {
     std::fprintf(stderr, "warm restart: serving snapshot %llu of '%s'\n",

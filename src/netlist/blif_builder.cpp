@@ -414,8 +414,22 @@ class Builder {
     const BlifSubckt& s = file_->models[mi].subckts[si];
     const auto sub_it =
         s.is_gate ? model_by_name_.end() : model_by_name_.find(s.model);
-    const CellId cell =
+    CellId cell =
         sub_it == model_by_name_.end() ? design.lib().find(s.model) : CellId();
+
+    // `.gate` names from real flows are often liberty-style spellings of a
+    // loadable library's cells ("nand2_x1" for "NAND2X1"); resolve through
+    // the alias rules and diagnose the substitution rather than reject it.
+    if (s.is_gate && !cell.valid()) {
+      cell = design.lib().find_liberty(s.model);
+      if (cell.valid()) {
+        sink_->add(DiagCode::kParseUnknownName, Severity::kWarning, s.loc,
+                   "gate '" + s.model + "' is not a cell of library '" +
+                       design.lib().name() + "'; resolved to '" +
+                       design.lib().cell(cell).name() +
+                       "' via liberty-style alias");
+      }
+    }
 
     if (sub_it == model_by_name_.end() && !cell.valid()) {
       sink_->add(DiagCode::kParseUnknownName, Severity::kError, s.loc,

@@ -1,6 +1,7 @@
 #include "netlist/library.hpp"
 
 #include <algorithm>
+#include <cctype>
 
 namespace hb {
 
@@ -55,6 +56,28 @@ CellId Library::add_cell(Cell cell) {
 CellId Library::find(const std::string& name) const {
   auto it = by_name_.find(name);
   return it == by_name_.end() ? CellId::invalid() : it->second;
+}
+
+CellId Library::find_liberty(const std::string& name) const {
+  if (CellId id = find(name); id.valid()) return id;
+  // Case-fold and drop one underscore before a trailing drive suffix:
+  // "nand2_x1" and "NAND2_X1" both become "NAND2X1".
+  std::string canon;
+  canon.reserve(name.size());
+  for (char ch : name) {
+    canon.push_back(static_cast<char>(std::toupper(static_cast<unsigned char>(ch))));
+  }
+  const std::size_t us = canon.rfind('_');
+  if (us != std::string::npos && us + 2 < canon.size() &&
+      canon[us + 1] == 'X' &&
+      canon.find_first_not_of("0123456789", us + 2) == std::string::npos) {
+    canon.erase(us, 1);
+  }
+  if (CellId id = find(canon); id.valid()) return id;
+  // A bare family name resolves to its weakest drive variant.
+  const std::vector<CellId> members = family_members(canon);
+  if (!members.empty()) return members.front();
+  return CellId::invalid();
 }
 
 CellId Library::require(const std::string& name) const {

@@ -151,6 +151,15 @@ class Library {
   /// Lookup by name; throws hb::Error if absent.
   CellId require(const std::string& name) const;
 
+  /// Lookup tolerating liberty-style spellings that don't match the
+  /// library's own names: case-insensitive, an optional underscore before
+  /// the drive suffix ("nand2_x1" -> "NAND2X1"), and a bare family name
+  /// resolving to its weakest drive ("NAND2" -> "NAND2X1").  Exact matches
+  /// win; invalid id if nothing resolves.  The BLIF `.gate` frontend uses
+  /// this so netlists written against a real liberty library load against
+  /// an equivalent loadable library (netlist/blif_builder).
+  CellId find_liberty(const std::string& name) const;
+
   /// All cells of a drive family, sorted by ascending drive index.
   std::vector<CellId> family_members(const std::string& family) const;
   /// The next stronger / weaker variant of a cell, or invalid if none.

@@ -1,0 +1,147 @@
+#include "scenario/corner_set.hpp"
+
+#include <sstream>
+
+namespace hb {
+namespace {
+
+constexpr std::uint32_t kMinPm = 1;
+constexpr std::uint32_t kMaxPm = 100000;
+
+/// Parse a per-mille factor token; returns false (and diagnoses) on
+/// anything that is not an integer in [kMinPm, kMaxPm].
+bool parse_pm(const Token& tok, int line, DiagnosticSink& sink,
+              std::uint32_t& out) {
+  const std::string& s = tok.text;
+  if (s.empty() || s.find_first_not_of("0123456789") != std::string::npos) {
+    sink.add(DiagCode::kParseBadNumber, Severity::kError, {line, tok.col},
+             "'" + s + "' is not a per-mille derate factor",
+             "factors are plain integers, e.g. 1250 for 25% slower");
+    return false;
+  }
+  unsigned long long v = 0;
+  try {
+    v = std::stoull(s);
+  } catch (...) {
+    v = kMaxPm + 1;
+  }
+  if (v < kMinPm || v > kMaxPm) {
+    sink.add(DiagCode::kParseBadNumber, Severity::kError, {line, tok.col},
+             "derate factor " + s + " is outside [" + std::to_string(kMinPm) +
+                 ", " + std::to_string(kMaxPm) + "] per mille");
+    return false;
+  }
+  out = static_cast<std::uint32_t>(v);
+  return true;
+}
+
+}  // namespace
+
+CornerSet CornerSet::identity() {
+  CornerSet set;
+  set.add(Corner{"typical", kIdentityPm, kIdentityPm, {}});
+  return set;
+}
+
+std::size_t CornerSet::add(Corner corner) {
+  corners_.push_back(std::move(corner));
+  return corners_.size() - 1;
+}
+
+std::size_t CornerSet::find(const std::string& name) const {
+  for (std::size_t k = 0; k < corners_.size(); ++k) {
+    if (corners_[k].name == name) return k;
+  }
+  return npos;
+}
+
+bool CornerSet::all_identity() const {
+  for (const Corner& c : corners_) {
+    if (!c.is_identity()) return false;
+  }
+  return true;
+}
+
+CornerSet parse_corner_spec(const std::string& text, DiagnosticSink& sink) {
+  CornerSet set;
+  std::istringstream in(text);
+  std::string raw;
+  int line = 0;
+  while (std::getline(in, raw)) {
+    ++line;
+    const std::vector<Token> toks = split_tokens(raw);
+    if (toks.empty()) continue;  // blank / comment: nothing to recover from
+    const std::string& kw = toks[0].text;
+
+    if (kw == "corner") {
+      if (toks.size() != 3) {
+        sink.add(DiagCode::kParseSyntax, Severity::kError, {line, toks[0].col},
+                 "`corner` expects `corner <name> <derate_pm>`, got " +
+                     std::to_string(toks.size() - 1) + " argument(s)");
+        continue;
+      }
+      if (set.find(toks[1].text) != CornerSet::npos) {
+        sink.add(DiagCode::kParseDuplicateName, Severity::kError,
+                 {line, toks[1].col},
+                 "corner '" + toks[1].text + "' declared twice");
+        continue;
+      }
+      std::uint32_t pm = 0;
+      if (!parse_pm(toks[2], line, sink, pm)) continue;
+      set.add(Corner{toks[1].text, pm, pm, {}});
+      continue;
+    }
+
+    if (kw == "wire" || kw == "cell") {
+      const bool is_cell = kw == "cell";
+      const std::size_t want = is_cell ? 4 : 3;
+      if (toks.size() != want) {
+        sink.add(DiagCode::kParseSyntax, Severity::kError, {line, toks[0].col},
+                 is_cell ? "`cell` expects `cell <corner> <cell_name> <pm>`"
+                         : "`wire` expects `wire <corner> <pm>`");
+        continue;
+      }
+      const std::size_t k = set.find(toks[1].text);
+      if (k == CornerSet::npos) {
+        sink.add(DiagCode::kParseUnknownName, Severity::kError,
+                 {line, toks[1].col},
+                 "unknown corner '" + toks[1].text + "'",
+                 "declare it with `corner` before overriding it");
+        continue;
+      }
+      std::uint32_t pm = 0;
+      if (!parse_pm(toks[want - 1], line, sink, pm)) continue;
+      Corner& c = set.corner_mut(k);
+      if (is_cell) {
+        if (!c.cell_pm.emplace(toks[2].text, pm).second) {
+          sink.add(DiagCode::kParseDuplicateName, Severity::kError,
+                   {line, toks[2].col},
+                   "cell '" + toks[2].text + "' already overridden for corner '" +
+                       c.name + "'");
+        }
+      } else {
+        c.wire_pm = pm;
+      }
+      continue;
+    }
+
+    sink.add(DiagCode::kParseUnknownKeyword, Severity::kError,
+             {line, toks[0].col},
+             "unknown corner-spec statement '" + kw + "'",
+             "statements: corner | wire | cell");
+  }
+  if (set.empty() && !sink.has_errors()) {
+    sink.add(DiagCode::kParseEmptyInput, Severity::kError, {},
+             "corner spec declares no corner");
+  }
+  return set;
+}
+
+CornerSet parse_corner_spec_or_throw(const std::string& text) {
+  DiagnosticSink sink;
+  CornerSet set = parse_corner_spec(text, sink);
+  if (sink.has_errors()) raise_first_error("corner spec", sink);
+  return set;
+}
+
+}  // namespace hb

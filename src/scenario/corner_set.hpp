@@ -1,0 +1,108 @@
+// Operating-condition corners for multi-scenario analysis (docs/SCENARIOS.md).
+//
+// A Corner scales the timing graph's arc delays by integer per-mille derate
+// factors — 1000 is an exact identity, 1250 means "25% slower" — kept as
+// integers so the derated delays, and everything folded from them, stay
+// bit-reproducible across platforms and thread counts.  Each corner carries
+//   * `derate_pm`: the factor applied to component (cell) arcs;
+//   * `wire_pm`:   the factor applied to net arcs (wire-load variants;
+//                  defaults to derate_pm);
+//   * per-cell overrides by library cell name (explicit characterisation of
+//     individual cells at this corner).
+//
+// A CornerSet is an ordered list of named corners; corner *index* is the
+// stable identity used by lane layouts, tie-breaks and the service's
+// `corner <k>` scoping.  Sets parse from a small line-oriented spec file
+// (one statement per line, '#' comments, recovery by statement) or are
+// built programmatically.  The single-corner identity set reproduces the
+// legacy single-corner engine byte for byte (tests/corner_test.cpp).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "util/diagnostics.hpp"
+#include "util/time.hpp"
+
+namespace hb {
+
+/// Exact-identity derate factor (per mille).
+inline constexpr std::uint32_t kIdentityPm = 1000;
+
+/// Derate an arc delay: round-half-up fixed-point scale by `pm` per mille.
+/// pm == kIdentityPm is an exact identity by construction — the K=1
+/// differential guarantee rests on this short-circuit, not on the rounding.
+inline TimePs derate_time(TimePs t, std::uint32_t pm) {
+  if (pm == kIdentityPm) return t;
+  return (t * static_cast<TimePs>(pm) + 500) / 1000;
+}
+
+struct Corner {
+  std::string name;
+  /// Component-arc derate, per mille of the nominal delay.
+  std::uint32_t derate_pm = kIdentityPm;
+  /// Net-arc derate; net arcs carry zero delay in the current wire model,
+  /// so this is future-proofing for explicit wire delays — it defaults to
+  /// derate_pm and parses from `wire` statements.
+  std::uint32_t wire_pm = kIdentityPm;
+  /// Per-library-cell overrides of derate_pm, by cell name.
+  std::unordered_map<std::string, std::uint32_t> cell_pm;
+
+  /// Factor for a component arc of cell `cell_name`.
+  std::uint32_t cell_factor(const std::string& cell_name) const {
+    const auto it = cell_pm.find(cell_name);
+    return it == cell_pm.end() ? derate_pm : it->second;
+  }
+  /// True when this corner cannot change any delay.
+  bool is_identity() const {
+    if (derate_pm != kIdentityPm || wire_pm != kIdentityPm) return false;
+    for (const auto& [cell, pm] : cell_pm) {
+      if (pm != kIdentityPm) return false;
+    }
+    return true;
+  }
+};
+
+class CornerSet {
+ public:
+  /// The default single-corner set: one identity corner named "typical".
+  static CornerSet identity();
+
+  /// Appends a corner; returns its index.  Duplicate names are the caller's
+  /// problem at this level (the parser diagnoses them).
+  std::size_t add(Corner corner);
+
+  std::size_t size() const { return corners_.size(); }
+  bool empty() const { return corners_.empty(); }
+  const Corner& corner(std::size_t k) const { return corners_.at(k); }
+  Corner& corner_mut(std::size_t k) { return corners_.at(k); }
+  const std::vector<Corner>& corners() const { return corners_; }
+
+  /// Index of the corner named `name`, or npos.
+  static constexpr std::size_t npos = static_cast<std::size_t>(-1);
+  std::size_t find(const std::string& name) const;
+
+  /// True when every corner is an identity (the legacy-equivalent case).
+  bool all_identity() const;
+
+ private:
+  std::vector<Corner> corners_;
+};
+
+/// Parse a corner-spec text.  Statements, one per line:
+///   corner <name> <derate_pm>          — declare a corner
+///   wire <corner> <pm>                 — net-arc derate of a declared corner
+///   cell <corner> <cell_name> <pm>     — per-cell override
+/// Recovering: each malformed statement yields one structured diagnostic
+/// (with line/column SourceLoc) and parsing resynchronises at the next
+/// line.  Factors must lie in [1, 100000] per mille.  An input that
+/// declares no corner at all adds kParseEmptyInput.  Returns the corners
+/// that did parse (possibly empty).
+CornerSet parse_corner_spec(const std::string& text, DiagnosticSink& sink);
+
+/// Fail-fast wrapper: raises hb::Error from the first error diagnostic.
+CornerSet parse_corner_spec_or_throw(const std::string& text);
+
+}  // namespace hb

@@ -34,6 +34,10 @@ void ServiceMetrics::record_cache(bool hit) {
   (hit ? cache_hits_ : cache_misses_).fetch_add(1, std::memory_order_relaxed);
 }
 
+void ServiceMetrics::record_corner_read() {
+  corner_reads_.fetch_add(1, std::memory_order_relaxed);
+}
+
 void ServiceMetrics::record_snapshot_published() {
   snapshots_.fetch_add(1, std::memory_order_relaxed);
 }
@@ -95,6 +99,7 @@ std::vector<std::string> ServiceMetrics::to_lines() const {
   add("errors", errors());
   add("timeouts", timeouts());
   add("batches", batches());
+  add("corner_reads", corner_reads());
   add("cache_hits", cache_hits());
   add("cache_misses", cache_misses());
   std::snprintf(buf, sizeof buf, "  stat cache_hit_rate_pct %.1f",

@@ -20,6 +20,8 @@ class ServiceMetrics {
   /// Record one finished request: its class, outcome and wall time.
   void record_request(bool is_read, bool ok, bool timed_out, double seconds);
   void record_cache(bool hit);
+  /// One corner-scoped read query (`corner ...`) reached evaluation.
+  void record_corner_read();
   void record_snapshot_published();
   void record_batch();
   // Persistent snapshot store traffic (service/snapshot_store.hpp).
@@ -34,6 +36,9 @@ class ServiceMetrics {
   std::uint64_t errors() const { return errors_.load(std::memory_order_relaxed); }
   std::uint64_t timeouts() const { return timeouts_.load(std::memory_order_relaxed); }
   std::uint64_t batches() const { return batches_.load(std::memory_order_relaxed); }
+  std::uint64_t corner_reads() const {
+    return corner_reads_.load(std::memory_order_relaxed);
+  }
   std::uint64_t cache_hits() const { return cache_hits_.load(std::memory_order_relaxed); }
   std::uint64_t cache_misses() const {
     return cache_misses_.load(std::memory_order_relaxed);
@@ -73,6 +78,7 @@ class ServiceMetrics {
   std::atomic<std::uint64_t> errors_{0};
   std::atomic<std::uint64_t> timeouts_{0};
   std::atomic<std::uint64_t> batches_{0};
+  std::atomic<std::uint64_t> corner_reads_{0};
   std::atomic<std::uint64_t> cache_hits_{0};
   std::atomic<std::uint64_t> cache_misses_{0};
   std::atomic<std::uint64_t> snapshots_{0};

@@ -296,6 +296,10 @@ std::vector<std::string> protocol_help_lines() {
       " hold capture",
       "  gen_constraints          Algorithm 2 constraint times from the"
       " snapshot's capture",
+      "  corner list              corners of the snapshot's multi-corner"
+      " capture",
+      "  corner <name|k> <query>  scope slack/worst_paths/histogram/summary/"
+      "check_hold to one corner",
       "  deadline <ms>            per-request deadline (0 = unlimited)",
       "  stats                    service counters and latency percentiles",
       "  ping                     liveness check",

@@ -28,6 +28,7 @@ constexpr VerbSpec kVerbs[] = {
     {"commit", QueryVerb::kCommit, 0, 0},
     {"check_hold", QueryVerb::kCheckHold, 0, 1},
     {"gen_constraints", QueryVerb::kGenConstraints, 0, 0},
+    {"corner", QueryVerb::kCorner, 1, 4},
     {"deadline", QueryVerb::kDeadline, 1, 1},
     {"stats", QueryVerb::kStats, 0, 0},
     {"ping", QueryVerb::kPing, 0, 0},
@@ -56,6 +57,7 @@ bool is_read_query(QueryVerb verb) {
     case QueryVerb::kSummary:
     case QueryVerb::kCheckHold:
     case QueryVerb::kGenConstraints:
+    case QueryVerb::kCorner:
       return true;
     default:
       return false;
@@ -180,6 +182,67 @@ ParsedQuery parse_query(const std::string& line) {
       }
       q.number = margin;
       canon_args = std::to_string(margin);
+      break;
+    }
+    case QueryVerb::kCorner: {
+      // `corner list` or `corner <name|index> <read query>`.  The selector
+      // stays case-sensitive (it may name a corner); the scoped query is
+      // parsed recursively so its validation and canonicalisation — the
+      // cache key — match the unscoped verb exactly.
+      std::string sub = q.args[0];
+      std::transform(sub.begin(), sub.end(), sub.begin(),
+                     [](unsigned char c) { return std::tolower(c); });
+      if (sub == "list") {
+        if (q.args.size() > 1) {
+          return fail(std::move(q), DiagCode::kParseSyntax,
+                      "'corner list' takes no further arguments");
+        }
+        q.args[0] = "list";
+        canon_args = "list";
+        break;
+      }
+      if (q.args.size() < 2) {
+        return fail(std::move(q), DiagCode::kParseSyntax,
+                    "'corner' expects `list` or `<name|index> <read query>`");
+      }
+      std::string scoped;
+      for (std::size_t i = 1; i < q.args.size(); ++i) {
+        if (i > 1) scoped += ' ';
+        scoped += q.args[i];
+      }
+      ParsedQuery inner = parse_query(scoped);
+      if (!inner.ok) {
+        std::string msg = inner.error.lines.empty()
+                              ? std::string("invalid scoped query")
+                              : inner.error.lines[0];
+        const std::string prefix =
+            "err " + std::string(diag_code_name(inner.error.code)) + " ";
+        if (msg.compare(0, prefix.size(), prefix) == 0) {
+          msg = msg.substr(prefix.size());
+        }
+        return fail(std::move(q), inner.error.code, msg);
+      }
+      switch (inner.verb) {
+        case QueryVerb::kSlack:
+        case QueryVerb::kWorstPaths:
+        case QueryVerb::kHistogram:
+        case QueryVerb::kSummary:
+        case QueryVerb::kCheckHold:
+          break;
+        default:
+          return fail(std::move(q), DiagCode::kParseSyntax,
+                      "'corner' scopes slack, worst_paths, histogram, "
+                      "summary or check_hold");
+      }
+      q.corner_sub = inner.verb;
+      q.number = inner.number;
+      canon_args = q.args[0] + " " + inner.canonical;
+      // Rewrite args to [selector, <sub args...>] so the evaluator reads the
+      // scoped query's arguments at the same positions as the unscoped one.
+      std::vector<std::string> rebuilt;
+      rebuilt.push_back(q.args[0]);
+      for (std::string& a : inner.args) rebuilt.push_back(std::move(a));
+      q.args = std::move(rebuilt);
       break;
     }
     case QueryVerb::kSnapshot: {

@@ -31,6 +31,9 @@ enum class QueryVerb {
   kSummary,
   kCheckHold,
   kGenConstraints,
+  /// `corner list` or `corner <name|index> <read query>` — serves from the
+  /// snapshot's per-corner sections (docs/SCENARIOS.md).
+  kCorner,
   // Write queries: funnel through the session's single writer.
   kSetDelay,
   kUpsize,
@@ -78,6 +81,9 @@ struct ParsedQuery {
   /// Pre-parsed numeric arguments, by grammar position (see parse_query).
   std::int64_t number = 0;
   double fraction = 0;
+  /// For kCorner: the scoped read verb (`corner <sel> <sub>`); kUnknown for
+  /// `corner list`.  args[0] is the selector, args[1..] the sub-query's.
+  QueryVerb corner_sub = QueryVerb::kUnknown;
   /// Verb recognised and arity/format valid.
   bool ok = false;
   /// The reply to send when !ok.

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <chrono>
 
+#include "scenario/corner_analysis.hpp"
 #include "service/snapshot_read.hpp"
 #include "service/snapshot_store.hpp"
 #include "synth/resize.hpp"
@@ -110,6 +111,7 @@ QueryResult Session::execute(const ParsedQuery& q, BudgetTimer* timer) {
   if (!q.ok) {
     r = q.error;
   } else if (is_read) {
+    if (q.verb == QueryVerb::kCorner) metrics_.record_corner_read();
     const std::shared_ptr<const AnalysisSnapshot> snap = snapshot();
     const std::string key = QueryCache::key(snap->id, q.canonical);
     if (cache_.lookup(key, &r)) {
@@ -313,7 +315,10 @@ QueryResult Session::do_commit(BudgetTimer*) {
 // analyser.  The snapshot itself was copied out beforehand and is
 // unaffected by the round-trip.
 void Session::attach_captures(AnalysisSnapshot& snap) {
-  if (!options_.capture_hold && !options_.capture_constraints) return;
+  if (!options_.capture_hold && !options_.capture_constraints &&
+      options_.corners.empty()) {
+    return;
+  }
   std::lock_guard<std::mutex> pool_lock(pool_mutex_);
   if (options_.capture_constraints) {
     SyncModel& sync = hb_->sync_model_mut();
@@ -335,6 +340,15 @@ void Session::attach_captures(AnalysisSnapshot& snap) {
   }
   if (options_.capture_hold) {
     capture_hold_into(snap, hb_->engine(), pool_.get());
+  }
+  if (!options_.corners.empty()) {
+    // One K-lane sweep over the settled schedule (after the constraint
+    // round-trip restored it); the snapshot's corner sections serve every
+    // `corner` query without touching the analyser again.
+    CornerAnalysis ca(hb_->engine(), options_.corners);
+    ca.compute(pool_.get());
+    capture_corners_into(snap, ca, options_.max_paths, options_.capture_hold,
+                         pool_.get());
   }
 }
 

@@ -37,6 +37,7 @@
 #include <mutex>
 #include <unordered_map>
 
+#include "scenario/corner_set.hpp"
 #include "service/cache.hpp"
 #include "service/metrics.hpp"
 #include "service/query.hpp"
@@ -65,6 +66,11 @@ struct SessionOptions {
   /// `gen_constraints` query); the analyser is restored bit-identically
   /// afterwards via the reanalyze contract.
   bool capture_constraints = true;
+  /// Corners evaluated at each publication (docs/SCENARIOS.md).  Non-empty,
+  /// every snapshot carries per-corner sections — one K-lane corner sweep
+  /// over the settled schedule — and the `corner` verbs serve from them.
+  /// Empty (the default), corner queries answer a structured rejection.
+  CornerSet corners;
 };
 
 class Session {

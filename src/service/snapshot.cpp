@@ -1,5 +1,7 @@
 #include "service/snapshot.hpp"
 
+#include "scenario/corner_analysis.hpp"
+
 namespace hb {
 
 std::shared_ptr<const NameIndex> build_name_index(const TimingGraph& graph) {
@@ -92,6 +94,72 @@ void capture_hold_into(AnalysisSnapshot& snap, const SlackEngine& engine,
     snap.hold_pairs.push_back(std::move(p));
   }
   snap.has_hold = true;
+}
+
+void capture_corners_into(AnalysisSnapshot& snap, const CornerAnalysis& ca,
+                          std::size_t max_paths, bool capture_hold,
+                          ThreadPool* pool) {
+  const SlackEngine& engine = ca.engine();
+  const SyncModel& sync = engine.sync();
+  snap.corners.clear();
+  snap.corners.reserve(ca.num_corners());
+  for (std::size_t k = 0; k < ca.num_corners(); ++k) {
+    SnapshotCorner sc;
+    const Corner& corner = ca.corner_set().corner(k);
+    sc.name = corner.name;
+    sc.derate_pm = corner.derate_pm;
+    sc.wire_pm = corner.wire_pm;
+    sc.worst_slack = ca.worst_terminal_slack(k);
+
+    const std::vector<NodeTiming>& nts = ca.node_timings(k);
+    sc.node_slacks.reserve(nts.size());
+    for (const NodeTiming& nt : nts) sc.node_slacks.push_back(nt.slack);
+
+    sc.capture_slacks.reserve(sync.num_instances());
+    for (std::size_t i = 0; i < sync.num_instances(); ++i) {
+      const SyncId sid(static_cast<std::uint32_t>(i));
+      if (!sync.at(sid).data_in.valid()) continue;
+      const TimePs s = ca.capture_slack(k, sid);
+      if (s >= kInfinitePs) continue;
+      sc.capture_slacks.push_back(s);
+      if (s < 0) ++sc.num_violations;
+    }
+
+    for (const SlowPath& p : ca.slow_paths(k, max_paths)) {
+      SnapshotPath sp;
+      sp.slack = p.slack;
+      sp.launch = sync.at(p.launch).label;
+      sp.capture = sync.at(p.capture).label;
+      if (!p.steps.empty()) {
+        sp.from = engine.graph().node_name(p.steps.front().node);
+        sp.to = engine.graph().node_name(p.steps.back().node);
+      }
+      sp.steps = p.steps.size();
+      sc.paths.push_back(std::move(sp));
+    }
+
+    if (capture_hold) {
+      // Same infinite-threshold trick as capture_hold_into, under this
+      // corner's derated delays.
+      const std::vector<HoldViolation> all =
+          ca.check_hold_times(k, kInfinitePs, pool);
+      sc.hold_pairs.reserve(all.size());
+      for (const HoldViolation& v : all) {
+        SnapshotHoldPair p;
+        p.launch = v.launch.value();
+        p.capture = v.capture.value();
+        p.margin = v.margin;
+        p.launch_label = sync.at(v.launch).label;
+        p.capture_label = sync.at(v.capture).label;
+        sc.hold_pairs.push_back(std::move(p));
+      }
+      sc.has_hold = true;
+    }
+
+    snap.corners.push_back(std::move(sc));
+  }
+  snap.worst_corner = ca.merged_worst_slack().corner;
+  snap.has_corners = true;
 }
 
 void capture_constraints_into(AnalysisSnapshot& snap, Hummingbird& hb) {

@@ -57,6 +57,31 @@ struct SnapshotHoldPair {
   std::string capture_label;
 };
 
+/// Per-corner results captured from a multi-corner run (docs/SCENARIOS.md).
+/// Each corner carries the same read-query working set as the snapshot's
+/// top-level fields — slack distribution, worst paths, hold pairs — so
+/// `corner <k> <query>` serves from the snapshot exactly like the unscoped
+/// verbs do.
+struct SnapshotCorner {
+  std::string name;
+  std::uint32_t derate_pm = 1000;
+  std::uint32_t wire_pm = 1000;
+  TimePs worst_slack = 0;
+  std::size_t num_violations = 0;
+  /// Per-node slack under this corner, by TNodeId index (`corner <k>
+  /// slack <node>`); same length as AnalysisSnapshot::nodes.
+  std::vector<TimePs> node_slacks;
+  /// Finite capture-terminal slacks under this corner, in SyncId order.
+  std::vector<TimePs> capture_slacks;
+  /// This corner's worst paths, worst first.
+  std::vector<SnapshotPath> paths;
+  /// Hold pairs under this corner's derated delays (when captured).
+  bool has_hold = false;
+  std::vector<SnapshotHoldPair> hold_pairs;
+};
+
+class CornerAnalysis;
+
 struct AnalysisSnapshot {
   std::uint64_t id = 0;
   /// Top-module name of the analysed design — the persistence key of the
@@ -82,6 +107,13 @@ struct AnalysisSnapshot {
   bool has_hold = false;
   std::vector<SnapshotHoldPair> hold_pairs;
 
+  /// Multi-corner sections, by corner index.  Present when the session ran
+  /// a CornerSet (SessionOptions::corners); `worst_corner` is the corner of
+  /// the globally worst slack (ties -> lowest corner index).
+  bool has_corners = false;
+  std::uint32_t worst_corner = 0;
+  std::vector<SnapshotCorner> corners;
+
   /// Algorithm 2 constraint times by TNodeId index (gen_constraints query).
   /// Present when SessionOptions::capture_constraints captured them.
   bool has_constraints = false;
@@ -106,6 +138,14 @@ std::shared_ptr<AnalysisSnapshot> take_snapshot(
 /// pair's worst margin into `snap` (sets has_hold).
 void capture_hold_into(AnalysisSnapshot& snap, const SlackEngine& engine,
                        ThreadPool* pool = nullptr);
+
+/// Capture every corner's results from an up-to-date CornerAnalysis into
+/// `snap` (sets has_corners and worst_corner).  When `capture_hold` is set,
+/// each corner also records its full hold-pair sweep under its derated
+/// delays, mirroring capture_hold_into.
+void capture_corners_into(AnalysisSnapshot& snap, const CornerAnalysis& ca,
+                          std::size_t max_paths, bool capture_hold,
+                          ThreadPool* pool = nullptr);
 
 /// Run Algorithm 2 and record the constraint set into `snap` (sets
 /// has_constraints), then restore the analyser to its settled Algorithm 1

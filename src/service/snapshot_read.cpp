@@ -11,6 +11,150 @@ QueryResult deadline_error(const AnalysisSnapshot& snap) {
                         std::to_string(snap.id) + " unaffected");
 }
 
+/// Resolve a `corner` selector — a corner name, or a decimal index — to an
+/// index into snap.corners; npos when it matches neither.
+std::size_t resolve_corner(const AnalysisSnapshot& snap,
+                           const std::string& sel) {
+  for (std::size_t k = 0; k < snap.corners.size(); ++k) {
+    if (snap.corners[k].name == sel) return k;
+  }
+  if (!sel.empty() &&
+      sel.find_first_not_of("0123456789") == std::string::npos &&
+      sel.size() <= 9) {
+    const std::size_t k = static_cast<std::size_t>(std::stoul(sel));
+    if (k < snap.corners.size()) return k;
+  }
+  return static_cast<std::size_t>(-1);
+}
+
+/// `corner ...` — serve the scoped read from the snapshot's per-corner
+/// sections.  Reply headers mirror the unscoped verbs with
+/// "corner <name>" spliced in after "ok".
+QueryResult evaluate_corner_read(const ParsedQuery& q,
+                                 const AnalysisSnapshot& snap,
+                                 BudgetTimer& timer) {
+  if (!snap.has_corners) {
+    return make_error(DiagCode::kServiceRejected,
+                      "snapshot " + std::to_string(snap.id) +
+                          " carries no corner capture "
+                          "(session ran without a corner set)");
+  }
+  if (q.args[0] == "list") {
+    QueryResult r = make_ok(
+        "ok corner list " + std::to_string(snap.corners.size()) + " worst " +
+        snap.corners.at(snap.worst_corner).name);
+    for (std::size_t k = 0; k < snap.corners.size(); ++k) {
+      timer.count_cycle();
+      if (timer.exhausted()) return deadline_error(snap);
+      const SnapshotCorner& c = snap.corners[k];
+      r.lines.push_back("  corner " + std::to_string(k) + " " + c.name +
+                        " derate " + std::to_string(c.derate_pm) + " wire " +
+                        std::to_string(c.wire_pm) + " worst_slack " +
+                        fmt_ps(c.worst_slack) + " violations " +
+                        std::to_string(c.num_violations));
+    }
+    return r;
+  }
+  const std::size_t k = resolve_corner(snap, q.args[0]);
+  if (k == static_cast<std::size_t>(-1)) {
+    return make_error(DiagCode::kParseUnknownName,
+                      "unknown corner '" + q.args[0] + "' (try `corner list`)");
+  }
+  const SnapshotCorner& c = snap.corners[k];
+  const std::string scope = "ok corner " + c.name + " ";
+  switch (q.corner_sub) {
+    case QueryVerb::kSlack: {
+      const NameIndex& names = *snap.names;
+      auto it = names.node_by_name.find(q.args[1]);
+      if (it == names.node_by_name.end() ||
+          it->second >= c.node_slacks.size()) {
+        return make_error(DiagCode::kParseUnknownName,
+                          "unknown node '" + q.args[1] + "'");
+      }
+      return make_ok(scope + "slack " + q.args[1] + " " +
+                     fmt_ps(c.node_slacks[it->second]));
+    }
+    case QueryVerb::kWorstPaths: {
+      const std::size_t want = static_cast<std::size_t>(q.number);
+      const std::size_t served = std::min(want, c.paths.size());
+      QueryResult r = make_ok(scope + "worst_paths " + std::to_string(served) +
+                              " of " + std::to_string(c.num_violations));
+      for (std::size_t i = 0; i < served; ++i) {
+        timer.count_cycle();
+        if (timer.exhausted()) return deadline_error(snap);
+        const SnapshotPath& p = c.paths[i];
+        r.lines.push_back("  path " + std::to_string(i) + " slack " +
+                          fmt_ps(p.slack) + " launch " + p.launch +
+                          " capture " + p.capture + " from " + p.from +
+                          " to " + p.to + " steps " + std::to_string(p.steps));
+      }
+      return r;
+    }
+    case QueryVerb::kHistogram: {
+      const std::vector<TimePs>& slacks = c.capture_slacks;
+      if (slacks.empty()) {
+        return make_ok(scope + "histogram 0 count 0 min 0 max 0");
+      }
+      const auto [mn_it, mx_it] =
+          std::minmax_element(slacks.begin(), slacks.end());
+      const TimePs mn = *mn_it, mx = *mx_it;
+      const std::int64_t bins = q.number;
+      const TimePs width = (mx - mn) / bins + 1;
+      std::vector<std::uint64_t> count(static_cast<std::size_t>(bins), 0);
+      for (const TimePs s : slacks) {
+        ++count[static_cast<std::size_t>((s - mn) / width)];
+      }
+      QueryResult r = make_ok(scope + "histogram " + std::to_string(bins) +
+                              " count " + std::to_string(slacks.size()) +
+                              " min " + fmt_ps(mn) + " max " + fmt_ps(mx));
+      for (std::int64_t i = 0; i < bins; ++i) {
+        timer.count_cycle();
+        if (timer.exhausted()) return deadline_error(snap);
+        r.lines.push_back("  bin " + std::to_string(i) + " lo " +
+                          fmt_ps(mn + i * width) + " hi " +
+                          fmt_ps(mn + (i + 1) * width) + " count " +
+                          std::to_string(count[static_cast<std::size_t>(i)]));
+      }
+      return r;
+    }
+    case QueryVerb::kSummary: {
+      QueryResult r = make_ok(scope + "summary snapshot " +
+                              std::to_string(snap.id) + " fields 5");
+      r.lines.push_back("  derate " + std::to_string(c.derate_pm));
+      r.lines.push_back("  wire " + std::to_string(c.wire_pm));
+      r.lines.push_back("  worst_slack " + fmt_ps(c.worst_slack));
+      r.lines.push_back("  violations " + std::to_string(c.num_violations));
+      r.lines.push_back("  paths " + std::to_string(c.paths.size()));
+      return r;
+    }
+    case QueryVerb::kCheckHold: {
+      if (!c.has_hold) {
+        return make_error(DiagCode::kServiceRejected,
+                          "snapshot " + std::to_string(snap.id) +
+                              " carries no hold capture for corner " + c.name +
+                              " (SessionOptions::capture_hold disabled)");
+      }
+      const TimePs margin = q.number;
+      std::size_t violations = 0;
+      for (const SnapshotHoldPair& p : c.hold_pairs) {
+        if (p.margin < margin) ++violations;
+      }
+      QueryResult r = make_ok(scope + "check_hold " + fmt_ps(margin) +
+                              " violations " + std::to_string(violations));
+      for (const SnapshotHoldPair& p : c.hold_pairs) {
+        if (p.margin >= margin) continue;
+        timer.count_cycle();
+        if (timer.exhausted()) return deadline_error(snap);
+        r.lines.push_back("  hold " + p.launch_label + " -> " +
+                          p.capture_label + " margin " + fmt_ps(p.margin));
+      }
+      return r;
+    }
+    default:
+      return make_error(DiagCode::kParseSyntax, "not a corner read query");
+  }
+}
+
 }  // namespace
 
 QueryResult evaluate_snapshot_read(const ParsedQuery& q,
@@ -163,6 +307,8 @@ QueryResult evaluate_snapshot_read(const ParsedQuery& q,
       }
       return r;
     }
+    case QueryVerb::kCorner:
+      return evaluate_corner_read(q, snap, timer);
     default:
       return make_error(DiagCode::kParseSyntax, "not a read query");
   }

@@ -110,6 +110,7 @@ const char* snapshot_section_name(SnapshotSection s) {
     case SnapshotSection::kNameIndex: return "name-index";
     case SnapshotSection::kHoldPairs: return "hold-pairs";
     case SnapshotSection::kConstraints: return "constraints";
+    case SnapshotSection::kCorners: return "corners";
   }
   return "unknown";
 }
@@ -461,6 +462,115 @@ bool decode_constraints(std::string_view payload, AnalysisSnapshot& s) {
   return !r.fail && s.constraint_nodes.size() == count && r.remaining() == 0;
 }
 
+std::string encode_corners(const AnalysisSnapshot& s) {
+  std::string p;
+  put_u8(p, s.has_corners ? 1 : 0);
+  put_u32(p, s.worst_corner);
+  put_u64(p, s.corners.size());
+  for (const SnapshotCorner& c : s.corners) {
+    put_str(p, c.name);
+    put_u32(p, c.derate_pm);
+    put_u32(p, c.wire_pm);
+    put_i64(p, c.worst_slack);
+    put_u64(p, c.num_violations);
+    put_u64(p, c.node_slacks.size());
+    for (const TimePs t : c.node_slacks) put_i64(p, t);
+    put_u64(p, c.capture_slacks.size());
+    for (const TimePs t : c.capture_slacks) put_i64(p, t);
+    put_u64(p, c.paths.size());
+    for (const SnapshotPath& sp : c.paths) {
+      put_i64(p, sp.slack);
+      put_str(p, sp.launch);
+      put_str(p, sp.capture);
+      put_str(p, sp.from);
+      put_str(p, sp.to);
+      put_u64(p, sp.steps);
+    }
+    put_u8(p, c.has_hold ? 1 : 0);
+    put_u64(p, c.hold_pairs.size());
+    for (const SnapshotHoldPair& hp : c.hold_pairs) {
+      put_u32(p, hp.launch);
+      put_u32(p, hp.capture);
+      put_i64(p, hp.margin);
+      put_str(p, hp.launch_label);
+      put_str(p, hp.capture_label);
+    }
+  }
+  return p;
+}
+
+bool decode_corners(std::string_view payload, AnalysisSnapshot& s) {
+  Reader r = reader_of(payload);
+  s.has_corners = r.u8() != 0;
+  s.worst_corner = r.u32();
+  const std::uint64_t count = r.u64();
+  s.corners.clear();
+  if (count <= r.remaining()) s.corners.reserve(static_cast<std::size_t>(count));
+  for (std::uint64_t i = 0; i < count && !r.fail; ++i) {
+    SnapshotCorner c;
+    c.name = r.str();
+    c.derate_pm = r.u32();
+    c.wire_pm = r.u32();
+    c.worst_slack = r.i64();
+    c.num_violations = static_cast<std::size_t>(r.u64());
+    const std::uint64_t nn = r.u64();
+    if (nn <= r.remaining()) {
+      c.node_slacks.reserve(static_cast<std::size_t>(nn));
+    }
+    for (std::uint64_t j = 0; j < nn && !r.fail; ++j) {
+      const TimePs t = r.i64();
+      if (!r.fail) c.node_slacks.push_back(t);
+    }
+    if (r.fail || c.node_slacks.size() != nn) return false;
+    // One slack per graph node — keyed by the same TNodeId index as the
+    // node-timings section, which decodes before this one.
+    if (c.node_slacks.size() != s.nodes.size()) return false;
+    const std::uint64_t ns = r.u64();
+    if (ns <= r.remaining()) {
+      c.capture_slacks.reserve(static_cast<std::size_t>(ns));
+    }
+    for (std::uint64_t j = 0; j < ns && !r.fail; ++j) {
+      const TimePs t = r.i64();
+      if (!r.fail) c.capture_slacks.push_back(t);
+    }
+    if (r.fail || c.capture_slacks.size() != ns) return false;
+    const std::uint64_t np = r.u64();
+    if (np <= r.remaining()) c.paths.reserve(static_cast<std::size_t>(np));
+    for (std::uint64_t j = 0; j < np && !r.fail; ++j) {
+      SnapshotPath sp;
+      sp.slack = r.i64();
+      sp.launch = r.str();
+      sp.capture = r.str();
+      sp.from = r.str();
+      sp.to = r.str();
+      sp.steps = static_cast<std::size_t>(r.u64());
+      if (!r.fail) c.paths.push_back(std::move(sp));
+    }
+    if (r.fail || c.paths.size() != np) return false;
+    c.has_hold = r.u8() != 0;
+    const std::uint64_t nh = r.u64();
+    if (nh <= r.remaining()) c.hold_pairs.reserve(static_cast<std::size_t>(nh));
+    for (std::uint64_t j = 0; j < nh && !r.fail; ++j) {
+      SnapshotHoldPair hp;
+      hp.launch = r.u32();
+      hp.capture = r.u32();
+      hp.margin = r.i64();
+      hp.launch_label = r.str();
+      hp.capture_label = r.str();
+      if (!r.fail) c.hold_pairs.push_back(std::move(hp));
+    }
+    if (r.fail || c.hold_pairs.size() != nh) return false;
+    s.corners.push_back(std::move(c));
+  }
+  if (r.fail || s.corners.size() != count || r.remaining() != 0) return false;
+  // The flag, the index and the list must agree — a snapshot may omit
+  // corners entirely, but never half-describe them.
+  if (s.has_corners != !s.corners.empty()) return false;
+  if (s.has_corners && s.worst_corner >= s.corners.size()) return false;
+  if (!s.has_corners && s.worst_corner != 0) return false;
+  return true;
+}
+
 }  // namespace
 
 // ---------------------------------------------------------------------------
@@ -475,6 +585,7 @@ std::string serialize_snapshot(const AnalysisSnapshot& snap) {
   payloads[4] = encode_name_index(snap);
   payloads[5] = encode_hold_pairs(snap);
   payloads[6] = encode_constraints(snap);
+  payloads[7] = encode_corners(snap);
 
   std::string image;
   std::size_t total = 12;
@@ -507,10 +618,12 @@ SnapshotParse parse_snapshot(std::string_view bytes) {
   const std::uint32_t magic = r.u32();
   if (magic != kSnapshotMagic) return corrupt("bad magic (not a snapshot image)");
   out.version = r.u32();
-  if (out.version != kSnapshotFormatVersion) {
+  if (out.version < kSnapshotMinFormatVersion ||
+      out.version > kSnapshotFormatVersion) {
     out.code = DiagCode::kSnapshotVersionSkew;
     out.error = "format version " + std::to_string(out.version) +
-                ", this build reads version " +
+                ", this build reads versions " +
+                std::to_string(kSnapshotMinFormatVersion) + ".." +
                 std::to_string(kSnapshotFormatVersion);
     return out;
   }
@@ -552,6 +665,11 @@ SnapshotParse parse_snapshot(std::string_view bytes) {
   }
   if (r.remaining() != 0) return corrupt("trailing bytes after last section");
   for (std::uint32_t k = 0; k < kNumSnapshotSections; ++k) {
+    // Version-1 images predate the corners section; everything else is
+    // mandatory in every version.
+    if (out.version < 2 && k == static_cast<std::uint32_t>(SnapshotSection::kCorners)) {
+      continue;
+    }
     if (!seen[k]) {
       return corrupt(std::string("missing section ") + section_name_of(k));
     }
@@ -570,9 +688,11 @@ SnapshotParse parse_snapshot(std::string_view bytes) {
       {SnapshotSection::kNameIndex, decode_name_index},
       {SnapshotSection::kHoldPairs, decode_hold_pairs},
       {SnapshotSection::kConstraints, decode_constraints},
+      {SnapshotSection::kCorners, decode_corners},
   };
   for (const SectionDecoder& d : decoders) {
     const auto kind = static_cast<std::uint32_t>(d.kind);
+    if (!seen[kind]) continue;  // absent kCorners in a version-1 image
     if (!d.decode(payloads[kind], *snap)) {
       return corrupt(std::string("undecodable section ") +
                      snapshot_section_name(d.kind));

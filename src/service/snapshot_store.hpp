@@ -45,9 +45,13 @@ namespace hb {
 
 /// "HBSS" big-endian in the first four image bytes.
 inline constexpr std::uint32_t kSnapshotMagic = 0x48425353u;
-/// Bump on any incompatible layout change; older/newer files are rejected
-/// with kSnapshotVersionSkew (never mis-decoded).
-inline constexpr std::uint32_t kSnapshotFormatVersion = 1;
+/// Bump on any incompatible layout change; newer files are rejected with
+/// kSnapshotVersionSkew (never mis-decoded).  Version 2 added the corners
+/// section; version-1 images (pre-corner) still load, with
+/// has_corners == false.
+inline constexpr std::uint32_t kSnapshotFormatVersion = 2;
+/// Oldest format this build still decodes.
+inline constexpr std::uint32_t kSnapshotMinFormatVersion = 1;
 
 /// Section kinds, in serialisation order.  The checksum of each section is
 /// seeded by its kind, so a corrupted kind field can never validate.
@@ -59,8 +63,9 @@ enum class SnapshotSection : std::uint32_t {
   kNameIndex = 4,      // node names + instance pin tables (sorted)
   kHoldPairs = 5,      // hold-sweep inputs (check_hold serving data)
   kConstraints = 6,    // Algorithm 2 constraint times
+  kCorners = 7,        // per-corner results (version >= 2)
 };
-inline constexpr std::uint32_t kNumSnapshotSections = 7;
+inline constexpr std::uint32_t kNumSnapshotSections = 8;
 
 const char* snapshot_section_name(SnapshotSection s);
 

@@ -14,10 +14,6 @@
 namespace hb {
 namespace {
 
-constexpr std::uint64_t bit_of(std::uint32_t li) {
-  return std::uint64_t{1} << (li & 63);
-}
-
 /// PassSide presence threshold for the ready side (absent_ = -kInfinitePs):
 /// a slot is present iff rise > absent_/2.  The kernels read raw arrays, so
 /// they test against the same constant PassSide::has uses.
@@ -314,92 +310,8 @@ bool launch_seed(const SyncModel& sync, const ClockEdgeGraph& edges,
   return true;
 }
 
-/// Fused mark-and-visit sweep over the forward cone of `seeds`: processes
-/// marked locals in ascending order (= topological order, since every arc
-/// goes from a lower local index to a higher one) and marks the successors
-/// of each processed non-blocked node.  Mark words are consumed (zeroed) as
-/// the sweep passes, so the workspace is clean on return.  Returns the
-/// number of nodes visited.
-template <class Visit>
-std::size_t sweep_forward(const Cluster& cluster,
-                          const std::vector<std::uint32_t>& seeds,
-                          PassWorkspace& ws, Visit visit) {
-  if (seeds.empty()) return 0;
-  std::vector<std::uint64_t>& m = ws.marks;
-  std::size_t lo = SIZE_MAX, hi = 0;
-  for (std::uint32_t li : seeds) {
-    const std::size_t w = li >> 6;
-    m[w] |= bit_of(li);
-    lo = std::min(lo, w);
-    hi = std::max(hi, w);
-  }
-  std::size_t count = 0;
-  for (std::size_t w = lo; w <= hi; ++w) {
-    std::uint64_t done = 0;
-    for (;;) {
-      const std::uint64_t pend = m[w] & ~done;
-      if (pend == 0) break;
-      const unsigned b = static_cast<unsigned>(std::countr_zero(pend));
-      done |= std::uint64_t{1} << b;
-      const std::uint32_t li = static_cast<std::uint32_t>(w * 64 + b);
-      visit(li);
-      ++count;
-      if (!cluster.blocked[li]) {
-        const std::uint32_t end = cluster.out_offsets[li + 1];
-        for (std::uint32_t k = cluster.out_offsets[li]; k < end; ++k) {
-          const std::uint32_t to = cluster.out_local[k];
-          m[to >> 6] |= bit_of(to);
-          hi = std::max(hi, static_cast<std::size_t>(to >> 6));
-        }
-      }
-    }
-    m[w] = 0;
-  }
-  return count;
-}
-
-/// Mirror sweep over the backward cone: descending local index (= reverse
-/// topological order), marking each processed node's non-blocked
-/// predecessors.
-template <class Visit>
-std::size_t sweep_backward(const Cluster& cluster,
-                           const std::vector<std::uint32_t>& seeds,
-                           PassWorkspace& ws, Visit visit) {
-  if (seeds.empty()) return 0;
-  std::vector<std::uint64_t>& m = ws.marks;
-  std::size_t lo = SIZE_MAX, hi = 0;
-  for (std::uint32_t li : seeds) {
-    const std::size_t w = li >> 6;
-    m[w] |= bit_of(li);
-    lo = std::min(lo, w);
-    hi = std::max(hi, w);
-  }
-  std::size_t count = 0;
-  std::size_t w = hi;
-  for (;;) {
-    std::uint64_t done = 0;
-    for (;;) {
-      const std::uint64_t pend = m[w] & ~done;
-      if (pend == 0) break;
-      const unsigned b = 63u - static_cast<unsigned>(std::countl_zero(pend));
-      done |= std::uint64_t{1} << b;
-      const std::uint32_t li = static_cast<std::uint32_t>(w * 64 + b);
-      visit(li);
-      ++count;
-      const std::uint32_t end = cluster.in_offsets[li + 1];
-      for (std::uint32_t k = cluster.in_offsets[li]; k < end; ++k) {
-        const std::uint32_t fl = cluster.in_local[k];
-        if (cluster.blocked[fl]) continue;
-        m[fl >> 6] |= bit_of(fl);
-        lo = std::min(lo, static_cast<std::size_t>(fl >> 6));
-      }
-    }
-    m[w] = 0;
-    if (w == lo) break;
-    --w;
-  }
-  return count;
-}
+using passdetail::sweep_backward;
+using passdetail::sweep_forward;
 
 }  // namespace
 

@@ -20,6 +20,7 @@
 #pragma once
 
 #include <algorithm>
+#include <bit>
 #include <cstdint>
 #include <vector>
 
@@ -69,35 +70,57 @@ SweepTuning sweep_tuning();
 /// and 2^50 ∓ any delay sum never crosses the midpoint), so has() is a
 /// threshold compare.  Buffers grow to the largest size seen and are never
 /// shrunk, so reset() in steady state performs no heap allocation.
+///
+/// Multi-corner analysis (src/scenario) widens the array to K lanes per
+/// node in lane-major order — slot (node, corner) lives at
+/// data()[node * lanes() + corner] — so one fold kernel iteration processes
+/// the whole corner vector of a node from one contiguous cache line run.
+/// With lanes() == 1 (the default) the layout is bit-identical to the
+/// single-corner array, which is what the K=1 differential guarantee in
+/// tests/corner_test.cpp pins down.
 class PassSide {
  public:
   /// `absent`: the fold identity, -kInfinitePs (ready) or +kInfinitePs
-  /// (required).
-  explicit PassSide(TimePs absent) : absent_(absent) {}
+  /// (required).  `lanes`: corner lanes per node (K; 1 = single-corner).
+  explicit PassSide(TimePs absent, std::size_t lanes = 1)
+      : absent_(absent), lanes_(lanes == 0 ? 1 : lanes) {}
 
-  /// Size to `n` locals with every slot absent.
+  /// Size to `n` locals with every slot of every lane absent.
   void reset(std::size_t n) {
     size_ = n;
-    if (val_.size() < n) val_.resize(n);
-    std::fill(val_.begin(), val_.begin() + static_cast<std::ptrdiff_t>(n),
+    const std::size_t total = n * lanes_;
+    if (val_.size() < total) val_.resize(total);
+    std::fill(val_.begin(), val_.begin() + static_cast<std::ptrdiff_t>(total),
               RiseFall{absent_, absent_});
   }
   std::size_t size() const { return size_; }
+  std::size_t lanes() const { return lanes_; }
+  /// Total slot count (size() * lanes()) — the byte span of data().
+  std::size_t flat_size() const { return size_ * lanes_; }
   bool has(std::size_t i) const {
-    return absent_ < 0 ? val_[i].rise > absent_ / 2 : val_[i].rise < absent_ / 2;
+    return absent_ < 0 ? val_[i * lanes_].rise > absent_ / 2
+                       : val_[i * lanes_].rise < absent_ / 2;
   }
-  RiseFall at(std::size_t i) const { return val_[i]; }
-  void set(std::size_t i, RiseFall v) { val_[i] = v; }
-  void clear(std::size_t i) { val_[i] = RiseFall{absent_, absent_}; }
+  RiseFall at(std::size_t i) const { return val_[i * lanes_]; }
+  /// Lane accessors (corner-sliced results; lane < lanes()).
+  RiseFall at(std::size_t i, std::size_t lane) const {
+    return val_[i * lanes_ + lane];
+  }
+  void set(std::size_t i, RiseFall v) { val_[i * lanes_] = v; }
+  void set(std::size_t i, std::size_t lane, RiseFall v) {
+    val_[i * lanes_ + lane] = v;
+  }
+  void clear(std::size_t i) { val_[i * lanes_] = RiseFall{absent_, absent_}; }
   /// The fold identity, as a full slot value.
   RiseFall absent() const { return RiseFall{absent_, absent_}; }
-  /// Raw slot access for the propagation kernels.
+  /// Raw slot access for the propagation kernels (lane-major).
   RiseFall* data() { return val_.data(); }
   const RiseFall* data() const { return val_.data(); }
 
  private:
   std::vector<RiseFall> val_;
   TimePs absent_;
+  std::size_t lanes_ = 1;
   std::size_t size_ = 0;
 };
 
@@ -154,6 +177,105 @@ struct PassWorkspace {
     if (marks.size() < words) marks.resize(words, 0);
   }
 };
+
+// -- Cone-sweep primitives ---------------------------------------------------
+// Shared by update_analysis_pass and the multi-corner incremental layer
+// (src/scenario/corner_analysis): fused mark-and-visit sweeps over the
+// forward/backward reachability cone of a seed set, using the PassWorkspace
+// bitmap.  Mark words are consumed (zeroed) as the sweep passes, so the
+// workspace is clean on return; both return the number of nodes visited.
+
+namespace passdetail {
+
+constexpr std::uint64_t bit_of(std::uint32_t li) {
+  return std::uint64_t{1} << (li & 63);
+}
+
+/// Forward cone: processes marked locals in ascending order (= topological
+/// order, every internal arc goes from a lower local index to a higher one)
+/// and marks the successors of each processed non-blocked node.
+template <class Visit>
+std::size_t sweep_forward(const Cluster& cluster,
+                          const std::vector<std::uint32_t>& seeds,
+                          PassWorkspace& ws, Visit visit) {
+  if (seeds.empty()) return 0;
+  std::vector<std::uint64_t>& m = ws.marks;
+  std::size_t lo = SIZE_MAX, hi = 0;
+  for (std::uint32_t li : seeds) {
+    const std::size_t w = li >> 6;
+    m[w] |= bit_of(li);
+    lo = std::min(lo, w);
+    hi = std::max(hi, w);
+  }
+  std::size_t count = 0;
+  for (std::size_t w = lo; w <= hi; ++w) {
+    std::uint64_t done = 0;
+    for (;;) {
+      const std::uint64_t pend = m[w] & ~done;
+      if (pend == 0) break;
+      const unsigned b = static_cast<unsigned>(std::countr_zero(pend));
+      done |= std::uint64_t{1} << b;
+      const std::uint32_t li = static_cast<std::uint32_t>(w * 64 + b);
+      visit(li);
+      ++count;
+      if (!cluster.blocked[li]) {
+        const std::uint32_t end = cluster.out_offsets[li + 1];
+        for (std::uint32_t k = cluster.out_offsets[li]; k < end; ++k) {
+          const std::uint32_t to = cluster.out_local[k];
+          m[to >> 6] |= bit_of(to);
+          hi = std::max(hi, static_cast<std::size_t>(to >> 6));
+        }
+      }
+    }
+    m[w] = 0;
+  }
+  return count;
+}
+
+/// Mirror sweep over the backward cone: descending local index (= reverse
+/// topological order), marking each processed node's non-blocked
+/// predecessors.
+template <class Visit>
+std::size_t sweep_backward(const Cluster& cluster,
+                           const std::vector<std::uint32_t>& seeds,
+                           PassWorkspace& ws, Visit visit) {
+  if (seeds.empty()) return 0;
+  std::vector<std::uint64_t>& m = ws.marks;
+  std::size_t lo = SIZE_MAX, hi = 0;
+  for (std::uint32_t li : seeds) {
+    const std::size_t w = li >> 6;
+    m[w] |= bit_of(li);
+    lo = std::min(lo, w);
+    hi = std::max(hi, w);
+  }
+  std::size_t count = 0;
+  std::size_t w = hi;
+  for (;;) {
+    std::uint64_t done = 0;
+    for (;;) {
+      const std::uint64_t pend = m[w] & ~done;
+      if (pend == 0) break;
+      const unsigned b = 63u - static_cast<unsigned>(std::countl_zero(pend));
+      done |= std::uint64_t{1} << b;
+      const std::uint32_t li = static_cast<std::uint32_t>(w * 64 + b);
+      visit(li);
+      ++count;
+      const std::uint32_t end = cluster.in_offsets[li + 1];
+      for (std::uint32_t k = cluster.in_offsets[li]; k < end; ++k) {
+        const std::uint32_t fl = cluster.in_local[k];
+        if (cluster.blocked[fl]) continue;
+        m[fl >> 6] |= bit_of(fl);
+        lo = std::min(lo, static_cast<std::size_t>(fl >> 6));
+      }
+    }
+    m[w] = 0;
+    if (w == lo) break;
+    --w;
+  }
+  return count;
+}
+
+}  // namespace passdetail
 
 /// Incrementally patches `res` (a previous result of run_analysis_pass over
 /// the same pass) after local changes:

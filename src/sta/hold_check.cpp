@@ -22,7 +22,8 @@ struct HoldScratch {
 /// sort+dedup makes the output order a function of that set alone.
 void check_sources(const SlackEngine& engine, const Cluster& cl,
                    std::size_t begin, std::size_t end, TimePs hold_margin,
-                   TimePs T, HoldScratch& s) {
+                   TimePs T, const RiseFall* arc_delay, std::size_t arc_stride,
+                   std::size_t arc_lane, HoldScratch& s) {
   const TimingGraph& graph = engine.graph();
   const SyncModel& sync = engine.sync();
   for (std::size_t si = begin; si < end; ++si) {
@@ -38,9 +39,12 @@ void check_sources(const SlackEngine& engine, const Cluster& cl,
       if (dn == kInfinitePs || cl.blocked[li]) continue;
       const std::uint32_t ke = cl.out_offsets[li + 1];
       for (std::uint32_t k = cl.out_offsets[li]; k < ke; ++k) {
-        const TArcRec& arc = graph.arc(cl.out_arc[k]);
+        const std::uint32_t ai = cl.out_arc[k];
+        const RiseFall d = arc_delay != nullptr
+                               ? arc_delay[ai * arc_stride + arc_lane]
+                               : graph.arc(ai).delay;
         TimePs& slot = s.dmin[cl.out_local[k]];
-        slot = std::min(slot, dn + arc.delay.min());
+        slot = std::min(slot, dn + d.min());
       }
     }
 
@@ -85,7 +89,10 @@ void check_sources(const SlackEngine& engine, const Cluster& cl,
 }  // namespace
 
 std::vector<HoldViolation> check_hold(const SlackEngine& engine,
-                                      TimePs hold_margin, ThreadPool* pool) {
+                                      TimePs hold_margin, ThreadPool* pool,
+                                      const RiseFall* arc_delay,
+                                      std::size_t arc_stride,
+                                      std::size_t arc_lane) {
   const ClusterSet& clusters = engine.clusters();
   const TimePs T = engine.sync().overall_period();
   std::vector<HoldViolation> out;
@@ -107,12 +114,12 @@ std::vector<HoldViolation> check_hold(const SlackEngine& engine,
       // scratch and buckets its own finds.
       pool->parallel_for(
           cl.source_nodes.size(), 1, [&](std::size_t b, std::size_t e, int w) {
-            check_sources(engine, cl, b, e, hold_margin, T,
-                          pool->scratch<HoldScratch>(w));
+            check_sources(engine, cl, b, e, hold_margin, T, arc_delay,
+                          arc_stride, arc_lane, pool->scratch<HoldScratch>(w));
           });
     } else {
       check_sources(engine, cl, 0, cl.source_nodes.size(), hold_margin, T,
-                    local);
+                    arc_delay, arc_stride, arc_lane, local);
     }
   }
 

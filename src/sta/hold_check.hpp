@@ -33,8 +33,17 @@ class ThreadPool;
 /// With a pool, each cluster's per-source min-delay sweeps fan out across
 /// the workers (sources are independent); the result is identical at every
 /// thread count — the final sort+dedup orders violations by value alone.
+///
+/// `arc_delay` (optional) substitutes per-arc delays for the graph's own in
+/// the min-delay sweeps: arc `a` reads arc_delay[a * arc_stride + arc_lane].
+/// The multi-corner layer (src/scenario) passes its lane-major derated
+/// delay table here to check hold under each corner; nullptr keeps the
+/// nominal graph delays.
 std::vector<HoldViolation> check_hold(const SlackEngine& engine,
                                       TimePs hold_margin = 0,
-                                      ThreadPool* pool = nullptr);
+                                      ThreadPool* pool = nullptr,
+                                      const RiseFall* arc_delay = nullptr,
+                                      std::size_t arc_stride = 1,
+                                      std::size_t arc_lane = 0);
 
 }  // namespace hb

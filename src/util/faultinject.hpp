@@ -21,7 +21,10 @@
 //                     of the image (silent media-corruption paths);
 //   kSnapshotStaleVersion — SnapshotStore::save stamps a future format
 //                     version into the header (version-skew rejection
-//                     paths, e.g. a rollback after an upgrade).
+//                     paths, e.g. a rollback after an upgrade);
+//   kCornerLaneCorrupt — CornerAnalysis perturbs one lane of one cached
+//                     K-lane pass result before an incremental update
+//                     (per-corner self-check / self-heal paths).
 #pragma once
 
 #include <atomic>
@@ -38,8 +41,9 @@ enum class FaultSite : int {
   kSnapshotShortWrite = 3,
   kSnapshotBitFlip = 4,
   kSnapshotStaleVersion = 5,
+  kCornerLaneCorrupt = 6,
 };
-inline constexpr int kNumFaultSites = 6;
+inline constexpr int kNumFaultSites = 7;
 
 /// Exception thrown by injected task faults; an hb::Error so recovery paths
 /// treat it exactly like a real analysis failure.
@@ -53,7 +57,7 @@ class FaultInjector {
   struct Config {
     std::uint64_t seed = 1;
     /// Firing probability per site, in [0, 1].
-    double probability[kNumFaultSites] = {0, 0, 0};
+    double probability[kNumFaultSites] = {};
   };
 
   /// Process-wide instance used by all hook points.

@@ -20,6 +20,7 @@
 #include "netlist/blif_builder.hpp"
 #include "netlist/blif_io.hpp"
 #include "netlist/blif_parser.hpp"
+#include "netlist/library_io.hpp"
 #include "netlist/stdcells.hpp"
 #include "netlist/validate.hpp"
 #include "sta/hummingbird.hpp"
@@ -331,6 +332,46 @@ TEST(BlifBuilderTest, SubcktResolvesSiblingModelThenLibrary) {
   EXPECT_EQ(sole_cell(d, "y").name(), "INVX2");
   const ValidationReport report = validate(d);
   EXPECT_TRUE(report.ok()) << report.to_string();
+}
+
+// `.gate` names written against a real liberty library ("nand2_x1",
+// "INV_X1", a bare family name) resolve against a *loadable* library — the
+// standard cells round-tripped through the library text format — with one
+// warning diagnostic per substitution; a name with no alias still errors.
+TEST(BlifBuilderTest, GateResolvesLibertyStyleNamesAgainstLoadableLibrary) {
+  const auto loaded = library_from_string(library_to_string(*lib()));
+  ASSERT_NE(loaded, nullptr);
+
+  DiagnosticSink sink;
+  const Design d = blif_design_from_string(
+      ".model m\n"
+      ".inputs a b\n"
+      ".outputs y\n"
+      ".gate nand2_x1 A=a B=b Y=t1\n"
+      ".gate INV_X1 A=t1 Y=t2\n"
+      ".gate BUF A=t2 Y=y\n"
+      ".end\n",
+      loaded, sink);
+  ASSERT_FALSE(sink.has_errors()) << sink.to_string();
+  ASSERT_EQ(sink.size(), 3u) << sink.to_string();
+  for (const Diagnostic& diag : sink.all()) {
+    EXPECT_EQ(diag.code, DiagCode::kParseUnknownName);
+    EXPECT_EQ(diag.severity, Severity::kWarning);
+    EXPECT_NE(diag.message.find("liberty-style alias"), std::string::npos);
+  }
+  EXPECT_EQ(sole_cell(d, "t1").name(), "NAND2X1");
+  EXPECT_EQ(sole_cell(d, "t2").name(), "INVX1");
+  EXPECT_EQ(sole_cell(d, "y").name(), "BUFX1");  // bare family -> weakest
+  const ValidationReport report = validate(d);
+  EXPECT_TRUE(report.ok()) << report.to_string();
+
+  DiagnosticSink bad;
+  blif_design_from_string(
+      ".model m\n.inputs a\n.outputs y\n.gate nandx_x9 A=a Y=y\n.end\n",
+      loaded, bad);
+  ASSERT_TRUE(bad.has_errors());
+  EXPECT_EQ(bad.first_error().code, DiagCode::kParseUnknownName);
+  EXPECT_EQ(bad.first_error().loc.line, 4);
 }
 
 TEST(BlifIoTest, PathDetection) {

@@ -12,6 +12,7 @@
 #include "netlist/netlist_io.hpp"
 #include "netlist/stdcells.hpp"
 #include "netlist/validate.hpp"
+#include "scenario/corner_set.hpp"
 #include "sta/hummingbird.hpp"
 #include "util/rng.hpp"
 
@@ -150,6 +151,32 @@ TEST_P(ParserFuzzTest, MutatedTimingSpecNeverCrashes) {
   timing_spec_from_string(text, sink);
   if (sink.empty()) {
     EXPECT_NO_THROW(timing_spec_from_string(text));
+  }
+}
+
+// Corner-spec parser under the same mutation battery (the CI fuzz job's
+// `Seeds/ParserFuzzTest.*` filter picks this up, ASan/UBSan build).
+TEST_P(ParserFuzzTest, MutatedCornerSpecNeverCrashes) {
+  const std::string base =
+      "# sign-off corners\n"
+      "corner typical 1000\n"
+      "corner slow 1250\n"
+      "wire slow 1300\n"
+      "cell slow NAND2X1 1400\n"
+      "corner fast 800\n"
+      "wire fast 780\n";
+  const std::string text = mutate_text(base, GetParam() * 2663 + 7);
+
+  try {
+    parse_corner_spec_or_throw(text);
+  } catch (const Error&) {
+    // expected for most mutations
+  }
+
+  DiagnosticSink sink;
+  parse_corner_spec(text, sink);
+  if (!sink.has_errors()) {
+    EXPECT_NO_THROW(parse_corner_spec_or_throw(text));
   }
 }
 

@@ -492,7 +492,7 @@ TEST(ServiceTest, MetricsReflectTraffic) {
   EXPECT_EQ(m.cache_misses(), 1u);
   const QueryResult stats = session->execute("stats");
   ASSERT_TRUE(stats.ok);
-  EXPECT_EQ(stats.lines.size(), 20u);  // header + 19 stat lines
+  EXPECT_EQ(stats.lines.size(), 21u);  // header + 20 stat lines
 }
 
 }  // namespace

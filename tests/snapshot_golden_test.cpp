@@ -14,6 +14,7 @@
 #include <sstream>
 #include <string>
 
+#include "scenario/corner_analysis.hpp"
 #include "service/snapshot_store.hpp"
 #include "sta/hummingbird.hpp"
 #include "test_util.hpp"
@@ -25,6 +26,16 @@
 namespace hb {
 namespace {
 
+// Deterministic three-corner set exercised by the golden so the `corners`
+// section checksum guards per-corner slacks, paths and hold pairs too.
+CornerSet golden_corners() {
+  CornerSet cs;
+  cs.add(Corner{"typical", kIdentityPm, kIdentityPm, {}});
+  cs.add(Corner{"slow", 1250, 1300, {{"NAND2X1", 1400}}});
+  cs.add(Corner{"fast", 800, 780, {}});
+  return cs;
+}
+
 std::string current_checksum_table() {
   std::ostringstream out;
   for (Workload& w : all_generator_networks()) {
@@ -34,6 +45,9 @@ std::string current_checksum_table() {
                               build_name_index(hum.graph()));
     capture_hold_into(*snap, hum.engine());
     capture_constraints_into(*snap, hum);
+    CornerAnalysis ca(hum.engine(), golden_corners());
+    ca.compute();
+    capture_corners_into(*snap, ca, /*max_paths=*/32, /*capture_hold=*/true);
     const SnapshotParse parsed = parse_snapshot(serialize_snapshot(*snap));
     EXPECT_TRUE(parsed.ok()) << w.name << ": " << parsed.error;
     for (const SnapshotSectionInfo& s : parsed.sections) {
