@@ -6,12 +6,26 @@
 // loop (set_delay + commit) running under 4 concurrent readers.  Each
 // thread-count run uses a fresh session so cache warm-up is comparable.
 //
+// Two zero-copy read-path comparisons ride along (docs/SERVICE.md):
+//   * proto1 vs proto2 — the same hot read mix through one text-protocol
+//     connection and one binary-protocol connection against the same host,
+//     in interleaved rounds so cache state and frequency scaling hit both
+//     sides equally;
+//   * copy load vs mmap view — warm-restart time to the first served query,
+//     decoded-copy path (read + parse_snapshot + evaluate) against the
+//     SnapshotView path (map_file + evaluate).
+//
 // Writes BENCH_service.json.  `hardware_threads` records the machine the
 // numbers came from: read scaling across client threads is limited by the
 // cores available (a 1-core container serialises every client).
+// `--quick` shrinks every iteration count for the CI perf-smoke schema
+// check; the JSON records which mode produced it.
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
 #include <memory>
 #include <string>
 #include <thread>
@@ -19,8 +33,13 @@
 
 #include "gen/random_network.hpp"
 #include "netlist/stdcells.hpp"
+#include "service/proto2.hpp"
+#include "service/protocol.hpp"
 #include "service/session.hpp"
+#include "service/snapshot_read.hpp"
+#include "service/snapshot_source.hpp"
 #include "service/snapshot_store.hpp"
+#include "service/snapshot_view.hpp"
 #include "util/time.hpp"
 
 namespace hb {
@@ -178,18 +197,162 @@ WhatIfResult measure_whatif(int readers, int commits) {
   return r;
 }
 
+struct ProtocolCompareResult {
+  int queries_per_side = 0;
+  double proto1_qps = 0;
+  double proto2_qps = 0;
+  double speedup = 0;
+};
+
+/// The same hot read mix through one text connection and one already
+/// negotiated binary connection on the same host.  Rounds interleave so
+/// both protocols see identical cache state; requests are pre-rendered so
+/// only the serving path is on the clock.
+ProtocolCompareResult measure_protocols(int rounds, int queries_per_round) {
+  ServiceHost host;
+  host.adopt(make_bench_session());
+  std::vector<std::string> nodes;
+  for (const auto& [name, node] :
+       host.session()->snapshot()->names->node_by_name) {
+    nodes.push_back(name);
+    if (nodes.size() == 64) break;
+  }
+  std::sort(nodes.begin(), nodes.end());
+
+  std::vector<std::string> lines;
+  std::vector<std::string> payloads;  // proto2 frame payloads, sans prefix
+  for (int k = 0; k < queries_per_round; ++k) {
+    lines.push_back(read_query(nodes, k));
+    const ParsedQuery q = parse_query(lines.back());
+    std::string frame;
+    if (!q.ok || !proto2_encode_request(q, frame)) {
+      std::printf("no typed encoding for '%s'\n", lines.back().c_str());
+      std::exit(1);
+    }
+    payloads.push_back(std::string(std::string_view(frame).substr(4)));
+  }
+
+  ProtocolHandler h1(host);
+  ProtocolHandler h2(host);
+  if (h2.handle_line("proto 2") != "ok proto 2\n") {
+    std::printf("proto 2 negotiation failed\n");
+    std::exit(1);
+  }
+  // Warm both connections: caches filled, arenas grown.
+  for (const std::string& l : lines) h1.handle_line(l);
+  for (const std::string& p : payloads) h2.handle_frame(p);
+
+  double t1 = 0, t2 = 0;
+  std::size_t sink = 0;
+  for (int r = 0; r < rounds; ++r) {
+    auto start = std::chrono::steady_clock::now();
+    for (const std::string& l : lines) sink += h1.handle_line(l).size();
+    t1 += seconds_since(start);
+    start = std::chrono::steady_clock::now();
+    for (const std::string& p : payloads) sink += h2.handle_frame(p).size();
+    t2 += seconds_since(start);
+  }
+  if (sink == 0) std::printf("empty replies\n");
+
+  ProtocolCompareResult r;
+  r.queries_per_side = rounds * queries_per_round;
+  r.proto1_qps = r.queries_per_side / t1;
+  r.proto2_qps = r.queries_per_side / t2;
+  r.speedup = r.proto2_qps / r.proto1_qps;
+  return r;
+}
+
+struct WarmRestartResult {
+  std::size_t image_bytes = 0;
+  double copy_first_query_us = 0;
+  double view_first_query_us = 0;
+  double speedup = 0;
+  double copy_mb_s = 0;
+  double view_mb_s = 0;
+};
+
+/// Warm-restart cost to the first served reply, per path: the decoded copy
+/// (read the file, parse_snapshot, adapt, evaluate `summary`) against the
+/// mmap view (map_file, evaluate `summary`).  Fresh mapping every
+/// iteration; the file stays in page cache for both sides, so the delta is
+/// decode work, not disk.
+WarmRestartResult measure_warm_restart(int iters) {
+  namespace fs = std::filesystem;
+  const std::string dir =
+      (fs::temp_directory_path() / "hb-bench-warm").string();
+  fs::remove_all(dir);
+  SnapshotStore store({dir, 2});
+  std::string path;
+  {
+    auto session = make_bench_session();
+    const SnapshotStore::SaveResult save = store.save(*session->snapshot());
+    if (!save.ok) {
+      std::printf("snapshot save failed: %s\n", save.error.c_str());
+      std::exit(1);
+    }
+    path = save.path;
+  }
+  const ParsedQuery q = parse_query("summary");
+
+  WarmRestartResult r;
+  std::string first_reply;
+  double copy_s = 0, view_s = 0;
+  for (int i = -1; i < iters; ++i) {  // iteration -1 is the warm-up
+    auto start = std::chrono::steady_clock::now();
+    std::ifstream in(path, std::ios::binary);
+    const std::string bytes((std::istreambuf_iterator<char>(in)),
+                            std::istreambuf_iterator<char>());
+    const SnapshotParse parsed = parse_snapshot(bytes);
+    if (!parsed.ok()) {
+      std::printf("copy load failed: %s\n", parsed.error.c_str());
+      std::exit(1);
+    }
+    const SnapshotCopySource src(*parsed.snapshot);
+    BudgetTimer timer{AnalysisBudget{}};
+    const std::string reply = to_wire(evaluate_snapshot_read(q, src, timer));
+    if (i >= 0) copy_s += seconds_since(start);
+    r.image_bytes = bytes.size();
+    first_reply = reply;
+  }
+  for (int i = -1; i < iters; ++i) {
+    auto start = std::chrono::steady_clock::now();
+    const SnapshotView::MapResult mr = SnapshotView::map_file(path);
+    if (!mr.ok()) {
+      std::printf("view map failed: %s\n", mr.error.c_str());
+      std::exit(1);
+    }
+    BudgetTimer timer{AnalysisBudget{}};
+    const std::string reply =
+        to_wire(evaluate_snapshot_read(q, *mr.view, timer));
+    if (i >= 0) view_s += seconds_since(start);
+    if (reply != first_reply) {
+      std::printf("view reply diverged from copy reply\n");
+      std::exit(1);
+    }
+  }
+  fs::remove_all(dir);
+
+  r.copy_first_query_us = 1e6 * copy_s / iters;
+  r.view_first_query_us = 1e6 * view_s / iters;
+  r.speedup = r.copy_first_query_us / r.view_first_query_us;
+  r.copy_mb_s = static_cast<double>(r.image_bytes) / (copy_s / iters) / 1e6;
+  r.view_mb_s = static_cast<double>(r.image_bytes) / (view_s / iters) / 1e6;
+  return r;
+}
+
 }  // namespace
 }  // namespace hb
 
-int main() {
+int main(int argc, char** argv) {
   using namespace hb;
+  const bool quick = argc > 1 && std::strcmp(argv[1], "--quick") == 0;
   const unsigned hw = std::thread::hardware_concurrency();
-  std::printf("hardware threads: %u\n", hw);
+  std::printf("hardware threads: %u%s\n", hw, quick ? " (quick mode)" : "");
   std::printf("%8s %12s %14s\n", "clients", "queries/s", "cache hit rate");
 
   std::vector<ThroughputResult> reads;
   for (int clients : {1, 4, 8}) {
-    reads.push_back(measure_reads(clients, 4000));
+    reads.push_back(measure_reads(clients, quick ? 400 : 4000));
     const ThroughputResult& r = reads.back();
     std::printf("%8d %12.0f %13.1f%%\n", r.clients, r.qps,
                 100.0 * r.cache_hit_rate);
@@ -197,22 +360,38 @@ int main() {
   const double scaling = reads.back().qps / reads.front().qps;
   std::printf("read throughput scaling 1 -> 8 clients: %.2fx\n", scaling);
 
-  const WhatIfResult whatif = measure_whatif(4, 40);
+  const WhatIfResult whatif = measure_whatif(4, quick ? 8 : 40);
   std::printf(
       "what-if commit under 4 readers: mean %.0f us, p50 %.0f us, max %.0f us "
       "(%d commits)\n",
       whatif.mean_us, whatif.p50_us, whatif.max_us, whatif.commits);
 
-  const SnapshotCodecResult codec = measure_snapshot_codec(20);
+  const SnapshotCodecResult codec = measure_snapshot_codec(quick ? 3 : 20);
   std::printf(
       "snapshot codec (%zu byte image): serialize %.0f MB/s, parse %.0f MB/s\n",
       codec.image_bytes, codec.serialize_mb_s, codec.parse_mb_s);
 
+  const ProtocolCompareResult proto =
+      measure_protocols(quick ? 20 : 200, 64);
+  std::printf(
+      "protocol compare (%d queries/side): proto1 %.0f q/s, proto2 %.0f q/s, "
+      "%.2fx\n",
+      proto.queries_per_side, proto.proto1_qps, proto.proto2_qps,
+      proto.speedup);
+
+  const WarmRestartResult warm = measure_warm_restart(quick ? 5 : 15);
+  std::printf(
+      "warm restart to first query (%zu byte image): copy %.0f us "
+      "(%.0f MB/s), view %.0f us (%.0f MB/s), %.1fx\n",
+      warm.image_bytes, warm.copy_first_query_us, warm.copy_mb_s,
+      warm.view_first_query_us, warm.view_mb_s, warm.speedup);
+
   FILE* json = std::fopen("BENCH_service.json", "w");
   std::fprintf(json,
                "{\n  \"hardware_threads\": %u,\n  \"threads_used\": %u,\n"
+               "  \"quick\": %s,\n"
                "  \"read_throughput\": [\n",
-               hw, hw > 0 ? hw : 1);
+               hw, hw > 0 ? hw : 1, quick ? "true" : "false");
   for (std::size_t i = 0; i < reads.size(); ++i) {
     std::fprintf(json,
                  "    {\"clients\": %d, \"queries_per_second\": %.0f, "
@@ -225,10 +404,24 @@ int main() {
                "  \"whatif_commit_under_4_readers\": {\"mean_us\": %.1f, "
                "\"p50_us\": %.1f, \"max_us\": %.1f, \"commits\": %d},\n"
                "  \"snapshot_codec\": {\"image_bytes\": %zu, "
-               "\"serialize_mb_s\": %.1f, \"parse_mb_s\": %.1f}\n}\n",
+               "\"serialize_mb_s\": %.1f, \"parse_mb_s\": %.1f},\n",
                scaling, whatif.mean_us, whatif.p50_us, whatif.max_us,
                whatif.commits, codec.image_bytes, codec.serialize_mb_s,
                codec.parse_mb_s);
+  std::fprintf(json,
+               "  \"proto2\": {\"queries_per_side\": %d, "
+               "\"proto1_qps\": %.0f, \"proto2_qps\": %.0f, "
+               "\"speedup\": %.2f, "
+               "\"verbs\": [\"summary\", \"worst_paths\", \"histogram\", "
+               "\"slack\"]},\n"
+               "  \"warm_restart\": {\"image_bytes\": %zu, "
+               "\"copy_first_query_us\": %.1f, \"view_first_query_us\": %.1f, "
+               "\"speedup\": %.2f, \"copy_mb_s\": %.1f, \"view_mb_s\": %.1f}"
+               "\n}\n",
+               proto.queries_per_side, proto.proto1_qps, proto.proto2_qps,
+               proto.speedup, warm.image_bytes, warm.copy_first_query_us,
+               warm.view_first_query_us, warm.speedup, warm.copy_mb_s,
+               warm.view_mb_s);
   std::fclose(json);
   std::printf("wrote BENCH_service.json\n");
   return 0;

@@ -20,17 +20,23 @@
 // Query-service frontends (docs/SERVICE.md):
 //
 //   hummingbird_cli serve [<netlist> <timing-spec>] [--lib F] [--tcp PORT]
-//                   [--snapshot-dir D]
+//                   [--snapshot-dir D] [--replica]
 //     Line-protocol request loop on stdin/stdout; with --tcp also serves
 //     the same protocol on 127.0.0.1:PORT (0 = ephemeral, port printed to
 //     stderr).  Exits 3 when the initial load fails.  With --snapshot-dir
 //     the host persists every published snapshot into D and, on restart,
 //     answers read queries from the newest valid one before any design is
-//     loaded (docs/SERVICE.md "Persistence & warm restart").
+//     loaded (docs/SERVICE.md "Persistence & warm restart").  --replica
+//     makes the host a read-only replica over the store: `load` is
+//     disabled and reads answer from the mmap'd snapshot view
+//     (docs/SERVICE.md "Replica mode").
 //
-//   hummingbird_cli query <netlist> <timing-spec> [--lib F] <query>...
+//   hummingbird_cli query <netlist> <timing-spec> [--lib F] [--proto2]
+//                   <query>...
 //     One-shot: loads the design, executes each <query> argument as one
-//     protocol line and prints the replies.  Exits 3 when any reply is an
+//     protocol line and prints the replies.  --proto2 negotiates the
+//     binary protocol and round-trips every query through its typed
+//     frames (replies re-rendered as text).  Exits 3 when any reply is an
 //     error, 0 otherwise.
 //
 // Run without arguments to execute a built-in demo: the tool writes a small
@@ -277,8 +283,9 @@ void print_usage(std::FILE* to) {
       "  hummingbird_cli analyze <netlist-or-blif> [<timing-spec>]\n"
       "                  [--period T] [one-shot flags]\n"
       "  hummingbird_cli serve [<netlist> <timing-spec>] [--lib F] [--tcp PORT]\n"
-      "                  [--snapshot-dir D] [--corners F]\n"
-      "  hummingbird_cli query <netlist> <timing-spec> [--lib F] <query>...\n"
+      "                  [--snapshot-dir D] [--replica] [--corners F]\n"
+      "  hummingbird_cli query <netlist> <timing-spec> [--lib F] [--proto2]\n"
+      "                  <query>...\n"
       "  hummingbird_cli --help\n"
       "\n"
       "Netlist inputs ending in .blif are parsed as BLIF (docs/FRONTEND.md);\n"
@@ -287,6 +294,9 @@ void print_usage(std::FILE* to) {
       "--corners evaluates every corner of a corner-spec file in one K-lane\n"
       "sweep (docs/SCENARIOS.md); serve --corners attaches per-corner\n"
       "sections to every snapshot and enables the `corner` verbs.\n"
+      "serve --replica hosts a read-only replica over --snapshot-dir (reads\n"
+      "served from the mmap'd view; `load` disabled).  query --proto2 drives\n"
+      "the binary protocol v2 end to end (docs/SERVICE.md).\n"
       "With no arguments, runs a built-in demo.  serve/query speak the line\n"
       "protocol documented in docs/SERVICE.md (`help` lists the verbs).\n"
       "Exit codes: 0 ok, 1 timing violations (one-shot analysis), 2 usage,\n"
@@ -315,6 +325,7 @@ int run_analyze(int argc, char** argv) {
 int run_serve(int argc, char** argv) {
   using namespace hb;
   std::string netlist, spec, lib, snapshot_dir, corners;
+  bool replica = false;
   int tcp_port = -1;  // -1 = no TCP listener
   for (int i = 2; i < argc; ++i) {
     if (std::strcmp(argv[i], "--lib") == 0 && i + 1 < argc) {
@@ -323,6 +334,8 @@ int run_serve(int argc, char** argv) {
       tcp_port = std::atoi(argv[++i]);
     } else if (std::strcmp(argv[i], "--snapshot-dir") == 0 && i + 1 < argc) {
       snapshot_dir = argv[++i];
+    } else if (std::strcmp(argv[i], "--replica") == 0) {
+      replica = true;
     } else if (std::strcmp(argv[i], "--corners") == 0 && i + 1 < argc) {
       corners = argv[++i];
     } else if (argv[i][0] == '-') {
@@ -341,15 +354,26 @@ int run_serve(int argc, char** argv) {
     std::fprintf(stderr, "serve: need both <netlist> and <timing-spec>\n");
     return 2;
   }
+  if (replica && snapshot_dir.empty()) {
+    std::fprintf(stderr, "serve: --replica requires --snapshot-dir\n");
+    return 2;
+  }
+  if (replica && !netlist.empty()) {
+    std::fprintf(stderr,
+                 "serve: --replica is read-only and takes no netlist\n");
+    return 2;
+  }
 
   ServiceConfig config;
   config.snapshot_dir = snapshot_dir;
+  config.replica = replica;
   if (!corners.empty()) config.session.corners = load_corners(corners);
   ServiceHost host(std::move(config));
-  if (const auto warm = host.warm_snapshot()) {
-    std::fprintf(stderr, "warm restart: serving snapshot %llu of '%s'\n",
-                 static_cast<unsigned long long>(warm->id),
-                 warm->design_name.c_str());
+  if (const auto warm = host.warm_source()) {
+    std::fprintf(stderr, "warm restart: serving snapshot %llu of '%s'%s\n",
+                 static_cast<unsigned long long>(warm->id()),
+                 std::string(warm->design_name()).c_str(),
+                 host.warm_mapped() ? " (mmap view)" : " (decoded copy)");
   }
   if (!netlist.empty()) {
     const QueryResult loaded = host.load(netlist, spec, lib);
@@ -370,10 +394,13 @@ int run_serve(int argc, char** argv) {
 int run_query(int argc, char** argv) {
   using namespace hb;
   std::string netlist, spec, lib;
+  bool proto2 = false;
   std::vector<std::string> queries;
   for (int i = 2; i < argc; ++i) {
     if (std::strcmp(argv[i], "--lib") == 0 && i + 1 < argc) {
       lib = argv[++i];
+    } else if (std::strcmp(argv[i], "--proto2") == 0) {
+      proto2 = true;
     } else if (netlist.empty()) {
       netlist = argv[i];
     } else if (spec.empty()) {
@@ -395,6 +422,37 @@ int run_query(int argc, char** argv) {
   }
   ProtocolHandler handler(host);
   bool any_error = false;
+  if (proto2) {
+    // Negotiate, then round-trip every query through the binary protocol:
+    // typed frames for the hot read verbs, text-wrapped frames for the
+    // rest, replies rendered back into proto-1 text for printing.
+    const std::string ack = handler.handle_line("proto 2");
+    std::fputs(ack.c_str(), stdout);
+    if (ack.rfind("err ", 0) == 0) return 3;
+    std::string frame, text;
+    for (const std::string& qline : queries) {
+      const ParsedQuery q = parse_query(qline);
+      if (!q.ok && q.error.lines.empty()) continue;  // blank/comment
+      frame.clear();
+      // Lines of an in-flight batch must reach the text collector verbatim.
+      if (!q.ok || handler.collecting() || !proto2_encode_request(q, frame)) {
+        frame.clear();
+        proto2_encode_text(qline, frame);
+      }
+      const std::string& reply =
+          handler.handle_frame(std::string_view(frame).substr(4));
+      text.clear();
+      if (reply.size() < 4 ||
+          !proto2_render_payload(std::string_view(reply).substr(4), text)) {
+        std::fprintf(stderr, "query: undecodable reply frame\n");
+        return 3;
+      }
+      if (text.rfind("err ", 0) == 0) any_error = true;
+      std::fputs(text.c_str(), stdout);
+      if (handler.quit()) break;
+    }
+    return any_error ? 3 : 0;
+  }
   for (const std::string& q : queries) {
     const std::string reply = handler.handle_line(q);
     if (reply.rfind("err ", 0) == 0) any_error = true;

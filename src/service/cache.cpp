@@ -1,5 +1,6 @@
 #include "service/cache.hpp"
 
+#include <cstring>
 #include <functional>
 
 namespace hb {
@@ -11,35 +12,57 @@ QueryCache::QueryCache(std::size_t capacity, std::size_t shards)
   if (per_shard_ == 0) per_shard_ = 1;
 }
 
-QueryCache::Shard& QueryCache::shard_of(const std::string& key) {
-  return shards_[std::hash<std::string>{}(key) % shards_.size()];
+std::string_view QueryCache::make_key(std::uint64_t snapshot_id,
+                                      std::string_view canonical, KeyBuf& kb) {
+  char digits[20];
+  std::size_t nd = 0;
+  do {
+    digits[nd++] = static_cast<char>('0' + snapshot_id % 10);
+    snapshot_id /= 10;
+  } while (snapshot_id != 0);
+  const std::size_t total = nd + 1 + canonical.size();
+  if (total <= sizeof kb.buf) {
+    char* p = kb.buf;
+    for (std::size_t i = 0; i < nd; ++i) *p++ = digits[nd - 1 - i];
+    *p++ = '\0';
+    if (!canonical.empty()) std::memcpy(p, canonical.data(), canonical.size());
+    return std::string_view(kb.buf, total);
+  }
+  kb.overflow.clear();
+  kb.overflow.reserve(total);
+  for (std::size_t i = 0; i < nd; ++i) {
+    kb.overflow.push_back(digits[nd - 1 - i]);
+  }
+  kb.overflow.push_back('\0');
+  kb.overflow.append(canonical);
+  return kb.overflow;
 }
 
-const QueryCache::Shard& QueryCache::shard_of(const std::string& key) const {
-  return shards_[std::hash<std::string>{}(key) % shards_.size()];
+QueryCache::Shard& QueryCache::shard_of(std::string_view key) {
+  return shards_[std::hash<std::string_view>{}(key) % shards_.size()];
 }
 
-bool QueryCache::lookup(const std::string& key, QueryResult* out) {
+std::shared_ptr<const QueryResult> QueryCache::lookup(std::string_view key) {
   Shard& s = shard_of(key);
   std::lock_guard<std::mutex> lock(s.mutex);
-  auto it = s.index.find(key);
-  if (it == s.index.end()) return false;
+  const auto it = s.index.find(key);
+  if (it == s.index.end()) return nullptr;
   s.lru.splice(s.lru.begin(), s.lru, it->second);
-  *out = it->second->result;
-  return true;
+  return it->second->result;
 }
 
-void QueryCache::insert(const std::string& key, const QueryResult& result) {
+void QueryCache::insert(std::string_view key,
+                        std::shared_ptr<const QueryResult> result) {
   Shard& s = shard_of(key);
   std::lock_guard<std::mutex> lock(s.mutex);
-  auto it = s.index.find(key);
+  const auto it = s.index.find(key);
   if (it != s.index.end()) {
-    it->second->result = result;
+    it->second->result = std::move(result);
     s.lru.splice(s.lru.begin(), s.lru, it->second);
     return;
   }
-  s.lru.push_front(Entry{key, result});
-  s.index.emplace(key, s.lru.begin());
+  s.lru.push_front(Entry{std::string(key), std::move(result)});
+  s.index.emplace(s.lru.front().key, s.lru.begin());
   while (s.lru.size() > per_shard_) {
     s.index.erase(s.lru.back().key);
     s.lru.pop_back();

@@ -1,5 +1,6 @@
 #include "service/protocol.hpp"
 
+#include <chrono>
 #include <fstream>
 #include <istream>
 #include <ostream>
@@ -10,26 +11,38 @@
 #include "netlist/library_io.hpp"
 #include "netlist/netlist_io.hpp"
 #include "netlist/stdcells.hpp"
+#include "service/snapshot_codec.hpp"
 #include "service/snapshot_read.hpp"
+#include "service/snapshot_source.hpp"
 #include "service/snapshot_store.hpp"
 #include "util/error.hpp"
 
 namespace hb {
 
 ServiceHost::ServiceHost(ServiceConfig config) : config_(std::move(config)) {
-  if (config_.snapshot_dir.empty()) return;
+  if (config_.snapshot_dir.empty()) {
+    if (config_.replica) {
+      raise("replica mode needs a snapshot store (serve --replica requires "
+            "--snapshot-dir)");
+    }
+    return;
+  }
   SnapshotStore::Options opt;
   opt.dir = config_.snapshot_dir;
   opt.retain = config_.snapshot_retain;
   store_ = std::make_unique<SnapshotStore>(std::move(opt));
-  // Warm restart: adopt the newest valid persisted snapshot, quarantining
-  // anything corrupt on the way; an empty or fully corrupt store is a cold
-  // start, not an error.
-  SnapshotStore::LoadResult warm = store_->load_newest();
+  // Warm restart: adopt the newest valid persisted snapshot — mmap'd when
+  // the image format supports the zero-copy view, decoded otherwise —
+  // quarantining anything corrupt on the way; an empty or fully corrupt
+  // store is a cold start, not an error.
+  SnapshotStore::SourceResult warm = store_->load_newest_source();
   warm_rejected_ = warm.rejected;
   if (warm.ok()) {
     warm_loaded_ = true;
-    warm_ = std::move(warm.snapshot);
+    warm_source_ = std::move(warm.source);
+    warm_mapped_ = warm.mapped;
+    warm_sections_ = std::move(warm.sections);
+    warm_bytes_ = warm.image_bytes;
   }
 }
 
@@ -59,9 +72,14 @@ std::shared_ptr<Session> ServiceHost::session() const {
   return session_;
 }
 
-std::shared_ptr<const AnalysisSnapshot> ServiceHost::warm_snapshot() const {
+std::shared_ptr<const SnapshotSource> ServiceHost::warm_source() const {
   std::lock_guard<std::mutex> lock(mutex_);
-  return warm_;
+  return warm_source_;
+}
+
+bool ServiceHost::warm_mapped() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return warm_source_ != nullptr && warm_mapped_;
 }
 
 QueryResult ServiceHost::snapshot_command(const ParsedQuery& q) {
@@ -87,7 +105,7 @@ QueryResult ServiceHost::snapshot_command(const ParsedQuery& q) {
   }
   if (sub == "load") {
     const std::string design = q.args.size() > 1 ? q.args[1] : std::string();
-    SnapshotStore::LoadResult res = store_->load_newest(design);
+    SnapshotStore::SourceResult res = store_->load_newest_source(design);
     const std::shared_ptr<Session> session = this->session();
     if (session != nullptr) {
       ServiceMetrics& m = session->metrics();
@@ -100,10 +118,13 @@ QueryResult ServiceHost::snapshot_command(const ParsedQuery& q) {
     if (!res.ok()) return make_error(res.code, res.error);
     QueryResult r = make_ok("ok snapshot load " + res.design + " generation " +
                             std::to_string(res.generation) + " snapshot " +
-                            std::to_string(res.snapshot->id) + " rejected " +
+                            std::to_string(res.source->id()) + " rejected " +
                             std::to_string(res.rejected));
     std::lock_guard<std::mutex> lock(mutex_);
-    warm_ = std::move(res.snapshot);
+    warm_source_ = std::move(res.source);
+    warm_mapped_ = res.mapped;
+    warm_sections_ = std::move(res.sections);
+    warm_bytes_ = res.image_bytes;
     return r;
   }
   // stat: store-level truth (counters since this process opened the store).
@@ -123,10 +144,37 @@ QueryResult ServiceHost::snapshot_command(const ParsedQuery& q) {
   add("loads", std::to_string(store_->loads()));
   add("snapshots_rejected", std::to_string(store_->snapshots_rejected()));
   add("self_heals", std::to_string(store_->self_heals()));
-  const std::shared_ptr<const AnalysisSnapshot> warm = warm_snapshot();
+  std::shared_ptr<const SnapshotSource> warm;
+  bool mapped = false;
+  std::vector<SnapshotSectionInfo> sections;
+  std::size_t image_bytes = 0;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    warm = warm_source_;
+    mapped = warm_mapped_;
+    sections = warm_sections_;
+    image_bytes = warm_bytes_;
+  }
   add("warm", warm == nullptr
                   ? std::string("none")
-                  : warm->design_name + " " + std::to_string(warm->id));
+                  : std::string(warm->design_name()) + " " +
+                        std::to_string(warm->id()));
+  if (warm != nullptr) add("warm_mode", mapped ? "mapped" : "copied");
+  if (warm == nullptr && store_->saves() > 0) {
+    // No warm source: report the image the most recent save produced.
+    sections = store_->last_save_sections();
+    image_bytes = store_->last_save_bytes();
+  }
+  if (!sections.empty()) {
+    add("image_bytes", std::to_string(image_bytes));
+    for (const SnapshotSectionInfo& s : sections) {
+      const char* name =
+          s.kind < kNumSnapshotSections
+              ? snapshot_section_name(static_cast<SnapshotSection>(s.kind))
+              : "unknown";
+      add(std::string("section_") + name, std::to_string(s.payload_size));
+    }
+  }
   QueryResult r = make_ok("ok snapshot stat " + std::to_string(lines.size()));
   for (std::string& l : lines) r.lines.push_back(std::move(l));
   return r;
@@ -135,6 +183,11 @@ QueryResult ServiceHost::snapshot_command(const ParsedQuery& q) {
 QueryResult ServiceHost::load(const std::string& netlist_path,
                               const std::string& spec_path,
                               const std::string& lib_path) {
+  if (config_.replica) {
+    return make_error(DiagCode::kServiceRejected,
+                      "replica mode: `load` is disabled (read-only replica "
+                      "over the snapshot store)");
+  }
   try {
     std::shared_ptr<const Library> lib = config_.lib;
     if (!lib_path.empty()) {
@@ -189,67 +242,127 @@ QueryResult ServiceHost::load(const std::string& netlist_path,
 
 // ---------------------------------------------------------------------------
 
+namespace {
+
+double seconds_between(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+}  // namespace
+
 ProtocolHandler::ProtocolHandler(ServiceHost& host)
     : host_(&host), timer_(AnalysisBudget{}) {}
 
-std::string ProtocolHandler::handle_line(const std::string& line) {
-  if (batch_pending_ > 0) {
-    batch_lines_.push_back(line);
-    if (--batch_pending_ > 0) return std::string();
-    return to_wire(run_batch());
-  }
-  const ParsedQuery q = parse_query(line);
-  if (!q.ok && q.error.lines.empty()) return std::string();  // blank/comment
-  if (!q.ok) return to_wire(q.error);
-  if (q.verb == QueryVerb::kBatch) {
-    batch_pending_ = static_cast<std::size_t>(q.number);
-    batch_lines_.clear();
-    return std::string();
-  }
-  return to_wire(dispatch(q));
+const std::string& ProtocolHandler::handle_line(const std::string& line) {
+  wire_.clear();
+  handle_line_into(line, wire_);
+  return wire_;
 }
 
-QueryResult ProtocolHandler::dispatch(const ParsedQuery& q) {
+void ProtocolHandler::handle_line_into(const std::string& line,
+                                       std::string& wire) {
+  if (batch_pending_ > 0) {
+    batch_lines_.push_back(line);
+    if (--batch_pending_ > 0) return;
+    append_result(run_batch(), wire);
+    return;
+  }
+  if (!parse_query_into(line, parsed_)) {
+    // Blank/comment lines parse to an empty error: emit nothing.
+    if (!parsed_.error.lines.empty()) append_result(parsed_.error, wire);
+    return;
+  }
+  if (parsed_.verb == QueryVerb::kBatch) {
+    batch_pending_ = static_cast<std::size_t>(parsed_.number);
+    batch_lines_.clear();
+    return;
+  }
+  dispatch_into(parsed_, wire);
+}
+
+void ProtocolHandler::append_result(const QueryResult& r, std::string& wire) {
+  for (const std::string& l : r.lines) {
+    wire.append(l);
+    wire.push_back('\n');
+  }
+}
+
+void ProtocolHandler::dispatch_into(const ParsedQuery& q, std::string& wire) {
   switch (q.verb) {
     case QueryVerb::kQuit:
       quit_ = true;
-      return make_ok("ok bye");
+      wire.append("ok bye\n");
+      return;
+    case QueryVerb::kProto:
+      // Negotiate the wire protocol.  The acknowledgement itself is sent in
+      // the current (text) encoding; everything after it is binary frames.
+      if (q.args[0] == "2") {
+        wire.append("ok proto 2\n");
+        binary_ = true;
+        return;
+      }
+      append_result(
+          make_error(DiagCode::kServiceRejected,
+                     "unsupported protocol version '" + q.args[0] +
+                         "' (this build speaks 1 and 2; 1 is the default)"),
+          wire);
+      return;
     case QueryVerb::kHelp: {
       std::vector<std::string> lines = protocol_help_lines();
-      QueryResult r = make_ok("ok help " + std::to_string(lines.size()));
-      for (std::string& l : lines) r.lines.push_back(std::move(l));
-      return r;
+      wire.append("ok help " + std::to_string(lines.size()) + "\n");
+      for (const std::string& l : lines) {
+        wire.append(l);
+        wire.push_back('\n');
+      }
+      return;
     }
     case QueryVerb::kLoad:
-      return host_->load(q.args[0], q.args[1],
-                         q.args.size() > 2 ? q.args[2] : std::string());
+      append_result(host_->load(q.args[0], q.args[1],
+                                q.args.size() > 2 ? q.args[2] : std::string()),
+                    wire);
+      return;
     case QueryVerb::kSnapshot:
-      return host_->snapshot_command(q);
+      append_result(host_->snapshot_command(q), wire);
+      return;
     default: {
       const std::shared_ptr<Session> session = host_->session();
       if (session == nullptr) {
-        // Warm restart: before any design is loaded, read queries answer
-        // from the persisted snapshot the host recovered at start-up —
-        // byte-identical to the session that saved it, via the shared
-        // snapshot evaluator.
-        const std::shared_ptr<const AnalysisSnapshot> warm =
-            host_->warm_snapshot();
+        // Warm restart / replica: before any design is loaded, read queries
+        // answer from the snapshot source the host recovered from the store
+        // — byte-identical to the session that saved it, via the shared
+        // snapshot evaluator (a zero-copy mmap view when mapped).
+        const std::shared_ptr<const SnapshotSource> warm =
+            host_->warm_source();
         if (warm != nullptr && is_read_query(q.verb)) {
           token_.reset();
           AnalysisBudget budget;
           budget.cancel = &token_;
           timer_.rearm(budget);
-          return evaluate_snapshot_read(q, *warm, timer_);
+          append_result(evaluate_snapshot_read(q, *warm, timer_), wire);
+          return;
         }
         if (warm != nullptr) {
-          return make_error(
-              DiagCode::kServiceRejected,
-              "warm snapshot " + std::to_string(warm->id) + " of '" +
-                  warm->design_name +
-                  "' is read-only; `load <netlist> <spec>` to edit");
+          append_result(
+              make_error(
+                  DiagCode::kServiceRejected,
+                  "warm snapshot " + std::to_string(warm->id()) + " of '" +
+                      std::string(warm->design_name()) + "' is read-only; " +
+                      (host_->config().replica
+                           ? std::string(
+                                 "this host is a replica (serve --replica)")
+                           : std::string("`load <netlist> <spec>` to edit"))),
+              wire);
+          return;
         }
-        return make_error(DiagCode::kServiceRejected,
-                          "no design loaded; use `load <netlist> <spec>`");
+        append_result(
+            make_error(DiagCode::kServiceRejected,
+                       host_->config().replica
+                           ? "replica has no snapshot to serve (snapshot "
+                             "store empty or corrupt)"
+                           : "no design loaded; use `load <netlist> <spec>`"),
+            wire);
+        return;
       }
       // Reuse the connection's token/timer pair across requests: reset the
       // token, then re-arm the timer with this request's deadline.
@@ -258,9 +371,104 @@ QueryResult ProtocolHandler::dispatch(const ParsedQuery& q) {
       budget.wall_seconds = session->deadline_ms() / 1000.0;
       budget.cancel = &token_;
       timer_.rearm(budget);
-      return session->execute(q, &timer_);
+      append_result(*session->execute_shared(q, &timer_), wire);
+      return;
     }
   }
+}
+
+const std::string& ProtocolHandler::handle_frame(std::string_view payload) {
+  frame_wire_.clear();
+  const Proto2Request req = proto2_decode_request(payload);
+  if (!req.ok) {
+    proto2_error_frame(req.code, req.error, frame_wire_);
+    ++frame_errors_;
+    return frame_wire_;
+  }
+  if (req.op == Proto2Op::kText) {
+    // A wrapped line-protocol request: quit, batch, load, snapshot and every
+    // verb without a typed encoding flow through the text dispatcher and
+    // the reply text comes back in a status-2 frame.
+    text_scratch_.assign(req.text);
+    wire_.clear();
+    handle_line_into(text_scratch_, wire_);
+    if (wire_.rfind("err ", 0) == 0) ++frame_errors_;
+    proto2_text_frame(wire_, frame_wire_);
+    return frame_wire_;
+  }
+  if (req.op == Proto2Op::kPing) {
+    proto2_ping_frame(frame_wire_);
+    return frame_wire_;
+  }
+  // Typed read request.
+  const std::shared_ptr<Session> session = host_->session();
+  if (session != nullptr) {
+    if (req.op == Proto2Op::kCorner) session->metrics().record_corner_read();
+    const auto t0 = std::chrono::steady_clock::now();
+    const std::shared_ptr<const AnalysisSnapshot> snap = session->snapshot();
+    // The binary counterpart of the QueryCache: replies are pure functions
+    // of (request payload, snapshot), so a repeated payload against the
+    // same snapshot generation replays the recorded frame.
+    if (typed_cache_id_ != snap->id || typed_cache_src_ != snap.get()) {
+      typed_cache_.clear();
+      typed_cache_id_ = snap->id;
+      typed_cache_src_ = snap.get();
+    }
+    if (const auto it = typed_cache_.find(payload);
+        it != typed_cache_.end()) {
+      frame_wire_ = it->second;
+      session->metrics().record_cache(true);
+      session->metrics().record_request(true, true, false,
+                                        seconds_between(t0));
+      return frame_wire_;
+    }
+    token_.reset();
+    AnalysisBudget budget;
+    budget.wall_seconds = session->deadline_ms() / 1000.0;
+    budget.cancel = &token_;
+    timer_.rearm(budget);
+    const SnapshotCopySource src(*snap);
+    const Proto2Eval e = proto2_evaluate(req, src, timer_, frame_wire_);
+    session->metrics().record_cache(false);
+    session->metrics().record_request(true, e.ok, e.timed_out,
+                                      seconds_between(t0));
+    if (!e.ok) ++frame_errors_;
+    if (e.ok && !e.timed_out && typed_cache_.size() < kTypedCacheCap) {
+      typed_cache_.emplace(std::string(payload), frame_wire_);
+    }
+    return frame_wire_;
+  }
+  const std::shared_ptr<const SnapshotSource> warm = host_->warm_source();
+  if (warm != nullptr) {
+    if (typed_cache_id_ != warm->id() || typed_cache_src_ != warm.get()) {
+      typed_cache_.clear();
+      typed_cache_id_ = warm->id();
+      typed_cache_src_ = warm.get();
+    }
+    if (const auto it = typed_cache_.find(payload);
+        it != typed_cache_.end()) {
+      frame_wire_ = it->second;
+      return frame_wire_;
+    }
+    token_.reset();
+    AnalysisBudget budget;
+    budget.cancel = &token_;
+    timer_.rearm(budget);
+    const Proto2Eval e = proto2_evaluate(req, *warm, timer_, frame_wire_);
+    if (!e.ok) ++frame_errors_;
+    if (e.ok && !e.timed_out && typed_cache_.size() < kTypedCacheCap) {
+      typed_cache_.emplace(std::string(payload), frame_wire_);
+    }
+    return frame_wire_;
+  }
+  proto2_error_frame(DiagCode::kServiceRejected,
+                     host_->config().replica
+                         ? "replica has no snapshot to serve (snapshot store "
+                           "empty or corrupt)"
+                         : "no design loaded; use `load <netlist> <spec>`",
+                     frame_wire_);
+  ++frame_errors_;
+  return frame_wire_;
 }
 
 QueryResult ProtocolHandler::run_batch() {
@@ -303,6 +511,8 @@ std::vector<std::string> protocol_help_lines() {
       "  deadline <ms>            per-request deadline (0 = unlimited)",
       "  stats                    service counters and latency percentiles",
       "  ping                     liveness check",
+      "  proto <version>          negotiate the wire protocol (2 = binary"
+      " frames; docs/SERVICE.md)",
       "  load <netlist> <spec> [<lib>]  start a session from files"
       " (.blif netlists accepted; spec `-` derives clocks from clock ports)",
       "  snapshot save            persist the current snapshot to the store",
@@ -318,15 +528,43 @@ int serve_stream(ServiceHost& host, std::istream& in, std::ostream& out) {
   ProtocolHandler handler(host);
   int errors = 0;
   std::string line;
-  while (std::getline(in, line)) {
-    const std::string reply = handler.handle_line(line);
+  while (!handler.binary() && std::getline(in, line)) {
+    const std::string& reply = handler.handle_line(line);
     if (!reply.empty()) {
       if (reply.rfind("err ", 0) == 0) ++errors;
       out << reply;
       out.flush();
     }
+    if (handler.quit()) return errors;
+  }
+  if (!handler.binary()) return errors;
+  // Binary frame loop: u32 little-endian length, then that many payload
+  // bytes, one reply frame per request frame.
+  std::string payload;
+  char hdr[4];
+  while (in.read(hdr, 4)) {
+    const std::uint32_t len =
+        codec_read_le32(reinterpret_cast<const unsigned char*>(hdr));
+    if (len > kProto2MaxFrame) {
+      std::string err;
+      proto2_error_frame(DiagCode::kServiceRejected,
+                         "request frame of " + std::to_string(len) +
+                             " bytes exceeds the " +
+                             std::to_string(kProto2MaxFrame) + "-byte limit",
+                         err);
+      out.write(err.data(), static_cast<std::streamsize>(err.size()));
+      out.flush();
+      ++errors;
+      break;
+    }
+    payload.resize(len);
+    if (len > 0 && !in.read(payload.data(), len)) break;
+    const std::string& reply = handler.handle_frame(payload);
+    out.write(reply.data(), static_cast<std::streamsize>(reply.size()));
+    out.flush();
     if (handler.quit()) break;
   }
+  errors += static_cast<int>(handler.frame_errors());
   return errors;
 }
 

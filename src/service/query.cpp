@@ -35,16 +35,11 @@ constexpr VerbSpec kVerbs[] = {
     {"load", QueryVerb::kLoad, 2, 3},
     {"snapshot", QueryVerb::kSnapshot, 1, 2},
     {"batch", QueryVerb::kBatch, 1, 1},
+    {"proto", QueryVerb::kProto, 1, 1},
     {"help", QueryVerb::kHelp, 0, 0},
     {"quit", QueryVerb::kQuit, 0, 0},
     {"exit", QueryVerb::kQuit, 0, 0},
 };
-
-ParsedQuery fail(ParsedQuery q, DiagCode code, const std::string& message) {
-  q.ok = false;
-  q.error = make_error(code, message);
-  return q;
-}
 
 }  // namespace
 
@@ -106,13 +101,62 @@ std::string fmt_ps(TimePs t) {
 
 ParsedQuery parse_query(const std::string& line) {
   ParsedQuery q;
-  const std::vector<Token> tokens = split_tokens(line);
-  if (tokens.empty()) {
+  parse_query_into(line, q);
+  return q;
+}
+
+bool parse_query_into(const std::string& line, ParsedQuery& q) {
+  q.verb = QueryVerb::kUnknown;
+  q.canonical.clear();
+  q.number = 0;
+  q.fraction = 0;
+  q.corner_sub = QueryVerb::kUnknown;
+  q.ok = false;
+  q.error.ok = true;
+  q.error.code = DiagCode::kParseSyntax;
+  q.error.lines.clear();
+
+  const auto fail = [&q](DiagCode code, const std::string& message) {
+    q.ok = false;
+    q.error = make_error(code, message);
+    return false;
+  };
+
+  // Tokenise with offsets into `line` — the same rules as split_tokens
+  // (whitespace separators, '#' starts a comment) without per-token copies.
+  struct TokView {
+    const char* ptr;
+    std::size_t len;
+  };
+  constexpr std::size_t kMaxToks = 16;
+  TokView toks[kMaxToks];
+  std::size_t ntoks = 0;       // tokens stored (capped at kMaxToks)
+  std::size_t total_toks = 0;  // tokens seen — drives the arity check
+  {
+    std::size_t i = 0;
+    while (i < line.size()) {
+      while (i < line.size() &&
+             std::isspace(static_cast<unsigned char>(line[i]))) {
+        ++i;
+      }
+      if (i >= line.size() || line[i] == '#') break;
+      const std::size_t start = i;
+      while (i < line.size() &&
+             !std::isspace(static_cast<unsigned char>(line[i]))) {
+        ++i;
+      }
+      if (ntoks < kMaxToks) toks[ntoks++] = TokView{line.data() + start, i - start};
+      ++total_toks;
+    }
+  }
+  if (total_toks == 0) {
     // Blank / comment line: ok=false with an empty error — callers skip it.
-    return q;
+    q.args.clear();
+    return false;
   }
 
-  std::string verb = tokens[0].text;
+  static thread_local std::string verb;
+  verb.assign(toks[0].ptr, toks[0].len);
   std::transform(verb.begin(), verb.end(), verb.begin(),
                  [](unsigned char c) { return std::tolower(c); });
 
@@ -124,14 +168,24 @@ ParsedQuery parse_query(const std::string& line) {
     }
   }
   if (spec == nullptr) {
-    return fail(std::move(q), DiagCode::kParseUnknownKeyword,
+    q.args.clear();
+    return fail(DiagCode::kParseUnknownKeyword,
                 "unknown query '" + verb + "' (try `help`)");
   }
   q.verb = spec->verb;
-  for (std::size_t i = 1; i < tokens.size(); ++i) q.args.push_back(tokens[i].text);
-  const int argc = static_cast<int>(q.args.size());
+  // Reuse the argument strings in place; surplus entries are dropped.
+  const std::size_t stored_args = ntoks - 1;
+  if (q.args.size() > stored_args) q.args.resize(stored_args);
+  for (std::size_t i = 1; i < ntoks; ++i) {
+    if (i - 1 < q.args.size()) {
+      q.args[i - 1].assign(toks[i].ptr, toks[i].len);
+    } else {
+      q.args.emplace_back(toks[i].ptr, toks[i].len);
+    }
+  }
+  const int argc = static_cast<int>(total_toks - 1);
   if (argc < spec->min_args || argc > spec->max_args) {
-    return fail(std::move(q), DiagCode::kParseSyntax,
+    return fail(DiagCode::kParseSyntax,
                 "'" + std::string(spec->name) + "' expects " +
                     std::to_string(spec->min_args) +
                     (spec->max_args != spec->min_args
@@ -141,7 +195,8 @@ ParsedQuery parse_query(const std::string& line) {
   }
 
   // Per-verb numeric validation and canonicalisation.
-  std::string canon_args;
+  static thread_local std::string canon_args;
+  canon_args.clear();
   switch (q.verb) {
     case QueryVerb::kWorstPaths:
     case QueryVerb::kHistogram:
@@ -152,7 +207,7 @@ ParsedQuery parse_query(const std::string& line) {
       const long long hi = q.verb == QueryVerb::kHistogram ? 1000 : 100000;
       if (end == nullptr || *end != '\0' || q.args[0].empty() || v < lo ||
           v > hi) {
-        return fail(std::move(q), DiagCode::kParseBadNumber,
+        return fail(DiagCode::kParseBadNumber,
                     "'" + q.args[0] + "' is not an integer in [" +
                         std::to_string(lo) + ", " + std::to_string(hi) + "]");
       }
@@ -165,7 +220,7 @@ ParsedQuery parse_query(const std::string& line) {
       try {
         delta = parse_time(q.args[1]);
       } catch (const Error& e) {
-        return fail(std::move(q), DiagCode::kParseBadNumber, e.what());
+        return fail(DiagCode::kParseBadNumber, e.what());
       }
       q.number = delta;
       canon_args = q.args[0] + " " + std::to_string(delta);
@@ -177,7 +232,7 @@ ParsedQuery parse_query(const std::string& line) {
         try {
           margin = parse_time(q.args[0]);
         } catch (const Error& e) {
-          return fail(std::move(q), DiagCode::kParseBadNumber, e.what());
+          return fail(DiagCode::kParseBadNumber, e.what());
         }
       }
       q.number = margin;
@@ -194,7 +249,7 @@ ParsedQuery parse_query(const std::string& line) {
                      [](unsigned char c) { return std::tolower(c); });
       if (sub == "list") {
         if (q.args.size() > 1) {
-          return fail(std::move(q), DiagCode::kParseSyntax,
+          return fail(DiagCode::kParseSyntax,
                       "'corner list' takes no further arguments");
         }
         q.args[0] = "list";
@@ -202,7 +257,7 @@ ParsedQuery parse_query(const std::string& line) {
         break;
       }
       if (q.args.size() < 2) {
-        return fail(std::move(q), DiagCode::kParseSyntax,
+        return fail(DiagCode::kParseSyntax,
                     "'corner' expects `list` or `<name|index> <read query>`");
       }
       std::string scoped;
@@ -220,7 +275,7 @@ ParsedQuery parse_query(const std::string& line) {
         if (msg.compare(0, prefix.size(), prefix) == 0) {
           msg = msg.substr(prefix.size());
         }
-        return fail(std::move(q), inner.error.code, msg);
+        return fail(inner.error.code, msg);
       }
       switch (inner.verb) {
         case QueryVerb::kSlack:
@@ -230,7 +285,7 @@ ParsedQuery parse_query(const std::string& line) {
         case QueryVerb::kCheckHold:
           break;
         default:
-          return fail(std::move(q), DiagCode::kParseSyntax,
+          return fail(DiagCode::kParseSyntax,
                       "'corner' scopes slack, worst_paths, histogram, "
                       "summary or check_hold");
       }
@@ -252,12 +307,12 @@ ParsedQuery parse_query(const std::string& line) {
       std::transform(sub.begin(), sub.end(), sub.begin(),
                      [](unsigned char c) { return std::tolower(c); });
       if (sub != "save" && sub != "load" && sub != "stat") {
-        return fail(std::move(q), DiagCode::kParseUnknownKeyword,
+        return fail(DiagCode::kParseUnknownKeyword,
                     "unknown snapshot subcommand '" + q.args[0] +
                         "' (save | load [<design>] | stat)");
       }
       if (sub != "load" && q.args.size() > 1) {
-        return fail(std::move(q), DiagCode::kParseSyntax,
+        return fail(DiagCode::kParseSyntax,
                     "'snapshot " + sub + "' takes no further arguments");
       }
       q.args[0] = sub;
@@ -270,7 +325,7 @@ ParsedQuery parse_query(const std::string& line) {
       const double ms = std::strtod(q.args[0].c_str(), &end);
       if (end == nullptr || *end != '\0' || q.args[0].empty() || ms < 0 ||
           !(ms <= 1e9)) {
-        return fail(std::move(q), DiagCode::kParseBadNumber,
+        return fail(DiagCode::kParseBadNumber,
                     "'" + q.args[0] + "' is not a deadline in milliseconds");
       }
       q.fraction = ms;
@@ -286,10 +341,13 @@ ParsedQuery parse_query(const std::string& line) {
     }
   }
 
-  q.canonical = spec->name;
-  if (!canon_args.empty()) q.canonical += " " + canon_args;
+  q.canonical.assign(spec->name);
+  if (!canon_args.empty()) {
+    q.canonical += ' ';
+    q.canonical += canon_args;
+  }
   q.ok = true;
-  return q;
+  return true;
 }
 
 }  // namespace hb

@@ -46,6 +46,10 @@ enum class QueryVerb {
   kLoad,
   kSnapshot,
   kBatch,
+  /// `proto <version>` — negotiate the wire protocol (docs/SERVICE.md
+  /// "Binary protocol v2").  After `proto 2` the connection switches to
+  /// length-prefixed binary frames.
+  kProto,
   kHelp,
   kQuit,
   kUnknown,
@@ -94,6 +98,11 @@ struct ParsedQuery {
 /// yield verb kUnknown with ok=false and an empty canonical — callers skip
 /// them silently (error.lines is empty for exactly this case).
 ParsedQuery parse_query(const std::string& line);
+
+/// As parse_query, but re-parses into an existing ParsedQuery, reusing its
+/// string and vector capacity — the steady-state read path allocates
+/// nothing for queries it has seen the shape of before.  Returns q.ok.
+bool parse_query_into(const std::string& line, ParsedQuery& q);
 
 /// "+inf" for the unconstrained sentinel, the plain picosecond integer
 /// otherwise — the machine-readable time format of every reply.

@@ -105,30 +105,39 @@ QueryResult Session::execute(const std::string& line) {
 }
 
 QueryResult Session::execute(const ParsedQuery& q, BudgetTimer* timer) {
+  return *execute_shared(q, timer);
+}
+
+std::shared_ptr<const QueryResult> Session::execute_shared(const ParsedQuery& q,
+                                                           BudgetTimer* timer) {
   const auto t0 = std::chrono::steady_clock::now();
   const bool is_read = is_read_query(q.verb);
-  QueryResult r;
+  std::shared_ptr<const QueryResult> r;
   if (!q.ok) {
-    r = q.error;
+    r = std::make_shared<const QueryResult>(q.error);
   } else if (is_read) {
     if (q.verb == QueryVerb::kCorner) metrics_.record_corner_read();
     const std::shared_ptr<const AnalysisSnapshot> snap = snapshot();
-    const std::string key = QueryCache::key(snap->id, q.canonical);
-    if (cache_.lookup(key, &r)) {
+    QueryCache::KeyBuf kb;
+    const std::string_view key =
+        QueryCache::make_key(snap->id, q.canonical, kb);
+    r = cache_.lookup(key);
+    if (r != nullptr) {
       metrics_.record_cache(true);
     } else {
       metrics_.record_cache(false);
       BudgetTimer local(request_budget());
-      r = evaluate_snapshot_read(q, *snap, timer != nullptr ? *timer : local);
-      if (r.ok) cache_.insert(key, r);
+      r = std::make_shared<const QueryResult>(
+          evaluate_snapshot_read(q, *snap, timer != nullptr ? *timer : local));
+      if (r->ok) cache_.insert(key, r);
     }
   } else if (is_write_query(q.verb)) {
-    r = execute_write(q, timer);
+    r = std::make_shared<const QueryResult>(execute_write(q, timer));
   } else {
-    r = execute_control(q);
+    r = std::make_shared<const QueryResult>(execute_control(q));
   }
   if (!q.error.lines.empty() || q.ok) {
-    metrics_.record_request(is_read, r.ok, r.timed_out(), seconds_since(t0));
+    metrics_.record_request(is_read, r->ok, r->timed_out(), seconds_since(t0));
   }
   return r;
 }

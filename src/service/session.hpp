@@ -94,6 +94,13 @@ class Session {
   /// BudgetTimer); when null the session's own deadline applies.
   QueryResult execute(const ParsedQuery& q, BudgetTimer* timer = nullptr);
 
+  /// As execute(), but returning a shared reference to the (possibly
+  /// cached) immutable result instead of a copy — the protocol layer's
+  /// zero-copy read path (a cache hit costs one refcount bump, no
+  /// allocation).  Never null.
+  std::shared_ptr<const QueryResult> execute_shared(const ParsedQuery& q,
+                                                    BudgetTimer* timer = nullptr);
+
   /// Execute a batch: maximal runs of read queries fan out over the
   /// session's pool; writes and control queries run serially in order.
   /// Results are index-aligned with `lines` and identical to sequential

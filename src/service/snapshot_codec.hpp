@@ -1,0 +1,128 @@
+// Shared little-endian codec primitives of the snapshot image format and
+// the binary query protocol (snapshot_store, snapshot_view, proto2).
+//
+// The Reader is a bounds-checked cursor over untrusted bytes: every
+// accessor checks the remaining length first and latches `fail`, so no
+// read past the end is possible whatever the length fields claim — the
+// contract the fixed-seed fuzz jobs rely on.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace hb {
+
+inline std::uint64_t codec_read_le64(const unsigned char* p) {
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v |= std::uint64_t{p[i]} << (8 * i);
+  return v;
+}
+
+inline std::uint32_t codec_read_le32(const unsigned char* p) {
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) v |= std::uint32_t{p[i]} << (8 * i);
+  return v;
+}
+
+inline std::uint16_t codec_read_le16(const unsigned char* p) {
+  return static_cast<std::uint16_t>(std::uint16_t{p[0]} |
+                                    (std::uint16_t{p[1]} << 8));
+}
+
+inline void put_u8(std::string& out, std::uint8_t v) {
+  out.push_back(static_cast<char>(v));
+}
+
+inline void put_u16(std::string& out, std::uint16_t v) {
+  for (int i = 0; i < 2; ++i) {
+    out.push_back(static_cast<char>((v >> (8 * i)) & 0xFF));
+  }
+}
+
+inline void put_u32(std::string& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    out.push_back(static_cast<char>((v >> (8 * i)) & 0xFF));
+  }
+}
+
+inline void put_u64(std::string& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    out.push_back(static_cast<char>((v >> (8 * i)) & 0xFF));
+  }
+}
+
+inline void put_i64(std::string& out, std::int64_t v) {
+  put_u64(out, static_cast<std::uint64_t>(v));
+}
+
+inline void put_str(std::string& out, std::string_view s) {
+  put_u32(out, static_cast<std::uint32_t>(s.size()));
+  out.append(s);
+}
+
+/// Bounds-checked cursor over an untrusted image.  Every accessor checks
+/// the remaining length first and latches `fail` — no read past the end is
+/// possible, whatever the length fields claim.
+struct Reader {
+  const unsigned char* data = nullptr;
+  std::size_t size = 0;
+  std::size_t pos = 0;
+  bool fail = false;
+
+  std::size_t remaining() const { return size - pos; }
+  bool need(std::size_t k) {
+    if (fail || remaining() < k) {
+      fail = true;
+      return false;
+    }
+    return true;
+  }
+  std::uint8_t u8() {
+    if (!need(1)) return 0;
+    return data[pos++];
+  }
+  std::uint16_t u16() {
+    if (!need(2)) return 0;
+    const std::uint16_t v = codec_read_le16(data + pos);
+    pos += 2;
+    return v;
+  }
+  std::uint32_t u32() {
+    if (!need(4)) return 0;
+    const std::uint32_t v = codec_read_le32(data + pos);
+    pos += 4;
+    return v;
+  }
+  std::uint64_t u64() {
+    if (!need(8)) return 0;
+    const std::uint64_t v = codec_read_le64(data + pos);
+    pos += 8;
+    return v;
+  }
+  std::int64_t i64() { return static_cast<std::int64_t>(u64()); }
+  std::string str() {
+    const std::uint32_t len = u32();
+    if (!need(len)) return std::string();
+    std::string s(reinterpret_cast<const char*>(data + pos), len);
+    pos += len;
+    return s;
+  }
+  /// Zero-copy variant of str(): a view into the underlying bytes.
+  std::string_view str_view() {
+    const std::uint32_t len = u32();
+    if (!need(len)) return std::string_view();
+    std::string_view s(reinterpret_cast<const char*>(data + pos), len);
+    pos += len;
+    return s;
+  }
+};
+
+inline Reader reader_of(std::string_view bytes) {
+  Reader r;
+  r.data = reinterpret_cast<const unsigned char*>(bytes.data());
+  r.size = bytes.size();
+  return r;
+}
+
+}  // namespace hb

@@ -1,10 +1,12 @@
 // Snapshot read evaluation — one pure function from (query, snapshot) to a
 // reply, shared by every serving surface.
 //
-// A live Session and a warm-restarted host serving a store-loaded snapshot
-// (snapshot_store.hpp) call the same evaluator, so a restarted service
-// answers read queries byte-identically to the pre-restart session — the
-// warm-restart acceptance contract (tests/snapshot_store_test.cpp).
+// A live Session, a warm-restarted host serving a store-loaded snapshot
+// (snapshot_store.hpp) and a read-only replica serving an mmap'd
+// SnapshotView (snapshot_view.hpp) all call the same evaluator through the
+// SnapshotSource interface, so every surface answers read queries
+// byte-identically — the warm-restart and view-vs-copy differential
+// contracts (tests/snapshot_store_test.cpp, tests/proto2_test.cpp).
 //
 // check_hold and gen_constraints are read queries here: they evaluate the
 // hold-pair and constraint captures embedded in the snapshot, never the
@@ -14,12 +16,19 @@
 
 #include "service/query.hpp"
 #include "service/snapshot.hpp"
+#include "service/snapshot_source.hpp"
 #include "util/cancel.hpp"
 
 namespace hb {
 
-/// Evaluate one read query (is_read_query(q.verb)) against a snapshot.
-/// Pure: same query + same snapshot -> same reply bytes, on any thread.
+/// Evaluate one read query (is_read_query(q.verb)) against any snapshot
+/// source.  Pure: same query + same source data -> same reply bytes, on any
+/// thread.
+QueryResult evaluate_snapshot_read(const ParsedQuery& q,
+                                   const SnapshotSource& src,
+                                   BudgetTimer& timer);
+
+/// Convenience overload for a decoded snapshot (adapts it on the stack).
 QueryResult evaluate_snapshot_read(const ParsedQuery& q,
                                    const AnalysisSnapshot& snap,
                                    BudgetTimer& timer);

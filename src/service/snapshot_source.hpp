@@ -1,0 +1,309 @@
+// SnapshotSource — the one evaluator interface behind every snapshot-served
+// read verb (service/snapshot_read.*).
+//
+// Two implementations exist: SnapshotCopySource (below) adapts a decoded
+// in-memory AnalysisSnapshot, and SnapshotView (snapshot_view.hpp) serves
+// straight from an mmap'd image without materialising a single string.
+// evaluate_snapshot_read() is written against this interface only, so a
+// live session, a warm-restarted host and a read-only replica all produce
+// byte-identical replies — the differential contract of
+// tests/proto2_test.cpp.
+//
+// Accessors hand out string_views and small value structs; views point into
+// storage owned by the source (the snapshot's strings, or the mapped
+// image), valid for the source's lifetime.  Out-of-range indices return
+// zeroed values rather than throwing: on images produced by
+// serialize_snapshot the counts always agree, and a hostile image must
+// degrade, not crash.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "service/snapshot.hpp"
+
+namespace hb {
+
+struct SourcePin {
+  std::string_view name;
+  std::uint32_t node = 0;
+};
+
+struct SourcePath {
+  TimePs slack = 0;
+  std::string_view launch;
+  std::string_view capture;
+  std::string_view from;
+  std::string_view to;
+  std::size_t steps = 0;
+};
+
+struct SourceHoldPair {
+  TimePs margin = 0;
+  std::string_view launch_label;
+  std::string_view capture_label;
+};
+
+struct SourceCornerMeta {
+  std::string_view name;
+  std::uint32_t derate_pm = 1000;
+  std::uint32_t wire_pm = 1000;
+  TimePs worst_slack = 0;
+  std::size_t num_violations = 0;
+  std::size_t num_paths = 0;
+  bool has_hold = false;
+};
+
+class SnapshotSource {
+ public:
+  static constexpr std::size_t npos = static_cast<std::size_t>(-1);
+
+  /// Opaque handle from find_instance(); valid only against the source
+  /// that produced it, and only while that source lives.
+  struct InstRef {
+    const void* p = nullptr;
+    std::size_t i = 0;
+    bool found = false;
+  };
+
+  virtual ~SnapshotSource() = default;
+
+  // -- meta ----------------------------------------------------------------
+  virtual std::uint64_t id() const = 0;
+  virtual std::string_view design_name() const = 0;
+  virtual AnalysisStatus status() const = 0;
+  virtual bool works_as_intended() const = 0;
+  virtual TimePs worst_slack() const = 0;
+  virtual std::size_t num_terminals() const = 0;
+  virtual std::size_t num_violations() const = 0;
+
+  // -- node timings / names ------------------------------------------------
+  virtual std::size_t num_nodes() const = 0;
+  virtual NodeTiming node_timing(std::size_t i) const = 0;
+  virtual std::size_t num_node_names() const = 0;
+  virtual std::string_view node_name(std::size_t i) const = 0;
+  /// Node id for a name; npos when unknown.  Duplicate names resolve to the
+  /// lowest id (the NameIndex emplace-first-wins rule).
+  virtual std::size_t find_node(std::string_view name) const = 0;
+
+  // -- worst paths ---------------------------------------------------------
+  virtual std::size_t num_paths() const = 0;
+  virtual SourcePath path(std::size_t i) const = 0;
+
+  // -- capture slacks (histogram input) ------------------------------------
+  virtual std::size_t num_capture_slacks() const = 0;
+  virtual TimePs capture_slack(std::size_t i) const = 0;
+
+  // -- instance pin tables (constraints query) -----------------------------
+  virtual InstRef find_instance(std::string_view name) const = 0;
+  virtual std::size_t num_instance_pins(const InstRef& ref) const = 0;
+  virtual SourcePin instance_pin(const InstRef& ref, std::size_t pin) const = 0;
+
+  // -- hold capture --------------------------------------------------------
+  virtual bool has_hold() const = 0;
+  virtual std::size_t num_hold_pairs() const = 0;
+  virtual SourceHoldPair hold_pair(std::size_t i) const = 0;
+
+  // -- constraint capture --------------------------------------------------
+  virtual bool has_constraints() const = 0;
+  virtual AnalysisStatus constraints_status() const = 0;
+  virtual std::int32_t backward_snatch_cycles() const = 0;
+  virtual std::int32_t forward_snatch_cycles() const = 0;
+  virtual std::size_t num_constraint_nodes() const = 0;
+  virtual ConstraintTimes constraint_node(std::size_t i) const = 0;
+
+  // -- corner capture ------------------------------------------------------
+  virtual bool has_corners() const = 0;
+  virtual std::uint32_t worst_corner() const = 0;
+  virtual std::size_t num_corners() const = 0;
+  virtual SourceCornerMeta corner_meta(std::size_t k) const = 0;
+  virtual std::size_t corner_num_node_slacks(std::size_t k) const = 0;
+  virtual TimePs corner_node_slack(std::size_t k, std::size_t i) const = 0;
+  virtual std::size_t corner_num_capture_slacks(std::size_t k) const = 0;
+  virtual TimePs corner_capture_slack(std::size_t k, std::size_t i) const = 0;
+  virtual SourcePath corner_path(std::size_t k, std::size_t i) const = 0;
+  virtual std::size_t corner_num_hold_pairs(std::size_t k) const = 0;
+  virtual SourceHoldPair corner_hold_pair(std::size_t k, std::size_t i) const = 0;
+};
+
+/// Adapter over a decoded AnalysisSnapshot.  Construction is free (two
+/// pointer stores), so the session read path builds one on the stack per
+/// request.  The shared_ptr overload keeps the snapshot alive for sources
+/// that outlive their caller's pointer (the store's copy-load fallback).
+class SnapshotCopySource final : public SnapshotSource {
+ public:
+  explicit SnapshotCopySource(const AnalysisSnapshot& snap) : snap_(&snap) {}
+  explicit SnapshotCopySource(std::shared_ptr<const AnalysisSnapshot> snap)
+      : owned_(std::move(snap)), snap_(owned_.get()) {}
+
+  std::uint64_t id() const override { return snap_->id; }
+  std::string_view design_name() const override { return snap_->design_name; }
+  AnalysisStatus status() const override { return snap_->status; }
+  bool works_as_intended() const override { return snap_->works_as_intended; }
+  TimePs worst_slack() const override { return snap_->worst_slack; }
+  std::size_t num_terminals() const override { return snap_->num_terminals; }
+  std::size_t num_violations() const override { return snap_->num_violations; }
+
+  std::size_t num_nodes() const override { return snap_->nodes.size(); }
+  NodeTiming node_timing(std::size_t i) const override {
+    return i < snap_->nodes.size() ? snap_->nodes[i] : NodeTiming{};
+  }
+  std::size_t num_node_names() const override {
+    return snap_->names->node_names.size();
+  }
+  std::string_view node_name(std::size_t i) const override {
+    return i < snap_->names->node_names.size()
+               ? std::string_view(snap_->names->node_names[i])
+               : std::string_view();
+  }
+  std::size_t find_node(std::string_view name) const override {
+    const auto& by_name = snap_->names->node_by_name;
+    const auto it = by_name.find(std::string(name));
+    return it == by_name.end() ? npos : static_cast<std::size_t>(it->second);
+  }
+
+  std::size_t num_paths() const override { return snap_->paths.size(); }
+  SourcePath path(std::size_t i) const override {
+    SourcePath out;
+    if (i >= snap_->paths.size()) return out;
+    const SnapshotPath& p = snap_->paths[i];
+    out.slack = p.slack;
+    out.launch = p.launch;
+    out.capture = p.capture;
+    out.from = p.from;
+    out.to = p.to;
+    out.steps = p.steps;
+    return out;
+  }
+
+  std::size_t num_capture_slacks() const override {
+    return snap_->capture_slacks.size();
+  }
+  TimePs capture_slack(std::size_t i) const override {
+    return i < snap_->capture_slacks.size() ? snap_->capture_slacks[i] : 0;
+  }
+
+  InstRef find_instance(std::string_view name) const override {
+    const auto& pins = snap_->names->inst_pins;
+    const auto it = pins.find(std::string(name));
+    InstRef ref;
+    if (it == pins.end()) return ref;
+    ref.p = &it->second;
+    ref.found = true;
+    return ref;
+  }
+  std::size_t num_instance_pins(const InstRef& ref) const override {
+    if (!ref.found) return 0;
+    return static_cast<const PinTable*>(ref.p)->size();
+  }
+  SourcePin instance_pin(const InstRef& ref, std::size_t pin) const override {
+    SourcePin out;
+    if (!ref.found) return out;
+    const PinTable& table = *static_cast<const PinTable*>(ref.p);
+    if (pin >= table.size()) return out;
+    out.name = table[pin].first;
+    out.node = table[pin].second;
+    return out;
+  }
+
+  bool has_hold() const override { return snap_->has_hold; }
+  std::size_t num_hold_pairs() const override { return snap_->hold_pairs.size(); }
+  SourceHoldPair hold_pair(std::size_t i) const override {
+    SourceHoldPair out;
+    if (i >= snap_->hold_pairs.size()) return out;
+    const SnapshotHoldPair& p = snap_->hold_pairs[i];
+    out.margin = p.margin;
+    out.launch_label = p.launch_label;
+    out.capture_label = p.capture_label;
+    return out;
+  }
+
+  bool has_constraints() const override { return snap_->has_constraints; }
+  AnalysisStatus constraints_status() const override {
+    return snap_->constraints_status;
+  }
+  std::int32_t backward_snatch_cycles() const override {
+    return snap_->backward_snatch_cycles;
+  }
+  std::int32_t forward_snatch_cycles() const override {
+    return snap_->forward_snatch_cycles;
+  }
+  std::size_t num_constraint_nodes() const override {
+    return snap_->constraint_nodes.size();
+  }
+  ConstraintTimes constraint_node(std::size_t i) const override {
+    return i < snap_->constraint_nodes.size() ? snap_->constraint_nodes[i]
+                                              : ConstraintTimes{};
+  }
+
+  bool has_corners() const override { return snap_->has_corners; }
+  std::uint32_t worst_corner() const override { return snap_->worst_corner; }
+  std::size_t num_corners() const override { return snap_->corners.size(); }
+  SourceCornerMeta corner_meta(std::size_t k) const override {
+    SourceCornerMeta out;
+    if (k >= snap_->corners.size()) return out;
+    const SnapshotCorner& c = snap_->corners[k];
+    out.name = c.name;
+    out.derate_pm = c.derate_pm;
+    out.wire_pm = c.wire_pm;
+    out.worst_slack = c.worst_slack;
+    out.num_violations = c.num_violations;
+    out.num_paths = c.paths.size();
+    out.has_hold = c.has_hold;
+    return out;
+  }
+  std::size_t corner_num_node_slacks(std::size_t k) const override {
+    return k < snap_->corners.size() ? snap_->corners[k].node_slacks.size() : 0;
+  }
+  TimePs corner_node_slack(std::size_t k, std::size_t i) const override {
+    if (k >= snap_->corners.size()) return 0;
+    const auto& v = snap_->corners[k].node_slacks;
+    return i < v.size() ? v[i] : 0;
+  }
+  std::size_t corner_num_capture_slacks(std::size_t k) const override {
+    return k < snap_->corners.size() ? snap_->corners[k].capture_slacks.size()
+                                     : 0;
+  }
+  TimePs corner_capture_slack(std::size_t k, std::size_t i) const override {
+    if (k >= snap_->corners.size()) return 0;
+    const auto& v = snap_->corners[k].capture_slacks;
+    return i < v.size() ? v[i] : 0;
+  }
+  SourcePath corner_path(std::size_t k, std::size_t i) const override {
+    SourcePath out;
+    if (k >= snap_->corners.size()) return out;
+    const auto& paths = snap_->corners[k].paths;
+    if (i >= paths.size()) return out;
+    const SnapshotPath& p = paths[i];
+    out.slack = p.slack;
+    out.launch = p.launch;
+    out.capture = p.capture;
+    out.from = p.from;
+    out.to = p.to;
+    out.steps = p.steps;
+    return out;
+  }
+  std::size_t corner_num_hold_pairs(std::size_t k) const override {
+    return k < snap_->corners.size() ? snap_->corners[k].hold_pairs.size() : 0;
+  }
+  SourceHoldPair corner_hold_pair(std::size_t k, std::size_t i) const override {
+    SourceHoldPair out;
+    if (k >= snap_->corners.size()) return out;
+    const auto& pairs = snap_->corners[k].hold_pairs;
+    if (i >= pairs.size()) return out;
+    out.margin = pairs[i].margin;
+    out.launch_label = pairs[i].launch_label;
+    out.capture_label = pairs[i].capture_label;
+    return out;
+  }
+
+ private:
+  using PinTable = std::vector<std::pair<std::string, std::uint32_t>>;
+
+  std::shared_ptr<const AnalysisSnapshot> owned_;
+  const AnalysisSnapshot* snap_;
+};
+
+}  // namespace hb

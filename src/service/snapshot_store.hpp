@@ -40,6 +40,7 @@
 #include <vector>
 
 #include "service/snapshot.hpp"
+#include "service/snapshot_source.hpp"
 
 namespace hb {
 
@@ -77,6 +78,13 @@ std::uint64_t snapshot_checksum(const void* data, std::size_t len,
 /// analysis state always produces the same bytes (maps are emitted in
 /// sorted order; derived tables such as node_by_name are not serialised).
 std::string serialize_snapshot(const AnalysisSnapshot& snap);
+
+struct SnapshotSectionInfo;
+
+/// As above, and also report the section frames of the produced image
+/// (the `snapshot stat` per-section byte sizes).
+std::string serialize_snapshot(const AnalysisSnapshot& snap,
+                               std::vector<SnapshotSectionInfo>* sections_out);
 
 /// Frame of one section inside an image, as laid down by the serialiser —
 /// exposed so tests can corrupt images at exact section boundaries.
@@ -134,6 +142,29 @@ class SnapshotStore {
     bool ok() const { return snapshot != nullptr; }
   };
 
+  /// load_newest(), but served through the SnapshotSource interface.  The
+  /// fast path mmaps the image into a zero-copy SnapshotView; images the
+  /// view cannot serve (format version 1, non-canonical layouts) fall back
+  /// to the decoded copy path with `mapped == false`.  Quarantine decisions
+  /// are governed by parse_snapshot exactly as in load_newest: a file is
+  /// quarantined only when the parser rejects it too.
+  struct SourceResult {
+    std::shared_ptr<const SnapshotSource> source;  // null when nothing valid
+    /// Set when the copy fallback decoded the image (mapped == false).
+    std::shared_ptr<const AnalysisSnapshot> snapshot;
+    bool mapped = false;
+    std::vector<SnapshotSectionInfo> sections;
+    std::size_t image_bytes = 0;
+    std::string path;
+    std::uint64_t generation = 0;
+    std::string design;
+    std::size_t rejected = 0;
+    DiagCode code = DiagCode::kSnapshotMissing;  // when source == nullptr
+    std::string error;
+
+    bool ok() const { return source != nullptr; }
+  };
+
   /// Opens (and creates, if needed) the store directory and scans existing
   /// generation numbers.  Throws hb::Error only when the directory can
   /// neither be created nor read.
@@ -148,6 +179,17 @@ class SnapshotStore {
   /// Invalid files encountered on the way are quarantined (renamed to
   /// `<name>.quarantined`) and counted.
   LoadResult load_newest(const std::string& design = std::string());
+
+  /// Newest valid snapshot as a SnapshotSource — mmap'd when possible,
+  /// decoded copy otherwise.  Same selection, quarantine and counter
+  /// semantics as load_newest.
+  SourceResult load_newest_source(const std::string& design = std::string());
+
+  /// Section frames and byte size of the most recent successful save()
+  /// (empty before the first save).  The live host's `snapshot stat`
+  /// per-section report.
+  std::vector<SnapshotSectionInfo> last_save_sections() const;
+  std::size_t last_save_bytes() const;
 
   /// Designs with at least one live (non-quarantined) snapshot file.
   std::vector<std::string> designs() const;
@@ -184,6 +226,8 @@ class SnapshotStore {
   Options options_;
   mutable std::mutex mutex_;
   std::uint64_t next_generation_ = 1;
+  std::vector<SnapshotSectionInfo> last_save_sections_;
+  std::size_t last_save_bytes_ = 0;
   std::atomic<std::uint64_t> saves_{0};
   std::atomic<std::uint64_t> save_failures_{0};
   std::atomic<std::uint64_t> loads_{0};

@@ -9,6 +9,7 @@
 #include <string>
 
 #include "service/protocol.hpp"
+#include "service/snapshot_codec.hpp"
 #include "util/error.hpp"
 
 namespace hb {
@@ -79,34 +80,60 @@ void TcpServer::serve_connection(int fd) {
   ProtocolHandler handler(*host_);
   std::string buffer;
   char chunk[4096];
-  for (;;) {
+  bool done = false;
+  const auto send = [&](const std::string& reply) {
+    std::size_t off = 0;
+    while (off < reply.size()) {
+      const ssize_t w = ::write(fd, reply.data() + off, reply.size() - off);
+      if (w <= 0) {
+        done = true;
+        return;
+      }
+      off += static_cast<std::size_t>(w);
+    }
+  };
+  while (!done) {
     const ssize_t n = ::read(fd, chunk, sizeof chunk);
     if (n <= 0) break;
     buffer.append(chunk, static_cast<std::size_t>(n));
-    std::size_t nl;
-    bool done = false;
-    while ((nl = buffer.find('\n')) != std::string::npos) {
-      std::string line = buffer.substr(0, nl);
-      if (!line.empty() && line.back() == '\r') line.pop_back();
-      buffer.erase(0, nl + 1);
-      const std::string reply = handler.handle_line(line);
-      if (!reply.empty()) {
-        std::size_t off = 0;
-        while (off < reply.size()) {
-          const ssize_t w = ::write(fd, reply.data() + off, reply.size() - off);
-          if (w <= 0) {
-            done = true;
-            break;
-          }
-          off += static_cast<std::size_t>(w);
+    // Drain complete requests; re-check the protocol mode every iteration —
+    // bytes after a `proto 2` acknowledgement are binary frames.
+    for (;;) {
+      if (!handler.binary()) {
+        const std::size_t nl = buffer.find('\n');
+        if (nl == std::string::npos) break;
+        std::string line = buffer.substr(0, nl);
+        if (!line.empty() && line.back() == '\r') line.pop_back();
+        buffer.erase(0, nl + 1);
+        const std::string& reply = handler.handle_line(line);
+        if (!reply.empty()) send(reply);
+      } else {
+        if (buffer.size() < 4) break;
+        const std::uint32_t len = codec_read_le32(
+            reinterpret_cast<const unsigned char*>(buffer.data()));
+        if (len > kProto2MaxFrame) {
+          std::string err;
+          proto2_error_frame(DiagCode::kServiceRejected,
+                             "request frame of " + std::to_string(len) +
+                                 " bytes exceeds the " +
+                                 std::to_string(kProto2MaxFrame) +
+                                 "-byte limit",
+                             err);
+          send(err);
+          done = true;
+          break;
         }
+        if (buffer.size() < 4 + static_cast<std::size_t>(len)) break;
+        const std::string_view payload(buffer.data() + 4, len);
+        const std::string& reply = handler.handle_frame(payload);
+        buffer.erase(0, 4 + static_cast<std::size_t>(len));
+        if (!reply.empty()) send(reply);
       }
       if (done || handler.quit()) {
         done = true;
         break;
       }
     }
-    if (done) break;
   }
   {
     // De-register before closing so stop() never shuts down a recycled fd.

@@ -230,7 +230,7 @@ TEST(ServiceTest, CheckHoldDifferentialHoldsAfterWarmRestart) {
   // A restarted host with no session answers the same differential-tested
   // check_hold replies from the persisted snapshot alone.
   ServiceHost restarted(cfg);
-  ASSERT_NE(restarted.warm_snapshot(), nullptr);
+  ASSERT_NE(restarted.warm_source(), nullptr);
   ProtocolHandler h(restarted);
   for (const TimePs margin : {TimePs(0), ns(2), ns(8)}) {
     const std::string q = "check_hold " + std::to_string(margin);

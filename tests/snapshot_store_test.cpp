@@ -421,7 +421,7 @@ TEST(SnapshotStoreTest, WarmRestartedHostAnswersReadsByteIdentically) {
   std::vector<std::string> before;
   {
     ServiceHost host(cfg);
-    EXPECT_EQ(host.warm_snapshot(), nullptr);  // empty store: cold start
+    EXPECT_EQ(host.warm_source(), nullptr);  // empty store: cold start
     auto session = make_session();
     // A slack query on a real node, chosen from the published name index.
     queries.push_back("slack " + session->snapshot()->names->node_names.front());
@@ -432,9 +432,9 @@ TEST(SnapshotStoreTest, WarmRestartedHostAnswersReadsByteIdentically) {
 
   // "Restart": a fresh host over the same directory, no design loaded.
   ServiceHost host(cfg);
-  const auto warm = host.warm_snapshot();
+  const auto warm = host.warm_source();
   ASSERT_NE(warm, nullptr);
-  EXPECT_EQ(warm->id, 1u);
+  EXPECT_EQ(warm->id(), 1u);
   ProtocolHandler h(host);
   for (std::size_t i = 0; i < queries.size(); ++i) {
     SCOPED_TRACE(queries[i]);
@@ -473,7 +473,7 @@ TEST(SnapshotStoreTest, WarmRestartSurvivesCorruptNewestGeneration) {
   write_file(newest, bytes);
 
   ServiceHost host(cfg);
-  ASSERT_NE(host.warm_snapshot(), nullptr);  // healed onto generation 1
+  ASSERT_NE(host.warm_source(), nullptr);  // healed onto generation 1
   ProtocolHandler h(host);
   EXPECT_EQ(h.handle_line("summary"), summary_before);
   EXPECT_TRUE(fs::exists(newest + ".quarantined"));
